@@ -1,0 +1,177 @@
+//! Shared baseline-summary representation.
+//!
+//! Every baseline reduces to "a reconstructed position per point, plus a
+//! TPI over those positions" — which is exactly the [`ReconIndex`]
+//! contract the core query engine evaluates. `BaselineSummary` carries
+//! that plus the bookkeeping the experiment tables need (size, codewords,
+//! build time).
+
+use ppq_core::query::ReconIndex;
+use ppq_geo::{coords, Point};
+use ppq_tpi::{Tpi, TpiConfig};
+use ppq_traj::{Dataset, TrajId};
+use std::time::Duration;
+
+/// A built baseline: reconstructions + index + accounting.
+#[derive(Clone, Debug)]
+pub struct BaselineSummary {
+    pub name: &'static str,
+    /// Per-trajectory reconstructed positions (aligned with the dataset).
+    pub recon: Vec<Vec<Point>>,
+    pub starts: Vec<u32>,
+    pub tpi: Option<Tpi>,
+    /// Local-search radius: the method's measured maximum reconstruction
+    /// error (baselines have no analytic guarantee).
+    pub search_radius: f64,
+    /// Total summary bytes (codebooks + per-point indices + extras).
+    pub summary_bytes: usize,
+    /// Total codewords stored (Table 6).
+    pub codewords: usize,
+    pub build_time: Duration,
+}
+
+impl BaselineSummary {
+    /// Assemble from per-trajectory reconstructions; computes the max
+    /// error against the original data and (optionally) builds the TPI
+    /// over the reconstructed stream.
+    pub fn assemble(
+        name: &'static str,
+        dataset: &Dataset,
+        recon: Vec<Vec<Point>>,
+        summary_bytes: usize,
+        codewords: usize,
+        build_time: Duration,
+        tpi_cfg: Option<&TpiConfig>,
+    ) -> BaselineSummary {
+        assert_eq!(recon.len(), dataset.num_trajectories());
+        let starts: Vec<u32> = dataset.trajectories().iter().map(|t| t.start).collect();
+        let mut max_err = 0.0f64;
+        for (id, t, p) in dataset.iter_points() {
+            let off = (t - starts[id as usize]) as usize;
+            max_err = max_err.max(p.dist(&recon[id as usize][off]));
+        }
+        let tpi = tpi_cfg.map(|cfg| {
+            let slices = dataset.time_slices().map(|s| {
+                let pts: Vec<(TrajId, Point)> = s
+                    .points
+                    .iter()
+                    .map(|&(id, _)| {
+                        let off = (s.t - starts[id as usize]) as usize;
+                        (id, recon[id as usize][off])
+                    })
+                    .collect();
+                (s.t, pts)
+            });
+            Tpi::build_from_slices(slices, cfg)
+        });
+        BaselineSummary {
+            name,
+            recon,
+            starts,
+            tpi,
+            search_radius: max_err,
+            summary_bytes,
+            codewords,
+            build_time,
+        }
+    }
+
+    /// MAE in metres against the original data (Tables 2–4).
+    pub fn mae_meters(&self, dataset: &Dataset) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (id, t, p) in dataset.iter_points() {
+            if let Some(r) = self.recon(id, t) {
+                sum += p.dist(&r);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return 0.0;
+        }
+        coords::deg_to_meters(sum / n as f64)
+    }
+
+    pub fn max_error(&self, dataset: &Dataset) -> f64 {
+        dataset
+            .iter_points()
+            .filter_map(|(id, t, p)| self.recon(id, t).map(|r| p.dist(&r)))
+            .fold(0.0, f64::max)
+    }
+
+    pub fn compression_ratio(&self, dataset: &Dataset) -> f64 {
+        dataset.raw_size_bytes() as f64 / self.summary_bytes as f64
+    }
+}
+
+impl ReconIndex for BaselineSummary {
+    fn recon(&self, id: TrajId, t: u32) -> Option<Point> {
+        let traj = self.recon.get(id as usize)?;
+        let start = *self.starts.get(id as usize)?;
+        if t < start {
+            return None;
+        }
+        traj.get((t - start) as usize).copied()
+    }
+
+    fn index(&self) -> Option<&Tpi> {
+        self.tpi.as_ref()
+    }
+
+    fn search_radius(&self) -> f64 {
+        self.search_radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppq_traj::Trajectory;
+
+    fn tiny() -> Dataset {
+        Dataset::new(vec![
+            Trajectory::new(0, 0, vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]),
+            Trajectory::new(1, 1, vec![Point::new(5.0, 5.0)]),
+        ])
+    }
+
+    #[test]
+    fn assemble_computes_max_error() {
+        let d = tiny();
+        // Shift every reconstruction by (0.1, 0).
+        let recon = vec![
+            vec![Point::new(0.1, 0.0), Point::new(1.1, 1.0)],
+            vec![Point::new(5.1, 5.0)],
+        ];
+        let b = BaselineSummary::assemble("t", &d, recon, 100, 4, Duration::ZERO, None);
+        assert!((b.search_radius - 0.1).abs() < 1e-12);
+        assert_eq!(b.recon(0, 1), Some(Point::new(1.1, 1.0)));
+        assert_eq!(b.recon(1, 0), None);
+        assert_eq!(b.recon(1, 1), Some(Point::new(5.1, 5.0)));
+    }
+
+    #[test]
+    fn tpi_built_over_reconstructions() {
+        let d = tiny();
+        let recon = vec![
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)],
+            vec![Point::new(5.0, 5.0)],
+        ];
+        let cfg = TpiConfig::default();
+        let b = BaselineSummary::assemble("t", &d, recon, 100, 4, Duration::ZERO, Some(&cfg));
+        let tpi = b.tpi.as_ref().unwrap();
+        let hits = tpi.query_disc(1, &Point::new(5.0, 5.0), 0.01);
+        assert_eq!(hits, vec![1]);
+    }
+
+    #[test]
+    fn compression_ratio() {
+        let d = tiny();
+        let recon = vec![
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)],
+            vec![Point::new(5.0, 5.0)],
+        ];
+        let b = BaselineSummary::assemble("t", &d, recon, 12, 1, Duration::ZERO, None);
+        assert!((b.compression_ratio(&d) - 48.0 / 12.0).abs() < 1e-12);
+    }
+}

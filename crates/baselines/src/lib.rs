@@ -1,0 +1,25 @@
+//! Baseline methods from the paper's evaluation (§6.1).
+//!
+//! * [`pqrq`] — per-timestep Product Quantization and Residual
+//!   Quantization over raw coordinates, "extended with our indexing
+//!   approach" exactly as the paper did for fairness.
+//! * [`trajstore`] — TrajStore (Cudre-Mauroux et al., ICDE 2010):
+//!   adaptive quadtree storage with per-cell codebooks, including the
+//!   paged disk mode used by Table 9.
+//! * [`rest`] — REST (Zhao et al., KDD 2018): reference-based trajectory
+//!   compression by greedy sub-trajectory matching.
+//! * [`common`] — the [`common::BaselineSummary`] adapter that lets every
+//!   baseline answer queries through `ppq_core::QueryEngine`.
+//!
+//! The remaining baseline of the paper, **Q-trajectory**, is the core
+//! pipeline with prediction disabled: `PpqConfig::variant(Variant::QTrajectory, …)`.
+
+pub mod common;
+pub mod pqrq;
+pub mod rest;
+pub mod trajstore;
+
+pub use common::BaselineSummary;
+pub use pqrq::{build_pq, build_rq, PerStepBudget};
+pub use rest::{build_rest, RestConfig};
+pub use trajstore::{TrajStore, TrajStoreConfig, TsBudget};

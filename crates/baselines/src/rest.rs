@@ -1,0 +1,234 @@
+//! REST baseline (Zhao et al., KDD 2018): reference-based spatio-temporal
+//! trajectory compression.
+//!
+//! REST builds a *reference set* of trajectories offline, then compresses
+//! a target trajectory as a sequence of matches — (reference id, offset,
+//! length) triples pointing at reference sub-trajectories within a
+//! deviation bound — plus raw points where no reference matches. The
+//! paper compares against REST's best variant (trajectory redundancy
+//! reduction) on the sub-Porto dataset only, because REST "needs a highly
+//! repeating set of patterns" to function (§6.1); `ppq_traj::synth::sub_porto`
+//! reproduces that construction.
+
+use crate::common::BaselineSummary;
+use ppq_geo::{BBox, GridSpec, Point};
+use ppq_tpi::TpiConfig;
+use ppq_traj::Dataset;
+use std::time::Instant;
+
+/// REST parameters.
+#[derive(Clone, Debug)]
+pub struct RestConfig {
+    /// Per-point deviation tolerance for a match (the spatial deviation
+    /// budget of the compression-ratio sweep).
+    pub eps: f64,
+    /// Minimum run length worth storing as a match (shorter runs are
+    /// cheaper raw).
+    pub min_match_len: usize,
+}
+
+impl Default for RestConfig {
+    fn default() -> Self {
+        RestConfig { eps: 0.001, min_match_len: 3 }
+    }
+}
+
+/// One compressed element of a target trajectory.
+#[derive(Clone, Debug, PartialEq)]
+enum Element {
+    /// `len` points matched against `reference[ref_id][off..off+len]`.
+    Match { ref_id: u32, off: u32, len: u32 },
+    /// A literal point.
+    Raw(Point),
+}
+
+/// Grid over all reference points for candidate lookup:
+/// cell → (ref trajectory, offset) pairs.
+struct RefIndex<'a> {
+    grid: GridSpec,
+    cells: Vec<Vec<(u32, u32)>>,
+    refs: &'a Dataset,
+}
+
+impl<'a> RefIndex<'a> {
+    fn build(refs: &'a Dataset, eps: f64) -> RefIndex<'a> {
+        let bbox = refs
+            .bbox()
+            .map(|b| b.inflate(eps))
+            .unwrap_or(BBox::from_extents(0.0, 0.0, 1.0, 1.0));
+        let grid = GridSpec::covering(&bbox, eps.max(1e-9));
+        let mut cells = vec![Vec::new(); grid.len()];
+        for traj in refs.trajectories() {
+            for (off, p) in traj.points.iter().enumerate() {
+                if let Some((cx, cy)) = grid.locate(p) {
+                    cells[grid.flat(cx, cy)].push((traj.id, off as u32));
+                }
+            }
+        }
+        RefIndex { grid, cells, refs }
+    }
+
+    /// Candidate (ref, offset) pairs within `eps` of `p` (3×3 cells).
+    fn candidates(&self, p: &Point, eps: f64, out: &mut Vec<(u32, u32)>) {
+        out.clear();
+        let Some((cx, cy)) = self.grid.locate(p) else {
+            return;
+        };
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= self.grid.cols() as i64 || ny >= self.grid.rows() as i64
+                {
+                    continue;
+                }
+                for &(rid, off) in &self.cells[self.grid.flat(nx as u32, ny as u32)] {
+                    let rp = self.refs.trajectory(rid).points[off as usize];
+                    if rp.dist(p) <= eps {
+                        out.push((rid, off));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Compress `targets` against the reference pool and assemble a
+/// [`BaselineSummary`] of the reconstructions.
+///
+/// Size accounting: 12 bytes per match triple, 17 bytes per raw point
+/// (1-byte tag + 2×f64); the reference set itself is the shared offline
+/// dictionary and is not charged, following REST's own accounting.
+pub fn build_rest(
+    targets: &Dataset,
+    reference_pool: &Dataset,
+    cfg: &RestConfig,
+    tpi_cfg: Option<&TpiConfig>,
+) -> BaselineSummary {
+    let t0 = Instant::now();
+    let index = RefIndex::build(reference_pool, cfg.eps);
+    let mut recon: Vec<Vec<Point>> = Vec::with_capacity(targets.num_trajectories());
+    let mut summary_bytes = 0usize;
+    let mut cand_buf: Vec<(u32, u32)> = Vec::new();
+
+    for traj in targets.trajectories() {
+        let mut elements: Vec<Element> = Vec::new();
+        let pts = &traj.points;
+        let mut i = 0usize;
+        while i < pts.len() {
+            index.candidates(&pts[i], cfg.eps, &mut cand_buf);
+            // Greedy: take the candidate whose reference run extends the
+            // farthest.
+            let mut best: Option<(u32, u32, usize)> = None; // (ref, off, len)
+            for &(rid, off) in &cand_buf {
+                let ref_pts = &index.refs.trajectory(rid).points;
+                let mut len = 0usize;
+                while i + len < pts.len()
+                    && (off as usize + len) < ref_pts.len()
+                    && pts[i + len].dist(&ref_pts[off as usize + len]) <= cfg.eps
+                {
+                    len += 1;
+                }
+                if best.is_none_or(|(_, _, bl)| len > bl) {
+                    best = Some((rid, off, len));
+                }
+            }
+            match best {
+                Some((rid, off, len)) if len >= cfg.min_match_len => {
+                    elements.push(Element::Match { ref_id: rid, off, len: len as u32 });
+                    i += len;
+                }
+                _ => {
+                    elements.push(Element::Raw(pts[i]));
+                    i += 1;
+                }
+            }
+        }
+        // Reconstruct and account.
+        let mut rec = Vec::with_capacity(pts.len());
+        for el in &elements {
+            match el {
+                Element::Match { ref_id, off, len } => {
+                    summary_bytes += 12;
+                    let ref_pts = &index.refs.trajectory(*ref_id).points;
+                    for j in 0..*len {
+                        rec.push(ref_pts[(*off + j) as usize]);
+                    }
+                }
+                Element::Raw(p) => {
+                    summary_bytes += 17;
+                    rec.push(*p);
+                }
+            }
+        }
+        debug_assert_eq!(rec.len(), pts.len());
+        recon.push(rec);
+    }
+    let build_time = t0.elapsed();
+    BaselineSummary::assemble("REST", targets, recon, summary_bytes, 0, build_time, tpi_cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppq_traj::synth::{sub_porto, SubPortoConfig};
+
+    fn datasets() -> (Dataset, Dataset) {
+        sub_porto(&SubPortoConfig {
+            base_trajectories: 20,
+            mean_len: 60,
+            seed: 5,
+            noise_m: 10.0,
+        })
+    }
+
+    #[test]
+    fn rest_is_error_bounded() {
+        let (targets, pool) = datasets();
+        let cfg = RestConfig { eps: 0.002, min_match_len: 3 };
+        let b = build_rest(&targets, &pool, &cfg, None);
+        assert!(b.max_error(&targets) <= cfg.eps + 1e-12);
+    }
+
+    #[test]
+    fn rest_compresses_repetitive_data() {
+        let (targets, pool) = datasets();
+        let cfg = RestConfig { eps: 0.002, min_match_len: 3 };
+        let b = build_rest(&targets, &pool, &cfg, None);
+        let ratio = b.compression_ratio(&targets);
+        assert!(ratio > 2.0, "REST should compress sub-Porto well, got {ratio}");
+    }
+
+    #[test]
+    fn rest_fails_to_compress_unrelated_data() {
+        use ppq_traj::synth::{porto_like, PortoConfig};
+        let (_, pool) = datasets();
+        // Targets from a different seed: few matches available.
+        let strangers = porto_like(&PortoConfig {
+            trajectories: 10,
+            mean_len: 50,
+            min_len: 30,
+            start_spread: 5,
+            seed: 999,
+        });
+        let cfg = RestConfig { eps: 0.0002, min_match_len: 3 };
+        let b = build_rest(&strangers, &pool, &cfg, None);
+        let (t, _) = datasets();
+        let good = build_rest(&t, &pool, &cfg, None);
+        assert!(
+            b.compression_ratio(&strangers) < good.compression_ratio(&t),
+            "unrelated data should compress worse ({} vs {})",
+            b.compression_ratio(&strangers),
+            good.compression_ratio(&t)
+        );
+    }
+
+    #[test]
+    fn tighter_eps_lowers_ratio() {
+        let (targets, pool) = datasets();
+        let loose = build_rest(&targets, &pool, &RestConfig { eps: 0.004, min_match_len: 3 }, None);
+        let tight =
+            build_rest(&targets, &pool, &RestConfig { eps: 0.0001, min_match_len: 3 }, None);
+        assert!(loose.compression_ratio(&targets) >= tight.compression_ratio(&targets));
+    }
+}

@@ -1,0 +1,303 @@
+//! TrajStore baseline (Cudre-Mauroux, Wu & Madden, ICDE 2010).
+//!
+//! TrajStore keeps an adaptive quadtree over space; points stream in and
+//! leaf cells split on overflow / merge on underflow. Compression happens
+//! per cell. For the paper's comparison the per-cell compressor is a
+//! codebook whose size is either proportional to the cell's population
+//! (budget parity, §6.2.1) or grown until a deviation bound holds
+//! (Tables 5–6). "The summary process of TrajStore cannot start until the
+//! spatial index has been updated with trajectory points of all the
+//! timestamps" — so the build is: stream everything into the quadtree,
+//! then quantize cell by cell. The disk mode lays each leaf's entries
+//! (spanning all time) onto pages, which is why its query I/Os explode in
+//! Table 9.
+
+use crate::common::BaselineSummary;
+use ppq_geo::{BBox, Point};
+use ppq_quantize::codebook::index_bits_for;
+use ppq_quantize::{bounded_kmeans, kmeans, KMeansConfig};
+use ppq_sindex::region_quadtree::{Entry, RegionQuadtree};
+use ppq_storage::codec::Encoder;
+use ppq_storage::page::{Page, PAGE_SIZE};
+use ppq_storage::{IoStats, PageStore};
+use ppq_traj::Dataset;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+/// TrajStore parameters.
+#[derive(Clone, Debug)]
+pub struct TrajStoreConfig {
+    /// Leaf split threshold.
+    pub max_per_leaf: usize,
+    /// Merge when four sibling leaves hold fewer than this many points.
+    pub merge_threshold: usize,
+    /// How often (in timesteps) the merge pass runs during streaming.
+    pub merge_every: u32,
+    pub kmeans: KMeansConfig,
+}
+
+impl Default for TrajStoreConfig {
+    fn default() -> Self {
+        TrajStoreConfig {
+            max_per_leaf: 512,
+            merge_threshold: 128,
+            merge_every: 32,
+            kmeans: KMeansConfig::default(),
+        }
+    }
+}
+
+/// Codebook sizing for the per-cell compressor.
+#[derive(Clone, Copy, Debug)]
+pub enum TsBudget {
+    /// Total codeword budget distributed ∝ cell population.
+    TotalWords(usize),
+    /// Per-cell bounded growth until `ε` holds.
+    Bounded(f64),
+}
+
+/// A built TrajStore: the quadtree plus per-point reconstructions.
+pub struct TrajStore {
+    pub summary: BaselineSummary,
+    pub quadtree: RegionQuadtree,
+    pub splits: u64,
+    pub merges: u64,
+}
+
+/// Build TrajStore over a dataset.
+pub fn build_trajstore(
+    dataset: &Dataset,
+    budget: TsBudget,
+    cfg: &TrajStoreConfig,
+) -> TrajStore {
+    let t0 = Instant::now();
+    let bounds = dataset
+        .bbox()
+        .map(|b| b.inflate(1e-6))
+        .unwrap_or(BBox::from_extents(0.0, 0.0, 1.0, 1.0));
+    let mut qt = RegionQuadtree::new(bounds, cfg.max_per_leaf);
+
+    // Phase 1: stream points in time order, maintaining the index
+    // (split on insert, periodic merge pass).
+    for slice in dataset.time_slices() {
+        for &(id, p) in slice.points {
+            qt.insert(Entry { id, t: slice.t, pos: p });
+        }
+        if cfg.merge_every > 0 && slice.t % cfg.merge_every == cfg.merge_every - 1 {
+            qt.merge_pass(cfg.merge_threshold);
+        }
+    }
+
+    // Phase 2: per-cell quantization.
+    let starts: Vec<u32> = dataset.trajectories().iter().map(|t| t.start).collect();
+    let mut recon: Vec<Vec<Point>> =
+        dataset.trajectories().iter().map(|t| vec![Point::ORIGIN; t.len()]).collect();
+    let total_points = dataset.num_points().max(1);
+    let mut summary_bytes = 0usize;
+    let mut codewords = 0usize;
+
+    // Collect leaves first (can't mutate recon inside the visitor).
+    let mut leaves: Vec<Vec<Entry>> = Vec::new();
+    qt.for_each_leaf(|_, entries| {
+        if !entries.is_empty() {
+            leaves.push(entries.to_vec());
+        }
+    });
+    for entries in &leaves {
+        let positions: Vec<Point> = entries.iter().map(|e| e.pos).collect();
+        let (cents, assign) = match budget {
+            TsBudget::TotalWords(total) => {
+                let share = ((total * positions.len()) as f64 / total_points as f64)
+                    .round()
+                    .max(1.0) as usize;
+                kmeans(&positions, share.min(positions.len()), &cfg.kmeans)
+            }
+            TsBudget::Bounded(eps) => {
+                let res = bounded_kmeans(&positions, eps, &cfg.kmeans);
+                (res.centroids, res.assign)
+            }
+        };
+        for (e, &a) in entries.iter().zip(&assign) {
+            let off = (e.t - starts[e.id as usize]) as usize;
+            recon[e.id as usize][off] = cents[a as usize];
+        }
+        summary_bytes += cents.len() * 16
+            + (positions.len() * index_bits_for(cents.len()) as usize).div_ceil(8);
+        codewords += cents.len();
+    }
+    let build_time = t0.elapsed();
+
+    // TrajStore queries through its own quadtree, not a TPI.
+    let summary = BaselineSummary::assemble(
+        "TrajStore",
+        dataset,
+        recon,
+        summary_bytes,
+        codewords,
+        build_time,
+        None,
+    );
+    TrajStore { summary, splits: qt.splits(), merges: qt.merges(), quadtree: qt }
+}
+
+/// Disk-resident TrajStore: each leaf's entries — **all timesteps** — are
+/// serialized contiguously onto pages; a query must read every page of
+/// the leaf containing the query point.
+pub struct DiskTrajStore {
+    store: PageStore,
+    /// Per-leaf: bbox and page run (first page, page count).
+    leaf_runs: Vec<(BBox, u64, u64)>,
+}
+
+impl DiskTrajStore {
+    /// Default 1 MiB pages.
+    pub fn create(ts: &TrajStore, path: &Path, pool_pages: usize) -> io::Result<DiskTrajStore> {
+        Self::create_with(ts, path, pool_pages, PAGE_SIZE)
+    }
+
+    /// Explicit page size (scaled-down experiments; EXPERIMENTS.md Table 9).
+    pub fn create_with(
+        ts: &TrajStore,
+        path: &Path,
+        pool_pages: usize,
+        page_size: usize,
+    ) -> io::Result<DiskTrajStore> {
+        let store = PageStore::create_with_page_size(path, pool_pages, page_size)?;
+        let mut leaf_runs = Vec::new();
+        let mut leaves: Vec<(BBox, Vec<Entry>)> = Vec::new();
+        ts.quadtree.for_each_leaf(|b, entries| leaves.push((*b, entries.to_vec())));
+        for (bbox, entries) in leaves {
+            if entries.is_empty() {
+                continue;
+            }
+            let mut enc = Encoder::with_capacity(entries.len() * 24);
+            enc.put_u32(entries.len() as u32);
+            for e in &entries {
+                enc.put_u32(e.id);
+                enc.put_u32(e.t);
+                enc.put_point(&e.pos);
+            }
+            let payload = enc.finish();
+            let mut first = None;
+            let mut pages = 0u64;
+            for chunk in payload.chunks(page_size) {
+                let id = store.append(&Page::from_payload_with(chunk, page_size))?;
+                first.get_or_insert(id);
+                pages += 1;
+            }
+            leaf_runs.push((bbox, first.expect("non-empty leaf"), pages));
+        }
+        Ok(DiskTrajStore { store, leaf_runs })
+    }
+
+    /// STRQ: read every page of the leaf containing `p` and filter by `t`.
+    pub fn query(&self, t: u32, p: &Point) -> io::Result<Vec<u32>> {
+        let Some(&(_, first, pages)) =
+            self.leaf_runs.iter().find(|(b, _, _)| b.contains(p))
+        else {
+            return Ok(Vec::new());
+        };
+        let mut bytes = Vec::with_capacity((pages as usize) * self.store.page_size());
+        for pg in 0..pages {
+            bytes.extend_from_slice(self.store.read(first + pg)?.as_bytes());
+        }
+        let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let mut out = Vec::new();
+        let mut pos = 4usize;
+        for _ in 0..n {
+            let id = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+            let et = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+            if et == t {
+                out.push(id);
+            }
+            pos += 24; // id + t + 2×f64
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    pub fn io_stats(&self) -> &IoStats {
+        self.store.stats()
+    }
+
+    pub fn size_bytes(&self) -> u64 {
+        self.store.size_bytes()
+    }
+
+    pub fn clear_cache(&self) {
+        self.store.clear_cache();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppq_traj::synth::{porto_like, PortoConfig};
+
+    fn data() -> Dataset {
+        porto_like(&PortoConfig {
+            trajectories: 25,
+            mean_len: 40,
+            min_len: 30,
+            start_spread: 5,
+            seed: 21,
+        })
+    }
+
+    #[test]
+    fn bounded_build_respects_eps() {
+        let d = data();
+        let ts = build_trajstore(&d, TsBudget::Bounded(0.001), &TrajStoreConfig::default());
+        assert!(ts.summary.max_error(&d) <= 0.001 + 1e-12);
+        assert!(ts.summary.codewords > 0);
+    }
+
+    #[test]
+    fn budget_build_distributes_words() {
+        let d = data();
+        let ts = build_trajstore(&d, TsBudget::TotalWords(64), &TrajStoreConfig::default());
+        // Rounding per cell allows small overshoot, but the order of
+        // magnitude must hold.
+        assert!(ts.summary.codewords >= 32 && ts.summary.codewords <= 160,
+            "codewords {}", ts.summary.codewords);
+        assert!(ts.summary.mae_meters(&d).is_finite());
+    }
+
+    #[test]
+    fn streaming_causes_splits() {
+        let d = data();
+        let cfg = TrajStoreConfig { max_per_leaf: 64, ..TrajStoreConfig::default() };
+        let ts = build_trajstore(&d, TsBudget::TotalWords(64), &cfg);
+        assert!(ts.splits > 0);
+        assert!(ts.quadtree.num_leaves() > 1);
+    }
+
+    #[test]
+    fn disk_query_matches_truth_positions() {
+        let d = data();
+        let ts = build_trajstore(&d, TsBudget::Bounded(0.001), &TrajStoreConfig::default());
+        let mut path = std::env::temp_dir();
+        path.push(format!("ppq-trajstore-{}", std::process::id()));
+        let disk = DiskTrajStore::create(&ts, &path, 0).unwrap();
+        // Query the true position of a few points: the id must be found.
+        for (id, t, p) in d.iter_points().step_by(173) {
+            let ids = disk.query(t, &p).unwrap();
+            assert!(ids.contains(&id), "id {id} missing at t {t}");
+        }
+        assert!(disk.io_stats().reads() > 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn disk_misses_are_empty() {
+        let d = data();
+        let ts = build_trajstore(&d, TsBudget::Bounded(0.001), &TrajStoreConfig::default());
+        let mut path = std::env::temp_dir();
+        path.push(format!("ppq-trajstore-miss-{}", std::process::id()));
+        let disk = DiskTrajStore::create(&ts, &path, 0).unwrap();
+        assert!(disk.query(10_000, &Point::new(-8.6, 41.15)).unwrap().is_empty());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,100 @@
+//! Ablation studies beyond the paper's tables (DESIGN.md §4):
+//!
+//! 1. **Cold start** — the paper's `P_j[t] = 0` rule for `t ≤ k` versus a
+//!    last-value predictor for short histories.
+//! 2. **CQC on/off** — accuracy vs summary-size trade (the `-basic` gap,
+//!    isolated from the partitioner).
+//! 3. **Local search on/off** — candidate recall with and without the
+//!    `(√2/2)·g_s`-inflated scan.
+//! 4. **Prediction order k** — codebook size as a function of k.
+
+use ppq_bench::report::sig;
+use ppq_bench::{porto_bench, sample_queries, Table};
+use ppq_core::query::{precision_recall, QueryEngine};
+use ppq_core::{ColdStart, PpqConfig, PpqTrajectory, Variant};
+use ppq_traj::DatasetStats;
+
+fn main() {
+    let porto = porto_bench();
+    println!("{}", DatasetStats::of(&porto).banner("Porto"));
+
+    // 1. Cold start.
+    let mut t1 = Table::new(
+        "Ablation 1: cold-start rule (PPQ-A)",
+        &["Rule", "Codewords", "MAE(m)", "Summary KB"],
+    );
+    for (label, rule) in [("Zero (paper)", ColdStart::Zero), ("LastValue", ColdStart::LastValue)] {
+        let mut cfg = PpqConfig::variant(Variant::PpqA, 0.1);
+        cfg.cold_start = rule;
+        cfg.build_index = false;
+        let built = PpqTrajectory::build(&porto, &cfg);
+        t1.row(vec![
+            label.into(),
+            built.summary().codebook_len().to_string(),
+            sig(built.summary().mae_meters(&porto)),
+            format!("{:.1}", built.summary().breakdown().total() as f64 / 1024.0),
+        ]);
+    }
+    t1.emit("ablation_coldstart");
+
+    // 2. CQC on/off.
+    let mut t2 = Table::new(
+        "Ablation 2: CQC on/off (PPQ-S)",
+        &["CQC", "MAE(m)", "Summary KB", "Compression ratio"],
+    );
+    for (label, v) in [("on", Variant::PpqS), ("off", Variant::PpqSBasic)] {
+        let mut cfg = PpqConfig::variant(v, 0.1);
+        cfg.build_index = false;
+        let built = PpqTrajectory::build(&porto, &cfg);
+        t2.row(vec![
+            label.into(),
+            sig(built.summary().mae_meters(&porto)),
+            format!("{:.1}", built.summary().breakdown().total() as f64 / 1024.0),
+            format!("{:.2}", built.summary().compression_ratio(&porto)),
+        ]);
+    }
+    t2.emit("ablation_cqc");
+
+    // 3. Local search on/off (candidate recall).
+    let mut t3 = Table::new(
+        "Ablation 3: local search on/off (PPQ-A, candidate recall)",
+        &["Local search", "Mean recall", "Mean candidates"],
+    );
+    let cfg = PpqConfig::variant(Variant::PpqA, 0.1);
+    let built = PpqTrajectory::build(&porto, &cfg);
+    let engine = QueryEngine::new(built.summary(), &porto, cfg.tpi.pi.gc);
+    let qs = sample_queries(&porto, 150, 0xAB);
+    let (mut with_r, mut without_r, mut with_c, mut without_c) = (0.0, 0.0, 0.0, 0.0);
+    for (t, p) in &qs {
+        let out = engine.strq(*t, p);
+        let (_, r_with) = precision_recall(&out.candidates, &out.truth);
+        let (_, r_without) = precision_recall(&out.approx, &out.truth);
+        with_r += r_with;
+        without_r += r_without;
+        with_c += out.candidates.len() as f64;
+        without_c += out.approx.len() as f64;
+    }
+    let n = qs.len() as f64;
+    t3.row(vec!["on".into(), format!("{:.3}", with_r / n), format!("{:.1}", with_c / n)]);
+    t3.row(vec!["off".into(), format!("{:.3}", without_r / n), format!("{:.1}", without_c / n)]);
+    t3.emit("ablation_localsearch");
+
+    // 4. Prediction order.
+    let mut t4 = Table::new(
+        "Ablation 4: prediction order k (E-PQ)",
+        &["k", "Codewords", "MAE(m)"],
+    );
+    for k in [1usize, 2, 3, 4, 5] {
+        let mut cfg = PpqConfig::variant(Variant::EPq, 0.1);
+        cfg.k = k;
+        cfg.ar_window = (2 * k + 2).max(cfg.ar_window);
+        cfg.build_index = false;
+        let built = PpqTrajectory::build(&porto, &cfg);
+        t4.row(vec![
+            k.to_string(),
+            built.summary().codebook_len().to_string(),
+            sig(built.summary().mae_meters(&porto)),
+        ]);
+    }
+    t4.emit("ablation_order");
+}

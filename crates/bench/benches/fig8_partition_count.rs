@@ -1,0 +1,49 @@
+//! Figure 8 — Number of partitions q over time for different ε_p.
+//!
+//! Prints the q(t) series (sampled) for PPQ-A and PPQ-S on both datasets;
+//! the paper's observation to reproduce is that q stabilises as time
+//! grows, with smaller ε_p giving a higher plateau.
+
+use ppq_bench::{geolife_bench, porto_bench, Table};
+use ppq_core::{PartitionMode, PpqConfig, PpqTrajectory, Variant};
+use ppq_traj::{Dataset, DatasetStats};
+
+fn series(dataset: &Dataset, name: &str, mode: PartitionMode, eps_ps: &[f64], table: &mut Table) {
+    for &eps_p in eps_ps {
+        let variant =
+            if mode == PartitionMode::Autocorrelation { Variant::PpqA } else { Variant::PpqS };
+        let mut cfg = PpqConfig::variant(variant, eps_p);
+        cfg.eps_p = eps_p;
+        cfg.build_index = false;
+        let built = PpqTrajectory::build(dataset, &cfg);
+        let steps = &built.summary().stats().partitions_per_step;
+        // Sample ~12 evenly-spaced checkpoints of the series.
+        let stride = (steps.len() / 12).max(1);
+        let sampled: Vec<String> =
+            steps.iter().step_by(stride).map(|(t, q)| format!("{t}:{q}")).collect();
+        let max_q = steps.iter().map(|(_, q)| *q).max().unwrap_or(0);
+        table.row(vec![
+            name.into(),
+            variant.name().into(),
+            format!("{eps_p}"),
+            max_q.to_string(),
+            sampled.join(" "),
+        ]);
+    }
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Figure 8: Number of partitions q against eps_p (series t:q)",
+        &["Dataset", "Variant", "eps_p", "max q", "q over time"],
+    );
+    let porto = porto_bench();
+    println!("{}", DatasetStats::of(&porto).banner("Porto"));
+    series(&porto, "Porto", PartitionMode::Autocorrelation, &[0.01, 0.03, 0.05], &mut table);
+    series(&porto, "Porto", PartitionMode::Spatial, &[0.1, 0.3, 0.5], &mut table);
+    let geolife = geolife_bench();
+    println!("{}", DatasetStats::of(&geolife).banner("Geolife"));
+    series(&geolife, "Geolife", PartitionMode::Autocorrelation, &[0.01, 0.03, 0.05], &mut table);
+    series(&geolife, "Geolife", PartitionMode::Spatial, &[1.0, 3.0, 5.0], &mut table);
+    table.emit("fig8_partition_count");
+}

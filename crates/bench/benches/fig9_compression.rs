@@ -1,0 +1,61 @@
+//! Figure 9 — Compression ratio against the spatial deviation.
+//!
+//! Panels (a) Porto and (b) Geolife sweep the nine main methods; panel
+//! (c) sub-Porto adds REST (which, per §6.1, only functions on data with
+//! a highly repeating pattern set — exactly what sub-Porto provides).
+
+use ppq_baselines::{build_rest, RestConfig};
+use ppq_bench::methods::build_for_deviation;
+use ppq_bench::{
+    geolife_bench, porto_bench, sub_porto_bench, Table, ALL_MAIN_METHODS,
+};
+use ppq_geo::coords;
+use ppq_traj::{Dataset, DatasetStats};
+
+const DEVIATIONS_M: [f64; 5] = [200.0, 400.0, 600.0, 800.0, 1000.0];
+
+fn panel(dataset: &Dataset, name: &str, table: &mut Table) {
+    println!("{}", DatasetStats::of(dataset).banner(name));
+    for kind in ALL_MAIN_METHODS {
+        let mut row = vec![name.to_string(), kind.name().to_string()];
+        for d in DEVIATIONS_M {
+            let built = build_for_deviation(kind, dataset, d);
+            row.push(format!("{:.2}", built.compression_ratio(dataset)));
+        }
+        table.row(row);
+    }
+}
+
+fn rest_panel(table: &mut Table) {
+    let (targets, pool) = sub_porto_bench();
+    println!("{}", DatasetStats::of(&targets).banner("sub-Porto targets"));
+    // The PPQ-side methods compress the same targets.
+    for kind in ALL_MAIN_METHODS.iter().filter(|k| **k != ppq_bench::MethodKind::TrajStore) {
+        let mut row = vec!["sub-Porto".to_string(), kind.name().to_string()];
+        for d in DEVIATIONS_M {
+            let built = build_for_deviation(*kind, &targets, d);
+            row.push(format!("{:.2}", built.compression_ratio(&targets)));
+        }
+        table.row(row);
+    }
+    let mut row = vec!["sub-Porto".to_string(), "REST".to_string()];
+    for d in DEVIATIONS_M {
+        let cfg = RestConfig { eps: coords::meters_to_deg(d), min_match_len: 3 };
+        let rest = build_rest(&targets, &pool, &cfg, None);
+        row.push(format!("{:.2}", rest.compression_ratio(&targets)));
+    }
+    table.row(row);
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Figure 9: Compression ratio against spatial deviation",
+        &["Dataset", "Method", "200m", "400m", "600m", "800m", "1000m"],
+    );
+    let porto = porto_bench();
+    panel(&porto, "Porto", &mut table);
+    let geolife = geolife_bench();
+    panel(&geolife, "Geolife", &mut table);
+    rest_panel(&mut table);
+    table.emit("fig9_compression");
+}

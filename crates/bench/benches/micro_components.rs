@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks for the hot components: quantizer
+//! assignment/growth, CQC encode/decode, grid-index construction,
+//! Huffman ID-list compression, and least-squares predictor fitting.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ppq_cqc::CqcTemplate;
+use ppq_geo::{BBox, Point};
+use ppq_predict::linear::{fit_predictor, TrainingRow};
+use ppq_quantize::IncrementalQuantizer;
+use ppq_sindex::{CompressedIdList, GridIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn points(n: usize, spread: f64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| Point::new(rng.gen_range(-spread..spread), rng.gen_range(-spread..spread))).collect()
+}
+
+fn bench_quantizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantizer");
+    g.sample_size(10);
+    // ε = 0.2 over a ±1 spread ≈ 80 codewords — the regime PPQ's
+    // prediction errors actually live in (errors concentrate near zero).
+    let batch = points(2000, 1.0, 1);
+    g.bench_function("assign_2k_warm", |b| {
+        let mut q = IncrementalQuantizer::new(0.2);
+        q.quantize_batch(&batch); // warm the codebook
+        b.iter(|| {
+            let mut qq = q.clone();
+            black_box(qq.quantize_batch(black_box(&batch)))
+        })
+    });
+    g.bench_function("grow_2k_cold", |b| {
+        b.iter_batched(
+            || IncrementalQuantizer::new(0.2),
+            |mut q| black_box(q.quantize_batch(black_box(&batch))),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_cqc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cqc");
+    g.sample_size(15);
+    let tpl = CqcTemplate::new(0.001, 0.001 / 11.0);
+    let devs = points(1000, 0.001, 2);
+    g.bench_function("encode_1k", |b| {
+        b.iter(|| {
+            for d in &devs {
+                black_box(tpl.encode(black_box(*d)));
+            }
+        })
+    });
+    let codes: Vec<_> = devs.iter().map(|d| tpl.encode(*d)).collect();
+    g.bench_function("decode_1k", |b| {
+        b.iter(|| {
+            for code in &codes {
+                black_box(tpl.decode(black_box(*code)));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_sindex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sindex");
+    g.sample_size(10);
+    let pts: Vec<(u32, Point)> = points(5000, 50.0, 3)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (i as u32, p))
+        .collect();
+    let region = BBox::from_extents(-50.0, -50.0, 50.0, 50.0);
+    g.bench_function("grid_index_build_5k", |b| {
+        b.iter(|| black_box(GridIndex::build(region, 1.0, black_box(&pts))))
+    });
+    let ids: Vec<u32> = (0..2000u32).map(|i| i * 3 + (i % 7)).collect();
+    g.bench_function("idlist_compress_2k", |b| {
+        b.iter(|| black_box(CompressedIdList::compress(black_box(&ids))))
+    });
+    let compressed = CompressedIdList::compress(&ids);
+    g.bench_function("idlist_decompress_2k", |b| {
+        b.iter(|| black_box(compressed.decompress()))
+    });
+    g.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predict");
+    g.sample_size(15);
+    let mut rng = StdRng::seed_from_u64(4);
+    let histories: Vec<[Point; 3]> = (0..500)
+        .map(|_| {
+            [
+                Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)),
+                Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)),
+                Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)),
+            ]
+        })
+        .collect();
+    let rows: Vec<TrainingRow> = histories
+        .iter()
+        .map(|h| TrainingRow {
+            target: h[0] * 2.0 - h[1] + h[2] * 0.1,
+            history: &h[..],
+        })
+        .collect();
+    g.bench_function("fit_k3_500rows", |b| {
+        b.iter(|| black_box(fit_predictor(black_box(&rows), 3)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_quantizer, bench_cqc, bench_sindex, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Table 3 — MAE against different lengths of TPQ.
+//!
+//! Protocol (paper §6.2.2): the same trajectory/timestep anchors are used
+//! for every method; each method reconstructs the next 10–50 positions
+//! and the MAE against the original sub-trajectories is reported in
+//! units of 1.0e3 m, exactly like the paper's table.
+
+use ppq_bench::methods::build_error_bounded;
+use ppq_bench::queries::sample_tpq_anchors;
+use ppq_bench::{
+    geolife_bench, porto_bench, AnySummary, MethodKind, Table, ALL_MAIN_METHODS,
+};
+use ppq_geo::coords;
+use ppq_traj::{Dataset, DatasetStats};
+
+const LENGTHS: [u32; 5] = [10, 20, 30, 40, 50];
+
+fn tpq_mae_km(built: &AnySummary, dataset: &Dataset, anchors: &[(u32, u32)], l: u32) -> f64 {
+    let index = built.as_index();
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &(id, t) in anchors {
+        let traj = dataset.trajectory(id);
+        for tt in t..=t + l {
+            if let (Some(truth), Some(rec)) = (traj.at(tt), index.recon(id, tt)) {
+                sum += truth.dist(&rec);
+                n += 1;
+            }
+        }
+    }
+    coords::deg_to_meters(sum / n.max(1) as f64) / 1000.0
+}
+
+fn evaluate(dataset: &Dataset, name: &str, table: &mut Table, anchors_n: usize) {
+    println!("{}", DatasetStats::of(dataset).banner(name));
+    let ppq_a = build_error_bounded(MethodKind::PpqA, dataset, None, false);
+    let parity: Vec<(u32, u32)> = match &ppq_a {
+        AnySummary::Ppq(s) => s.stats().codewords_per_step.clone(),
+        AnySummary::Baseline(_) => unreachable!(),
+    };
+    let anchors = sample_tpq_anchors(dataset, anchors_n, 50, 0x7790);
+    for kind in ALL_MAIN_METHODS {
+        let built = if kind == MethodKind::PpqA {
+            match &ppq_a {
+                AnySummary::Ppq(s) => AnySummary::Ppq(s.clone()),
+                AnySummary::Baseline(_) => unreachable!(),
+            }
+        } else {
+            build_error_bounded(kind, dataset, Some(&parity), false)
+        };
+        let mut row = vec![name.to_string(), kind.name().to_string()];
+        for l in LENGTHS {
+            row.push(format!("{:.4}", tpq_mae_km(&built, dataset, &anchors, l)));
+        }
+        table.row(row);
+    }
+}
+
+fn main() {
+    let anchors = if ppq_bench::scale() < 0.5 { 60 } else { 200 };
+    let mut table = Table::new(
+        "Table 3: MAE against different lengths of TPQ (1.0e3 m)",
+        &["Dataset", "Method", "l=10", "l=20", "l=30", "l=40", "l=50"],
+    );
+    let porto = porto_bench();
+    evaluate(&porto, "Porto", &mut table, anchors);
+    let geolife = geolife_bench();
+    evaluate(&geolife, "Geolife", &mut table, anchors);
+    table.emit("table3_tpq");
+}

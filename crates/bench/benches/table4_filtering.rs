@@ -1,0 +1,65 @@
+//! Table 4 — Average ratio of trajectories visited and MAE against
+//! different sizes of C (5–9 bits).
+//!
+//! Protocol (paper §6.2.3): every method learns per-timestep codebooks of
+//! 2^bits codewords; for each query the summary is used as an index and
+//! the fraction of (active) trajectories visited during the exact-match
+//! refinement is recorded. TrajStore is excluded, as in the paper (its
+//! per-cell summaries cannot be fixed per timestep).
+
+use ppq_bench::methods::build_budgeted;
+use ppq_bench::report::sig;
+use ppq_bench::{geolife_bench, porto_bench, sample_queries, MethodKind, Table};
+use ppq_core::query::QueryEngine;
+use ppq_core::PpqConfig;
+use ppq_traj::{Dataset, DatasetStats};
+
+const BITS: [u32; 5] = [5, 6, 7, 8, 9];
+
+const METHODS: [MethodKind; 8] = [
+    MethodKind::PpqA,
+    MethodKind::PpqABasic,
+    MethodKind::PpqS,
+    MethodKind::PpqSBasic,
+    MethodKind::EPq,
+    MethodKind::QTrajectory,
+    MethodKind::ResidualQuantization,
+    MethodKind::ProductQuantization,
+];
+
+fn evaluate(dataset: &Dataset, name: &str, table: &mut Table, queries: usize) {
+    println!("{}", DatasetStats::of(dataset).banner(name));
+    let qs = sample_queries(dataset, queries, 0x4411);
+    let gc = PpqConfig::default().tpi.pi.gc;
+    for kind in METHODS {
+        let mut ratio_row = vec![name.to_string(), kind.name().to_string(), "ratio".to_string()];
+        let mut mae_row = vec![name.to_string(), kind.name().to_string(), "MAE(m)".to_string()];
+        for bits in BITS {
+            let built = build_budgeted(kind, dataset, bits);
+            let engine = QueryEngine::new(built.as_index(), dataset, gc);
+            let mut ratio_sum = 0.0;
+            for (t, p) in &qs {
+                let active = dataset.points_at(*t).len().max(1);
+                let out = engine.strq(*t, p);
+                ratio_sum += out.visited as f64 / active as f64;
+            }
+            ratio_row.push(format!("{:.4}", ratio_sum / qs.len() as f64));
+            mae_row.push(sig(built.mae_meters(dataset)));
+        }
+        table.row(ratio_row);
+        table.row(mae_row);
+    }
+}
+
+fn main() {
+    let queries = if ppq_bench::scale() < 0.5 { 60 } else { 200 };
+    let mut table = Table::new(
+        "Table 4: Avg ratio of trajectories visited and MAE vs |C| bits",
+        &["Dataset", "Method", "Measure", "5bits", "6bits", "7bits", "8bits", "9bits"],
+    );
+    let porto = porto_bench();
+    evaluate(&porto, "Porto", &mut table, queries);
+    let geolife = geolife_bench();
+    evaluate(&geolife, "Geolife", &mut table, queries);
+    table.emit("table4_filtering");
+}

@@ -1,0 +1,36 @@
+//! Table 5 — Summary building time against the spatial deviation.
+//!
+//! Protocol (paper §6.3.1): the deviation budget D ∈ {200..1000} m maps
+//! to ε₁ᴹ = D for the non-CQC methods and to g_s = √2·D, ε₁ᴹ = 2·g_s for
+//! PPQ-A / PPQ-S. Reported: seconds to build the summary (index excluded).
+
+use ppq_bench::methods::build_for_deviation;
+use ppq_bench::report::secs;
+use ppq_bench::{geolife_bench, porto_bench, Table, ALL_MAIN_METHODS};
+use ppq_traj::{Dataset, DatasetStats};
+
+const DEVIATIONS_M: [f64; 5] = [200.0, 400.0, 600.0, 800.0, 1000.0];
+
+fn evaluate(dataset: &Dataset, name: &str, table: &mut Table) {
+    println!("{}", DatasetStats::of(dataset).banner(name));
+    for kind in ALL_MAIN_METHODS {
+        let mut row = vec![name.to_string(), kind.name().to_string()];
+        for d in DEVIATIONS_M {
+            let built = build_for_deviation(kind, dataset, d);
+            row.push(secs(built.build_time()));
+        }
+        table.row(row);
+    }
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Table 5: Running time against spatial deviation (s)",
+        &["Dataset", "Method", "200m", "400m", "600m", "800m", "1000m"],
+    );
+    let porto = porto_bench();
+    evaluate(&porto, "Porto", &mut table);
+    let geolife = geolife_bench();
+    evaluate(&geolife, "Geolife", &mut table);
+    table.emit("table5_build_time");
+}

@@ -1,0 +1,36 @@
+//! Table 6 — Number of codewords in C against the spatial deviation.
+//!
+//! Same sweep as Table 5, reporting the codebook size each method needed
+//! to honour the deviation budget. The paper reports ×10⁴ codewords; at
+//! bench scale we report raw counts (the relative ordering is the
+//! reproduction target).
+
+use ppq_bench::methods::build_for_deviation;
+use ppq_bench::{geolife_bench, porto_bench, Table, ALL_MAIN_METHODS};
+use ppq_traj::{Dataset, DatasetStats};
+
+const DEVIATIONS_M: [f64; 5] = [200.0, 400.0, 600.0, 800.0, 1000.0];
+
+fn evaluate(dataset: &Dataset, name: &str, table: &mut Table) {
+    println!("{}", DatasetStats::of(dataset).banner(name));
+    for kind in ALL_MAIN_METHODS {
+        let mut row = vec![name.to_string(), kind.name().to_string()];
+        for d in DEVIATIONS_M {
+            let built = build_for_deviation(kind, dataset, d);
+            row.push(built.codewords().to_string());
+        }
+        table.row(row);
+    }
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Table 6: Number of codewords in C against spatial deviation",
+        &["Dataset", "Method", "200m", "400m", "600m", "800m", "1000m"],
+    );
+    let porto = porto_bench();
+    evaluate(&porto, "Porto", &mut table);
+    let geolife = geolife_bench();
+    evaluate(&geolife, "Geolife", &mut table);
+    table.emit("table6_codewords");
+}

@@ -1,0 +1,43 @@
+//! Table 7 — Statistics of TPI on different ε_c.
+//!
+//! The TRD dropping-rate threshold ε_c sweeps {0.2, 0.4, 0.6, 0.8};
+//! reported: index size, build time, number of periods, number of
+//! insertions — on both datasets, raw trajectory points (§6.3.2).
+
+use ppq_bench::report::secs;
+use ppq_bench::{geolife_bench, porto_bench, Table};
+use ppq_tpi::{Tpi, TpiConfig};
+use ppq_traj::{Dataset, DatasetStats};
+use std::time::Instant;
+
+const EPS_C: [f64; 4] = [0.2, 0.4, 0.6, 0.8];
+
+fn evaluate(dataset: &Dataset, name: &str, table: &mut Table) {
+    println!("{}", DatasetStats::of(dataset).banner(name));
+    for eps_c in EPS_C {
+        let cfg = TpiConfig { eps_c, ..TpiConfig::default() };
+        let t0 = Instant::now();
+        let tpi = Tpi::build(dataset, &cfg);
+        let elapsed = t0.elapsed();
+        table.row(vec![
+            name.into(),
+            format!("{eps_c}"),
+            format!("{:.2}", tpi.size_bytes() as f64 / (1 << 20) as f64),
+            secs(elapsed),
+            tpi.stats().periods.to_string(),
+            tpi.stats().insertions.to_string(),
+        ]);
+    }
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Table 7: Statistics of TPI on different eps_c",
+        &["Dataset", "eps_c", "Index Size(MB)", "Time Cost(s)", "No.Periods", "No.Insertions"],
+    );
+    let porto = porto_bench();
+    evaluate(&porto, "Porto", &mut table);
+    let geolife = geolife_bench();
+    evaluate(&geolife, "Geolife", &mut table);
+    table.emit("table7_tpi_epsc");
+}

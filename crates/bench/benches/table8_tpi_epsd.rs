@@ -1,0 +1,42 @@
+//! Table 8 — Statistics of TPI on different ε_d.
+//!
+//! The ADR threshold ε_d sweeps {0.2, 0.4, 0.6, 0.8}; a higher ε_d lets a
+//! PI be reused for more timesteps (fewer periods, more insertions).
+
+use ppq_bench::report::secs;
+use ppq_bench::{geolife_bench, porto_bench, Table};
+use ppq_tpi::{Tpi, TpiConfig};
+use ppq_traj::{Dataset, DatasetStats};
+use std::time::Instant;
+
+const EPS_D: [f64; 4] = [0.2, 0.4, 0.6, 0.8];
+
+fn evaluate(dataset: &Dataset, name: &str, table: &mut Table) {
+    println!("{}", DatasetStats::of(dataset).banner(name));
+    for eps_d in EPS_D {
+        let cfg = TpiConfig { eps_d, ..TpiConfig::default() };
+        let t0 = Instant::now();
+        let tpi = Tpi::build(dataset, &cfg);
+        let elapsed = t0.elapsed();
+        table.row(vec![
+            name.into(),
+            format!("{eps_d}"),
+            format!("{:.2}", tpi.size_bytes() as f64 / (1 << 20) as f64),
+            secs(elapsed),
+            tpi.stats().periods.to_string(),
+            tpi.stats().insertions.to_string(),
+        ]);
+    }
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Table 8: Statistics of TPI on different eps_d",
+        &["Dataset", "eps_d", "Index Size(MB)", "Time Cost(s)", "No.Periods", "No.Insertions"],
+    );
+    let porto = porto_bench();
+    evaluate(&porto, "Porto", &mut table);
+    let geolife = geolife_bench();
+    evaluate(&geolife, "Geolife", &mut table);
+    table.emit("table8_tpi_epsd");
+}

@@ -1,0 +1,67 @@
+//! Bench-scale datasets (scaled-down analogues of Porto / GeoLife /
+//! sub-Porto; see DESIGN.md §3 for the substitution rationale).
+
+use ppq_traj::synth::{
+    geolife_like, porto_like, sub_porto, GeolifeConfig, PortoConfig, SubPortoConfig,
+};
+use ppq_traj::Dataset;
+
+/// Global experiment scale factor from `PPQ_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("PPQ_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0)
+}
+
+fn scaled(n: usize) -> usize {
+    ((n as f64 * scale()).round() as usize).max(10)
+}
+
+/// The Porto-like benchmark dataset (~45k points at scale 1).
+pub fn porto_bench() -> Dataset {
+    porto_like(&PortoConfig {
+        trajectories: scaled(450),
+        mean_len: 100,
+        min_len: 30,
+        start_spread: 120,
+        seed: 0x7060,
+    })
+}
+
+/// The GeoLife-like benchmark dataset (~35k points at scale 1, wide
+/// extent, long trajectories).
+pub fn geolife_bench() -> Dataset {
+    geolife_like(&GeolifeConfig {
+        trajectories: scaled(90),
+        mean_len: 400,
+        min_len: 30,
+        start_spread: 60,
+        seed: 0x6E0,
+    })
+}
+
+/// The sub-Porto construction for the REST comparison:
+/// `(targets, reference pool)`.
+pub fn sub_porto_bench() -> (Dataset, Dataset) {
+    sub_porto(&SubPortoConfig {
+        base_trajectories: scaled(100),
+        mean_len: 90,
+        seed: 0x5B,
+        noise_m: 40.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppq_traj::DatasetStats;
+
+    #[test]
+    fn bench_datasets_have_expected_shape() {
+        let porto = porto_bench();
+        let s = DatasetStats::of(&porto);
+        assert!(s.points > 10_000);
+        assert!(s.min_len >= 30);
+        let geo = geolife_bench();
+        let g = DatasetStats::of(&geo);
+        assert!(g.bbox.unwrap().width() > 2.0, "geolife extent must be wide");
+    }
+}

@@ -1,0 +1,18 @@
+//! Shared experiment harness for the paper-reproduction benches.
+//!
+//! Every `cargo bench -p ppq-bench` target reproduces one table or figure
+//! of the paper's evaluation (§6). This library holds what they share:
+//! scaled dataset construction, the method registry, query workloads, the
+//! deviation-budget parameterisation of §6.3.1, and plain-text table
+//! rendering. Scale the experiments with the `PPQ_SCALE` environment
+//! variable (default 1.0; the paper-scale datasets would be ~100×).
+
+pub mod datasets;
+pub mod methods;
+pub mod queries;
+pub mod report;
+
+pub use datasets::{geolife_bench, porto_bench, scale, sub_porto_bench};
+pub use methods::{AnySummary, MethodKind, ALL_MAIN_METHODS};
+pub use queries::sample_queries;
+pub use report::Table;

@@ -1,0 +1,83 @@
+//! Query workload generation: random spatio-temporal queries drawn from
+//! true trajectory positions (so every query has a non-empty answer),
+//! matching the paper's "we randomly select 10,000 queries".
+
+use ppq_geo::Point;
+use ppq_traj::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sample `n` queries `(t, position)` at true trajectory points.
+pub fn sample_queries(dataset: &Dataset, n: usize, seed: u64) -> Vec<(u32, Point)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trajs = dataset.trajectories();
+    assert!(!trajs.is_empty());
+    (0..n)
+        .map(|_| {
+            let traj = &trajs[rng.gen_range(0..trajs.len())];
+            let off = rng.gen_range(0..traj.len());
+            (traj.start + off as u32, traj.points[off])
+        })
+        .collect()
+}
+
+/// Sample `n` (trajectory, t) pairs that still have at least `horizon`
+/// points remaining — the TPQ workload of Table 3.
+pub fn sample_tpq_anchors(
+    dataset: &Dataset,
+    n: usize,
+    horizon: usize,
+    seed: u64,
+) -> Vec<(u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let eligible: Vec<&ppq_traj::Trajectory> =
+        dataset.trajectories().iter().filter(|t| t.len() > horizon).collect();
+    assert!(!eligible.is_empty(), "no trajectory long enough for horizon {horizon}");
+    (0..n)
+        .map(|_| {
+            let traj = eligible[rng.gen_range(0..eligible.len())];
+            let off = rng.gen_range(0..traj.len() - horizon);
+            (traj.id, traj.start + off as u32)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppq_traj::synth::{porto_like, PortoConfig};
+
+    #[test]
+    fn queries_hit_true_points() {
+        let d = porto_like(&PortoConfig {
+            trajectories: 10,
+            mean_len: 40,
+            min_len: 30,
+            start_spread: 5,
+            seed: 2,
+        });
+        let qs = sample_queries(&d, 50, 1);
+        assert_eq!(qs.len(), 50);
+        for (t, p) in qs {
+            assert!(
+                d.points_at(t).iter().any(|(_, q)| q == &p),
+                "query not on a true point"
+            );
+        }
+    }
+
+    #[test]
+    fn tpq_anchors_have_enough_future() {
+        let d = porto_like(&PortoConfig {
+            trajectories: 10,
+            mean_len: 80,
+            min_len: 60,
+            start_spread: 5,
+            seed: 2,
+        });
+        for (id, t) in sample_tpq_anchors(&d, 30, 50, 7) {
+            let traj = d.trajectory(id);
+            assert!(traj.active_at(t + 50), "anchor too close to the end");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! PPQ-Trajectory core — the paper's primary contribution.
+//!
+//! The pipeline (paper Figure 1) runs online, one timestep at a time:
+//!
+//! 1. **Partition** the active trajectories by spatial proximity (PPQ-S,
+//!    Eq. 7) or AR(k)-autocorrelation similarity (PPQ-A, Eq. 8), carrying
+//!    partitions forward incrementally (§3.2.2) — [`partition`].
+//! 2. **Predict** each point from its previous `k` *reconstructed* points
+//!    with one least-squares model per partition (Eqs. 1–2, 6) —
+//!    `ppq-predict`.
+//! 3. **Quantize** the prediction errors into the growing error-bounded
+//!    codebook `C` (Eq. 3, Algorithm 1) — `ppq-quantize`.
+//! 4. **Code the residual** deviation with CQC (§4) — `ppq-cqc`.
+//! 5. **Index** the reconstructed points with TPI (§5.1) — `ppq-tpi`.
+//!
+//! [`pipeline::PpqTrajectory::build`] drives all five stages and returns a
+//! [`summary::PpqSummary`] whose size breakdown feeds the compression-
+//! ratio experiments, plus the TPI used by [`query::QueryEngine`] to
+//! answer STRQ and TPQ with the local-search guarantee of §5.2.
+//!
+//! The variant space of the evaluation (PPQ-A/S, the `-basic` versions,
+//! E-PQ, Q-trajectory) is spanned by [`config::PpqConfig`] flags; see
+//! [`config::Variant`].
+
+pub mod config;
+pub mod ndkmeans;
+pub mod partition;
+pub mod pipeline;
+pub mod query;
+pub mod summary;
+pub mod summary_io;
+
+pub use config::{BuildBudget, ColdStart, PartitionMode, PpqConfig, Variant};
+pub use pipeline::{PpqStream, PpqTrajectory};
+pub use query::{QueryEngine, StrqOutcome};
+pub use summary::{BuildStats, PpqSummary, SummaryBreakdown};

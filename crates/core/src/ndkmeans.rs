@@ -1,0 +1,262 @@
+//! Bounded k-means over small n-dimensional feature vectors.
+//!
+//! PPQ-S partitions on 2-D positions, PPQ-A on k-dimensional AR
+//! coefficient vectors (Eqs. 7–8). This is the same grow-until-bounded
+//! loop as `ppq_quantize::bounded_kmeans` (paper Lemma 1), generalised to
+//! feature dimension `d` — kept separate so the 2-D quantizer hot path
+//! stays monomorphic and allocation-light.
+
+/// Flat feature matrix: `n` rows of dimension `d`, row-major.
+pub struct Features<'a> {
+    pub data: &'a [f64],
+    pub d: usize,
+}
+
+impl<'a> Features<'a> {
+    pub fn new(data: &'a [f64], d: usize) -> Features<'a> {
+        assert!(d > 0 && data.len().is_multiple_of(d));
+        Features { data, d }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.d
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn row(&self, i: usize) -> &'a [f64] {
+        &self.data[i * self.d..(i + 1) * self.d]
+    }
+}
+
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Result of [`bounded_kmeans_nd`].
+#[derive(Clone, Debug)]
+pub struct NdClustering {
+    /// `q × d` centroid matrix.
+    pub centroids: Vec<f64>,
+    pub d: usize,
+    pub assign: Vec<u32>,
+    /// Rounds of cluster-count growth (`m` of Lemma 1).
+    pub rounds: usize,
+}
+
+impl NdClustering {
+    #[inline]
+    pub fn q(&self) -> usize {
+        self.centroids.len() / self.d
+    }
+
+    #[inline]
+    pub fn centroid(&self, c: usize) -> &[f64] {
+        &self.centroids[c * self.d..(c + 1) * self.d]
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Plain Lloyd iteration over n-d features.
+// The assignment loops index `assign` and `features` in lockstep; zipping
+// would obscure the row arithmetic without removing any bounds checks.
+#[allow(clippy::needless_range_loop)]
+pub fn kmeans_nd(features: &Features<'_>, q: usize, iters: usize, seed: u64) -> NdClustering {
+    let n = features.len();
+    assert!(n > 0);
+    let d = features.d;
+    let q = q.clamp(1, n);
+    // Deterministic init: spread sample indices.
+    let mut state = seed ^ (n as u64);
+    let mut centroids = Vec::with_capacity(q * d);
+    for _ in 0..q {
+        let i = (splitmix64(&mut state) as usize) % n;
+        centroids.extend_from_slice(features.row(i));
+    }
+    let mut assign = vec![0u32; n];
+    for _ in 0..iters {
+        // Assignment.
+        for i in 0..n {
+            let row = features.row(i);
+            let mut best = 0u32;
+            let mut bd = f64::INFINITY;
+            for c in 0..q {
+                let dd = dist2(row, &centroids[c * d..(c + 1) * d]);
+                if dd < bd {
+                    bd = dd;
+                    best = c as u32;
+                }
+            }
+            assign[i] = best;
+        }
+        // Update.
+        let mut sums = vec![0.0f64; q * d];
+        let mut counts = vec![0usize; q];
+        for i in 0..n {
+            let c = assign[i] as usize;
+            counts[c] += 1;
+            for (s, v) in sums[c * d..(c + 1) * d].iter_mut().zip(features.row(i)) {
+                *s += v;
+            }
+        }
+        let mut moved = 0.0f64;
+        for c in 0..q {
+            if counts[c] == 0 {
+                // Re-seed with the worst-fit row.
+                let (wi, _) = (0..n)
+                    .map(|i| (i, dist2(features.row(i), &centroids[assign[i] as usize * d..][..d])))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .unwrap();
+                centroids[c * d..(c + 1) * d].copy_from_slice(features.row(wi));
+                moved = f64::INFINITY;
+                continue;
+            }
+            for j in 0..d {
+                let nc = sums[c * d + j] / counts[c] as f64;
+                moved += (centroids[c * d + j] - nc).abs();
+                centroids[c * d + j] = nc;
+            }
+        }
+        if moved < 1e-12 {
+            break;
+        }
+    }
+    // Final assignment.
+    for i in 0..n {
+        let row = features.row(i);
+        let mut best = 0u32;
+        let mut bd = f64::INFINITY;
+        for c in 0..q {
+            let dd = dist2(row, &centroids[c * d..(c + 1) * d]);
+            if dd < bd {
+                bd = dd;
+                best = c as u32;
+            }
+        }
+        assign[i] = best;
+    }
+    NdClustering { centroids, d, assign, rounds: 1 }
+}
+
+/// Grow `q` by `grow_step` per round until every row is within `bound` of
+/// its centroid (Eq. 7/8); falls back to singleton promotion like the 2-D
+/// version.
+pub fn bounded_kmeans_nd(
+    features: &Features<'_>,
+    bound: f64,
+    grow_step: usize,
+    iters: usize,
+    seed: u64,
+) -> NdClustering {
+    assert!(bound > 0.0);
+    let n = features.len();
+    let d = features.d;
+    let b2 = bound * bound;
+    // Start from one cluster (see ppq_quantize::bounded_kmeans): the
+    // smallest satisfying q gives the most stable incremental partitions.
+    let mut q = 1;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let mut res = kmeans_nd(features, q, iters, seed.wrapping_add(rounds as u64));
+        let worst = (0..n)
+            .map(|i| dist2(features.row(i), res.centroid(res.assign[i] as usize)))
+            .fold(0.0f64, f64::max);
+        if worst <= b2 {
+            res.rounds = rounds;
+            return res;
+        }
+        if q >= n {
+            // Promote violators to their own centroids.
+            for i in 0..n {
+                if dist2(features.row(i), res.centroid(res.assign[i] as usize)) > b2 {
+                    res.assign[i] = (res.centroids.len() / d) as u32;
+                    res.centroids.extend_from_slice(features.row(i));
+                }
+            }
+            res.rounds = rounds;
+            return res;
+        }
+        q += grow_step;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Vec<f64>, usize) {
+        let mut data = Vec::new();
+        for i in 0..50 {
+            let f = i as f64 * 0.01;
+            data.extend_from_slice(&[f, 0.5 + f, 1.0 - f]); // blob A
+        }
+        for i in 0..50 {
+            let f = i as f64 * 0.01;
+            data.extend_from_slice(&[10.0 + f, -5.0 - f, 3.0 + f]); // blob B
+        }
+        (data, 3)
+    }
+
+    #[test]
+    fn separates_3d_blobs() {
+        let (data, d) = two_blobs();
+        let f = Features::new(&data, d);
+        let res = kmeans_nd(&f, 2, 20, 1);
+        assert_eq!(res.q(), 2);
+        assert_eq!(res.assign[0], res.assign[49]);
+        assert_eq!(res.assign[50], res.assign[99]);
+        assert_ne!(res.assign[0], res.assign[50]);
+    }
+
+    #[test]
+    fn bounded_respects_bound() {
+        let (data, d) = two_blobs();
+        let f = Features::new(&data, d);
+        let res = bounded_kmeans_nd(&f, 0.5, 2, 15, 7);
+        for i in 0..f.len() {
+            let dd = dist2(f.row(i), res.centroid(res.assign[i] as usize)).sqrt();
+            assert!(dd <= 0.5 + 1e-9, "row {i} at distance {dd}");
+        }
+    }
+
+    #[test]
+    fn tight_bound_promotes_singletons() {
+        let (data, d) = two_blobs();
+        let f = Features::new(&data, d);
+        let res = bounded_kmeans_nd(&f, 1e-9, 4, 8, 3);
+        for i in 0..f.len() {
+            let dd = dist2(f.row(i), res.centroid(res.assign[i] as usize)).sqrt();
+            assert!(dd <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_row() {
+        let data = [1.0, 2.0];
+        let f = Features::new(&data, 2);
+        let res = bounded_kmeans_nd(&f, 1.0, 4, 8, 0);
+        assert_eq!(res.q(), 1);
+        assert_eq!(res.assign, vec![0]);
+    }
+
+    #[test]
+    fn dist2_basics() {
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist2(&[1.0], &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,627 @@
+//! The online summarisation pipeline (paper Algorithm 1 + §3.2).
+//!
+//! [`PpqStream`] is the *online* form: push one timestep of points at a
+//! time, read back the summary at any point with [`PpqStream::finish`].
+//! [`PpqTrajectory::build`] is the batch convenience that streams a whole
+//! [`Dataset`] through it.
+
+use crate::config::{BuildBudget, PartitionMode, PpqConfig};
+use crate::ndkmeans::Features;
+use crate::partition::Partitioner;
+use crate::summary::{predict_with, BuildStats, CodebookStore, PpqSummary};
+use ppq_cqc::{CqcCode, CqcTemplate};
+use ppq_geo::Point;
+use ppq_predict::linear::{fit_predictor, TrainingRow};
+use ppq_predict::{ar_coefficients, History, Predictor};
+use ppq_quantize::{kmeans, IncrementalQuantizer};
+use ppq_tpi::Tpi;
+use ppq_traj::{Dataset, TrajId};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Online PPQ-trajectory encoder.
+///
+/// Feed timesteps in strictly increasing order with
+/// [`PpqStream::push_slice`]; every trajectory's appearances must be
+/// contiguous (the paper's model — regularly sampled trajectories that
+/// appear, live, and end). Trajectory ids index internal vectors, so keep
+/// them dense-ish.
+///
+/// ```
+/// use ppq_core::{PpqConfig, PpqStream};
+/// use ppq_geo::Point;
+///
+/// let mut stream = PpqStream::new(PpqConfig::default());
+/// for t in 0..50u32 {
+///     let pts = vec![(0u32, Point::new(-8.6 + t as f64 * 1e-4, 41.1))];
+///     stream.push_slice(t, &pts);
+/// }
+/// let summary = stream.finish();
+/// assert_eq!(summary.num_points(), 50);
+/// assert!(summary.reconstruct(0, 10).is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct PpqStream {
+    config: PpqConfig,
+    template: Option<CqcTemplate>,
+    incremental: Option<IncrementalQuantizer>,
+    per_step_books: Vec<Vec<Point>>,
+    partitioner: Option<Partitioner>,
+    d: usize,
+    started: Instant,
+
+    // Per-trajectory state, indexed by TrajId (grown on demand).
+    histories: Vec<History>,
+    raw_windows: Vec<History>,
+    ages: Vec<usize>,
+    starts: Vec<u32>,
+    ended: Vec<bool>,
+
+    // Outputs.
+    min_t: Option<u32>,
+    next_t: Option<u32>,
+    codes: Vec<Vec<u32>>,
+    labels: Vec<Vec<u32>>,
+    cqc_codes: Vec<Vec<CqcCode>>,
+    recon: Vec<Vec<Point>>,
+    coeffs: Vec<Vec<Predictor>>,
+    stats: BuildStats,
+    tpi_slices: Vec<(u32, Vec<(TrajId, Point)>)>,
+    active_prev: HashSet<TrajId>,
+    feature_buf: Vec<f64>,
+}
+
+impl PpqStream {
+    pub fn new(config: PpqConfig) -> PpqStream {
+        config.validate();
+        let k = config.k;
+        let incremental = match config.budget {
+            BuildBudget::ErrorBounded => Some(IncrementalQuantizer::with_config(
+                config.eps1,
+                config.kmeans.clone(),
+            )),
+            BuildBudget::PerStepBits(_) | BuildBudget::PerStepWords(_) => None,
+        };
+        let d = match config.partition_mode {
+            PartitionMode::Spatial => 2,
+            PartitionMode::Autocorrelation => k,
+            PartitionMode::Single => 0,
+        };
+        let partitioner = (d > 0).then(|| {
+            Partitioner::new(
+                config.effective_eps_p(),
+                d,
+                config.kmeans.grow_step,
+                config.kmeans.max_iters,
+                config.kmeans.seed,
+            )
+        });
+        PpqStream {
+            template: config.use_cqc.then(|| CqcTemplate::new(config.eps1, config.gs)),
+            incremental,
+            per_step_books: Vec::new(),
+            partitioner,
+            d,
+            started: Instant::now(),
+            histories: Vec::new(),
+            raw_windows: Vec::new(),
+            ages: Vec::new(),
+            starts: Vec::new(),
+            ended: Vec::new(),
+            min_t: None,
+            next_t: None,
+            codes: Vec::new(),
+            labels: Vec::new(),
+            cqc_codes: Vec::new(),
+            recon: Vec::new(),
+            coeffs: Vec::new(),
+            stats: BuildStats::default(),
+            tpi_slices: Vec::new(),
+            active_prev: HashSet::new(),
+            feature_buf: Vec::new(),
+            config,
+        }
+    }
+
+    #[inline]
+    pub fn config(&self) -> &PpqConfig {
+        &self.config
+    }
+
+    /// Number of timesteps consumed so far.
+    pub fn timesteps(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Grow per-trajectory state to cover `id`.
+    fn ensure_traj(&mut self, id: TrajId) {
+        let idx = id as usize;
+        while self.histories.len() <= idx {
+            let k = self.config.k;
+            self.histories.push(History::new(k.max(1)));
+            self.raw_windows.push(History::new(self.config.ar_window.max(k + 1)));
+            self.ages.push(0);
+            self.starts.push(0);
+            self.ended.push(false);
+            self.codes.push(Vec::new());
+            self.labels.push(Vec::new());
+            self.cqc_codes.push(Vec::new());
+            self.recon.push(Vec::new());
+        }
+    }
+
+    /// Consume one timestep. `t` must be exactly one past the previous
+    /// timestep (or anything for the first call); every trajectory id must
+    /// appear in contiguous runs of timesteps.
+    pub fn push_slice(&mut self, t: u32, points: &[(TrajId, Point)]) {
+        match self.next_t {
+            None => {
+                self.min_t = Some(t);
+                self.next_t = Some(t + 1);
+            }
+            Some(expected) => {
+                assert_eq!(t, expected, "slices must arrive at consecutive timesteps");
+                self.next_t = Some(t + 1);
+            }
+        }
+        if points.is_empty() {
+            self.coeffs.push(Vec::new());
+            self.stats.partitions_per_step.push((t, 0));
+            self.stats.codewords_per_step.push((t, 0));
+            if self.config.build_index {
+                self.tpi_slices.push((t, Vec::new()));
+            }
+            // Every previously-active trajectory has now ended.
+            for id in self.active_prev.drain() {
+                self.ended[id as usize] = true;
+            }
+            return;
+        }
+
+        let ids: Vec<TrajId> = points.iter().map(|(id, _)| *id).collect();
+        for &(id, p) in points {
+            self.ensure_traj(id);
+            let idx = id as usize;
+            assert!(
+                !self.ended[idx],
+                "trajectory {id} reappeared after a gap; the pipeline requires \
+                 contiguous per-trajectory sampling"
+            );
+            if self.ages[idx] == 0 {
+                self.starts[idx] = t;
+            }
+            // Feed raw windows first so AR features can see the current
+            // point (the feature for partitioning time t uses data ≤ t).
+            self.raw_windows[idx].push(p);
+        }
+
+        // ---- 1. Partition (timed: Figures 7–8). -----------------------
+        let t_part = Instant::now();
+        let step_labels: Vec<u32> = match (&mut self.partitioner, self.config.partition_mode) {
+            (Some(partitioner), mode) => {
+                self.feature_buf.clear();
+                for &(id, p) in points {
+                    match mode {
+                        PartitionMode::Spatial => {
+                            self.feature_buf.push(p.x);
+                            self.feature_buf.push(p.y);
+                        }
+                        PartitionMode::Autocorrelation => {
+                            let w = &self.raw_windows[id as usize];
+                            let window: Vec<Point> = w.iter().collect();
+                            match ar_coefficients(&window, self.config.k) {
+                                Some(c) => self.feature_buf.extend(c),
+                                None => self
+                                    .feature_buf
+                                    .extend(std::iter::repeat_n(0.0, self.config.k)),
+                            }
+                        }
+                        PartitionMode::Single => unreachable!(),
+                    }
+                }
+                let features = Features::new(&self.feature_buf, self.d);
+                let (labels, step_stats) = partitioner.step(&ids, &features);
+                self.stats.merges += step_stats.merges;
+                self.stats.repartitions += step_stats.repartitioned;
+                labels
+            }
+            (None, _) => vec![0u32; points.len()],
+        };
+        let q = step_labels.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+        self.stats.partitioning += t_part.elapsed();
+        self.stats.partitions_per_step.push((t, q as u32));
+
+        // ---- 2. Fit per-partition predictors (Eq. 6). -----------------
+        let t_fit = Instant::now();
+        let k = self.config.k;
+        let mut step_coeffs: Vec<Predictor> = Vec::with_capacity(q);
+        let mut histories_kbuf: Vec<Vec<Point>> = vec![Vec::new(); points.len()];
+        for (i, &(id, _)) in points.iter().enumerate() {
+            if self.ages[id as usize] >= k {
+                if let Some(h) = self.histories[id as usize].last_k(k) {
+                    histories_kbuf[i] = h;
+                }
+            }
+        }
+        for label in 0..q {
+            if !self.config.predict {
+                step_coeffs.push(Predictor::zero(k));
+                continue;
+            }
+            let rows: Vec<TrainingRow<'_>> = points
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| {
+                    step_labels[*i] as usize == label && !histories_kbuf[*i].is_empty()
+                })
+                .map(|(i, &(_, p))| TrainingRow { target: p, history: &histories_kbuf[i] })
+                .collect();
+            // Coefficients are stored (and therefore used) at f32
+            // precision — halves the dominant per-step summary cost with
+            // no effect on the error bound, since prediction error is
+            // absorbed by the quantizer anyway.
+            let fitted = fit_predictor(&rows, k);
+            let rounded: Vec<f64> = fitted.coeffs().iter().map(|&c| c as f32 as f64).collect();
+            step_coeffs.push(Predictor::from_coeffs(rounded));
+        }
+        self.stats.fitting += t_fit.elapsed();
+
+        // ---- 3. Predict, quantize errors (Alg. 1 lines 4–7). ----------
+        let t_quant = Instant::now();
+        let mut preds: Vec<Point> = Vec::with_capacity(points.len());
+        for (i, &(id, _)) in points.iter().enumerate() {
+            let predictor = &step_coeffs[step_labels[i] as usize];
+            preds.push(predict_with(
+                &self.config,
+                predictor,
+                &self.histories[id as usize],
+                self.ages[id as usize],
+            ));
+        }
+        let errors: Vec<Point> =
+            points.iter().zip(&preds).map(|(&(_, p), pr)| p - *pr).collect();
+        let step_codes: Vec<u32> = match (&mut self.incremental, &self.config.budget) {
+            (Some(quant), _) => quant.quantize_batch(&errors),
+            (None, BuildBudget::PerStepBits(bits)) => {
+                let clusters = (1usize << bits).min(errors.len());
+                let (cents, assign) = kmeans(&errors, clusters, &self.config.kmeans);
+                self.per_step_books.push(cents);
+                assign
+            }
+            (None, BuildBudget::PerStepWords(_)) => {
+                let clusters =
+                    self.config.budget.words_at(t).expect("PerStepWords").min(errors.len());
+                let (cents, assign) = kmeans(&errors, clusters, &self.config.kmeans);
+                self.per_step_books.push(cents);
+                assign
+            }
+            (None, BuildBudget::ErrorBounded) => unreachable!(),
+        };
+        let distinct: HashSet<u32> = step_codes.iter().copied().collect();
+        self.stats.codewords_per_step.push((t, distinct.len() as u32));
+        self.stats.quantizing += t_quant.elapsed();
+
+        // ---- 4. Reconstruct, CQC, advance state. ----------------------
+        let mut slice_recon: Vec<(TrajId, Point)> = Vec::with_capacity(points.len());
+        for (i, &(id, p)) in points.iter().enumerate() {
+            let idx = id as usize;
+            let word = match &self.incremental {
+                Some(quant) => quant.word(step_codes[i]),
+                None => self.per_step_books.last().expect("pushed above")[step_codes[i] as usize],
+            };
+            let hat = preds[i] + word;
+            // History holds the codebook-level reconstruction T̂ — Eq. 2
+            // predicts from T̂, with CQC layered on top.
+            self.histories[idx].push(hat);
+            self.ages[idx] += 1;
+
+            let fin = match &self.template {
+                Some(tpl) => {
+                    let code = tpl.encode(p - hat);
+                    self.cqc_codes[idx].push(code);
+                    hat + tpl.decode(code)
+                }
+                None => hat,
+            };
+            self.codes[idx].push(step_codes[i]);
+            self.labels[idx].push(step_labels[i]);
+            self.recon[idx].push(fin);
+            slice_recon.push((id, fin));
+        }
+        if self.config.build_index {
+            self.tpi_slices.push((t, slice_recon));
+        }
+
+        // Retire trajectories that ended at t (keeps partitioner maps
+        // small on long streams) and mark them so reappearance is caught.
+        let active_now: HashSet<TrajId> = ids.iter().copied().collect();
+        let retired: Vec<TrajId> = self.active_prev.difference(&active_now).copied().collect();
+        for &id in &retired {
+            self.ended[id as usize] = true;
+        }
+        if let Some(partitioner) = &mut self.partitioner {
+            partitioner.retire(&retired);
+        }
+        self.active_prev = active_now;
+
+        self.coeffs.push(step_coeffs);
+    }
+
+    /// Close the stream and produce the summary (building the TPI over
+    /// the reconstructed stream when `config.build_index` is set).
+    pub fn finish(mut self) -> PpqSummary {
+        let t_index = Instant::now();
+        let tpi = self
+            .config
+            .build_index
+            .then(|| Tpi::build_from_slices(std::mem::take(&mut self.tpi_slices), &self.config.tpi));
+        self.stats.indexing = t_index.elapsed();
+        self.stats.total = self.started.elapsed();
+
+        let codebook = match self.incremental {
+            Some(q) => CodebookStore::Global(q.codebook().clone()),
+            None => CodebookStore::PerStep(self.per_step_books),
+        };
+        PpqSummary {
+            config: self.config,
+            codebook,
+            coeffs: self.coeffs,
+            min_t: self.min_t.unwrap_or(0),
+            starts: self.starts,
+            codes: self.codes,
+            labels: self.labels,
+            cqc_codes: self.cqc_codes,
+            template: self.template,
+            recon: self.recon,
+            tpi,
+            stats: self.stats,
+        }
+    }
+}
+
+/// The top-level handle: a built summary plus convenience accessors.
+///
+/// ```
+/// use ppq_core::{PpqConfig, PpqTrajectory};
+/// use ppq_traj::synth::{porto_like, PortoConfig};
+///
+/// let data = porto_like(&PortoConfig { trajectories: 20, ..PortoConfig::small() });
+/// let built = PpqTrajectory::build(&data, &PpqConfig::default());
+/// assert!(built.summary().num_points() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PpqTrajectory {
+    summary: PpqSummary,
+}
+
+impl PpqTrajectory {
+    /// Run the full pipeline over `dataset` (streams it through
+    /// [`PpqStream`]).
+    pub fn build(dataset: &Dataset, config: &PpqConfig) -> PpqTrajectory {
+        let mut stream = PpqStream::new(config.clone());
+        for slice in dataset.time_slices() {
+            stream.push_slice(slice.t, slice.points);
+        }
+        PpqTrajectory { summary: stream.finish() }
+    }
+
+    #[inline]
+    pub fn summary(&self) -> &PpqSummary {
+        &self.summary
+    }
+
+    /// Consume the handle, yielding the summary.
+    pub fn into_summary(self) -> PpqSummary {
+        self.summary
+    }
+
+    #[inline]
+    pub fn config(&self) -> &PpqConfig {
+        &self.summary.config
+    }
+
+    /// Convenience passthrough.
+    pub fn reconstruct(&self, id: TrajId, t: u32) -> Option<Point> {
+        self.summary.reconstruct(id, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use ppq_traj::synth::{porto_like, PortoConfig};
+
+    fn small_porto() -> Dataset {
+        porto_like(&PortoConfig {
+            trajectories: 25,
+            mean_len: 50,
+            min_len: 30,
+            start_spread: 10,
+            seed: 42,
+        })
+    }
+
+    #[test]
+    fn error_bound_holds_with_cqc() {
+        let data = small_porto();
+        let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+        let built = PpqTrajectory::build(&data, &cfg);
+        let bound = cfg.cqc_error_bound();
+        assert!(
+            built.summary().max_error(&data) <= bound + 1e-12,
+            "max error {} exceeds CQC bound {bound}",
+            built.summary().max_error(&data)
+        );
+    }
+
+    #[test]
+    fn error_bound_holds_without_cqc() {
+        let data = small_porto();
+        let cfg = PpqConfig::variant(Variant::PpqSBasic, 0.1);
+        let built = PpqTrajectory::build(&data, &cfg);
+        assert!(built.summary().max_error(&data) <= cfg.eps1 + 1e-12);
+    }
+
+    #[test]
+    fn all_variants_build_and_bound() {
+        let data = small_porto();
+        for v in Variant::ALL {
+            let cfg = PpqConfig::variant(v, 0.1);
+            let built = PpqTrajectory::build(&data, &cfg);
+            let bound = cfg.guaranteed_deviation();
+            let max_err = built.summary().max_error(&data);
+            assert!(max_err <= bound + 1e-12, "{}: {} > {}", v.name(), max_err, bound);
+            assert_eq!(built.summary().num_points(), data.num_points());
+        }
+    }
+
+    #[test]
+    fn replay_matches_materialized_reconstruction() {
+        let data = small_porto();
+        for v in [Variant::PpqA, Variant::PpqSBasic, Variant::EPq, Variant::QTrajectory] {
+            let cfg = PpqConfig::variant(v, 0.1);
+            let built = PpqTrajectory::build(&data, &cfg);
+            let s = built.summary();
+            for traj in data.trajectories() {
+                let replayed = s.replay(traj.id);
+                for (off, rp) in replayed.iter().enumerate() {
+                    let cached = s.reconstruct(traj.id, traj.start + off as u32).unwrap();
+                    assert!(
+                        rp.dist(&cached) < 1e-9,
+                        "{}: replay diverges at traj {} off {off}",
+                        v.name(),
+                        traj.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prediction_shrinks_codebook_vs_raw() {
+        let data = small_porto();
+        let epq = PpqTrajectory::build(&data, &PpqConfig::variant(Variant::EPq, 0.1));
+        let qtraj = PpqTrajectory::build(&data, &PpqConfig::variant(Variant::QTrajectory, 0.1));
+        assert!(
+            epq.summary().codebook_len() < qtraj.summary().codebook_len(),
+            "E-PQ codebook {} should beat Q-trajectory {}",
+            epq.summary().codebook_len(),
+            qtraj.summary().codebook_len()
+        );
+    }
+
+    #[test]
+    fn partitioning_shrinks_codebook_vs_single() {
+        let data = porto_like(&PortoConfig {
+            trajectories: 60,
+            mean_len: 60,
+            min_len: 30,
+            start_spread: 10,
+            seed: 7,
+        });
+        let ppq = PpqTrajectory::build(&data, &PpqConfig::variant(Variant::PpqSBasic, 0.02));
+        let epq = PpqTrajectory::build(&data, &PpqConfig::variant(Variant::EPq, 0.02));
+        // Partitioned prediction should not be (much) worse; typically it
+        // is strictly better on heterogeneous data.
+        assert!(
+            ppq.summary().codebook_len() as f64 <= epq.summary().codebook_len() as f64 * 1.25,
+            "PPQ-S {} vs E-PQ {}",
+            ppq.summary().codebook_len(),
+            epq.summary().codebook_len()
+        );
+    }
+
+    #[test]
+    fn budgeted_build_uses_per_step_codebooks() {
+        let data = small_porto();
+        let cfg = PpqConfig {
+            budget: BuildBudget::PerStepBits(5),
+            build_index: false,
+            ..PpqConfig::variant(Variant::PpqA, 0.1)
+        };
+        let built = PpqTrajectory::build(&data, &cfg);
+        match &built.summary().codebook {
+            CodebookStore::PerStep(books) => {
+                assert!(!books.is_empty());
+                assert!(books.iter().all(|b| b.len() <= 32));
+            }
+            _ => panic!("expected per-step codebooks"),
+        }
+        // MAE exists and is finite.
+        assert!(built.summary().mae_meters(&data).is_finite());
+    }
+
+    #[test]
+    fn compression_ratio_above_one() {
+        // Compression only pays once partitions amortize over enough
+        // trajectories, so this test uses a denser dataset than the rest.
+        let data = porto_like(&PortoConfig {
+            trajectories: 120,
+            mean_len: 80,
+            min_len: 30,
+            start_spread: 10,
+            seed: 77,
+        });
+        let built = PpqTrajectory::build(&data, &PpqConfig::variant(Variant::PpqABasic, 0.1));
+        let ratio = built.summary().compression_ratio(&data);
+        assert!(ratio > 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn stats_populated() {
+        let data = small_porto();
+        let built = PpqTrajectory::build(&data, &PpqConfig::variant(Variant::PpqA, 0.1));
+        let stats = built.summary().stats();
+        assert!(!stats.partitions_per_step.is_empty());
+        assert!(stats.total.as_nanos() > 0);
+        assert!(built.summary().tpi().is_some());
+    }
+
+    #[test]
+    fn empty_dataset_builds() {
+        let data = Dataset::new(vec![]);
+        let built = PpqTrajectory::build(&data, &PpqConfig::default());
+        assert_eq!(built.summary().num_points(), 0);
+        assert_eq!(built.summary().codebook_len(), 0);
+    }
+
+    #[test]
+    fn streaming_equals_batch() {
+        let data = small_porto();
+        let cfg = PpqConfig::variant(Variant::PpqA, 0.1);
+        let batch = PpqTrajectory::build(&data, &cfg);
+        let mut stream = PpqStream::new(cfg);
+        for slice in data.time_slices() {
+            stream.push_slice(slice.t, slice.points);
+        }
+        let s = stream.finish();
+        assert_eq!(s.num_points(), batch.summary().num_points());
+        assert_eq!(s.codebook_len(), batch.summary().codebook_len());
+        for traj in data.trajectories() {
+            for off in 0..traj.len() {
+                let t = traj.start + off as u32;
+                let a = s.reconstruct(traj.id, t).unwrap();
+                let b = batch.summary().reconstruct(traj.id, t).unwrap();
+                assert!(a.dist(&b) < 1e-12, "divergence at traj {} t {t}", traj.id);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive timesteps")]
+    fn stream_rejects_time_gaps() {
+        let mut stream = PpqStream::new(PpqConfig::default());
+        stream.push_slice(0, &[(0, Point::new(0.0, 0.0))]);
+        stream.push_slice(2, &[(0, Point::new(0.0, 0.0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reappeared after a gap")]
+    fn stream_rejects_gappy_trajectory() {
+        let mut stream = PpqStream::new(PpqConfig::default());
+        stream.push_slice(0, &[(0, Point::new(0.0, 0.0)), (1, Point::new(1.0, 1.0))]);
+        stream.push_slice(1, &[(1, Point::new(1.0, 1.0))]);
+        stream.push_slice(2, &[(0, Point::new(0.0, 0.0)), (1, Point::new(1.0, 1.0))]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Spatio-temporal query processing over the quantized summary (§5.2).
+//!
+//! **STRQ** (Definition 5.2) retrieves the trajectories in the `g_c` grid
+//! cell containing `(x, y)` at time `t`. Methods answer it at three
+//! levels:
+//!
+//! * *approximate* — trajectories whose **reconstructed** position falls
+//!   in the cell (what Table 2's precision/recall scores for the non-CQC
+//!   methods measure);
+//! * *local search* — scan every cell within the reconstruction bound of
+//!   the query cell (the CQC-enabled radius `(√2/2)·g_s`), giving a
+//!   candidate list that provably contains all true answers (recall 1);
+//! * *exact* — refine candidates against the original trajectories so
+//!   precision is 1 too. The number of candidates accessed is Table 4's
+//!   "ratio of trajectories visited".
+//!
+//! **TPQ** (Definition 5.3) runs an STRQ and reproduces the next `l`
+//! positions of the matching trajectories from the summary.
+
+use crate::summary::PpqSummary;
+use ppq_geo::{BBox, GridSpec, Point};
+use ppq_tpi::Tpi;
+use ppq_traj::{Dataset, TrajId};
+
+/// Anything that can answer "where does the summary say trajectory `id`
+/// was at time `t`" and expose a TPI over those positions. Implemented by
+/// [`PpqSummary`] and by every baseline, so one evaluation path serves all
+/// methods.
+pub trait ReconIndex {
+    fn recon(&self, id: TrajId, t: u32) -> Option<Point>;
+    fn index(&self) -> Option<&Tpi>;
+    /// Radius within which the reconstruction is guaranteed (or expected)
+    /// to sit around the true point — the local-search radius.
+    fn search_radius(&self) -> f64;
+}
+
+impl ReconIndex for PpqSummary {
+    fn recon(&self, id: TrajId, t: u32) -> Option<Point> {
+        self.reconstruct(id, t)
+    }
+
+    fn index(&self) -> Option<&Tpi> {
+        self.tpi()
+    }
+
+    fn search_radius(&self) -> f64 {
+        self.config().guaranteed_deviation()
+    }
+}
+
+/// Result of one STRQ at all three answer levels.
+#[derive(Clone, Debug)]
+pub struct StrqOutcome {
+    /// Ground truth: ids whose *original* point is in the query cell.
+    pub truth: Vec<TrajId>,
+    /// Approximate answer (reconstructed point in the cell).
+    pub approx: Vec<TrajId>,
+    /// Local-search candidate list (reconstructed point within the search
+    /// radius of the cell).
+    pub candidates: Vec<TrajId>,
+    /// Exact answer: candidates whose original point is in the cell.
+    pub exact: Vec<TrajId>,
+    /// Trajectories accessed during refinement (= `candidates.len()`).
+    pub visited: usize,
+}
+
+/// Precision/recall of `returned` against `truth` (both sorted sets).
+pub fn precision_recall(returned: &[TrajId], truth: &[TrajId]) -> (f64, f64) {
+    if returned.is_empty() && truth.is_empty() {
+        return (1.0, 1.0);
+    }
+    let tp = returned.iter().filter(|id| truth.binary_search(id).is_ok()).count() as f64;
+    let precision = if returned.is_empty() { 1.0 } else { tp / returned.len() as f64 };
+    let recall = if truth.is_empty() { 1.0 } else { tp / truth.len() as f64 };
+    (precision, recall)
+}
+
+/// Query engine binding a summary-like index to its original dataset.
+pub struct QueryEngine<'a, S: ReconIndex + ?Sized> {
+    index: &'a S,
+    dataset: &'a Dataset,
+    /// Canonical query grid: a uniform `g_c` grid over the dataset extent.
+    /// Using one grid for every method makes precision/recall comparable
+    /// across methods (the paper keeps `g_c` fixed at 100 m for the same
+    /// reason).
+    grid: GridSpec,
+}
+
+impl<'a, S: ReconIndex + ?Sized> QueryEngine<'a, S> {
+    pub fn new(index: &'a S, dataset: &'a Dataset, gc: f64) -> QueryEngine<'a, S> {
+        let bbox = dataset.bbox().unwrap_or(BBox::from_extents(0.0, 0.0, 1.0, 1.0));
+        QueryEngine { index, dataset, grid: GridSpec::covering(&bbox.inflate(gc), gc) }
+    }
+
+    /// The canonical `g_c` cell containing `p`.
+    pub fn cell_bbox(&self, p: &Point) -> Option<BBox> {
+        self.grid.locate(p).map(|(cx, cy)| self.grid.cell_bbox(cx, cy))
+    }
+
+    /// Ground truth for STRQ at `(p, t)`.
+    pub fn truth(&self, t: u32, p: &Point) -> Vec<TrajId> {
+        let Some(cell) = self.cell_bbox(p) else {
+            return Vec::new();
+        };
+        let mut out: Vec<TrajId> = self
+            .dataset
+            .points_at(t)
+            .iter()
+            .filter(|(_, q)| cell.contains(q))
+            .map(|(id, _)| *id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Ids the TPI proposes for a rectangle, filtered by the actual
+    /// reconstructed position (the TPI's region grids do not align with
+    /// the canonical query grid, so the rect query over-approximates).
+    fn recon_in_rect(&self, t: u32, rect: &BBox) -> Vec<TrajId> {
+        let raw: Vec<TrajId> = match self.index.index() {
+            Some(tpi) => tpi.query_rect(t, rect),
+            // Index-free fallback: scan the active set.
+            None => self.dataset.points_at(t).iter().map(|(id, _)| *id).collect(),
+        };
+        let mut out: Vec<TrajId> = raw
+            .into_iter()
+            .filter(|id| {
+                self.index.recon(*id, t).map(|r| rect.contains(&r)).unwrap_or(false)
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Run one STRQ at all answer levels.
+    pub fn strq(&self, t: u32, p: &Point) -> StrqOutcome {
+        let truth = self.truth(t, p);
+        let Some(cell) = self.cell_bbox(p) else {
+            return StrqOutcome {
+                truth,
+                approx: Vec::new(),
+                candidates: Vec::new(),
+                exact: Vec::new(),
+                visited: 0,
+            };
+        };
+        let approx = self.recon_in_rect(t, &cell);
+        let candidates = self.recon_in_rect(t, &cell.inflate(self.index.search_radius()));
+        let visited = candidates.len();
+        // Refinement: access the original trajectory of every candidate.
+        let exact: Vec<TrajId> = candidates
+            .iter()
+            .copied()
+            .filter(|id| {
+                self.dataset
+                    .trajectory(*id)
+                    .at(t)
+                    .map(|q| cell.contains(&q))
+                    .unwrap_or(false)
+            })
+            .collect();
+        StrqOutcome { truth, approx, candidates, exact, visited }
+    }
+
+    /// TPQ (Definition 5.3): the exact STRQ ids plus their reconstructed
+    /// sub-trajectories over `[t, t + l]`.
+    pub fn tpq(&self, t: u32, p: &Point, l: u32) -> Vec<(TrajId, Vec<(u32, Point)>)> {
+        let outcome = self.strq(t, p);
+        outcome
+            .exact
+            .iter()
+            .map(|&id| {
+                let sub: Vec<(u32, Point)> = (t..=t.saturating_add(l))
+                    .filter_map(|tt| self.index.recon(id, tt).map(|r| (tt, r)))
+                    .collect();
+                (id, sub)
+            })
+            .collect()
+    }
+
+    /// Reconstructed sub-trajectory for specific ids (the Table 3 protocol
+    /// fixes the same ids across methods).
+    pub fn sub_trajectory(&self, id: TrajId, t: u32, l: u32) -> Vec<(u32, Point)> {
+        (t..=t.saturating_add(l))
+            .filter_map(|tt| self.index.recon(id, tt).map(|r| (tt, r)))
+            .collect()
+    }
+
+    #[inline]
+    pub fn dataset(&self) -> &Dataset {
+        self.dataset
+    }
+
+    #[inline]
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PpqConfig, Variant};
+    use crate::pipeline::PpqTrajectory;
+    use ppq_traj::synth::{porto_like, PortoConfig};
+
+    fn setup() -> (Dataset, PpqTrajectory) {
+        let data = porto_like(&PortoConfig {
+            trajectories: 30,
+            mean_len: 45,
+            min_len: 30,
+            start_spread: 8,
+            seed: 11,
+        });
+        let built = PpqTrajectory::build(&data, &PpqConfig::variant(Variant::PpqS, 0.1));
+        (data, built)
+    }
+
+    #[test]
+    fn exact_strq_is_perfect_with_cqc() {
+        let (data, built) = setup();
+        let gc = built.config().tpi.pi.gc;
+        let engine = QueryEngine::new(built.summary(), &data, gc);
+        let mut checked = 0;
+        for (id, t, p) in data.iter_points().step_by(97) {
+            let out = engine.strq(t, &p);
+            // The querying trajectory itself must be in the truth...
+            assert!(out.truth.contains(&id));
+            // ...and the exact answer equals the truth (P = R = 1).
+            assert_eq!(out.exact, out.truth, "mismatch at id {id} t {t}");
+            checked += 1;
+        }
+        assert!(checked > 10);
+    }
+
+    #[test]
+    fn local_search_has_recall_one() {
+        let (data, built) = setup();
+        let gc = built.config().tpi.pi.gc;
+        let engine = QueryEngine::new(built.summary(), &data, gc);
+        for (_, t, p) in data.iter_points().step_by(131) {
+            let out = engine.strq(t, &p);
+            let (_, recall) = precision_recall(&out.candidates, &out.truth);
+            assert_eq!(recall, 1.0, "candidates missed a true answer at t {t}");
+        }
+    }
+
+    #[test]
+    fn approx_reasonable_without_cqc() {
+        let data = porto_like(&PortoConfig {
+            trajectories: 30,
+            mean_len: 45,
+            min_len: 30,
+            start_spread: 8,
+            seed: 12,
+        });
+        let built = PpqTrajectory::build(&data, &PpqConfig::variant(Variant::PpqSBasic, 0.1));
+        let gc = built.config().tpi.pi.gc;
+        let engine = QueryEngine::new(built.summary(), &data, gc);
+        let mut p_sum = 0.0;
+        let mut r_sum = 0.0;
+        let mut n = 0.0;
+        for (_, t, p) in data.iter_points().step_by(61) {
+            let out = engine.strq(t, &p);
+            let (prec, rec) = precision_recall(&out.approx, &out.truth);
+            p_sum += prec;
+            r_sum += rec;
+            n += 1.0;
+        }
+        // With ε₁ ≈ 111 m against a 100 m cell the approximate answer is
+        // noticeably imperfect but far better than random.
+        assert!(p_sum / n > 0.3, "precision {}", p_sum / n);
+        assert!(r_sum / n > 0.3, "recall {}", r_sum / n);
+        assert!(p_sum / n < 1.0 || r_sum / n < 1.0);
+    }
+
+    #[test]
+    fn tpq_returns_future_positions() {
+        let (data, built) = setup();
+        let gc = built.config().tpi.pi.gc;
+        let engine = QueryEngine::new(built.summary(), &data, gc);
+        // Find a query point with a long remaining trajectory.
+        let traj = &data.trajectories()[0];
+        let t = traj.start;
+        let p = traj.points[0];
+        let results = engine.tpq(t, &p, 10);
+        assert!(!results.is_empty());
+        let (_, sub) = results.iter().find(|(id, _)| *id == traj.id).expect("self in TPQ");
+        assert_eq!(sub.len(), 11);
+        assert_eq!(sub[0].0, t);
+        // Reconstructed path stays near the true path.
+        for (tt, rp) in sub {
+            let truth = traj.at(*tt).unwrap();
+            assert!(truth.dist(rp) <= built.config().cqc_error_bound() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn precision_recall_edge_cases() {
+        assert_eq!(precision_recall(&[], &[]), (1.0, 1.0));
+        assert_eq!(precision_recall(&[1, 2], &[]), (0.0, 1.0));
+        assert_eq!(precision_recall(&[], &[1]), (1.0, 0.0));
+        let (p, r) = precision_recall(&[1, 2, 3], &[2, 3, 4, 5]);
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queries_outside_extent_are_empty() {
+        let (data, built) = setup();
+        let gc = built.config().tpi.pi.gc;
+        let engine = QueryEngine::new(built.summary(), &data, gc);
+        let out = engine.strq(0, &Point::new(500.0, 500.0));
+        assert!(out.truth.is_empty() && out.exact.is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! The CQC bit code: a fixed-depth sequence of 2-bit quadrant labels.
+
+/// Quadrant labels follow the paper (§4.1): `00` upper-left, `01`
+/// upper-right, `10` lower-left, `11` lower-right.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Quadrant {
+    UpperLeft = 0b00,
+    UpperRight = 0b01,
+    LowerLeft = 0b10,
+    LowerRight = 0b11,
+}
+
+impl Quadrant {
+    pub fn from_bits(bits: u8) -> Quadrant {
+        match bits & 0b11 {
+            0b00 => Quadrant::UpperLeft,
+            0b01 => Quadrant::UpperRight,
+            0b10 => Quadrant::LowerLeft,
+            _ => Quadrant::LowerRight,
+        }
+    }
+
+    /// Sign of the quadrant's displacement from the parent centre,
+    /// `(sgn_x, sgn_y)`.
+    #[inline]
+    pub fn signs(self) -> (i64, i64) {
+        match self {
+            Quadrant::UpperLeft => (-1, 1),
+            Quadrant::UpperRight => (1, 1),
+            Quadrant::LowerLeft => (-1, -1),
+            Quadrant::LowerRight => (1, -1),
+        }
+    }
+}
+
+/// A CQC code: up to 31 levels of 2-bit quadrant labels packed in a `u64`.
+///
+/// All leaves of a template sit at the same depth (the padded size
+/// sequence is the same along every branch), so codes of one template all
+/// have the same `depth` and the bit cost per point is `2·depth`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct CqcCode {
+    bits: u64,
+    depth: u8,
+}
+
+impl CqcCode {
+    pub const EMPTY: CqcCode = CqcCode { bits: 0, depth: 0 };
+
+    /// Construct from a list of quadrants, root-first.
+    pub fn from_quadrants(quads: &[Quadrant]) -> CqcCode {
+        assert!(quads.len() <= 31, "CQC depth {} exceeds the packed capacity", quads.len());
+        let mut bits = 0u64;
+        for (i, q) in quads.iter().enumerate() {
+            bits |= (*q as u64) << (2 * i);
+        }
+        CqcCode { bits, depth: quads.len() as u8 }
+    }
+
+    /// Append one quadrant (builder use).
+    pub fn push(&mut self, q: Quadrant) {
+        assert!(self.depth < 31);
+        self.bits |= (q as u64) << (2 * self.depth);
+        self.depth += 1;
+    }
+
+    /// Quadrant at `level` (0 = root split).
+    #[inline]
+    pub fn level(&self, level: u8) -> Quadrant {
+        debug_assert!(level < self.depth);
+        Quadrant::from_bits(((self.bits >> (2 * level)) & 0b11) as u8)
+    }
+
+    #[inline]
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// Storage cost in bits.
+    #[inline]
+    pub fn len_bits(&self) -> u32 {
+        2 * self.depth as u32
+    }
+
+    /// Iterate quadrants root-first.
+    pub fn iter(&self) -> impl Iterator<Item = Quadrant> + '_ {
+        (0..self.depth).map(move |l| self.level(l))
+    }
+
+    /// Raw packed bits (for bit-stream serialization together with the
+    /// template's fixed depth).
+    #[inline]
+    pub fn raw_bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Rebuild from raw bits + depth (inverse of [`CqcCode::raw_bits`]).
+    pub fn from_raw(bits: u64, depth: u8) -> CqcCode {
+        assert!(depth <= 31);
+        let mask = if depth == 0 { 0 } else { (1u64 << (2 * depth)) - 1 };
+        CqcCode { bits: bits & mask, depth }
+    }
+
+    /// Binary string, root-first — matches the paper's presentation
+    /// (e.g. "001110" for its example node `n₁`).
+    pub fn to_binary_string(&self) -> String {
+        let mut s = String::with_capacity(self.depth as usize * 2);
+        for q in self.iter() {
+            s.push_str(match q {
+                Quadrant::UpperLeft => "00",
+                Quadrant::UpperRight => "01",
+                Quadrant::LowerLeft => "10",
+                Quadrant::LowerRight => "11",
+            });
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack() {
+        let quads = [Quadrant::UpperLeft, Quadrant::LowerRight, Quadrant::LowerLeft];
+        let code = CqcCode::from_quadrants(&quads);
+        assert_eq!(code.depth(), 3);
+        assert_eq!(code.len_bits(), 6);
+        let back: Vec<Quadrant> = code.iter().collect();
+        assert_eq!(back, quads);
+    }
+
+    #[test]
+    fn push_matches_from_quadrants() {
+        let mut c = CqcCode::EMPTY;
+        c.push(Quadrant::UpperRight);
+        c.push(Quadrant::UpperLeft);
+        assert_eq!(c, CqcCode::from_quadrants(&[Quadrant::UpperRight, Quadrant::UpperLeft]));
+    }
+
+    #[test]
+    fn binary_string_matches_paper_example_format() {
+        let code = CqcCode::from_quadrants(&[
+            Quadrant::UpperLeft,  // 00
+            Quadrant::LowerRight, // 11
+            Quadrant::LowerLeft,  // 10
+        ]);
+        assert_eq!(code.to_binary_string(), "001110");
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let code = CqcCode::from_quadrants(&[Quadrant::LowerLeft, Quadrant::UpperRight]);
+        let back = CqcCode::from_raw(code.raw_bits(), code.depth());
+        assert_eq!(back, code);
+    }
+
+    #[test]
+    fn signs() {
+        assert_eq!(Quadrant::UpperLeft.signs(), (-1, 1));
+        assert_eq!(Quadrant::LowerRight.signs(), (1, -1));
+    }
+
+    #[test]
+    fn empty_code() {
+        assert_eq!(CqcCode::EMPTY.depth(), 0);
+        assert_eq!(CqcCode::EMPTY.len_bits(), 0);
+        assert_eq!(CqcCode::EMPTY.to_binary_string(), "");
+    }
+}

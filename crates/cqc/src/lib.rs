@@ -1,0 +1,30 @@
+//! Coordinate Quadtree Coding (CQC) — paper §4.
+//!
+//! The error-bounded codebook guarantees `‖(x,y) − (x̂,ŷ)‖ ≤ ε₁`, i.e. the
+//! *deviation* `(x,y) − (x̂,ŷ)` lies in a disc of radius `ε₁`. CQC covers
+//! the minimum square around that disc with an `n×n` grid of cells of side
+//! `g_s` and builds a quadtree over the grid; the short binary code of the
+//! cell containing the deviation is stored per point, cutting the
+//! reconstruction error to `≤ (√2/2)·g_s` (paper Lemma 3).
+//!
+//! Two implementation points deserve a note (DESIGN.md §3 has the full
+//! discussion):
+//!
+//! * **Padding.** Odd-sized subspaces are padded *outward* (away from the
+//!   parent centre; paper Figure 3) so that the inner corner of every
+//!   subspace coincides with its parent's centre. That invariant is what
+//!   makes the arithmetic decoder below (paper Eqs. 9–10) agree with the
+//!   geometric cell centres: a padded subspace of size `s` has its centre
+//!   at `(± s/2, ± s/2)` relative to its parent's centre. The root pads
+//!   toward the upper-left (paper Figure 3a).
+//! * **Grid alignment.** The grid is aligned so that the true point sits
+//!   at the centre of the centre cell ("(x, y) is fixed at the center cell
+//!   of S_gs", §4.2); we force `n` odd so the centre cell exists. Then
+//!   Eq. 11's difference `c_cqc1 − c_cqc2` cancels the asymmetric root
+//!   padding exactly and the Lemma 3 bound is tight.
+
+pub mod code;
+pub mod template;
+
+pub use code::CqcCode;
+pub use template::CqcTemplate;

@@ -1,0 +1,384 @@
+//! The coordinate quadtree template (paper Algorithm 2).
+//!
+//! Given `ε₁` and `g_s` the quadtree is *fixed* — "a unified and fixed
+//! coordinate quadtree is obtained … stored as a template" (§4.2) — so we
+//! build it once, derive an encode table (cell → code) and both decoders,
+//! and share the template across every point of the summary.
+
+use crate::code::{CqcCode, Quadrant};
+use ppq_geo::Point;
+use std::collections::HashMap;
+
+/// A built coordinate quadtree for one `(ε₁, g_s)` pair.
+#[derive(Clone, Debug)]
+pub struct CqcTemplate {
+    /// Odd grid side, in cells. The grid covers `[-n·g_s/2, n·g_s/2]²` of
+    /// deviation space so that deviation 0 is the centre of the centre
+    /// cell.
+    n: i64,
+    gs: f64,
+    /// Uniform leaf depth; every code is `2·depth` bits.
+    depth: u8,
+    /// Padded root size in cells.
+    root_size: i64,
+    /// cell → code, indexed `iy·n + ix`.
+    encode_table: Vec<CqcCode>,
+    /// code bits → cell, for the geometric decoder.
+    decode_table: HashMap<u64, (i64, i64)>,
+    /// Arithmetic decode of the centre cell's code (`c_cqc1` of Eq. 11).
+    center_arith: (f64, f64),
+    /// The centre cell's code itself (stored once, not per point — §4.2).
+    center_code: CqcCode,
+}
+
+impl CqcTemplate {
+    /// Grid side for a deviation disc of radius `eps1` and cell side `gs`:
+    /// `ceil(2·ε₁/g_s)` forced odd so the centre cell exists.
+    pub fn grid_side(eps1: f64, gs: f64) -> i64 {
+        assert!(eps1 > 0.0 && gs > 0.0);
+        let n = (2.0 * eps1 / gs).ceil() as i64;
+        let n = n.max(1);
+        if n % 2 == 0 {
+            n + 1
+        } else {
+            n
+        }
+    }
+
+    pub fn new(eps1: f64, gs: f64) -> CqcTemplate {
+        Self::with_grid_side(Self::grid_side(eps1, gs), gs)
+    }
+
+    /// Build directly from an (odd) grid side. Exposed for tests that
+    /// reproduce the paper's 5×5 example.
+    pub fn with_grid_side(n: i64, gs: f64) -> CqcTemplate {
+        assert!(n >= 1 && n % 2 == 1, "grid side must be odd, got {n}");
+        assert!(gs > 0.0);
+        let mut builder = Builder { n, encode: vec![CqcCode::EMPTY; (n * n) as usize], decode: HashMap::new(), depth: 0 };
+        // Root: the n×n grid occupies cells [0, n)². When n > 1 it is odd
+        // and padded toward the upper-left (paper Figure 3a): one extra
+        // column on the left and one extra row on top.
+        let root_size = if n == 1 { 1 } else { n + 1 };
+        if n > 1 {
+            builder.split(-1, 0, root_size, CqcCode::EMPTY);
+        } else {
+            builder.leaf(0, 0, CqcCode::EMPTY);
+        }
+        let Builder { encode: encode_table, decode: decode_table, depth, .. } = builder;
+
+        let mut t = CqcTemplate {
+            n,
+            gs,
+            depth,
+            root_size,
+            encode_table,
+            decode_table,
+            center_arith: (0.0, 0.0),
+            center_code: CqcCode::EMPTY,
+        };
+        let center = n / 2;
+        t.center_code = t.code_of_cell(center, center);
+        t.center_arith = t.arith(&t.center_code);
+        t
+    }
+
+    #[inline]
+    pub fn n(&self) -> i64 {
+        self.n
+    }
+
+    #[inline]
+    pub fn gs(&self) -> f64 {
+        self.gs
+    }
+
+    /// Uniform code depth (levels of 2-bit labels).
+    #[inline]
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// Bits charged per stored point.
+    #[inline]
+    pub fn bits_per_point(&self) -> u32 {
+        2 * self.depth as u32
+    }
+
+    /// Lemma 3: the residual error after CQC is at most `(√2/2)·g_s`.
+    #[inline]
+    pub fn error_bound(&self) -> f64 {
+        std::f64::consts::FRAC_1_SQRT_2 * self.gs
+    }
+
+    /// The constant `c_cqc1` code of the centre cell (§4.2).
+    #[inline]
+    pub fn center_code(&self) -> CqcCode {
+        self.center_code
+    }
+
+    /// Code of a grid cell.
+    #[inline]
+    pub fn code_of_cell(&self, ix: i64, iy: i64) -> CqcCode {
+        debug_assert!(ix >= 0 && ix < self.n && iy >= 0 && iy < self.n);
+        self.encode_table[(iy * self.n + ix) as usize]
+    }
+
+    /// Encode a deviation vector (true point minus reconstructed point).
+    /// Deviations outside the grid (possible only when the codebook bound
+    /// was not enforced, e.g. budgeted builds) are clamped to the nearest
+    /// boundary cell.
+    pub fn encode(&self, dev: Point) -> CqcCode {
+        let half = self.n as f64 * self.gs * 0.5;
+        let ix = (((dev.x + half) / self.gs).floor() as i64).clamp(0, self.n - 1);
+        let iy = (((dev.y + half) / self.gs).floor() as i64).clamp(0, self.n - 1);
+        self.code_of_cell(ix, iy)
+    }
+
+    /// Decode a code to the quantized deviation — the centre of the coded
+    /// cell — using the arithmetic rule of paper Eqs. 9–11:
+    /// `g_s · (c_code − c_cqc1)`.
+    pub fn decode(&self, code: CqcCode) -> Point {
+        let (cx, cy) = self.arith(&code);
+        Point::new((cx - self.center_arith.0) * self.gs, (cy - self.center_arith.1) * self.gs)
+    }
+
+    /// Geometric decoder: look up the leaf cell and return its centre from
+    /// the grid geometry directly. Exists to cross-validate [`Self::decode`]
+    /// (the tests assert they agree on every cell).
+    pub fn decode_geometric(&self, code: CqcCode) -> Option<Point> {
+        let &(ix, iy) = self.decode_table.get(&code.raw_bits())?;
+        let half = self.n as f64 * self.gs * 0.5;
+        Some(Point::new(
+            (ix as f64 + 0.5) * self.gs - half,
+            (iy as f64 + 0.5) * self.gs - half,
+        ))
+    }
+
+    /// Arithmetic position of the coded leaf cell's centre relative to the
+    /// padded root's centre, in cell units — the sum `Σ ½·SC'` of Eq. 9
+    /// with `SC'` from Eq. 10 (`SC' = 2⌈s/2⌉·(sgn x, sgn y)` for a subspace
+    /// of odd size `s`, unchanged when `s` is 1 or even).
+    fn arith(&self, code: &CqcCode) -> (f64, f64) {
+        let mut s = self.root_size; // padded size at current level
+        let mut x = 0.0f64;
+        let mut y = 0.0f64;
+        for q in code.iter() {
+            let u = s / 2; // unpadded child size
+            let sc = if u <= 1 || u % 2 == 0 { u } else { u + 1 }; // Eq. 10
+            let (sx, sy) = q.signs();
+            x += sx as f64 * sc as f64 * 0.5;
+            y += sy as f64 * sc as f64 * 0.5;
+            s = sc;
+        }
+        (x, y)
+    }
+
+    /// Size of the template if serialized (stored once per summary):
+    /// the decode table as (code bits, cell) triples.
+    pub fn size_bytes(&self) -> usize {
+        // 8 bytes of packed code + 2×4 bytes of cell index per leaf, plus
+        // the scalar header.
+        self.decode_table.len() * 16 + 32
+    }
+
+    /// Number of real (non-padding) leaf cells.
+    pub fn num_cells(&self) -> usize {
+        self.decode_table.len()
+    }
+}
+
+/// Recursive construction state.
+struct Builder {
+    n: i64,
+    encode: Vec<CqcCode>,
+    decode: HashMap<u64, (i64, i64)>,
+    depth: u8,
+}
+
+impl Builder {
+    /// True when the rect `[x0, x0+s) × [y0, y0+s)` contains at least one
+    /// real cell of the `n×n` grid.
+    fn has_real_cells(&self, x0: i64, y0: i64, s: i64) -> bool {
+        x0 < self.n && y0 < self.n && x0 + s > 0 && y0 + s > 0
+    }
+
+    fn leaf(&mut self, ix: i64, iy: i64, code: CqcCode) {
+        if ix >= 0 && ix < self.n && iy >= 0 && iy < self.n {
+            self.encode[(iy * self.n + ix) as usize] = code;
+            self.decode.insert(code.raw_bits(), (ix, iy));
+            self.depth = self.depth.max(code.depth());
+        }
+    }
+
+    /// Split a *padded* (even-size) rect into its four quadrants and
+    /// recurse. Children pad themselves outward before their own split
+    /// (partition_padding in the paper).
+    fn split(&mut self, x0: i64, y0: i64, s: i64, code: CqcCode) {
+        debug_assert!(s % 2 == 0 && s >= 2);
+        let h = s / 2;
+        let children = [
+            (Quadrant::UpperLeft, x0, y0 + h),
+            (Quadrant::UpperRight, x0 + h, y0 + h),
+            (Quadrant::LowerLeft, x0, y0),
+            (Quadrant::LowerRight, x0 + h, y0),
+        ];
+        for (q, cx0, cy0) in children {
+            if !self.has_real_cells(cx0, cy0, h) {
+                continue; // stopping condition: empty subspace
+            }
+            let mut child_code = code;
+            child_code.push(q);
+            if h == 1 {
+                self.leaf(cx0, cy0, child_code);
+                continue;
+            }
+            // Pad outward (away from the parent centre) when odd.
+            let (px0, py0, ps) = if h % 2 == 1 {
+                match q {
+                    Quadrant::UpperLeft => (cx0 - 1, cy0, h + 1),
+                    Quadrant::UpperRight => (cx0, cy0, h + 1),
+                    Quadrant::LowerLeft => (cx0 - 1, cy0 - 1, h + 1),
+                    Quadrant::LowerRight => (cx0, cy0 - 1, h + 1),
+                }
+            } else {
+                (cx0, cy0, h)
+            };
+            self.split(px0, py0, ps, child_code);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example: a 5×5 grid (ε₁ ≈ 111 m, g_s = 50 m
+    /// gives ceil(222.6/50) = 5).
+    #[test]
+    fn paper_grid_side() {
+        let eps1 = 0.001;
+        let gs = 50.0 / 111_320.0;
+        assert_eq!(CqcTemplate::grid_side(eps1, gs), 5);
+    }
+
+    #[test]
+    fn five_by_five_has_uniform_six_bit_codes() {
+        let t = CqcTemplate::with_grid_side(5, 1.0);
+        // 5 (+pad 6) → 3 (+pad 4) → 2 → 1 : three levels, 6 bits.
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.bits_per_point(), 6);
+        assert_eq!(t.num_cells(), 25);
+    }
+
+    #[test]
+    fn every_cell_has_unique_code() {
+        for n in [1i64, 3, 5, 7, 9, 13, 23] {
+            let t = CqcTemplate::with_grid_side(n, 1.0);
+            let mut seen = std::collections::HashSet::new();
+            for iy in 0..n {
+                for ix in 0..n {
+                    let code = t.code_of_cell(ix, iy);
+                    assert_eq!(code.depth(), t.depth(), "n={n} cell=({ix},{iy})");
+                    assert!(seen.insert(code.raw_bits()), "duplicate code at n={n} ({ix},{iy})");
+                }
+            }
+            assert_eq!(seen.len(), (n * n) as usize);
+        }
+    }
+
+    #[test]
+    fn arithmetic_decoder_matches_geometry() {
+        for n in [1i64, 3, 5, 7, 11, 15, 21] {
+            let t = CqcTemplate::with_grid_side(n, 0.7);
+            for iy in 0..n {
+                for ix in 0..n {
+                    let code = t.code_of_cell(ix, iy);
+                    let geo = t.decode_geometric(code).unwrap();
+                    let arith = t.decode(code);
+                    assert!(
+                        geo.dist(&arith) < 1e-9,
+                        "n={n} cell=({ix},{iy}): geometric {geo:?} vs arithmetic {arith:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_error_bound_lemma3() {
+        let t = CqcTemplate::new(0.001, 50.0 / 111_320.0);
+        let bound = t.error_bound();
+        // Sample deviations across the disc of radius ε₁.
+        let eps1 = 0.001;
+        let steps = 40;
+        for i in 0..steps {
+            for j in 0..steps {
+                let dx = (i as f64 / (steps - 1) as f64 - 0.5) * 2.0 * eps1;
+                let dy = (j as f64 / (steps - 1) as f64 - 0.5) * 2.0 * eps1;
+                if (dx * dx + dy * dy).sqrt() > eps1 {
+                    continue;
+                }
+                let dev = Point::new(dx, dy);
+                let rec = t.decode(t.encode(dev));
+                assert!(
+                    dev.dist(&rec) <= bound + 1e-12,
+                    "deviation {dev:?} decoded to {rec:?}, err {} > bound {bound}",
+                    dev.dist(&rec)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_deviation_decodes_to_zero() {
+        // n is odd, so deviation 0 is the exact centre of the centre cell.
+        for n in [1i64, 5, 9] {
+            let t = CqcTemplate::with_grid_side(n, 2.0);
+            let rec = t.decode(t.encode(Point::ORIGIN));
+            assert!(rec.norm() < 1e-12, "n={n}: zero decoded to {rec:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_grid_deviation_clamps() {
+        let t = CqcTemplate::with_grid_side(5, 1.0);
+        let code = t.encode(Point::new(100.0, -100.0));
+        let rec = t.decode(code);
+        // Clamped to the outermost cell: |rec| is at the grid boundary.
+        assert!(rec.x > 1.0 && rec.y < -1.0);
+        assert!(rec.x <= 2.5 && rec.y >= -2.5);
+    }
+
+    #[test]
+    fn single_cell_template() {
+        let t = CqcTemplate::with_grid_side(1, 3.0);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.bits_per_point(), 0);
+        assert_eq!(t.encode(Point::new(0.4, -0.4)), CqcCode::EMPTY);
+        assert_eq!(t.decode(CqcCode::EMPTY), Point::ORIGIN);
+    }
+
+    #[test]
+    fn center_code_is_constant_cqc1() {
+        let t = CqcTemplate::with_grid_side(5, 1.0);
+        assert_eq!(t.center_code(), t.encode(Point::ORIGIN));
+    }
+
+    #[test]
+    fn template_size_is_dataset_independent() {
+        // "The construction of the coordinate quadtree and getting the CQC
+        // are independent of the dataset size when ε₁ and g_s are fixed."
+        let a = CqcTemplate::new(0.001, 0.0005);
+        let b = CqcTemplate::new(0.001, 0.0005);
+        assert_eq!(a.size_bytes(), b.size_bytes());
+        assert_eq!(a.depth(), b.depth());
+    }
+
+    #[test]
+    fn finer_grid_means_deeper_codes_and_tighter_error() {
+        let coarse = CqcTemplate::new(0.001, 0.0005);
+        let fine = CqcTemplate::new(0.001, 0.0001);
+        assert!(fine.depth() > coarse.depth());
+        assert!(fine.error_bound() < coarse.error_bound());
+    }
+}

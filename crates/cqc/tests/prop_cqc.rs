@@ -1,0 +1,63 @@
+//! Property tests for CQC: Lemma 3 and decoder agreement on random
+//! parameterisations.
+
+use ppq_cqc::CqcTemplate;
+use ppq_geo::Point;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 3: any in-disc deviation reconstructs within (√2/2)·g_s.
+    #[test]
+    fn lemma3_holds(
+        eps1 in 0.0005f64..0.01,
+        ratio in 1.1f64..40.0, // eps1 / gs
+        dx in -1.0f64..1.0,
+        dy in -1.0f64..1.0,
+    ) {
+        let gs = eps1 / ratio;
+        let t = CqcTemplate::new(eps1, gs);
+        // Scale (dx, dy) into the ε₁ disc.
+        let norm = (dx * dx + dy * dy).sqrt().max(1e-9);
+        let scale = eps1 * norm.min(1.0) / norm;
+        let dev = Point::new(dx * scale, dy * scale);
+        let rec = t.decode(t.encode(dev));
+        prop_assert!(dev.dist(&rec) <= t.error_bound() + 1e-12,
+            "err {} bound {}", dev.dist(&rec), t.error_bound());
+    }
+
+    /// The arithmetic (Eq. 9–10) and geometric decoders agree everywhere.
+    #[test]
+    fn decoders_agree(n_half in 0i64..16, gs in 0.01f64..10.0) {
+        let n = 2 * n_half + 1; // odd sides 1..33
+        let t = CqcTemplate::with_grid_side(n, gs);
+        for iy in 0..n {
+            for ix in 0..n {
+                let code = t.code_of_cell(ix, iy);
+                let geo = t.decode_geometric(code).unwrap();
+                let arith = t.decode(code);
+                prop_assert!(geo.dist(&arith) < 1e-9 * gs.max(1.0),
+                    "n={n} cell ({ix},{iy}): {geo:?} vs {arith:?}");
+            }
+        }
+    }
+
+    /// Encoding is the inverse of the decode table: encode(center of any
+    /// cell) returns that cell's code.
+    #[test]
+    fn encode_cell_centers_roundtrip(n_half in 0i64..12, gs in 0.05f64..5.0) {
+        let n = 2 * n_half + 1;
+        let t = CqcTemplate::with_grid_side(n, gs);
+        let half = n as f64 * gs * 0.5;
+        for iy in 0..n {
+            for ix in 0..n {
+                let center = Point::new(
+                    (ix as f64 + 0.5) * gs - half,
+                    (iy as f64 + 0.5) * gs - half,
+                );
+                prop_assert_eq!(t.encode(center), t.code_of_cell(ix, iy));
+            }
+        }
+    }
+}

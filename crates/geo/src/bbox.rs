@@ -1,0 +1,245 @@
+//! Axis-aligned bounding boxes (the paper's minimum rectangles `Rₙ`).
+
+use crate::point::Point;
+
+/// A closed axis-aligned rectangle `[min.x, max.x] × [min.y, max.y]`.
+///
+/// `BBox` is used for the minimum bounding rectangles of PI partitions
+/// (paper Algorithm 3 line 5), for the rectangles produced by overlap
+/// removal, and for TrajStore's quadtree cells.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BBox {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl BBox {
+    /// An "empty" box that any point will expand.
+    pub const EMPTY: BBox = BBox {
+        min: Point { x: f64::INFINITY, y: f64::INFINITY },
+        max: Point { x: f64::NEG_INFINITY, y: f64::NEG_INFINITY },
+    };
+
+    #[inline]
+    pub fn new(min: Point, max: Point) -> Self {
+        debug_assert!(min.x <= max.x && min.y <= max.y, "inverted bbox: {min:?}..{max:?}");
+        BBox { min, max }
+    }
+
+    /// Build from raw extents.
+    #[inline]
+    pub fn from_extents(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        BBox::new(Point::new(min_x, min_y), Point::new(max_x, max_y))
+    }
+
+    /// Minimum rectangle covering `points`; `None` when empty.
+    pub fn covering(points: impl IntoIterator<Item = Point>) -> Option<BBox> {
+        let mut b = BBox::EMPTY;
+        let mut any = false;
+        for p in points {
+            b.expand(&p);
+            any = true;
+        }
+        any.then_some(b)
+    }
+
+    /// True when the box covers no area and no point (the `EMPTY` state).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Grow to include `p`.
+    #[inline]
+    pub fn expand(&mut self, p: &Point) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Grow to include another box.
+    #[inline]
+    pub fn union(&self, other: &BBox) -> BBox {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        BBox { min: self.min.min(&other.min), max: self.max.max(&other.max) }
+    }
+
+    /// Closed-interval point containment.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// True when the interiors (plus shared edges) intersect.
+    #[inline]
+    pub fn intersects(&self, other: &BBox) -> bool {
+        !(self.is_empty() || other.is_empty())
+            && self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// Intersection rectangle; `None` when disjoint.
+    pub fn intersection(&self, other: &BBox) -> Option<BBox> {
+        if !self.intersects(other) {
+            return None;
+        }
+        let min = self.min.max(&other.min);
+        let max = self.max.min(&other.max);
+        Some(BBox { min, max })
+    }
+
+    /// True when `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_box(&self, other: &BBox) -> bool {
+        !other.is_empty()
+            && self.min.x <= other.min.x
+            && self.min.y <= other.min.y
+            && self.max.x >= other.max.x
+            && self.max.y >= other.max.y
+    }
+
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    /// Area, `|R|` in the paper's TRD definition (Definition 5.1).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() * self.height()
+        }
+    }
+
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.min.x + self.max.x) * 0.5, (self.min.y + self.max.y) * 0.5)
+    }
+
+    /// The four quadrant children (used by TrajStore's region quadtree).
+    /// Order: SW, SE, NW, NE.
+    pub fn quadrants(&self) -> [BBox; 4] {
+        let c = self.center();
+        [
+            BBox::new(self.min, c),
+            BBox::from_extents(c.x, self.min.y, self.max.x, c.y),
+            BBox::from_extents(self.min.x, c.y, c.x, self.max.y),
+            BBox::new(c, self.max),
+        ]
+    }
+
+    /// Uniformly pad the box on all four sides.
+    pub fn inflate(&self, by: f64) -> BBox {
+        BBox::from_extents(self.min.x - by, self.min.y - by, self.max.x + by, self.max.y + by)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> BBox {
+        BBox::from_extents(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn covering_points() {
+        let b = BBox::covering([Point::new(1.0, 5.0), Point::new(-2.0, 3.0), Point::new(0.0, 7.0)])
+            .unwrap();
+        assert_eq!(b, BBox::from_extents(-2.0, 3.0, 1.0, 7.0));
+    }
+
+    #[test]
+    fn covering_empty_is_none() {
+        assert!(BBox::covering(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn contains_boundary_points() {
+        let b = unit();
+        assert!(b.contains(&Point::new(0.0, 0.0)));
+        assert!(b.contains(&Point::new(1.0, 1.0)));
+        assert!(b.contains(&Point::new(0.5, 0.5)));
+        assert!(!b.contains(&Point::new(1.0 + 1e-12, 0.5)));
+    }
+
+    #[test]
+    fn intersection_overlapping() {
+        let a = unit();
+        let b = BBox::from_extents(0.5, 0.5, 2.0, 2.0);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, BBox::from_extents(0.5, 0.5, 1.0, 1.0));
+    }
+
+    #[test]
+    fn intersection_disjoint_is_none() {
+        let a = unit();
+        let b = BBox::from_extents(2.0, 2.0, 3.0, 3.0);
+        assert!(a.intersection(&b).is_none());
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn touching_boxes_intersect() {
+        let a = unit();
+        let b = BBox::from_extents(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.area(), 0.0);
+    }
+
+    #[test]
+    fn union_and_area() {
+        let a = unit();
+        let b = BBox::from_extents(2.0, 2.0, 3.0, 4.0);
+        let u = a.union(&b);
+        assert_eq!(u, BBox::from_extents(0.0, 0.0, 3.0, 4.0));
+        assert_eq!(a.area(), 1.0);
+        assert_eq!(b.area(), 2.0);
+    }
+
+    #[test]
+    fn union_with_empty() {
+        let a = unit();
+        assert_eq!(a.union(&BBox::EMPTY), a);
+        assert_eq!(BBox::EMPTY.union(&a), a);
+    }
+
+    #[test]
+    fn quadrants_cover_parent() {
+        let b = BBox::from_extents(0.0, 0.0, 4.0, 2.0);
+        let qs = b.quadrants();
+        let total: f64 = qs.iter().map(|q| q.area()).sum();
+        assert!((total - b.area()).abs() < 1e-12);
+        for q in &qs {
+            assert!(b.contains_box(q));
+        }
+    }
+
+    #[test]
+    fn contains_box_checks() {
+        let outer = BBox::from_extents(0.0, 0.0, 10.0, 10.0);
+        let inner = BBox::from_extents(2.0, 2.0, 3.0, 3.0);
+        assert!(outer.contains_box(&inner));
+        assert!(!inner.contains_box(&outer));
+    }
+
+    #[test]
+    fn inflate_grows_symmetrically() {
+        let b = unit().inflate(0.5);
+        assert_eq!(b, BBox::from_extents(-0.5, -0.5, 1.5, 1.5));
+    }
+}

@@ -1,0 +1,43 @@
+//! Degree ↔ metre conversion.
+//!
+//! The paper's parameters mix units: `ε₁ = 0.001` is in degrees while
+//! `ε₁ᴹ ≈ 111 m`, `g_s = 50 m` and `g_c = 100 m` are metres. Like the paper
+//! (which cites a standard GIS textbook for the conversion) we use a single
+//! scalar factor — adequate at city scale and at the mid latitudes of both
+//! datasets, and crucially *consistent*: every module converts through this
+//! one constant so the error-bound algebra (Lemma 3 etc.) is exact in
+//! coordinate units.
+
+/// Metres per degree of arc. `0.001° × 111_320 ≈ 111.3 m`, matching the
+/// paper's "ε₁ᴹ ≈ 111 meters".
+pub const METERS_PER_DEGREE: f64 = 111_320.0;
+
+/// Convert a length in metres to coordinate (degree) units.
+#[inline]
+pub fn meters_to_deg(m: f64) -> f64 {
+    m / METERS_PER_DEGREE
+}
+
+/// Convert a length in coordinate (degree) units to metres.
+#[inline]
+pub fn deg_to_meters(d: f64) -> f64 {
+    d * METERS_PER_DEGREE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_epsilon_matches_111_meters() {
+        let m = deg_to_meters(0.001);
+        assert!((m - 111.32).abs() < 0.01, "got {m}");
+    }
+
+    #[test]
+    fn roundtrip() {
+        for v in [0.0, 1.0, 50.0, 111.32, 12345.6] {
+            assert!((deg_to_meters(meters_to_deg(v)) - v).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Geometry substrate for the PPQ-Trajectory reproduction.
+//!
+//! Everything in the pipeline works on planar `f64` coordinates. Real
+//! datasets (Porto, GeoLife) use longitude/latitude degrees; the paper
+//! quotes thresholds both in degrees (`ε₁ = 0.001`) and metres
+//! (`ε₁ᴹ ≈ 111 m`). [`coords`] holds the conversion used throughout.
+//!
+//! The crate deliberately has no dependencies: it is the bottom of the
+//! workspace dependency graph.
+
+pub mod bbox;
+pub mod coords;
+pub mod grid;
+pub mod point;
+
+pub use bbox::BBox;
+pub use grid::GridSpec;
+pub use point::Point;

@@ -1,0 +1,205 @@
+//! Planar points with the handful of vector operations the pipeline needs.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A planar point (or displacement vector) in coordinate units.
+///
+/// For the geographic datasets `x` is longitude and `y` is latitude, both in
+/// degrees; prediction errors and CQC deviations reuse the same type since
+/// they live in the same coordinate space.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`. Used on hot paths to avoid the
+    /// square root when only comparisons are needed.
+    #[inline]
+    pub fn dist2(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean norm (distance from the origin).
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(&self, other: &Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, other: &Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Mean of a non-empty slice of points (the centroid used by the
+    /// partitioners and quantizers). Returns `None` for an empty slice.
+    pub fn centroid(points: &[Point]) -> Option<Point> {
+        if points.is_empty() {
+            return None;
+        }
+        let mut sx = 0.0;
+        let mut sy = 0.0;
+        for p in points {
+            sx += p.x;
+            sy += p.y;
+        }
+        let n = points.len() as f64;
+        Some(Point::new(sx / n, sy / n))
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    #[inline]
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(self.x + t * (other.x - self.x), self.y + t * (other.y - self.y))
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Point) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.dist(&b), b.dist(&a));
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn dist2_matches_dist() {
+        let a = Point::new(-3.0, 0.5);
+        let b = Point::new(2.0, -1.5);
+        assert!((a.dist2(&b).sqrt() - a.dist(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_of_empty_is_none() {
+        assert!(Point::centroid(&[]).is_none());
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        let c = Point::centroid(&pts).unwrap();
+        assert_eq!(c, Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, -0.5));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -4.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::new(5.0, -2.0));
+    }
+
+    #[test]
+    fn min_max_componentwise() {
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(3.0, 2.0);
+        assert_eq!(a.min(&b), Point::new(1.0, 2.0));
+        assert_eq!(a.max(&b), Point::new(3.0, 5.0));
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the geometry substrate.
+
+use ppq_geo::{BBox, GridSpec, Point};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1000.0f64..1000.0, -1000.0f64..1000.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.dist(&c) <= a.dist(&b) + b.dist(&c) + 1e-9);
+    }
+
+    #[test]
+    fn centroid_within_bbox(pts in prop::collection::vec(arb_point(), 1..50)) {
+        let c = Point::centroid(&pts).unwrap();
+        let bb = BBox::covering(pts.iter().copied()).unwrap();
+        // Allow floating-point slack at the boundary.
+        prop_assert!(bb.inflate(1e-9).contains(&c));
+    }
+
+    #[test]
+    fn bbox_union_contains_both(p in prop::collection::vec(arb_point(), 1..20),
+                                q in prop::collection::vec(arb_point(), 1..20)) {
+        let a = BBox::covering(p.iter().copied()).unwrap();
+        let b = BBox::covering(q.iter().copied()).unwrap();
+        let u = a.union(&b);
+        prop_assert!(u.contains_box(&a));
+        prop_assert!(u.contains_box(&b));
+    }
+
+    #[test]
+    fn bbox_intersection_is_contained(p in prop::collection::vec(arb_point(), 2..20),
+                                      q in prop::collection::vec(arb_point(), 2..20)) {
+        let a = BBox::covering(p.iter().copied()).unwrap();
+        let b = BBox::covering(q.iter().copied()).unwrap();
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_box(&i) || i.area() == 0.0);
+            prop_assert!(b.contains_box(&i) || i.area() == 0.0);
+        }
+    }
+
+    #[test]
+    fn grid_locate_consistent_with_cell_bbox(
+        p in arb_point(),
+        cell in 0.1f64..50.0,
+    ) {
+        let area = BBox::from_extents(-1000.0, -1000.0, 1000.0, 1000.0);
+        let g = GridSpec::covering(&area, cell);
+        if let Some((cx, cy)) = g.locate(&p) {
+            let bb = g.cell_bbox(cx, cy);
+            // locate() may clamp far-boundary points, so allow an epsilon.
+            prop_assert!(bb.inflate(1e-9).contains(&p),
+                "point {:?} not in located cell {:?}", p, bb);
+        }
+    }
+
+    #[test]
+    fn grid_cell_center_roundtrips(cell in 0.1f64..10.0, cx in 0u32..40, cy in 0u32..40) {
+        let g = GridSpec::with_shape(Point::new(-7.0, 3.0), cell, 40, 40);
+        let c = g.cell_center(cx, cy);
+        prop_assert_eq!(g.locate(&c), Some((cx, cy)));
+    }
+
+    #[test]
+    fn disc_cells_include_home_cell(p in arb_point(), r in 0.0f64..20.0) {
+        let area = BBox::from_extents(-1000.0, -1000.0, 1000.0, 1000.0);
+        let g = GridSpec::covering(&area, 5.0);
+        if let Some(home) = g.locate(&p) {
+            let cells = g.cells_in_disc(&p, r);
+            prop_assert!(cells.contains(&home));
+            // Every reported cell really is within r of p.
+            for (cx, cy) in cells {
+                let bb = g.cell_bbox(cx, cy);
+                let dx = (bb.min.x - p.x).max(0.0).max(p.x - bb.max.x);
+                let dy = (bb.min.y - p.y).max(0.0).max(p.y - bb.max.y);
+                prop_assert!((dx * dx + dy * dy).sqrt() <= r + 1e-9);
+            }
+        }
+    }
+}

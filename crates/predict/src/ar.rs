@@ -1,0 +1,128 @@
+//! Per-trajectory AR(k) coefficient estimation — the autocorrelation
+//! feature `a_i^t` of paper Eq. 8.
+//!
+//! The paper models the dependence of `T_i^t` on its lagged `k` points as
+//! an autoregressive process of order `k` and partitions trajectories with
+//! similar AR parameters together, so one prediction function per
+//! partition captures them all well. We estimate the AR coefficients per
+//! trajectory over a sliding window of its recent points by conditional
+//! least squares (equivalent to the Yule–Walker estimate for the window
+//! length in use), stacking x and y like the shared predictor does.
+
+use crate::lsq::solve_normal_equations;
+use ppq_geo::Point;
+
+/// Estimate AR(k) coefficients from a window of consecutive points
+/// (oldest → newest). Needs at least `k + 1` points; returns `None`
+/// otherwise.
+///
+/// The series is mean-centred per axis first (AR models fluctuation around
+/// the level, and trajectory coordinates have large offsets), which makes
+/// the feature invariant to *where* the trajectory is and sensitive only
+/// to *how* it moves — precisely the property the partitioning wants.
+pub fn ar_coefficients(window: &[Point], k: usize) -> Option<Vec<f64>> {
+    if k == 0 || window.len() < k + 1 {
+        return None;
+    }
+    let n = window.len();
+    let mean = Point::centroid(window).expect("window non-empty");
+
+    // Rows: for each target index t in [k, n), regressors are the k
+    // preceding (centred) values, most recent first — matching the
+    // predictor's lag convention.
+    let rows = n - k;
+    let mut a = Vec::with_capacity(rows * 2 * k);
+    let mut b = Vec::with_capacity(rows * 2);
+    for t in k..n {
+        for j in 1..=k {
+            a.push(window[t - j].x - mean.x);
+        }
+        b.push(window[t].x - mean.x);
+        for j in 1..=k {
+            a.push(window[t - j].y - mean.y);
+        }
+        b.push(window[t].y - mean.y);
+    }
+    // Ridge on the same scale as the (centred) signal keeps short windows
+    // of near-linear motion well-posed.
+    solve_normal_equations(&a, &b, k, 1e-9).map(|mut c| {
+        // Clamp pathological estimates so the feature space stays bounded
+        // (far-out coefficients would otherwise dominate the ε_p geometry).
+        for v in &mut c {
+            *v = v.clamp(-8.0, 8.0);
+        }
+        c
+    })
+}
+
+/// Euclidean distance between two AR coefficient vectors (the metric used
+/// against `ε_p` in Eq. 8).
+pub fn ar_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Generate an AR(1) series x_t = phi * x_{t-1} + noise.
+    fn ar1_series(phi: f64, n: usize, seed: u64) -> Vec<Point> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut xs = vec![Point::new(next(), next())];
+        for _ in 1..n {
+            let prev = *xs.last().unwrap();
+            xs.push(Point::new(phi * prev.x + 0.05 * next(), phi * prev.y + 0.05 * next()));
+        }
+        xs
+    }
+
+    #[test]
+    fn recovers_ar1_coefficient() {
+        let series = ar1_series(0.8, 300, 42);
+        let c = ar_coefficients(&series, 1).unwrap();
+        assert!((c[0] - 0.8).abs() < 0.1, "estimated {c:?}");
+    }
+
+    #[test]
+    fn distinguishes_different_dynamics() {
+        let fast = ar1_series(0.95, 200, 1);
+        let slow = ar1_series(0.2, 200, 2);
+        let cf = ar_coefficients(&fast, 1).unwrap();
+        let cs = ar_coefficients(&slow, 1).unwrap();
+        assert!(ar_distance(&cf, &cs) > 0.3);
+    }
+
+    #[test]
+    fn too_short_window_is_none() {
+        let series = ar1_series(0.5, 3, 3);
+        assert!(ar_coefficients(&series, 3).is_none());
+        assert!(ar_coefficients(&series, 0).is_none());
+    }
+
+    #[test]
+    fn location_invariance() {
+        let series = ar1_series(0.7, 150, 4);
+        let shifted: Vec<Point> =
+            series.iter().map(|p| Point::new(p.x + 500.0, p.y - 900.0)).collect();
+        let c1 = ar_coefficients(&series, 2).unwrap();
+        let c2 = ar_coefficients(&shifted, 2).unwrap();
+        assert!(ar_distance(&c1, &c2) < 1e-6, "{c1:?} vs {c2:?}");
+    }
+
+    #[test]
+    fn coefficients_are_clamped() {
+        // A degenerate exploding series still yields bounded features.
+        let series: Vec<Point> =
+            (0..40).map(|i| Point::new((2.0f64).powi(i), (2.0f64).powi(i))).collect();
+        if let Some(c) = ar_coefficients(&series, 2) {
+            for v in c {
+                assert!((-8.0..=8.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Per-trajectory history of reconstructed points.
+//!
+//! The predictive quantizer predicts from *reconstructed* previous points
+//! (Eq. 2 uses `T̂`, not `T`), so each trajectory carries a small ring of
+//! the most recent reconstructions. Capacity is the prediction order `k`
+//! plus whatever the AR-feature window needs.
+
+use ppq_geo::Point;
+
+/// Fixed-capacity ring buffer of the most recent points, newest last.
+#[derive(Clone, Debug)]
+pub struct History {
+    buf: Vec<Point>,
+    cap: usize,
+    head: usize,
+    len: usize,
+}
+
+impl History {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0);
+        History { buf: vec![Point::ORIGIN; cap], cap, head: 0, len: 0 }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Append the newest point, evicting the oldest when full.
+    pub fn push(&mut self, p: Point) {
+        self.buf[self.head] = p;
+        self.head = (self.head + 1) % self.cap;
+        self.len = (self.len + 1).min(self.cap);
+    }
+
+    /// The point `lag` steps back: `lag = 1` is the most recent.
+    /// Returns `None` when not enough history.
+    #[inline]
+    pub fn lag(&self, lag: usize) -> Option<Point> {
+        if lag == 0 || lag > self.len {
+            return None;
+        }
+        let idx = (self.head + self.cap - lag) % self.cap;
+        Some(self.buf[idx])
+    }
+
+    /// The `k` most recent points, most recent first. `None` when fewer
+    /// than `k` are available.
+    pub fn last_k(&self, k: usize) -> Option<Vec<Point>> {
+        if k > self.len {
+            return None;
+        }
+        Some((1..=k).map(|l| self.lag(l).unwrap()).collect())
+    }
+
+    /// Iterate oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = Point> + '_ {
+        (0..self.len).map(move |i| self.lag(self.len - i).unwrap())
+    }
+
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> Point {
+        Point::new(v, -v)
+    }
+
+    #[test]
+    fn push_and_lag() {
+        let mut h = History::new(3);
+        assert!(h.lag(1).is_none());
+        h.push(p(1.0));
+        h.push(p(2.0));
+        assert_eq!(h.lag(1), Some(p(2.0)));
+        assert_eq!(h.lag(2), Some(p(1.0)));
+        assert_eq!(h.lag(3), None);
+    }
+
+    #[test]
+    fn eviction_when_full() {
+        let mut h = History::new(3);
+        for v in 1..=5 {
+            h.push(p(v as f64));
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.lag(1), Some(p(5.0)));
+        assert_eq!(h.lag(3), Some(p(3.0)));
+        assert_eq!(h.lag(4), None);
+    }
+
+    #[test]
+    fn last_k_ordering() {
+        let mut h = History::new(4);
+        for v in 1..=4 {
+            h.push(p(v as f64));
+        }
+        let k = h.last_k(3).unwrap();
+        assert_eq!(k, vec![p(4.0), p(3.0), p(2.0)]);
+        assert!(h.last_k(5).is_none());
+    }
+
+    #[test]
+    fn iter_oldest_to_newest() {
+        let mut h = History::new(3);
+        for v in 1..=5 {
+            h.push(p(v as f64));
+        }
+        let all: Vec<Point> = h.iter().collect();
+        assert_eq!(all, vec![p(3.0), p(4.0), p(5.0)]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = History::new(2);
+        h.push(p(1.0));
+        h.clear();
+        assert!(h.is_empty());
+        assert!(h.lag(1).is_none());
+    }
+}

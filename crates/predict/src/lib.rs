@@ -1,0 +1,27 @@
+//! Linear-prediction substrate for PPQ-Trajectory.
+//!
+//! The predictive quantizer (paper §3.1) estimates the point at time `t`
+//! from the previous `k` *reconstructed* points through a linear model
+//! `T̃ᵗ = Σⱼ Pⱼ[t]·T̂ᵗ⁻ʲ` whose coefficients are refit at every timestep by
+//! least squares (Eq. 1). PPQ (§3.2) fits one such model per partition and
+//! additionally uses per-trajectory AR(k) coefficients as the
+//! autocorrelation-similarity feature (Eq. 8).
+//!
+//! * [`lsq`] — small dense least-squares solver (normal equations +
+//!   partial-pivot Gaussian elimination; `k` is tiny so this is exact
+//!   enough and allocation-light per solve).
+//! * [`linear`] — fitting/applying the shared-coefficient 2-D predictor.
+//! * [`ar`] — per-trajectory AR(k) coefficient estimation (the `a_i^t`
+//!   feature of Eq. 8).
+//! * [`history`] — fixed-capacity ring buffers holding each trajectory's
+//!   recent reconstructed points.
+
+pub mod ar;
+pub mod history;
+pub mod linear;
+pub mod lsq;
+
+pub use ar::ar_coefficients;
+pub use history::History;
+pub use linear::{fit_predictor, Predictor};
+pub use lsq::solve_normal_equations;

@@ -1,0 +1,175 @@
+//! The shared-coefficient linear predictor (paper Eqs. 1–2).
+//!
+//! One scalar coefficient per lag is shared between the x and y axes: the
+//! position vector at time `t` is predicted as a linear combination of the
+//! previous `k` reconstructed position vectors. Fitting stacks the x-rows
+//! and y-rows of every trajectory in the partition into one least-squares
+//! problem, which is exactly the minimisation of Eq. 1 (and Eq. 6 when
+//! restricted to a partition).
+
+use crate::lsq::solve_normal_equations;
+use ppq_geo::Point;
+
+/// Fitted prediction coefficients `P₁..P_k` (most-recent lag first).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Predictor {
+    coeffs: Vec<f64>,
+}
+
+impl Predictor {
+    /// The all-zero predictor the paper prescribes for `t ≤ k`
+    /// ("for the time t ≤ k, P_j\[t\] is set to zero").
+    pub fn zero(k: usize) -> Self {
+        Predictor { coeffs: vec![0.0; k] }
+    }
+
+    /// A random-walk predictor: `T̃ᵗ = T̂ᵗ⁻¹`. Used by the `ColdStart`
+    /// ablation and as the fallback when a fit fails.
+    pub fn last_value(k: usize) -> Self {
+        let mut coeffs = vec![0.0; k];
+        if k > 0 {
+            coeffs[0] = 1.0;
+        }
+        Predictor { coeffs }
+    }
+
+    pub fn from_coeffs(coeffs: Vec<f64>) -> Self {
+        Predictor { coeffs }
+    }
+
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    #[inline]
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Predict from `history` = the `k` most recent reconstructed points,
+    /// most recent first (`history[j]` is lag `j+1`).
+    pub fn predict(&self, history: &[Point]) -> Point {
+        debug_assert!(history.len() >= self.coeffs.len());
+        let mut p = Point::ORIGIN;
+        for (c, h) in self.coeffs.iter().zip(history) {
+            p += *h * *c;
+        }
+        p
+    }
+
+    /// Serialized size: one `f64` per coefficient (charged per partition
+    /// per timestep in the summary accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.coeffs.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// One training row: the target point and its `k` most-recent
+/// reconstructed predecessors (most recent first).
+pub struct TrainingRow<'a> {
+    pub target: Point,
+    pub history: &'a [Point],
+}
+
+/// Fit shared coefficients over the given rows (Eq. 1 / Eq. 6).
+///
+/// Each row contributes two scalar equations (x and y). Returns the
+/// last-value predictor when the system is degenerate or there are no rows
+/// — the caller always gets a usable predictor.
+pub fn fit_predictor(rows: &[TrainingRow<'_>], k: usize) -> Predictor {
+    if rows.is_empty() {
+        return Predictor::last_value(k);
+    }
+    let mut a = Vec::with_capacity(rows.len() * 2 * k);
+    let mut b = Vec::with_capacity(rows.len() * 2);
+    for row in rows {
+        debug_assert!(row.history.len() >= k);
+        for j in 0..k {
+            a.push(row.history[j].x);
+        }
+        b.push(row.target.x);
+        for j in 0..k {
+            a.push(row.history[j].y);
+        }
+        b.push(row.target.y);
+    }
+    // Light ridge keeps near-collinear histories (straight-line motion)
+    // solvable; the scale is far below coordinate magnitudes.
+    match solve_normal_equations(&a, &b, k, 1e-9) {
+        Some(coeffs) if coeffs.iter().all(|c| c.is_finite()) => Predictor::from_coeffs(coeffs),
+        _ => Predictor::last_value(k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_predictor_predicts_origin() {
+        let p = Predictor::zero(3);
+        let h = [Point::new(5.0, 5.0), Point::new(4.0, 4.0), Point::new(3.0, 3.0)];
+        assert_eq!(p.predict(&h), Point::ORIGIN);
+    }
+
+    #[test]
+    fn last_value_predictor() {
+        let p = Predictor::last_value(2);
+        let h = [Point::new(7.0, -1.0), Point::new(0.0, 0.0)];
+        assert_eq!(p.predict(&h), Point::new(7.0, -1.0));
+    }
+
+    #[test]
+    fn fits_constant_velocity_exactly() {
+        // Points on a line with constant velocity satisfy
+        // T^t = 2·T^{t-1} - T^{t-2}.
+        let mut rows = Vec::new();
+        let histories: Vec<[Point; 2]> = (0..20)
+            .map(|i| {
+                let t = i as f64;
+                [
+                    Point::new(2.0 * (t + 1.0), 3.0 * (t + 1.0) + 1.0),
+                    Point::new(2.0 * t, 3.0 * t + 1.0),
+                ]
+            })
+            .collect();
+        for (i, h) in histories.iter().enumerate() {
+            let t = i as f64;
+            rows.push(TrainingRow {
+                target: Point::new(2.0 * (t + 2.0), 3.0 * (t + 2.0) + 1.0),
+                history: h,
+            });
+        }
+        let p = fit_predictor(&rows, 2);
+        assert!((p.coeffs()[0] - 2.0).abs() < 1e-5, "coeffs {:?}", p.coeffs());
+        assert!((p.coeffs()[1] + 1.0).abs() < 1e-5);
+        // And the prediction error is ~0 on the training rows.
+        for row in &rows {
+            assert!(row.target.dist(&p.predict(row.history)) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_rows_fall_back_to_last_value() {
+        let p = fit_predictor(&[], 3);
+        assert_eq!(p, Predictor::last_value(3));
+    }
+
+    #[test]
+    fn stationary_points_fit_identity() {
+        // All histories identical & stationary: prediction should return
+        // (approximately) the stationary point.
+        let h = [Point::new(4.0, 2.0), Point::new(4.0, 2.0)];
+        let rows: Vec<TrainingRow> =
+            (0..10).map(|_| TrainingRow { target: Point::new(4.0, 2.0), history: &h }).collect();
+        let p = fit_predictor(&rows, 2);
+        let pred = p.predict(&h);
+        assert!(pred.dist(&Point::new(4.0, 2.0)) < 1e-6, "pred {pred:?}");
+    }
+
+    #[test]
+    fn size_accounting() {
+        assert_eq!(Predictor::zero(3).size_bytes(), 24);
+    }
+}

@@ -1,0 +1,154 @@
+//! Small dense least squares via normal equations.
+//!
+//! The prediction order `k` is tiny (default 3), so `AᵀA` is a `k×k` system
+//! solved exactly with partial-pivot Gaussian elimination. A Tikhonov
+//! ridge (`λ·I`) keeps the system well-posed when the design matrix is
+//! rank-deficient (e.g. a partition whose members all moved identically).
+
+/// Solve `min ‖A·x − b‖²` for `x` (A is `rows × k`, row-major), with ridge
+/// regularisation `ridge ≥ 0`.
+///
+/// Returns `None` when the (regularised) normal matrix is numerically
+/// singular.
+pub fn solve_normal_equations(a: &[f64], b: &[f64], k: usize, ridge: f64) -> Option<Vec<f64>> {
+    assert!(k > 0);
+    assert_eq!(a.len() % k, 0, "design matrix not a multiple of k");
+    let rows = a.len() / k;
+    assert_eq!(rows, b.len(), "rhs length mismatch");
+    if rows == 0 {
+        return None;
+    }
+
+    // Form AtA (k×k, symmetric) and Atb (k).
+    let mut ata = vec![0.0f64; k * k];
+    let mut atb = vec![0.0f64; k];
+    for r in 0..rows {
+        let row = &a[r * k..(r + 1) * k];
+        for i in 0..k {
+            atb[i] += row[i] * b[r];
+            for j in i..k {
+                ata[i * k + j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..k {
+        for j in 0..i {
+            ata[i * k + j] = ata[j * k + i];
+        }
+        ata[i * k + i] += ridge;
+    }
+    solve_dense(&mut ata, &mut atb, k)
+}
+
+/// In-place partial-pivot Gaussian elimination on a `k×k` system.
+fn solve_dense(m: &mut [f64], rhs: &mut [f64], k: usize) -> Option<Vec<f64>> {
+    for col in 0..k {
+        // Pivot selection.
+        let mut pivot = col;
+        let mut pv = m[col * k + col].abs();
+        for r in (col + 1)..k {
+            let v = m[r * k + col].abs();
+            if v > pv {
+                pv = v;
+                pivot = r;
+            }
+        }
+        if pv < 1e-30 {
+            return None;
+        }
+        if pivot != col {
+            for c in 0..k {
+                m.swap(col * k + c, pivot * k + c);
+            }
+            rhs.swap(col, pivot);
+        }
+        // Eliminate below.
+        let diag = m[col * k + col];
+        for r in (col + 1)..k {
+            let f = m[r * k + col] / diag;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..k {
+                m[r * k + c] -= f * m[col * k + c];
+            }
+            rhs[r] -= f * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; k];
+    for col in (0..k).rev() {
+        let mut v = rhs[col];
+        for c in (col + 1)..k {
+            v -= m[col * k + c] * x[c];
+        }
+        x[col] = v / m[col * k + col];
+        if !x[col].is_finite() {
+            return None;
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_square_system() {
+        // 2x + y = 5 ; x - y = 1  => x = 2, y = 1
+        let a = [2.0, 1.0, 1.0, -1.0];
+        let b = [5.0, 1.0];
+        let x = solve_normal_equations(&a, &b, 2, 0.0).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overdetermined_recovers_true_model() {
+        // y = 3a - 2b with 50 noiseless rows.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..50 {
+            let u = i as f64 * 0.17 - 3.0;
+            let v = (i as f64 * 0.31).sin();
+            a.extend_from_slice(&[u, v]);
+            b.push(3.0 * u - 2.0 * v);
+        }
+        let x = solve_normal_equations(&a, &b, 2, 0.0).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-8);
+        assert!((x[1] + 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn singular_without_ridge_is_none() {
+        // Two identical columns: rank 1.
+        let a = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        assert!(solve_normal_equations(&a, &b, 2, 0.0).is_none());
+    }
+
+    #[test]
+    fn ridge_fixes_singularity() {
+        let a = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        let x = solve_normal_equations(&a, &b, 2, 1e-6).unwrap();
+        // Minimum-norm solution splits the weight evenly.
+        assert!((x[0] - x[1]).abs() < 1e-3);
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_rows_is_none() {
+        assert!(solve_normal_equations(&[], &[], 3, 0.0).is_none());
+    }
+
+    #[test]
+    fn k1_is_projection() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.1, 5.9];
+        let x = solve_normal_equations(&a, &b, 1, 0.0).unwrap();
+        // Closed form: sum(ab)/sum(aa) = (2 + 8.2 + 17.7)/14
+        assert!((x[0] - (2.0 + 8.2 + 17.7) / 14.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the prediction substrate.
+
+use ppq_geo::Point;
+use ppq_predict::linear::{fit_predictor, TrainingRow};
+use ppq_predict::{ar_coefficients, solve_normal_equations, History};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The least-squares solution is at least as good as the zero and
+    /// last-value baselines on its own training data.
+    #[test]
+    fn lsq_beats_trivial_predictors(
+        rows_data in prop::collection::vec(
+            ((-10.0f64..10.0, -10.0f64..10.0),
+             (-10.0f64..10.0, -10.0f64..10.0),
+             (-10.0f64..10.0, -10.0f64..10.0)),
+            3..40,
+        )
+    ) {
+        let histories: Vec<[Point; 2]> = rows_data
+            .iter()
+            .map(|(_, h1, h2)| [Point::new(h1.0, h1.1), Point::new(h2.0, h2.1)])
+            .collect();
+        let rows: Vec<TrainingRow> = rows_data
+            .iter()
+            .zip(&histories)
+            .map(|((tgt, _, _), h)| TrainingRow { target: Point::new(tgt.0, tgt.1), history: h })
+            .collect();
+        let fitted = fit_predictor(&rows, 2);
+        let sse = |coeffs: &[f64]| -> f64 {
+            rows.iter()
+                .map(|r| {
+                    let pred = Point::new(
+                        coeffs[0] * r.history[0].x + coeffs[1] * r.history[1].x,
+                        coeffs[0] * r.history[0].y + coeffs[1] * r.history[1].y,
+                    );
+                    r.target.dist2(&pred)
+                })
+                .sum()
+        };
+        let fit_err = sse(fitted.coeffs());
+        prop_assert!(fit_err <= sse(&[0.0, 0.0]) + 1e-6, "worse than zero predictor");
+        prop_assert!(fit_err <= sse(&[1.0, 0.0]) + 1e-6, "worse than last-value predictor");
+    }
+
+    /// Normal equations reproduce planted coefficients on noiseless data.
+    #[test]
+    fn lsq_recovers_planted_model(
+        c0 in -3.0f64..3.0,
+        c1 in -3.0f64..3.0,
+        seed in 0u64..1000,
+    ) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 10.0 - 5.0
+        };
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..30 {
+            let (u, v) = (next(), next());
+            a.extend_from_slice(&[u, v]);
+            b.push(c0 * u + c1 * v);
+        }
+        if let Some(x) = solve_normal_equations(&a, &b, 2, 0.0) {
+            prop_assert!((x[0] - c0).abs() < 1e-6, "{} vs {}", x[0], c0);
+            prop_assert!((x[1] - c1).abs() < 1e-6);
+        }
+    }
+
+    /// History is a faithful sliding window.
+    #[test]
+    fn history_window(values in prop::collection::vec(-100.0f64..100.0, 1..60),
+                      cap in 1usize..10) {
+        let mut h = History::new(cap);
+        for &v in &values {
+            h.push(Point::new(v, -v));
+        }
+        let expect_len = values.len().min(cap);
+        prop_assert_eq!(h.len(), expect_len);
+        for lag in 1..=expect_len {
+            let v = values[values.len() - lag];
+            prop_assert_eq!(h.lag(lag), Some(Point::new(v, -v)));
+        }
+        prop_assert_eq!(h.lag(expect_len + 1), None);
+    }
+
+    /// AR features are translation-invariant.
+    #[test]
+    fn ar_translation_invariant(
+        steps in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 8..40),
+        dx in -1000.0f64..1000.0,
+        dy in -1000.0f64..1000.0,
+    ) {
+        let mut p = Point::new(0.0, 0.0);
+        let series: Vec<Point> = steps
+            .iter()
+            .map(|(sx, sy)| {
+                p = Point::new(p.x + sx, p.y + sy);
+                p
+            })
+            .collect();
+        let shifted: Vec<Point> =
+            series.iter().map(|q| Point::new(q.x + dx, q.y + dy)).collect();
+        let a = ar_coefficients(&series, 2);
+        let b = ar_coefficients(&shifted, 2);
+        match (a, b) {
+            (Some(ca), Some(cb)) => {
+                for (x, y) in ca.iter().zip(&cb) {
+                    prop_assert!((x - y).abs() < 1e-5, "{:?} vs {:?}", x, y);
+                }
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "inconsistent estimability: {:?}", other.0.is_some()),
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Bit-packed integer streams.
+//!
+//! Codeword indices `b_i^t` dominate the summary size, so they are charged
+//! at `ceil(log2 |C|)` bits each, not at `sizeof(u32)`. `BitWriter` /
+//! `BitReader` implement the packing; the summary accounting uses the
+//! packed byte length.
+
+/// Append-only bit stream writer (LSB-first within each byte).
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Number of valid bits in the stream.
+    len_bits: usize,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write the low `width` bits of `value` (width ≤ 32).
+    pub fn write(&mut self, value: u32, width: u32) {
+        assert!(width <= 32, "width {width} too large");
+        debug_assert!(
+            width == 32 || value < (1u64 << width) as u32,
+            "value {value} does not fit in {width} bits"
+        );
+        for k in 0..width {
+            let bit = (value >> k) & 1;
+            let pos = self.len_bits + k as usize;
+            let byte = pos / 8;
+            if byte == self.buf.len() {
+                self.buf.push(0);
+            }
+            self.buf[byte] |= (bit as u8) << (pos % 8);
+        }
+        self.len_bits += width as usize;
+    }
+
+    /// Write a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write(bit as u32, 1);
+    }
+
+    #[inline]
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    #[inline]
+    pub fn len_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Reader over a bit stream produced by [`BitWriter`].
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Read `width` bits (LSB-first). Panics past end of stream.
+    pub fn read(&mut self, width: u32) -> u32 {
+        assert!(width <= 32);
+        let mut v = 0u32;
+        for k in 0..width {
+            let byte = self.pos / 8;
+            let bit = (self.buf[byte] >> (self.pos % 8)) & 1;
+            v |= (bit as u32) << k;
+            self.pos += 1;
+        }
+        v
+    }
+
+    #[inline]
+    pub fn read_bit(&mut self) -> bool {
+        self.read(1) == 1
+    }
+
+    #[inline]
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Remaining bits (including padding bits in the final byte).
+    #[inline]
+    pub fn remaining_bits(&self) -> usize {
+        self.buf.len() * 8 - self.pos
+    }
+}
+
+/// Pack a slice of indices at fixed width; convenience for summaries.
+pub fn pack_indices(indices: &[u32], width: u32) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    for &i in indices {
+        w.write(i, width);
+    }
+    w.into_bytes()
+}
+
+/// Unpack `n` indices of fixed width.
+pub fn unpack_indices(bytes: &[u8], width: u32, n: usize) -> Vec<u32> {
+    let mut r = BitReader::new(bytes);
+    (0..n).map(|_| r.read(width)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write(5, 3);
+        w.write(1023, 10);
+        w.write(0, 1);
+        w.write(77, 7);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3), 5);
+        assert_eq!(r.read(10), 1023);
+        assert_eq!(r.read(1), 0);
+        assert_eq!(r.read(7), 77);
+    }
+
+    #[test]
+    fn bit_length_accounting() {
+        let mut w = BitWriter::new();
+        w.write(3, 2);
+        w.write(1, 5);
+        assert_eq!(w.len_bits(), 7);
+        assert_eq!(w.len_bytes(), 1);
+        w.write(1, 2);
+        assert_eq!(w.len_bits(), 9);
+        assert_eq!(w.len_bytes(), 2);
+    }
+
+    #[test]
+    fn pack_unpack_indices() {
+        let idx: Vec<u32> = (0..100).map(|i| i % 32).collect();
+        let bytes = pack_indices(&idx, 5);
+        assert_eq!(bytes.len(), (100usize * 5).div_ceil(8));
+        assert_eq!(unpack_indices(&bytes, 5, 100), idx);
+    }
+
+    #[test]
+    fn single_bits() {
+        let mut w = BitWriter::new();
+        for i in 0..16 {
+            w.write_bit(i % 3 == 0);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for i in 0..16 {
+            assert_eq!(r.read_bit(), i % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn full_width_values() {
+        let mut w = BitWriter::new();
+        w.write(u32::MAX, 32);
+        w.write(0xDEADBEEF, 32);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(32), u32::MAX);
+        assert_eq!(r.read(32), 0xDEADBEEF);
+    }
+}

@@ -1,0 +1,217 @@
+//! The error-bounded incremental quantizer (paper Algorithm 1, line 6).
+//!
+//! `Incremental_Quantizer({e_i^t}, C, ε₁)` maintains a single codebook `C`
+//! across timesteps: each incoming error is assigned to its nearest
+//! codeword when one is within `ε₁`; the uncovered remainder of the batch
+//! is clustered with bounded k-means and the resulting centroids are
+//! appended to `C` (Eq. 3: grow `|C|` only as much as the bound requires).
+
+use crate::codebook::Codebook;
+use crate::grid_nn::GridNN;
+use crate::kmeans::{bounded_kmeans, KMeansConfig};
+use ppq_geo::Point;
+
+/// Online quantizer holding the growing error-bounded codebook.
+#[derive(Clone, Debug)]
+pub struct IncrementalQuantizer {
+    eps: f64,
+    codebook: Codebook,
+    nn: GridNN,
+    kmeans_cfg: KMeansConfig,
+    /// Total number of assignments performed (for diagnostics).
+    assigned: u64,
+}
+
+impl IncrementalQuantizer {
+    /// `eps` is the paper's `ε₁` — after this call every quantized vector
+    /// is guaranteed within `eps` of its codeword.
+    pub fn new(eps: f64) -> Self {
+        Self::with_config(eps, KMeansConfig::default())
+    }
+
+    pub fn with_config(eps: f64, kmeans_cfg: KMeansConfig) -> Self {
+        assert!(eps > 0.0 && eps.is_finite());
+        IncrementalQuantizer {
+            eps,
+            codebook: Codebook::new(),
+            nn: GridNN::new(eps),
+            kmeans_cfg,
+            assigned: 0,
+        }
+    }
+
+    #[inline]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    #[inline]
+    pub fn codebook(&self) -> &Codebook {
+        &self.codebook
+    }
+
+    #[inline]
+    pub fn assigned(&self) -> u64 {
+        self.assigned
+    }
+
+    fn push_word(&mut self, w: Point) -> u32 {
+        let idx = self.codebook.push(w);
+        self.nn.insert(idx, w);
+        idx
+    }
+
+    /// Quantize a batch of error vectors (one timestep's worth), returning
+    /// the codeword index for each input, in order.
+    ///
+    /// Postcondition: `input[i].dist(codebook.word(out[i])) <= eps` for all
+    /// `i`.
+    pub fn quantize_batch(&mut self, errors: &[Point]) -> Vec<u32> {
+        let mut out = vec![u32::MAX; errors.len()];
+        let mut uncovered: Vec<usize> = Vec::new();
+
+        for (i, e) in errors.iter().enumerate() {
+            debug_assert!(e.is_finite(), "non-finite error vector at {i}");
+            match self.nn.nearest_within_eps(e) {
+                Some((idx, _)) => out[i] = idx,
+                None => uncovered.push(i),
+            }
+        }
+
+        if !uncovered.is_empty() {
+            self.grow_for(errors, &uncovered, &mut out);
+        }
+        self.assigned += errors.len() as u64;
+
+        debug_assert!(out.iter().all(|&b| b != u32::MAX));
+        out
+    }
+
+    /// Cluster the uncovered errors of this batch with bounded k-means and
+    /// append the centroids; then assign each uncovered error to a (possibly
+    /// new, possibly pre-existing) codeword within `eps`.
+    fn grow_for(&mut self, errors: &[Point], uncovered: &[usize], out: &mut [u32]) {
+        let pts: Vec<Point> = uncovered.iter().map(|&i| errors[i]).collect();
+        let res = bounded_kmeans(&pts, self.eps, &self.kmeans_cfg);
+
+        // Append only the centroids that are actually used; remap indices.
+        let mut remap = vec![u32::MAX; res.centroids.len()];
+        for (j, &i) in uncovered.iter().enumerate() {
+            let local = res.assign[j] as usize;
+            if remap[local] == u32::MAX {
+                remap[local] = self.push_word(res.centroids[local]);
+            }
+            out[i] = remap[local];
+            // Bounded k-means guarantees coverage, but if the cap truncated
+            // growth fall back to a dedicated codeword for this point.
+            if errors[i].dist(&self.codebook.word(out[i])) > self.eps {
+                out[i] = self.push_word(errors[i]);
+            }
+        }
+    }
+
+    /// Quantize a single error vector (streaming convenience wrapper).
+    pub fn quantize_one(&mut self, e: Point) -> u32 {
+        match self.nn.nearest_within_eps(&e) {
+            Some((idx, _)) => {
+                self.assigned += 1;
+                idx
+            }
+            None => {
+                self.assigned += 1;
+                self.push_word(e)
+            }
+        }
+    }
+
+    /// Reconstruct the vector a codeword index stands for: `C(b)`.
+    #[inline]
+    pub fn word(&self, b: u32) -> Point {
+        self.codebook.word(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_errors(n: usize, spread: f64, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(-spread..spread), rng.gen_range(-spread..spread)))
+            .collect()
+    }
+
+    #[test]
+    fn batch_respects_bound() {
+        let mut q = IncrementalQuantizer::new(0.5);
+        let errors = random_errors(500, 3.0, 1);
+        let codes = q.quantize_batch(&errors);
+        for (e, &b) in errors.iter().zip(&codes) {
+            assert!(e.dist(&q.word(b)) <= 0.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn codebook_reused_across_batches() {
+        let mut q = IncrementalQuantizer::new(0.5);
+        let errors = random_errors(400, 2.0, 2);
+        q.quantize_batch(&errors);
+        let size_after_first = q.codebook().len();
+        // Same distribution again: the codebook should barely grow.
+        let errors2 = random_errors(400, 2.0, 3);
+        q.quantize_batch(&errors2);
+        let grown = q.codebook().len() - size_after_first;
+        assert!(
+            grown <= size_after_first / 4 + 2,
+            "codebook grew too much on repeat distribution: {size_after_first} -> {}",
+            q.codebook().len()
+        );
+    }
+
+    #[test]
+    fn narrow_distribution_needs_fewer_words() {
+        let wide_errors = random_errors(1000, 5.0, 4);
+        let narrow_errors = random_errors(1000, 0.5, 5);
+        let mut qw = IncrementalQuantizer::new(0.2);
+        let mut qn = IncrementalQuantizer::new(0.2);
+        qw.quantize_batch(&wide_errors);
+        qn.quantize_batch(&narrow_errors);
+        assert!(
+            qn.codebook().len() < qw.codebook().len(),
+            "narrow {} vs wide {}",
+            qn.codebook().len(),
+            qw.codebook().len()
+        );
+    }
+
+    #[test]
+    fn quantize_one_streaming() {
+        let mut q = IncrementalQuantizer::new(1.0);
+        let a = q.quantize_one(Point::new(0.0, 0.0));
+        let b = q.quantize_one(Point::new(0.1, 0.1)); // reuses word a
+        let c = q.quantize_one(Point::new(10.0, 10.0)); // new word
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(q.codebook().len(), 2);
+        assert_eq!(q.assigned(), 3);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut q = IncrementalQuantizer::new(1.0);
+        let codes = q.quantize_batch(&[]);
+        assert!(codes.is_empty());
+        assert_eq!(q.codebook().len(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let errors = random_errors(300, 2.0, 7);
+        let mut q1 = IncrementalQuantizer::new(0.3);
+        let mut q2 = IncrementalQuantizer::new(0.3);
+        assert_eq!(q1.quantize_batch(&errors), q2.quantize_batch(&errors));
+        assert_eq!(q1.codebook().len(), q2.codebook().len());
+    }
+}

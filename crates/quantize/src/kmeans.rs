@@ -1,0 +1,302 @@
+//! Lloyd's k-means and the paper's *bounded* k-means.
+//!
+//! Bounded k-means is the primitive behind PPQ partitioning (Eqs. 7–8), PI
+//! partitioning (Algorithm 3 line 1), and the incremental quantizer's
+//! codeword growth: run k-means with `q` clusters; if any member is farther
+//! than `bound` from its centroid, increase `q` by `a` and repeat (paper
+//! Lemma 1: `O(q·m·N·l)`).
+
+use ppq_geo::Point;
+
+/// Tuning knobs for [`kmeans`] / [`bounded_kmeans`].
+#[derive(Clone, Debug)]
+pub struct KMeansConfig {
+    /// Maximum Lloyd iterations per run (`l` in Lemma 1).
+    pub max_iters: usize,
+    /// Relative centroid-movement threshold for early convergence.
+    pub tol: f64,
+    /// Deterministic seed for centroid initialisation.
+    pub seed: u64,
+    /// Cluster-count increment per bounded round (`a` in Lemma 1).
+    pub grow_step: usize,
+    /// Hard cap on the number of clusters bounded k-means may reach.
+    pub max_clusters: usize,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { max_iters: 12, tol: 1e-7, seed: 0xC0FFEE, grow_step: 4, max_clusters: 1 << 20 }
+    }
+}
+
+/// Result of a (bounded) k-means run.
+#[derive(Clone, Debug)]
+pub struct BoundedKMeansResult {
+    pub centroids: Vec<Point>,
+    /// `assign[i]` is the centroid index of `points[i]`.
+    pub assign: Vec<u32>,
+    /// Number of grow rounds used (`m` in Lemma 1).
+    pub rounds: usize,
+    /// True when every point ended within the requested bound.
+    pub bounded: bool,
+}
+
+/// Deterministic splitmix64; used for seeding without pulling `rand` into
+/// the library (tests use `rand`, the library stays dependency-light).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Pick `k` distinct-ish initial centroids deterministically (random points
+/// of the input, plus a greedy farthest-point pass for the first few to
+/// avoid degenerate starts).
+fn init_centroids(points: &[Point], k: usize, seed: u64) -> Vec<Point> {
+    debug_assert!(k >= 1 && !points.is_empty());
+    let mut state = seed ^ (points.len() as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[(splitmix64(&mut state) as usize) % points.len()]);
+    // Greedy farthest-point for up to the first 8 centroids (k-means++ style
+    // spread without the distance-weighted sampling machinery).
+    while centroids.len() < k.min(8) {
+        let mut far_idx = 0;
+        let mut far_d = -1.0;
+        // Sample a bounded number of candidates to stay O(N) per pick.
+        let stride = (points.len() / 512).max(1);
+        let mut i = (splitmix64(&mut state) as usize) % stride.max(1);
+        while i < points.len() {
+            let p = &points[i];
+            let d = centroids.iter().map(|c| p.dist2(c)).fold(f64::INFINITY, f64::min);
+            if d > far_d {
+                far_d = d;
+                far_idx = i;
+            }
+            i += stride;
+        }
+        centroids.push(points[far_idx]);
+    }
+    while centroids.len() < k {
+        centroids.push(points[(splitmix64(&mut state) as usize) % points.len()]);
+    }
+    centroids
+}
+
+/// Work threshold (points × centroids) above which the assignment step
+/// fans out over threads. Below it, thread spawn overhead dominates.
+const PARALLEL_ASSIGN_THRESHOLD: usize = 1 << 19;
+
+/// Assign every point to its nearest centroid, in parallel for large
+/// workloads (deterministic: assignment is pure per point).
+fn assign_all(points: &[Point], centroids: &[Point], assign: &mut [u32]) {
+    let assign_chunk = |pts: &[Point], out: &mut [u32]| {
+        for (p, slot) in pts.iter().zip(out.iter_mut()) {
+            let mut best = 0u32;
+            let mut best_d = f64::INFINITY;
+            for (c, cent) in centroids.iter().enumerate() {
+                let d = p.dist2(cent);
+                if d < best_d {
+                    best_d = d;
+                    best = c as u32;
+                }
+            }
+            *slot = best;
+        }
+    };
+    let work = points.len() * centroids.len();
+    if work < PARALLEL_ASSIGN_THRESHOLD {
+        assign_chunk(points, assign);
+        return;
+    }
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+    let chunk = points.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (pts, out) in points.chunks(chunk).zip(assign.chunks_mut(chunk)) {
+            scope.spawn(move |_| assign_chunk(pts, out));
+        }
+    })
+    .expect("kmeans assignment worker panicked");
+}
+
+/// Plain Lloyd's k-means over 2-D points. Returns `(centroids, assignment)`.
+/// Empty clusters are re-seeded with the point farthest from its centroid.
+pub fn kmeans(points: &[Point], k: usize, cfg: &KMeansConfig) -> (Vec<Point>, Vec<u32>) {
+    assert!(!points.is_empty(), "kmeans over empty input");
+    let k = k.clamp(1, points.len());
+    let mut centroids = init_centroids(points, k, cfg.seed);
+    let mut assign = vec![0u32; points.len()];
+    let mut sums = vec![Point::ORIGIN; k];
+    let mut counts = vec![0usize; k];
+
+    for _ in 0..cfg.max_iters {
+        // Assignment step.
+        assign_all(points, &centroids, &mut assign);
+        // Update step.
+        sums.iter_mut().for_each(|s| *s = Point::ORIGIN);
+        counts.iter_mut().for_each(|c| *c = 0);
+        for (i, p) in points.iter().enumerate() {
+            let a = assign[i] as usize;
+            sums[a] += *p;
+            counts[a] += 1;
+        }
+        let mut moved: f64 = 0.0;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed the empty cluster with the globally worst-fit point.
+                let (wi, _) = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, p.dist2(&centroids[assign[i] as usize])))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .unwrap();
+                centroids[c] = points[wi];
+                moved = f64::INFINITY;
+                continue;
+            }
+            let new_c = sums[c] / counts[c] as f64;
+            moved += centroids[c].dist2(&new_c);
+            centroids[c] = new_c;
+        }
+        if moved <= cfg.tol * cfg.tol {
+            break;
+        }
+    }
+    // Final assignment against converged centroids.
+    assign_all(points, &centroids, &mut assign);
+    (centroids, assign)
+}
+
+/// Max distance between any point and its assigned centroid.
+pub fn max_radius(points: &[Point], centroids: &[Point], assign: &[u32]) -> f64 {
+    points
+        .iter()
+        .zip(assign)
+        .map(|(p, &a)| p.dist(&centroids[a as usize]))
+        .fold(0.0, f64::max)
+}
+
+/// The paper's bounded partitioning: grow the cluster count by
+/// `cfg.grow_step` per round until every point is within `bound` of its
+/// centroid (Eqs. 7/8) or `cfg.max_clusters` is reached.
+///
+/// When k-means alone cannot close the last violations (clusters are not
+/// covering balls), the final round promotes each violating point's
+/// position into its own centroid, which always terminates with
+/// `bounded = true` unless the cap interferes.
+pub fn bounded_kmeans(points: &[Point], bound: f64, cfg: &KMeansConfig) -> BoundedKMeansResult {
+    assert!(bound > 0.0, "bound must be positive");
+    assert!(!points.is_empty(), "bounded_kmeans over empty input");
+
+    // Start from a single cluster and add `grow_step` per round: the
+    // smallest satisfying q wins, which keeps partitions (and the PI
+    // regions built from them) as large and stable as the bound allows.
+    let mut q = 1;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let (centroids, assign) = kmeans(points, q, cfg);
+        if max_radius(points, &centroids, &assign) <= bound {
+            return BoundedKMeansResult { centroids, assign, rounds, bounded: true };
+        }
+        if q >= points.len() || q + cfg.grow_step > cfg.max_clusters {
+            // Last resort: make violators their own centroids.
+            let (mut centroids, mut assign) = (centroids, assign);
+            for (i, p) in points.iter().enumerate() {
+                if p.dist(&centroids[assign[i] as usize]) > bound {
+                    centroids.push(*p);
+                    assign[i] = (centroids.len() - 1) as u32;
+                }
+            }
+            let bounded = max_radius(points, &centroids, &assign) <= bound;
+            return BoundedKMeansResult { centroids, assign, rounds, bounded };
+        }
+        q += cfg.grow_step;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: Point, n: usize, spread: f64, seed: u64) -> Vec<Point> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                let dx = (splitmix64(&mut state) as f64 / u64::MAX as f64 - 0.5) * spread;
+                let dy = (splitmix64(&mut state) as f64 / u64::MAX as f64 - 0.5) * spread;
+                Point::new(center.x + dx, center.y + dy)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut pts = blob(Point::new(0.0, 0.0), 100, 1.0, 1);
+        pts.extend(blob(Point::new(100.0, 100.0), 100, 1.0, 2));
+        let (centroids, assign) = kmeans(&pts, 2, &KMeansConfig::default());
+        // Same-blob points share a label; blobs differ.
+        assert_ne!(assign[0], assign[150]);
+        assert_eq!(assign[..100].iter().collect::<std::collections::HashSet<_>>().len(), 1);
+        let near_origin = centroids.iter().filter(|c| c.norm() < 5.0).count();
+        assert_eq!(near_origin, 1);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let (centroids, assign) = kmeans(&pts, 10, &KMeansConfig::default());
+        assert!(centroids.len() <= 2);
+        assert_eq!(assign.len(), 2);
+    }
+
+    #[test]
+    fn single_cluster_is_centroid() {
+        let pts = blob(Point::new(5.0, -3.0), 64, 2.0, 9);
+        let (centroids, _) = kmeans(&pts, 1, &KMeansConfig::default());
+        let c = Point::centroid(&pts).unwrap();
+        assert!(centroids[0].dist(&c) < 1e-9);
+    }
+
+    #[test]
+    fn bounded_kmeans_respects_bound() {
+        let mut pts = blob(Point::new(0.0, 0.0), 200, 4.0, 3);
+        pts.extend(blob(Point::new(50.0, 0.0), 200, 4.0, 4));
+        pts.extend(blob(Point::new(0.0, 50.0), 50, 4.0, 5));
+        let res = bounded_kmeans(&pts, 3.0, &KMeansConfig::default());
+        assert!(res.bounded);
+        assert!(max_radius(&pts, &res.centroids, &res.assign) <= 3.0);
+        assert!(res.rounds >= 1);
+    }
+
+    #[test]
+    fn bounded_kmeans_tight_bound_degenerates_gracefully() {
+        let pts = blob(Point::new(0.0, 0.0), 50, 10.0, 6);
+        // Impossibly tight bound: every point must be (almost) its own word.
+        let res = bounded_kmeans(&pts, 1e-6, &KMeansConfig::default());
+        assert!(res.bounded);
+        assert!(max_radius(&pts, &res.centroids, &res.assign) <= 1e-6);
+    }
+
+    #[test]
+    fn looser_bound_needs_fewer_centroids() {
+        let pts = blob(Point::new(0.0, 0.0), 500, 20.0, 8);
+        let tight = bounded_kmeans(&pts, 1.0, &KMeansConfig::default());
+        let loose = bounded_kmeans(&pts, 8.0, &KMeansConfig::default());
+        assert!(loose.centroids.len() <= tight.centroids.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = blob(Point::new(2.0, 2.0), 128, 3.0, 11);
+        let cfg = KMeansConfig::default();
+        let (c1, a1) = kmeans(&pts, 5, &cfg);
+        let (c2, a2) = kmeans(&pts, 5, &cfg);
+        assert_eq!(a1, a2);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert_eq!(x, y);
+        }
+    }
+}

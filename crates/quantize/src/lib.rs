@@ -1,0 +1,34 @@
+//! Vector-quantization substrate for PPQ-Trajectory.
+//!
+//! The paper builds on three quantization primitives, all implemented here:
+//!
+//! * [`mod@kmeans`] — Lloyd's algorithm plus the *bounded* variant the paper
+//!   uses everywhere (grow the number of clusters by `a` per round until a
+//!   radius constraint such as Eq. 7/8 holds — complexity `O(q·m·N·l)`,
+//!   paper Lemma 1).
+//! * [`incremental`] — the error-bounded incremental quantizer of
+//!   Algorithm 1 line 6: maintain a codebook `C` such that every quantized
+//!   value is within `ε₁` of its codeword, adding codewords online as the
+//!   error distribution drifts.
+//! * [`product`] / [`residual`] — the Product Quantization and Residual
+//!   Quantization baselines from the evaluation (§6.1), restated for 2-D
+//!   trajectory points.
+//!
+//! [`grid_nn`] supplies the O(1) nearest-codeword search that makes the
+//! incremental quantizer fast, and [`bits`] packs codeword index streams
+//! for honest summary-size accounting.
+
+pub mod bits;
+pub mod codebook;
+pub mod grid_nn;
+pub mod incremental;
+pub mod kmeans;
+pub mod product;
+pub mod residual;
+
+pub use codebook::Codebook;
+pub use grid_nn::GridNN;
+pub use incremental::IncrementalQuantizer;
+pub use kmeans::{bounded_kmeans, kmeans, BoundedKMeansResult, KMeansConfig};
+pub use product::ProductQuantizer;
+pub use residual::ResidualQuantizer;

@@ -1,0 +1,261 @@
+//! Product Quantization baseline (Jégou et al., TPAMI 2011), restated for
+//! 2-D trajectory points as in the paper's evaluation (§6.1).
+//!
+//! The point space is split into its two natural sub-dimensions (x and y);
+//! each gets an independent scalar codebook. A point's code is the pair of
+//! sub-codeword indices, so PQ pays *two* index streams per point — exactly
+//! the extra-index cost the paper calls out when comparing compression
+//! ratios (§6.4).
+
+use crate::codebook::index_bits_for;
+use ppq_geo::Point;
+
+/// A fitted product quantizer over one batch of points.
+#[derive(Clone, Debug)]
+pub struct ProductQuantizer {
+    pub x_words: Vec<f64>,
+    pub y_words: Vec<f64>,
+    pub x_codes: Vec<u32>,
+    pub y_codes: Vec<u32>,
+}
+
+/// 1-D Lloyd's k-means (exact assignment via sort + binary search would be
+/// possible, but the 1-D Lloyd loop is simple and fast enough for the
+/// codebook sizes the experiments use).
+pub fn kmeans_1d(values: &[f64], k: usize, iters: usize) -> (Vec<f64>, Vec<u32>) {
+    assert!(!values.is_empty());
+    let k = k.clamp(1, values.len());
+    let (lo, hi) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+    // Uniform init across the range; stable and deterministic.
+    let mut cents: Vec<f64> = (0..k)
+        .map(|i| {
+            if k == 1 {
+                (lo + hi) * 0.5
+            } else {
+                lo + (hi - lo) * i as f64 / (k - 1) as f64
+            }
+        })
+        .collect();
+    let mut assign = vec![0u32; values.len()];
+    for _ in 0..iters {
+        for (i, &v) in values.iter().enumerate() {
+            let mut best = 0u32;
+            let mut bd = f64::INFINITY;
+            for (c, &cc) in cents.iter().enumerate() {
+                let d = (v - cc).abs();
+                if d < bd {
+                    bd = d;
+                    best = c as u32;
+                }
+            }
+            assign[i] = best;
+        }
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for (i, &v) in values.iter().enumerate() {
+            sums[assign[i] as usize] += v;
+            counts[assign[i] as usize] += 1;
+        }
+        let mut moved = 0.0;
+        for c in 0..k {
+            if counts[c] > 0 {
+                let nc = sums[c] / counts[c] as f64;
+                moved += (nc - cents[c]).abs();
+                cents[c] = nc;
+            } else {
+                // Re-seed an empty cluster at the worst-fit value so the
+                // codebook cannot waste capacity (needed for the bounded
+                // fit to converge).
+                let (wi, _) = values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (i, (v - cents[assign[i] as usize]).abs()))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .unwrap();
+                cents[c] = values[wi];
+                moved = f64::INFINITY;
+            }
+        }
+        if moved < 1e-12 {
+            break;
+        }
+    }
+    // Final assignment.
+    for (i, &v) in values.iter().enumerate() {
+        let mut best = 0u32;
+        let mut bd = f64::INFINITY;
+        for (c, &cc) in cents.iter().enumerate() {
+            let d = (v - cc).abs();
+            if d < bd {
+                bd = d;
+                best = c as u32;
+            }
+        }
+        assign[i] = best;
+    }
+    (cents, assign)
+}
+
+impl ProductQuantizer {
+    /// Fit with a per-sub-dimension codebook size (`words_per_dim`
+    /// codewords on x and on y).
+    pub fn fit(points: &[Point], words_per_dim: usize) -> Self {
+        assert!(!points.is_empty());
+        let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
+        let (x_words, x_codes) = kmeans_1d(&xs, words_per_dim, 16);
+        let (y_words, y_codes) = kmeans_1d(&ys, words_per_dim, 16);
+        ProductQuantizer { x_words, y_words, x_codes, y_codes }
+    }
+
+    /// Fit with a total index budget of `bits` per point, split between the
+    /// two sub-dimensions (x gets the extra bit when `bits` is odd).
+    pub fn fit_bits(points: &[Point], bits: u32) -> Self {
+        assert!(bits >= 2, "need at least 1 bit per sub-dimension");
+        let bx = bits.div_ceil(2);
+        let by = bits / 2;
+        let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
+        let (x_words, x_codes) = kmeans_1d(&xs, 1usize << bx, 16);
+        let (y_words, y_codes) = kmeans_1d(&ys, 1usize << by, 16);
+        ProductQuantizer { x_words, y_words, x_codes, y_codes }
+    }
+
+    /// Grow the per-dimension codebooks until the max 2-D reconstruction
+    /// error is within `eps` (used by the deviation-budget experiments,
+    /// Tables 5–6). Each round multiplies the sub-codebook size by 2.
+    pub fn fit_bounded(points: &[Point], eps: f64) -> Self {
+        assert!(eps > 0.0);
+        let mut k = 2usize;
+        loop {
+            let pq = Self::fit(points, k);
+            if pq.max_error(points) <= eps {
+                return pq;
+            }
+            if k >= points.len() {
+                // Exact fallback: one scalar codeword per distinct value on
+                // each axis — zero quantization error by construction.
+                return Self::exact(points);
+            }
+            k *= 2;
+        }
+    }
+
+    /// Degenerate PQ with one codeword per distinct scalar value.
+    fn exact(points: &[Point]) -> Self {
+        let assign_axis = |values: &[f64]| {
+            let mut words: Vec<f64> = values.to_vec();
+            words.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            words.dedup();
+            let codes = values
+                .iter()
+                .map(|v| words.partition_point(|w| w < v) as u32)
+                .collect::<Vec<u32>>();
+            (words, codes)
+        };
+        let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
+        let (x_words, x_codes) = assign_axis(&xs);
+        let (y_words, y_codes) = assign_axis(&ys);
+        ProductQuantizer { x_words, y_words, x_codes, y_codes }
+    }
+
+    /// Reconstruction of input `i`.
+    #[inline]
+    pub fn reconstruct(&self, i: usize) -> Point {
+        Point::new(
+            self.x_words[self.x_codes[i] as usize],
+            self.y_words[self.y_codes[i] as usize],
+        )
+    }
+
+    pub fn max_error(&self, points: &[Point]) -> f64 {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.dist(&self.reconstruct(i)))
+            .fold(0.0, f64::max)
+    }
+
+    pub fn mean_error(&self, points: &[Point]) -> f64 {
+        if points.is_empty() {
+            return 0.0;
+        }
+        points.iter().enumerate().map(|(i, p)| p.dist(&self.reconstruct(i))).sum::<f64>()
+            / points.len() as f64
+    }
+
+    /// Number of stored codewords, counted in 2-D codeword equivalents
+    /// (two scalar words = one 2-D word's storage).
+    pub fn codeword_equivalents(&self) -> usize {
+        (self.x_words.len() + self.y_words.len()).div_ceil(2)
+    }
+
+    /// Index bits per point: PQ stores two sub-indices.
+    pub fn index_bits_per_point(&self) -> u32 {
+        index_bits_for(self.x_words.len()) + index_bits_for(self.y_words.len())
+    }
+
+    /// Codebook bytes: scalar words are one f64 each.
+    pub fn codebook_bytes(&self) -> usize {
+        (self.x_words.len() + self.y_words.len()) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Point::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0))).collect()
+    }
+
+    #[test]
+    fn kmeans_1d_two_clusters() {
+        let vals = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let (cents, assign) = kmeans_1d(&vals, 2, 20);
+        assert_eq!(assign[0], assign[1]);
+        assert_eq!(assign[3], assign[5]);
+        assert_ne!(assign[0], assign[3]);
+        let mut sorted = cents.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((sorted[0] - 0.1).abs() < 1e-9);
+        assert!((sorted[1] - 10.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_words_less_error() {
+        let pts = points(500, 1);
+        let small = ProductQuantizer::fit(&pts, 4);
+        let large = ProductQuantizer::fit(&pts, 32);
+        assert!(large.mean_error(&pts) < small.mean_error(&pts));
+    }
+
+    #[test]
+    fn bounded_fit_respects_eps() {
+        let pts = points(300, 2);
+        let pq = ProductQuantizer::fit_bounded(&pts, 0.5);
+        assert!(pq.max_error(&pts) <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn bits_split() {
+        let pts = points(100, 3);
+        let pq = ProductQuantizer::fit_bits(&pts, 5);
+        assert_eq!(pq.x_words.len(), 8); // ceil(5/2) = 3 bits
+        assert_eq!(pq.y_words.len(), 4); // floor(5/2) = 2 bits
+        assert_eq!(pq.index_bits_per_point(), 5);
+    }
+
+    #[test]
+    fn pq_pays_double_index_cost() {
+        let pts = points(100, 4);
+        let pq = ProductQuantizer::fit(&pts, 16);
+        // 16 words per dim -> 4 bits per dim -> 8 bits per point.
+        assert_eq!(pq.index_bits_per_point(), 8);
+    }
+}

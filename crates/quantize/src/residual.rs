@@ -1,0 +1,169 @@
+//! Residual (multi-stage) Quantization baseline (Chen et al., Sensors 2010).
+//!
+//! Stage 1 quantizes the raw points with a coarse codebook; stage `s+1`
+//! quantizes the residuals left by stage `s`. Reconstruction sums one
+//! codeword per stage, and the code of a point is the tuple of per-stage
+//! indices — like PQ, RQ pays multiple index streams per point.
+
+use crate::codebook::index_bits_for;
+use crate::kmeans::{kmeans, KMeansConfig};
+use ppq_geo::Point;
+
+/// A fitted residual quantizer over one batch of points.
+#[derive(Clone, Debug)]
+pub struct ResidualQuantizer {
+    /// Per-stage codebooks.
+    pub stages: Vec<Vec<Point>>,
+    /// Per-stage assignment of each input point.
+    pub codes: Vec<Vec<u32>>,
+}
+
+impl ResidualQuantizer {
+    /// Fit `num_stages` stages with `words_per_stage` codewords each.
+    pub fn fit(points: &[Point], words_per_stage: usize, num_stages: usize) -> Self {
+        assert!(!points.is_empty() && num_stages >= 1);
+        let cfg = KMeansConfig::default();
+        let mut residuals: Vec<Point> = points.to_vec();
+        let mut stages = Vec::with_capacity(num_stages);
+        let mut codes = Vec::with_capacity(num_stages);
+        for _ in 0..num_stages {
+            let (cents, assign) = kmeans(&residuals, words_per_stage, &cfg);
+            for (r, &a) in residuals.iter_mut().zip(&assign) {
+                *r = *r - cents[a as usize];
+            }
+            stages.push(cents);
+            codes.push(assign);
+        }
+        ResidualQuantizer { stages, codes }
+    }
+
+    /// Fit with a total per-point index budget of `bits`, split evenly over
+    /// two stages (the classic RQ configuration; an odd bit goes to the
+    /// first stage).
+    pub fn fit_bits(points: &[Point], bits: u32) -> Self {
+        assert!(bits >= 2);
+        let b1 = bits.div_ceil(2);
+        let b2 = bits / 2;
+        let cfg = KMeansConfig::default();
+        let (c1, a1) = kmeans(points, 1usize << b1, &cfg);
+        let residuals: Vec<Point> =
+            points.iter().zip(&a1).map(|(p, &a)| *p - c1[a as usize]).collect();
+        let (c2, a2) = kmeans(&residuals, 1usize << b2, &cfg);
+        ResidualQuantizer { stages: vec![c1, c2], codes: vec![a1, a2] }
+    }
+
+    /// Grow stage sizes (doubling) until the max reconstruction error is
+    /// within `eps`.
+    pub fn fit_bounded(points: &[Point], eps: f64) -> Self {
+        assert!(eps > 0.0);
+        let mut k = 2usize;
+        loop {
+            let rq = Self::fit(points, k, 2);
+            if rq.max_error(points) <= eps || k * k >= points.len() * 4 {
+                if rq.max_error(points) <= eps {
+                    return rq;
+                }
+                // Final fallback: single-stage exact growth so the bound is
+                // honoured even on adversarial inputs.
+                let mut k2 = k;
+                loop {
+                    let rq = Self::fit(points, k2, 2);
+                    if rq.max_error(points) <= eps || k2 >= points.len() {
+                        return rq;
+                    }
+                    k2 *= 2;
+                }
+            }
+            k *= 2;
+        }
+    }
+
+    #[inline]
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Reconstruction of input `i`: the sum of its per-stage codewords.
+    pub fn reconstruct(&self, i: usize) -> Point {
+        let mut p = Point::ORIGIN;
+        for (stage, codes) in self.stages.iter().zip(&self.codes) {
+            p += stage[codes[i] as usize];
+        }
+        p
+    }
+
+    pub fn max_error(&self, points: &[Point]) -> f64 {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.dist(&self.reconstruct(i)))
+            .fold(0.0, f64::max)
+    }
+
+    pub fn mean_error(&self, points: &[Point]) -> f64 {
+        if points.is_empty() {
+            return 0.0;
+        }
+        points.iter().enumerate().map(|(i, p)| p.dist(&self.reconstruct(i))).sum::<f64>()
+            / points.len() as f64
+    }
+
+    /// Total stored codewords across stages.
+    pub fn total_codewords(&self) -> usize {
+        self.stages.iter().map(Vec::len).sum()
+    }
+
+    /// Index bits per point: one index per stage.
+    pub fn index_bits_per_point(&self) -> u32 {
+        self.stages.iter().map(|s| index_bits_for(s.len())).sum()
+    }
+
+    pub fn codebook_bytes(&self) -> usize {
+        self.total_codewords() * 2 * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Point::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0))).collect()
+    }
+
+    #[test]
+    fn second_stage_reduces_error() {
+        let pts = points(400, 1);
+        let one = ResidualQuantizer::fit(&pts, 8, 1);
+        let two = ResidualQuantizer::fit(&pts, 8, 2);
+        assert!(two.mean_error(&pts) < one.mean_error(&pts));
+    }
+
+    #[test]
+    fn bounded_fit_respects_eps() {
+        let pts = points(300, 2);
+        let rq = ResidualQuantizer::fit_bounded(&pts, 0.4);
+        assert!(rq.max_error(&pts) <= 0.4 + 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_sums_stages() {
+        let pts = points(50, 3);
+        let rq = ResidualQuantizer::fit(&pts, 4, 2);
+        let i = 7;
+        let manual =
+            rq.stages[0][rq.codes[0][i] as usize] + rq.stages[1][rq.codes[1][i] as usize];
+        assert_eq!(rq.reconstruct(i), manual);
+    }
+
+    #[test]
+    fn bits_budget_split() {
+        let pts = points(200, 4);
+        let rq = ResidualQuantizer::fit_bits(&pts, 7);
+        assert_eq!(rq.stages[0].len(), 16); // ceil(7/2)=4 bits
+        assert_eq!(rq.stages[1].len(), 8); // floor(7/2)=3 bits
+        assert_eq!(rq.index_bits_per_point(), 7);
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-rectangle grid index (paper Algorithm 3, line 11).
+//!
+//! Each non-overlapping rectangle `R_j` of a PI is cut into cells of side
+//! `g_c`; every trajectory point maps to one cell and its trajectory ID is
+//! stored in that cell's compressed list. Queries locate the cell of
+//! `(x, y)` (or all cells within the local-search radius) and return the
+//! union of the stored ID lists.
+
+use crate::idlist::CompressedIdList;
+use ppq_geo::{BBox, GridSpec, Point};
+use std::collections::HashMap;
+
+/// A grid index over one rectangle.
+#[derive(Clone, Debug)]
+pub struct GridIndex {
+    region: BBox,
+    grid: GridSpec,
+    /// Sparse cell → compressed ID list.
+    cells: HashMap<usize, CompressedIdList>,
+    points_indexed: usize,
+}
+
+impl GridIndex {
+    /// Build over `region` with cell side `gc`. Points outside the region
+    /// are ignored (the caller routes points to the right rectangle).
+    pub fn build(region: BBox, gc: f64, points: &[(u32, Point)]) -> GridIndex {
+        assert!(!region.is_empty());
+        let grid = GridSpec::covering(&region, gc);
+        let mut raw: HashMap<usize, Vec<u32>> = HashMap::new();
+        let mut points_indexed = 0;
+        for (id, p) in points {
+            if !region.contains(p) {
+                continue;
+            }
+            let (cx, cy) = grid.locate_clamped(p);
+            raw.entry(grid.flat(cx, cy)).or_default().push(*id);
+            points_indexed += 1;
+        }
+        let cells =
+            raw.into_iter().map(|(cell, ids)| (cell, CompressedIdList::compress(&ids))).collect();
+        GridIndex { region, grid, cells, points_indexed }
+    }
+
+    #[inline]
+    pub fn region(&self) -> &BBox {
+        &self.region
+    }
+
+    #[inline]
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+
+    /// Number of points this index covers (`N_{R_i}` in Definition 5.1).
+    #[inline]
+    pub fn points_indexed(&self) -> usize {
+        self.points_indexed
+    }
+
+    /// Trajectory-region density (paper Definition 5.1):
+    /// `d(R) = N_R / |R|`.
+    pub fn density(&self) -> f64 {
+        let area = self.region.area();
+        if area > 0.0 {
+            self.points_indexed as f64 / area
+        } else {
+            self.points_indexed as f64
+        }
+    }
+
+    #[inline]
+    pub fn covers(&self, p: &Point) -> bool {
+        self.region.contains(p)
+    }
+
+    /// IDs stored in the cell containing `p` (empty when `p` is outside
+    /// the region or the cell holds nothing).
+    pub fn query_cell(&self, p: &Point) -> Vec<u32> {
+        if !self.region.contains(p) {
+            return Vec::new();
+        }
+        let (cx, cy) = self.grid.locate_clamped(p);
+        self.cells
+            .get(&self.grid.flat(cx, cy))
+            .map(CompressedIdList::decompress)
+            .unwrap_or_default()
+    }
+
+    /// Union of IDs in every cell intersecting the disc of radius `r`
+    /// around `p` — the paper's local search (§5.2). The result is sorted
+    /// and deduplicated.
+    pub fn query_disc(&self, p: &Point, r: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (cx, cy) in self.grid.cells_in_disc(p, r) {
+            if let Some(list) = self.cells.get(&self.grid.flat(cx, cy)) {
+                out.extend(list.decompress());
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of occupied cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Stored size: region + grid header + per-cell compressed lists.
+    pub fn size_bytes(&self) -> usize {
+        let header = 4 * 8 + 4 * 8; // region extents + grid spec
+        header
+            + self
+                .cells
+                .values()
+                .map(|l| l.size_bytes() + 8 /* cell key */)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> GridIndex {
+        let region = BBox::from_extents(0.0, 0.0, 10.0, 10.0);
+        let points = vec![
+            (1u32, Point::new(0.5, 0.5)),
+            (2, Point::new(0.6, 0.4)),
+            (3, Point::new(5.5, 5.5)),
+            (4, Point::new(9.9, 9.9)),
+            (5, Point::new(20.0, 20.0)), // outside: ignored
+        ];
+        GridIndex::build(region, 1.0, &points)
+    }
+
+    #[test]
+    fn build_counts_only_inside_points() {
+        let g = setup();
+        assert_eq!(g.points_indexed(), 4);
+        assert_eq!(g.occupied_cells(), 3);
+    }
+
+    #[test]
+    fn query_cell_returns_cohabitants() {
+        let g = setup();
+        assert_eq!(g.query_cell(&Point::new(0.1, 0.1)), vec![1, 2]);
+        assert_eq!(g.query_cell(&Point::new(5.2, 5.8)), vec![3]);
+        assert!(g.query_cell(&Point::new(3.0, 3.0)).is_empty());
+        assert!(g.query_cell(&Point::new(50.0, 50.0)).is_empty());
+    }
+
+    #[test]
+    fn disc_query_unions_cells() {
+        let g = setup();
+        // Radius that spans from near (0.5, 0.5) out to (5.5, 5.5).
+        let ids = g.query_disc(&Point::new(3.0, 3.0), 4.0);
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn density_definition() {
+        let g = setup();
+        assert!((g.density() - 4.0 / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_grows_with_content() {
+        let region = BBox::from_extents(0.0, 0.0, 10.0, 10.0);
+        let few = GridIndex::build(region, 1.0, &[(1, Point::new(1.0, 1.0))]);
+        let pts: Vec<(u32, Point)> =
+            (0..500).map(|i| (i, Point::new((i % 100) as f64 / 10.0, (i / 100) as f64))).collect();
+        let many = GridIndex::build(region, 1.0, &pts);
+        assert!(many.size_bytes() > few.size_bytes());
+    }
+}

@@ -1,0 +1,232 @@
+//! Canonical Huffman coding over bytes.
+//!
+//! Used to compress the delta-encoded trajectory-ID lists of grid cells
+//! (paper §5.1 cites the delta + Huffman approach of the Torch search
+//! engine). The implementation is a standard length-limited-free canonical
+//! Huffman: build the code-length table from frequencies, assign canonical
+//! codes, encode/decode bit streams.
+
+use std::collections::BinaryHeap;
+
+/// A canonical Huffman code over byte symbols.
+#[derive(Clone, Debug)]
+pub struct Huffman {
+    /// Code length per symbol (0 = unused symbol).
+    lengths: [u8; 256],
+    /// Canonical code value per symbol (valid when length > 0).
+    codes: [u32; 256],
+    /// Decoding table: sorted (length, first_code, first_symbol_index) plus
+    /// symbol order.
+    sorted_symbols: Vec<u8>,
+}
+
+impl Huffman {
+    /// Build from symbol frequencies (usually a histogram of the payload).
+    /// Symbols with zero frequency get no code. At least one symbol must
+    /// have nonzero frequency.
+    pub fn from_frequencies(freq: &[u64; 256]) -> Huffman {
+        #[derive(PartialEq, Eq)]
+        struct Node {
+            weight: u64,
+            id: usize, // tie-break for determinism
+        }
+        impl Ord for Node {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Reverse for min-heap.
+                other.weight.cmp(&self.weight).then(other.id.cmp(&self.id))
+            }
+        }
+        impl PartialOrd for Node {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let used: Vec<usize> = (0..256).filter(|&s| freq[s] > 0).collect();
+        assert!(!used.is_empty(), "cannot build a Huffman code with no symbols");
+
+        let mut lengths = [0u8; 256];
+        if used.len() == 1 {
+            // Degenerate single-symbol alphabet: one-bit code.
+            lengths[used[0]] = 1;
+        } else {
+            // Build the tree over (weight, id) nodes; parents get fresh ids.
+            let mut heap = BinaryHeap::new();
+            // children[id] = Some((left, right)) for internal nodes.
+            let mut children: Vec<Option<(usize, usize)>> = vec![None; used.len()];
+            let mut weights: Vec<u64> = Vec::with_capacity(used.len() * 2);
+            for (i, &s) in used.iter().enumerate() {
+                weights.push(freq[s]);
+                heap.push(Node { weight: freq[s], id: i });
+            }
+            while heap.len() > 1 {
+                let a = heap.pop().unwrap();
+                let b = heap.pop().unwrap();
+                let id = weights.len();
+                weights.push(a.weight + b.weight);
+                children.push(Some((a.id, b.id)));
+                heap.push(Node { weight: a.weight + b.weight, id });
+            }
+            // Depth-first traversal to get code lengths.
+            let root = heap.pop().unwrap().id;
+            let mut stack = vec![(root, 0u8)];
+            while let Some((id, depth)) = stack.pop() {
+                match children.get(id).copied().flatten() {
+                    Some((l, r)) => {
+                        stack.push((l, depth + 1));
+                        stack.push((r, depth + 1));
+                    }
+                    None => lengths[used[id]] = depth.max(1),
+                }
+            }
+        }
+        Self::from_lengths(lengths)
+    }
+
+    /// Build the canonical code from a code-length table.
+    pub fn from_lengths(lengths: [u8; 256]) -> Huffman {
+        // Canonical ordering: by (length, symbol).
+        let mut sorted_symbols: Vec<u8> =
+            (0..=255u8).filter(|&s| lengths[s as usize] > 0).collect();
+        sorted_symbols.sort_by_key(|&s| (lengths[s as usize], s));
+        let mut codes = [0u32; 256];
+        let mut code = 0u32;
+        let mut prev_len = 0u8;
+        for &s in &sorted_symbols {
+            let len = lengths[s as usize];
+            code <<= len - prev_len;
+            codes[s as usize] = code;
+            code += 1;
+            prev_len = len;
+        }
+        Huffman { lengths, codes, sorted_symbols }
+    }
+
+    /// Encode `data`; returns the bit stream and its exact bit length.
+    pub fn encode(&self, data: &[u8]) -> (Vec<u8>, usize) {
+        let mut out = Vec::with_capacity(data.len() / 2 + 1);
+        let mut bitpos = 0usize;
+        for &b in data {
+            let len = self.lengths[b as usize];
+            assert!(len > 0, "symbol {b} has no code");
+            let code = self.codes[b as usize];
+            // MSB-first within the code.
+            for k in (0..len).rev() {
+                let bit = (code >> k) & 1;
+                if bitpos.is_multiple_of(8) {
+                    out.push(0);
+                }
+                if bit == 1 {
+                    *out.last_mut().unwrap() |= 1 << (7 - (bitpos % 8));
+                }
+                bitpos += 1;
+            }
+        }
+        (out, bitpos)
+    }
+
+    /// Decode `n` symbols from a bit stream produced by [`Self::encode`].
+    pub fn decode(&self, bits: &[u8], bit_len: usize, n: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(n);
+        let mut pos = 0usize;
+        // Walk the canonical code: accumulate bits, compare against
+        // first-code boundaries per length.
+        while out.len() < n {
+            let mut code = 0u32;
+            let mut len = 0u8;
+            loop {
+                assert!(pos < bit_len, "bit stream exhausted");
+                let bit = (bits[pos / 8] >> (7 - (pos % 8))) & 1;
+                pos += 1;
+                code = (code << 1) | bit as u32;
+                len += 1;
+                if let Some(sym) = self.lookup(code, len) {
+                    out.push(sym);
+                    break;
+                }
+                assert!(len < 32, "corrupt Huffman stream");
+            }
+        }
+        out
+    }
+
+    fn lookup(&self, code: u32, len: u8) -> Option<u8> {
+        // Linear over the (short) canonical symbol list; ID-list alphabets
+        // are tiny so this is fast enough and simple.
+        self.sorted_symbols.iter().find(|&&s| self.lengths[s as usize] == len && self.codes[s as usize] == code).copied()
+    }
+
+    /// Serialized size of the code table: one length byte per used symbol
+    /// plus the symbol list.
+    pub fn table_bytes(&self) -> usize {
+        self.sorted_symbols.len() * 2 + 2
+    }
+}
+
+/// Histogram helper.
+pub fn byte_histogram(data: &[u8]) -> [u64; 256] {
+    let mut h = [0u64; 256];
+    for &b in data {
+        h[b as usize] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let h = Huffman::from_frequencies(&byte_histogram(data));
+        let (bits, len) = h.encode(data);
+        let back = h.decode(&bits, len, data.len());
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip(b"abracadabra");
+    }
+
+    #[test]
+    fn roundtrip_single_symbol() {
+        roundtrip(&[42u8; 100]);
+    }
+
+    #[test]
+    fn roundtrip_two_symbols() {
+        roundtrip(&[0, 1, 0, 0, 1, 0, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 90% zeros: entropy ≈ 0.47 bits/symbol — Huffman should beat 8.
+        let mut data = vec![0u8; 900];
+        data.extend(std::iter::repeat_n(7u8, 50));
+        data.extend(std::iter::repeat_n(200u8, 50));
+        let h = Huffman::from_frequencies(&byte_histogram(&data));
+        let (bits, len) = h.encode(&data);
+        assert!(len < data.len() * 8 / 4, "no compression: {len} bits for {} bytes", data.len());
+        assert_eq!(h.decode(&bits, len, data.len()), data);
+    }
+
+    #[test]
+    fn uniform_distribution_roundtrips() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1024).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn deterministic_codes() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let h1 = Huffman::from_frequencies(&byte_histogram(data));
+        let h2 = Huffman::from_frequencies(&byte_histogram(data));
+        assert_eq!(h1.encode(data).0, h2.encode(data).0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no symbols")]
+    fn empty_frequencies_panic() {
+        Huffman::from_frequencies(&[0u64; 256]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Delta + Huffman compressed trajectory-ID lists (paper §5.1).
+//!
+//! Grid cells map to lists of trajectory IDs. The lists are sorted, delta
+//! encoded (gaps), the gaps LEB128-byte-split, and the byte stream Huffman
+//! coded. This is the storage representation whose size shows up in the
+//! paper's index-size tables (7–9).
+
+use crate::huffman::{byte_histogram, Huffman};
+
+/// A compressed, sorted list of u32 IDs.
+#[derive(Clone, Debug)]
+pub struct CompressedIdList {
+    bits: Vec<u8>,
+    bit_len: usize,
+    n_bytes: usize,
+    len: usize,
+    huffman: Huffman,
+}
+
+/// LEB128-encode a u32 into `out`.
+fn write_varint(mut v: u32, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode one LEB128 u32 from `data` starting at `pos`.
+fn read_varint(data: &[u8], pos: &mut usize) -> u32 {
+    let mut v = 0u32;
+    let mut shift = 0;
+    loop {
+        let byte = data[*pos];
+        *pos += 1;
+        v |= ((byte & 0x7F) as u32) << shift;
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    v
+}
+
+impl CompressedIdList {
+    /// Compress a list of IDs (any order; stored sorted + deduplicated).
+    pub fn compress(ids: &[u32]) -> CompressedIdList {
+        let mut sorted: Vec<u32> = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut bytes = Vec::with_capacity(sorted.len() + 4);
+        let mut prev = 0u32;
+        for (i, &id) in sorted.iter().enumerate() {
+            let delta = if i == 0 { id } else { id - prev };
+            write_varint(delta, &mut bytes);
+            prev = id;
+        }
+        if bytes.is_empty() {
+            bytes.push(0); // keep the Huffman alphabet non-empty
+        }
+        let huffman = Huffman::from_frequencies(&byte_histogram(&bytes));
+        let (bits, bit_len) = huffman.encode(&bytes);
+        CompressedIdList { bits, bit_len, n_bytes: bytes.len(), len: sorted.len(), huffman }
+    }
+
+    /// Number of IDs stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Decompress back into the sorted ID list.
+    pub fn decompress(&self) -> Vec<u32> {
+        if self.len == 0 {
+            return Vec::new();
+        }
+        let bytes = self.huffman.decode(&self.bits, self.bit_len, self.n_bytes);
+        let mut out = Vec::with_capacity(self.len);
+        let mut pos = 0usize;
+        let mut acc = 0u32;
+        for i in 0..self.len {
+            let delta = read_varint(&bytes, &mut pos);
+            acc = if i == 0 { delta } else { acc + delta };
+            out.push(acc);
+        }
+        out
+    }
+
+    /// Stored size: bit payload + Huffman table + counters.
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() + self.huffman.table_bytes() + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_sorted() {
+        let ids = vec![3, 17, 19, 200, 201, 202, 90000];
+        let c = CompressedIdList::compress(&ids);
+        assert_eq!(c.decompress(), ids);
+        assert_eq!(c.len(), 7);
+    }
+
+    #[test]
+    fn roundtrip_unsorted_dedups() {
+        let ids = vec![5, 1, 5, 3, 1];
+        let c = CompressedIdList::compress(&ids);
+        assert_eq!(c.decompress(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn empty_list() {
+        let c = CompressedIdList::compress(&[]);
+        assert!(c.is_empty());
+        assert!(c.decompress().is_empty());
+    }
+
+    #[test]
+    fn single_id() {
+        let c = CompressedIdList::compress(&[123456]);
+        assert_eq!(c.decompress(), vec![123456]);
+    }
+
+    #[test]
+    fn dense_runs_compress_well() {
+        // Consecutive IDs: deltas are all 1 → near-zero entropy.
+        let ids: Vec<u32> = (1000..3000).collect();
+        let c = CompressedIdList::compress(&ids);
+        let raw = ids.len() * 4;
+        assert!(
+            c.size_bytes() < raw / 4,
+            "dense list barely compressed: {} vs raw {}",
+            c.size_bytes(),
+            raw
+        );
+        assert_eq!(c.decompress(), ids);
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u32, 1, 127, 128, 300, 16383, 16384, u32::MAX] {
+            let mut buf = Vec::new();
+            write_varint(v, &mut buf);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn large_sparse_ids() {
+        let ids: Vec<u32> = (0..500).map(|i| i * 7919 + 13).collect();
+        let c = CompressedIdList::compress(&ids);
+        assert_eq!(c.decompress(), ids);
+    }
+}

@@ -1,0 +1,28 @@
+//! Spatial-index substrate for PPQ-Trajectory.
+//!
+//! The temporal partition index (paper §5.1) composes four pieces that
+//! live here because they are generic spatial machinery rather than part
+//! of the PPQ contribution itself:
+//!
+//! * [`overlap`] — decompose a new rectangle minus existing ones into
+//!   non-overlapping rectangles (`remove_overlap`, Algorithm 3 line 7,
+//!   after Gourley & Green's polygon-to-rectangle conversion).
+//! * [`grid_index`] — the per-rectangle uniform grid mapping points to
+//!   cells and cells to compressed trajectory-ID lists.
+//! * [`huffman`] / [`idlist`] — delta + canonical-Huffman compression of
+//!   the per-cell ID lists ("we compress trajectory IDs mapped to the grid
+//!   cell by delta encoding and Huffman codes", §5.1).
+//! * [`region_quadtree`] — the adaptive spatial quadtree used by the
+//!   TrajStore baseline (split on overflow, merge on underflow).
+
+pub mod grid_index;
+pub mod huffman;
+pub mod idlist;
+pub mod overlap;
+pub mod region_quadtree;
+
+pub use grid_index::GridIndex;
+pub use huffman::Huffman;
+pub use idlist::CompressedIdList;
+pub use overlap::remove_overlap;
+pub use region_quadtree::RegionQuadtree;

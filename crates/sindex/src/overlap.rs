@@ -1,0 +1,149 @@
+//! Rectangle overlap removal (paper Algorithm 3, lines 6–8).
+//!
+//! When a partition's minimum bounding rectangle overlaps rectangles
+//! already in the region list, the overlapping area is removed and the
+//! remaining rectilinear polygon is split into non-overlapping rectangles.
+//! We implement this as iterated rectangle subtraction: `R \ R'` is at
+//! most four axis-aligned pieces (left, right, bottom, top bands), and the
+//! pieces are subtracted against the remaining obstacles in turn — a
+//! guillotine variant of Gourley & Green's polygon-to-rectangle
+//! conversion with the same output property (a set of disjoint rectangles
+//! covering exactly `R` minus the obstacles).
+
+use ppq_geo::BBox;
+
+/// Subtract `clip` from `r`, returning up to four disjoint rectangles
+/// covering `r \ clip`. Zero-area slivers are dropped.
+pub fn subtract(r: &BBox, clip: &BBox) -> Vec<BBox> {
+    let Some(i) = r.intersection(clip) else {
+        return vec![*r];
+    };
+    if i.area() == 0.0 {
+        // Touching edges only — nothing material removed.
+        return vec![*r];
+    }
+    let mut out = Vec::with_capacity(4);
+    let mut push = |min_x: f64, min_y: f64, max_x: f64, max_y: f64| {
+        if max_x - min_x > 0.0 && max_y - min_y > 0.0 {
+            out.push(BBox::from_extents(min_x, min_y, max_x, max_y));
+        }
+    };
+    // Left band (full height of r).
+    push(r.min.x, r.min.y, i.min.x, r.max.y);
+    // Right band (full height of r).
+    push(i.max.x, r.min.y, r.max.x, r.max.y);
+    // Bottom band (between the vertical bands).
+    push(i.min.x, r.min.y, i.max.x, i.min.y);
+    // Top band (between the vertical bands).
+    push(i.min.x, i.max.y, i.max.x, r.max.y);
+    out
+}
+
+/// Remove from `rect` everything covered by `existing`, returning disjoint
+/// rectangles that cover exactly the uncovered remainder (possibly empty).
+pub fn remove_overlap(rect: &BBox, existing: &[BBox]) -> Vec<BBox> {
+    let mut pieces = vec![*rect];
+    for obstacle in existing {
+        if pieces.is_empty() {
+            break;
+        }
+        let mut next = Vec::with_capacity(pieces.len());
+        for piece in &pieces {
+            next.extend(subtract(piece, obstacle));
+        }
+        pieces = next;
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppq_geo::Point;
+
+    fn bb(x0: f64, y0: f64, x1: f64, y1: f64) -> BBox {
+        BBox::from_extents(x0, y0, x1, y1)
+    }
+
+    fn total_area(rects: &[BBox]) -> f64 {
+        rects.iter().map(BBox::area).sum()
+    }
+
+    fn assert_disjoint(rects: &[BBox]) {
+        for (i, a) in rects.iter().enumerate() {
+            for b in rects.iter().skip(i + 1) {
+                if let Some(inter) = a.intersection(b) {
+                    assert!(inter.area() < 1e-12, "pieces overlap: {a:?} ∩ {b:?} = {inter:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_rect_untouched() {
+        let r = bb(0.0, 0.0, 1.0, 1.0);
+        let pieces = remove_overlap(&r, &[bb(5.0, 5.0, 6.0, 6.0)]);
+        assert_eq!(pieces, vec![r]);
+    }
+
+    #[test]
+    fn fully_covered_vanishes() {
+        let r = bb(1.0, 1.0, 2.0, 2.0);
+        let pieces = remove_overlap(&r, &[bb(0.0, 0.0, 3.0, 3.0)]);
+        assert!(pieces.is_empty());
+    }
+
+    #[test]
+    fn corner_overlap_produces_l_shape() {
+        // Paper Figure 5a: R2 overlaps R1, remainder splits into pieces.
+        let r = bb(0.0, 0.0, 4.0, 4.0);
+        let obstacle = bb(2.0, 2.0, 6.0, 6.0);
+        let pieces = remove_overlap(&r, &[obstacle]);
+        assert_disjoint(&pieces);
+        // Remaining area = 16 - 4 (the 2×2 overlapped corner).
+        assert!((total_area(&pieces) - 12.0).abs() < 1e-12);
+        // No piece intersects the obstacle.
+        for p in &pieces {
+            assert!(p.intersection(&obstacle).is_none_or(|i| i.area() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn hole_in_the_middle_gives_four_bands() {
+        let r = bb(0.0, 0.0, 10.0, 10.0);
+        let hole = bb(4.0, 4.0, 6.0, 6.0);
+        let pieces = subtract(&r, &hole);
+        assert_eq!(pieces.len(), 4);
+        assert_disjoint(&pieces);
+        assert!((total_area(&pieces) - 96.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_obstacles() {
+        let r = bb(0.0, 0.0, 10.0, 2.0);
+        let obstacles = [bb(1.0, 0.0, 3.0, 2.0), bb(5.0, 0.0, 7.0, 2.0), bb(6.0, 0.0, 8.0, 2.0)];
+        let pieces = remove_overlap(&r, &obstacles);
+        assert_disjoint(&pieces);
+        // Remaining columns: [0,1], [3,5], [8,10] → area 2+4+4 = 10.
+        assert!((total_area(&pieces) - 10.0).abs() < 1e-12);
+        // Every uncovered sample point is in exactly one piece.
+        for xi in 0..100 {
+            let x = xi as f64 * 0.1 + 0.05;
+            let p = Point::new(x, 1.0);
+            let in_obstacle = obstacles.iter().any(|o| o.contains(&p));
+            let covering = pieces.iter().filter(|r| r.contains(&p)).count();
+            if !in_obstacle {
+                assert!(covering >= 1, "point {p:?} lost");
+            } else {
+                assert_eq!(covering, 0, "point {p:?} double-covered");
+            }
+        }
+    }
+
+    #[test]
+    fn touching_edges_do_not_split() {
+        let r = bb(0.0, 0.0, 1.0, 1.0);
+        let pieces = remove_overlap(&r, &[bb(1.0, 0.0, 2.0, 1.0)]);
+        assert_eq!(pieces, vec![r]);
+    }
+}

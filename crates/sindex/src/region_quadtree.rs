@@ -1,0 +1,353 @@
+//! Adaptive region quadtree — the spatial index underlying the TrajStore
+//! baseline (Cudre-Mauroux et al., ICDE 2010).
+//!
+//! TrajStore keeps an adaptive quadtree over space whose leaf cells hold
+//! the (sub-)trajectory points falling inside them; cells split when they
+//! overflow and sibling groups merge back when they underflow. The paper
+//! reproduces its behaviour through this structure plus per-cell
+//! codebooks in `ppq-baselines`.
+
+use ppq_geo::{BBox, Point};
+
+/// One stored point: trajectory id, timestep, position.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Entry {
+    pub id: u32,
+    pub t: u32,
+    pub pos: Point,
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf(Vec<Entry>),
+    Internal(Box<[Node; 4]>),
+}
+
+/// Adaptive quadtree with split-on-overflow and merge-on-underflow.
+#[derive(Clone, Debug)]
+pub struct RegionQuadtree {
+    bounds: BBox,
+    root: Node,
+    max_per_leaf: usize,
+    max_depth: u32,
+    len: usize,
+    splits: u64,
+    merges: u64,
+}
+
+/// Which quadrant of `b` contains `p` (SW, SE, NW, NE order as
+/// [`BBox::quadrants`]).
+fn quadrant_of(b: &BBox, p: &Point) -> usize {
+    let c = b.center();
+    match (p.x >= c.x, p.y >= c.y) {
+        (false, false) => 0,
+        (true, false) => 1,
+        (false, true) => 2,
+        (true, true) => 3,
+    }
+}
+
+impl RegionQuadtree {
+    pub fn new(bounds: BBox, max_per_leaf: usize) -> Self {
+        assert!(!bounds.is_empty() && max_per_leaf > 0);
+        RegionQuadtree {
+            bounds,
+            root: Node::Leaf(Vec::new()),
+            max_per_leaf,
+            max_depth: 24,
+            len: 0,
+            splits: 0,
+            merges: 0,
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn bounds(&self) -> &BBox {
+        &self.bounds
+    }
+
+    /// Number of split operations performed (TrajStore's index-maintenance
+    /// cost driver).
+    #[inline]
+    pub fn splits(&self) -> u64 {
+        self.splits
+    }
+
+    #[inline]
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Insert an entry. Positions outside the tree bounds are clamped to
+    /// the boundary (TrajStore assumes a known spatial universe).
+    pub fn insert(&mut self, mut e: Entry) {
+        e.pos = Point::new(
+            e.pos.x.clamp(self.bounds.min.x, self.bounds.max.x),
+            e.pos.y.clamp(self.bounds.min.y, self.bounds.max.y),
+        );
+        let (max_per_leaf, max_depth) = (self.max_per_leaf, self.max_depth);
+        let mut splits = 0;
+        Self::insert_rec(&mut self.root, &self.bounds, e, max_per_leaf, max_depth, &mut splits);
+        self.splits += splits;
+        self.len += 1;
+    }
+
+    fn insert_rec(
+        node: &mut Node,
+        bounds: &BBox,
+        e: Entry,
+        max_per_leaf: usize,
+        depth_left: u32,
+        splits: &mut u64,
+    ) {
+        match node {
+            Node::Leaf(entries) => {
+                entries.push(e);
+                if entries.len() > max_per_leaf && depth_left > 0 {
+                    // Split: redistribute into four children.
+                    let moved = std::mem::take(entries);
+                    *splits += 1;
+                    let mut children: [Vec<Entry>; 4] =
+                        [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+                    for entry in moved {
+                        children[quadrant_of(bounds, &entry.pos)].push(entry);
+                    }
+                    let [sw, se, nw, ne] = children;
+                    *node = Node::Internal(Box::new([
+                        Node::Leaf(sw),
+                        Node::Leaf(se),
+                        Node::Leaf(nw),
+                        Node::Leaf(ne),
+                    ]));
+                    // A pathological pile-up on one point could still
+                    // overflow; the depth budget bounds the recursion.
+                    if let Node::Internal(kids) = node {
+                        let qs = bounds.quadrants();
+                        for (i, kid) in kids.iter_mut().enumerate() {
+                            if let Node::Leaf(v) = kid {
+                                if v.len() > max_per_leaf && depth_left > 1 {
+                                    // Re-run the overflow check by
+                                    // reinserting the last element.
+                                    let last = v.pop().unwrap();
+                                    Self::insert_rec(
+                                        kid,
+                                        &qs[i],
+                                        last,
+                                        max_per_leaf,
+                                        depth_left - 1,
+                                        splits,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Node::Internal(children) => {
+                let q = quadrant_of(bounds, &e.pos);
+                let qs = bounds.quadrants();
+                Self::insert_rec(&mut children[q], &qs[q], e, max_per_leaf, depth_left - 1, splits);
+            }
+        }
+    }
+
+    /// Merge pass: any internal node whose four children are leaves with a
+    /// combined population ≤ `threshold` collapses back into one leaf.
+    /// Returns the number of merges performed.
+    pub fn merge_pass(&mut self, threshold: usize) -> u64 {
+        let mut merges = 0;
+        Self::merge_rec(&mut self.root, threshold, &mut merges);
+        self.merges += merges;
+        merges
+    }
+
+    fn merge_rec(node: &mut Node, threshold: usize, merges: &mut u64) {
+        if let Node::Internal(children) = node {
+            for child in children.iter_mut() {
+                Self::merge_rec(child, threshold, merges);
+            }
+            let all_leaves = children.iter().all(|c| matches!(c, Node::Leaf(_)));
+            if all_leaves {
+                let total: usize = children
+                    .iter()
+                    .map(|c| match c {
+                        Node::Leaf(v) => v.len(),
+                        _ => 0,
+                    })
+                    .sum();
+                if total <= threshold {
+                    let mut merged = Vec::with_capacity(total);
+                    for c in children.iter_mut() {
+                        if let Node::Leaf(v) = c {
+                            merged.append(v);
+                        }
+                    }
+                    *node = Node::Leaf(merged);
+                    *merges += 1;
+                }
+            }
+        }
+    }
+
+    /// The leaf cell containing `p`: its bounds and entries.
+    pub fn leaf_at(&self, p: &Point) -> (BBox, &[Entry]) {
+        let mut bounds = self.bounds;
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(entries) => return (bounds, entries),
+                Node::Internal(children) => {
+                    let q = quadrant_of(&bounds, p);
+                    bounds = bounds.quadrants()[q];
+                    node = &children[q];
+                }
+            }
+        }
+    }
+
+    /// Visit every leaf with its bounds.
+    pub fn for_each_leaf<'a>(&'a self, mut f: impl FnMut(&BBox, &'a [Entry])) {
+        fn walk<'a>(node: &'a Node, bounds: &BBox, f: &mut impl FnMut(&BBox, &'a [Entry])) {
+            match node {
+                Node::Leaf(entries) => f(bounds, entries),
+                Node::Internal(children) => {
+                    let qs = bounds.quadrants();
+                    for (i, c) in children.iter().enumerate() {
+                        walk(c, &qs[i], f);
+                    }
+                }
+            }
+        }
+        walk(&self.root, &self.bounds, &mut f);
+    }
+
+    pub fn num_leaves(&self) -> usize {
+        let mut n = 0;
+        self.for_each_leaf(|_, _| n += 1);
+        n
+    }
+
+    /// Leaves intersecting `query` rectangle.
+    pub fn leaves_intersecting<'a>(&'a self, query: &BBox) -> Vec<(BBox, &'a [Entry])> {
+        let mut out = Vec::new();
+        self.for_each_leaf(|b, e| {
+            if b.intersects(query) {
+                out.push((*b, e));
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u32, x: f64, y: f64) -> Entry {
+        Entry { id, t: 0, pos: Point::new(x, y) }
+    }
+
+    fn tree() -> RegionQuadtree {
+        RegionQuadtree::new(BBox::from_extents(0.0, 0.0, 100.0, 100.0), 4)
+    }
+
+    #[test]
+    fn splits_on_overflow() {
+        let mut q = tree();
+        for i in 0..10 {
+            q.insert(entry(i, 10.0 + i as f64, 10.0));
+        }
+        assert!(q.splits() > 0);
+        assert!(q.num_leaves() > 1);
+        assert_eq!(q.len(), 10);
+    }
+
+    #[test]
+    fn leaf_at_finds_entries() {
+        let mut q = tree();
+        q.insert(entry(1, 10.0, 10.0));
+        q.insert(entry(2, 90.0, 90.0));
+        let (b, entries) = q.leaf_at(&Point::new(10.0, 10.0));
+        assert!(b.contains(&Point::new(10.0, 10.0)));
+        assert!(entries.iter().any(|e| e.id == 1));
+    }
+
+    #[test]
+    fn all_points_preserved_across_splits() {
+        let mut q = tree();
+        let n = 200;
+        for i in 0..n {
+            let x = (i as f64 * 37.0) % 100.0;
+            let y = (i as f64 * 53.0) % 100.0;
+            q.insert(entry(i, x, y));
+        }
+        let mut seen = 0;
+        q.for_each_leaf(|b, entries| {
+            for e in entries {
+                // Entries live inside their leaf bounds (closed-ish test).
+                assert!(b.inflate(1e-9).contains(&e.pos));
+                seen += 1;
+            }
+        });
+        assert_eq!(seen, n as usize);
+    }
+
+    #[test]
+    fn merge_collapses_sparse_children() {
+        let mut q = tree();
+        for i in 0..10 {
+            q.insert(entry(i, 10.0 + i as f64, 10.0));
+        }
+        let leaves_before = q.num_leaves();
+        let merges = q.merge_pass(1000);
+        assert!(merges > 0);
+        assert!(q.num_leaves() < leaves_before);
+        // All entries still reachable.
+        let mut seen = 0;
+        q.for_each_leaf(|_, e| seen += e.len());
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn out_of_bounds_points_clamped() {
+        let mut q = tree();
+        q.insert(entry(1, -50.0, 500.0));
+        let (_, entries) = q.leaf_at(&Point::new(0.0, 100.0));
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].pos, Point::new(0.0, 100.0));
+    }
+
+    #[test]
+    fn leaves_intersecting_query() {
+        let mut q = tree();
+        for i in 0..50 {
+            q.insert(entry(i, (i % 10) as f64 * 10.0 + 5.0, (i / 10) as f64 * 10.0 + 5.0));
+        }
+        let hits = q.leaves_intersecting(&BBox::from_extents(0.0, 0.0, 30.0, 30.0));
+        assert!(!hits.is_empty());
+        for (b, _) in &hits {
+            assert!(b.intersects(&BBox::from_extents(0.0, 0.0, 30.0, 30.0)));
+        }
+    }
+
+    #[test]
+    fn identical_points_respect_depth_cap() {
+        let mut q = RegionQuadtree::new(BBox::from_extents(0.0, 0.0, 1.0, 1.0), 2);
+        for i in 0..100 {
+            q.insert(entry(i, 0.5, 0.5));
+        }
+        assert_eq!(q.len(), 100);
+        // Tree must not have exploded unboundedly.
+        assert!(q.num_leaves() < 10_000);
+    }
+}

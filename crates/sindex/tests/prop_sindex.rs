@@ -1,0 +1,81 @@
+//! Property tests: overlap removal must partition exactly, ID-list
+//! compression must be lossless, Huffman must roundtrip any byte soup.
+
+use ppq_geo::{BBox, Point};
+use ppq_sindex::huffman::{byte_histogram, Huffman};
+use ppq_sindex::{remove_overlap, CompressedIdList};
+use proptest::prelude::*;
+
+fn arb_bbox() -> impl Strategy<Value = BBox> {
+    (
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        0.5f64..60.0,
+        0.5f64..60.0,
+    )
+        .prop_map(|(x, y, w, h)| BBox::from_extents(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After removal, sample points are covered iff they were in the rect
+    /// but not in any obstacle — and never covered twice.
+    #[test]
+    fn overlap_removal_partitions(rect in arb_bbox(),
+                                  obstacles in prop::collection::vec(arb_bbox(), 0..6)) {
+        let pieces = remove_overlap(&rect, &obstacles);
+        // Pieces stay inside the original rect and are pairwise disjoint.
+        for p in &pieces {
+            prop_assert!(rect.contains_box(p));
+        }
+        for (i, a) in pieces.iter().enumerate() {
+            for b in pieces.iter().skip(i + 1) {
+                if let Some(inter) = a.intersection(b) {
+                    prop_assert!(inter.area() < 1e-9);
+                }
+            }
+        }
+        // Grid-sample the rect interior.
+        for i in 0..12 {
+            for j in 0..12 {
+                let p = Point::new(
+                    rect.min.x + rect.width() * (i as f64 + 0.5) / 12.0,
+                    rect.min.y + rect.height() * (j as f64 + 0.5) / 12.0,
+                );
+                let in_obstacle = obstacles.iter().any(|o| o.contains(&p));
+                let cover = pieces.iter().filter(|r| r.contains(&p)).count();
+                if in_obstacle {
+                    // Points strictly inside an obstacle must be uncovered
+                    // (boundary points may sit on shared piece edges).
+                    let strictly_inside = obstacles.iter().any(|o| {
+                        p.x > o.min.x && p.x < o.max.x && p.y > o.min.y && p.y < o.max.y
+                    });
+                    if strictly_inside {
+                        prop_assert_eq!(cover, 0, "covered obstacle point {:?}", p);
+                    }
+                } else {
+                    prop_assert!(cover >= 1, "lost point {:?}", p);
+                }
+            }
+        }
+    }
+
+    /// Compression is lossless for arbitrary ID sets.
+    #[test]
+    fn idlist_roundtrip(ids in prop::collection::vec(0u32..1_000_000, 0..300)) {
+        let c = CompressedIdList::compress(&ids);
+        let mut expect = ids.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(c.decompress(), expect);
+    }
+
+    /// Huffman roundtrips arbitrary non-empty payloads.
+    #[test]
+    fn huffman_roundtrip(data in prop::collection::vec(any::<u8>(), 1..600)) {
+        let h = Huffman::from_frequencies(&byte_histogram(&data));
+        let (bits, len) = h.encode(&data);
+        prop_assert_eq!(h.decode(&bits, len, data.len()), data);
+    }
+}

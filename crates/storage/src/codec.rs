@@ -1,0 +1,170 @@
+//! Byte codec for fixed-layout records (built on `bytes`).
+//!
+//! The disk experiments serialize per-period point runs and summary
+//! fragments onto pages. The codec is deliberately minimal: little-endian
+//! scalars with explicit lengths — no self-description, the page index
+//! knows what lives where.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ppq_geo::Point;
+
+/// Writer over a growable buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    pub fn new() -> Encoder {
+        Encoder { buf: BytesMut::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Encoder {
+        Encoder { buf: BytesMut::with_capacity(cap) }
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.put_f32_le(v);
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    pub fn put_point(&mut self, p: &Point) {
+        self.put_f64(p.x);
+        self.put_f64(p.y);
+    }
+
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(b.len() as u32);
+        self.buf.put_slice(b);
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Reader over an immutable buffer.
+#[derive(Debug)]
+pub struct Decoder {
+    buf: Bytes,
+}
+
+impl Decoder {
+    pub fn new(buf: Bytes) -> Decoder {
+        Decoder { buf }
+    }
+
+    pub fn from_slice(b: &[u8]) -> Decoder {
+        Decoder { buf: Bytes::copy_from_slice(b) }
+    }
+
+    pub fn u16(&mut self) -> u16 {
+        self.buf.get_u16_le()
+    }
+
+    pub fn u32(&mut self) -> u32 {
+        self.buf.get_u32_le()
+    }
+
+    pub fn u64(&mut self) -> u64 {
+        self.buf.get_u64_le()
+    }
+
+    pub fn f32(&mut self) -> f32 {
+        self.buf.get_f32_le()
+    }
+
+    pub fn f64(&mut self) -> f64 {
+        self.buf.get_f64_le()
+    }
+
+    pub fn point(&mut self) -> Point {
+        let x = self.f64();
+        let y = self.f64();
+        Point::new(x, y)
+    }
+
+    pub fn bytes(&mut self) -> Bytes {
+        let len = self.u32() as usize;
+        self.buf.split_to(len)
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_u16(513);
+        e.put_u32(7);
+        e.put_u64(u64::MAX - 3);
+        e.put_f32(2.5);
+        e.put_f64(-1.5e-9);
+        let mut d = Decoder::new(e.finish());
+        assert_eq!(d.u16(), 513);
+        assert_eq!(d.u32(), 7);
+        assert_eq!(d.u64(), u64::MAX - 3);
+        assert_eq!(d.f32(), 2.5);
+        assert_eq!(d.f64(), -1.5e-9);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn point_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_point(&Point::new(-8.61, 41.15));
+        let mut d = Decoder::new(e.finish());
+        assert_eq!(d.point(), Point::new(-8.61, 41.15));
+    }
+
+    #[test]
+    fn length_prefixed_bytes() {
+        let mut e = Encoder::new();
+        e.put_bytes(b"hello");
+        e.put_bytes(b"");
+        e.put_u32(42);
+        let mut d = Decoder::new(e.finish());
+        assert_eq!(&d.bytes()[..], b"hello");
+        assert_eq!(d.bytes().len(), 0);
+        assert_eq!(d.u32(), 42);
+    }
+
+    #[test]
+    fn len_tracks_writes() {
+        let mut e = Encoder::new();
+        assert!(e.is_empty());
+        e.put_u32(1);
+        assert_eq!(e.len(), 4);
+        e.put_point(&Point::ORIGIN);
+        assert_eq!(e.len(), 20);
+    }
+}

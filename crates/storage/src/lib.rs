@@ -1,0 +1,23 @@
+//! Paged disk storage substrate.
+//!
+//! The disk-resident comparison of the paper (§6.5, Table 9) writes the
+//! trajectory points of each time period onto 1 MiB pages, keeps a
+//! lightweight `(period, starting page, page count)` index, and reports
+//! query response time and *page I/Os*. This crate supplies:
+//!
+//! * [`page`] — the fixed-size page abstraction.
+//! * [`store`] — a file-backed page store with read/write I/O counters and
+//!   an optional LRU buffer pool (a buffer hit is not an I/O, matching how
+//!   TrajStore counts).
+//! * [`codec`] — a small byte codec (via `bytes`) for serializing
+//!   fixed-layout records onto pages.
+//! * [`page_index`] — the lightweight period → page-range index of §5.1.
+
+pub mod codec;
+pub mod page;
+pub mod page_index;
+pub mod store;
+
+pub use page::{Page, PAGE_SIZE};
+pub use page_index::PageIndex;
+pub use store::{IoStats, PageStore};

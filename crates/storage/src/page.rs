@@ -1,0 +1,112 @@
+//! Fixed-size pages.
+
+/// Page size used throughout the disk experiments: 1 MiB, "following the
+/// same process in the TrajStore paper, bounding the data on disk and
+/// setting the page size as 1MB" (paper §6.5).
+pub const PAGE_SIZE: usize = 1 << 20;
+
+/// An owned page buffer. The size is fixed per [`crate::PageStore`]
+/// (default [`PAGE_SIZE`]); experiments that scale datasets down scale the
+/// page size with them so pages-per-structure ratios stay in the regime
+/// the paper measured.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8]>,
+}
+
+impl Page {
+    /// A zeroed page of the default size.
+    pub fn zeroed() -> Page {
+        Self::zeroed_with(PAGE_SIZE)
+    }
+
+    /// A zeroed page of an explicit size.
+    pub fn zeroed_with(size: usize) -> Page {
+        assert!(size > 0);
+        Page { data: vec![0u8; size].into_boxed_slice() }
+    }
+
+    /// Wrap a buffer as a page (any size).
+    pub fn from_bytes(data: Vec<u8>) -> Page {
+        assert!(!data.is_empty(), "empty page");
+        Page { data: data.into_boxed_slice() }
+    }
+
+    /// Build from a payload of at most `PAGE_SIZE` bytes, zero-padded.
+    pub fn from_payload(payload: &[u8]) -> Page {
+        Self::from_payload_with(payload, PAGE_SIZE)
+    }
+
+    /// Build from a payload of at most `size` bytes, zero-padded.
+    pub fn from_payload_with(payload: &[u8], size: usize) -> Page {
+        assert!(payload.len() <= size, "payload {} exceeds page size {size}", payload.len());
+        let mut data = vec![0u8; size];
+        data[..payload.len()].copy_from_slice(payload);
+        Page { data: data.into_boxed_slice() }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page({} bytes)", self.data.len())
+    }
+}
+
+/// Number of pages needed to hold `bytes` bytes.
+pub fn pages_for(bytes: usize) -> usize {
+    bytes.div_ceil(PAGE_SIZE).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_page_is_full_size() {
+        let p = Page::zeroed();
+        assert_eq!(p.as_bytes().len(), PAGE_SIZE);
+        assert!(p.as_bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn payload_padding() {
+        let p = Page::from_payload(&[1, 2, 3]);
+        assert_eq!(&p.as_bytes()[..3], &[1, 2, 3]);
+        assert_eq!(p.as_bytes()[3], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page size")]
+    fn oversize_payload_panics() {
+        Page::from_payload(&vec![0u8; PAGE_SIZE + 1]);
+    }
+
+    #[test]
+    fn pages_for_rounding() {
+        assert_eq!(pages_for(0), 1);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(PAGE_SIZE), 1);
+        assert_eq!(pages_for(PAGE_SIZE + 1), 2);
+        assert_eq!(pages_for(10 * PAGE_SIZE), 10);
+    }
+}

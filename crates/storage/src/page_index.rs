@@ -1,0 +1,106 @@
+//! The lightweight period → page-range index (paper §5.1, last paragraph):
+//! "(period_j, starting page number, relative page number)".
+
+/// One period's page extent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageRun {
+    /// First timestep of the period (inclusive).
+    pub t_start: u32,
+    /// Last timestep of the period (inclusive).
+    pub t_end: u32,
+    /// First page id of the run.
+    pub first_page: u64,
+    /// Number of pages in the run.
+    pub num_pages: u64,
+}
+
+/// Maps timesteps to the page run(s) holding their period's data.
+#[derive(Clone, Debug, Default)]
+pub struct PageIndex {
+    /// Sorted by `t_start`; periods do not overlap.
+    runs: Vec<PageRun>,
+}
+
+impl PageIndex {
+    pub fn new() -> PageIndex {
+        PageIndex::default()
+    }
+
+    /// Register a period's pages. Periods must be appended in time order
+    /// and must not overlap.
+    pub fn push(&mut self, run: PageRun) {
+        assert!(run.t_start <= run.t_end, "inverted period");
+        if let Some(last) = self.runs.last() {
+            assert!(run.t_start > last.t_end, "periods must be disjoint and in order");
+        }
+        self.runs.push(run);
+    }
+
+    /// The run covering timestep `t`, if any (binary search).
+    pub fn lookup(&self, t: u32) -> Option<&PageRun> {
+        let idx = self.runs.partition_point(|r| r.t_end < t);
+        self.runs.get(idx).filter(|r| r.t_start <= t && t <= r.t_end)
+    }
+
+    #[inline]
+    pub fn runs(&self) -> &[PageRun] {
+        &self.runs
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Serialized size: 4 + 4 + 8 + 8 bytes per run.
+    pub fn size_bytes(&self) -> usize {
+        self.runs.len() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> PageIndex {
+        let mut idx = PageIndex::new();
+        idx.push(PageRun { t_start: 0, t_end: 9, first_page: 0, num_pages: 3 });
+        idx.push(PageRun { t_start: 10, t_end: 10, first_page: 3, num_pages: 1 });
+        idx.push(PageRun { t_start: 15, t_end: 20, first_page: 4, num_pages: 2 });
+        idx
+    }
+
+    #[test]
+    fn lookup_inside_runs() {
+        let idx = index();
+        assert_eq!(idx.lookup(0).unwrap().first_page, 0);
+        assert_eq!(idx.lookup(9).unwrap().first_page, 0);
+        assert_eq!(idx.lookup(10).unwrap().first_page, 3);
+        assert_eq!(idx.lookup(17).unwrap().first_page, 4);
+    }
+
+    #[test]
+    fn lookup_gaps_and_past_end() {
+        let idx = index();
+        assert!(idx.lookup(11).is_none());
+        assert!(idx.lookup(14).is_none());
+        assert!(idx.lookup(21).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_periods_rejected() {
+        let mut idx = index();
+        idx.push(PageRun { t_start: 18, t_end: 30, first_page: 6, num_pages: 1 });
+    }
+
+    #[test]
+    fn size_accounting() {
+        assert_eq!(index().size_bytes(), 72);
+    }
+}

@@ -1,0 +1,268 @@
+//! Disk-resident TPI (paper §6.5, Table 9).
+//!
+//! Each period's `(region, t, cell, ids)` blocks are serialized onto 1 MiB
+//! pages; the lightweight page index maps a period to its page run — and
+//! *only* to its page run, so a query must scan the period's pages until
+//! it finds the block it needs. That is exactly why Table 9 shows TPI
+//! doing more I/Os than a per-timestep PI (whose periods are one timestep
+//! long) but far fewer than TrajStore (whose cells span all of time).
+
+use crate::pi::Pi;
+use crate::tpi::Tpi;
+use ppq_geo::Point;
+use ppq_storage::codec::Encoder;
+use ppq_storage::page::{Page, PAGE_SIZE};
+
+use ppq_storage::{IoStats, PageIndex, PageStore};
+use ppq_storage::page_index::PageRun;
+use std::io;
+use std::path::Path;
+
+/// A TPI whose payload lives in a page file.
+pub struct DiskTpi {
+    /// Structural metadata stays in memory (region geometry, periods) —
+    /// the ID payload lives on disk.
+    tpi: Tpi,
+    store: PageStore,
+    index: PageIndex,
+}
+
+/// Serialize one period's blocks into a byte stream.
+fn serialize_period(pi: &Pi) -> Vec<u8> {
+    let blocks = pi.export_blocks();
+    let mut enc = Encoder::with_capacity(blocks.len() * 32);
+    enc.put_u32(blocks.len() as u32);
+    for (region, t, cell, ids) in blocks {
+        enc.put_u32(region);
+        enc.put_u32(t);
+        enc.put_u32(cell);
+        enc.put_u32(ids.len() as u32);
+        for id in ids {
+            enc.put_u32(id);
+        }
+    }
+    enc.finish().to_vec()
+}
+
+impl DiskTpi {
+    /// Materialize a built TPI onto a page file at `path` with a buffer
+    /// pool of `pool_pages` pages and the default 1 MiB page size.
+    pub fn create(tpi: Tpi, path: &Path, pool_pages: usize) -> io::Result<DiskTpi> {
+        Self::create_with(tpi, path, pool_pages, PAGE_SIZE)
+    }
+
+    /// Like [`DiskTpi::create`] with an explicit page size (scaled-down
+    /// experiments scale the page with the dataset; EXPERIMENTS.md Table 9).
+    pub fn create_with(
+        tpi: Tpi,
+        path: &Path,
+        pool_pages: usize,
+        page_size: usize,
+    ) -> io::Result<DiskTpi> {
+        let store = PageStore::create_with_page_size(path, pool_pages, page_size)?;
+        let mut index = PageIndex::new();
+        for period in tpi.periods() {
+            let payload = serialize_period(&period.pi);
+            let num_pages = payload.len().div_ceil(page_size).max(1) as u64;
+            let mut first_page = None;
+            for chunk in payload.chunks(page_size) {
+                let id = store.append(&Page::from_payload_with(chunk, page_size))?;
+                first_page.get_or_insert(id);
+            }
+            if payload.is_empty() {
+                let id = store.append(&Page::zeroed_with(page_size))?;
+                first_page.get_or_insert(id);
+            }
+            index.push(PageRun {
+                t_start: period.t_start,
+                t_end: period.t_end,
+                first_page: first_page.expect("at least one page per period"),
+                num_pages,
+            });
+        }
+        Ok(DiskTpi { tpi, store, index })
+    }
+
+    /// STRQ against the disk layout: locate the period and its (region,
+    /// cell) address in memory, then scan the period's pages until the
+    /// block for `(region, t, cell)` is found. Page reads go through the
+    /// buffer pool and count I/Os on misses.
+    pub fn query(&self, t: u32, p: &Point) -> io::Result<Vec<u32>> {
+        let Some(period) = self.tpi.period_of(t) else {
+            return Ok(Vec::new());
+        };
+        let Some((want_region, want_cell)) = period.pi.locate_cell(p) else {
+            return Ok(Vec::new());
+        };
+        let run = self
+            .index
+            .lookup(t)
+            .expect("page index covers every period");
+
+        // Incrementally read pages and parse blocks until the target is
+        // found or the run is exhausted.
+        let mut bytes: Vec<u8> = Vec::with_capacity(self.store.page_size());
+        let mut next_page = 0u64;
+        let read_more = |bytes: &mut Vec<u8>, next_page: &mut u64| -> io::Result<bool> {
+            if *next_page >= run.num_pages {
+                return Ok(false);
+            }
+            let page = self.store.read(run.first_page + *next_page)?;
+            bytes.extend_from_slice(page.as_bytes());
+            *next_page += 1;
+            Ok(true)
+        };
+        // Ensure the header is available.
+        while bytes.len() < 4 {
+            if !read_more(&mut bytes, &mut next_page)? {
+                return Ok(Vec::new());
+            }
+        }
+        let mut pos = 0usize;
+        let n_blocks = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        pos += 4;
+        for _ in 0..n_blocks {
+            // Need 16 bytes of block header.
+            while bytes.len() < pos + 16 {
+                if !read_more(&mut bytes, &mut next_page)? {
+                    return Ok(Vec::new());
+                }
+            }
+            // Allocation-free header parse: this runs for every block that
+            // precedes the target, so it must stay cheap.
+            let u32_at = |bytes: &[u8], at: usize| {
+                u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+            };
+            let region = u32_at(&bytes, pos);
+            let bt = u32_at(&bytes, pos + 4);
+            let cell = u32_at(&bytes, pos + 8);
+            let n_ids = u32_at(&bytes, pos + 12) as usize;
+            pos += 16;
+            let payload_len = n_ids * 4;
+            while bytes.len() < pos + payload_len {
+                if !read_more(&mut bytes, &mut next_page)? {
+                    return Ok(Vec::new());
+                }
+            }
+            if region == want_region && bt == t && cell == want_cell {
+                return Ok((0..n_ids).map(|i| u32_at(&bytes, pos + i * 4)).collect());
+            }
+            pos += payload_len;
+        }
+        Ok(Vec::new())
+    }
+
+    #[inline]
+    pub fn io_stats(&self) -> &IoStats {
+        self.store.stats()
+    }
+
+    #[inline]
+    pub fn tpi(&self) -> &Tpi {
+        &self.tpi
+    }
+
+    /// On-disk footprint plus the in-memory lightweight index.
+    pub fn size_bytes(&self) -> u64 {
+        self.store.size_bytes() + self.index.size_bytes() as u64
+    }
+
+    pub fn num_pages(&self) -> u64 {
+        self.store.num_pages()
+    }
+
+    /// Drop cached pages (to make query batches comparable).
+    pub fn clear_cache(&self) {
+        self.store.clear_cache();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pi::PiConfig;
+    use crate::tpi::TpiConfig;
+    use ppq_quantize::KMeansConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ppq-disktpi-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn build_tpi() -> Tpi {
+        let cfg = TpiConfig {
+            pi: PiConfig { eps_s: 2.0, gc: 0.5, kmeans: KMeansConfig::default() },
+            eps_c: 0.5,
+            eps_d: 0.5,
+        };
+        let slices: Vec<(u32, Vec<(u32, Point)>)> = (0..6u32)
+            .map(|t| {
+                let pts: Vec<(u32, Point)> = (0..30)
+                    .map(|i| {
+                        let a = i as f64 * 0.5;
+                        (i, Point::new(a.cos() * 2.0, a.sin() * 2.0))
+                    })
+                    .collect();
+                (t, pts)
+            })
+            .collect();
+        Tpi::build_from_slices(slices, &cfg)
+    }
+
+    #[test]
+    fn disk_query_matches_memory_query() {
+        let tpi = build_tpi();
+        let mem = tpi.clone();
+        let path = tmp("match");
+        let disk = DiskTpi::create(tpi, &path, 0).unwrap();
+        for t in 0..6u32 {
+            for i in 0..30 {
+                let a = i as f64 * 0.5;
+                let p = Point::new(a.cos() * 2.0, a.sin() * 2.0);
+                let mut want = mem.query(t, &p);
+                let mut got = disk.query(t, &p).unwrap();
+                want.sort_unstable();
+                got.sort_unstable();
+                assert_eq!(got, want, "t={t} i={i}");
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn io_counted_and_pool_absorbs() {
+        let tpi = build_tpi();
+        let path = tmp("ios");
+        let disk = DiskTpi::create(tpi, &path, 8).unwrap();
+        disk.clear_cache();
+        disk.io_stats().reset();
+        let p = Point::new(2.0, 0.0);
+        disk.query(0, &p).unwrap();
+        let first = disk.io_stats().reads();
+        assert!(first >= 1);
+        disk.query(0, &p).unwrap();
+        // Second identical query is served from the pool.
+        assert_eq!(disk.io_stats().reads(), first);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn query_missing_time_is_empty() {
+        let tpi = build_tpi();
+        let path = tmp("miss");
+        let disk = DiskTpi::create(tpi, &path, 0).unwrap();
+        assert!(disk.query(99, &Point::ORIGIN).unwrap().is_empty());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn size_reported_in_pages() {
+        let tpi = build_tpi();
+        let path = tmp("size");
+        let disk = DiskTpi::create(tpi, &path, 0).unwrap();
+        assert!(disk.num_pages() >= 1);
+        assert!(disk.size_bytes() >= PAGE_SIZE as u64);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,500 @@
+//! The partition index PI (paper Algorithm 3) and the TRD/ADR machinery
+//! (Definition 5.1, Eqs. 12–14).
+
+use ppq_geo::{BBox, GridSpec, Point};
+use ppq_quantize::{bounded_kmeans, KMeansConfig};
+use ppq_sindex::{remove_overlap, CompressedIdList};
+use std::collections::HashMap;
+
+/// Parameters of PI construction.
+#[derive(Clone, Debug)]
+pub struct PiConfig {
+    /// Partition threshold `ε_s` (Eq. 7 with `ε_p` replaced by `ε_s`).
+    pub eps_s: f64,
+    /// Grid cell side `g_c`.
+    pub gc: f64,
+    /// Bounded k-means knobs.
+    pub kmeans: KMeansConfig,
+}
+
+impl Default for PiConfig {
+    fn default() -> Self {
+        // Paper defaults: ε_s = 0.1 (degrees), g_c = 100 m.
+        PiConfig { eps_s: 0.1, gc: 100.0 / 111_320.0, kmeans: KMeansConfig::default() }
+    }
+}
+
+/// A timestep's points split into (covered, uncovered) by the current
+/// regions.
+pub type CoverageSplit = (Vec<(u32, Point)>, Vec<(u32, Point)>);
+
+/// One non-overlapping rectangle with its grid and per-timestep ID lists.
+#[derive(Clone, Debug)]
+pub struct Region {
+    bbox: BBox,
+    grid: GridSpec,
+    /// Density `d(R, t_build)` measured when the region was created — the
+    /// reference value of Eq. 13.
+    built_density: f64,
+    /// (flat cell, timestep) → compressed IDs.
+    cells: HashMap<(u32, u32), CompressedIdList>,
+    points_indexed: usize,
+}
+
+impl Region {
+    fn new(bbox: BBox, gc: f64) -> Region {
+        Region {
+            bbox,
+            grid: GridSpec::covering(&bbox, gc),
+            built_density: 0.0,
+            cells: HashMap::new(),
+            points_indexed: 0,
+        }
+    }
+
+    #[inline]
+    pub fn bbox(&self) -> &BBox {
+        &self.bbox
+    }
+
+    /// TRD of this region for an arbitrary point population (Definition
+    /// 5.1). Degenerate (zero-area) regions fall back to the raw count so
+    /// the ratio of Eq. 13 stays meaningful.
+    pub fn density_of(&self, count: usize) -> f64 {
+        let area = self.bbox.area();
+        if area > 0.0 {
+            count as f64 / area
+        } else {
+            count as f64
+        }
+    }
+
+    #[inline]
+    pub fn built_density(&self) -> f64 {
+        self.built_density
+    }
+
+    #[inline]
+    pub fn points_indexed(&self) -> usize {
+        self.points_indexed
+    }
+
+    fn insert_slice(&mut self, t: u32, points: &[(u32, Point)]) {
+        let mut per_cell: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (id, p) in points {
+            let (cx, cy) = self.grid.locate_clamped(p);
+            per_cell.entry(self.grid.flat(cx, cy) as u32).or_default().push(*id);
+            self.points_indexed += 1;
+        }
+        for (cell, ids) in per_cell {
+            // Merge with an existing list for this (cell, t) if present
+            // (possible when an insertion round routes more points here).
+            let entry = self.cells.entry((cell, t));
+            match entry {
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    let mut all = o.get().decompress();
+                    all.extend(ids);
+                    *o.get_mut() = CompressedIdList::compress(&all);
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(CompressedIdList::compress(&ids));
+                }
+            }
+        }
+    }
+
+    fn query_cell(&self, t: u32, p: &Point) -> Vec<u32> {
+        let (cx, cy) = self.grid.locate_clamped(p);
+        self.cells
+            .get(&(self.grid.flat(cx, cy) as u32, t))
+            .map(CompressedIdList::decompress)
+            .unwrap_or_default()
+    }
+
+    fn query_disc(&self, t: u32, p: &Point, r: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (cx, cy) in self.grid.cells_in_disc(p, r) {
+            if let Some(list) = self.cells.get(&(self.grid.flat(cx, cy) as u32, t)) {
+                out.extend(list.decompress());
+            }
+        }
+        out
+    }
+
+    fn query_rect(&self, t: u32, rect: &BBox) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (cx, cy) in self.grid.cells_in_rect(rect) {
+            if let Some(list) = self.cells.get(&(self.grid.flat(cx, cy) as u32, t)) {
+                out.extend(list.decompress());
+            }
+        }
+        out
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        let header = 4 * 8 + 4 * 8 + 8;
+        header
+            + self.cells.values().map(|l| l.size_bytes() + 8).sum::<usize>()
+    }
+}
+
+/// A partition index: disjoint regions, each with a grid (Algorithm 3).
+#[derive(Clone, Debug)]
+pub struct Pi {
+    regions: Vec<Region>,
+    cfg: PiConfig,
+    /// Timestep the PI was (re)built at (`t_s`).
+    built_at: u32,
+}
+
+impl Pi {
+    /// Algorithm 3: partition the points at timestep `t` with bound
+    /// `ε_s`, cover each partition with its MBR, remove overlaps, and grid
+    /// every resulting rectangle.
+    pub fn build(t: u32, points: &[(u32, Point)], cfg: &PiConfig) -> Pi {
+        let mut pi = Pi { regions: Vec::new(), cfg: cfg.clone(), built_at: t };
+        if !points.is_empty() {
+            pi.add_regions_for(t, points);
+        }
+        pi
+    }
+
+    /// Create regions covering `points` that avoid every existing region,
+    /// then index the points. Shared by the initial build and "Insertion".
+    fn add_regions_for(&mut self, t: u32, points: &[(u32, Point)]) {
+        let positions: Vec<Point> = points.iter().map(|(_, p)| *p).collect();
+        let res = bounded_kmeans(&positions, self.cfg.eps_s, &self.cfg.kmeans);
+        // Group member points per partition, take MBRs.
+        let mut mbrs: Vec<BBox> = vec![BBox::EMPTY; res.centroids.len()];
+        for (i, &a) in res.assign.iter().enumerate() {
+            mbrs[a as usize].expand(&positions[i]);
+        }
+        let mut existing: Vec<BBox> = self.regions.iter().map(|r| r.bbox).collect();
+        let mut new_regions: Vec<Region> = Vec::new();
+        for mbr in mbrs.into_iter().filter(|m| !m.is_empty()) {
+            // Give zero-extent MBRs (single point / collinear) a hair of
+            // area so the grid and TRD are well-defined.
+            let mbr = if mbr.area() == 0.0 { mbr.inflate(self.cfg.gc * 0.5) } else { mbr };
+            for piece in remove_overlap(&mbr, &existing) {
+                if piece.area() <= 0.0 {
+                    continue;
+                }
+                existing.push(piece);
+                new_regions.push(Region::new(piece, self.cfg.gc));
+            }
+        }
+        // Route the points into the new regions (points already covered by
+        // pre-existing regions are the caller's responsibility).
+        let start = self.regions.len();
+        self.regions.extend(new_regions);
+        let mut routed: HashMap<usize, Vec<(u32, Point)>> = HashMap::new();
+        for &(id, p) in points {
+            if let Some(ri) = self.locate_region_from(start, &p) {
+                routed.entry(ri).or_default().push((id, p));
+            }
+        }
+        for (ri, pts) in routed {
+            self.regions[ri].insert_slice(t, &pts);
+            let count = pts.len();
+            let d = self.regions[ri].density_of(count);
+            // First population defines the reference density.
+            if self.regions[ri].built_density == 0.0 {
+                self.regions[ri].built_density = d;
+            }
+        }
+        // Drop regions that ended up with no points (overlap-removal
+        // slivers not containing any member).
+        self.regions.retain(|r| r.points_indexed > 0 || r.built_density > 0.0);
+    }
+
+    fn locate_region_from(&self, start: usize, p: &Point) -> Option<usize> {
+        self.regions
+            .iter()
+            .enumerate()
+            .skip(start)
+            .find(|(_, r)| r.bbox.contains(p))
+            .map(|(i, _)| i)
+    }
+
+    /// Index of the region containing `p`, if covered.
+    pub fn locate_region(&self, p: &Point) -> Option<usize> {
+        self.regions.iter().position(|r| r.bbox.contains(p))
+    }
+
+    #[inline]
+    pub fn covers(&self, p: &Point) -> bool {
+        self.locate_region(p).is_some()
+    }
+
+    #[inline]
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    #[inline]
+    pub fn built_at(&self) -> u32 {
+        self.built_at
+    }
+
+    /// Split a timestep's points into (covered, uncovered) w.r.t. the
+    /// current regions (Algorithm 4 line 5).
+    pub fn split_coverage(&self, points: &[(u32, Point)]) -> CoverageSplit {
+        let mut covered = Vec::with_capacity(points.len());
+        let mut uncovered = Vec::new();
+        for &(id, p) in points {
+            if self.covers(&p) {
+                covered.push((id, p));
+            } else {
+                uncovered.push((id, p));
+            }
+        }
+        (covered, uncovered)
+    }
+
+    /// Insert a timestep's covered points into the existing regions.
+    pub fn insert_covered(&mut self, t: u32, covered: &[(u32, Point)]) {
+        let mut routed: HashMap<usize, Vec<(u32, Point)>> = HashMap::new();
+        for &(id, p) in covered {
+            if let Some(ri) = self.locate_region(&p) {
+                routed.entry(ri).or_default().push((id, p));
+            }
+        }
+        for (ri, pts) in routed {
+            self.regions[ri].insert_slice(t, &pts);
+        }
+    }
+
+    /// "Insertion" (Algorithm 4 line 11): build regions for the uncovered
+    /// points and append them to this PI.
+    pub fn append_insertion(&mut self, t: u32, uncovered: &[(u32, Point)]) {
+        if !uncovered.is_empty() {
+            self.add_regions_for(t, uncovered);
+        }
+    }
+
+    /// ADR of the current regions against a new point population
+    /// (Eqs. 12–14): the fraction of regions whose TRD dropped by more
+    /// than `ε_c` relative to their build-time TRD.
+    pub fn adr(&self, points_now: &[(u32, Point)], eps_c: f64) -> f64 {
+        if self.regions.is_empty() {
+            return 0.0;
+        }
+        let mut counts = vec![0usize; self.regions.len()];
+        for (_, p) in points_now {
+            if let Some(ri) = self.locate_region(p) {
+                counts[ri] += 1;
+            }
+        }
+        let mut dropped = 0usize;
+        for (r, &c) in self.regions.iter().zip(&counts) {
+            let d_old = r.built_density;
+            if d_old <= 0.0 {
+                continue;
+            }
+            let d_new = r.density_of(c);
+            let h1 = (d_new - d_old) / d_old; // Eq. 13
+            if h1 < 0.0 && h1.abs() > eps_c {
+                dropped += 1; // Eq. 14
+            }
+        }
+        dropped as f64 / self.regions.len() as f64 // Eq. 12
+    }
+
+    /// STRQ primitive: IDs in the `g_c` cell containing `p` at time `t`.
+    pub fn query(&self, t: u32, p: &Point) -> Vec<u32> {
+        match self.locate_region(p) {
+            Some(ri) => self.regions[ri].query_cell(t, p),
+            None => Vec::new(),
+        }
+    }
+
+    /// IDs in every cell intersecting `rect` at time `t` — the primitive
+    /// behind cell-bbox STRQ and local search over an inflated cell.
+    pub fn query_rect(&self, t: u32, rect: &BBox) -> Vec<u32> {
+        let mut out = Vec::new();
+        for region in &self.regions {
+            if region.bbox.intersects(rect) {
+                out.extend(region.query_rect(t, rect));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Local-search primitive: union of IDs in all cells within radius `r`
+    /// of `p` at time `t`, across every region the disc touches.
+    pub fn query_disc(&self, t: u32, p: &Point, r: f64) -> Vec<u32> {
+        let probe = BBox::from_extents(p.x - r, p.y - r, p.x + r, p.y + r);
+        let mut out = Vec::new();
+        for region in &self.regions {
+            if region.bbox.intersects(&probe) {
+                out.extend(region.query_disc(t, p, r));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        self.regions.iter().map(Region::size_bytes).sum::<usize>() + 16
+    }
+
+    pub fn points_indexed(&self) -> usize {
+        self.regions.iter().map(Region::points_indexed).sum()
+    }
+
+    /// Locate the (region index, flat grid cell) of a point, if covered.
+    /// Used by the disk layout to address blocks without touching data.
+    pub fn locate_cell(&self, p: &Point) -> Option<(u32, u32)> {
+        let ri = self.locate_region(p)?;
+        let grid = &self.regions[ri].grid;
+        let (cx, cy) = grid.locate_clamped(p);
+        Some((ri as u32, grid.flat(cx, cy) as u32))
+    }
+
+    /// Export every (region, timestep, cell, ids) block, region-major then
+    /// time-major — the on-disk layout of the period ("the trajectory
+    /// points within a time period can be written into several pages",
+    /// §5.1).
+    pub fn export_blocks(&self) -> Vec<(u32, u32, u32, Vec<u32>)> {
+        let mut out = Vec::new();
+        for (ri, region) in self.regions.iter().enumerate() {
+            let mut keys: Vec<(u32, u32)> = region.cells.keys().copied().collect();
+            // (cell, t) sorted cell-major keeps a cell's history adjacent.
+            keys.sort_unstable();
+            for (cell, t) in keys {
+                let ids = region.cells[&(cell, t)].decompress();
+                out.push((ri as u32, t, cell, ids));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(center: Point, n: usize, spread: f64) -> Vec<(u32, Point)> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 2.399963; // golden-angle spiral
+                let r = spread * (i as f64 / n as f64).sqrt();
+                (i as u32, Point::new(center.x + r * a.cos(), center.y + r * a.sin()))
+            })
+            .collect()
+    }
+
+    fn cfg() -> PiConfig {
+        PiConfig { eps_s: 2.0, gc: 0.5, kmeans: KMeansConfig::default() }
+    }
+
+    #[test]
+    fn build_produces_disjoint_regions() {
+        let mut pts = cluster(Point::new(0.0, 0.0), 100, 1.5);
+        pts.extend(
+            cluster(Point::new(20.0, 0.0), 100, 1.5)
+                .into_iter()
+                .map(|(i, p)| (i + 100, p)),
+        );
+        let pi = Pi::build(0, &pts, &cfg());
+        assert!(pi.regions().len() >= 2);
+        for (i, a) in pi.regions().iter().enumerate() {
+            for b in pi.regions().iter().skip(i + 1) {
+                if let Some(inter) = a.bbox().intersection(b.bbox()) {
+                    assert!(inter.area() < 1e-9, "regions overlap materially");
+                }
+            }
+        }
+        assert_eq!(pi.points_indexed(), 200);
+    }
+
+    #[test]
+    fn query_finds_cohabitants() {
+        let pts = vec![
+            (1u32, Point::new(0.1, 0.1)),
+            (2, Point::new(0.2, 0.2)),
+            (3, Point::new(5.0, 5.0)),
+        ];
+        let pi = Pi::build(7, &pts, &cfg());
+        let hits = pi.query(7, &Point::new(0.15, 0.15));
+        assert!(hits.contains(&1) && hits.contains(&2), "hits {hits:?}");
+        assert!(!hits.contains(&3));
+        // Wrong timestep: nothing.
+        assert!(pi.query(8, &Point::new(0.15, 0.15)).is_empty());
+    }
+
+    #[test]
+    fn disc_query_spans_regions() {
+        let mut pts = cluster(Point::new(0.0, 0.0), 50, 1.0);
+        pts.extend(cluster(Point::new(4.0, 0.0), 50, 1.0).into_iter().map(|(i, p)| (i + 50, p)));
+        let pi = Pi::build(0, &pts, &cfg());
+        let all = pi.query_disc(0, &Point::new(2.0, 0.0), 5.0);
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn coverage_split() {
+        let pts = cluster(Point::new(0.0, 0.0), 60, 1.0);
+        let pi = Pi::build(0, &pts, &cfg());
+        let new_pts =
+            vec![(900u32, Point::new(0.0, 0.0)), (901, Point::new(100.0, 100.0))];
+        let (covered, uncovered) = pi.split_coverage(&new_pts);
+        assert_eq!(covered.len(), 1);
+        assert_eq!(uncovered.len(), 1);
+        assert_eq!(uncovered[0].0, 901);
+    }
+
+    #[test]
+    fn adr_zero_when_population_stable() {
+        let pts = cluster(Point::new(0.0, 0.0), 80, 1.0);
+        let pi = Pi::build(0, &pts, &cfg());
+        assert_eq!(pi.adr(&pts, 0.5), 0.0);
+    }
+
+    #[test]
+    fn adr_high_when_population_leaves() {
+        let pts = cluster(Point::new(0.0, 0.0), 80, 1.0);
+        let pi = Pi::build(0, &pts, &cfg());
+        // Everyone moved far away.
+        let moved: Vec<(u32, Point)> =
+            pts.iter().map(|(i, p)| (*i, Point::new(p.x + 50.0, p.y))).collect();
+        let adr = pi.adr(&moved, 0.5);
+        assert!(adr > 0.9, "adr {adr}");
+    }
+
+    #[test]
+    fn insertion_extends_coverage() {
+        let pts = cluster(Point::new(0.0, 0.0), 60, 1.0);
+        let mut pi = Pi::build(0, &pts, &cfg());
+        let far = cluster(Point::new(30.0, 30.0), 20, 1.0);
+        assert!(!pi.covers(&Point::new(30.0, 30.0)));
+        pi.append_insertion(1, &far);
+        assert!(pi.covers(&Point::new(30.0, 30.0)));
+        let hits = pi.query_disc(1, &Point::new(30.0, 30.0), 2.0);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn insert_covered_accumulates_timesteps() {
+        let pts = cluster(Point::new(0.0, 0.0), 40, 1.0);
+        let mut pi = Pi::build(0, &pts, &cfg());
+        let later: Vec<(u32, Point)> = pts.iter().map(|(i, p)| (*i + 500, *p)).collect();
+        pi.insert_covered(1, &later);
+        let t0 = pi.query_disc(0, &Point::new(0.0, 0.0), 2.0);
+        let t1 = pi.query_disc(1, &Point::new(0.0, 0.0), 2.0);
+        assert_eq!(t0.len(), 40);
+        assert_eq!(t1.len(), 40);
+        assert!(t1.iter().all(|&id| id >= 500));
+    }
+
+    #[test]
+    fn empty_build() {
+        let pi = Pi::build(0, &[], &cfg());
+        assert!(pi.regions().is_empty());
+        assert!(pi.query(0, &Point::ORIGIN).is_empty());
+        assert_eq!(pi.adr(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! The temporal partition-based index TPI (paper Algorithm 4).
+
+use crate::pi::{Pi, PiConfig};
+use ppq_geo::Point;
+use ppq_traj::Dataset;
+
+/// TPI parameters (paper Table 1 / §6.1 defaults).
+#[derive(Clone, Debug)]
+pub struct TpiConfig {
+    pub pi: PiConfig,
+    /// TRD dropping-rate threshold `ε_c` (default 0.5).
+    pub eps_c: f64,
+    /// ADR threshold `ε_d` (default 0.5).
+    pub eps_d: f64,
+}
+
+impl Default for TpiConfig {
+    fn default() -> Self {
+        TpiConfig { pi: PiConfig::default(), eps_c: 0.5, eps_d: 0.5 }
+    }
+}
+
+/// Build statistics reported by Tables 7–8.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TpiStats {
+    /// Number of time periods (= number of "Re-build"s, the first build
+    /// included).
+    pub periods: usize,
+    /// Number of "Insertion" operations.
+    pub insertions: usize,
+    /// Timesteps processed.
+    pub timesteps: usize,
+}
+
+/// One period: `[t_start, t_end]` plus its PI (with insertions appended).
+#[derive(Clone, Debug)]
+pub struct Period {
+    pub t_start: u32,
+    pub t_end: u32,
+    pub pi: Pi,
+}
+
+/// The temporal partition-based index.
+#[derive(Clone, Debug)]
+pub struct Tpi {
+    periods: Vec<Period>,
+    stats: TpiStats,
+}
+
+impl Tpi {
+    /// Algorithm 4 over an ordered stream of time slices.
+    ///
+    /// Each item is `(t, points-at-t)`; timesteps must be strictly
+    /// increasing. Works for raw, reconstructed, or CQC-corrected points —
+    /// the paper notes TPI "can actually be applied for any of `T`, `T̄'`
+    /// and `T̂`".
+    pub fn build_from_slices<'a, I>(slices: I, cfg: &TpiConfig) -> Tpi
+    where
+        I: IntoIterator<Item = (u32, Vec<(u32, Point)>)>,
+        I::IntoIter: 'a,
+    {
+        let mut periods: Vec<Period> = Vec::new();
+        let mut stats = TpiStats::default();
+        for (t, points) in slices {
+            stats.timesteps += 1;
+            match periods.last_mut() {
+                None => {
+                    periods.push(Period { t_start: t, t_end: t, pi: Pi::build(t, &points, &cfg.pi) });
+                    stats.periods += 1;
+                }
+                Some(period) => {
+                    debug_assert!(t > period.t_end, "slices must be time-ordered");
+                    let (covered, uncovered) = period.pi.split_coverage(&points);
+                    // ADR over the covered set w.r.t. the period's regions
+                    // (Algorithm 4 line 6 computes ADR(t_s, t_e, ε_c) on
+                    // the covered points).
+                    let adr = period.pi.adr(&covered, cfg.eps_c);
+                    if adr > cfg.eps_d {
+                        // Re-build: close the period, start a fresh PI.
+                        let pi = Pi::build(t, &points, &cfg.pi);
+                        periods.push(Period { t_start: t, t_end: t, pi });
+                        stats.periods += 1;
+                    } else {
+                        period.pi.insert_covered(t, &covered);
+                        if !uncovered.is_empty() {
+                            period.pi.append_insertion(t, &uncovered);
+                            stats.insertions += 1;
+                        }
+                        period.t_end = t;
+                    }
+                }
+            }
+        }
+        Tpi { periods, stats }
+    }
+
+    /// Convenience: build over a dataset's raw points.
+    pub fn build(dataset: &Dataset, cfg: &TpiConfig) -> Tpi {
+        Self::build_from_slices(
+            dataset.time_slices().map(|s| (s.t, s.points.to_vec())),
+            cfg,
+        )
+    }
+
+    #[inline]
+    pub fn stats(&self) -> &TpiStats {
+        &self.stats
+    }
+
+    #[inline]
+    pub fn periods(&self) -> &[Period] {
+        &self.periods
+    }
+
+    /// The period covering timestep `t` (binary search).
+    pub fn period_of(&self, t: u32) -> Option<&Period> {
+        let idx = self.periods.partition_point(|p| p.t_end < t);
+        self.periods.get(idx).filter(|p| p.t_start <= t && t <= p.t_end)
+    }
+
+    /// STRQ: trajectory IDs in the `g_c` cell of `p` at time `t`.
+    pub fn query(&self, t: u32, p: &Point) -> Vec<u32> {
+        self.period_of(t).map(|period| period.pi.query(t, p)).unwrap_or_default()
+    }
+
+    /// Local-search STRQ: IDs within radius `r` of `p` at time `t`.
+    pub fn query_disc(&self, t: u32, p: &Point, r: f64) -> Vec<u32> {
+        self.period_of(t).map(|period| period.pi.query_disc(t, p, r)).unwrap_or_default()
+    }
+
+    /// Rectangle STRQ: IDs in cells intersecting `rect` at time `t`.
+    pub fn query_rect(&self, t: u32, rect: &ppq_geo::BBox) -> Vec<u32> {
+        self.period_of(t).map(|period| period.pi.query_rect(t, rect)).unwrap_or_default()
+    }
+
+    /// Total index size (what Tables 7–9 call "Index Size").
+    pub fn size_bytes(&self) -> usize {
+        self.periods.iter().map(|p| p.pi.size_bytes() + 8).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppq_quantize::KMeansConfig;
+
+    fn cfg(eps_c: f64, eps_d: f64) -> TpiConfig {
+        TpiConfig {
+            pi: PiConfig { eps_s: 2.0, gc: 0.5, kmeans: KMeansConfig::default() },
+            eps_c,
+            eps_d,
+        }
+    }
+
+    /// Stream where the population stays put for `stable` steps, then
+    /// jumps far away for another `stable` steps.
+    fn jumpy_stream(stable: u32) -> Vec<(u32, Vec<(u32, Point)>)> {
+        let mut slices = Vec::new();
+        for t in 0..(2 * stable) {
+            let offset = if t < stable { 0.0 } else { 100.0 };
+            let pts: Vec<(u32, Point)> = (0..40)
+                .map(|i| {
+                    let a = i as f64 * 0.7;
+                    (i, Point::new(offset + a.cos(), a.sin()))
+                })
+                .collect();
+            slices.push((t, pts));
+        }
+        slices
+    }
+
+    #[test]
+    fn stable_population_is_one_period() {
+        let slices = jumpy_stream(5);
+        let tpi = Tpi::build_from_slices(slices.into_iter().take(5), &cfg(0.5, 0.5));
+        assert_eq!(tpi.stats().periods, 1);
+        assert_eq!(tpi.periods()[0].t_start, 0);
+        assert_eq!(tpi.periods()[0].t_end, 4);
+    }
+
+    #[test]
+    fn population_jump_triggers_rebuild() {
+        let tpi = Tpi::build_from_slices(jumpy_stream(5), &cfg(0.5, 0.5));
+        assert_eq!(tpi.stats().periods, 2, "jump must start a new period");
+        assert_eq!(tpi.periods()[1].t_start, 5);
+    }
+
+    #[test]
+    fn queries_route_to_correct_period() {
+        let tpi = Tpi::build_from_slices(jumpy_stream(5), &cfg(0.5, 0.5));
+        // Before the jump the population is near the origin.
+        let before = tpi.query_disc(2, &Point::new(0.0, 0.0), 2.0);
+        assert!(!before.is_empty());
+        // After the jump it is near x = 100.
+        let after = tpi.query_disc(7, &Point::new(100.0, 0.0), 2.0);
+        assert!(!after.is_empty());
+        // And the old location is empty at the new time.
+        assert!(tpi.query_disc(7, &Point::new(0.0, 0.0), 2.0).is_empty());
+    }
+
+    #[test]
+    fn higher_eps_d_reduces_rebuilds() {
+        // Drifting population: a fraction leaves every step.
+        let mut slices = Vec::new();
+        for t in 0..20u32 {
+            let pts: Vec<(u32, Point)> = (0..60)
+                .map(|i| {
+                    let drift = t as f64 * 0.8;
+                    let a = i as f64 * 0.4;
+                    (i, Point::new(drift + a.cos() * 2.0, a.sin() * 2.0))
+                })
+                .collect();
+            slices.push((t, pts));
+        }
+        let strict = Tpi::build_from_slices(slices.clone(), &cfg(0.5, 0.05));
+        let lax = Tpi::build_from_slices(slices, &cfg(0.5, 0.9));
+        assert!(
+            strict.stats().periods >= lax.stats().periods,
+            "strict {} vs lax {}",
+            strict.stats().periods,
+            lax.stats().periods
+        );
+    }
+
+    #[test]
+    fn uncovered_points_become_insertions() {
+        let mut slices = jumpy_stream(3);
+        // Keep population stable but add a new far-away cohort at t=1.
+        slices.truncate(3);
+        slices[1].1.extend((100..120).map(|i| (i, Point::new(50.0, 50.0 + i as f64 * 0.01))));
+        slices[2].1.extend((100..120).map(|i| (i, Point::new(50.0, 50.0 + i as f64 * 0.01))));
+        let tpi = Tpi::build_from_slices(slices, &cfg(0.5, 0.9));
+        assert_eq!(tpi.stats().periods, 1);
+        assert!(tpi.stats().insertions >= 1);
+        let hits = tpi.query_disc(1, &Point::new(50.0, 50.1), 1.0);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn period_lookup_gaps() {
+        let tpi = Tpi::build_from_slices(jumpy_stream(3), &cfg(0.5, 0.5));
+        assert!(tpi.period_of(100).is_none());
+        assert!(tpi.query(100, &Point::ORIGIN).is_empty());
+    }
+
+    #[test]
+    fn empty_stream() {
+        let tpi = Tpi::build_from_slices(std::iter::empty(), &cfg(0.5, 0.5));
+        assert_eq!(tpi.stats(), &TpiStats::default());
+        assert_eq!(tpi.size_bytes(), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the partition index: whatever the point cloud,
+//! indexed points must be retrievable from their own position, regions
+//! must stay disjoint, and the ADR must be a valid average.
+
+use ppq_geo::Point;
+use ppq_quantize::KMeansConfig;
+use ppq_tpi::{Pi, PiConfig, Tpi, TpiConfig};
+use proptest::prelude::*;
+
+fn arb_points() -> impl Strategy<Value = Vec<(u32, Point)>> {
+    prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..120).prop_map(|v| {
+        v.into_iter().enumerate().map(|(i, (x, y))| (i as u32, Point::new(x, y))).collect()
+    })
+}
+
+fn cfg() -> PiConfig {
+    PiConfig { eps_s: 20.0, gc: 2.0, kmeans: KMeansConfig::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every indexed point is found when querying its own cell.
+    #[test]
+    fn self_retrieval(points in arb_points()) {
+        let pi = Pi::build(3, &points, &cfg());
+        for (id, p) in &points {
+            let hits = pi.query(3, p);
+            prop_assert!(hits.contains(id), "id {} lost at {:?}", id, p);
+        }
+    }
+
+    /// Regions are pairwise disjoint (overlap removal worked).
+    #[test]
+    fn regions_disjoint(points in arb_points()) {
+        let pi = Pi::build(0, &points, &cfg());
+        let regions = pi.regions();
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                if let Some(inter) = a.bbox().intersection(b.bbox()) {
+                    prop_assert!(inter.area() < 1e-9,
+                        "regions overlap: {:?} ∩ {:?}", a.bbox(), b.bbox());
+                }
+            }
+        }
+    }
+
+    /// ADR is in [0, 1] and zero against the building population.
+    #[test]
+    fn adr_bounds(points in arb_points(), eps_c in 0.05f64..0.95) {
+        let pi = Pi::build(0, &points, &cfg());
+        prop_assert_eq!(pi.adr(&points, eps_c), 0.0);
+        // Against an emptied space, ADR is still a valid average.
+        let adr = pi.adr(&[], eps_c);
+        prop_assert!((0.0..=1.0).contains(&adr));
+    }
+
+    /// The TPI finds every point of every timestep, whatever the stream.
+    #[test]
+    fn tpi_total_recall(slices in prop::collection::vec(arb_points(), 1..6)) {
+        let stream: Vec<(u32, Vec<(u32, Point)>)> =
+            slices.into_iter().enumerate().map(|(t, pts)| (t as u32, pts)).collect();
+        let check = stream.clone();
+        let tpi = Tpi::build_from_slices(
+            stream.into_iter(),
+            &TpiConfig { pi: cfg(), eps_c: 0.5, eps_d: 0.5 },
+        );
+        for (t, pts) in &check {
+            for (id, p) in pts {
+                let hits = tpi.query(*t, p);
+                prop_assert!(hits.contains(id), "id {} lost at t {} {:?}", id, t, p);
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Column-oriented dataset with a timestep index.
+//!
+//! PPQ, PI/TPI and all baselines consume points one timestep at a time
+//! (`T^t`), so [`Dataset`] precomputes, for every timestep, the list of
+//! `(TrajId, Point)` pairs active then. The raw-size accounting used for
+//! compression ratios also lives here.
+
+use crate::trajectory::{TrajId, Trajectory};
+use ppq_geo::{BBox, Point};
+
+/// An immutable collection of trajectories plus its time index.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    trajectories: Vec<Trajectory>,
+    /// `slices[t]` holds (id, point) for every trajectory active at
+    /// timestep `min_t + t`.
+    slices: Vec<Vec<(TrajId, Point)>>,
+    min_t: u32,
+    num_points: usize,
+}
+
+/// A borrowed view of one timestep's points.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeSlice<'a> {
+    pub t: u32,
+    pub points: &'a [(TrajId, Point)],
+}
+
+impl Dataset {
+    /// Build from trajectories. Ids are reassigned densely (0..n) in input
+    /// order so downstream structures can use ids as vector indices.
+    pub fn new(mut trajectories: Vec<Trajectory>) -> Self {
+        trajectories.retain(|t| !t.is_empty());
+        for (i, t) in trajectories.iter_mut().enumerate() {
+            t.id = i as TrajId;
+        }
+        let min_t = trajectories.iter().map(|t| t.start).min().unwrap_or(0);
+        let max_t = trajectories.iter().filter_map(|t| t.end()).max().unwrap_or(0);
+        let span = if trajectories.is_empty() { 0 } else { (max_t - min_t + 1) as usize };
+        let mut slices: Vec<Vec<(TrajId, Point)>> = vec![Vec::new(); span];
+        let mut num_points = 0;
+        for traj in &trajectories {
+            for (offset, p) in traj.points.iter().enumerate() {
+                let t = traj.start + offset as u32;
+                slices[(t - min_t) as usize].push((traj.id, *p));
+                num_points += 1;
+            }
+        }
+        Dataset { trajectories, slices, min_t, num_points }
+    }
+
+    #[inline]
+    pub fn num_trajectories(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    #[inline]
+    pub fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    #[inline]
+    pub fn trajectories(&self) -> &[Trajectory] {
+        &self.trajectories
+    }
+
+    #[inline]
+    pub fn trajectory(&self, id: TrajId) -> &Trajectory {
+        &self.trajectories[id as usize]
+    }
+
+    /// First timestep with data.
+    #[inline]
+    pub fn min_t(&self) -> u32 {
+        self.min_t
+    }
+
+    /// Last timestep with data (inclusive). `min_t()` when empty.
+    pub fn max_t(&self) -> u32 {
+        self.min_t + self.slices.len().saturating_sub(1) as u32
+    }
+
+    /// Iterate timesteps in order with their active points.
+    pub fn time_slices(&self) -> impl Iterator<Item = TimeSlice<'_>> {
+        self.slices
+            .iter()
+            .enumerate()
+            .map(move |(i, pts)| TimeSlice { t: self.min_t + i as u32, points: pts })
+    }
+
+    /// Points active at timestep `t` (empty slice when out of range).
+    pub fn points_at(&self, t: u32) -> &[(TrajId, Point)] {
+        if t < self.min_t {
+            return &[];
+        }
+        self.slices.get((t - self.min_t) as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterate every `(id, t, point)` in trajectory-major order.
+    pub fn iter_points(&self) -> impl Iterator<Item = (TrajId, u32, Point)> + '_ {
+        self.trajectories.iter().flat_map(|traj| {
+            traj.points
+                .iter()
+                .enumerate()
+                .map(move |(off, p)| (traj.id, traj.start + off as u32, *p))
+        })
+    }
+
+    /// Bounding box of every point; `None` when empty.
+    pub fn bbox(&self) -> Option<BBox> {
+        BBox::covering(self.iter_points().map(|(_, _, p)| p))
+    }
+
+    /// Raw storage cost: 16 bytes per point (x, y as f64 — timestamps are
+    /// implicit in the regular sampling, matching how the paper's
+    /// compression ratios treat the raw baseline).
+    pub fn raw_size_bytes(&self) -> usize {
+        self.num_points * 2 * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        Dataset::new(vec![
+            Trajectory::new(99, 0, vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]),
+            Trajectory::new(7, 1, vec![Point::new(5.0, 5.0), Point::new(6.0, 6.0)]),
+            Trajectory::new(3, 3, vec![]), // dropped
+        ])
+    }
+
+    #[test]
+    fn ids_reassigned_densely() {
+        let d = dataset();
+        assert_eq!(d.num_trajectories(), 2);
+        assert_eq!(d.trajectories()[0].id, 0);
+        assert_eq!(d.trajectories()[1].id, 1);
+    }
+
+    #[test]
+    fn time_index() {
+        let d = dataset();
+        assert_eq!(d.min_t(), 0);
+        assert_eq!(d.max_t(), 2);
+        assert_eq!(d.points_at(0), &[(0, Point::new(0.0, 0.0))]);
+        let at1 = d.points_at(1);
+        assert_eq!(at1.len(), 2);
+        assert_eq!(d.points_at(2), &[(1, Point::new(6.0, 6.0))]);
+        assert!(d.points_at(100).is_empty());
+    }
+
+    #[test]
+    fn point_count_and_raw_size() {
+        let d = dataset();
+        assert_eq!(d.num_points(), 4);
+        assert_eq!(d.raw_size_bytes(), 64);
+    }
+
+    #[test]
+    fn iter_points_covers_all() {
+        let d = dataset();
+        let all: Vec<_> = d.iter_points().collect();
+        assert_eq!(all.len(), 4);
+        assert!(all.contains(&(1, 2, Point::new(6.0, 6.0))));
+    }
+
+    #[test]
+    fn bbox_covers_everything() {
+        let d = dataset();
+        let bb = d.bbox().unwrap();
+        assert_eq!(bb, BBox::from_extents(0.0, 0.0, 6.0, 6.0));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new(vec![]);
+        assert_eq!(d.num_points(), 0);
+        assert!(d.bbox().is_none());
+        assert_eq!(d.time_slices().count(), 0);
+    }
+
+    #[test]
+    fn time_slices_iterate_in_order() {
+        let d = dataset();
+        let ts: Vec<u32> = d.time_slices().map(|s| s.t).collect();
+        assert_eq!(ts, vec![0, 1, 2]);
+    }
+}

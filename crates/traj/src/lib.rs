@@ -1,0 +1,24 @@
+//! Trajectory data model and datasets for PPQ-Trajectory.
+//!
+//! A trajectory (paper Definition 3.1) is a finite sequence of time-stamped
+//! positions. The pipeline consumes data *column-wise*: all points at
+//! timestep `t` (`T^t` in the paper) are processed together, so
+//! [`Dataset`] maintains a time index alongside the per-trajectory rows.
+//!
+//! The original evaluation uses the Porto taxi and GeoLife datasets, which
+//! are not redistributable here; [`synth`] provides deterministic
+//! generators that reproduce the structural properties the algorithms are
+//! sensitive to (see DESIGN.md §3 for the substitution argument), plus the
+//! sub-Porto construction of §6.1 used for the REST comparison.
+
+pub mod dataset;
+pub mod io;
+pub mod resample;
+pub mod stats;
+pub mod synth;
+pub mod trajectory;
+
+pub use dataset::{Dataset, TimeSlice};
+pub use resample::{resample_dataset, resample_trace, ResampleConfig};
+pub use stats::DatasetStats;
+pub use trajectory::{TrajId, Trajectory};

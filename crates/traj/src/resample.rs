@@ -1,0 +1,225 @@
+//! Resampling irregular GPS records onto the regular timestep grid.
+//!
+//! The pipeline (like the paper's model) assumes regularly-sampled
+//! trajectories: one position per timestep, no gaps. Real exports — the
+//! actual Porto taxi or GeoLife logs — are irregular: jittered intervals,
+//! dropped fixes, multi-minute holes. This module converts raw
+//! `(seconds, position)` records into [`Trajectory`] rows by linear
+//! interpolation at a fixed interval, splitting a source trace wherever
+//! the gap between consecutive fixes exceeds a threshold (interpolating
+//! across a tunnel-sized hole would fabricate movement).
+
+use crate::dataset::Dataset;
+use crate::trajectory::Trajectory;
+use ppq_geo::Point;
+
+/// Resampling parameters.
+#[derive(Clone, Debug)]
+pub struct ResampleConfig {
+    /// Output sampling interval in the input's time unit (e.g. 15.0 for
+    /// the Porto taxis' 15-second cadence).
+    pub interval: f64,
+    /// Split the trace when consecutive fixes are farther apart than this
+    /// many time units.
+    pub max_gap: f64,
+    /// Drop resampled segments shorter than this many points (the paper
+    /// filters to length ≥ 30).
+    pub min_len: usize,
+}
+
+impl Default for ResampleConfig {
+    fn default() -> Self {
+        ResampleConfig { interval: 15.0, max_gap: 120.0, min_len: 30 }
+    }
+}
+
+/// Resample one trace of `(time, position)` records (any order; sorted
+/// internally, duplicate timestamps keep the first record) into zero or
+/// more regular segments. Returned segments are point vectors paired with
+/// the timestep (`time / interval`, floored) at which they start.
+pub fn resample_trace(records: &[(f64, Point)], cfg: &ResampleConfig) -> Vec<(u32, Vec<Point>)> {
+    assert!(cfg.interval > 0.0 && cfg.max_gap >= cfg.interval);
+    if records.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<(f64, Point)> = records.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    sorted.dedup_by(|a, b| a.0 == b.0);
+
+    // Split into gap-free runs.
+    let mut runs: Vec<&[(f64, Point)]> = Vec::new();
+    let mut start = 0usize;
+    for i in 1..sorted.len() {
+        if sorted[i].0 - sorted[i - 1].0 > cfg.max_gap {
+            runs.push(&sorted[start..i]);
+            start = i;
+        }
+    }
+    runs.push(&sorted[start..]);
+
+    let mut out = Vec::new();
+    for run in runs {
+        if run.len() < 2 {
+            continue;
+        }
+        let t0 = run.first().expect("len>=2").0;
+        let t1 = run.last().expect("len>=2").0;
+        // First grid instant at or after t0.
+        let first_step = (t0 / cfg.interval).ceil() as u64;
+        let last_step = (t1 / cfg.interval).floor() as u64;
+        if last_step < first_step {
+            continue;
+        }
+        let mut points = Vec::with_capacity((last_step - first_step + 1) as usize);
+        let mut cursor = 0usize;
+        for step in first_step..=last_step {
+            let ts = step as f64 * cfg.interval;
+            while cursor + 1 < run.len() && run[cursor + 1].0 < ts {
+                cursor += 1;
+            }
+            let (ta, pa) = run[cursor];
+            let (tb, pb) = run[(cursor + 1).min(run.len() - 1)];
+            let p = if tb > ta {
+                let f = ((ts - ta) / (tb - ta)).clamp(0.0, 1.0);
+                pa.lerp(&pb, f)
+            } else {
+                pa
+            };
+            points.push(p);
+        }
+        if points.len() >= cfg.min_len {
+            out.push((first_step as u32, points));
+        }
+    }
+    out
+}
+
+/// Resample a collection of raw traces into a [`Dataset`]. Each trace may
+/// yield several trajectories (one per gap-free segment).
+pub fn resample_dataset(traces: &[Vec<(f64, Point)>], cfg: &ResampleConfig) -> Dataset {
+    let mut trajs = Vec::new();
+    for trace in traces {
+        for (start, points) in resample_trace(trace, cfg) {
+            trajs.push(Trajectory::new(0, start, points));
+        }
+    }
+    Dataset::new(trajs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(interval: f64, max_gap: f64, min_len: usize) -> ResampleConfig {
+        ResampleConfig { interval, max_gap, min_len }
+    }
+
+    /// A clean trace at exactly the target cadence resamples to itself.
+    #[test]
+    fn identity_on_already_regular_trace() {
+        let records: Vec<(f64, Point)> =
+            (0..40).map(|i| (i as f64 * 15.0, Point::new(i as f64, -(i as f64)))).collect();
+        let segs = resample_trace(&records, &cfg(15.0, 120.0, 10));
+        assert_eq!(segs.len(), 1);
+        let (start, pts) = &segs[0];
+        assert_eq!(*start, 0);
+        assert_eq!(pts.len(), 40);
+        for (i, p) in pts.iter().enumerate() {
+            assert!(p.dist(&Point::new(i as f64, -(i as f64))) < 1e-9);
+        }
+    }
+
+    /// Jittered sampling interpolates onto the grid.
+    #[test]
+    fn jittered_trace_interpolates() {
+        // Fixes at 0, 14, 31, 44, 61 s of a constant-velocity motion
+        // x = t/15.
+        let times = [0.0, 14.0, 31.0, 44.0, 61.0];
+        let records: Vec<(f64, Point)> =
+            times.iter().map(|&t| (t, Point::new(t / 15.0, 0.0))).collect();
+        let segs = resample_trace(&records, &cfg(15.0, 120.0, 2));
+        assert_eq!(segs.len(), 1);
+        let (_, pts) = &segs[0];
+        // Grid instants 0, 15, 30, 45, 60 → x = 0, 1, 2, 3, 4.
+        assert_eq!(pts.len(), 5);
+        for (i, p) in pts.iter().enumerate() {
+            assert!((p.x - i as f64).abs() < 1e-9, "at {i}: {p:?}");
+        }
+    }
+
+    /// A hole larger than max_gap splits the trace.
+    #[test]
+    fn gap_splits_trace() {
+        let mut records: Vec<(f64, Point)> =
+            (0..20).map(|i| (i as f64 * 15.0, Point::new(i as f64, 0.0))).collect();
+        // 10-minute hole, then another run.
+        records.extend(
+            (0..20).map(|i| (900.0 + i as f64 * 15.0, Point::new(100.0 + i as f64, 0.0))),
+        );
+        let segs = resample_trace(&records, &cfg(15.0, 120.0, 5));
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].1.len(), 20);
+        assert_eq!(segs[1].1.len(), 20);
+        assert_eq!(segs[1].0, 60); // 900 s / 15 s
+    }
+
+    /// Interpolation never fabricates movement across the hole.
+    #[test]
+    fn no_interpolation_across_gap() {
+        let records = vec![
+            (0.0, Point::new(0.0, 0.0)),
+            (15.0, Point::new(1.0, 0.0)),
+            (1000.0, Point::new(50.0, 0.0)),
+            (1015.0, Point::new(51.0, 0.0)),
+        ];
+        let segs = resample_trace(&records, &cfg(15.0, 120.0, 1));
+        // Two short segments; no grid point between 15 s and 1000 s.
+        assert_eq!(segs.len(), 2);
+        let total: usize = segs.iter().map(|(_, p)| p.len()).sum();
+        assert!(total <= 5, "fabricated {total} points");
+    }
+
+    #[test]
+    fn min_len_filters_short_segments() {
+        let records: Vec<(f64, Point)> =
+            (0..5).map(|i| (i as f64 * 15.0, Point::new(i as f64, 0.0))).collect();
+        assert!(resample_trace(&records, &cfg(15.0, 120.0, 30)).is_empty());
+    }
+
+    #[test]
+    fn unsorted_and_duplicate_records() {
+        let records = vec![
+            (30.0, Point::new(2.0, 0.0)),
+            (0.0, Point::new(0.0, 0.0)),
+            (15.0, Point::new(1.0, 0.0)),
+            (15.0, Point::new(99.0, 99.0)), // duplicate timestamp: dropped
+            (45.0, Point::new(3.0, 0.0)),
+        ];
+        let segs = resample_trace(&records, &cfg(15.0, 120.0, 2));
+        assert_eq!(segs.len(), 1);
+        let (_, pts) = &segs[0];
+        assert_eq!(pts.len(), 4);
+        assert!((pts[1].x - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dataset_assembly() {
+        let traces: Vec<Vec<(f64, Point)>> = (0..3)
+            .map(|k| {
+                (0..40)
+                    .map(|i| (i as f64 * 15.0, Point::new(i as f64 + k as f64 * 100.0, 0.0)))
+                    .collect()
+            })
+            .collect();
+        let d = resample_dataset(&traces, &cfg(15.0, 120.0, 10));
+        assert_eq!(d.num_trajectories(), 3);
+        assert_eq!(d.num_points(), 120);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(resample_trace(&[], &ResampleConfig::default()).is_empty());
+        let d = resample_dataset(&[], &ResampleConfig::default());
+        assert_eq!(d.num_points(), 0);
+    }
+}

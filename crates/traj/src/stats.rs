@@ -1,0 +1,100 @@
+//! Dataset summary statistics (used by harness banners and EXPERIMENTS.md).
+
+use crate::dataset::Dataset;
+use ppq_geo::{coords, BBox};
+
+/// Descriptive statistics of a dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetStats {
+    pub trajectories: usize,
+    pub points: usize,
+    pub min_len: usize,
+    pub max_len: usize,
+    pub mean_len: f64,
+    pub timesteps: usize,
+    pub bbox: Option<BBox>,
+    /// Mean per-step displacement in metres (movement scale).
+    pub mean_step_m: f64,
+}
+
+impl DatasetStats {
+    pub fn of(dataset: &Dataset) -> Self {
+        let lens: Vec<usize> = dataset.trajectories().iter().map(|t| t.len()).collect();
+        let points = dataset.num_points();
+        let total_path: f64 = dataset.trajectories().iter().map(|t| t.path_length()).sum();
+        let total_steps: usize =
+            dataset.trajectories().iter().map(|t| t.len().saturating_sub(1)).sum();
+        DatasetStats {
+            trajectories: dataset.num_trajectories(),
+            points,
+            min_len: lens.iter().copied().min().unwrap_or(0),
+            max_len: lens.iter().copied().max().unwrap_or(0),
+            mean_len: if lens.is_empty() {
+                0.0
+            } else {
+                lens.iter().sum::<usize>() as f64 / lens.len() as f64
+            },
+            timesteps: (dataset.max_t() - dataset.min_t()) as usize + usize::from(points > 0),
+            bbox: dataset.bbox(),
+            mean_step_m: if total_steps == 0 {
+                0.0
+            } else {
+                coords::deg_to_meters(total_path / total_steps as f64)
+            },
+        }
+    }
+
+    /// One-line human-readable banner.
+    pub fn banner(&self, name: &str) -> String {
+        let extent = self
+            .bbox
+            .map(|b| format!("{:.3}°×{:.3}°", b.width(), b.height()))
+            .unwrap_or_else(|| "∅".into());
+        format!(
+            "{name}: {} trajectories, {} points, len {}–{} (mean {:.0}), {} timesteps, extent {extent}, step {:.0} m",
+            self.trajectories, self.points, self.min_len, self.max_len, self.mean_len,
+            self.timesteps, self.mean_step_m
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{porto_like, PortoConfig};
+    use crate::trajectory::Trajectory;
+    use ppq_geo::Point;
+
+    #[test]
+    fn stats_of_empty() {
+        let s = DatasetStats::of(&Dataset::new(vec![]));
+        assert_eq!(s.points, 0);
+        assert_eq!(s.timesteps, 0);
+        assert!(s.bbox.is_none());
+        assert!(s.banner("empty").contains("0 trajectories"));
+    }
+
+    #[test]
+    fn stats_of_known_dataset() {
+        let d = Dataset::new(vec![
+            Trajectory::new(0, 0, vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]),
+            Trajectory::new(1, 1, vec![Point::new(0.0, 0.0); 4]),
+        ]);
+        let s = DatasetStats::of(&d);
+        assert_eq!(s.trajectories, 2);
+        assert_eq!(s.points, 6);
+        assert_eq!(s.min_len, 2);
+        assert_eq!(s.max_len, 4);
+        assert_eq!(s.timesteps, 5);
+        assert!((s.mean_len - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn porto_banner_mentions_scale() {
+        let d = porto_like(&PortoConfig::small());
+        let s = DatasetStats::of(&d);
+        let banner = s.banner("porto");
+        assert!(banner.contains("porto:"));
+        assert!(s.mean_step_m > 10.0);
+    }
+}

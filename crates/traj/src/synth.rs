@@ -1,0 +1,431 @@
+//! Deterministic synthetic dataset generators.
+//!
+//! The paper evaluates on Porto taxis and GeoLife. Neither is available in
+//! this offline environment, so these generators produce data with the
+//! structural properties the PPQ pipeline is sensitive to (see DESIGN.md
+//! §3): smooth heading-momentum motion (strong lag-k autocorrelation),
+//! spatially clustered activity, staggered trip starts, and — for the
+//! GeoLife surrogate — a huge spatial extent with heterogeneous movement
+//! modes. All generators are fully deterministic given their seed.
+
+use crate::dataset::Dataset;
+use crate::trajectory::Trajectory;
+use ppq_geo::{coords, BBox, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Standard-normal sample via Box–Muller (rand_distr is not vendored).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Shared heading-momentum walker used by both city generators.
+///
+/// Speeds are in metres/step and internally converted to degrees; the
+/// walker reflects off the area boundary so trajectories stay inside.
+struct Walker<'r> {
+    rng: &'r mut StdRng,
+    area: BBox,
+    pos: Point,
+    heading: f64,
+    speed_deg: f64,
+    turn_sigma: f64,
+    speed_jitter: f64,
+    gps_noise_deg: f64,
+}
+
+impl<'r> Walker<'r> {
+    fn step(&mut self) -> Point {
+        // Smooth heading drift with occasional sharper turns (junctions).
+        let turn = if self.rng.gen_bool(0.07) {
+            self.rng.gen_range(-1.2..1.2)
+        } else {
+            gaussian(self.rng) * self.turn_sigma
+        };
+        self.heading += turn;
+        // Speed wanders multiplicatively around its base value.
+        let jitter = 1.0 + gaussian(self.rng) * self.speed_jitter;
+        let v = self.speed_deg * jitter.clamp(0.2, 2.0);
+        let mut next =
+            self.pos + Point::new(self.heading.cos(), self.heading.sin()) * v;
+        // Reflect at the boundary.
+        if next.x < self.area.min.x || next.x > self.area.max.x {
+            self.heading = std::f64::consts::PI - self.heading;
+            next.x = next.x.clamp(self.area.min.x, self.area.max.x);
+        }
+        if next.y < self.area.min.y || next.y > self.area.max.y {
+            self.heading = -self.heading;
+            next.y = next.y.clamp(self.area.min.y, self.area.max.y);
+        }
+        self.pos = next;
+        // Observed position = true position + GPS noise.
+        Point::new(
+            next.x + gaussian(self.rng) * self.gps_noise_deg,
+            next.y + gaussian(self.rng) * self.gps_noise_deg,
+        )
+    }
+}
+
+/// Configuration for the Porto-like generator.
+#[derive(Clone, Debug)]
+pub struct PortoConfig {
+    pub trajectories: usize,
+    /// Mean trip length in points; actual lengths are `max(min_len, …)`
+    /// exponential-ish around the mean (the paper filters to length ≥ 30).
+    pub mean_len: usize,
+    pub min_len: usize,
+    /// Timestep range over which trip starts are staggered.
+    pub start_spread: u32,
+    pub seed: u64,
+}
+
+impl PortoConfig {
+    /// Laptop-scale default used by tests and examples.
+    pub fn small() -> Self {
+        PortoConfig { trajectories: 150, mean_len: 90, min_len: 30, start_spread: 60, seed: 0x7060 }
+    }
+
+    /// The scale the bench harnesses use by default.
+    pub fn bench() -> Self {
+        PortoConfig { trajectories: 600, mean_len: 120, min_len: 30, start_spread: 150, seed: 0x7060 }
+    }
+}
+
+impl Default for PortoConfig {
+    fn default() -> Self {
+        PortoConfig::bench()
+    }
+}
+
+/// Porto-like dataset: dense city extent (~0.20° × 0.14°) around
+/// (−8.62, 41.16), taxi-like speeds (≈10 m/s at 15 s sampling).
+pub fn porto_like(cfg: &PortoConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let area = BBox::from_extents(-8.72, 41.09, -8.52, 41.23);
+    let mut trajs = Vec::with_capacity(cfg.trajectories);
+    // A handful of "hotspot" pickup areas, like taxi ranks.
+    let hotspots: Vec<Point> = (0..6)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(area.min.x + 0.02..area.max.x - 0.02),
+                rng.gen_range(area.min.y + 0.02..area.max.y - 0.02),
+            )
+        })
+        .collect();
+    for i in 0..cfg.trajectories {
+        let len = sample_len(&mut rng, cfg.mean_len, cfg.min_len);
+        let start = rng.gen_range(0..cfg.start_spread.max(1));
+        let hotspot = hotspots[rng.gen_range(0..hotspots.len())];
+        let pos = Point::new(
+            (hotspot.x + gaussian(&mut rng) * 0.01).clamp(area.min.x, area.max.x),
+            (hotspot.y + gaussian(&mut rng) * 0.01).clamp(area.min.y, area.max.y),
+        );
+        let heading = rng.gen_range(0.0..std::f64::consts::TAU);
+        // ~10 m/s * 15 s = 150 m per step.
+        let speed_m = rng.gen_range(80.0..220.0);
+        let mut walker = Walker {
+            rng: &mut rng,
+            area,
+            pos,
+            heading,
+            speed_deg: coords::meters_to_deg(speed_m),
+            turn_sigma: 0.18,
+            speed_jitter: 0.15,
+            gps_noise_deg: coords::meters_to_deg(4.0),
+        };
+        let points: Vec<Point> = (0..len).map(|_| walker.step()).collect();
+        trajs.push(Trajectory::new(i as u32, start, points));
+    }
+    Dataset::new(trajs)
+}
+
+/// Configuration for the GeoLife-like generator.
+#[derive(Clone, Debug)]
+pub struct GeolifeConfig {
+    pub trajectories: usize,
+    pub mean_len: usize,
+    pub min_len: usize,
+    pub start_spread: u32,
+    pub seed: u64,
+}
+
+impl GeolifeConfig {
+    pub fn small() -> Self {
+        GeolifeConfig { trajectories: 40, mean_len: 300, min_len: 30, start_spread: 40, seed: 0x6E0 }
+    }
+
+    pub fn bench() -> Self {
+        GeolifeConfig {
+            trajectories: 120,
+            mean_len: 500,
+            min_len: 30,
+            start_spread: 80,
+            seed: 0x6E0,
+        }
+    }
+}
+
+impl Default for GeolifeConfig {
+    fn default() -> Self {
+        GeolifeConfig::bench()
+    }
+}
+
+/// GeoLife-like dataset: few users, very long multimodal trajectories over
+/// a ~15° × 10° extent (city clusters joined by fast inter-city legs).
+/// The huge extent is what makes raw-coordinate quantizers fail in the
+/// paper's Table 2, so it is preserved faithfully.
+pub fn geolife_like(cfg: &GeolifeConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let area = BBox::from_extents(105.0, 30.0, 120.0, 40.0);
+    // City centres (Beijing-like cluster plus satellites).
+    let cities: Vec<Point> = (0..5)
+        .map(|_| {
+            Point::new(rng.gen_range(106.0..119.0), rng.gen_range(31.0..39.0))
+        })
+        .collect();
+    let mut trajs = Vec::with_capacity(cfg.trajectories);
+    for i in 0..cfg.trajectories {
+        let len = sample_len(&mut rng, cfg.mean_len, cfg.min_len);
+        let start = rng.gen_range(0..cfg.start_spread.max(1));
+        let mut city = rng.gen_range(0..cities.len());
+        let mut pos = Point::new(
+            cities[city].x + gaussian(&mut rng) * 0.05,
+            cities[city].y + gaussian(&mut rng) * 0.05,
+        );
+        let mut heading = rng.gen_range(0.0..std::f64::consts::TAU);
+        let mut points = Vec::with_capacity(len);
+        let mut remaining_transit = 0usize;
+        let mut target = pos;
+        while points.len() < len {
+            if remaining_transit > 0 {
+                // Inter-city leg: fast, straight movement towards target.
+                let to = target - pos;
+                let d = to.norm();
+                let step = coords::meters_to_deg(25_000.0); // ~車/plane-like hop
+                if d <= step {
+                    pos = target;
+                    remaining_transit = 0;
+                } else {
+                    pos += to * (step / d);
+                    remaining_transit -= 1;
+                }
+                points.push(Point::new(
+                    pos.x + gaussian(&mut rng) * coords::meters_to_deg(15.0),
+                    pos.y + gaussian(&mut rng) * coords::meters_to_deg(15.0),
+                ));
+                continue;
+            }
+            if rng.gen_bool(0.004) && cities.len() > 1 {
+                // Start an inter-city transition.
+                let mut next_city = rng.gen_range(0..cities.len());
+                if next_city == city {
+                    next_city = (next_city + 1) % cities.len();
+                }
+                city = next_city;
+                target = Point::new(
+                    cities[city].x + gaussian(&mut rng) * 0.05,
+                    cities[city].y + gaussian(&mut rng) * 0.05,
+                );
+                remaining_transit = 200; // bounded leg length
+                continue;
+            }
+            // Local movement: walk/bike/drive mix.
+            let speed_m = match rng.gen_range(0..3) {
+                0 => rng.gen_range(1.0..2.5),    // walk
+                1 => rng.gen_range(3.0..8.0),    // bike
+                _ => rng.gen_range(8.0..25.0),   // drive
+            } * 5.0; // 5 s sampling
+            // Hold one mode for a stretch of steps.
+            let stretch = rng.gen_range(20..80).min(len - points.len());
+            let mut walker = Walker {
+                rng: &mut rng,
+                area,
+                pos,
+                heading,
+                speed_deg: coords::meters_to_deg(speed_m),
+                turn_sigma: 0.25,
+                speed_jitter: 0.2,
+                gps_noise_deg: coords::meters_to_deg(6.0),
+            };
+            for _ in 0..stretch {
+                points.push(walker.step());
+            }
+            pos = walker.pos;
+            heading = walker.heading;
+        }
+        trajs.push(Trajectory::new(i as u32, start, points));
+    }
+    Dataset::new(trajs)
+}
+
+/// Configuration for the sub-Porto construction (paper §6.1).
+#[derive(Clone, Debug)]
+pub struct SubPortoConfig {
+    /// Number of base trajectories sampled from a Porto-like pool.
+    pub base_trajectories: usize,
+    pub mean_len: usize,
+    pub seed: u64,
+    /// Noise added to the variants, in metres.
+    pub noise_m: f64,
+}
+
+impl Default for SubPortoConfig {
+    fn default() -> Self {
+        SubPortoConfig { base_trajectories: 120, mean_len: 100, seed: 0x5B, noise_m: 12.0 }
+    }
+}
+
+/// The sub-Porto dataset: for every base trajectory, four similar variants
+/// are created by down-sampling + noise (then re-interpolated back to the
+/// regular grid so the result is a valid [`Dataset`]).
+///
+/// Returns `(compression_targets, reference_pool)`: one variant of each
+/// base is the compression target; the base + remaining variants form the
+/// pool REST builds its reference set from — mirroring "2,000 trajectories
+/// are randomly selected for compression, while other trajectories are
+/// used to build a reference set".
+pub fn sub_porto(cfg: &SubPortoConfig) -> (Dataset, Dataset) {
+    let porto = porto_like(&PortoConfig {
+        trajectories: cfg.base_trajectories,
+        mean_len: cfg.mean_len,
+        min_len: 30,
+        start_spread: 40,
+        seed: cfg.seed,
+    });
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xABCD);
+    let noise = coords::meters_to_deg(cfg.noise_m);
+    let mut targets = Vec::new();
+    let mut pool = Vec::new();
+    for base in porto.trajectories() {
+        pool.push(base.clone());
+        for v in 0..4 {
+            let variant = perturb(base, noise, &mut rng);
+            if v == 0 {
+                targets.push(variant);
+            } else {
+                pool.push(variant);
+            }
+        }
+    }
+    (Dataset::new(targets), Dataset::new(pool))
+}
+
+/// Down-sample (drop every other point), add Gaussian noise, then linearly
+/// re-interpolate to the original sampling grid with a per-variant speed
+/// warp. The warp is what down-sampling real GPS traces produces: the
+/// variant follows the same *path* but drifts in *time* against its base,
+/// so reference-based matching (REST) gets runs that break after a while —
+/// without it, matching would be trivially whole-trajectory.
+fn perturb(base: &Trajectory, noise: f64, rng: &mut StdRng) -> Trajectory {
+    let down: Vec<Point> = base.points.iter().step_by(2).copied().collect();
+    let noisy: Vec<Point> = down
+        .iter()
+        .map(|p| Point::new(p.x + gaussian(rng) * noise, p.y + gaussian(rng) * noise))
+        .collect();
+    // Per-variant time warp: speed in [0.6, 1.4] plus a slow wobble.
+    // The spread controls how quickly a variant drifts out of step with
+    // its base — i.e. how long REST's matched runs can get.
+    let speed = rng.gen_range(0.6..1.4);
+    let wobble_amp = rng.gen_range(0.0..3.0);
+    let wobble_phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    let max_f = (noisy.len() - 1) as f64;
+    let mut points = Vec::with_capacity(base.len());
+    for i in 0..base.len() {
+        let f = (i as f64 * speed / 2.0
+            + wobble_amp * (i as f64 / 25.0 + wobble_phase).sin())
+        .clamp(0.0, max_f);
+        let lo = f.floor() as usize;
+        let hi = (lo + 1).min(noisy.len() - 1);
+        points.push(noisy[lo].lerp(&noisy[hi], f - lo as f64));
+    }
+    Trajectory::new(base.id, base.start, points)
+}
+
+fn sample_len(rng: &mut StdRng, mean: usize, min: usize) -> usize {
+    // Exponential with the requested mean, clamped below by `min` and above
+    // by 6× the mean to avoid pathological outliers in tests.
+    let u: f64 = rng.gen_range(1e-9..1.0);
+    let len = (-u.ln() * mean as f64) as usize;
+    len.clamp(min, mean * 6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn porto_is_deterministic() {
+        let a = porto_like(&PortoConfig::small());
+        let b = porto_like(&PortoConfig::small());
+        assert_eq!(a.num_points(), b.num_points());
+        let (id, t, p) = a.iter_points().nth(1000).unwrap();
+        let (id2, t2, p2) = b.iter_points().nth(1000).unwrap();
+        assert_eq!((id, t), (id2, t2));
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn porto_stays_in_city_extent() {
+        let d = porto_like(&PortoConfig::small());
+        let bb = d.bbox().unwrap();
+        // GPS noise can leak marginally past the walker's reflection bound.
+        assert!(bb.width() < 0.25, "extent too wide: {bb:?}");
+        assert!(bb.height() < 0.2);
+        assert!(d.trajectories().iter().all(|t| t.len() >= 30));
+    }
+
+    #[test]
+    fn porto_steps_are_vehicle_scale() {
+        let d = porto_like(&PortoConfig::small());
+        let t = &d.trajectories()[0];
+        let mean_step = t.path_length() / (t.len() - 1) as f64;
+        let step_m = ppq_geo::coords::deg_to_meters(mean_step);
+        assert!(step_m > 20.0 && step_m < 600.0, "step {step_m} m");
+    }
+
+    #[test]
+    fn geolife_has_wide_extent_and_long_trajs() {
+        let d = geolife_like(&GeolifeConfig::small());
+        let bb = d.bbox().unwrap();
+        assert!(bb.width() > 2.0, "geolife extent too narrow: {bb:?}");
+        let max_len = d.trajectories().iter().map(Trajectory::len).max().unwrap();
+        assert!(max_len > 200);
+    }
+
+    #[test]
+    fn sub_porto_shapes() {
+        let (targets, pool) = sub_porto(&SubPortoConfig {
+            base_trajectories: 10,
+            mean_len: 60,
+            seed: 1,
+            noise_m: 10.0,
+        });
+        assert_eq!(targets.num_trajectories(), 10);
+        assert_eq!(pool.num_trajectories(), 40); // base + 3 variants each
+    }
+
+    #[test]
+    fn sub_porto_variants_follow_base_path() {
+        let (targets, pool) = sub_porto(&SubPortoConfig {
+            base_trajectories: 5,
+            mean_len: 60,
+            seed: 2,
+            noise_m: 10.0,
+        });
+        // Variants are time-warped, so compare against the base *path*:
+        // every target point must be near SOME base point.
+        let target = &targets.trajectories()[0];
+        let base = &pool.trajectories()[0];
+        let mut worst: f64 = 0.0;
+        for p in &target.points {
+            let nearest =
+                base.points.iter().map(|q| p.dist(q)).fold(f64::INFINITY, f64::min);
+            worst = worst.max(nearest);
+        }
+        let worst_m = ppq_geo::coords::deg_to_meters(worst);
+        assert!(worst_m < 400.0, "variant path drifted {worst_m} m from base path");
+    }
+}

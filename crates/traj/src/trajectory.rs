@@ -1,0 +1,133 @@
+//! The trajectory row type (paper Definition 3.1).
+
+use ppq_geo::Point;
+
+/// Dense trajectory identifier, assigned by the [`crate::Dataset`].
+pub type TrajId = u32;
+
+/// A trajectory: positions sampled at consecutive integer timesteps
+/// starting at `start`.
+///
+/// The paper's model (and both of its datasets after the standard
+/// resampling step) has regularly-sampled trajectories; we represent time
+/// implicitly as `start + offset`, which keeps points at 16 bytes and
+/// makes the `T^t` column view cheap.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trajectory {
+    pub id: TrajId,
+    /// First timestep at which this trajectory is active.
+    pub start: u32,
+    /// Positions at `start, start+1, …`.
+    pub points: Vec<Point>,
+}
+
+impl Trajectory {
+    pub fn new(id: TrajId, start: u32, points: Vec<Point>) -> Self {
+        Trajectory { id, start, points }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last timestep at which this trajectory is active (inclusive);
+    /// `None` for an empty trajectory.
+    pub fn end(&self) -> Option<u32> {
+        (!self.points.is_empty()).then(|| self.start + self.points.len() as u32 - 1)
+    }
+
+    /// Is the trajectory active at timestep `t`?
+    #[inline]
+    pub fn active_at(&self, t: u32) -> bool {
+        t >= self.start && (t - self.start) < self.points.len() as u32
+    }
+
+    /// Position at timestep `t`, if active.
+    #[inline]
+    pub fn at(&self, t: u32) -> Option<Point> {
+        self.active_at(t).then(|| self.points[(t - self.start) as usize])
+    }
+
+    /// Sub-trajectory over the timestep interval `[from, to]` (clipped to
+    /// the active range). Returns pairs `(t, point)`.
+    pub fn slice(&self, from: u32, to: u32) -> Vec<(u32, Point)> {
+        let mut out = Vec::new();
+        let (Some(end), true) = (self.end(), from <= to) else {
+            return out;
+        };
+        let lo = from.max(self.start);
+        let hi = to.min(end);
+        for t in lo..=hi {
+            out.push((t, self.points[(t - self.start) as usize]));
+        }
+        out
+    }
+
+    /// Total path length (sum of consecutive-point distances).
+    pub fn path_length(&self) -> f64 {
+        self.points.windows(2).map(|w| w[0].dist(&w[1])).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj() -> Trajectory {
+        Trajectory::new(
+            0,
+            10,
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(1.0, 1.0)],
+        )
+    }
+
+    #[test]
+    fn activity_window() {
+        let t = traj();
+        assert_eq!(t.end(), Some(12));
+        assert!(!t.active_at(9));
+        assert!(t.active_at(10));
+        assert!(t.active_at(12));
+        assert!(!t.active_at(13));
+    }
+
+    #[test]
+    fn point_lookup() {
+        let t = traj();
+        assert_eq!(t.at(11), Some(Point::new(1.0, 0.0)));
+        assert_eq!(t.at(9), None);
+        assert_eq!(t.at(13), None);
+    }
+
+    #[test]
+    fn slicing_clips() {
+        let t = traj();
+        let s = t.slice(0, 100);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], (10, Point::new(0.0, 0.0)));
+        let s2 = t.slice(11, 11);
+        assert_eq!(s2, vec![(11, Point::new(1.0, 0.0))]);
+        assert!(t.slice(13, 20).is_empty());
+        assert!(t.slice(20, 13).is_empty());
+    }
+
+    #[test]
+    fn path_length() {
+        assert!((traj().path_length() - 2.0).abs() < 1e-12);
+        assert_eq!(Trajectory::new(1, 0, vec![]).path_length(), 0.0);
+    }
+
+    #[test]
+    fn empty_trajectory() {
+        let t = Trajectory::new(2, 5, vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.end(), None);
+        assert!(!t.active_at(5));
+    }
+}

@@ -1,0 +1,78 @@
+//! End-to-end production workflow on "external" data:
+//!
+//! 1. ingest a trajectory CSV (`id,t,x,y` — the format real Porto/GeoLife
+//!    extracts would arrive in),
+//! 2. build the summary by streaming it timestep by timestep,
+//! 3. persist the summary bytes to disk,
+//! 4. reload in a fresh process-like context and serve queries.
+//!
+//! ```bash
+//! cargo run --release --example custom_data
+//! ```
+
+use ppq_trajectory::core::query::QueryEngine;
+use ppq_trajectory::core::{summary_io, PpqConfig, PpqStream, Variant};
+use ppq_trajectory::traj::io::{read_csv, write_csv};
+use ppq_trajectory::traj::synth::{porto_like, PortoConfig};
+use ppq_trajectory::traj::DatasetStats;
+use std::io::BufReader;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. A CSV file stands in for the external data drop. -----------
+    let tmp = std::env::temp_dir();
+    let csv_path = tmp.join(format!("ppq-example-data-{}.csv", std::process::id()));
+    let source = porto_like(&PortoConfig {
+        trajectories: 120,
+        mean_len: 70,
+        min_len: 30,
+        start_spread: 25,
+        seed: 2024,
+    });
+    write_csv(&source, std::fs::File::create(&csv_path)?)?;
+    println!("wrote {}", csv_path.display());
+
+    // Ingest: exactly what a consumer of real data would run.
+    let dataset = read_csv(BufReader::new(std::fs::File::open(&csv_path)?))?;
+    println!("{}", DatasetStats::of(&dataset).banner("ingested"));
+
+    // --- 2. Stream the dataset through the online encoder. -------------
+    let mut stream = PpqStream::new(PpqConfig::variant(Variant::PpqA, 0.1));
+    for slice in dataset.time_slices() {
+        stream.push_slice(slice.t, slice.points);
+    }
+    let summary = stream.finish();
+    println!(
+        "summary: {} codewords, {:.2}x compression, {:.1} m MAE",
+        summary.codebook_len(),
+        summary.compression_ratio(&dataset),
+        summary.mae_meters(&dataset),
+    );
+
+    // --- 3. Persist. -----------------------------------------------------
+    let summary_path = tmp.join(format!("ppq-example-summary-{}.ppqs", std::process::id()));
+    let bytes = summary_io::to_bytes(&summary);
+    std::fs::write(&summary_path, &bytes)?;
+    println!(
+        "persisted {} bytes to {} (raw data: {} bytes)",
+        bytes.len(),
+        summary_path.display(),
+        dataset.raw_size_bytes()
+    );
+
+    // --- 4. Reload and serve. ---------------------------------------------
+    let loaded = summary_io::from_bytes(&std::fs::read(&summary_path)?, true)?;
+    let engine = QueryEngine::new(&loaded, &dataset, loaded.config().tpi.pi.gc);
+    let mut exact_hits = 0usize;
+    let mut queries = 0usize;
+    for (id, t, p) in dataset.iter_points().step_by(211) {
+        let out = engine.strq(t, &p);
+        exact_hits += usize::from(out.exact.contains(&id));
+        queries += 1;
+    }
+    println!("served {queries} STRQs from the reloaded summary; {exact_hits} exact self-hits");
+    assert_eq!(exact_hits, queries, "exactness must survive persistence");
+
+    std::fs::remove_file(&csv_path).ok();
+    std::fs::remove_file(&summary_path).ok();
+    Ok(())
+}

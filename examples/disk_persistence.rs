@@ -1,0 +1,78 @@
+//! Disk persistence: build the temporal partition index over a fleet,
+//! page it to disk (1 MiB pages), and serve queries with I/O accounting —
+//! the §6.5 deployment mode.
+//!
+//! ```bash
+//! cargo run --release --example disk_persistence
+//! ```
+
+use ppq_trajectory::tpi::{DiskTpi, Tpi, TpiConfig};
+use ppq_trajectory::traj::synth::{porto_like, PortoConfig};
+use ppq_trajectory::traj::DatasetStats;
+
+fn main() -> std::io::Result<()> {
+    let fleet = porto_like(&PortoConfig {
+        trajectories: 250,
+        mean_len: 100,
+        min_len: 30,
+        start_spread: 60,
+        seed: 1234,
+    });
+    println!("{}", DatasetStats::of(&fleet).banner("fleet"));
+
+    // Temporal index with the paper's disk-experiment parameters.
+    let cfg = TpiConfig { eps_d: 0.8, eps_c: 0.5, ..TpiConfig::default() };
+    let tpi = Tpi::build(&fleet, &cfg);
+    println!(
+        "TPI: {} periods, {} insertions over {} timesteps",
+        tpi.stats().periods,
+        tpi.stats().insertions,
+        tpi.stats().timesteps
+    );
+
+    let path = std::env::temp_dir().join(format!("ppq-example-disk-{}.pages", std::process::id()));
+    let disk = DiskTpi::create(tpi, &path, 16)?;
+    println!(
+        "paged to {}: {} pages ({:.2} MiB)",
+        path.display(),
+        disk.num_pages(),
+        disk.size_bytes() as f64 / (1 << 20) as f64
+    );
+
+    // Serve a query batch; first pass cold, second pass warm.
+    let queries: Vec<(u32, ppq_trajectory::geo::Point)> = fleet
+        .trajectories()
+        .iter()
+        .step_by(7)
+        .filter_map(|traj| {
+            let t = traj.start + (traj.len() / 2) as u32;
+            traj.at(t).map(|p| (t, p))
+        })
+        .collect();
+
+    disk.clear_cache();
+    disk.io_stats().reset();
+    let mut hits = 0usize;
+    for (t, p) in &queries {
+        hits += usize::from(!disk.query(*t, p)?.is_empty());
+    }
+    println!(
+        "cold pass: {} queries, {} answered, {} page reads",
+        queries.len(),
+        hits,
+        disk.io_stats().reads()
+    );
+
+    let cold_reads = disk.io_stats().reads();
+    for (t, p) in &queries {
+        disk.query(*t, p)?;
+    }
+    println!(
+        "warm pass: +{} page reads ({} buffer hits) — the pool absorbs repeats",
+        disk.io_stats().reads() - cold_reads,
+        disk.io_stats().buffer_hits()
+    );
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Quickstart: summarise a trajectory stream, inspect the summary, and
+//! run spatio-temporal queries.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use ppq_trajectory::core::query::QueryEngine;
+use ppq_trajectory::core::{PpqConfig, PpqTrajectory, Variant};
+use ppq_trajectory::geo::coords;
+use ppq_trajectory::traj::synth::{porto_like, PortoConfig};
+use ppq_trajectory::traj::DatasetStats;
+
+fn main() {
+    // 1. A city-scale synthetic dataset shaped like the Porto taxi data.
+    let dataset = porto_like(&PortoConfig {
+        trajectories: 200,
+        mean_len: 80,
+        min_len: 30,
+        start_spread: 40,
+        seed: 7,
+    });
+    println!("{}", DatasetStats::of(&dataset).banner("dataset"));
+
+    // 2. Build the PPQ-trajectory summary with the paper's defaults:
+    //    ε₁ = 0.001° (≈111 m), g_s ≈ 50 m, autocorrelation partitioning.
+    let config = PpqConfig::variant(Variant::PpqA, 0.1);
+    let built = PpqTrajectory::build(&dataset, &config);
+    let summary = built.summary();
+
+    let b = summary.breakdown();
+    println!("\nsummary built in {:?}", summary.stats().total);
+    println!("  codebook      : {} codewords ({} bytes)", summary.codebook_len(), b.codebook);
+    println!("  code indices  : {} bytes", b.code_indices);
+    println!("  coefficients  : {} bytes", b.coefficients);
+    println!("  partition RLE : {} bytes", b.partition_runs);
+    println!("  CQC           : {} bytes (+{} template)", b.cqc_codes, b.cqc_template);
+    println!("  total         : {} bytes", b.total());
+    println!(
+        "  compression   : {:.2}x (raw {} bytes)",
+        summary.compression_ratio(&dataset),
+        dataset.raw_size_bytes()
+    );
+    println!(
+        "  MAE           : {:.1} m (guaranteed ≤ {:.1} m)",
+        summary.mae_meters(&dataset),
+        coords::deg_to_meters(config.cqc_error_bound()),
+    );
+
+    // 3. Query: who passed the first trajectory's 10th position, and where
+    //    do they go next (a TPQ with horizon 5)?
+    let probe_traj = &dataset.trajectories()[0];
+    let t = probe_traj.start + 10;
+    let p = probe_traj.at(t).expect("active");
+    let engine = QueryEngine::new(summary, &dataset, config.tpi.pi.gc);
+    let outcome = engine.strq(t, &p);
+    println!(
+        "\nSTRQ at t={t} ({:.5}, {:.5}): truth={:?} exact={:?} (visited {} candidates)",
+        p.x, p.y, outcome.truth, outcome.exact, outcome.visited
+    );
+    assert_eq!(outcome.exact, outcome.truth, "local search + refinement is exact");
+
+    for (id, path) in engine.tpq(t, &p, 5) {
+        let pretty: Vec<String> =
+            path.iter().map(|(tt, q)| format!("t{tt}:({:.5},{:.5})", q.x, q.y)).collect();
+        println!("  TPQ id {id}: {}", pretty.join(" "));
+    }
+}

@@ -1,0 +1,158 @@
+//! Cross-crate integration: baselines through the shared query engine,
+//! TPI reuse semantics, and the disk layer.
+
+use ppq_trajectory::baselines::trajstore::{build_trajstore, DiskTrajStore, TrajStoreConfig, TsBudget};
+use ppq_trajectory::baselines::{build_pq, build_rest, build_rq, PerStepBudget, RestConfig};
+use ppq_trajectory::core::query::{precision_recall, QueryEngine, ReconIndex};
+use ppq_trajectory::core::{PpqConfig, PpqTrajectory, Variant};
+use ppq_trajectory::tpi::{DiskTpi, Tpi, TpiConfig};
+use ppq_trajectory::traj::synth::{porto_like, sub_porto, PortoConfig, SubPortoConfig};
+use ppq_trajectory::traj::Dataset;
+
+fn porto() -> Dataset {
+    porto_like(&PortoConfig {
+        trajectories: 50,
+        mean_len: 50,
+        min_len: 30,
+        start_spread: 15,
+        seed: 0xBA5E,
+    })
+}
+
+#[test]
+fn all_baselines_answer_queries_via_the_shared_engine() {
+    let data = porto();
+    let tpi_cfg = TpiConfig::default();
+    let gc = tpi_cfg.pi.gc;
+    let summaries: Vec<(&str, Box<dyn ReconIndex>)> = vec![
+        (
+            "PQ",
+            Box::new(build_pq(&data, &PerStepBudget::Bits(9), Some(&tpi_cfg))),
+        ),
+        (
+            "RQ",
+            Box::new(build_rq(&data, &PerStepBudget::Bits(9), Some(&tpi_cfg))),
+        ),
+    ];
+    for (name, summary) in &summaries {
+        let engine = QueryEngine::new(summary.as_ref(), &data, gc);
+        let mut rec_sum = 0.0;
+        let mut n = 0.0;
+        for (_, t, p) in data.iter_points().step_by(67) {
+            let out = engine.strq(t, &p);
+            let (_, rec) = precision_recall(&out.candidates, &out.truth);
+            rec_sum += rec;
+            n += 1.0;
+        }
+        // Candidate recall is 1 because the search radius is the method's
+        // measured max error.
+        assert!((rec_sum / n - 1.0).abs() < 1e-12, "{name}: recall {}", rec_sum / n);
+    }
+}
+
+#[test]
+fn trajstore_vs_ppq_accuracy_ordering() {
+    // At matched codeword budgets, PPQ's predictive codebook must beat
+    // TrajStore's per-cell raw codebooks on MAE (paper Table 2 ordering).
+    let data = porto();
+    let ppq = PpqTrajectory::build(&data, &PpqConfig::variant(Variant::PpqABasic, 0.1));
+    let budget = ppq.summary().codebook_len();
+    let ts = build_trajstore(&data, TsBudget::TotalWords(budget), &TrajStoreConfig::default());
+    let ppq_mae = ppq.summary().mae_meters(&data);
+    let ts_mae = ts.summary.mae_meters(&data);
+    assert!(
+        ppq_mae < ts_mae,
+        "PPQ {ppq_mae} m should beat TrajStore {ts_mae} m at budget {budget}"
+    );
+}
+
+#[test]
+fn rest_only_wins_on_repetitive_data() {
+    let (targets, pool) = sub_porto(&SubPortoConfig {
+        base_trajectories: 25,
+        mean_len: 60,
+        seed: 3,
+        noise_m: 10.0,
+    });
+    let rest = build_rest(&targets, &pool, &RestConfig { eps: 0.002, min_match_len: 3 }, None);
+    assert!(rest.compression_ratio(&targets) > 2.0);
+    assert!(rest.max_error(&targets) <= 0.002 + 1e-12);
+}
+
+#[test]
+fn tpi_reuses_periods_on_smooth_data() {
+    let data = porto();
+    let tpi = Tpi::build(&data, &TpiConfig::default());
+    let stats = tpi.stats();
+    // Smooth urban motion: far fewer periods than timesteps.
+    assert!(
+        stats.periods * 2 < stats.timesteps,
+        "expected reuse: {} periods over {} timesteps",
+        stats.periods,
+        stats.timesteps
+    );
+    // Forcing per-step rebuilds yields ~one period per timestep.
+    let pi = Tpi::build(&data, &TpiConfig { eps_d: -1.0, ..TpiConfig::default() });
+    assert_eq!(pi.stats().periods, pi.stats().timesteps);
+    assert!(pi.stats().periods > stats.periods);
+}
+
+#[test]
+fn disk_tpi_and_memory_tpi_agree() {
+    let data = porto();
+    let tpi = Tpi::build(&data, &TpiConfig::default());
+    let mem = tpi.clone();
+    let path = std::env::temp_dir().join(format!("ppq-it-disk-{}", std::process::id()));
+    let disk = DiskTpi::create(tpi, &path, 8).unwrap();
+    for (_, t, p) in data.iter_points().step_by(83) {
+        let mut want = mem.query(t, &p);
+        let mut got = disk.query(t, &p).unwrap();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+    assert!(disk.io_stats().reads() + disk.io_stats().buffer_hits() > 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn disk_trajstore_reads_more_pages_than_tpi() {
+    // The Table 9 shape: TrajStore's time-spanning cells force more page
+    // reads per query batch than the temporally-partitioned index.
+    let data = porto();
+    // The paper sorts the query batch by starting time (§6.5), which is
+    // what gives the temporal index its buffer-pool locality.
+    let mut queries: Vec<(u32, ppq_trajectory::geo::Point)> = data
+        .iter_points()
+        .step_by(59)
+        .map(|(_, t, p)| (t, p))
+        .collect();
+    queries.sort_by_key(|(t, _)| *t);
+
+    let tpi = Tpi::build(&data, &TpiConfig { eps_d: 0.8, ..TpiConfig::default() });
+    let p1 = std::env::temp_dir().join(format!("ppq-it-t9a-{}", std::process::id()));
+    let disk_tpi = DiskTpi::create(tpi, &p1, 4).unwrap();
+    disk_tpi.clear_cache();
+    disk_tpi.io_stats().reset();
+    for (t, p) in &queries {
+        disk_tpi.query(*t, p).unwrap();
+    }
+    let tpi_reads = disk_tpi.io_stats().reads();
+
+    let ts = build_trajstore(&data, TsBudget::Bounded(0.001), &TrajStoreConfig::default());
+    let p2 = std::env::temp_dir().join(format!("ppq-it-t9b-{}", std::process::id()));
+    let disk_ts = DiskTrajStore::create(&ts, &p2, 4).unwrap();
+    disk_ts.clear_cache();
+    disk_ts.io_stats().reset();
+    for (t, p) in &queries {
+        disk_ts.query(*t, p).unwrap();
+    }
+    let ts_reads = disk_ts.io_stats().reads();
+
+    assert!(
+        ts_reads >= tpi_reads,
+        "TrajStore should not beat TPI on I/Os: {ts_reads} vs {tpi_reads}"
+    );
+    std::fs::remove_file(&p1).ok();
+    std::fs::remove_file(&p2).ok();
+}

@@ -1,0 +1,142 @@
+//! End-to-end integration: the full pipeline against its paper-level
+//! guarantees, across variants and datasets.
+
+use ppq_trajectory::core::query::{precision_recall, QueryEngine};
+use ppq_trajectory::core::{BuildBudget, PpqConfig, PpqTrajectory, Variant};
+use ppq_trajectory::geo::coords;
+use ppq_trajectory::traj::synth::{geolife_like, porto_like, GeolifeConfig, PortoConfig};
+use ppq_trajectory::traj::Dataset;
+
+fn porto() -> Dataset {
+    porto_like(&PortoConfig {
+        trajectories: 60,
+        mean_len: 60,
+        min_len: 30,
+        start_spread: 20,
+        seed: 0xE2E,
+    })
+}
+
+fn geolife() -> Dataset {
+    geolife_like(&GeolifeConfig {
+        trajectories: 12,
+        mean_len: 150,
+        min_len: 30,
+        start_spread: 10,
+        seed: 0xE2E,
+    })
+}
+
+#[test]
+fn every_variant_meets_its_guarantee_on_both_datasets() {
+    for (name, data) in [("porto", porto()), ("geolife", geolife())] {
+        for v in Variant::ALL {
+            let eps_p_spatial = if name == "porto" { 0.1 } else { 5.0 };
+            let cfg = PpqConfig::variant(v, eps_p_spatial);
+            let built = PpqTrajectory::build(&data, &cfg);
+            let bound = cfg.guaranteed_deviation();
+            let worst = built.summary().max_error(&data);
+            assert!(
+                worst <= bound + 1e-12,
+                "{name}/{}: max error {worst} > bound {bound}",
+                v.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn summary_is_self_contained() {
+    // Replaying from the stored summary (codebook + coefficients +
+    // indices + CQC) reproduces the cached reconstructions exactly —
+    // i.e. the summary alone suffices, as the paper claims ("the
+    // parameters in the system are enough to reproduce any trajectory").
+    let data = porto();
+    let built = PpqTrajectory::build(&data, &PpqConfig::variant(Variant::PpqA, 0.1));
+    let s = built.summary();
+    for traj in data.trajectories() {
+        let replayed = s.replay(traj.id);
+        assert_eq!(replayed.len(), traj.len());
+        for (off, rp) in replayed.iter().enumerate() {
+            let cached = s.reconstruct(traj.id, traj.start + off as u32).unwrap();
+            assert!(rp.dist(&cached) < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn strq_exact_equals_truth_everywhere_with_cqc() {
+    let data = porto();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let built = PpqTrajectory::build(&data, &cfg);
+    let engine = QueryEngine::new(built.summary(), &data, cfg.tpi.pi.gc);
+    for (id, t, p) in data.iter_points().step_by(41) {
+        let out = engine.strq(t, &p);
+        assert!(out.truth.contains(&id));
+        assert_eq!(out.exact, out.truth, "id {id} t {t}");
+        let (prec, rec) = precision_recall(&out.exact, &out.truth);
+        assert_eq!((prec, rec), (1.0, 1.0));
+    }
+}
+
+#[test]
+fn tpq_path_error_is_bounded_pointwise() {
+    // Unlike offline line-simplification methods, every reconstructed
+    // point of a TPQ answer is individually within the bound.
+    let data = porto();
+    let cfg = PpqConfig::variant(Variant::PpqA, 0.1);
+    let built = PpqTrajectory::build(&data, &cfg);
+    let bound_m = coords::deg_to_meters(cfg.cqc_error_bound());
+    let engine = QueryEngine::new(built.summary(), &data, cfg.tpi.pi.gc);
+    for traj in data.trajectories().iter().step_by(9) {
+        let t = traj.start;
+        let sub = engine.sub_trajectory(traj.id, t, 20);
+        assert!(!sub.is_empty());
+        for (tt, rp) in sub {
+            let truth = traj.at(tt).unwrap();
+            assert!(coords::deg_to_meters(truth.dist(&rp)) <= bound_m + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn budgeted_mode_trades_accuracy_for_size() {
+    let data = porto();
+    let mae_at = |bits: u32| {
+        let cfg = PpqConfig {
+            budget: BuildBudget::PerStepBits(bits),
+            build_index: false,
+            ..PpqConfig::variant(Variant::EPq, 0.1)
+        };
+        PpqTrajectory::build(&data, &cfg).summary().mae_meters(&data)
+    };
+    let coarse = mae_at(4);
+    let fine = mae_at(9);
+    assert!(
+        fine < coarse,
+        "more bits must reduce MAE: 4 bits {coarse} m vs 9 bits {fine} m"
+    );
+}
+
+#[test]
+fn geolife_punishes_raw_quantization() {
+    // The paper's Table 2/6 story: on a wide spatial extent, meeting the
+    // same error bound by quantizing raw coordinates (Q-trajectory) takes
+    // orders of magnitude more codewords than predictive quantization —
+    // the flip side of "their MAE values are orders of magnitude larger
+    // for the same size codebook".
+    let data = geolife();
+    let mut ppq_cfg = PpqConfig::variant(Variant::PpqABasic, 5.0);
+    ppq_cfg.build_index = false;
+    let ppq = PpqTrajectory::build(&data, &ppq_cfg);
+    let mut q_cfg = PpqConfig::variant(Variant::QTrajectory, 5.0);
+    q_cfg.build_index = false;
+    let q = PpqTrajectory::build(&data, &q_cfg);
+    let ppq_words = ppq.summary().codebook_len();
+    let q_words = q.summary().codebook_len();
+    assert!(
+        q_words > 10 * ppq_words,
+        "expected raw quantization to need far more codewords on wide \
+         extents: PPQ {ppq_words} vs Q-trajectory {q_words}"
+    );
+}

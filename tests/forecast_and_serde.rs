@@ -1,0 +1,96 @@
+//! Integration tests for the two extension features: future-position
+//! forecasting (the paper's §1 analytic task) and summary serialization.
+
+use ppq_trajectory::core::{summary_io, PpqConfig, PpqStream, PpqTrajectory, Variant};
+use ppq_trajectory::geo::{coords, Point};
+use ppq_trajectory::traj::synth::{porto_like, PortoConfig};
+use ppq_trajectory::traj::{Dataset, Trajectory};
+
+/// A constant-velocity trajectory is perfectly linearly predictable: the
+/// forecast must continue the line.
+#[test]
+fn forecast_extrapolates_constant_velocity() {
+    let pts: Vec<Point> =
+        (0..60).map(|i| Point::new(-8.6 + i as f64 * 1e-4, 41.1 + i as f64 * 5e-5)).collect();
+    let data = Dataset::new(vec![Trajectory::new(0, 0, pts)]);
+    let mut cfg = PpqConfig::variant(Variant::EPq, 0.1);
+    cfg.build_index = false;
+    let built = PpqTrajectory::build(&data, &cfg);
+    let forecast = built.summary().forecast(0, 10);
+    assert_eq!(forecast.len(), 10);
+    assert_eq!(forecast[0].0, 60);
+    for (t, p) in forecast {
+        let truth = Point::new(-8.6 + t as f64 * 1e-4, 41.1 + t as f64 * 5e-5);
+        let err_m = coords::deg_to_meters(truth.dist(&p));
+        // Quantization noise compounds over the horizon; stay within a
+        // couple of quantization cells even at step 10.
+        assert!(err_m < 400.0, "forecast at t={t} off by {err_m} m");
+    }
+}
+
+#[test]
+fn forecast_handles_edge_cases() {
+    let data = porto_like(&PortoConfig {
+        trajectories: 5,
+        mean_len: 40,
+        min_len: 30,
+        start_spread: 5,
+        seed: 77,
+    });
+    let built = PpqTrajectory::build(&data, &PpqConfig::variant(Variant::PpqA, 0.1));
+    // Zero horizon and unknown ids are empty.
+    assert!(built.summary().forecast(0, 0).is_empty());
+    assert!(built.summary().forecast(9999, 5).is_empty());
+    // Q-trajectory (no prediction) falls back to last-value.
+    let q = PpqTrajectory::build(&data, &PpqConfig::variant(Variant::QTrajectory, 0.1));
+    let traj = &data.trajectories()[0];
+    let f = q.summary().forecast(0, 3);
+    assert_eq!(f.len(), 3);
+    let last = q.summary().reconstruct(0, traj.end().unwrap()).unwrap();
+    for (_, p) in f {
+        assert!(p.dist(&last) < 1e-9, "last-value forecast must hold position");
+    }
+}
+
+#[test]
+fn serialized_summary_survives_stream_to_disk_to_queries() {
+    use ppq_trajectory::core::query::QueryEngine;
+    let data = porto_like(&PortoConfig {
+        trajectories: 30,
+        mean_len: 40,
+        min_len: 30,
+        start_spread: 8,
+        seed: 55,
+    });
+    // Stream → serialize → deserialize (+ index rebuild) → query.
+    let mut stream = PpqStream::new(PpqConfig::variant(Variant::PpqS, 0.1));
+    for slice in data.time_slices() {
+        stream.push_slice(slice.t, slice.points);
+    }
+    let summary = stream.finish();
+    let bytes = summary_io::to_bytes(&summary);
+    let back = summary_io::from_bytes(&bytes, true).unwrap();
+
+    let gc = back.config().tpi.pi.gc;
+    let engine = QueryEngine::new(&back, &data, gc);
+    for (id, t, p) in data.iter_points().step_by(73) {
+        let out = engine.strq(t, &p);
+        assert!(out.truth.contains(&id));
+        assert_eq!(out.exact, out.truth, "exactness must survive the roundtrip");
+    }
+}
+
+#[test]
+fn serialization_is_deterministic() {
+    let data = porto_like(&PortoConfig {
+        trajectories: 10,
+        mean_len: 35,
+        min_len: 30,
+        start_spread: 4,
+        seed: 3,
+    });
+    let cfg = PpqConfig { build_index: false, ..PpqConfig::variant(Variant::PpqA, 0.1) };
+    let a = summary_io::to_bytes(&PpqTrajectory::build(&data, &cfg).into_summary());
+    let b = summary_io::to_bytes(&PpqTrajectory::build(&data, &cfg).into_summary());
+    assert_eq!(a, b, "same data + config must serialize identically");
+}

@@ -1,0 +1,86 @@
+//! Property tests over the full pipeline: the error bound and the
+//! self-containment of the summary must hold for arbitrary (small)
+//! datasets and parameterisations, not just the synthetic city walks.
+
+use ppq_trajectory::core::{PpqConfig, PpqTrajectory, Variant};
+use ppq_trajectory::geo::Point;
+use ppq_trajectory::traj::{Dataset, Trajectory};
+use proptest::prelude::*;
+
+/// Arbitrary small dataset: a handful of trajectories with random walks,
+/// random starts and random lengths.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(
+        (
+            0u32..8,                              // start
+            prop::collection::vec((-0.01f64..0.01, -0.01f64..0.01), 5..40), // steps
+            (-8.7f64..-8.5, 41.0f64..41.3),       // origin
+        ),
+        1..8,
+    )
+    .prop_map(|trajs| {
+        let trajectories = trajs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (start, steps, (ox, oy)))| {
+                let mut p = Point::new(ox, oy);
+                let mut points = Vec::with_capacity(steps.len());
+                for (dx, dy) in steps {
+                    p = Point::new(p.x + dx, p.y + dy);
+                    points.push(p);
+                }
+                Trajectory::new(i as u32, start, points)
+            })
+            .collect();
+        Dataset::new(trajectories)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Definition 3.2 + Lemma 3, for random data and every variant.
+    #[test]
+    fn error_bound_universal(data in arb_dataset(), variant_idx in 0usize..6) {
+        let v = Variant::ALL[variant_idx];
+        let mut cfg = PpqConfig::variant(v, 0.05);
+        cfg.build_index = false;
+        let built = PpqTrajectory::build(&data, &cfg);
+        let bound = cfg.guaranteed_deviation();
+        prop_assert!(built.summary().max_error(&data) <= bound + 1e-12);
+    }
+
+    /// The summary decoder (replay) and the cached reconstructions agree
+    /// for arbitrary data.
+    #[test]
+    fn replay_universal(data in arb_dataset()) {
+        let mut cfg = PpqConfig::variant(Variant::PpqA, 0.05);
+        cfg.build_index = false;
+        let built = PpqTrajectory::build(&data, &cfg);
+        let s = built.summary();
+        for traj in data.trajectories() {
+            let replayed = s.replay(traj.id);
+            for (off, rp) in replayed.iter().enumerate() {
+                let cached = s.reconstruct(traj.id, traj.start + off as u32).unwrap();
+                prop_assert!(rp.dist(&cached) < 1e-9);
+            }
+        }
+    }
+
+    /// Tightening ε₁ can only shrink (or keep) the worst-case error and
+    /// can only grow (or keep) the codebook.
+    #[test]
+    fn monotone_in_eps1(data in arb_dataset()) {
+        let build = |eps1: f64| {
+            let mut cfg = PpqConfig::variant(Variant::EPq, 0.05);
+            cfg.eps1 = eps1;
+            cfg.build_index = false;
+            PpqTrajectory::build(&data, &cfg)
+        };
+        let tight = build(0.0005);
+        let loose = build(0.004);
+        prop_assert!(tight.summary().max_error(&data) <= 0.0005 + 1e-12);
+        prop_assert!(loose.summary().max_error(&data) <= 0.004 + 1e-12);
+        prop_assert!(tight.summary().codebook_len() >= loose.summary().codebook_len());
+    }
+}
