@@ -51,8 +51,11 @@ pub fn build_pq(
 ) -> BaselineSummary {
     let t0 = Instant::now();
     let starts: Vec<u32> = dataset.trajectories().iter().map(|t| t.start).collect();
-    let mut recon: Vec<Vec<Point>> =
-        dataset.trajectories().iter().map(|t| vec![Point::ORIGIN; t.len()]).collect();
+    let mut recon: Vec<Vec<Point>> = dataset
+        .trajectories()
+        .iter()
+        .map(|t| vec![Point::ORIGIN; t.len()])
+        .collect();
     let mut summary_bytes = 0usize;
     let mut codewords = 0usize;
     for slice in dataset.time_slices() {
@@ -97,8 +100,11 @@ pub fn build_rq(
 ) -> BaselineSummary {
     let t0 = Instant::now();
     let starts: Vec<u32> = dataset.trajectories().iter().map(|t| t.start).collect();
-    let mut recon: Vec<Vec<Point>> =
-        dataset.trajectories().iter().map(|t| vec![Point::ORIGIN; t.len()]).collect();
+    let mut recon: Vec<Vec<Point>> = dataset
+        .trajectories()
+        .iter()
+        .map(|t| vec![Point::ORIGIN; t.len()])
+        .collect();
     let mut summary_bytes = 0usize;
     let mut codewords = 0usize;
     for slice in dataset.time_slices() {
@@ -139,9 +145,7 @@ pub fn build_rq(
 pub fn budget_bits(budget: &PerStepBudget) -> Option<u32> {
     match budget {
         PerStepBudget::Bits(b) => Some(*b),
-        PerStepBudget::Words(v) => {
-            v.iter().map(|(_, w)| index_bits_for(*w as usize)).max()
-        }
+        PerStepBudget::Words(v) => v.iter().map(|(_, w)| index_bits_for(*w as usize)).max(),
         PerStepBudget::Bounded(_) => None,
     }
 }

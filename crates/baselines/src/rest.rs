@@ -29,7 +29,10 @@ pub struct RestConfig {
 
 impl Default for RestConfig {
     fn default() -> Self {
-        RestConfig { eps: 0.001, min_match_len: 3 }
+        RestConfig {
+            eps: 0.001,
+            min_match_len: 3,
+        }
     }
 }
 
@@ -78,7 +81,10 @@ impl<'a> RefIndex<'a> {
             for dx in -1i64..=1 {
                 let nx = cx as i64 + dx;
                 let ny = cy as i64 + dy;
-                if nx < 0 || ny < 0 || nx >= self.grid.cols() as i64 || ny >= self.grid.rows() as i64
+                if nx < 0
+                    || ny < 0
+                    || nx >= self.grid.cols() as i64
+                    || ny >= self.grid.rows() as i64
                 {
                     continue;
                 }
@@ -135,7 +141,11 @@ pub fn build_rest(
             }
             match best {
                 Some((rid, off, len)) if len >= cfg.min_match_len => {
-                    elements.push(Element::Match { ref_id: rid, off, len: len as u32 });
+                    elements.push(Element::Match {
+                        ref_id: rid,
+                        off,
+                        len: len as u32,
+                    });
                     i += len;
                 }
                 _ => {
@@ -165,7 +175,15 @@ pub fn build_rest(
         recon.push(rec);
     }
     let build_time = t0.elapsed();
-    BaselineSummary::assemble("REST", targets, recon, summary_bytes, 0, build_time, tpi_cfg)
+    BaselineSummary::assemble(
+        "REST",
+        targets,
+        recon,
+        summary_bytes,
+        0,
+        build_time,
+        tpi_cfg,
+    )
 }
 
 #[cfg(test)]
@@ -185,7 +203,10 @@ mod tests {
     #[test]
     fn rest_is_error_bounded() {
         let (targets, pool) = datasets();
-        let cfg = RestConfig { eps: 0.002, min_match_len: 3 };
+        let cfg = RestConfig {
+            eps: 0.002,
+            min_match_len: 3,
+        };
         let b = build_rest(&targets, &pool, &cfg, None);
         assert!(b.max_error(&targets) <= cfg.eps + 1e-12);
     }
@@ -193,10 +214,16 @@ mod tests {
     #[test]
     fn rest_compresses_repetitive_data() {
         let (targets, pool) = datasets();
-        let cfg = RestConfig { eps: 0.002, min_match_len: 3 };
+        let cfg = RestConfig {
+            eps: 0.002,
+            min_match_len: 3,
+        };
         let b = build_rest(&targets, &pool, &cfg, None);
         let ratio = b.compression_ratio(&targets);
-        assert!(ratio > 2.0, "REST should compress sub-Porto well, got {ratio}");
+        assert!(
+            ratio > 2.0,
+            "REST should compress sub-Porto well, got {ratio}"
+        );
     }
 
     #[test]
@@ -211,7 +238,10 @@ mod tests {
             start_spread: 5,
             seed: 999,
         });
-        let cfg = RestConfig { eps: 0.0002, min_match_len: 3 };
+        let cfg = RestConfig {
+            eps: 0.0002,
+            min_match_len: 3,
+        };
         let b = build_rest(&strangers, &pool, &cfg, None);
         let (t, _) = datasets();
         let good = build_rest(&t, &pool, &cfg, None);
@@ -226,9 +256,24 @@ mod tests {
     #[test]
     fn tighter_eps_lowers_ratio() {
         let (targets, pool) = datasets();
-        let loose = build_rest(&targets, &pool, &RestConfig { eps: 0.004, min_match_len: 3 }, None);
-        let tight =
-            build_rest(&targets, &pool, &RestConfig { eps: 0.0001, min_match_len: 3 }, None);
+        let loose = build_rest(
+            &targets,
+            &pool,
+            &RestConfig {
+                eps: 0.004,
+                min_match_len: 3,
+            },
+            None,
+        );
+        let tight = build_rest(
+            &targets,
+            &pool,
+            &RestConfig {
+                eps: 0.0001,
+                min_match_len: 3,
+            },
+            None,
+        );
         assert!(loose.compression_ratio(&targets) >= tight.compression_ratio(&targets));
     }
 }

@@ -66,11 +66,7 @@ pub struct TrajStore {
 }
 
 /// Build TrajStore over a dataset.
-pub fn build_trajstore(
-    dataset: &Dataset,
-    budget: TsBudget,
-    cfg: &TrajStoreConfig,
-) -> TrajStore {
+pub fn build_trajstore(dataset: &Dataset, budget: TsBudget, cfg: &TrajStoreConfig) -> TrajStore {
     let t0 = Instant::now();
     let bounds = dataset
         .bbox()
@@ -82,7 +78,11 @@ pub fn build_trajstore(
     // (split on insert, periodic merge pass).
     for slice in dataset.time_slices() {
         for &(id, p) in slice.points {
-            qt.insert(Entry { id, t: slice.t, pos: p });
+            qt.insert(Entry {
+                id,
+                t: slice.t,
+                pos: p,
+            });
         }
         if cfg.merge_every > 0 && slice.t % cfg.merge_every == cfg.merge_every - 1 {
             qt.merge_pass(cfg.merge_threshold);
@@ -91,8 +91,11 @@ pub fn build_trajstore(
 
     // Phase 2: per-cell quantization.
     let starts: Vec<u32> = dataset.trajectories().iter().map(|t| t.start).collect();
-    let mut recon: Vec<Vec<Point>> =
-        dataset.trajectories().iter().map(|t| vec![Point::ORIGIN; t.len()]).collect();
+    let mut recon: Vec<Vec<Point>> = dataset
+        .trajectories()
+        .iter()
+        .map(|t| vec![Point::ORIGIN; t.len()])
+        .collect();
     let total_points = dataset.num_points().max(1);
     let mut summary_bytes = 0usize;
     let mut codewords = 0usize;
@@ -122,8 +125,8 @@ pub fn build_trajstore(
             let off = (e.t - starts[e.id as usize]) as usize;
             recon[e.id as usize][off] = cents[a as usize];
         }
-        summary_bytes += cents.len() * 16
-            + (positions.len() * index_bits_for(cents.len()) as usize).div_ceil(8);
+        summary_bytes +=
+            cents.len() * 16 + (positions.len() * index_bits_for(cents.len()) as usize).div_ceil(8);
         codewords += cents.len();
     }
     let build_time = t0.elapsed();
@@ -138,7 +141,12 @@ pub fn build_trajstore(
         build_time,
         None,
     );
-    TrajStore { summary, splits: qt.splits(), merges: qt.merges(), quadtree: qt }
+    TrajStore {
+        summary,
+        splits: qt.splits(),
+        merges: qt.merges(),
+        quadtree: qt,
+    }
 }
 
 /// Disk-resident TrajStore: each leaf's entries — **all timesteps** — are
@@ -166,7 +174,8 @@ impl DiskTrajStore {
         let store = PageStore::create_with_page_size(path, pool_pages, page_size)?;
         let mut leaf_runs = Vec::new();
         let mut leaves: Vec<(BBox, Vec<Entry>)> = Vec::new();
-        ts.quadtree.for_each_leaf(|b, entries| leaves.push((*b, entries.to_vec())));
+        ts.quadtree
+            .for_each_leaf(|b, entries| leaves.push((*b, entries.to_vec())));
         for (bbox, entries) in leaves {
             if entries.is_empty() {
                 continue;
@@ -193,9 +202,7 @@ impl DiskTrajStore {
 
     /// STRQ: read every page of the leaf containing `p` and filter by `t`.
     pub fn query(&self, t: u32, p: &Point) -> io::Result<Vec<u32>> {
-        let Some(&(_, first, pages)) =
-            self.leaf_runs.iter().find(|(b, _, _)| b.contains(p))
-        else {
+        let Some(&(_, first, pages)) = self.leaf_runs.iter().find(|(b, _, _)| b.contains(p)) else {
             return Ok(Vec::new());
         };
         let mut bytes = Vec::with_capacity((pages as usize) * self.store.page_size());
@@ -260,15 +267,21 @@ mod tests {
         let ts = build_trajstore(&d, TsBudget::TotalWords(64), &TrajStoreConfig::default());
         // Rounding per cell allows small overshoot, but the order of
         // magnitude must hold.
-        assert!(ts.summary.codewords >= 32 && ts.summary.codewords <= 160,
-            "codewords {}", ts.summary.codewords);
+        assert!(
+            ts.summary.codewords >= 32 && ts.summary.codewords <= 160,
+            "codewords {}",
+            ts.summary.codewords
+        );
         assert!(ts.summary.mae_meters(&d).is_finite());
     }
 
     #[test]
     fn streaming_causes_splits() {
         let d = data();
-        let cfg = TrajStoreConfig { max_per_leaf: 64, ..TrajStoreConfig::default() };
+        let cfg = TrajStoreConfig {
+            max_per_leaf: 64,
+            ..TrajStoreConfig::default()
+        };
         let ts = build_trajstore(&d, TsBudget::TotalWords(64), &cfg);
         assert!(ts.splits > 0);
         assert!(ts.quadtree.num_leaves() > 1);
@@ -297,7 +310,10 @@ mod tests {
         let mut path = std::env::temp_dir();
         path.push(format!("ppq-trajstore-miss-{}", std::process::id()));
         let disk = DiskTrajStore::create(&ts, &path, 0).unwrap();
-        assert!(disk.query(10_000, &Point::new(-8.6, 41.15)).unwrap().is_empty());
+        assert!(disk
+            .query(10_000, &Point::new(-8.6, 41.15))
+            .unwrap()
+            .is_empty());
         std::fs::remove_file(path).ok();
     }
 }

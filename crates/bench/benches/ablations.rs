@@ -23,7 +23,10 @@ fn main() {
         "Ablation 1: cold-start rule (PPQ-A)",
         &["Rule", "Codewords", "MAE(m)", "Summary KB"],
     );
-    for (label, rule) in [("Zero (paper)", ColdStart::Zero), ("LastValue", ColdStart::LastValue)] {
+    for (label, rule) in [
+        ("Zero (paper)", ColdStart::Zero),
+        ("LastValue", ColdStart::LastValue),
+    ] {
         let mut cfg = PpqConfig::variant(Variant::PpqA, 0.1);
         cfg.cold_start = rule;
         cfg.build_index = false;
@@ -75,8 +78,16 @@ fn main() {
         without_c += out.approx.len() as f64;
     }
     let n = qs.len() as f64;
-    t3.row(vec!["on".into(), format!("{:.3}", with_r / n), format!("{:.1}", with_c / n)]);
-    t3.row(vec!["off".into(), format!("{:.3}", without_r / n), format!("{:.1}", without_c / n)]);
+    t3.row(vec![
+        "on".into(),
+        format!("{:.3}", with_r / n),
+        format!("{:.1}", with_c / n),
+    ]);
+    t3.row(vec![
+        "off".into(),
+        format!("{:.3}", without_r / n),
+        format!("{:.1}", without_c / n),
+    ]);
     t3.emit("ablation_localsearch");
 
     // 4. Prediction order.

@@ -11,15 +11,22 @@ use ppq_traj::{Dataset, DatasetStats};
 
 fn run(dataset: &Dataset, name: &str, mode: PartitionMode, eps_ps: &[f64], table: &mut Table) {
     for &eps_p in eps_ps {
-        let variant =
-            if mode == PartitionMode::Autocorrelation { Variant::PpqA } else { Variant::PpqS };
+        let variant = if mode == PartitionMode::Autocorrelation {
+            Variant::PpqA
+        } else {
+            Variant::PpqS
+        };
         let mut cfg = PpqConfig::variant(variant, eps_p);
         cfg.eps_p = eps_p;
         cfg.build_index = false;
         let built = PpqTrajectory::build(dataset, &cfg);
         let stats = built.summary().stats();
-        let max_q =
-            stats.partitions_per_step.iter().map(|(_, q)| *q).max().unwrap_or(0);
+        let max_q = stats
+            .partitions_per_step
+            .iter()
+            .map(|(_, q)| *q)
+            .max()
+            .unwrap_or(0);
         table.row(vec![
             name.into(),
             variant.name().into(),
@@ -33,15 +40,45 @@ fn run(dataset: &Dataset, name: &str, mode: PartitionMode, eps_ps: &[f64], table
 fn main() {
     let mut table = Table::new(
         "Figure 7: Temporal partitioning running time against eps_p",
-        &["Dataset", "Variant", "eps_p", "Partitioning time(s)", "max q"],
+        &[
+            "Dataset",
+            "Variant",
+            "eps_p",
+            "Partitioning time(s)",
+            "max q",
+        ],
     );
     let porto = porto_bench();
     println!("{}", DatasetStats::of(&porto).banner("Porto"));
-    run(&porto, "Porto", PartitionMode::Autocorrelation, &[0.01, 0.03, 0.05], &mut table);
-    run(&porto, "Porto", PartitionMode::Spatial, &[0.1, 0.3, 0.5], &mut table);
+    run(
+        &porto,
+        "Porto",
+        PartitionMode::Autocorrelation,
+        &[0.01, 0.03, 0.05],
+        &mut table,
+    );
+    run(
+        &porto,
+        "Porto",
+        PartitionMode::Spatial,
+        &[0.1, 0.3, 0.5],
+        &mut table,
+    );
     let geolife = geolife_bench();
     println!("{}", DatasetStats::of(&geolife).banner("Geolife"));
-    run(&geolife, "Geolife", PartitionMode::Autocorrelation, &[0.01, 0.03, 0.05], &mut table);
-    run(&geolife, "Geolife", PartitionMode::Spatial, &[1.0, 3.0, 5.0], &mut table);
+    run(
+        &geolife,
+        "Geolife",
+        PartitionMode::Autocorrelation,
+        &[0.01, 0.03, 0.05],
+        &mut table,
+    );
+    run(
+        &geolife,
+        "Geolife",
+        PartitionMode::Spatial,
+        &[1.0, 3.0, 5.0],
+        &mut table,
+    );
     table.emit("fig7_partition_time");
 }

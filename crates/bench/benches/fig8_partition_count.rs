@@ -10,8 +10,11 @@ use ppq_traj::{Dataset, DatasetStats};
 
 fn series(dataset: &Dataset, name: &str, mode: PartitionMode, eps_ps: &[f64], table: &mut Table) {
     for &eps_p in eps_ps {
-        let variant =
-            if mode == PartitionMode::Autocorrelation { Variant::PpqA } else { Variant::PpqS };
+        let variant = if mode == PartitionMode::Autocorrelation {
+            Variant::PpqA
+        } else {
+            Variant::PpqS
+        };
         let mut cfg = PpqConfig::variant(variant, eps_p);
         cfg.eps_p = eps_p;
         cfg.build_index = false;
@@ -19,8 +22,11 @@ fn series(dataset: &Dataset, name: &str, mode: PartitionMode, eps_ps: &[f64], ta
         let steps = &built.summary().stats().partitions_per_step;
         // Sample ~12 evenly-spaced checkpoints of the series.
         let stride = (steps.len() / 12).max(1);
-        let sampled: Vec<String> =
-            steps.iter().step_by(stride).map(|(t, q)| format!("{t}:{q}")).collect();
+        let sampled: Vec<String> = steps
+            .iter()
+            .step_by(stride)
+            .map(|(t, q)| format!("{t}:{q}"))
+            .collect();
         let max_q = steps.iter().map(|(_, q)| *q).max().unwrap_or(0);
         table.row(vec![
             name.into(),
@@ -39,11 +45,35 @@ fn main() {
     );
     let porto = porto_bench();
     println!("{}", DatasetStats::of(&porto).banner("Porto"));
-    series(&porto, "Porto", PartitionMode::Autocorrelation, &[0.01, 0.03, 0.05], &mut table);
-    series(&porto, "Porto", PartitionMode::Spatial, &[0.1, 0.3, 0.5], &mut table);
+    series(
+        &porto,
+        "Porto",
+        PartitionMode::Autocorrelation,
+        &[0.01, 0.03, 0.05],
+        &mut table,
+    );
+    series(
+        &porto,
+        "Porto",
+        PartitionMode::Spatial,
+        &[0.1, 0.3, 0.5],
+        &mut table,
+    );
     let geolife = geolife_bench();
     println!("{}", DatasetStats::of(&geolife).banner("Geolife"));
-    series(&geolife, "Geolife", PartitionMode::Autocorrelation, &[0.01, 0.03, 0.05], &mut table);
-    series(&geolife, "Geolife", PartitionMode::Spatial, &[1.0, 3.0, 5.0], &mut table);
+    series(
+        &geolife,
+        "Geolife",
+        PartitionMode::Autocorrelation,
+        &[0.01, 0.03, 0.05],
+        &mut table,
+    );
+    series(
+        &geolife,
+        "Geolife",
+        PartitionMode::Spatial,
+        &[1.0, 3.0, 5.0],
+        &mut table,
+    );
     table.emit("fig8_partition_count");
 }

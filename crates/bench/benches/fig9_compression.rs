@@ -6,9 +6,7 @@
 
 use ppq_baselines::{build_rest, RestConfig};
 use ppq_bench::methods::build_for_deviation;
-use ppq_bench::{
-    geolife_bench, porto_bench, sub_porto_bench, Table, ALL_MAIN_METHODS,
-};
+use ppq_bench::{geolife_bench, porto_bench, sub_porto_bench, Table, ALL_MAIN_METHODS};
 use ppq_geo::coords;
 use ppq_traj::{Dataset, DatasetStats};
 
@@ -30,7 +28,10 @@ fn rest_panel(table: &mut Table) {
     let (targets, pool) = sub_porto_bench();
     println!("{}", DatasetStats::of(&targets).banner("sub-Porto targets"));
     // The PPQ-side methods compress the same targets.
-    for kind in ALL_MAIN_METHODS.iter().filter(|k| **k != ppq_bench::MethodKind::TrajStore) {
+    for kind in ALL_MAIN_METHODS
+        .iter()
+        .filter(|k| **k != ppq_bench::MethodKind::TrajStore)
+    {
         let mut row = vec!["sub-Porto".to_string(), kind.name().to_string()];
         for d in DEVIATIONS_M {
             let built = build_for_deviation(*kind, &targets, d);
@@ -40,7 +41,10 @@ fn rest_panel(table: &mut Table) {
     }
     let mut row = vec!["sub-Porto".to_string(), "REST".to_string()];
     for d in DEVIATIONS_M {
-        let cfg = RestConfig { eps: coords::meters_to_deg(d), min_match_len: 3 };
+        let cfg = RestConfig {
+            eps: coords::meters_to_deg(d),
+            min_match_len: 3,
+        };
         let rest = build_rest(&targets, &pool, &cfg, None);
         row.push(format!("{:.2}", rest.compression_ratio(&targets)));
     }

@@ -14,7 +14,14 @@ use std::hint::black_box;
 
 fn points(n: usize, spread: f64, seed: u64) -> Vec<Point> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| Point::new(rng.gen_range(-spread..spread), rng.gen_range(-spread..spread))).collect()
+    (0..n)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(-spread..spread),
+                rng.gen_range(-spread..spread),
+            )
+        })
+        .collect()
 }
 
 fn bench_quantizer(c: &mut Criterion) {
@@ -113,5 +120,11 @@ fn bench_predict(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_quantizer, bench_cqc, bench_sindex, bench_predict);
+criterion_group!(
+    benches,
+    bench_quantizer,
+    bench_cqc,
+    bench_sindex,
+    bench_predict
+);
 criterion_main!(benches);

@@ -1,0 +1,573 @@
+//! Serial-vs-parallel (and optimized-vs-seed) throughput for the PPQ
+//! build path, recorded to `BENCH_ppq.json` at the workspace root.
+//!
+//! Workloads on ≥100k-point synthetic datasets, each measured three ways
+//! where a reference exists: the pre-optimization *reference* path (the
+//! seed's AoS point-outer kernels, per-iteration allocations, and
+//! from-scratch quadratic bounded growth, reproduced below
+//! verbatim-in-spirit), the current path forced serial
+//! (`RAYON_NUM_THREADS=1`), and the current path at the machine's
+//! default thread count:
+//!
+//! 1. **kmeans** — one full Lloyd fit over the point cloud.
+//! 2. **Codebook build** — `bounded_kmeans`, the primitive behind PPQ
+//!    partitioning and codeword growth (the seed schedule is quadratic in
+//!    the final codeword count, so it runs once; the ratio dwarfs noise).
+//! 3. **Product-quantizer fit** — the per-axis scalar codebooks.
+//! 4. **Ingest quantize phase** — the incremental quantizer over a
+//!    per-step error stream (~97% of streaming ingest time).
+//! 5. **Ingest end-to-end** — `PpqStream::push_slice` over a wide dataset
+//!    (thousands of concurrent trajectories per timestep).
+//!
+//! Every serial/parallel pair is also checked for bit-identical output —
+//! the determinism contract the quantize kernels advertise.
+//!
+//! Thread-count control relies on the rayon shim reading
+//! `RAYON_NUM_THREADS` per call; with upstream rayon this bench would
+//! need to fork per configuration instead.
+
+use ppq_core::{PpqConfig, PpqStream, Variant};
+use ppq_geo::Point;
+use ppq_quantize::{bounded_kmeans, kmeans, IncrementalQuantizer, KMeansConfig, ProductQuantizer};
+use ppq_traj::synth::{porto_like, PortoConfig};
+use ppq_traj::Dataset;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The seed's pre-SoA kernels and pre-optimization growth schedule, kept
+/// as the honest baseline for the recorded speedup numbers.
+mod reference {
+    use ppq_geo::Point;
+    use ppq_quantize::{GridNN, KMeansConfig};
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn init_centroids(points: &[Point], k: usize, seed: u64) -> Vec<Point> {
+        let mut state = seed ^ (points.len() as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        let mut centroids = Vec::with_capacity(k);
+        centroids.push(points[(splitmix64(&mut state) as usize) % points.len()]);
+        while centroids.len() < k.min(8) {
+            let mut far_idx = 0;
+            let mut far_d = -1.0;
+            let stride = (points.len() / 512).max(1);
+            let mut i = (splitmix64(&mut state) as usize) % stride.max(1);
+            while i < points.len() {
+                let p = &points[i];
+                let d = centroids
+                    .iter()
+                    .map(|c| p.dist2(c))
+                    .fold(f64::INFINITY, f64::min);
+                if d > far_d {
+                    far_d = d;
+                    far_idx = i;
+                }
+                i += stride;
+            }
+            centroids.push(points[far_idx]);
+        }
+        while centroids.len() < k {
+            centroids.push(points[(splitmix64(&mut state) as usize) % points.len()]);
+        }
+        centroids
+    }
+
+    fn assign_all(points: &[Point], centroids: &[Point], assign: &mut [u32]) {
+        for (p, slot) in points.iter().zip(assign.iter_mut()) {
+            let mut best = 0u32;
+            let mut best_d = f64::INFINITY;
+            for (c, cent) in centroids.iter().enumerate() {
+                let d = p.dist2(cent);
+                if d < best_d {
+                    best_d = d;
+                    best = c as u32;
+                }
+            }
+            *slot = best;
+        }
+    }
+
+    /// The seed's Lloyd loop: AoS input, point-outer branchy assignment,
+    /// `sums`/`counts` reallocated every iteration.
+    pub fn kmeans(points: &[Point], k: usize, cfg: &KMeansConfig) -> (Vec<Point>, Vec<u32>) {
+        let k = k.clamp(1, points.len());
+        let mut centroids = init_centroids(points, k, cfg.seed);
+        let mut assign = vec![0u32; points.len()];
+        for _ in 0..cfg.max_iters {
+            assign_all(points, &centroids, &mut assign);
+            let mut sums = vec![Point::ORIGIN; k];
+            let mut counts = vec![0usize; k];
+            for (i, p) in points.iter().enumerate() {
+                let a = assign[i] as usize;
+                sums[a] += *p;
+                counts[a] += 1;
+            }
+            let mut moved: f64 = 0.0;
+            for c in 0..k {
+                if counts[c] == 0 {
+                    let (wi, _) = points
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| (i, p.dist2(&centroids[assign[i] as usize])))
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                        .unwrap();
+                    centroids[c] = points[wi];
+                    moved = f64::INFINITY;
+                    continue;
+                }
+                let new_c = sums[c] / counts[c] as f64;
+                moved += centroids[c].dist2(&new_c);
+                centroids[c] = new_c;
+            }
+            if moved <= cfg.tol * cfg.tol {
+                break;
+            }
+        }
+        assign_all(points, &centroids, &mut assign);
+        (centroids, assign)
+    }
+
+    /// The seed's bounded growth: restart k-means from scratch with
+    /// `q + grow_step` clusters per round (quadratic in the final count).
+    pub fn bounded_kmeans(
+        points: &[Point],
+        bound: f64,
+        cfg: &KMeansConfig,
+    ) -> (Vec<Point>, Vec<u32>) {
+        let mut q = 1;
+        loop {
+            let (centroids, assign) = kmeans(points, q, cfg);
+            let worst = points
+                .iter()
+                .zip(&assign)
+                .map(|(p, &a)| p.dist(&centroids[a as usize]))
+                .fold(0.0f64, f64::max);
+            if worst <= bound {
+                return (centroids, assign);
+            }
+            if q >= points.len() || q + cfg.grow_step > cfg.max_clusters {
+                let (mut centroids, mut assign) = (centroids, assign);
+                for (i, p) in points.iter().enumerate() {
+                    if p.dist(&centroids[assign[i] as usize]) > bound {
+                        centroids.push(*p);
+                        assign[i] = (centroids.len() - 1) as u32;
+                    }
+                }
+                return (centroids, assign);
+            }
+            q += cfg.grow_step;
+        }
+    }
+
+    /// The seed's incremental quantize loop: probe, then grow the codebook
+    /// for the uncovered remainder with the from-scratch bounded k-means.
+    pub fn quantize_batches(batches: &[Vec<Point>], eps: f64, cfg: &KMeansConfig) -> usize {
+        let mut nn = GridNN::new(eps);
+        let mut words: Vec<Point> = Vec::new();
+        for batch in batches {
+            let uncovered: Vec<Point> = batch
+                .iter()
+                .filter(|e| nn.nearest_within_eps(e).is_none())
+                .copied()
+                .collect();
+            if uncovered.is_empty() {
+                continue;
+            }
+            let (centroids, assign) = bounded_kmeans(&uncovered, eps, cfg);
+            let mut used = vec![false; centroids.len()];
+            for &a in &assign {
+                used[a as usize] = true;
+            }
+            for (c, centroid) in centroids.iter().enumerate() {
+                if used[c] {
+                    nn.insert(words.len() as u32, *centroid);
+                    words.push(*centroid);
+                }
+            }
+        }
+        words.len()
+    }
+
+    /// The seed's 1-D Lloyd loop (per-iteration allocations, value-outer).
+    pub fn kmeans_1d(values: &[f64], k: usize, iters: usize) -> (Vec<f64>, Vec<u32>) {
+        let k = k.clamp(1, values.len());
+        let (lo, hi) = values
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                (l.min(v), h.max(v))
+            });
+        let mut cents: Vec<f64> = (0..k)
+            .map(|i| {
+                if k == 1 {
+                    (lo + hi) * 0.5
+                } else {
+                    lo + (hi - lo) * i as f64 / (k - 1) as f64
+                }
+            })
+            .collect();
+        let mut assign = vec![0u32; values.len()];
+        for _ in 0..iters {
+            for (i, &v) in values.iter().enumerate() {
+                let mut best = 0u32;
+                let mut bd = f64::INFINITY;
+                for (c, &cc) in cents.iter().enumerate() {
+                    let d = (v - cc).abs();
+                    if d < bd {
+                        bd = d;
+                        best = c as u32;
+                    }
+                }
+                assign[i] = best;
+            }
+            let mut sums = vec![0.0f64; k];
+            let mut counts = vec![0usize; k];
+            for (i, &v) in values.iter().enumerate() {
+                sums[assign[i] as usize] += v;
+                counts[assign[i] as usize] += 1;
+            }
+            let mut moved = 0.0;
+            for c in 0..k {
+                if counts[c] > 0 {
+                    let nc = sums[c] / counts[c] as f64;
+                    moved += (nc - cents[c]).abs();
+                    cents[c] = nc;
+                } else {
+                    let (wi, _) = values
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| (i, (v - cents[assign[i] as usize]).abs()))
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                        .unwrap();
+                    cents[c] = values[wi];
+                    moved = f64::INFINITY;
+                }
+            }
+            if moved < 1e-12 {
+                break;
+            }
+        }
+        for (i, &v) in values.iter().enumerate() {
+            let mut best = 0u32;
+            let mut bd = f64::INFINITY;
+            for (c, &cc) in cents.iter().enumerate() {
+                let d = (v - cc).abs();
+                if d < bd {
+                    bd = d;
+                    best = c as u32;
+                }
+            }
+            assign[i] = best;
+        }
+        (cents, assign)
+    }
+}
+
+fn with_threads<T>(threads: &str, f: impl FnOnce() -> T) -> T {
+    let previous = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let result = f();
+    match previous {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    result
+}
+
+/// Median-of-`runs` wall-clock seconds for `f` (result of the last run
+/// returned for output checks).
+fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut times = Vec::with_capacity(runs);
+    let mut last = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let out = f();
+        times.push(start.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[times.len() / 2], last.unwrap())
+}
+
+fn points_eq(a: &[Point], b: &[Point]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(p, q)| p.x.to_bits() == q.x.to_bits() && p.y.to_bits() == q.y.to_bits())
+}
+
+/// A wide dataset: many concurrent walkers so per-step slices are in the
+/// parallel regime (~`trajectories` points per timestep).
+fn wide_dataset(trajectories: usize) -> Dataset {
+    porto_like(&PortoConfig {
+        trajectories,
+        mean_len: 30,
+        min_len: 20,
+        start_spread: 8,
+        seed: 0x9EED,
+    })
+}
+
+struct Entry {
+    name: String,
+    reference_s: Option<f64>,
+    serial_s: f64,
+    parallel_s: f64,
+    bit_identical: bool,
+    detail: String,
+}
+
+fn main() {
+    let runs: usize = std::env::var("PPQ_BENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let threads_default = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // ---- Workload 1: codebook build over >=100k points. ----------------
+    let data = wide_dataset(4000);
+    let all_points: Vec<Point> = data.iter_points().map(|(_, _, p)| p).collect();
+    let n = all_points.len();
+    assert!(n >= 100_000, "dataset too small: {n}");
+    eprintln!("codebook-build dataset: {n} points");
+
+    let cfg = KMeansConfig::default();
+    let k = 64;
+    let (ref_s, ref_out) = time_median(runs, || reference::kmeans(&all_points, k, &cfg));
+    let (ser_s, ser_out) = time_median(runs, || with_threads("1", || kmeans(&all_points, k, &cfg)));
+    let (par_s, par_out) = time_median(runs, || kmeans(&all_points, k, &cfg));
+    entries.push(Entry {
+        name: format!("kmeans_k{k}_n{n}"),
+        reference_s: Some(ref_s),
+        serial_s: ser_s,
+        parallel_s: par_s,
+        bit_identical: points_eq(&ser_out.0, &par_out.0) && ser_out.1 == par_out.1,
+        detail: format!(
+            "reference centroids match serial: {}",
+            points_eq(&ref_out.0, &ser_out.0)
+        ),
+    });
+
+    // Bounded growth — the codebook-build primitive behind PPQ
+    // partitioning and codeword growth. The reference (seed) schedule is
+    // quadratic in the final codeword count, so it runs once; the ratio
+    // dwarfs run-to-run noise.
+    let bound = 0.02;
+    let (bref_s, bref_out) = time_median(1, || reference::bounded_kmeans(&all_points, bound, &cfg));
+    let (bser_s, bser_out) = time_median(runs, || {
+        with_threads("1", || bounded_kmeans(&all_points, bound, &cfg))
+    });
+    let (bpar_s, bpar_out) = time_median(runs, || bounded_kmeans(&all_points, bound, &cfg));
+    entries.push(Entry {
+        name: format!("bounded_kmeans_eps{bound}_n{n}"),
+        reference_s: Some(bref_s),
+        serial_s: bser_s,
+        parallel_s: bpar_s,
+        bit_identical: points_eq(&bser_out.centroids, &bpar_out.centroids)
+            && bser_out.assign == bpar_out.assign,
+        detail: format!(
+            "{} codewords, {} rounds (reference: {} codewords)",
+            bser_out.centroids.len(),
+            bser_out.rounds,
+            bref_out.0.len()
+        ),
+    });
+
+    // ---- Workload 2: product-quantizer fit. ----------------------------
+    let words = 64;
+    let (pref_s, pref_out) = time_median(runs, || {
+        let xs: Vec<f64> = all_points.iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = all_points.iter().map(|p| p.y).collect();
+        let (xw, xc) = reference::kmeans_1d(&xs, words, 16);
+        let (yw, yc) = reference::kmeans_1d(&ys, words, 16);
+        (xw, xc, yw, yc)
+    });
+    let (pser_s, pser_out) = time_median(runs, || {
+        with_threads("1", || ProductQuantizer::fit(&all_points, words))
+    });
+    let (ppar_s, ppar_out) = time_median(runs, || ProductQuantizer::fit(&all_points, words));
+    entries.push(Entry {
+        name: format!("product_fit_w{words}_n{n}"),
+        reference_s: Some(pref_s),
+        serial_s: pser_s,
+        parallel_s: ppar_s,
+        bit_identical: pser_out.x_codes == ppar_out.x_codes
+            && pser_out.y_codes == ppar_out.y_codes
+            && pser_out.x_words == ppar_out.x_words
+            && pser_out.y_words == ppar_out.y_words,
+        detail: format!(
+            "reference words match serial: {}",
+            pref_out.0 == pser_out.x_words && pref_out.2 == pser_out.y_words
+        ),
+    });
+
+    // ---- Workload 3: the ingest quantize phase, seed vs now. -----------
+    // The quantize phase is ~97% of streaming ingest. Feed both the seed
+    // quantize loop (from-scratch bounded growth) and the current
+    // `IncrementalQuantizer` the same per-step error stream: consecutive
+    // position deltas of the wide dataset, a faithful stand-in for
+    // last-value prediction errors.
+    let delta_data = wide_dataset(4000);
+    let mut prev: std::collections::HashMap<u32, Point> = std::collections::HashMap::new();
+    let mut batches: Vec<Vec<Point>> = Vec::new();
+    for slice in delta_data.time_slices() {
+        let mut batch = Vec::new();
+        for &(id, p) in slice.points {
+            if let Some(q) = prev.get(&id) {
+                batch.push(p - *q);
+            }
+            prev.insert(id, p);
+        }
+        if !batch.is_empty() {
+            batches.push(batch);
+        }
+        if batches.len() >= 16 {
+            break;
+        }
+    }
+    let mut mags: Vec<f64> = batches.iter().flatten().map(|e| e.norm()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let eps_q = (mags[mags.len() / 2] / 12.0).max(1e-9);
+    let q_points: usize = batches.iter().map(Vec::len).sum();
+    eprintln!(
+        "quantize-proxy: {} batches, {} errors, eps={eps_q:.2e}",
+        batches.len(),
+        q_points
+    );
+    let (qref_s, qref_words) =
+        time_median(1, || reference::quantize_batches(&batches, eps_q, &cfg));
+    let run_quant = || {
+        let mut q = IncrementalQuantizer::with_config(eps_q, cfg.clone());
+        let codes: Vec<Vec<u32>> = batches.iter().map(|b| q.quantize_batch(b)).collect();
+        (codes, q.codebook().len())
+    };
+    let (qser_s, (qser_codes, qser_words)) = time_median(runs, || with_threads("1", run_quant));
+    let (qpar_s, (qpar_codes, qpar_words)) = time_median(runs, run_quant);
+    entries.push(Entry {
+        name: format!("ingest_quantize_phase_n{q_points}"),
+        reference_s: Some(qref_s),
+        serial_s: qser_s,
+        parallel_s: qpar_s,
+        bit_identical: qser_codes == qpar_codes && qser_words == qpar_words,
+        detail: format!("{qser_words} codewords (reference: {qref_words})"),
+    });
+
+    // ---- Workload 4: streaming ingest. ---------------------------------
+    let ingest_data = wide_dataset(6000);
+    let ingest_points = ingest_data.num_points();
+    eprintln!("ingest dataset: {ingest_points} points");
+    let mut ppq_cfg = PpqConfig::variant(Variant::PpqS, 0.05);
+    ppq_cfg.build_index = false;
+    let ingest = |cfg: &PpqConfig| {
+        let mut stream = PpqStream::new(cfg.clone());
+        for slice in ingest_data.time_slices() {
+            stream.push_slice(slice.t, slice.points);
+        }
+        stream.finish()
+    };
+    let (iser_s, iser_sum) = time_median(runs, || with_threads("1", || ingest(&ppq_cfg)));
+    let (ipar_s, ipar_sum) = time_median(runs, || ingest(&ppq_cfg));
+    let ingest_identical = iser_sum.num_points() == ipar_sum.num_points()
+        && iser_sum.codebook_len() == ipar_sum.codebook_len()
+        && ingest_data.trajectories().iter().all(|t| {
+            (0..t.len()).all(|off| {
+                let ts = t.start + off as u32;
+                match (
+                    iser_sum.reconstruct(t.id, ts),
+                    ipar_sum.reconstruct(t.id, ts),
+                ) {
+                    (Some(a), Some(b)) => {
+                        a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits()
+                    }
+                    _ => false,
+                }
+            })
+        });
+    entries.push(Entry {
+        name: format!("ingest_ppqs_n{ingest_points}"),
+        reference_s: None,
+        serial_s: iser_s,
+        parallel_s: ipar_s,
+        bit_identical: ingest_identical,
+        detail: format!(
+            "{} codewords; {:.0} kpts/s serial, {:.0} kpts/s parallel",
+            iser_sum.codebook_len(),
+            ingest_points as f64 / iser_s / 1e3,
+            ingest_points as f64 / ipar_s / 1e3
+        ),
+    });
+
+    // ---- Report. -------------------------------------------------------
+    println!("\n=== PPQ build-path speedup (runs={runs}, cores={threads_default}) ===");
+    println!(
+        "{:<34} {:>12} {:>12} {:>12} {:>9} {:>9}  bit-identical",
+        "workload", "reference(s)", "serial(s)", "parallel(s)", "ref/ser", "ser/par"
+    );
+    for e in &entries {
+        println!(
+            "{:<34} {:>12} {:>12.4} {:>12.4} {:>9} {:>9.2} {:>8}   {}",
+            e.name,
+            e.reference_s
+                .map(|r| format!("{r:.4}"))
+                .unwrap_or_else(|| "-".into()),
+            e.serial_s,
+            e.parallel_s,
+            e.reference_s
+                .map(|r| format!("{:.2}", r / e.serial_s))
+                .unwrap_or_else(|| "-".into()),
+            e.serial_s / e.parallel_s,
+            e.bit_identical,
+            e.detail
+        );
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"ppq_speedup\",");
+    let _ = writeln!(json, "  \"runner\": {{\"cores\": {threads_default}, \"runs\": {runs}, \"profile\": \"release\"}},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"reference = seed implementation (scalar AoS kernels, per-iteration allocations, from-scratch quadratic bounded growth); serial = current path with RAYON_NUM_THREADS=1; parallel = current path at default threads. On a single-core runner serial==parallel by design; speedup_vs_reference captures the SoA register-blocked kernels, allocation-lean workspaces, and violator-seeded growth schedule.\","
+    );
+    let _ = writeln!(json, "  \"workloads\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", e.name);
+        if let Some(r) = e.reference_s {
+            let _ = writeln!(json, "      \"reference_seconds\": {r:.6},");
+            let _ = writeln!(
+                json,
+                "      \"speedup_vs_reference\": {:.3},",
+                r / e.serial_s.min(e.parallel_s)
+            );
+        }
+        let _ = writeln!(json, "      \"serial_seconds\": {:.6},", e.serial_s);
+        let _ = writeln!(json, "      \"parallel_seconds\": {:.6},", e.parallel_s);
+        let _ = writeln!(
+            json,
+            "      \"parallel_speedup\": {:.3},",
+            e.serial_s / e.parallel_s
+        );
+        let _ = writeln!(json, "      \"bit_identical\": {},", e.bit_identical);
+        let _ = writeln!(json, "      \"detail\": \"{}\"", e.detail);
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < entries.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    let out_path = std::env::var("BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ppq.json").into());
+    std::fs::write(&out_path, &json).expect("write BENCH_ppq.json");
+    eprintln!("wrote {out_path}");
+}

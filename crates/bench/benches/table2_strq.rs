@@ -40,7 +40,11 @@ fn evaluate(dataset: &Dataset, name: &str, table: &mut Table, queries: usize) {
         let (mut p_sum, mut r_sum) = (0.0, 0.0);
         for (t, p) in &qs {
             let out = engine.strq(*t, p);
-            let returned = if kind.has_cqc() { &out.exact } else { &out.approx };
+            let returned = if kind.has_cqc() {
+                &out.exact
+            } else {
+                &out.approx
+            };
             let (prec, rec) = precision_recall(returned, &out.truth);
             p_sum += prec;
             r_sum += rec;

@@ -7,9 +7,7 @@
 
 use ppq_bench::methods::build_error_bounded;
 use ppq_bench::queries::sample_tpq_anchors;
-use ppq_bench::{
-    geolife_bench, porto_bench, AnySummary, MethodKind, Table, ALL_MAIN_METHODS,
-};
+use ppq_bench::{geolife_bench, porto_bench, AnySummary, MethodKind, Table, ALL_MAIN_METHODS};
 use ppq_geo::coords;
 use ppq_traj::{Dataset, DatasetStats};
 

@@ -32,8 +32,16 @@ fn evaluate(dataset: &Dataset, name: &str, table: &mut Table, queries: usize) {
     let qs = sample_queries(dataset, queries, 0x4411);
     let gc = PpqConfig::default().tpi.pi.gc;
     for kind in METHODS {
-        let mut ratio_row = vec![name.to_string(), kind.name().to_string(), "ratio".to_string()];
-        let mut mae_row = vec![name.to_string(), kind.name().to_string(), "MAE(m)".to_string()];
+        let mut ratio_row = vec![
+            name.to_string(),
+            kind.name().to_string(),
+            "ratio".to_string(),
+        ];
+        let mut mae_row = vec![
+            name.to_string(),
+            kind.name().to_string(),
+            "MAE(m)".to_string(),
+        ];
         for bits in BITS {
             let built = build_budgeted(kind, dataset, bits);
             let engine = QueryEngine::new(built.as_index(), dataset, gc);
@@ -55,7 +63,9 @@ fn main() {
     let queries = if ppq_bench::scale() < 0.5 { 60 } else { 200 };
     let mut table = Table::new(
         "Table 4: Avg ratio of trajectories visited and MAE vs |C| bits",
-        &["Dataset", "Method", "Measure", "5bits", "6bits", "7bits", "8bits", "9bits"],
+        &[
+            "Dataset", "Method", "Measure", "5bits", "6bits", "7bits", "8bits", "9bits",
+        ],
     );
     let porto = porto_bench();
     evaluate(&porto, "Porto", &mut table, queries);

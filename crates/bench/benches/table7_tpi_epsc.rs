@@ -15,7 +15,10 @@ const EPS_C: [f64; 4] = [0.2, 0.4, 0.6, 0.8];
 fn evaluate(dataset: &Dataset, name: &str, table: &mut Table) {
     println!("{}", DatasetStats::of(dataset).banner(name));
     for eps_c in EPS_C {
-        let cfg = TpiConfig { eps_c, ..TpiConfig::default() };
+        let cfg = TpiConfig {
+            eps_c,
+            ..TpiConfig::default()
+        };
         let t0 = Instant::now();
         let tpi = Tpi::build(dataset, &cfg);
         let elapsed = t0.elapsed();
@@ -33,7 +36,14 @@ fn evaluate(dataset: &Dataset, name: &str, table: &mut Table) {
 fn main() {
     let mut table = Table::new(
         "Table 7: Statistics of TPI on different eps_c",
-        &["Dataset", "eps_c", "Index Size(MB)", "Time Cost(s)", "No.Periods", "No.Insertions"],
+        &[
+            "Dataset",
+            "eps_c",
+            "Index Size(MB)",
+            "Time Cost(s)",
+            "No.Periods",
+            "No.Insertions",
+        ],
     );
     let porto = porto_bench();
     evaluate(&porto, "Porto", &mut table);

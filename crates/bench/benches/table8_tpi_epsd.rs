@@ -14,7 +14,10 @@ const EPS_D: [f64; 4] = [0.2, 0.4, 0.6, 0.8];
 fn evaluate(dataset: &Dataset, name: &str, table: &mut Table) {
     println!("{}", DatasetStats::of(dataset).banner(name));
     for eps_d in EPS_D {
-        let cfg = TpiConfig { eps_d, ..TpiConfig::default() };
+        let cfg = TpiConfig {
+            eps_d,
+            ..TpiConfig::default()
+        };
         let t0 = Instant::now();
         let tpi = Tpi::build(dataset, &cfg);
         let elapsed = t0.elapsed();
@@ -32,7 +35,14 @@ fn evaluate(dataset: &Dataset, name: &str, table: &mut Table) {
 fn main() {
     let mut table = Table::new(
         "Table 8: Statistics of TPI on different eps_d",
-        &["Dataset", "eps_d", "Index Size(MB)", "Time Cost(s)", "No.Periods", "No.Insertions"],
+        &[
+            "Dataset",
+            "eps_d",
+            "Index Size(MB)",
+            "Time Cost(s)",
+            "No.Periods",
+            "No.Insertions",
+        ],
     );
     let porto = porto_bench();
     evaluate(&porto, "Porto", &mut table);

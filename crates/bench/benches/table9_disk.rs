@@ -34,7 +34,14 @@ fn evaluate(dataset: &Dataset, name: &str, table: &mut Table, queries_n: usize) 
 
     // --- TPI (paper parameters: eps_d = 0.8, eps_c = 0.5). --------------
     let t0 = Instant::now();
-    let tpi = Tpi::build(dataset, &TpiConfig { eps_d: 0.8, eps_c: 0.5, ..TpiConfig::default() });
+    let tpi = Tpi::build(
+        dataset,
+        &TpiConfig {
+            eps_d: 0.8,
+            eps_c: 0.5,
+            ..TpiConfig::default()
+        },
+    );
     let path = tmp(&format!("tpi-{name}"));
     let disk_tpi = DiskTpi::create_with(tpi, &path, POOL_PAGES, PAGE_SIZE_BENCH).unwrap();
     let tpi_build = t0.elapsed();
@@ -57,7 +64,14 @@ fn evaluate(dataset: &Dataset, name: &str, table: &mut Table, queries_n: usize) 
 
     // --- PI: one period per timestep (ε_d < 0 forces re-build). ---------
     let t0 = Instant::now();
-    let pi = Tpi::build(dataset, &TpiConfig { eps_d: -1.0, eps_c: 0.5, ..TpiConfig::default() });
+    let pi = Tpi::build(
+        dataset,
+        &TpiConfig {
+            eps_d: -1.0,
+            eps_c: 0.5,
+            ..TpiConfig::default()
+        },
+    );
     let path = tmp(&format!("pi-{name}"));
     let disk_pi = DiskTpi::create_with(pi, &path, POOL_PAGES, PAGE_SIZE_BENCH).unwrap();
     let pi_build = t0.elapsed();
@@ -80,7 +94,11 @@ fn evaluate(dataset: &Dataset, name: &str, table: &mut Table, queries_n: usize) 
 
     // --- TrajStore (bounded per-cell codebooks, quadtree layout). -------
     let t0 = Instant::now();
-    let ts = build_trajstore(dataset, TsBudget::Bounded(0.001), &TrajStoreConfig::default());
+    let ts = build_trajstore(
+        dataset,
+        TsBudget::Bounded(0.001),
+        &TrajStoreConfig::default(),
+    );
     let path = tmp(&format!("ts-{name}"));
     let disk_ts = DiskTrajStore::create_with(&ts, &path, POOL_PAGES, PAGE_SIZE_BENCH).unwrap();
     let ts_build = t0.elapsed();
@@ -106,7 +124,14 @@ fn main() {
     let queries = if ppq_bench::scale() < 0.5 { 300 } else { 1000 };
     let mut table = Table::new(
         "Table 9: Disk-based index performance",
-        &["Dataset", "Index", "Size(MB)", "No.I/Os", "Response Time(s)", "Building Time(s)"],
+        &[
+            "Dataset",
+            "Index",
+            "Size(MB)",
+            "No.I/Os",
+            "Response Time(s)",
+            "Building Time(s)",
+        ],
     );
     let porto = porto_bench();
     evaluate(&porto, "Porto", &mut table, queries);

@@ -8,7 +8,10 @@ use ppq_traj::Dataset;
 
 /// Global experiment scale factor from `PPQ_SCALE` (default 1.0).
 pub fn scale() -> f64 {
-    std::env::var("PPQ_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0)
+    std::env::var("PPQ_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
 }
 
 fn scaled(n: usize) -> usize {

@@ -122,7 +122,10 @@ impl AnySummary {
 /// Spatial-partition threshold per dataset, mirroring the paper's
 /// "ε_p defaults to 0.1 for Porto and 5 for GeoLife".
 pub fn eps_p_spatial_for(dataset: &Dataset) -> f64 {
-    let wide = dataset.bbox().map(|b| b.width().max(b.height()) > 1.0).unwrap_or(false);
+    let wide = dataset
+        .bbox()
+        .map(|b| b.width().max(b.height()) > 1.0)
+        .unwrap_or(false);
     if wide {
         5.0
     } else {
@@ -302,7 +305,11 @@ mod tests {
     #[test]
     fn deviation_parameterisation() {
         let d = tiny();
-        for kind in [MethodKind::PpqA, MethodKind::PpqSBasic, MethodKind::QTrajectory] {
+        for kind in [
+            MethodKind::PpqA,
+            MethodKind::PpqSBasic,
+            MethodKind::QTrajectory,
+        ] {
             let s = build_for_deviation(kind, &d, 400.0);
             // The guaranteed deviation translates to ≤ 400 m of error.
             let worst_m = match &s {

@@ -30,9 +30,15 @@ pub fn sample_tpq_anchors(
     seed: u64,
 ) -> Vec<(u32, u32)> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let eligible: Vec<&ppq_traj::Trajectory> =
-        dataset.trajectories().iter().filter(|t| t.len() > horizon).collect();
-    assert!(!eligible.is_empty(), "no trajectory long enough for horizon {horizon}");
+    let eligible: Vec<&ppq_traj::Trajectory> = dataset
+        .trajectories()
+        .iter()
+        .filter(|t| t.len() > horizon)
+        .collect();
+    assert!(
+        !eligible.is_empty(),
+        "no trajectory long enough for horizon {horizon}"
+    );
     (0..n)
         .map(|_| {
             let traj = eligible[rng.gen_range(0..eligible.len())];

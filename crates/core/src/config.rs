@@ -244,9 +244,15 @@ impl PpqConfig {
 
     /// Validate parameter sanity; called by the builder.
     pub fn validate(&self) {
-        assert!(self.eps1 > 0.0 && self.eps1.is_finite(), "eps1 must be positive");
+        assert!(
+            self.eps1 > 0.0 && self.eps1.is_finite(),
+            "eps1 must be positive"
+        );
         assert!(self.gs > 0.0 && self.gs.is_finite(), "gs must be positive");
-        assert!(self.k >= 1 && self.k <= 8, "prediction order k must be in 1..=8");
+        assert!(
+            self.k >= 1 && self.k <= 8,
+            "prediction order k must be in 1..=8"
+        );
         assert!(self.eps_p > 0.0, "eps_p must be positive");
         assert!(
             self.ar_window > self.k,
@@ -298,9 +304,15 @@ mod tests {
 
     #[test]
     fn guaranteed_deviation_depends_on_cqc() {
-        let with_cqc = PpqConfig { use_cqc: true, ..PpqConfig::default() };
+        let with_cqc = PpqConfig {
+            use_cqc: true,
+            ..PpqConfig::default()
+        };
         assert!((with_cqc.guaranteed_deviation() - with_cqc.cqc_error_bound()).abs() < 1e-15);
-        let without = PpqConfig { use_cqc: false, ..PpqConfig::default() };
+        let without = PpqConfig {
+            use_cqc: false,
+            ..PpqConfig::default()
+        };
         assert_eq!(without.guaranteed_deviation(), without.eps1);
         // With the defaults CQC tightens the bound.
         assert!(without.cqc_error_bound() < without.eps1);
@@ -309,13 +321,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "eps1 must be positive")]
     fn validation_rejects_bad_eps1() {
-        PpqConfig { eps1: -1.0, ..PpqConfig::default() }.validate();
+        PpqConfig {
+            eps1: -1.0,
+            ..PpqConfig::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "ar_window")]
     fn validation_rejects_short_window() {
-        PpqConfig { ar_window: 2, ..PpqConfig::default() }.validate();
+        PpqConfig {
+            ar_window: 2,
+            ..PpqConfig::default()
+        }
+        .validate();
     }
 
     #[test]

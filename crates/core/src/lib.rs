@@ -33,4 +33,4 @@ pub mod summary_io;
 pub use config::{BuildBudget, ColdStart, PartitionMode, PpqConfig, Variant};
 pub use pipeline::{PpqStream, PpqTrajectory};
 pub use query::{QueryEngine, StrqOutcome};
-pub use summary::{BuildStats, PpqSummary, SummaryBreakdown};
+pub use summary::{BuildStats, CodebookStore, PpqSummary, SummaryBreakdown};

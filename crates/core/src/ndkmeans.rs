@@ -118,7 +118,12 @@ pub fn kmeans_nd(features: &Features<'_>, q: usize, iters: usize, seed: u64) -> 
             if counts[c] == 0 {
                 // Re-seed with the worst-fit row.
                 let (wi, _) = (0..n)
-                    .map(|i| (i, dist2(features.row(i), &centroids[assign[i] as usize * d..][..d])))
+                    .map(|i| {
+                        (
+                            i,
+                            dist2(features.row(i), &centroids[assign[i] as usize * d..][..d]),
+                        )
+                    })
                     .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
                     .unwrap();
                 centroids[c * d..(c + 1) * d].copy_from_slice(features.row(wi));
@@ -149,7 +154,12 @@ pub fn kmeans_nd(features: &Features<'_>, q: usize, iters: usize, seed: u64) -> 
         }
         assign[i] = best;
     }
-    NdClustering { centroids, d, assign, rounds: 1 }
+    NdClustering {
+        centroids,
+        d,
+        assign,
+        rounds: 1,
+    }
 }
 
 /// Grow `q` by `grow_step` per round until every row is within `bound` of

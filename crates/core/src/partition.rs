@@ -101,15 +101,18 @@ impl Partitioner {
         for key in keys {
             let rows = &groups[&key];
             let centroid = centroid_of(rows, features, d);
-            let violated =
-                rows.iter().any(|&r| dist2(features.row(r), &centroid) > eps2);
+            let violated = rows
+                .iter()
+                .any(|&r| dist2(features.row(r), &centroid) > eps2);
             if !violated {
                 continue;
             }
             stats.repartitioned += 1;
             let rows = groups.remove(&key).unwrap();
-            let member_data: Vec<f64> =
-                rows.iter().flat_map(|&r| features.row(r).iter().copied()).collect();
+            let member_data: Vec<f64> = rows
+                .iter()
+                .flat_map(|&r| features.row(r).iter().copied())
+                .collect();
             let sub = Features::new(&member_data, d);
             let res = bounded_kmeans_nd(
                 &sub,
@@ -150,8 +153,10 @@ impl Partitioner {
                 }
             }
             if !leftovers.is_empty() {
-                let data: Vec<f64> =
-                    leftovers.iter().flat_map(|&r| features.row(r).iter().copied()).collect();
+                let data: Vec<f64> = leftovers
+                    .iter()
+                    .flat_map(|&r| features.row(r).iter().copied())
+                    .collect();
                 let sub = Features::new(&data, d);
                 let res = bounded_kmeans_nd(
                     &sub,
@@ -165,7 +170,10 @@ impl Partitioner {
                     sub_keys.push(self.fresh_key());
                 }
                 for (j, &row) in leftovers.iter().enumerate() {
-                    groups.entry(sub_keys[res.assign[j] as usize]).or_default().push(row);
+                    groups
+                        .entry(sub_keys[res.assign[j] as usize])
+                        .or_default()
+                        .push(row);
                 }
             }
         }
@@ -311,7 +319,10 @@ mod tests {
         let f2_data = feats(&[[0.0, 0.0], [0.1, 0.0], [0.2, 0.1]]);
         let f2 = Features::new(&f2_data, 2);
         let (labels, stats) = p.step(&[1, 2, 9], &f2);
-        assert_eq!(labels[0], labels[2], "newcomer should join the near partition");
+        assert_eq!(
+            labels[0], labels[2],
+            "newcomer should join the near partition"
+        );
         assert_eq!(stats.q, 1);
     }
 

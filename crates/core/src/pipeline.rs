@@ -8,7 +8,7 @@
 use crate::config::{BuildBudget, PartitionMode, PpqConfig};
 use crate::ndkmeans::Features;
 use crate::partition::Partitioner;
-use crate::summary::{predict_with, BuildStats, CodebookStore, PpqSummary};
+use crate::summary::{predict_with_scratch, BuildStats, CodebookStore, PpqSummary};
 use ppq_cqc::{CqcCode, CqcTemplate};
 use ppq_geo::Point;
 use ppq_predict::linear::{fit_predictor, TrainingRow};
@@ -16,8 +16,17 @@ use ppq_predict::{ar_coefficients, History, Predictor};
 use ppq_quantize::{kmeans, IncrementalQuantizer};
 use ppq_tpi::Tpi;
 use ppq_traj::{Dataset, TrajId};
+use rayon::prelude::*;
 use std::collections::HashSet;
 use std::time::Instant;
+
+/// Points per parallel work unit in the predict-then-quantize sweep.
+/// Fixed (never thread-count-dependent) so the split cannot affect
+/// results; each point's prediction is pure given the shared state.
+const PREDICT_CHUNK: usize = 1024;
+
+/// Minimum slice width before the predict sweep fans out over threads.
+const PARALLEL_PREDICT_MIN: usize = 4096;
 
 /// Online PPQ-trajectory encoder.
 ///
@@ -69,6 +78,10 @@ pub struct PpqStream {
     tpi_slices: Vec<(u32, Vec<(TrajId, Point)>)>,
     active_prev: HashSet<TrajId>,
     feature_buf: Vec<f64>,
+    // Reusable per-step scratch (allocation-free steady state).
+    preds_buf: Vec<Point>,
+    errors_buf: Vec<Point>,
+    kbuf: Vec<Vec<Point>>,
 }
 
 impl PpqStream {
@@ -97,7 +110,9 @@ impl PpqStream {
             )
         });
         PpqStream {
-            template: config.use_cqc.then(|| CqcTemplate::new(config.eps1, config.gs)),
+            template: config
+                .use_cqc
+                .then(|| CqcTemplate::new(config.eps1, config.gs)),
             incremental,
             per_step_books: Vec::new(),
             partitioner,
@@ -119,6 +134,9 @@ impl PpqStream {
             tpi_slices: Vec::new(),
             active_prev: HashSet::new(),
             feature_buf: Vec::new(),
+            preds_buf: Vec::new(),
+            errors_buf: Vec::new(),
+            kbuf: Vec::new(),
             config,
         }
     }
@@ -139,7 +157,8 @@ impl PpqStream {
         while self.histories.len() <= idx {
             let k = self.config.k;
             self.histories.push(History::new(k.max(1)));
-            self.raw_windows.push(History::new(self.config.ar_window.max(k + 1)));
+            self.raw_windows
+                .push(History::new(self.config.ar_window.max(k + 1)));
             self.ages.push(0);
             self.starts.push(0);
             self.ended.push(false);
@@ -227,7 +246,12 @@ impl PpqStream {
             }
             (None, _) => vec![0u32; points.len()],
         };
-        let q = step_labels.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+        let q = step_labels
+            .iter()
+            .copied()
+            .max()
+            .map(|m| m as usize + 1)
+            .unwrap_or(0);
         self.stats.partitioning += t_part.elapsed();
         self.stats.partitions_per_step.push((t, q as u32));
 
@@ -235,12 +259,17 @@ impl PpqStream {
         let t_fit = Instant::now();
         let k = self.config.k;
         let mut step_coeffs: Vec<Predictor> = Vec::with_capacity(q);
-        let mut histories_kbuf: Vec<Vec<Point>> = vec![Vec::new(); points.len()];
+        // Per-point history snapshots, reusing the inner buffers across
+        // timesteps (`last_k_into` clears, never reallocates at steady
+        // state).
+        if self.kbuf.len() < points.len() {
+            self.kbuf.resize_with(points.len(), Vec::new);
+        }
         for (i, &(id, _)) in points.iter().enumerate() {
+            let buf = &mut self.kbuf[i];
+            buf.clear();
             if self.ages[id as usize] >= k {
-                if let Some(h) = self.histories[id as usize].last_k(k) {
-                    histories_kbuf[i] = h;
-                }
+                self.histories[id as usize].last_k_into(k, buf);
             }
         }
         for label in 0..q {
@@ -251,10 +280,11 @@ impl PpqStream {
             let rows: Vec<TrainingRow<'_>> = points
                 .iter()
                 .enumerate()
-                .filter(|(i, _)| {
-                    step_labels[*i] as usize == label && !histories_kbuf[*i].is_empty()
+                .filter(|(i, _)| step_labels[*i] as usize == label && !self.kbuf[*i].is_empty())
+                .map(|(i, &(_, p))| TrainingRow {
+                    target: p,
+                    history: &self.kbuf[i],
                 })
-                .map(|(i, &(_, p))| TrainingRow { target: p, history: &histories_kbuf[i] })
                 .collect();
             // Coefficients are stored (and therefore used) at f32
             // precision — halves the dominant per-step summary cost with
@@ -267,38 +297,73 @@ impl PpqStream {
         self.stats.fitting += t_fit.elapsed();
 
         // ---- 3. Predict, quantize errors (Alg. 1 lines 4–7). ----------
+        // The per-point predict-then-diff sweep is pure given the shared
+        // per-trajectory state, so it fans out over fixed-size chunks on
+        // wide slices; output is written in place and is bit-identical to
+        // the serial sweep for any thread count.
         let t_quant = Instant::now();
-        let mut preds: Vec<Point> = Vec::with_capacity(points.len());
-        for (i, &(id, _)) in points.iter().enumerate() {
-            let predictor = &step_coeffs[step_labels[i] as usize];
-            preds.push(predict_with(
-                &self.config,
-                predictor,
-                &self.histories[id as usize],
-                self.ages[id as usize],
-            ));
+        self.preds_buf.resize(points.len(), Point::ORIGIN);
+        self.errors_buf.resize(points.len(), Point::ORIGIN);
+        {
+            let config = &self.config;
+            let histories = &self.histories;
+            let ages = &self.ages;
+            let coeffs = &step_coeffs;
+            let labels = &step_labels;
+            let kernel =
+                |base: usize, pts: &[(TrajId, Point)], preds: &mut [Point], errs: &mut [Point]| {
+                    let mut scratch: Vec<Point> = Vec::with_capacity(config.k);
+                    for (j, &(id, p)) in pts.iter().enumerate() {
+                        let predictor = &coeffs[labels[base + j] as usize];
+                        let pred = predict_with_scratch(
+                            config,
+                            predictor,
+                            &histories[id as usize],
+                            ages[id as usize],
+                            &mut scratch,
+                        );
+                        preds[j] = pred;
+                        errs[j] = p - pred;
+                    }
+                };
+            if points.len() >= PARALLEL_PREDICT_MIN && rayon::current_num_threads() > 1 {
+                points
+                    .par_chunks(PREDICT_CHUNK)
+                    .zip(self.preds_buf.par_chunks_mut(PREDICT_CHUNK))
+                    .zip(self.errors_buf.par_chunks_mut(PREDICT_CHUNK))
+                    .enumerate()
+                    .for_each(|(ci, ((pts, preds), errs))| {
+                        kernel(ci * PREDICT_CHUNK, pts, preds, errs)
+                    });
+            } else {
+                kernel(0, points, &mut self.preds_buf, &mut self.errors_buf);
+            }
         }
-        let errors: Vec<Point> =
-            points.iter().zip(&preds).map(|(&(_, p), pr)| p - *pr).collect();
         let step_codes: Vec<u32> = match (&mut self.incremental, &self.config.budget) {
-            (Some(quant), _) => quant.quantize_batch(&errors),
+            (Some(quant), _) => quant.quantize_batch(&self.errors_buf),
             (None, BuildBudget::PerStepBits(bits)) => {
-                let clusters = (1usize << bits).min(errors.len());
-                let (cents, assign) = kmeans(&errors, clusters, &self.config.kmeans);
+                let clusters = (1usize << bits).min(self.errors_buf.len());
+                let (cents, assign) = kmeans(&self.errors_buf, clusters, &self.config.kmeans);
                 self.per_step_books.push(cents);
                 assign
             }
             (None, BuildBudget::PerStepWords(_)) => {
-                let clusters =
-                    self.config.budget.words_at(t).expect("PerStepWords").min(errors.len());
-                let (cents, assign) = kmeans(&errors, clusters, &self.config.kmeans);
+                let clusters = self
+                    .config
+                    .budget
+                    .words_at(t)
+                    .expect("PerStepWords")
+                    .min(self.errors_buf.len());
+                let (cents, assign) = kmeans(&self.errors_buf, clusters, &self.config.kmeans);
                 self.per_step_books.push(cents);
                 assign
             }
             (None, BuildBudget::ErrorBounded) => unreachable!(),
         };
         let distinct: HashSet<u32> = step_codes.iter().copied().collect();
-        self.stats.codewords_per_step.push((t, distinct.len() as u32));
+        self.stats
+            .codewords_per_step
+            .push((t, distinct.len() as u32));
         self.stats.quantizing += t_quant.elapsed();
 
         // ---- 4. Reconstruct, CQC, advance state. ----------------------
@@ -309,7 +374,7 @@ impl PpqStream {
                 Some(quant) => quant.word(step_codes[i]),
                 None => self.per_step_books.last().expect("pushed above")[step_codes[i] as usize],
             };
-            let hat = preds[i] + word;
+            let hat = self.preds_buf[i] + word;
             // History holds the codebook-level reconstruction T̂ — Eq. 2
             // predicts from T̂, with CQC layered on top.
             self.histories[idx].push(hat);
@@ -351,10 +416,9 @@ impl PpqStream {
     /// the reconstructed stream when `config.build_index` is set).
     pub fn finish(mut self) -> PpqSummary {
         let t_index = Instant::now();
-        let tpi = self
-            .config
-            .build_index
-            .then(|| Tpi::build_from_slices(std::mem::take(&mut self.tpi_slices), &self.config.tpi));
+        let tpi = self.config.build_index.then(|| {
+            Tpi::build_from_slices(std::mem::take(&mut self.tpi_slices), &self.config.tpi)
+        });
         self.stats.indexing = t_index.elapsed();
         self.stats.total = self.started.elapsed();
 
@@ -402,7 +466,9 @@ impl PpqTrajectory {
         for slice in dataset.time_slices() {
             stream.push_slice(slice.t, slice.points);
         }
-        PpqTrajectory { summary: stream.finish() }
+        PpqTrajectory {
+            summary: stream.finish(),
+        }
     }
 
     #[inline]
@@ -471,7 +537,13 @@ mod tests {
             let built = PpqTrajectory::build(&data, &cfg);
             let bound = cfg.guaranteed_deviation();
             let max_err = built.summary().max_error(&data);
-            assert!(max_err <= bound + 1e-12, "{}: {} > {}", v.name(), max_err, bound);
+            assert!(
+                max_err <= bound + 1e-12,
+                "{}: {} > {}",
+                v.name(),
+                max_err,
+                bound
+            );
             assert_eq!(built.summary().num_points(), data.num_points());
         }
     }
@@ -479,7 +551,12 @@ mod tests {
     #[test]
     fn replay_matches_materialized_reconstruction() {
         let data = small_porto();
-        for v in [Variant::PpqA, Variant::PpqSBasic, Variant::EPq, Variant::QTrajectory] {
+        for v in [
+            Variant::PpqA,
+            Variant::PpqSBasic,
+            Variant::EPq,
+            Variant::QTrajectory,
+        ] {
             let cfg = PpqConfig::variant(v, 0.1);
             let built = PpqTrajectory::build(&data, &cfg);
             let s = built.summary();

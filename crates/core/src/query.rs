@@ -69,9 +69,20 @@ pub fn precision_recall(returned: &[TrajId], truth: &[TrajId]) -> (f64, f64) {
     if returned.is_empty() && truth.is_empty() {
         return (1.0, 1.0);
     }
-    let tp = returned.iter().filter(|id| truth.binary_search(id).is_ok()).count() as f64;
-    let precision = if returned.is_empty() { 1.0 } else { tp / returned.len() as f64 };
-    let recall = if truth.is_empty() { 1.0 } else { tp / truth.len() as f64 };
+    let tp = returned
+        .iter()
+        .filter(|id| truth.binary_search(id).is_ok())
+        .count() as f64;
+    let precision = if returned.is_empty() {
+        1.0
+    } else {
+        tp / returned.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        tp / truth.len() as f64
+    };
     (precision, recall)
 }
 
@@ -88,13 +99,21 @@ pub struct QueryEngine<'a, S: ReconIndex + ?Sized> {
 
 impl<'a, S: ReconIndex + ?Sized> QueryEngine<'a, S> {
     pub fn new(index: &'a S, dataset: &'a Dataset, gc: f64) -> QueryEngine<'a, S> {
-        let bbox = dataset.bbox().unwrap_or(BBox::from_extents(0.0, 0.0, 1.0, 1.0));
-        QueryEngine { index, dataset, grid: GridSpec::covering(&bbox.inflate(gc), gc) }
+        let bbox = dataset
+            .bbox()
+            .unwrap_or(BBox::from_extents(0.0, 0.0, 1.0, 1.0));
+        QueryEngine {
+            index,
+            dataset,
+            grid: GridSpec::covering(&bbox.inflate(gc), gc),
+        }
     }
 
     /// The canonical `g_c` cell containing `p`.
     pub fn cell_bbox(&self, p: &Point) -> Option<BBox> {
-        self.grid.locate(p).map(|(cx, cy)| self.grid.cell_bbox(cx, cy))
+        self.grid
+            .locate(p)
+            .map(|(cx, cy)| self.grid.cell_bbox(cx, cy))
     }
 
     /// Ground truth for STRQ at `(p, t)`.
@@ -120,12 +139,20 @@ impl<'a, S: ReconIndex + ?Sized> QueryEngine<'a, S> {
         let raw: Vec<TrajId> = match self.index.index() {
             Some(tpi) => tpi.query_rect(t, rect),
             // Index-free fallback: scan the active set.
-            None => self.dataset.points_at(t).iter().map(|(id, _)| *id).collect(),
+            None => self
+                .dataset
+                .points_at(t)
+                .iter()
+                .map(|(id, _)| *id)
+                .collect(),
         };
         let mut out: Vec<TrajId> = raw
             .into_iter()
             .filter(|id| {
-                self.index.recon(*id, t).map(|r| rect.contains(&r)).unwrap_or(false)
+                self.index
+                    .recon(*id, t)
+                    .map(|r| rect.contains(&r))
+                    .unwrap_or(false)
             })
             .collect();
         out.sort_unstable();
@@ -160,7 +187,13 @@ impl<'a, S: ReconIndex + ?Sized> QueryEngine<'a, S> {
                     .unwrap_or(false)
             })
             .collect();
-        StrqOutcome { truth, approx, candidates, exact, visited }
+        StrqOutcome {
+            truth,
+            approx,
+            candidates,
+            exact,
+            visited,
+        }
     }
 
     /// TPQ (Definition 5.3): the exact STRQ ids plus their reconstructed
@@ -286,7 +319,10 @@ mod tests {
         let p = traj.points[0];
         let results = engine.tpq(t, &p, 10);
         assert!(!results.is_empty());
-        let (_, sub) = results.iter().find(|(id, _)| *id == traj.id).expect("self in TPQ");
+        let (_, sub) = results
+            .iter()
+            .find(|(id, _)| *id == traj.id)
+            .expect("self in TPQ");
         assert_eq!(sub.len(), 11);
         assert_eq!(sub[0].0, t);
         // Reconstructed path stays near the true path.

@@ -51,9 +51,11 @@ impl CodebookStore {
     pub fn index_bits(&self) -> u32 {
         match self {
             CodebookStore::Global(cb) => cb.index_bits(),
-            CodebookStore::PerStep(steps) => {
-                steps.iter().map(|s| index_bits_for(s.len())).max().unwrap_or(1)
-            }
+            CodebookStore::PerStep(steps) => steps
+                .iter()
+                .map(|s| index_bits_for(s.len()))
+                .max()
+                .unwrap_or(1),
         }
     }
 
@@ -161,6 +163,11 @@ impl PpqSummary {
         self.codes.iter().map(Vec::len).sum()
     }
 
+    /// The stored codebook (global or per-step).
+    pub fn codebook_store(&self) -> &CodebookStore {
+        &self.codebook
+    }
+
     /// Total codewords in the store (Table 6's "Number of codewords").
     pub fn codebook_len(&self) -> usize {
         self.codebook.total_words()
@@ -252,8 +259,7 @@ impl PpqSummary {
 
         // Partition labels: RLE per trajectory. Each run costs a 2-byte
         // length plus the label at ceil(log2 q_max) bits (≥ 1 byte charged).
-        let q_max =
-            self.coeffs.iter().map(Vec::len).max().unwrap_or(1).max(1);
+        let q_max = self.coeffs.iter().map(Vec::len).max().unwrap_or(1).max(1);
         let label_bytes = (index_bits_for(q_max) as usize).div_ceil(8);
         let mut partition_runs = 0usize;
         for labels in &self.labels {
@@ -272,7 +278,10 @@ impl PpqSummary {
         // fitted coefficients to f32 before use, so f32 is what a decoder
         // needs. Q-trajectory stores none (prediction disabled).
         let coefficients = if self.config.predict {
-            self.coeffs.iter().map(|step| step.len() * self.config.k * 4).sum::<usize>()
+            self.coeffs
+                .iter()
+                .map(|step| step.len() * self.config.k * 4)
+                .sum::<usize>()
         } else {
             0
         };
@@ -289,7 +298,11 @@ impl PpqSummary {
             codebook: self.codebook.size_bytes(),
             code_indices: (num_points * index_bits).div_ceil(8),
             coefficients,
-            partition_runs: if self.config.predict { partition_runs } else { 0 },
+            partition_runs: if self.config.predict {
+                partition_runs
+            } else {
+                0
+            },
             cqc_codes,
             cqc_template,
         }
@@ -374,13 +387,24 @@ pub(crate) fn predict_with(
     history: &History,
     age: usize,
 ) -> Point {
+    let mut scratch = Vec::new();
+    predict_with_scratch(cfg, predictor, history, age, &mut scratch)
+}
+
+/// [`predict_with`] with a caller-provided lag buffer, so per-point
+/// prediction in the streaming hot path allocates nothing.
+pub(crate) fn predict_with_scratch(
+    cfg: &PpqConfig,
+    predictor: &Predictor,
+    history: &History,
+    age: usize,
+    scratch: &mut Vec<Point>,
+) -> Point {
     if !cfg.predict {
         return Point::ORIGIN;
     }
-    if age >= cfg.k {
-        if let Some(last_k) = history.last_k(cfg.k) {
-            return predictor.predict(&last_k);
-        }
+    if age >= cfg.k && history.last_k_into(cfg.k, scratch) {
+        return predictor.predict(scratch);
     }
     match cfg.cold_start {
         ColdStart::Zero => Point::ORIGIN,
@@ -432,8 +456,12 @@ mod tests {
         assert!(b.cqc_codes > 0, "CQC variant must charge CQC bits");
         assert_eq!(
             b.total(),
-            b.codebook + b.code_indices + b.coefficients + b.partition_runs
-                + b.cqc_codes + b.cqc_template
+            b.codebook
+                + b.code_indices
+                + b.coefficients
+                + b.partition_runs
+                + b.cqc_codes
+                + b.cqc_template
         );
         // Index bits per point: total indices bytes ≈ points × bits / 8.
         let expect = (s.num_points() * s.codebook.index_bits() as usize).div_ceil(8);
@@ -471,7 +499,7 @@ mod tests {
     fn codebook_store_word_lookup() {
         let (_, s) = build();
         if let CodebookStore::Global(cb) = &s.codebook {
-            assert!(cb.len() > 0);
+            assert!(!cb.is_empty());
             let w = s.codebook.word(0, 0);
             assert_eq!(w, cb.word(0));
         } else {

@@ -214,7 +214,11 @@ pub fn from_bytes(bytes: &[u8], rebuild_index: bool) -> Result<PpqSummary, Decod
             8 => PartitionMode::Autocorrelation,
             _ => PartitionMode::Single,
         },
-        cold_start: if flags & 4 != 0 { ColdStart::LastValue } else { ColdStart::Zero },
+        cold_start: if flags & 4 != 0 {
+            ColdStart::LastValue
+        } else {
+            ColdStart::Zero
+        },
         budget,
         ..PpqConfig::default()
     };
@@ -337,7 +341,9 @@ pub fn from_bytes(bytes: &[u8], rebuild_index: bool) -> Result<PpqSummary, Decod
                     if t < start {
                         return None;
                     }
-                    summary.recon[i].get((t - start) as usize).map(|p| (i as u32, *p))
+                    summary.recon[i]
+                        .get((t - start) as usize)
+                        .map(|p| (i as u32, *p))
                 })
                 .collect();
             (t, pts)
@@ -424,14 +430,23 @@ mod tests {
             serialized <= upper,
             "serialized {serialized} vs breakdown {breakdown} (upper {upper})"
         );
-        assert!(serialized >= 0.5 * breakdown, "suspiciously small serialization");
+        assert!(
+            serialized >= 0.5 * breakdown,
+            "suspiciously small serialization"
+        );
     }
 
     #[test]
     fn rejects_garbage() {
-        assert!(matches!(from_bytes(&[1, 2, 3], false), Err(DecodeError::BadMagic)));
+        assert!(matches!(
+            from_bytes(&[1, 2, 3], false),
+            Err(DecodeError::BadMagic)
+        ));
         let d = data();
-        let cfg = PpqConfig { build_index: false, ..PpqConfig::variant(Variant::PpqA, 0.1) };
+        let cfg = PpqConfig {
+            build_index: false,
+            ..PpqConfig::variant(Variant::PpqA, 0.1)
+        };
         let s = PpqTrajectory::build(&d, &cfg).into_summary();
         let mut bytes = to_bytes(&s);
         bytes[4] = 0xFF; // clobber the version

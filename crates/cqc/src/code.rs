@@ -49,12 +49,19 @@ impl CqcCode {
 
     /// Construct from a list of quadrants, root-first.
     pub fn from_quadrants(quads: &[Quadrant]) -> CqcCode {
-        assert!(quads.len() <= 31, "CQC depth {} exceeds the packed capacity", quads.len());
+        assert!(
+            quads.len() <= 31,
+            "CQC depth {} exceeds the packed capacity",
+            quads.len()
+        );
         let mut bits = 0u64;
         for (i, q) in quads.iter().enumerate() {
             bits |= (*q as u64) << (2 * i);
         }
-        CqcCode { bits, depth: quads.len() as u8 }
+        CqcCode {
+            bits,
+            depth: quads.len() as u8,
+        }
     }
 
     /// Append one quadrant (builder use).
@@ -97,8 +104,15 @@ impl CqcCode {
     /// Rebuild from raw bits + depth (inverse of [`CqcCode::raw_bits`]).
     pub fn from_raw(bits: u64, depth: u8) -> CqcCode {
         assert!(depth <= 31);
-        let mask = if depth == 0 { 0 } else { (1u64 << (2 * depth)) - 1 };
-        CqcCode { bits: bits & mask, depth }
+        let mask = if depth == 0 {
+            0
+        } else {
+            (1u64 << (2 * depth)) - 1
+        };
+        CqcCode {
+            bits: bits & mask,
+            depth,
+        }
     }
 
     /// Binary string, root-first — matches the paper's presentation
@@ -123,7 +137,11 @@ mod tests {
 
     #[test]
     fn pack_unpack() {
-        let quads = [Quadrant::UpperLeft, Quadrant::LowerRight, Quadrant::LowerLeft];
+        let quads = [
+            Quadrant::UpperLeft,
+            Quadrant::LowerRight,
+            Quadrant::LowerLeft,
+        ];
         let code = CqcCode::from_quadrants(&quads);
         assert_eq!(code.depth(), 3);
         assert_eq!(code.len_bits(), 6);
@@ -136,7 +154,10 @@ mod tests {
         let mut c = CqcCode::EMPTY;
         c.push(Quadrant::UpperRight);
         c.push(Quadrant::UpperLeft);
-        assert_eq!(c, CqcCode::from_quadrants(&[Quadrant::UpperRight, Quadrant::UpperLeft]));
+        assert_eq!(
+            c,
+            CqcCode::from_quadrants(&[Quadrant::UpperRight, Quadrant::UpperLeft])
+        );
     }
 
     #[test]

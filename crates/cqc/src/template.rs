@@ -54,7 +54,12 @@ impl CqcTemplate {
     pub fn with_grid_side(n: i64, gs: f64) -> CqcTemplate {
         assert!(n >= 1 && n % 2 == 1, "grid side must be odd, got {n}");
         assert!(gs > 0.0);
-        let mut builder = Builder { n, encode: vec![CqcCode::EMPTY; (n * n) as usize], decode: HashMap::new(), depth: 0 };
+        let mut builder = Builder {
+            n,
+            encode: vec![CqcCode::EMPTY; (n * n) as usize],
+            decode: HashMap::new(),
+            depth: 0,
+        };
         // Root: the n×n grid occupies cells [0, n)². When n > 1 it is odd
         // and padded toward the upper-left (paper Figure 3a): one extra
         // column on the left and one extra row on top.
@@ -64,7 +69,12 @@ impl CqcTemplate {
         } else {
             builder.leaf(0, 0, CqcCode::EMPTY);
         }
-        let Builder { encode: encode_table, decode: decode_table, depth, .. } = builder;
+        let Builder {
+            encode: encode_table,
+            decode: decode_table,
+            depth,
+            ..
+        } = builder;
 
         let mut t = CqcTemplate {
             n,
@@ -139,7 +149,10 @@ impl CqcTemplate {
     /// `g_s · (c_code − c_cqc1)`.
     pub fn decode(&self, code: CqcCode) -> Point {
         let (cx, cy) = self.arith(&code);
-        Point::new((cx - self.center_arith.0) * self.gs, (cy - self.center_arith.1) * self.gs)
+        Point::new(
+            (cx - self.center_arith.0) * self.gs,
+            (cy - self.center_arith.1) * self.gs,
+        )
     }
 
     /// Geometric decoder: look up the leaf cell and return its centre from
@@ -279,7 +292,10 @@ mod tests {
                 for ix in 0..n {
                     let code = t.code_of_cell(ix, iy);
                     assert_eq!(code.depth(), t.depth(), "n={n} cell=({ix},{iy})");
-                    assert!(seen.insert(code.raw_bits()), "duplicate code at n={n} ({ix},{iy})");
+                    assert!(
+                        seen.insert(code.raw_bits()),
+                        "duplicate code at n={n} ({ix},{iy})"
+                    );
                 }
             }
             assert_eq!(seen.len(), (n * n) as usize);

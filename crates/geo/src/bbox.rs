@@ -16,13 +16,22 @@ pub struct BBox {
 impl BBox {
     /// An "empty" box that any point will expand.
     pub const EMPTY: BBox = BBox {
-        min: Point { x: f64::INFINITY, y: f64::INFINITY },
-        max: Point { x: f64::NEG_INFINITY, y: f64::NEG_INFINITY },
+        min: Point {
+            x: f64::INFINITY,
+            y: f64::INFINITY,
+        },
+        max: Point {
+            x: f64::NEG_INFINITY,
+            y: f64::NEG_INFINITY,
+        },
     };
 
     #[inline]
     pub fn new(min: Point, max: Point) -> Self {
-        debug_assert!(min.x <= max.x && min.y <= max.y, "inverted bbox: {min:?}..{max:?}");
+        debug_assert!(
+            min.x <= max.x && min.y <= max.y,
+            "inverted bbox: {min:?}..{max:?}"
+        );
         BBox { min, max }
     }
 
@@ -65,7 +74,10 @@ impl BBox {
         if other.is_empty() {
             return *self;
         }
-        BBox { min: self.min.min(&other.min), max: self.max.max(&other.max) }
+        BBox {
+            min: self.min.min(&other.min),
+            max: self.max.max(&other.max),
+        }
     }
 
     /// Closed-interval point containment.
@@ -126,7 +138,10 @@ impl BBox {
 
     #[inline]
     pub fn center(&self) -> Point {
-        Point::new((self.min.x + self.max.x) * 0.5, (self.min.y + self.max.y) * 0.5)
+        Point::new(
+            (self.min.x + self.max.x) * 0.5,
+            (self.min.y + self.max.y) * 0.5,
+        )
     }
 
     /// The four quadrant children (used by TrajStore's region quadtree).
@@ -143,7 +158,12 @@ impl BBox {
 
     /// Uniformly pad the box on all four sides.
     pub fn inflate(&self, by: f64) -> BBox {
-        BBox::from_extents(self.min.x - by, self.min.y - by, self.max.x + by, self.max.y + by)
+        BBox::from_extents(
+            self.min.x - by,
+            self.min.y - by,
+            self.max.x + by,
+            self.max.y + by,
+        )
     }
 }
 
@@ -157,8 +177,12 @@ mod tests {
 
     #[test]
     fn covering_points() {
-        let b = BBox::covering([Point::new(1.0, 5.0), Point::new(-2.0, 3.0), Point::new(0.0, 7.0)])
-            .unwrap();
+        let b = BBox::covering([
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(0.0, 7.0),
+        ])
+        .unwrap();
         assert_eq!(b, BBox::from_extents(-2.0, 3.0, 1.0, 7.0));
     }
 

@@ -29,13 +29,23 @@ impl GridSpec {
         assert!(!bbox.is_empty(), "cannot grid an empty bbox");
         let cols = ((bbox.width() / cell).ceil() as u32).max(1);
         let rows = ((bbox.height() / cell).ceil() as u32).max(1);
-        GridSpec { origin: bbox.min, cell, cols, rows }
+        GridSpec {
+            origin: bbox.min,
+            cell,
+            cols,
+            rows,
+        }
     }
 
     /// Grid with explicit shape, anchored at `origin`.
     pub fn with_shape(origin: Point, cell: f64, cols: u32, rows: u32) -> GridSpec {
         assert!(cell > 0.0 && cols > 0 && rows > 0);
-        GridSpec { origin, cell, cols, rows }
+        GridSpec {
+            origin,
+            cell,
+            cols,
+            rows,
+        }
     }
 
     #[inline]
@@ -90,8 +100,16 @@ impl GridSpec {
         }
         let (cx, cy) = (fx as u32, fy as u32);
         // Points exactly on the far boundary belong to the last cell.
-        let cx = if cx == self.cols && fx <= self.cols as f64 { self.cols - 1 } else { cx };
-        let cy = if cy == self.rows && fy <= self.rows as f64 { self.rows - 1 } else { cy };
+        let cx = if cx == self.cols && fx <= self.cols as f64 {
+            self.cols - 1
+        } else {
+            cx
+        };
+        let cy = if cy == self.rows && fy <= self.rows as f64 {
+            self.rows - 1
+        } else {
+            cy
+        };
         (cx < self.cols && cy < self.rows).then_some((cx, cy))
     }
 
@@ -118,7 +136,10 @@ impl GridSpec {
     #[inline]
     pub fn unflat(&self, idx: usize) -> (u32, u32) {
         debug_assert!(idx < self.len());
-        ((idx % self.cols as usize) as u32, (idx / self.cols as usize) as u32)
+        (
+            (idx % self.cols as usize) as u32,
+            (idx / self.cols as usize) as u32,
+        )
     }
 
     /// Geometric bounds of a cell.
@@ -170,8 +191,10 @@ impl GridSpec {
         assert!(r >= 0.0);
         let lo_x = ((p.x - r - self.origin.x) / self.cell).floor().max(0.0) as i64;
         let lo_y = ((p.y - r - self.origin.y) / self.cell).floor().max(0.0) as i64;
-        let hi_x = (((p.x + r - self.origin.x) / self.cell).floor() as i64).min(self.cols as i64 - 1);
-        let hi_y = (((p.y + r - self.origin.y) / self.cell).floor() as i64).min(self.rows as i64 - 1);
+        let hi_x =
+            (((p.x + r - self.origin.x) / self.cell).floor() as i64).min(self.cols as i64 - 1);
+        let hi_y =
+            (((p.y + r - self.origin.y) / self.cell).floor() as i64).min(self.rows as i64 - 1);
         let mut out = Vec::new();
         for cy in lo_y..=hi_y {
             for cx in lo_x..=hi_x {
@@ -212,7 +235,9 @@ mod tests {
         let g = GridSpec::covering(&BBox::from_extents(0.0, 0.0, 1.0, 1.0), 0.3);
         assert_eq!(g.cols(), 4);
         assert_eq!(g.rows(), 4);
-        assert!(g.coverage().contains_box(&BBox::from_extents(0.0, 0.0, 1.0, 1.0)));
+        assert!(g
+            .coverage()
+            .contains_box(&BBox::from_extents(0.0, 0.0, 1.0, 1.0)));
     }
 
     #[test]
@@ -262,7 +287,9 @@ mod tests {
         let edge = g.cells_in_rect(&BBox::from_extents(9.5, 4.5, 20.0, 20.0));
         assert_eq!(edge, vec![(9, 4)]);
         // Fully outside.
-        assert!(g.cells_in_rect(&BBox::from_extents(20.0, 20.0, 30.0, 30.0)).is_empty());
+        assert!(g
+            .cells_in_rect(&BBox::from_extents(20.0, 20.0, 30.0, 30.0))
+            .is_empty());
     }
 
     #[test]

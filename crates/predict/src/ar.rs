@@ -59,7 +59,11 @@ pub fn ar_coefficients(window: &[Point], k: usize) -> Option<Vec<f64>> {
 /// against `ε_p` in Eq. 8).
 pub fn ar_distance(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 #[cfg(test)]
@@ -70,13 +74,18 @@ mod tests {
     fn ar1_series(phi: f64, n: usize, seed: u64) -> Vec<Point> {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut xs = vec![Point::new(next(), next())];
         for _ in 1..n {
             let prev = *xs.last().unwrap();
-            xs.push(Point::new(phi * prev.x + 0.05 * next(), phi * prev.y + 0.05 * next()));
+            xs.push(Point::new(
+                phi * prev.x + 0.05 * next(),
+                phi * prev.y + 0.05 * next(),
+            ));
         }
         xs
     }
@@ -107,8 +116,10 @@ mod tests {
     #[test]
     fn location_invariance() {
         let series = ar1_series(0.7, 150, 4);
-        let shifted: Vec<Point> =
-            series.iter().map(|p| Point::new(p.x + 500.0, p.y - 900.0)).collect();
+        let shifted: Vec<Point> = series
+            .iter()
+            .map(|p| Point::new(p.x + 500.0, p.y - 900.0))
+            .collect();
         let c1 = ar_coefficients(&series, 2).unwrap();
         let c2 = ar_coefficients(&shifted, 2).unwrap();
         assert!(ar_distance(&c1, &c2) < 1e-6, "{c1:?} vs {c2:?}");
@@ -117,8 +128,9 @@ mod tests {
     #[test]
     fn coefficients_are_clamped() {
         // A degenerate exploding series still yields bounded features.
-        let series: Vec<Point> =
-            (0..40).map(|i| Point::new((2.0f64).powi(i), (2.0f64).powi(i))).collect();
+        let series: Vec<Point> = (0..40)
+            .map(|i| Point::new((2.0f64).powi(i), (2.0f64).powi(i)))
+            .collect();
         if let Some(c) = ar_coefficients(&series, 2) {
             for v in c {
                 assert!((-8.0..=8.0).contains(&v));

@@ -19,7 +19,12 @@ pub struct History {
 impl History {
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0);
-        History { buf: vec![Point::ORIGIN; cap], cap, head: 0, len: 0 }
+        History {
+            buf: vec![Point::ORIGIN; cap],
+            cap,
+            head: 0,
+            len: 0,
+        }
     }
 
     #[inline]
@@ -62,6 +67,19 @@ impl History {
             return None;
         }
         Some((1..=k).map(|l| self.lag(l).unwrap()).collect())
+    }
+
+    /// Allocation-free [`History::last_k`]: overwrite `out` with the `k`
+    /// most recent points (most recent first). Returns `false` (leaving
+    /// `out` cleared) when fewer than `k` are available. Hot-path variant
+    /// for callers that predict per point per timestep.
+    pub fn last_k_into(&self, k: usize, out: &mut Vec<Point>) -> bool {
+        out.clear();
+        if k > self.len {
+            return false;
+        }
+        out.extend((1..=k).map(|l| self.lag(l).unwrap()));
+        true
     }
 
     /// Iterate oldest → newest.

@@ -20,7 +20,9 @@ impl Predictor {
     /// The all-zero predictor the paper prescribes for `t ≤ k`
     /// ("for the time t ≤ k, P_j\[t\] is set to zero").
     pub fn zero(k: usize) -> Self {
-        Predictor { coeffs: vec![0.0; k] }
+        Predictor {
+            coeffs: vec![0.0; k],
+        }
     }
 
     /// A random-walk predictor: `T̃ᵗ = T̂ᵗ⁻¹`. Used by the `ColdStart`
@@ -109,7 +111,11 @@ mod tests {
     #[test]
     fn zero_predictor_predicts_origin() {
         let p = Predictor::zero(3);
-        let h = [Point::new(5.0, 5.0), Point::new(4.0, 4.0), Point::new(3.0, 3.0)];
+        let h = [
+            Point::new(5.0, 5.0),
+            Point::new(4.0, 4.0),
+            Point::new(3.0, 3.0),
+        ];
         assert_eq!(p.predict(&h), Point::ORIGIN);
     }
 
@@ -142,7 +148,11 @@ mod tests {
             });
         }
         let p = fit_predictor(&rows, 2);
-        assert!((p.coeffs()[0] - 2.0).abs() < 1e-5, "coeffs {:?}", p.coeffs());
+        assert!(
+            (p.coeffs()[0] - 2.0).abs() < 1e-5,
+            "coeffs {:?}",
+            p.coeffs()
+        );
         assert!((p.coeffs()[1] + 1.0).abs() < 1e-5);
         // And the prediction error is ~0 on the training rows.
         for row in &rows {
@@ -161,8 +171,12 @@ mod tests {
         // All histories identical & stationary: prediction should return
         // (approximately) the stationary point.
         let h = [Point::new(4.0, 2.0), Point::new(4.0, 2.0)];
-        let rows: Vec<TrainingRow> =
-            (0..10).map(|_| TrainingRow { target: Point::new(4.0, 2.0), history: &h }).collect();
+        let rows: Vec<TrainingRow> = (0..10)
+            .map(|_| TrainingRow {
+                target: Point::new(4.0, 2.0),
+                history: &h,
+            })
+            .collect();
         let p = fit_predictor(&rows, 2);
         let pred = p.predict(&h);
         assert!(pred.dist(&Point::new(4.0, 2.0)) < 1e-6, "pred {pred:?}");

@@ -9,12 +9,53 @@
 
 use ppq_geo::Point;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Minimal Fx-style integer hasher for the cell keys. The probe does nine
+/// map lookups per query point, and the default SipHash dominates that
+/// cost by an order of magnitude; cell coordinates are short fixed-width
+/// integers, where a multiply-rotate hash is both fast and well mixed.
+/// (Local implementation: the offline build cannot pull `rustc-hash`.)
+#[derive(Clone, Copy, Default)]
+pub struct CellHasher {
+    state: u64,
+}
+
+impl Hasher for CellHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        // Fx-style combine: xor, multiply by a high-entropy odd constant,
+        // rotate to spread low-bit patterns into the table index bits.
+        self.state = (self.state ^ v)
+            .wrapping_mul(0x517CC1B727220A95)
+            .rotate_left(26);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+}
+
+type CellMap = HashMap<(i64, i64), Vec<u32>, BuildHasherDefault<CellHasher>>;
 
 /// Spatial hash over codeword positions with cell side = the bound `eps`.
 #[derive(Clone, Debug)]
 pub struct GridNN {
     eps: f64,
-    cells: HashMap<(i64, i64), Vec<u32>>,
+    cells: CellMap,
     points: Vec<Point>,
 }
 
@@ -22,13 +63,23 @@ impl GridNN {
     /// `eps` is both the grid cell side and the radius the fast probe
     /// guarantees to cover.
     pub fn new(eps: f64) -> Self {
-        assert!(eps > 0.0 && eps.is_finite(), "eps must be positive, got {eps}");
-        GridNN { eps, cells: HashMap::new(), points: Vec::new() }
+        assert!(
+            eps > 0.0 && eps.is_finite(),
+            "eps must be positive, got {eps}"
+        );
+        GridNN {
+            eps,
+            cells: CellMap::default(),
+            points: Vec::new(),
+        }
     }
 
     #[inline]
     fn key(&self, p: &Point) -> (i64, i64) {
-        ((p.x / self.eps).floor() as i64, (p.y / self.eps).floor() as i64)
+        (
+            (p.x / self.eps).floor() as i64,
+            (p.y / self.eps).floor() as i64,
+        )
     }
 
     #[inline]
@@ -43,7 +94,11 @@ impl GridNN {
 
     /// Insert a point with an external id (the codeword index).
     pub fn insert(&mut self, id: u32, p: Point) {
-        debug_assert_eq!(id as usize, self.points.len(), "ids must be dense and in order");
+        debug_assert_eq!(
+            id as usize,
+            self.points.len(),
+            "ids must be dense and in order"
+        );
         let key = self.key(&p);
         self.cells.entry(key).or_default().push(id);
         self.points.push(p);
@@ -123,6 +178,20 @@ impl GridNN {
             }
         }
         best.map(|(id, d2)| (id, d2.sqrt()))
+    }
+
+    /// Occupancy diagnostics: `(cells, max_per_cell, mean_per_cell)`.
+    /// Dense cells mean every probe scans many candidates; useful when
+    /// judging probe cost on skewed codeword distributions.
+    pub fn cell_stats(&self) -> (usize, usize, f64) {
+        let cells = self.cells.len();
+        let max = self.cells.values().map(Vec::len).max().unwrap_or(0);
+        let mean = if cells == 0 {
+            0.0
+        } else {
+            self.points.len() as f64 / cells as f64
+        };
+        (cells, max, mean)
     }
 
     /// Rebuild from a list of points (ids are positions).

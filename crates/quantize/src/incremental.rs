@@ -8,8 +8,18 @@
 
 use crate::codebook::Codebook;
 use crate::grid_nn::GridNN;
-use crate::kmeans::{bounded_kmeans, KMeansConfig};
+use crate::kmeans::{bounded_kmeans_with, KMeansConfig, KMeansWorkspace};
 use ppq_geo::Point;
+use rayon::prelude::*;
+
+/// Batch size above which the read-only nearest-codeword probe fans out
+/// over threads. Probes are cheap (a 3×3 cell scan), so small batches
+/// stay serial.
+const PARALLEL_PROBE_MIN: usize = 4096;
+
+/// Probe chunk size; fixed so the parallel split never affects results
+/// (each probe is pure per point anyway).
+const PROBE_CHUNK: usize = 1024;
 
 /// Online quantizer holding the growing error-bounded codebook.
 #[derive(Clone, Debug)]
@@ -18,6 +28,8 @@ pub struct IncrementalQuantizer {
     codebook: Codebook,
     nn: GridNN,
     kmeans_cfg: KMeansConfig,
+    /// Reused scratch for the bounded k-means growth step.
+    workspace: KMeansWorkspace,
     /// Total number of assignments performed (for diagnostics).
     assigned: u64,
 }
@@ -36,6 +48,7 @@ impl IncrementalQuantizer {
             codebook: Codebook::new(),
             nn: GridNN::new(eps),
             kmeans_cfg,
+            workspace: KMeansWorkspace::new(),
             assigned: 0,
         }
     }
@@ -68,15 +81,27 @@ impl IncrementalQuantizer {
     /// `i`.
     pub fn quantize_batch(&mut self, errors: &[Point]) -> Vec<u32> {
         let mut out = vec![u32::MAX; errors.len()];
-        let mut uncovered: Vec<usize> = Vec::new();
 
-        for (i, e) in errors.iter().enumerate() {
-            debug_assert!(e.is_finite(), "non-finite error vector at {i}");
-            match self.nn.nearest_within_eps(e) {
-                Some((idx, _)) => out[i] = idx,
-                None => uncovered.push(i),
+        // Probe phase: read-only against the current codebook, pure per
+        // point, so it parallelizes without affecting results.
+        let nn = &self.nn;
+        let probe = |es: &[Point], slots: &mut [u32]| {
+            for (e, slot) in es.iter().zip(slots.iter_mut()) {
+                debug_assert!(e.is_finite(), "non-finite error vector");
+                if let Some((idx, _)) = nn.nearest_within_eps(e) {
+                    *slot = idx;
+                }
             }
+        };
+        if errors.len() >= PARALLEL_PROBE_MIN && rayon::current_num_threads() > 1 {
+            errors
+                .par_chunks(PROBE_CHUNK)
+                .zip(out.par_chunks_mut(PROBE_CHUNK))
+                .for_each(|(es, slots)| probe(es, slots));
+        } else {
+            probe(errors, &mut out);
         }
+        let uncovered: Vec<usize> = (0..errors.len()).filter(|&i| out[i] == u32::MAX).collect();
 
         if !uncovered.is_empty() {
             self.grow_for(errors, &uncovered, &mut out);
@@ -92,7 +117,7 @@ impl IncrementalQuantizer {
     /// new, possibly pre-existing) codeword within `eps`.
     fn grow_for(&mut self, errors: &[Point], uncovered: &[usize], out: &mut [u32]) {
         let pts: Vec<Point> = uncovered.iter().map(|&i| errors[i]).collect();
-        let res = bounded_kmeans(&pts, self.eps, &self.kmeans_cfg);
+        let res = bounded_kmeans_with(&pts, self.eps, &self.kmeans_cfg, &mut self.workspace);
 
         // Append only the centroids that are actually used; remap indices.
         let mut remap = vec![u32::MAX; res.centroids.len()];
@@ -139,7 +164,12 @@ mod tests {
     fn random_errors(n: usize, spread: f64, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
-            .map(|_| Point::new(rng.gen_range(-spread..spread), rng.gen_range(-spread..spread)))
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(-spread..spread),
+                    rng.gen_range(-spread..spread),
+                )
+            })
             .collect()
     }
 

@@ -29,6 +29,9 @@ pub mod residual;
 pub use codebook::Codebook;
 pub use grid_nn::GridNN;
 pub use incremental::IncrementalQuantizer;
-pub use kmeans::{bounded_kmeans, kmeans, BoundedKMeansResult, KMeansConfig};
-pub use product::ProductQuantizer;
+pub use kmeans::{
+    bounded_kmeans, bounded_kmeans_with, kmeans, kmeans_with, BoundedKMeansResult, KMeansConfig,
+    KMeansWorkspace,
+};
+pub use product::{PqWorkspace, ProductQuantizer};
 pub use residual::ResidualQuantizer;

@@ -6,9 +6,20 @@
 //! sub-codeword indices, so PQ pays *two* index streams per point — exactly
 //! the extra-index cost the paper calls out when comparing compression
 //! ratios (§6.4).
+//!
+//! # Performance shape
+//!
+//! The two sub-dimension fits are independent, so [`ProductQuantizer::fit`]
+//! runs them on both sides of a [`rayon::join`]; within one axis the 1-D
+//! Lloyd sweep is chunked exactly like the 2-D k-means (fixed [`CHUNK_1D`]
+//! boundaries, per-chunk partials merged in chunk order) so results are
+//! bit-identical at any thread count. [`ProductQuantizer::fit_bounded`]
+//! reuses one [`PqWorkspace`] across its doubling rounds: the axis
+//! extraction happens once and no per-round buffers are allocated.
 
 use crate::codebook::index_bits_for;
 use ppq_geo::Point;
+use rayon::prelude::*;
 
 /// A fitted product quantizer over one batch of points.
 #[derive(Clone, Debug)]
@@ -19,71 +30,96 @@ pub struct ProductQuantizer {
     pub y_codes: Vec<u32>,
 }
 
-/// 1-D Lloyd's k-means (exact assignment via sort + binary search would be
-/// possible, but the 1-D Lloyd loop is simple and fast enough for the
-/// codebook sizes the experiments use).
-pub fn kmeans_1d(values: &[f64], k: usize, iters: usize) -> (Vec<f64>, Vec<u32>) {
-    assert!(!values.is_empty());
-    let k = k.clamp(1, values.len());
-    let (lo, hi) = values
-        .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
-    // Uniform init across the range; stable and deterministic.
-    let mut cents: Vec<f64> = (0..k)
-        .map(|i| {
-            if k == 1 {
-                (lo + hi) * 0.5
-            } else {
-                lo + (hi - lo) * i as f64 / (k - 1) as f64
-            }
-        })
-        .collect();
-    let mut assign = vec![0u32; values.len()];
-    for _ in 0..iters {
-        for (i, &v) in values.iter().enumerate() {
-            let mut best = 0u32;
-            let mut bd = f64::INFINITY;
-            for (c, &cc) in cents.iter().enumerate() {
-                let d = (v - cc).abs();
-                if d < bd {
-                    bd = d;
-                    best = c as u32;
-                }
-            }
-            assign[i] = best;
-        }
-        let mut sums = vec![0.0f64; k];
-        let mut counts = vec![0usize; k];
-        for (i, &v) in values.iter().enumerate() {
-            sums[assign[i] as usize] += v;
-            counts[assign[i] as usize] += 1;
-        }
-        let mut moved = 0.0;
-        for c in 0..k {
-            if counts[c] > 0 {
-                let nc = sums[c] / counts[c] as f64;
-                moved += (nc - cents[c]).abs();
-                cents[c] = nc;
-            } else {
-                // Re-seed an empty cluster at the worst-fit value so the
-                // codebook cannot waste capacity (needed for the bounded
-                // fit to converge).
-                let (wi, _) = values
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &v)| (i, (v - cents[assign[i] as usize]).abs()))
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                    .unwrap();
-                cents[c] = values[wi];
-                moved = f64::INFINITY;
-            }
-        }
-        if moved < 1e-12 {
-            break;
+/// Values per parallel work unit in the 1-D sweep; fixed so chunked
+/// reductions are thread-count-invariant.
+const CHUNK_1D: usize = 2048;
+
+/// Minimum `values × centroids` work before a 1-D sweep fans out. Sized
+/// for the shim's per-call thread-spawn cost (no pool); see
+/// `PARALLEL_MIN_WORK` in `kmeans.rs`.
+const PARALLEL_MIN_WORK_1D: usize = 1 << 18;
+
+/// Reusable scratch for one scalar (1-D) k-means axis.
+#[derive(Clone, Debug, Default)]
+pub struct Scalar1dWorkspace {
+    cents: Vec<f64>,
+    assign: Vec<u32>,
+    /// |value − assigned centroid| per value.
+    dist: Vec<f64>,
+    /// Per-chunk partial sums/counts, laid out `[chunk][centroid]`.
+    part_s: Vec<f64>,
+    part_n: Vec<u32>,
+}
+
+/// Reusable scratch for a full product-quantizer fit: the two axis
+/// extractions plus one scalar workspace per axis.
+#[derive(Clone, Debug, Default)]
+pub struct PqWorkspace {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    wx: Scalar1dWorkspace,
+    wy: Scalar1dWorkspace,
+}
+
+impl PqWorkspace {
+    pub fn new() -> PqWorkspace {
+        PqWorkspace::default()
+    }
+
+    fn load(&mut self, points: &[Point]) {
+        self.xs.clear();
+        self.ys.clear();
+        self.xs.reserve(points.len());
+        self.ys.reserve(points.len());
+        for p in points {
+            self.xs.push(p.x);
+            self.ys.push(p.y);
         }
     }
-    // Final assignment.
-    for (i, &v) in values.iter().enumerate() {
+}
+
+/// Register-block width of the 1-D assignment kernel (same measured
+/// blocking as the 2-D kernel in `kmeans.rs`).
+const LANES_1D: usize = 16;
+
+/// Assign every value in one chunk to its nearest centroid, recording the
+/// absolute deviation, and accumulate the chunk's partial sums. The
+/// assignment runs register-blocked: `LANES_1D` running minima and their
+/// indices stay in registers while the centroid array streams through,
+/// giving a branchless select chain the compiler vectorizes. Strict `<`
+/// keeps the lowest centroid index on ties — bit-identical to the scalar
+/// loop.
+#[inline]
+fn sweep_chunk_1d(
+    values: &[f64],
+    cents: &[f64],
+    assign: &mut [u32],
+    dist: &mut [f64],
+    part_s: &mut [f64],
+    part_n: &mut [u32],
+) {
+    let n = values.len();
+    let mut i = 0;
+    while i + LANES_1D <= n {
+        let mut vs = [0.0f64; LANES_1D];
+        vs.copy_from_slice(&values[i..i + LANES_1D]);
+        let mut bd = [f64::INFINITY; LANES_1D];
+        let mut bi = [0u32; LANES_1D];
+        for (c, &cc) in cents.iter().enumerate() {
+            let c = c as u32;
+            for l in 0..LANES_1D {
+                let d = (vs[l] - cc).abs();
+                let better = d < bd[l];
+                bd[l] = if better { d } else { bd[l] };
+                bi[l] = if better { c } else { bi[l] };
+            }
+        }
+        assign[i..i + LANES_1D].copy_from_slice(&bi);
+        dist[i..i + LANES_1D].copy_from_slice(&bd);
+        i += LANES_1D;
+    }
+    while i < n {
+        let v = values[i];
         let mut best = 0u32;
         let mut bd = f64::INFINITY;
         for (c, &cc) in cents.iter().enumerate() {
@@ -94,20 +130,173 @@ pub fn kmeans_1d(values: &[f64], k: usize, iters: usize) -> (Vec<f64>, Vec<u32>)
             }
         }
         assign[i] = best;
+        dist[i] = bd;
+        i += 1;
     }
-    (cents, assign)
+    part_s.fill(0.0);
+    part_n.fill(0);
+    for i in 0..n {
+        let a = assign[i] as usize;
+        part_s[a] += values[i];
+        part_n[a] += 1;
+    }
+}
+
+/// One chunk's disjoint views for a 1-D sweep: values, assignment,
+/// deviations, and the chunk's partial sums/counts.
+type Sweep1dItem<'a> = (
+    &'a [f64],
+    &'a mut [u32],
+    &'a mut [f64],
+    &'a mut [f64],
+    &'a mut [u32],
+);
+
+/// One full assignment sweep over an axis, parallel over fixed-size chunks
+/// when the workload justifies it.
+fn sweep_1d(values: &[f64], ws: &mut Scalar1dWorkspace) {
+    let k = ws.cents.len();
+    let chunks = values.len().div_ceil(CHUNK_1D).max(1);
+    ws.assign.resize(values.len(), 0);
+    ws.dist.resize(values.len(), 0.0);
+    ws.part_s.clear();
+    ws.part_n.clear();
+    ws.part_s.resize(chunks * k, 0.0);
+    ws.part_n.resize(chunks * k, 0);
+
+    let Scalar1dWorkspace {
+        cents,
+        assign,
+        dist,
+        part_s,
+        part_n,
+    } = ws;
+    let cents = &*cents;
+    let items: Vec<_> = values
+        .chunks(CHUNK_1D)
+        .zip(assign.chunks_mut(CHUNK_1D))
+        .zip(dist.chunks_mut(CHUNK_1D))
+        .zip(part_s.chunks_mut(k).zip(part_n.chunks_mut(k)))
+        .map(|(((vs, asg), ds), (ps, pn))| (vs, asg, ds, ps, pn))
+        .collect();
+    let run = |(vs, asg, ds, ps, pn): Sweep1dItem<'_>| {
+        sweep_chunk_1d(vs, cents, asg, ds, ps, pn);
+    };
+    if values.len() * k >= PARALLEL_MIN_WORK_1D && rayon::current_num_threads() > 1 {
+        items.into_par_iter().for_each(run);
+    } else {
+        items.into_iter().for_each(run);
+    }
+}
+
+/// Merge one centroid's per-chunk partials in chunk order (deterministic
+/// reduction order regardless of the parallel schedule).
+fn merged_1d(ws: &Scalar1dWorkspace, n_values: usize, c: usize) -> (f64, u32) {
+    let k = ws.cents.len();
+    let chunks = n_values.div_ceil(CHUNK_1D).max(1);
+    let mut s = 0.0;
+    let mut n = 0u32;
+    for chunk in 0..chunks {
+        s += ws.part_s[chunk * k + c];
+        n += ws.part_n[chunk * k + c];
+    }
+    (s, n)
+}
+
+/// 1-D Lloyd's k-means (exact assignment via sort + binary search would be
+/// possible, but the 1-D Lloyd loop is simple and fast enough for the
+/// codebook sizes the experiments use).
+pub fn kmeans_1d(values: &[f64], k: usize, iters: usize) -> (Vec<f64>, Vec<u32>) {
+    let mut ws = Scalar1dWorkspace::default();
+    kmeans_1d_with(values, k, iters, &mut ws);
+    (ws.cents.clone(), ws.assign.clone())
+}
+
+/// [`kmeans_1d`] into caller-provided scratch; the fitted centroids and
+/// assignment are left in `ws`.
+pub fn kmeans_1d_with(values: &[f64], k: usize, iters: usize, ws: &mut Scalar1dWorkspace) {
+    assert!(!values.is_empty());
+    let k = k.clamp(1, values.len());
+    let (lo, hi) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+    // Uniform init across the range; stable and deterministic.
+    ws.cents.clear();
+    ws.cents.extend((0..k).map(|i| {
+        if k == 1 {
+            (lo + hi) * 0.5
+        } else {
+            lo + (hi - lo) * i as f64 / (k - 1) as f64
+        }
+    }));
+    for _ in 0..iters {
+        sweep_1d(values, ws);
+        let mut moved = 0.0;
+        let mut reseed: Option<usize> = None;
+        for c in 0..k {
+            let (s, n) = merged_1d(ws, values.len(), c);
+            if n > 0 {
+                let nc = s / n as f64;
+                moved += (nc - ws.cents[c]).abs();
+                ws.cents[c] = nc;
+            } else {
+                // Re-seed an empty cluster at the worst-fit value so the
+                // codebook cannot waste capacity (needed for the bounded
+                // fit to converge).
+                let wi = *reseed.get_or_insert_with(|| {
+                    let mut wi = 0;
+                    let mut wd = -1.0;
+                    for (i, &d) in ws.dist.iter().enumerate() {
+                        if d > wd {
+                            wd = d;
+                            wi = i;
+                        }
+                    }
+                    wi
+                });
+                ws.cents[c] = values[wi];
+                moved = f64::INFINITY;
+            }
+        }
+        if moved < 1e-12 {
+            break;
+        }
+    }
+    // Final assignment.
+    sweep_1d(values, ws);
 }
 
 impl ProductQuantizer {
     /// Fit with a per-sub-dimension codebook size (`words_per_dim`
     /// codewords on x and on y).
     pub fn fit(points: &[Point], words_per_dim: usize) -> Self {
+        let mut ws = PqWorkspace::new();
+        Self::fit_with(points, words_per_dim, &mut ws)
+    }
+
+    /// [`ProductQuantizer::fit`] with caller-provided scratch. The two
+    /// axes fit concurrently; each side's sweep is itself chunk-parallel.
+    pub fn fit_with(points: &[Point], words_per_dim: usize, ws: &mut PqWorkspace) -> Self {
         assert!(!points.is_empty());
-        let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
-        let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
-        let (x_words, x_codes) = kmeans_1d(&xs, words_per_dim, 16);
-        let (y_words, y_codes) = kmeans_1d(&ys, words_per_dim, 16);
-        ProductQuantizer { x_words, y_words, x_codes, y_codes }
+        ws.load(points);
+        Self::fit_loaded(words_per_dim, words_per_dim, ws)
+    }
+
+    /// Fit both axes from an already-loaded workspace.
+    fn fit_loaded(x_words: usize, y_words: usize, ws: &mut PqWorkspace) -> Self {
+        let PqWorkspace { xs, ys, wx, wy } = ws;
+        rayon::join(
+            || kmeans_1d_with(xs, x_words, 16, wx),
+            || kmeans_1d_with(ys, y_words, 16, wy),
+        );
+        ProductQuantizer {
+            x_words: wx.cents.clone(),
+            y_words: wy.cents.clone(),
+            x_codes: wx.assign.clone(),
+            y_codes: wy.assign.clone(),
+        }
     }
 
     /// Fit with a total index budget of `bits` per point, split between the
@@ -116,21 +305,24 @@ impl ProductQuantizer {
         assert!(bits >= 2, "need at least 1 bit per sub-dimension");
         let bx = bits.div_ceil(2);
         let by = bits / 2;
-        let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
-        let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
-        let (x_words, x_codes) = kmeans_1d(&xs, 1usize << bx, 16);
-        let (y_words, y_codes) = kmeans_1d(&ys, 1usize << by, 16);
-        ProductQuantizer { x_words, y_words, x_codes, y_codes }
+        let mut ws = PqWorkspace::new();
+        ws.load(points);
+        Self::fit_loaded(1usize << bx, 1usize << by, &mut ws)
     }
 
     /// Grow the per-dimension codebooks until the max 2-D reconstruction
     /// error is within `eps` (used by the deviation-budget experiments,
     /// Tables 5–6). Each round multiplies the sub-codebook size by 2.
+    ///
+    /// One [`PqWorkspace`] carries all rounds: the axis extraction happens
+    /// once and the Lloyd scratch is recycled from round to round.
     pub fn fit_bounded(points: &[Point], eps: f64) -> Self {
         assert!(eps > 0.0);
+        let mut ws = PqWorkspace::new();
+        ws.load(points);
         let mut k = 2usize;
         loop {
-            let pq = Self::fit(points, k);
+            let pq = Self::fit_loaded(k, k, &mut ws);
             if pq.max_error(points) <= eps {
                 return pq;
             }
@@ -159,7 +351,12 @@ impl ProductQuantizer {
         let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
         let (x_words, x_codes) = assign_axis(&xs);
         let (y_words, y_codes) = assign_axis(&ys);
-        ProductQuantizer { x_words, y_words, x_codes, y_codes }
+        ProductQuantizer {
+            x_words,
+            y_words,
+            x_codes,
+            y_codes,
+        }
     }
 
     /// Reconstruction of input `i`.
@@ -183,7 +380,11 @@ impl ProductQuantizer {
         if points.is_empty() {
             return 0.0;
         }
-        points.iter().enumerate().map(|(i, p)| p.dist(&self.reconstruct(i))).sum::<f64>()
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.dist(&self.reconstruct(i)))
+            .sum::<f64>()
             / points.len() as f64
     }
 
@@ -211,7 +412,9 @@ mod tests {
 
     fn points(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| Point::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0))).collect()
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+            .collect()
     }
 
     #[test]
@@ -257,5 +460,19 @@ mod tests {
         let pq = ProductQuantizer::fit(&pts, 16);
         // 16 words per dim -> 4 bits per dim -> 8 bits per point.
         assert_eq!(pq.index_bits_per_point(), 8);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh() {
+        let pts = points(700, 5);
+        let mut ws = PqWorkspace::new();
+        // Dirty the workspace with an unrelated fit first.
+        let _ = ProductQuantizer::fit_with(&points(123, 6), 8, &mut ws);
+        let reused = ProductQuantizer::fit_with(&pts, 16, &mut ws);
+        let fresh = ProductQuantizer::fit(&pts, 16);
+        assert_eq!(reused.x_words, fresh.x_words);
+        assert_eq!(reused.y_words, fresh.y_words);
+        assert_eq!(reused.x_codes, fresh.x_codes);
+        assert_eq!(reused.y_codes, fresh.y_codes);
     }
 }

@@ -46,10 +46,16 @@ impl ResidualQuantizer {
         let b2 = bits / 2;
         let cfg = KMeansConfig::default();
         let (c1, a1) = kmeans(points, 1usize << b1, &cfg);
-        let residuals: Vec<Point> =
-            points.iter().zip(&a1).map(|(p, &a)| *p - c1[a as usize]).collect();
+        let residuals: Vec<Point> = points
+            .iter()
+            .zip(&a1)
+            .map(|(p, &a)| *p - c1[a as usize])
+            .collect();
         let (c2, a2) = kmeans(&residuals, 1usize << b2, &cfg);
-        ResidualQuantizer { stages: vec![c1, c2], codes: vec![a1, a2] }
+        ResidualQuantizer {
+            stages: vec![c1, c2],
+            codes: vec![a1, a2],
+        }
     }
 
     /// Grow stage sizes (doubling) until the max reconstruction error is
@@ -104,7 +110,11 @@ impl ResidualQuantizer {
         if points.is_empty() {
             return 0.0;
         }
-        points.iter().enumerate().map(|(i, p)| p.dist(&self.reconstruct(i))).sum::<f64>()
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.dist(&self.reconstruct(i)))
+            .sum::<f64>()
             / points.len() as f64
     }
 
@@ -130,7 +140,9 @@ mod tests {
 
     fn points(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| Point::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0))).collect()
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+            .collect()
     }
 
     #[test]
@@ -153,8 +165,7 @@ mod tests {
         let pts = points(50, 3);
         let rq = ResidualQuantizer::fit(&pts, 4, 2);
         let i = 7;
-        let manual =
-            rq.stages[0][rq.codes[0][i] as usize] + rq.stages[1][rq.codes[1][i] as usize];
+        let manual = rq.stages[0][rq.codes[0][i] as usize] + rq.stages[1][rq.codes[1][i] as usize];
         assert_eq!(rq.reconstruct(i), manual);
     }
 

@@ -1,0 +1,283 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so this workspace ships a
+//! minimal, dependency-free implementation of the rayon surface the PPQ
+//! kernels use: `par_chunks` / `par_chunks_mut` over slices, eager
+//! order-preserving `map` / `for_each` / `collect`, `join`, and
+//! `current_num_threads` honouring `RAYON_NUM_THREADS`. Execution uses
+//! `std::thread::scope` with one contiguous batch of items per worker, so
+//! output order (and therefore any ordered reduction built on top of it)
+//! is independent of the number of threads.
+//!
+//! Semantics differ from real rayon in one deliberate way: adapters are
+//! *eager* — `map` runs its closure in parallel immediately and
+//! materialises the results. The PPQ call sites are all
+//! `par_chunks(..).map(..).collect()` / `.for_each(..)` pipelines, for
+//! which eager evaluation is observationally identical. When the real
+//! rayon is swapped in, no call site needs to change.
+
+use std::ops::Range;
+
+/// Number of worker threads parallel operations will use.
+///
+/// Reads `RAYON_NUM_THREADS` on every call (the shim has no persistent
+/// pool): a positive integer forces that thread count, anything else falls
+/// back to `std::thread::available_parallelism`. Reading per call lets
+/// tests flip the variable between invocations.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Execute `f` over `items`, preserving order, using up to
+/// [`current_num_threads`] scoped threads. Items are split into contiguous
+/// batches (one per worker) so the result concatenation is order-stable.
+fn par_run<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = threads.min(items.len());
+    let per = items.len().div_ceil(workers);
+    let mut batches: Vec<Vec<I>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let batch: Vec<I> = it.by_ref().take(per).collect();
+        if batch.is_empty() {
+            break;
+        }
+        batches.push(batch);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|batch| s.spawn(move || batch.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            out.extend(h.join().expect("rayon worker panicked"));
+        }
+        out
+    })
+}
+
+/// An eager "parallel iterator": a materialised list of items whose
+/// consuming adapters run on scoped threads.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair this iterator with another of the same length, in order.
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Attach the in-order index to every item.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Apply `f` to every item in parallel; results keep the input order.
+    /// Eager: work happens here, not at `collect`.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: par_run(self.items, f),
+        }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_run(self.items, f);
+    }
+
+    /// Collect the (already computed, in-order) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// `par_chunks` over immutable slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Split into `chunk_size`-sized pieces (last may be shorter), exposed
+    /// as a parallel iterator. Chunk boundaries depend only on
+    /// `chunk_size`, never on the thread count — reductions that merge
+    /// chunk results in order are therefore deterministic.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator (owned collections and ranges).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `par_iter` over slices (one task per element — use `par_chunks` on hot
+/// paths with small per-element work).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_cover_slice_in_order() {
+        let v: Vec<u32> = (0..103).collect();
+        let sums: Vec<u32> = v.par_chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 11);
+        let serial: Vec<u32> = v.chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, serial);
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjoint() {
+        let mut v = vec![0u64; 97];
+        v.par_chunks_mut(8).enumerate().for_each(|(i, c)| {
+            for slot in c.iter_mut() {
+                *slot = i as u64;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, (i / 8) as u64);
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn zip_pairs_in_order() {
+        let a: Vec<u32> = (0..50).collect();
+        let mut b = vec![0u32; 50];
+        a.par_chunks(7)
+            .zip(b.par_chunks_mut(7))
+            .for_each(|(src, dst)| {
+                dst.copy_from_slice(src);
+            });
+        assert_eq!(a, b);
+    }
+}

@@ -36,9 +36,16 @@ impl GridIndex {
             raw.entry(grid.flat(cx, cy)).or_default().push(*id);
             points_indexed += 1;
         }
-        let cells =
-            raw.into_iter().map(|(cell, ids)| (cell, CompressedIdList::compress(&ids))).collect();
-        GridIndex { region, grid, cells, points_indexed }
+        let cells = raw
+            .into_iter()
+            .map(|(cell, ids)| (cell, CompressedIdList::compress(&ids)))
+            .collect();
+        GridIndex {
+            region,
+            grid,
+            cells,
+            points_indexed,
+        }
     }
 
     #[inline]
@@ -168,8 +175,9 @@ mod tests {
     fn size_grows_with_content() {
         let region = BBox::from_extents(0.0, 0.0, 10.0, 10.0);
         let few = GridIndex::build(region, 1.0, &[(1, Point::new(1.0, 1.0))]);
-        let pts: Vec<(u32, Point)> =
-            (0..500).map(|i| (i, Point::new((i % 100) as f64 / 10.0, (i / 100) as f64))).collect();
+        let pts: Vec<(u32, Point)> = (0..500)
+            .map(|i| (i, Point::new((i % 100) as f64 / 10.0, (i / 100) as f64)))
+            .collect();
         let many = GridIndex::build(region, 1.0, &pts);
         assert!(many.size_bytes() > few.size_bytes());
     }

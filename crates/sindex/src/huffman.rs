@@ -43,7 +43,10 @@ impl Huffman {
         }
 
         let used: Vec<usize> = (0..256).filter(|&s| freq[s] > 0).collect();
-        assert!(!used.is_empty(), "cannot build a Huffman code with no symbols");
+        assert!(
+            !used.is_empty(),
+            "cannot build a Huffman code with no symbols"
+        );
 
         let mut lengths = [0u8; 256];
         if used.len() == 1 {
@@ -57,7 +60,10 @@ impl Huffman {
             let mut weights: Vec<u64> = Vec::with_capacity(used.len() * 2);
             for (i, &s) in used.iter().enumerate() {
                 weights.push(freq[s]);
-                heap.push(Node { weight: freq[s], id: i });
+                heap.push(Node {
+                    weight: freq[s],
+                    id: i,
+                });
             }
             while heap.len() > 1 {
                 let a = heap.pop().unwrap();
@@ -65,7 +71,10 @@ impl Huffman {
                 let id = weights.len();
                 weights.push(a.weight + b.weight);
                 children.push(Some((a.id, b.id)));
-                heap.push(Node { weight: a.weight + b.weight, id });
+                heap.push(Node {
+                    weight: a.weight + b.weight,
+                    id,
+                });
             }
             // Depth-first traversal to get code lengths.
             let root = heap.pop().unwrap().id;
@@ -99,7 +108,11 @@ impl Huffman {
             code += 1;
             prev_len = len;
         }
-        Huffman { lengths, codes, sorted_symbols }
+        Huffman {
+            lengths,
+            codes,
+            sorted_symbols,
+        }
     }
 
     /// Encode `data`; returns the bit stream and its exact bit length.
@@ -153,7 +166,10 @@ impl Huffman {
     fn lookup(&self, code: u32, len: u8) -> Option<u8> {
         // Linear over the (short) canonical symbol list; ID-list alphabets
         // are tiny so this is fast enough and simple.
-        self.sorted_symbols.iter().find(|&&s| self.lengths[s as usize] == len && self.codes[s as usize] == code).copied()
+        self.sorted_symbols
+            .iter()
+            .find(|&&s| self.lengths[s as usize] == len && self.codes[s as usize] == code)
+            .copied()
     }
 
     /// Serialized size of the code table: one length byte per used symbol
@@ -206,7 +222,11 @@ mod tests {
         data.extend(std::iter::repeat_n(200u8, 50));
         let h = Huffman::from_frequencies(&byte_histogram(&data));
         let (bits, len) = h.encode(&data);
-        assert!(len < data.len() * 8 / 4, "no compression: {len} bits for {} bytes", data.len());
+        assert!(
+            len < data.len() * 8 / 4,
+            "no compression: {len} bits for {} bytes",
+            data.len()
+        );
         assert_eq!(h.decode(&bits, len, data.len()), data);
     }
 

@@ -64,7 +64,13 @@ impl CompressedIdList {
         }
         let huffman = Huffman::from_frequencies(&byte_histogram(&bytes));
         let (bits, bit_len) = huffman.encode(&bytes);
-        CompressedIdList { bits, bit_len, n_bytes: bytes.len(), len: sorted.len(), huffman }
+        CompressedIdList {
+            bits,
+            bit_len,
+            n_bytes: bytes.len(),
+            len: sorted.len(),
+            huffman,
+        }
     }
 
     /// Number of IDs stored.

@@ -73,7 +73,10 @@ mod tests {
         for (i, a) in rects.iter().enumerate() {
             for b in rects.iter().skip(i + 1) {
                 if let Some(inter) = a.intersection(b) {
-                    assert!(inter.area() < 1e-12, "pieces overlap: {a:?} ∩ {b:?} = {inter:?}");
+                    assert!(
+                        inter.area() < 1e-12,
+                        "pieces overlap: {a:?} ∩ {b:?} = {inter:?}"
+                    );
                 }
             }
         }
@@ -121,7 +124,11 @@ mod tests {
     #[test]
     fn multiple_obstacles() {
         let r = bb(0.0, 0.0, 10.0, 2.0);
-        let obstacles = [bb(1.0, 0.0, 3.0, 2.0), bb(5.0, 0.0, 7.0, 2.0), bb(6.0, 0.0, 8.0, 2.0)];
+        let obstacles = [
+            bb(1.0, 0.0, 3.0, 2.0),
+            bb(5.0, 0.0, 7.0, 2.0),
+            bb(6.0, 0.0, 8.0, 2.0),
+        ];
         let pieces = remove_overlap(&r, &obstacles);
         assert_disjoint(&pieces);
         // Remaining columns: [0,1], [3,5], [8,10] → area 2+4+4 = 10.

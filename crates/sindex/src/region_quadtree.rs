@@ -97,7 +97,14 @@ impl RegionQuadtree {
         );
         let (max_per_leaf, max_depth) = (self.max_per_leaf, self.max_depth);
         let mut splits = 0;
-        Self::insert_rec(&mut self.root, &self.bounds, e, max_per_leaf, max_depth, &mut splits);
+        Self::insert_rec(
+            &mut self.root,
+            &self.bounds,
+            e,
+            max_per_leaf,
+            max_depth,
+            &mut splits,
+        );
         self.splits += splits;
         self.len += 1;
     }
@@ -156,7 +163,14 @@ impl RegionQuadtree {
             Node::Internal(children) => {
                 let q = quadrant_of(bounds, &e.pos);
                 let qs = bounds.quadrants();
-                Self::insert_rec(&mut children[q], &qs[q], e, max_per_leaf, depth_left - 1, splits);
+                Self::insert_rec(
+                    &mut children[q],
+                    &qs[q],
+                    e,
+                    max_per_leaf,
+                    depth_left - 1,
+                    splits,
+                );
             }
         }
     }
@@ -254,7 +268,11 @@ mod tests {
     use super::*;
 
     fn entry(id: u32, x: f64, y: f64) -> Entry {
-        Entry { id, t: 0, pos: Point::new(x, y) }
+        Entry {
+            id,
+            t: 0,
+            pos: Point::new(x, y),
+        }
     }
 
     fn tree() -> RegionQuadtree {
@@ -331,7 +349,11 @@ mod tests {
     fn leaves_intersecting_query() {
         let mut q = tree();
         for i in 0..50 {
-            q.insert(entry(i, (i % 10) as f64 * 10.0 + 5.0, (i / 10) as f64 * 10.0 + 5.0));
+            q.insert(entry(
+                i,
+                (i % 10) as f64 * 10.0 + 5.0,
+                (i / 10) as f64 * 10.0 + 5.0,
+            ));
         }
         let hits = q.leaves_intersecting(&BBox::from_extents(0.0, 0.0, 30.0, 30.0));
         assert!(!hits.is_empty());

@@ -16,11 +16,15 @@ pub struct Encoder {
 
 impl Encoder {
     pub fn new() -> Encoder {
-        Encoder { buf: BytesMut::new() }
+        Encoder {
+            buf: BytesMut::new(),
+        }
     }
 
     pub fn with_capacity(cap: usize) -> Encoder {
-        Encoder { buf: BytesMut::with_capacity(cap) }
+        Encoder {
+            buf: BytesMut::with_capacity(cap),
+        }
     }
 
     pub fn put_u16(&mut self, v: u16) {
@@ -78,7 +82,9 @@ impl Decoder {
     }
 
     pub fn from_slice(b: &[u8]) -> Decoder {
-        Decoder { buf: Bytes::copy_from_slice(b) }
+        Decoder {
+            buf: Bytes::copy_from_slice(b),
+        }
     }
 
     pub fn u16(&mut self) -> u16 {

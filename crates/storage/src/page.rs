@@ -23,13 +23,17 @@ impl Page {
     /// A zeroed page of an explicit size.
     pub fn zeroed_with(size: usize) -> Page {
         assert!(size > 0);
-        Page { data: vec![0u8; size].into_boxed_slice() }
+        Page {
+            data: vec![0u8; size].into_boxed_slice(),
+        }
     }
 
     /// Wrap a buffer as a page (any size).
     pub fn from_bytes(data: Vec<u8>) -> Page {
         assert!(!data.is_empty(), "empty page");
-        Page { data: data.into_boxed_slice() }
+        Page {
+            data: data.into_boxed_slice(),
+        }
     }
 
     /// Build from a payload of at most `PAGE_SIZE` bytes, zero-padded.
@@ -39,10 +43,16 @@ impl Page {
 
     /// Build from a payload of at most `size` bytes, zero-padded.
     pub fn from_payload_with(payload: &[u8], size: usize) -> Page {
-        assert!(payload.len() <= size, "payload {} exceeds page size {size}", payload.len());
+        assert!(
+            payload.len() <= size,
+            "payload {} exceeds page size {size}",
+            payload.len()
+        );
         let mut data = vec![0u8; size];
         data[..payload.len()].copy_from_slice(payload);
-        Page { data: data.into_boxed_slice() }
+        Page {
+            data: data.into_boxed_slice(),
+        }
     }
 
     #[inline]

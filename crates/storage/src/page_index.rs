@@ -31,7 +31,10 @@ impl PageIndex {
     pub fn push(&mut self, run: PageRun) {
         assert!(run.t_start <= run.t_end, "inverted period");
         if let Some(last) = self.runs.last() {
-            assert!(run.t_start > last.t_end, "periods must be disjoint and in order");
+            assert!(
+                run.t_start > last.t_end,
+                "periods must be disjoint and in order"
+            );
         }
         self.runs.push(run);
     }
@@ -39,7 +42,9 @@ impl PageIndex {
     /// The run covering timestep `t`, if any (binary search).
     pub fn lookup(&self, t: u32) -> Option<&PageRun> {
         let idx = self.runs.partition_point(|r| r.t_end < t);
-        self.runs.get(idx).filter(|r| r.t_start <= t && t <= r.t_end)
+        self.runs
+            .get(idx)
+            .filter(|r| r.t_start <= t && t <= r.t_end)
     }
 
     #[inline]
@@ -69,9 +74,24 @@ mod tests {
 
     fn index() -> PageIndex {
         let mut idx = PageIndex::new();
-        idx.push(PageRun { t_start: 0, t_end: 9, first_page: 0, num_pages: 3 });
-        idx.push(PageRun { t_start: 10, t_end: 10, first_page: 3, num_pages: 1 });
-        idx.push(PageRun { t_start: 15, t_end: 20, first_page: 4, num_pages: 2 });
+        idx.push(PageRun {
+            t_start: 0,
+            t_end: 9,
+            first_page: 0,
+            num_pages: 3,
+        });
+        idx.push(PageRun {
+            t_start: 10,
+            t_end: 10,
+            first_page: 3,
+            num_pages: 1,
+        });
+        idx.push(PageRun {
+            t_start: 15,
+            t_end: 20,
+            first_page: 4,
+            num_pages: 2,
+        });
         idx
     }
 
@@ -96,7 +116,12 @@ mod tests {
     #[should_panic(expected = "disjoint")]
     fn overlapping_periods_rejected() {
         let mut idx = index();
-        idx.push(PageRun { t_start: 18, t_end: 30, first_page: 6, num_pages: 1 });
+        idx.push(PageRun {
+            t_start: 18,
+            t_end: 30,
+            first_page: 6,
+            num_pages: 1,
+        });
     }
 
     #[test]

@@ -51,7 +51,11 @@ struct Lru {
 
 impl Lru {
     fn new(capacity: usize) -> Lru {
-        Lru { capacity, order: Vec::new(), pages: HashMap::new() }
+        Lru {
+            capacity,
+            order: Vec::new(),
+            pages: HashMap::new(),
+        }
     }
 
     fn get(&mut self, id: u64) -> Option<Page> {
@@ -117,8 +121,12 @@ impl PageStore {
         page_size: usize,
     ) -> io::Result<PageStore> {
         assert!(page_size > 0);
-        let file =
-            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
         Ok(PageStore {
             file: Mutex::new(file),
             cache: Mutex::new(Lru::new(pool_pages)),
@@ -149,7 +157,10 @@ impl PageStore {
 
     /// Overwrite an existing page. Counts one write I/O.
     pub fn write(&self, id: u64, page: &Page) -> io::Result<()> {
-        assert!(id < self.num_pages.load(Ordering::SeqCst), "page {id} out of range");
+        assert!(
+            id < self.num_pages.load(Ordering::SeqCst),
+            "page {id} out of range"
+        );
         assert_eq!(page.len(), self.page_size, "page size mismatch");
         {
             let mut f = self.file.lock();
@@ -166,7 +177,10 @@ impl PageStore {
     /// Read a page. A buffer-pool hit does **not** count as an I/O; a miss
     /// counts one read I/O.
     pub fn read(&self, id: u64) -> io::Result<Page> {
-        assert!(id < self.num_pages.load(Ordering::SeqCst), "page {id} out of range");
+        assert!(
+            id < self.num_pages.load(Ordering::SeqCst),
+            "page {id} out of range"
+        );
         if let Some(p) = self.cache.lock().get(id) {
             self.stats.buffer_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(p);
@@ -253,7 +267,9 @@ mod tests {
     fn lru_evicts_oldest() {
         let path = tmp("lru");
         let store = PageStore::create(&path, 2).unwrap();
-        let ids: Vec<u64> = (0..3).map(|_| store.append(&Page::zeroed()).unwrap()).collect();
+        let ids: Vec<u64> = (0..3)
+            .map(|_| store.append(&Page::zeroed()).unwrap())
+            .collect();
         store.stats().reset();
         // Pool holds the 2 most recent appends (ids[1], ids[2]).
         store.read(ids[2]).unwrap();

@@ -13,8 +13,8 @@ use ppq_geo::Point;
 use ppq_storage::codec::Encoder;
 use ppq_storage::page::{Page, PAGE_SIZE};
 
-use ppq_storage::{IoStats, PageIndex, PageStore};
 use ppq_storage::page_index::PageRun;
+use ppq_storage::{IoStats, PageIndex, PageStore};
 use std::io;
 use std::path::Path;
 
@@ -130,9 +130,8 @@ impl DiskTpi {
             }
             // Allocation-free header parse: this runs for every block that
             // precedes the target, so it must stay cheap.
-            let u32_at = |bytes: &[u8], at: usize| {
-                u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
-            };
+            let u32_at =
+                |bytes: &[u8], at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
             let region = u32_at(&bytes, pos);
             let bt = u32_at(&bytes, pos + 4);
             let cell = u32_at(&bytes, pos + 8);
@@ -192,7 +191,11 @@ mod tests {
 
     fn build_tpi() -> Tpi {
         let cfg = TpiConfig {
-            pi: PiConfig { eps_s: 2.0, gc: 0.5, kmeans: KMeansConfig::default() },
+            pi: PiConfig {
+                eps_s: 2.0,
+                gc: 0.5,
+                kmeans: KMeansConfig::default(),
+            },
             eps_c: 0.5,
             eps_d: 0.5,
         };

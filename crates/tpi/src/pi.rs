@@ -20,7 +20,11 @@ pub struct PiConfig {
 impl Default for PiConfig {
     fn default() -> Self {
         // Paper defaults: ε_s = 0.1 (degrees), g_c = 100 m.
-        PiConfig { eps_s: 0.1, gc: 100.0 / 111_320.0, kmeans: KMeansConfig::default() }
+        PiConfig {
+            eps_s: 0.1,
+            gc: 100.0 / 111_320.0,
+            kmeans: KMeansConfig::default(),
+        }
     }
 }
 
@@ -83,7 +87,10 @@ impl Region {
         let mut per_cell: HashMap<u32, Vec<u32>> = HashMap::new();
         for (id, p) in points {
             let (cx, cy) = self.grid.locate_clamped(p);
-            per_cell.entry(self.grid.flat(cx, cy) as u32).or_default().push(*id);
+            per_cell
+                .entry(self.grid.flat(cx, cy) as u32)
+                .or_default()
+                .push(*id);
             self.points_indexed += 1;
         }
         for (cell, ids) in per_cell {
@@ -134,7 +141,11 @@ impl Region {
     pub fn size_bytes(&self) -> usize {
         let header = 4 * 8 + 4 * 8 + 8;
         header
-            + self.cells.values().map(|l| l.size_bytes() + 8).sum::<usize>()
+            + self
+                .cells
+                .values()
+                .map(|l| l.size_bytes() + 8)
+                .sum::<usize>()
     }
 }
 
@@ -152,7 +163,11 @@ impl Pi {
     /// `ε_s`, cover each partition with its MBR, remove overlaps, and grid
     /// every resulting rectangle.
     pub fn build(t: u32, points: &[(u32, Point)], cfg: &PiConfig) -> Pi {
-        let mut pi = Pi { regions: Vec::new(), cfg: cfg.clone(), built_at: t };
+        let mut pi = Pi {
+            regions: Vec::new(),
+            cfg: cfg.clone(),
+            built_at: t,
+        };
         if !points.is_empty() {
             pi.add_regions_for(t, points);
         }
@@ -174,7 +189,11 @@ impl Pi {
         for mbr in mbrs.into_iter().filter(|m| !m.is_empty()) {
             // Give zero-extent MBRs (single point / collinear) a hair of
             // area so the grid and TRD are well-defined.
-            let mbr = if mbr.area() == 0.0 { mbr.inflate(self.cfg.gc * 0.5) } else { mbr };
+            let mbr = if mbr.area() == 0.0 {
+                mbr.inflate(self.cfg.gc * 0.5)
+            } else {
+                mbr
+            };
             for piece in remove_overlap(&mbr, &existing) {
                 if piece.area() <= 0.0 {
                     continue;
@@ -204,7 +223,8 @@ impl Pi {
         }
         // Drop regions that ended up with no points (overlap-removal
         // slivers not containing any member).
-        self.regions.retain(|r| r.points_indexed > 0 || r.built_density > 0.0);
+        self.regions
+            .retain(|r| r.points_indexed > 0 || r.built_density > 0.0);
     }
 
     fn locate_region_from(&self, start: usize, p: &Point) -> Option<usize> {
@@ -382,13 +402,20 @@ mod tests {
             .map(|i| {
                 let a = i as f64 * 2.399963; // golden-angle spiral
                 let r = spread * (i as f64 / n as f64).sqrt();
-                (i as u32, Point::new(center.x + r * a.cos(), center.y + r * a.sin()))
+                (
+                    i as u32,
+                    Point::new(center.x + r * a.cos(), center.y + r * a.sin()),
+                )
             })
             .collect()
     }
 
     fn cfg() -> PiConfig {
-        PiConfig { eps_s: 2.0, gc: 0.5, kmeans: KMeansConfig::default() }
+        PiConfig {
+            eps_s: 2.0,
+            gc: 0.5,
+            kmeans: KMeansConfig::default(),
+        }
     }
 
     #[test]
@@ -429,7 +456,11 @@ mod tests {
     #[test]
     fn disc_query_spans_regions() {
         let mut pts = cluster(Point::new(0.0, 0.0), 50, 1.0);
-        pts.extend(cluster(Point::new(4.0, 0.0), 50, 1.0).into_iter().map(|(i, p)| (i + 50, p)));
+        pts.extend(
+            cluster(Point::new(4.0, 0.0), 50, 1.0)
+                .into_iter()
+                .map(|(i, p)| (i + 50, p)),
+        );
         let pi = Pi::build(0, &pts, &cfg());
         let all = pi.query_disc(0, &Point::new(2.0, 0.0), 5.0);
         assert_eq!(all.len(), 100);
@@ -439,8 +470,10 @@ mod tests {
     fn coverage_split() {
         let pts = cluster(Point::new(0.0, 0.0), 60, 1.0);
         let pi = Pi::build(0, &pts, &cfg());
-        let new_pts =
-            vec![(900u32, Point::new(0.0, 0.0)), (901, Point::new(100.0, 100.0))];
+        let new_pts = vec![
+            (900u32, Point::new(0.0, 0.0)),
+            (901, Point::new(100.0, 100.0)),
+        ];
         let (covered, uncovered) = pi.split_coverage(&new_pts);
         assert_eq!(covered.len(), 1);
         assert_eq!(uncovered.len(), 1);
@@ -459,8 +492,10 @@ mod tests {
         let pts = cluster(Point::new(0.0, 0.0), 80, 1.0);
         let pi = Pi::build(0, &pts, &cfg());
         // Everyone moved far away.
-        let moved: Vec<(u32, Point)> =
-            pts.iter().map(|(i, p)| (*i, Point::new(p.x + 50.0, p.y))).collect();
+        let moved: Vec<(u32, Point)> = pts
+            .iter()
+            .map(|(i, p)| (*i, Point::new(p.x + 50.0, p.y)))
+            .collect();
         let adr = pi.adr(&moved, 0.5);
         assert!(adr > 0.9, "adr {adr}");
     }

@@ -16,7 +16,11 @@ pub struct TpiConfig {
 
 impl Default for TpiConfig {
     fn default() -> Self {
-        TpiConfig { pi: PiConfig::default(), eps_c: 0.5, eps_d: 0.5 }
+        TpiConfig {
+            pi: PiConfig::default(),
+            eps_c: 0.5,
+            eps_d: 0.5,
+        }
     }
 }
 
@@ -65,7 +69,11 @@ impl Tpi {
             stats.timesteps += 1;
             match periods.last_mut() {
                 None => {
-                    periods.push(Period { t_start: t, t_end: t, pi: Pi::build(t, &points, &cfg.pi) });
+                    periods.push(Period {
+                        t_start: t,
+                        t_end: t,
+                        pi: Pi::build(t, &points, &cfg.pi),
+                    });
                     stats.periods += 1;
                 }
                 Some(period) => {
@@ -78,7 +86,11 @@ impl Tpi {
                     if adr > cfg.eps_d {
                         // Re-build: close the period, start a fresh PI.
                         let pi = Pi::build(t, &points, &cfg.pi);
-                        periods.push(Period { t_start: t, t_end: t, pi });
+                        periods.push(Period {
+                            t_start: t,
+                            t_end: t,
+                            pi,
+                        });
                         stats.periods += 1;
                     } else {
                         period.pi.insert_covered(t, &covered);
@@ -96,10 +108,7 @@ impl Tpi {
 
     /// Convenience: build over a dataset's raw points.
     pub fn build(dataset: &Dataset, cfg: &TpiConfig) -> Tpi {
-        Self::build_from_slices(
-            dataset.time_slices().map(|s| (s.t, s.points.to_vec())),
-            cfg,
-        )
+        Self::build_from_slices(dataset.time_slices().map(|s| (s.t, s.points.to_vec())), cfg)
     }
 
     #[inline]
@@ -115,22 +124,30 @@ impl Tpi {
     /// The period covering timestep `t` (binary search).
     pub fn period_of(&self, t: u32) -> Option<&Period> {
         let idx = self.periods.partition_point(|p| p.t_end < t);
-        self.periods.get(idx).filter(|p| p.t_start <= t && t <= p.t_end)
+        self.periods
+            .get(idx)
+            .filter(|p| p.t_start <= t && t <= p.t_end)
     }
 
     /// STRQ: trajectory IDs in the `g_c` cell of `p` at time `t`.
     pub fn query(&self, t: u32, p: &Point) -> Vec<u32> {
-        self.period_of(t).map(|period| period.pi.query(t, p)).unwrap_or_default()
+        self.period_of(t)
+            .map(|period| period.pi.query(t, p))
+            .unwrap_or_default()
     }
 
     /// Local-search STRQ: IDs within radius `r` of `p` at time `t`.
     pub fn query_disc(&self, t: u32, p: &Point, r: f64) -> Vec<u32> {
-        self.period_of(t).map(|period| period.pi.query_disc(t, p, r)).unwrap_or_default()
+        self.period_of(t)
+            .map(|period| period.pi.query_disc(t, p, r))
+            .unwrap_or_default()
     }
 
     /// Rectangle STRQ: IDs in cells intersecting `rect` at time `t`.
     pub fn query_rect(&self, t: u32, rect: &ppq_geo::BBox) -> Vec<u32> {
-        self.period_of(t).map(|period| period.pi.query_rect(t, rect)).unwrap_or_default()
+        self.period_of(t)
+            .map(|period| period.pi.query_rect(t, rect))
+            .unwrap_or_default()
     }
 
     /// Total index size (what Tables 7–9 call "Index Size").
@@ -146,7 +163,11 @@ mod tests {
 
     fn cfg(eps_c: f64, eps_d: f64) -> TpiConfig {
         TpiConfig {
-            pi: PiConfig { eps_s: 2.0, gc: 0.5, kmeans: KMeansConfig::default() },
+            pi: PiConfig {
+                eps_s: 2.0,
+                gc: 0.5,
+                kmeans: KMeansConfig::default(),
+            },
             eps_c,
             eps_d,
         }
@@ -227,8 +248,12 @@ mod tests {
         let mut slices = jumpy_stream(3);
         // Keep population stable but add a new far-away cohort at t=1.
         slices.truncate(3);
-        slices[1].1.extend((100..120).map(|i| (i, Point::new(50.0, 50.0 + i as f64 * 0.01))));
-        slices[2].1.extend((100..120).map(|i| (i, Point::new(50.0, 50.0 + i as f64 * 0.01))));
+        slices[1]
+            .1
+            .extend((100..120).map(|i| (i, Point::new(50.0, 50.0 + i as f64 * 0.01))));
+        slices[2]
+            .1
+            .extend((100..120).map(|i| (i, Point::new(50.0, 50.0 + i as f64 * 0.01))));
         let tpi = Tpi::build_from_slices(slices, &cfg(0.5, 0.9));
         assert_eq!(tpi.stats().periods, 1);
         assert!(tpi.stats().insertions >= 1);

@@ -9,12 +9,19 @@ use proptest::prelude::*;
 
 fn arb_points() -> impl Strategy<Value = Vec<(u32, Point)>> {
     prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..120).prop_map(|v| {
-        v.into_iter().enumerate().map(|(i, (x, y))| (i as u32, Point::new(x, y))).collect()
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| (i as u32, Point::new(x, y)))
+            .collect()
     })
 }
 
 fn cfg() -> PiConfig {
-    PiConfig { eps_s: 20.0, gc: 2.0, kmeans: KMeansConfig::default() }
+    PiConfig {
+        eps_s: 20.0,
+        gc: 2.0,
+        kmeans: KMeansConfig::default(),
+    }
 }
 
 proptest! {

@@ -35,8 +35,16 @@ impl Dataset {
             t.id = i as TrajId;
         }
         let min_t = trajectories.iter().map(|t| t.start).min().unwrap_or(0);
-        let max_t = trajectories.iter().filter_map(|t| t.end()).max().unwrap_or(0);
-        let span = if trajectories.is_empty() { 0 } else { (max_t - min_t + 1) as usize };
+        let max_t = trajectories
+            .iter()
+            .filter_map(|t| t.end())
+            .max()
+            .unwrap_or(0);
+        let span = if trajectories.is_empty() {
+            0
+        } else {
+            (max_t - min_t + 1) as usize
+        };
         let mut slices: Vec<Vec<(TrajId, Point)>> = vec![Vec::new(); span];
         let mut num_points = 0;
         for traj in &trajectories {
@@ -46,7 +54,12 @@ impl Dataset {
                 num_points += 1;
             }
         }
-        Dataset { trajectories, slices, min_t, num_points }
+        Dataset {
+            trajectories,
+            slices,
+            min_t,
+            num_points,
+        }
     }
 
     #[inline]
@@ -85,7 +98,10 @@ impl Dataset {
         self.slices
             .iter()
             .enumerate()
-            .map(move |(i, pts)| TimeSlice { t: self.min_t + i as u32, points: pts })
+            .map(move |(i, pts)| TimeSlice {
+                t: self.min_t + i as u32,
+                points: pts,
+            })
     }
 
     /// Points active at timestep `t` (empty slice when out of range).
@@ -93,7 +109,10 @@ impl Dataset {
         if t < self.min_t {
             return &[];
         }
-        self.slices.get((t - self.min_t) as usize).map(Vec::as_slice).unwrap_or(&[])
+        self.slices
+            .get((t - self.min_t) as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Iterate every `(id, t, point)` in trajectory-major order.

@@ -28,7 +28,10 @@ pub enum CsvError {
     /// Line number (1-based) and description.
     Parse(usize, String),
     /// A trajectory has missing timesteps.
-    Gap { id: u64, at: u32 },
+    Gap {
+        id: u64,
+        at: u32,
+    },
 }
 
 impl std::fmt::Display for CsvError {
@@ -142,7 +145,10 @@ mod tests {
     #[test]
     fn rejects_malformed_line() {
         let csv = "id,t,x,y\nnot-a-number,0,0.0,0.0\n";
-        assert!(matches!(read_csv(csv.as_bytes()), Err(CsvError::Parse(2, _))));
+        assert!(matches!(
+            read_csv(csv.as_bytes()),
+            Err(CsvError::Parse(2, _))
+        ));
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub struct ResampleConfig {
 
 impl Default for ResampleConfig {
     fn default() -> Self {
-        ResampleConfig { interval: 15.0, max_gap: 120.0, min_len: 30 }
+        ResampleConfig {
+            interval: 15.0,
+            max_gap: 120.0,
+            min_len: 30,
+        }
     }
 }
 
@@ -111,14 +115,19 @@ mod tests {
     use super::*;
 
     fn cfg(interval: f64, max_gap: f64, min_len: usize) -> ResampleConfig {
-        ResampleConfig { interval, max_gap, min_len }
+        ResampleConfig {
+            interval,
+            max_gap,
+            min_len,
+        }
     }
 
     /// A clean trace at exactly the target cadence resamples to itself.
     #[test]
     fn identity_on_already_regular_trace() {
-        let records: Vec<(f64, Point)> =
-            (0..40).map(|i| (i as f64 * 15.0, Point::new(i as f64, -(i as f64)))).collect();
+        let records: Vec<(f64, Point)> = (0..40)
+            .map(|i| (i as f64 * 15.0, Point::new(i as f64, -(i as f64))))
+            .collect();
         let segs = resample_trace(&records, &cfg(15.0, 120.0, 10));
         assert_eq!(segs.len(), 1);
         let (start, pts) = &segs[0];
@@ -135,8 +144,10 @@ mod tests {
         // Fixes at 0, 14, 31, 44, 61 s of a constant-velocity motion
         // x = t/15.
         let times = [0.0, 14.0, 31.0, 44.0, 61.0];
-        let records: Vec<(f64, Point)> =
-            times.iter().map(|&t| (t, Point::new(t / 15.0, 0.0))).collect();
+        let records: Vec<(f64, Point)> = times
+            .iter()
+            .map(|&t| (t, Point::new(t / 15.0, 0.0)))
+            .collect();
         let segs = resample_trace(&records, &cfg(15.0, 120.0, 2));
         assert_eq!(segs.len(), 1);
         let (_, pts) = &segs[0];
@@ -150,12 +161,12 @@ mod tests {
     /// A hole larger than max_gap splits the trace.
     #[test]
     fn gap_splits_trace() {
-        let mut records: Vec<(f64, Point)> =
-            (0..20).map(|i| (i as f64 * 15.0, Point::new(i as f64, 0.0))).collect();
+        let mut records: Vec<(f64, Point)> = (0..20)
+            .map(|i| (i as f64 * 15.0, Point::new(i as f64, 0.0)))
+            .collect();
         // 10-minute hole, then another run.
-        records.extend(
-            (0..20).map(|i| (900.0 + i as f64 * 15.0, Point::new(100.0 + i as f64, 0.0))),
-        );
+        records
+            .extend((0..20).map(|i| (900.0 + i as f64 * 15.0, Point::new(100.0 + i as f64, 0.0))));
         let segs = resample_trace(&records, &cfg(15.0, 120.0, 5));
         assert_eq!(segs.len(), 2);
         assert_eq!(segs[0].1.len(), 20);
@@ -181,8 +192,9 @@ mod tests {
 
     #[test]
     fn min_len_filters_short_segments() {
-        let records: Vec<(f64, Point)> =
-            (0..5).map(|i| (i as f64 * 15.0, Point::new(i as f64, 0.0))).collect();
+        let records: Vec<(f64, Point)> = (0..5)
+            .map(|i| (i as f64 * 15.0, Point::new(i as f64, 0.0)))
+            .collect();
         assert!(resample_trace(&records, &cfg(15.0, 120.0, 30)).is_empty());
     }
 
@@ -207,7 +219,12 @@ mod tests {
         let traces: Vec<Vec<(f64, Point)>> = (0..3)
             .map(|k| {
                 (0..40)
-                    .map(|i| (i as f64 * 15.0, Point::new(i as f64 + k as f64 * 100.0, 0.0)))
+                    .map(|i| {
+                        (
+                            i as f64 * 15.0,
+                            Point::new(i as f64 + k as f64 * 100.0, 0.0),
+                        )
+                    })
                     .collect()
             })
             .collect();

@@ -22,8 +22,11 @@ impl DatasetStats {
         let lens: Vec<usize> = dataset.trajectories().iter().map(|t| t.len()).collect();
         let points = dataset.num_points();
         let total_path: f64 = dataset.trajectories().iter().map(|t| t.path_length()).sum();
-        let total_steps: usize =
-            dataset.trajectories().iter().map(|t| t.len().saturating_sub(1)).sum();
+        let total_steps: usize = dataset
+            .trajectories()
+            .iter()
+            .map(|t| t.len().saturating_sub(1))
+            .sum();
         DatasetStats {
             trajectories: dataset.num_trajectories(),
             points,

@@ -48,8 +48,7 @@ impl<'r> Walker<'r> {
         // Speed wanders multiplicatively around its base value.
         let jitter = 1.0 + gaussian(self.rng) * self.speed_jitter;
         let v = self.speed_deg * jitter.clamp(0.2, 2.0);
-        let mut next =
-            self.pos + Point::new(self.heading.cos(), self.heading.sin()) * v;
+        let mut next = self.pos + Point::new(self.heading.cos(), self.heading.sin()) * v;
         // Reflect at the boundary.
         if next.x < self.area.min.x || next.x > self.area.max.x {
             self.heading = std::f64::consts::PI - self.heading;
@@ -84,12 +83,24 @@ pub struct PortoConfig {
 impl PortoConfig {
     /// Laptop-scale default used by tests and examples.
     pub fn small() -> Self {
-        PortoConfig { trajectories: 150, mean_len: 90, min_len: 30, start_spread: 60, seed: 0x7060 }
+        PortoConfig {
+            trajectories: 150,
+            mean_len: 90,
+            min_len: 30,
+            start_spread: 60,
+            seed: 0x7060,
+        }
     }
 
     /// The scale the bench harnesses use by default.
     pub fn bench() -> Self {
-        PortoConfig { trajectories: 600, mean_len: 120, min_len: 30, start_spread: 150, seed: 0x7060 }
+        PortoConfig {
+            trajectories: 600,
+            mean_len: 120,
+            min_len: 30,
+            start_spread: 150,
+            seed: 0x7060,
+        }
     }
 }
 
@@ -153,7 +164,13 @@ pub struct GeolifeConfig {
 
 impl GeolifeConfig {
     pub fn small() -> Self {
-        GeolifeConfig { trajectories: 40, mean_len: 300, min_len: 30, start_spread: 40, seed: 0x6E0 }
+        GeolifeConfig {
+            trajectories: 40,
+            mean_len: 300,
+            min_len: 30,
+            start_spread: 40,
+            seed: 0x6E0,
+        }
     }
 
     pub fn bench() -> Self {
@@ -182,9 +199,7 @@ pub fn geolife_like(cfg: &GeolifeConfig) -> Dataset {
     let area = BBox::from_extents(105.0, 30.0, 120.0, 40.0);
     // City centres (Beijing-like cluster plus satellites).
     let cities: Vec<Point> = (0..5)
-        .map(|_| {
-            Point::new(rng.gen_range(106.0..119.0), rng.gen_range(31.0..39.0))
-        })
+        .map(|_| Point::new(rng.gen_range(106.0..119.0), rng.gen_range(31.0..39.0)))
         .collect();
     let mut trajs = Vec::with_capacity(cfg.trajectories);
     for i in 0..cfg.trajectories {
@@ -234,11 +249,11 @@ pub fn geolife_like(cfg: &GeolifeConfig) -> Dataset {
             }
             // Local movement: walk/bike/drive mix.
             let speed_m = match rng.gen_range(0..3) {
-                0 => rng.gen_range(1.0..2.5),    // walk
-                1 => rng.gen_range(3.0..8.0),    // bike
-                _ => rng.gen_range(8.0..25.0),   // drive
+                0 => rng.gen_range(1.0..2.5),  // walk
+                1 => rng.gen_range(3.0..8.0),  // bike
+                _ => rng.gen_range(8.0..25.0), // drive
             } * 5.0; // 5 s sampling
-            // Hold one mode for a stretch of steps.
+                     // Hold one mode for a stretch of steps.
             let stretch = rng.gen_range(20..80).min(len - points.len());
             let mut walker = Walker {
                 rng: &mut rng,
@@ -274,7 +289,12 @@ pub struct SubPortoConfig {
 
 impl Default for SubPortoConfig {
     fn default() -> Self {
-        SubPortoConfig { base_trajectories: 120, mean_len: 100, seed: 0x5B, noise_m: 12.0 }
+        SubPortoConfig {
+            base_trajectories: 120,
+            mean_len: 100,
+            seed: 0x5B,
+            noise_m: 12.0,
+        }
     }
 }
 
@@ -334,9 +354,8 @@ fn perturb(base: &Trajectory, noise: f64, rng: &mut StdRng) -> Trajectory {
     let max_f = (noisy.len() - 1) as f64;
     let mut points = Vec::with_capacity(base.len());
     for i in 0..base.len() {
-        let f = (i as f64 * speed / 2.0
-            + wobble_amp * (i as f64 / 25.0 + wobble_phase).sin())
-        .clamp(0.0, max_f);
+        let f = (i as f64 * speed / 2.0 + wobble_amp * (i as f64 / 25.0 + wobble_phase).sin())
+            .clamp(0.0, max_f);
         let lo = f.floor() as usize;
         let hi = (lo + 1).min(noisy.len() - 1);
         points.push(noisy[lo].lerp(&noisy[hi], f - lo as f64));
@@ -421,11 +440,17 @@ mod tests {
         let base = &pool.trajectories()[0];
         let mut worst: f64 = 0.0;
         for p in &target.points {
-            let nearest =
-                base.points.iter().map(|q| p.dist(q)).fold(f64::INFINITY, f64::min);
+            let nearest = base
+                .points
+                .iter()
+                .map(|q| p.dist(q))
+                .fold(f64::INFINITY, f64::min);
             worst = worst.max(nearest);
         }
         let worst_m = ppq_geo::coords::deg_to_meters(worst);
-        assert!(worst_m < 400.0, "variant path drifted {worst_m} m from base path");
+        assert!(
+            worst_m < 400.0,
+            "variant path drifted {worst_m} m from base path"
+        );
     }
 }

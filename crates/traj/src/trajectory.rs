@@ -51,7 +51,8 @@ impl Trajectory {
     /// Position at timestep `t`, if active.
     #[inline]
     pub fn at(&self, t: u32) -> Option<Point> {
-        self.active_at(t).then(|| self.points[(t - self.start) as usize])
+        self.active_at(t)
+            .then(|| self.points[(t - self.start) as usize])
     }
 
     /// Sub-trajectory over the timestep interval `[from, to]` (clipped to
@@ -83,7 +84,11 @@ mod tests {
         Trajectory::new(
             0,
             10,
-            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(1.0, 1.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(1.0, 1.0),
+            ],
         )
     }
 

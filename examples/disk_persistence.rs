@@ -21,7 +21,11 @@ fn main() -> std::io::Result<()> {
     println!("{}", DatasetStats::of(&fleet).banner("fleet"));
 
     // Temporal index with the paper's disk-experiment parameters.
-    let cfg = TpiConfig { eps_d: 0.8, eps_c: 0.5, ..TpiConfig::default() };
+    let cfg = TpiConfig {
+        eps_d: 0.8,
+        eps_c: 0.5,
+        ..TpiConfig::default()
+    };
     let tpi = Tpi::build(&fleet, &cfg);
     println!(
         "TPI: {} periods, {} insertions over {} timesteps",

@@ -30,11 +30,18 @@ fn main() {
 
     let b = summary.breakdown();
     println!("\nsummary built in {:?}", summary.stats().total);
-    println!("  codebook      : {} codewords ({} bytes)", summary.codebook_len(), b.codebook);
+    println!(
+        "  codebook      : {} codewords ({} bytes)",
+        summary.codebook_len(),
+        b.codebook
+    );
     println!("  code indices  : {} bytes", b.code_indices);
     println!("  coefficients  : {} bytes", b.coefficients);
     println!("  partition RLE : {} bytes", b.partition_runs);
-    println!("  CQC           : {} bytes (+{} template)", b.cqc_codes, b.cqc_template);
+    println!(
+        "  CQC           : {} bytes (+{} template)",
+        b.cqc_codes, b.cqc_template
+    );
     println!("  total         : {} bytes", b.total());
     println!(
         "  compression   : {:.2}x (raw {} bytes)",
@@ -58,11 +65,16 @@ fn main() {
         "\nSTRQ at t={t} ({:.5}, {:.5}): truth={:?} exact={:?} (visited {} candidates)",
         p.x, p.y, outcome.truth, outcome.exact, outcome.visited
     );
-    assert_eq!(outcome.exact, outcome.truth, "local search + refinement is exact");
+    assert_eq!(
+        outcome.exact, outcome.truth,
+        "local search + refinement is exact"
+    );
 
     for (id, path) in engine.tpq(t, &p, 5) {
-        let pretty: Vec<String> =
-            path.iter().map(|(tt, q)| format!("t{tt}:({:.5},{:.5})", q.x, q.y)).collect();
+        let pretty: Vec<String> = path
+            .iter()
+            .map(|(tt, q)| format!("t{tt}:({:.5},{:.5})", q.x, q.y))
+            .collect();
         println!("  TPQ id {id}: {}", pretty.join(" "));
     }
 }

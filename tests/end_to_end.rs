@@ -108,7 +108,9 @@ fn budgeted_mode_trades_accuracy_for_size() {
             build_index: false,
             ..PpqConfig::variant(Variant::EPq, 0.1)
         };
-        PpqTrajectory::build(&data, &cfg).summary().mae_meters(&data)
+        PpqTrajectory::build(&data, &cfg)
+            .summary()
+            .mae_meters(&data)
     };
     let coarse = mae_at(4);
     let fine = mae_at(9);

@@ -10,8 +10,9 @@ use ppq_trajectory::traj::{Dataset, Trajectory};
 /// forecast must continue the line.
 #[test]
 fn forecast_extrapolates_constant_velocity() {
-    let pts: Vec<Point> =
-        (0..60).map(|i| Point::new(-8.6 + i as f64 * 1e-4, 41.1 + i as f64 * 5e-5)).collect();
+    let pts: Vec<Point> = (0..60)
+        .map(|i| Point::new(-8.6 + i as f64 * 1e-4, 41.1 + i as f64 * 5e-5))
+        .collect();
     let data = Dataset::new(vec![Trajectory::new(0, 0, pts)]);
     let mut cfg = PpqConfig::variant(Variant::EPq, 0.1);
     cfg.build_index = false;
@@ -48,7 +49,10 @@ fn forecast_handles_edge_cases() {
     assert_eq!(f.len(), 3);
     let last = q.summary().reconstruct(0, traj.end().unwrap()).unwrap();
     for (_, p) in f {
-        assert!(p.dist(&last) < 1e-9, "last-value forecast must hold position");
+        assert!(
+            p.dist(&last) < 1e-9,
+            "last-value forecast must hold position"
+        );
     }
 }
 
@@ -89,7 +93,10 @@ fn serialization_is_deterministic() {
         start_spread: 4,
         seed: 3,
     });
-    let cfg = PpqConfig { build_index: false, ..PpqConfig::variant(Variant::PpqA, 0.1) };
+    let cfg = PpqConfig {
+        build_index: false,
+        ..PpqConfig::variant(Variant::PpqA, 0.1)
+    };
     let a = summary_io::to_bytes(&PpqTrajectory::build(&data, &cfg).into_summary());
     let b = summary_io::to_bytes(&PpqTrajectory::build(&data, &cfg).into_summary());
     assert_eq!(a, b, "same data + config must serialize identically");

@@ -12,9 +12,9 @@ use proptest::prelude::*;
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     prop::collection::vec(
         (
-            0u32..8,                              // start
+            0u32..8,                                                        // start
             prop::collection::vec((-0.01f64..0.01, -0.01f64..0.01), 5..40), // steps
-            (-8.7f64..-8.5, 41.0f64..41.3),       // origin
+            (-8.7f64..-8.5, 41.0f64..41.3),                                 // origin
         ),
         1..8,
     )
