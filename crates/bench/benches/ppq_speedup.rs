@@ -22,9 +22,9 @@
 //! Every serial/parallel pair is also checked for bit-identical output —
 //! the determinism contract the quantize kernels advertise.
 //!
-//! Thread-count control relies on the rayon shim reading
-//! `RAYON_NUM_THREADS` per call; with upstream rayon this bench would
-//! need to fork per configuration instead.
+//! Thread-count control uses the rayon shim's `with_thread_count`
+//! (an in-process override; no environment mutation); with upstream
+//! rayon this bench would need to fork per configuration instead.
 
 use ppq_core::{PpqConfig, PpqStream, Variant};
 use ppq_geo::Point;
@@ -267,17 +267,6 @@ mod reference {
     }
 }
 
-fn with_threads<T>(threads: &str, f: impl FnOnce() -> T) -> T {
-    let previous = std::env::var("RAYON_NUM_THREADS").ok();
-    std::env::set_var("RAYON_NUM_THREADS", threads);
-    let result = f();
-    match previous {
-        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
-        None => std::env::remove_var("RAYON_NUM_THREADS"),
-    }
-    result
-}
-
 /// Median-of-`runs` wall-clock seconds for `f` (result of the last run
 /// returned for output checks).
 fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
@@ -341,7 +330,9 @@ fn main() {
     let cfg = KMeansConfig::default();
     let k = 64;
     let (ref_s, ref_out) = time_median(runs, || reference::kmeans(&all_points, k, &cfg));
-    let (ser_s, ser_out) = time_median(runs, || with_threads("1", || kmeans(&all_points, k, &cfg)));
+    let (ser_s, ser_out) = time_median(runs, || {
+        rayon::with_thread_count(1, || kmeans(&all_points, k, &cfg))
+    });
     let (par_s, par_out) = time_median(runs, || kmeans(&all_points, k, &cfg));
     entries.push(Entry {
         name: format!("kmeans_k{k}_n{n}"),
@@ -362,7 +353,7 @@ fn main() {
     let bound = 0.02;
     let (bref_s, bref_out) = time_median(1, || reference::bounded_kmeans(&all_points, bound, &cfg));
     let (bser_s, bser_out) = time_median(runs, || {
-        with_threads("1", || bounded_kmeans(&all_points, bound, &cfg))
+        rayon::with_thread_count(1, || bounded_kmeans(&all_points, bound, &cfg))
     });
     let (bpar_s, bpar_out) = time_median(runs, || bounded_kmeans(&all_points, bound, &cfg));
     entries.push(Entry {
@@ -390,7 +381,7 @@ fn main() {
         (xw, xc, yw, yc)
     });
     let (pser_s, pser_out) = time_median(runs, || {
-        with_threads("1", || ProductQuantizer::fit(&all_points, words))
+        rayon::with_thread_count(1, || ProductQuantizer::fit(&all_points, words))
     });
     let (ppar_s, ppar_out) = time_median(runs, || ProductQuantizer::fit(&all_points, words));
     entries.push(Entry {
@@ -448,7 +439,8 @@ fn main() {
         let codes: Vec<Vec<u32>> = batches.iter().map(|b| q.quantize_batch(b)).collect();
         (codes, q.codebook().len())
     };
-    let (qser_s, (qser_codes, qser_words)) = time_median(runs, || with_threads("1", run_quant));
+    let (qser_s, (qser_codes, qser_words)) =
+        time_median(runs, || rayon::with_thread_count(1, run_quant));
     let (qpar_s, (qpar_codes, qpar_words)) = time_median(runs, run_quant);
     entries.push(Entry {
         name: format!("ingest_quantize_phase_n{q_points}"),
@@ -472,7 +464,7 @@ fn main() {
         }
         stream.finish()
     };
-    let (iser_s, iser_sum) = time_median(runs, || with_threads("1", || ingest(&ppq_cfg)));
+    let (iser_s, iser_sum) = time_median(runs, || rayon::with_thread_count(1, || ingest(&ppq_cfg)));
     let (ipar_s, ipar_sum) = time_median(runs, || ingest(&ppq_cfg));
     let ingest_identical = iser_sum.num_points() == ipar_sum.num_points()
         && iser_sum.codebook_len() == ipar_sum.codebook_len()
@@ -530,44 +522,51 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"ppq_speedup\",");
-    let _ = writeln!(json, "  \"runner\": {{\"cores\": {threads_default}, \"runs\": {runs}, \"profile\": \"release\"}},");
     let _ = writeln!(
         json,
-        "  \"note\": \"reference = seed implementation (scalar AoS kernels, per-iteration allocations, from-scratch quadratic bounded growth); serial = current path with RAYON_NUM_THREADS=1; parallel = current path at default threads. On a single-core runner serial==parallel by design; speedup_vs_reference captures the SoA register-blocked kernels, allocation-lean workspaces, and violator-seeded growth schedule.\","
+        "    \"runner\": {{\"cores\": {threads_default}, \"runs\": {runs}, \"profile\": \"release\"}},"
     );
-    let _ = writeln!(json, "  \"workloads\": [");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"reference = seed implementation (scalar AoS kernels, per-iteration allocations, from-scratch quadratic bounded growth); serial = current path with RAYON_NUM_THREADS=1; parallel = current path at default threads. On a single-core runner serial==parallel by design; speedup_vs_reference captures the SoA register-blocked kernels, allocation-lean workspaces, and violator-seeded growth schedule.\","
+    );
+    let _ = writeln!(json, "    \"workloads\": [");
     for (i, e) in entries.iter().enumerate() {
-        let _ = writeln!(json, "    {{");
-        let _ = writeln!(json, "      \"name\": \"{}\",", e.name);
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"name\": \"{}\",", e.name);
         if let Some(r) = e.reference_s {
-            let _ = writeln!(json, "      \"reference_seconds\": {r:.6},");
+            let _ = writeln!(json, "        \"reference_seconds\": {r:.6},");
             let _ = writeln!(
                 json,
-                "      \"speedup_vs_reference\": {:.3},",
+                "        \"speedup_vs_reference\": {:.3},",
                 r / e.serial_s.min(e.parallel_s)
             );
         }
-        let _ = writeln!(json, "      \"serial_seconds\": {:.6},", e.serial_s);
-        let _ = writeln!(json, "      \"parallel_seconds\": {:.6},", e.parallel_s);
+        let _ = writeln!(json, "        \"serial_seconds\": {:.6},", e.serial_s);
+        let _ = writeln!(json, "        \"parallel_seconds\": {:.6},", e.parallel_s);
         let _ = writeln!(
             json,
-            "      \"parallel_speedup\": {:.3},",
+            "        \"parallel_speedup\": {:.3},",
             e.serial_s / e.parallel_s
         );
-        let _ = writeln!(json, "      \"bit_identical\": {},", e.bit_identical);
-        let _ = writeln!(json, "      \"detail\": \"{}\"", e.detail);
+        let _ = writeln!(json, "        \"bit_identical\": {},", e.bit_identical);
+        let _ = writeln!(json, "        \"detail\": \"{}\"", e.detail);
         let _ = writeln!(
             json,
-            "    }}{}",
+            "      }}{}",
             if i + 1 < entries.len() { "," } else { "" }
         );
     }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
+    let _ = writeln!(json, "    ]");
+    let _ = write!(json, "  }}");
 
+    // Merge as the `build_path` section so the companion
+    // `ppq_query_speedup` results survive a build-path re-run (and vice
+    // versa).
     let out_path = std::env::var("BENCH_OUT")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ppq.json").into());
-    std::fs::write(&out_path, &json).expect("write BENCH_ppq.json");
-    eprintln!("wrote {out_path}");
+    let existing = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let merged = ppq_bench::report::merge_bench_section(&existing, "build_path", &json);
+    std::fs::write(&out_path, merged).expect("write BENCH_ppq.json");
+    eprintln!("wrote {out_path} (build_path section)");
 }

@@ -90,6 +90,59 @@ impl Table {
     }
 }
 
+/// Merge one top-level section into the `BENCH_ppq.json` report without
+/// disturbing the others.
+///
+/// The file is written by two benches (`ppq_speedup` owns the build-path
+/// sections, `ppq_query_speedup` the `"query_path"` section), so each
+/// rewrites only its own keys and running either bench preserves the
+/// other's results. `rendered` is the fully rendered JSON value (its
+/// continuation lines indented by two spaces). This is a line-oriented
+/// splicer for the fixed layout these benches emit — top-level keys on
+/// lines starting with `  "` — not a general JSON rewriter.
+pub fn merge_bench_section(existing: &str, key: &str, rendered: &str) -> String {
+    // Split the existing document into ordered (key, value-lines) pairs.
+    let mut sections: Vec<(String, String)> = Vec::new();
+    for line in existing.lines() {
+        if let Some(rest) = line.strip_prefix("  \"") {
+            if let Some(q) = rest.find('"') {
+                let k = rest[..q].to_string();
+                let value = line[4 + q..].trim_start_matches(':').trim_start();
+                sections.push((k, value.trim_end_matches(',').to_string()));
+                continue;
+            }
+        }
+        // Continuation line of the current section (or the outer braces).
+        if line == "{" || line == "}" || line.trim().is_empty() {
+            continue;
+        }
+        if let Some((_, v)) = sections.last_mut() {
+            v.push('\n');
+            let cont = line.strip_suffix(',').filter(|l| {
+                // Only strip a section-separating comma on a closing line.
+                matches!(l.trim_end(), "  ]" | "  }")
+            });
+            v.push_str(cont.unwrap_or(line));
+        }
+    }
+    // Replace or append our section.
+    let rendered = rendered.trim_end().to_string();
+    match sections.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = rendered,
+        None => sections.push((key.to_string(), rendered)),
+    }
+    // Re-emit with correct commas.
+    let mut out = String::new();
+    out.push_str("{\n");
+    let n = sections.len();
+    for (i, (k, v)) in sections.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        let _ = writeln!(out, "  \"{k}\": {v}{comma}");
+    }
+    out.push_str("}\n");
+    out
+}
+
 /// Format seconds with adaptive precision.
 pub fn secs(d: std::time::Duration) -> String {
     let s = d.as_secs_f64();
@@ -144,6 +197,29 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn merge_section_roundtrips_and_replaces() {
+        let v1 = "[\n    {\n      \"name\": \"q1\",\n      \"x\": 1\n    }\n  ]";
+        // Fresh file.
+        let doc = merge_bench_section("", "query_path", v1);
+        assert!(doc.starts_with("{\n  \"query_path\": [\n"));
+        assert!(doc.trim_end().ends_with('}'));
+        // Adding a second section keeps the first byte-for-byte.
+        let doc2 = merge_bench_section(&doc, "build", "{\"runs\": 3}");
+        assert!(doc2.contains("\"query_path\": [\n    {\n      \"name\": \"q1\""));
+        assert!(doc2.contains("\"build\": {\"runs\": 3}"));
+        // Replacing the first leaves the second alone, idempotently.
+        let v2 = "[\n    {\n      \"name\": \"q2\"\n    }\n  ]";
+        let doc3 = merge_bench_section(&doc2, "query_path", v2);
+        assert!(doc3.contains("\"name\": \"q2\""));
+        assert!(!doc3.contains("\"name\": \"q1\""));
+        assert!(doc3.contains("\"build\": {\"runs\": 3}"));
+        assert_eq!(doc3, merge_bench_section(&doc3, "query_path", v2));
+        // Comma discipline: every section line but the last ends with one.
+        let brace_lines: Vec<&str> = doc3.lines().filter(|l| l.starts_with("  \"")).collect();
+        assert_eq!(brace_lines.len(), 2);
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //! The variant space of the evaluation (PPQ-A/S, the `-basic` versions,
 //! E-PQ, Q-trajectory) is spanned by [`config::PpqConfig`] flags; see
 //! [`config::Variant`].
+//!
+//! Query evaluation is allocation-lean and chunk-parallel: see
+//! [`query::QueryWorkspace`] and [`query::QueryEngine::strq_batch`] for
+//! the reusable-workspace / bit-identical-batching contract (the
+//! query-path mirror of the build path's `KMeansWorkspace`).
 
 pub mod config;
 pub mod ndkmeans;
@@ -32,5 +37,5 @@ pub mod summary_io;
 
 pub use config::{BuildBudget, ColdStart, PartitionMode, PpqConfig, Variant};
 pub use pipeline::{PpqStream, PpqTrajectory};
-pub use query::{QueryEngine, StrqOutcome};
+pub use query::{QueryEngine, QueryWorkspace, StrqOutcome};
 pub use summary::{BuildStats, CodebookStore, PpqSummary, SummaryBreakdown};

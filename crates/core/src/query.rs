@@ -16,11 +16,19 @@
 //!
 //! **TPQ** (Definition 5.3) runs an STRQ and reproduces the next `l`
 //! positions of the matching trajectories from the summary.
+//!
+//! Evaluation is allocation-lean: per-query state lives in a reusable
+//! [`QueryWorkspace`] (mirroring the build path's `KMeansWorkspace`), and
+//! [`QueryEngine::strq_batch`] / [`QueryEngine::tpq_batch`] spread a
+//! query workload over worker threads in fixed-size chunks with
+//! bit-identical, thread-count-independent result ordering.
 
 use crate::summary::PpqSummary;
 use ppq_geo::{BBox, GridSpec, Point};
+use ppq_sindex::{posting, QueryScratch};
 use ppq_tpi::Tpi;
 use ppq_traj::{Dataset, TrajId};
+use rayon::prelude::*;
 
 /// Anything that can answer "where does the summary say trajectory `id`
 /// was at time `t`" and expose a TPI over those positions. Implemented by
@@ -32,6 +40,19 @@ pub trait ReconIndex {
     /// Radius within which the reconstruction is guaranteed (or expected)
     /// to sit around the true point — the local-search radius.
     fn search_radius(&self) -> f64;
+
+    /// Append the reconstructed positions of `id` over `[from, to]`
+    /// (clipped to the trajectory's active range) — the TPQ payload.
+    ///
+    /// The default calls [`ReconIndex::recon`] per timestep; indexes with
+    /// materialized reconstructions override it with a slice copy.
+    fn recon_range(&self, id: TrajId, from: u32, to: u32, out: &mut Vec<(u32, Point)>) {
+        for t in from..=to {
+            if let Some(p) = self.recon(id, t) {
+                out.push((t, p));
+            }
+        }
+    }
 }
 
 impl ReconIndex for PpqSummary {
@@ -46,10 +67,14 @@ impl ReconIndex for PpqSummary {
     fn search_radius(&self) -> f64 {
         self.config().guaranteed_deviation()
     }
+
+    fn recon_range(&self, id: TrajId, from: u32, to: u32, out: &mut Vec<(u32, Point)>) {
+        out.extend(self.reconstruct_range_iter(id, from, to));
+    }
 }
 
 /// Result of one STRQ at all three answer levels.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StrqOutcome {
     /// Ground truth: ids whose *original* point is in the query cell.
     pub truth: Vec<TrajId>,
@@ -69,10 +94,8 @@ pub fn precision_recall(returned: &[TrajId], truth: &[TrajId]) -> (f64, f64) {
     if returned.is_empty() && truth.is_empty() {
         return (1.0, 1.0);
     }
-    let tp = returned
-        .iter()
-        .filter(|id| truth.binary_search(id).is_ok())
-        .count() as f64;
+    // Two-pointer sorted intersection — no per-element binary search.
+    let tp = posting::intersect_count(returned, truth) as f64;
     let precision = if returned.is_empty() {
         1.0
     } else {
@@ -85,6 +108,33 @@ pub fn precision_recall(returned: &[TrajId], truth: &[TrajId]) -> (f64, f64) {
     };
     (precision, recall)
 }
+
+/// Reusable buffers for STRQ/TPQ evaluation — the query-path counterpart
+/// of the build path's `KMeansWorkspace`. One workspace per thread: the
+/// steady-state query loop performs no heap allocation beyond the
+/// returned outcome itself.
+#[derive(Debug, Default)]
+pub struct QueryWorkspace {
+    /// Index-level scratch (Huffman decode buffer, posting bitset, …).
+    scratch: QueryScratch,
+    /// IDs proposed by the index before reconstruction filtering.
+    raw: Vec<u32>,
+    /// Reconstructed positions of the surviving candidates (parallel to
+    /// the candidate list), so the approximate answer derives from the
+    /// candidate pass without re-reconstructing.
+    pts: Vec<Point>,
+}
+
+impl QueryWorkspace {
+    pub fn new() -> QueryWorkspace {
+        QueryWorkspace::default()
+    }
+}
+
+/// Fixed chunk size for batched query evaluation. Chunk boundaries must
+/// not depend on the thread count, so batch results are reproducible on
+/// any machine.
+pub const QUERY_CHUNK: usize = 32;
 
 /// Query engine binding a summary-like index to its original dataset.
 pub struct QueryEngine<'a, S: ReconIndex + ?Sized> {
@@ -132,48 +182,69 @@ impl<'a, S: ReconIndex + ?Sized> QueryEngine<'a, S> {
         out
     }
 
-    /// Ids the TPI proposes for a rectangle, filtered by the actual
-    /// reconstructed position (the TPI's region grids do not align with
-    /// the canonical query grid, so the rect query over-approximates).
-    fn recon_in_rect(&self, t: u32, rect: &BBox) -> Vec<TrajId> {
-        let raw: Vec<TrajId> = match self.index.index() {
-            Some(tpi) => tpi.query_rect(t, rect),
-            // Index-free fallback: scan the active set.
-            None => self
-                .dataset
-                .points_at(t)
-                .iter()
-                .map(|(id, _)| *id)
-                .collect(),
-        };
-        let mut out: Vec<TrajId> = raw
-            .into_iter()
-            .filter(|id| {
-                self.index
-                    .recon(*id, t)
-                    .map(|r| rect.contains(&r))
-                    .unwrap_or(false)
-            })
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
-    }
-
     /// Run one STRQ at all answer levels.
     pub fn strq(&self, t: u32, p: &Point) -> StrqOutcome {
-        let truth = self.truth(t, p);
+        self.strq_with(t, p, &mut QueryWorkspace::new())
+    }
+
+    /// [`QueryEngine::strq`] through a reusable [`QueryWorkspace`] — the
+    /// allocation-lean form used by batched evaluation.
+    pub fn strq_with(&self, t: u32, p: &Point, ws: &mut QueryWorkspace) -> StrqOutcome {
+        let mut outcome = self.strq_online_with(t, p, ws);
+        outcome.truth = self.truth(t, p);
+        outcome
+    }
+
+    /// The *production* form of STRQ: the index-backed answers (approx,
+    /// local-search candidates, exact refinement) without the
+    /// ground-truth scan, which exists only to score precision/recall in
+    /// the Tables 2–4 protocol. `truth` is left empty.
+    ///
+    /// One index probe serves both answer levels: the query cell is
+    /// contained in the inflated local-search rectangle and the TPI's
+    /// rect proposals are monotone in the rectangle, so the approximate
+    /// answer is exactly the candidates whose reconstruction falls in
+    /// the query cell.
+    pub fn strq_online_with(&self, t: u32, p: &Point, ws: &mut QueryWorkspace) -> StrqOutcome {
         let Some(cell) = self.cell_bbox(p) else {
             return StrqOutcome {
-                truth,
+                truth: Vec::new(),
                 approx: Vec::new(),
                 candidates: Vec::new(),
                 exact: Vec::new(),
                 visited: 0,
             };
         };
-        let approx = self.recon_in_rect(t, &cell);
-        let candidates = self.recon_in_rect(t, &cell.inflate(self.index.search_radius()));
+        let search_rect = cell.inflate(self.index.search_radius());
+        ws.raw.clear();
+        match self.index.index() {
+            // The index path yields sorted, deduplicated ids already.
+            Some(tpi) => tpi.query_rect_into(t, &search_rect, &mut ws.scratch, &mut ws.raw),
+            // Index-free fallback: scan the active set, whose slice order
+            // is not guaranteed — sort to meet the outcome contract.
+            None => {
+                ws.raw
+                    .extend(self.dataset.points_at(t).iter().map(|(id, _)| *id));
+                ws.raw.sort_unstable();
+                ws.raw.dedup();
+            }
+        }
+        let mut candidates = Vec::new();
+        ws.pts.clear();
+        for &id in &ws.raw {
+            if let Some(r) = self.index.recon(id, t) {
+                if search_rect.contains(&r) {
+                    candidates.push(id);
+                    ws.pts.push(r);
+                }
+            }
+        }
+        let approx: Vec<TrajId> = candidates
+            .iter()
+            .zip(&ws.pts)
+            .filter(|(_, r)| cell.contains(r))
+            .map(|(&id, _)| id)
+            .collect();
         let visited = candidates.len();
         // Refinement: access the original trajectory of every candidate.
         let exact: Vec<TrajId> = candidates
@@ -188,7 +259,7 @@ impl<'a, S: ReconIndex + ?Sized> QueryEngine<'a, S> {
             })
             .collect();
         StrqOutcome {
-            truth,
+            truth: Vec::new(),
             approx,
             candidates,
             exact,
@@ -199,14 +270,25 @@ impl<'a, S: ReconIndex + ?Sized> QueryEngine<'a, S> {
     /// TPQ (Definition 5.3): the exact STRQ ids plus their reconstructed
     /// sub-trajectories over `[t, t + l]`.
     pub fn tpq(&self, t: u32, p: &Point, l: u32) -> Vec<(TrajId, Vec<(u32, Point)>)> {
-        let outcome = self.strq(t, p);
+        self.tpq_with(t, p, l, &mut QueryWorkspace::new())
+    }
+
+    /// [`QueryEngine::tpq`] through a reusable [`QueryWorkspace`]. Runs
+    /// the online STRQ (TPQ never consumes the ground truth).
+    pub fn tpq_with(
+        &self,
+        t: u32,
+        p: &Point,
+        l: u32,
+        ws: &mut QueryWorkspace,
+    ) -> Vec<(TrajId, Vec<(u32, Point)>)> {
+        let outcome = self.strq_online_with(t, p, ws);
         outcome
             .exact
             .iter()
             .map(|&id| {
-                let sub: Vec<(u32, Point)> = (t..=t.saturating_add(l))
-                    .filter_map(|tt| self.index.recon(id, tt).map(|r| (tt, r)))
-                    .collect();
+                let mut sub = Vec::new();
+                self.index.recon_range(id, t, t.saturating_add(l), &mut sub);
                 (id, sub)
             })
             .collect()
@@ -215,9 +297,76 @@ impl<'a, S: ReconIndex + ?Sized> QueryEngine<'a, S> {
     /// Reconstructed sub-trajectory for specific ids (the Table 3 protocol
     /// fixes the same ids across methods).
     pub fn sub_trajectory(&self, id: TrajId, t: u32, l: u32) -> Vec<(u32, Point)> {
-        (t..=t.saturating_add(l))
-            .filter_map(|tt| self.index.recon(id, tt).map(|r| (tt, r)))
-            .collect()
+        let mut out = Vec::new();
+        self.index.recon_range(id, t, t.saturating_add(l), &mut out);
+        out
+    }
+
+    /// Evaluate a batch of STRQs, chunk-parallel across worker threads.
+    ///
+    /// Results are returned in query order and are bit-identical at any
+    /// `RAYON_NUM_THREADS`: queries are independent, chunk boundaries
+    /// depend only on [`QUERY_CHUNK`], and chunk results are concatenated
+    /// in order. Each chunk reuses one [`QueryWorkspace`].
+    pub fn strq_batch(&self, queries: &[(u32, Point)]) -> Vec<StrqOutcome>
+    where
+        S: Sync,
+    {
+        let chunks: Vec<Vec<StrqOutcome>> = queries
+            .par_chunks(QUERY_CHUNK)
+            .map(|chunk| {
+                let mut ws = QueryWorkspace::new();
+                chunk
+                    .iter()
+                    .map(|(t, p)| self.strq_with(*t, p, &mut ws))
+                    .collect()
+            })
+            .collect();
+        chunks.into_iter().flatten().collect()
+    }
+
+    /// Batched [`QueryEngine::strq_online_with`] — the production query
+    /// workload (no ground-truth scoring scan), with the same
+    /// ordering/determinism contract as [`QueryEngine::strq_batch`].
+    pub fn strq_online_batch(&self, queries: &[(u32, Point)]) -> Vec<StrqOutcome>
+    where
+        S: Sync,
+    {
+        let chunks: Vec<Vec<StrqOutcome>> = queries
+            .par_chunks(QUERY_CHUNK)
+            .map(|chunk| {
+                let mut ws = QueryWorkspace::new();
+                chunk
+                    .iter()
+                    .map(|(t, p)| self.strq_online_with(*t, p, &mut ws))
+                    .collect()
+            })
+            .collect();
+        chunks.into_iter().flatten().collect()
+    }
+
+    /// Evaluate a batch of TPQs with horizon `l`, chunk-parallel with the
+    /// same ordering/determinism contract as [`QueryEngine::strq_batch`].
+    #[allow(clippy::type_complexity)]
+    pub fn tpq_batch(
+        &self,
+        queries: &[(u32, Point)],
+        l: u32,
+    ) -> Vec<Vec<(TrajId, Vec<(u32, Point)>)>>
+    where
+        S: Sync,
+    {
+        let chunks: Vec<Vec<Vec<(TrajId, Vec<(u32, Point)>)>>> = queries
+            .par_chunks(QUERY_CHUNK)
+            .map(|chunk| {
+                let mut ws = QueryWorkspace::new();
+                chunk
+                    .iter()
+                    .map(|(t, p)| self.tpq_with(*t, p, l, &mut ws))
+                    .collect()
+            })
+            .collect();
+        chunks.into_iter().flatten().collect()
     }
 
     #[inline]

@@ -186,16 +186,38 @@ impl PpqSummary {
 
     /// Reconstructed sub-trajectory over `[from, to]` — the TPQ payload.
     pub fn reconstruct_range(&self, id: TrajId, from: u32, to: u32) -> Vec<(u32, Point)> {
-        let mut out = Vec::new();
-        if from > to {
-            return out;
-        }
-        for t in from..=to {
-            if let Some(p) = self.reconstruct(id, t) {
-                out.push((t, p));
+        self.reconstruct_range_iter(id, from, to).collect()
+    }
+
+    /// Iterator form of [`PpqSummary::reconstruct_range`]: one slice
+    /// lookup for the whole range instead of a bounds-checked
+    /// [`PpqSummary::reconstruct`] call per timestep — the hot TPQ path.
+    pub fn reconstruct_range_iter(
+        &self,
+        id: TrajId,
+        from: u32,
+        to: u32,
+    ) -> impl Iterator<Item = (u32, Point)> + '_ {
+        let slice: &[Point] = match self.recon.get(id as usize) {
+            Some(traj) if from <= to => {
+                let start = self.starts[id as usize];
+                let lo = from.max(start);
+                let lo_off = (lo - start) as usize;
+                let hi_off = (to - start.min(to)) as usize; // to - start, clamped
+                if lo > to || lo_off >= traj.len() {
+                    &[]
+                } else {
+                    let end = hi_off.min(traj.len() - 1);
+                    &traj[lo_off..=end]
+                }
             }
-        }
-        out
+            _ => &[],
+        };
+        let base = self.starts.get(id as usize).copied().unwrap_or(0).max(from);
+        slice
+            .iter()
+            .enumerate()
+            .map(move |(off, p)| (base + off as u32, *p))
     }
 
     /// Re-derive a trajectory's reconstructions *from the summary alone*

@@ -160,11 +160,16 @@ impl GridSpec {
         )
     }
 
-    /// All cells whose bbox intersects `rect` (closed-interval semantics,
-    /// matching [`BBox::intersects`]).
-    pub fn cells_in_rect(&self, rect: &BBox) -> Vec<(u32, u32)> {
+    /// The inclusive cell-coordinate range `(lo_x, lo_y, hi_x, hi_y)` of
+    /// cells whose bbox intersects `rect` (closed-interval semantics,
+    /// matching [`BBox::intersects`]), or `None` when no cell intersects.
+    ///
+    /// This is the query-path primitive: callers intersect the range with
+    /// their own occupancy information instead of materialising one
+    /// `(cx, cy)` pair per covered cell.
+    pub fn cell_range_in_rect(&self, rect: &BBox) -> Option<(u32, u32, u32, u32)> {
         if rect.is_empty() {
-            return Vec::new();
+            return None;
         }
         let lo_x = ((rect.min.x - self.origin.x) / self.cell).floor().max(0.0) as i64;
         let lo_y = ((rect.min.y - self.origin.y) / self.cell).floor().max(0.0) as i64;
@@ -172,15 +177,35 @@ impl GridSpec {
             (((rect.max.x - self.origin.x) / self.cell).floor() as i64).min(self.cols as i64 - 1);
         let hi_y =
             (((rect.max.y - self.origin.y) / self.cell).floor() as i64).min(self.rows as i64 - 1);
+        if lo_x > hi_x || lo_y > hi_y || hi_x < 0 || hi_y < 0 {
+            return None;
+        }
+        Some((lo_x as u32, lo_y as u32, hi_x as u32, hi_y as u32))
+    }
+
+    /// All cells whose bbox intersects `rect` (closed-interval semantics,
+    /// matching [`BBox::intersects`]).
+    pub fn cells_in_rect(&self, rect: &BBox) -> Vec<(u32, u32)> {
+        let Some((lo_x, lo_y, hi_x, hi_y)) = self.cell_range_in_rect(rect) else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         for cy in lo_y..=hi_y {
             for cx in lo_x..=hi_x {
-                if cx >= 0 && cy >= 0 {
-                    out.push((cx as u32, cy as u32));
-                }
+                out.push((cx, cy));
             }
         }
         out
+    }
+
+    /// Squared distance from `p` to the rectangle of cell `(cx, cy)` —
+    /// zero when `p` is inside the cell.
+    #[inline]
+    pub fn cell_dist2(&self, cx: u32, cy: u32, p: &Point) -> f64 {
+        let bb = self.cell_bbox(cx, cy);
+        let dx = (bb.min.x - p.x).max(0.0).max(p.x - bb.max.x);
+        let dy = (bb.min.y - p.y).max(0.0).max(p.y - bb.max.y);
+        dx * dx + dy * dy
     }
 
     /// All cells whose bbox intersects the disc of radius `r` around `p`.
@@ -189,24 +214,15 @@ impl GridSpec {
     /// cells covered by the circle of radius `(√2/2)·g_s` around the query.
     pub fn cells_in_disc(&self, p: &Point, r: f64) -> Vec<(u32, u32)> {
         assert!(r >= 0.0);
-        let lo_x = ((p.x - r - self.origin.x) / self.cell).floor().max(0.0) as i64;
-        let lo_y = ((p.y - r - self.origin.y) / self.cell).floor().max(0.0) as i64;
-        let hi_x =
-            (((p.x + r - self.origin.x) / self.cell).floor() as i64).min(self.cols as i64 - 1);
-        let hi_y =
-            (((p.y + r - self.origin.y) / self.cell).floor() as i64).min(self.rows as i64 - 1);
+        let probe = BBox::from_extents(p.x - r, p.y - r, p.x + r, p.y + r);
+        let Some((lo_x, lo_y, hi_x, hi_y)) = self.cell_range_in_rect(&probe) else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         for cy in lo_y..=hi_y {
             for cx in lo_x..=hi_x {
-                if cx < 0 || cy < 0 {
-                    continue;
-                }
-                let bb = self.cell_bbox(cx as u32, cy as u32);
-                // distance from p to the cell rectangle
-                let dx = (bb.min.x - p.x).max(0.0).max(p.x - bb.max.x);
-                let dy = (bb.min.y - p.y).max(0.0).max(p.y - bb.max.y);
-                if dx * dx + dy * dy <= r * r {
-                    out.push((cx as u32, cy as u32));
+                if self.cell_dist2(cx, cy, p) <= r * r {
+                    out.push((cx, cy));
                 }
             }
         }

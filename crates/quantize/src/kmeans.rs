@@ -13,7 +13,7 @@
 //! is a branch-light pass over two contiguous `f64` arrays that the
 //! compiler auto-vectorizes, and no per-iteration buffers are allocated.
 //! The assignment + accumulation sweep fans out over [`rayon`] in
-//! fixed-size chunks ([`CHUNK`]): every chunk accumulates its own partial
+//! fixed-size chunks (the `CHUNK` constant): every chunk accumulates its own partial
 //! centroid sums, and partials are merged *in chunk order*. Chunk
 //! boundaries depend only on `CHUNK` — never on the thread count — so the
 //! result is bit-identical for any `RAYON_NUM_THREADS`, including the
@@ -419,8 +419,12 @@ fn lloyd(cfg: &KMeansConfig, ws: &mut KMeansWorkspace) -> (Vec<Point>, Vec<u32>)
                 // Re-seed the empty cluster with the globally worst-fit
                 // point (computed once per iteration; every empty cluster
                 // this round gets the same seed, and the forced extra
-                // iteration separates them — matches the pre-SoA
-                // behaviour).
+                // iteration separates them). The seed recomputed the
+                // worst fit per empty cluster against partially-updated
+                // centroids, so with ≥2 empty clusters in one iteration
+                // the two schedules can diverge — an accepted difference
+                // (BENCH_ppq.json records reference/current centroid
+                // mismatches).
                 let wi = *reseed.get_or_insert_with(|| worst_fit(ws));
                 ws.cx[c] = ws.xs[wi];
                 ws.cy[c] = ws.ys[wi];

@@ -11,7 +11,7 @@
 //!
 //! The two sub-dimension fits are independent, so [`ProductQuantizer::fit`]
 //! runs them on both sides of a [`rayon::join`]; within one axis the 1-D
-//! Lloyd sweep is chunked exactly like the 2-D k-means (fixed [`CHUNK_1D`]
+//! Lloyd sweep is chunked exactly like the 2-D k-means (fixed `CHUNK_1D`
 //! boundaries, per-chunk partials merged in chunk order) so results are
 //! bit-identical at any thread count. [`ProductQuantizer::fit_bounded`]
 //! reuses one [`PqWorkspace`] across its doubling rounds: the axis

@@ -2,30 +2,14 @@
 //! *bit-identical* to its serial execution. The kernels guarantee this by
 //! construction — chunk boundaries are fixed constants and per-chunk
 //! partials merge in chunk order — and these tests pin the property by
-//! running the same fit under `RAYON_NUM_THREADS=1` and
-//! `RAYON_NUM_THREADS=4` and comparing outputs exactly.
+//! running the same fit under `rayon::with_thread_count(1, ..)` and
+//! `with_thread_count(4, ..)` (the shim's lock-serialized in-process
+//! override) and comparing outputs exactly.
 
 use ppq_geo::Point;
 use ppq_quantize::{bounded_kmeans, kmeans, IncrementalQuantizer, KMeansConfig, ProductQuantizer};
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use std::sync::Mutex;
-
-/// Serialise env-var flips across this file's tests (Rust runs test fns
-/// concurrently within one binary).
-static ENV_LOCK: Mutex<()> = Mutex::new(());
-
-fn with_threads<T>(threads: &str, f: impl FnOnce() -> T) -> T {
-    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let previous = std::env::var("RAYON_NUM_THREADS").ok();
-    std::env::set_var("RAYON_NUM_THREADS", threads);
-    let result = f();
-    match previous {
-        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
-        None => std::env::remove_var("RAYON_NUM_THREADS"),
-    }
-    result
-}
 
 /// Clustered points, large enough to clear the parallel work thresholds.
 fn clustered_points(n: usize, seed: u64) -> Vec<Point> {
@@ -56,8 +40,8 @@ proptest! {
     fn kmeans_thread_count_invariant(seed in 0u64..1_000_000, k in 8usize..24, extra in 0usize..3000) {
         let pts = clustered_points(36_000 + extra, seed);
         let cfg = KMeansConfig::default();
-        let serial = with_threads("1", || kmeans(&pts, k, &cfg));
-        let parallel = with_threads("4", || kmeans(&pts, k, &cfg));
+        let serial = rayon::with_thread_count(1, || kmeans(&pts, k, &cfg));
+        let parallel = rayon::with_thread_count(4, || kmeans(&pts, k, &cfg));
         prop_assert_eq!(&serial.1, &parallel.1, "assignments diverged");
         prop_assert_eq!(serial.0.len(), parallel.0.len());
         for (a, b) in serial.0.iter().zip(&parallel.0) {
@@ -70,8 +54,8 @@ proptest! {
     #[test]
     fn product_fit_thread_count_invariant(seed in 0u64..1_000_000, words in 16usize..64) {
         let pts = clustered_points(24_000, seed);
-        let serial = with_threads("1", || ProductQuantizer::fit(&pts, words));
-        let parallel = with_threads("4", || ProductQuantizer::fit(&pts, words));
+        let serial = rayon::with_thread_count(1, || ProductQuantizer::fit(&pts, words));
+        let parallel = rayon::with_thread_count(4, || ProductQuantizer::fit(&pts, words));
         prop_assert_eq!(&serial.x_codes, &parallel.x_codes);
         prop_assert_eq!(&serial.y_codes, &parallel.y_codes);
         for (a, b) in serial.x_words.iter().zip(&parallel.x_words) {
@@ -88,8 +72,8 @@ proptest! {
 fn bounded_kmeans_thread_count_invariant() {
     let pts = clustered_points(40_000, 0xB0B);
     let cfg = KMeansConfig::default();
-    let serial = with_threads("1", || bounded_kmeans(&pts, 4.0, &cfg));
-    let parallel = with_threads("4", || bounded_kmeans(&pts, 4.0, &cfg));
+    let serial = rayon::with_thread_count(1, || bounded_kmeans(&pts, 4.0, &cfg));
+    let parallel = rayon::with_thread_count(4, || bounded_kmeans(&pts, 4.0, &cfg));
     assert_eq!(serial.assign, parallel.assign);
     assert_eq!(serial.rounds, parallel.rounds);
     assert_eq!(serial.bounded, parallel.bounded);
@@ -111,8 +95,8 @@ fn incremental_quantizer_thread_count_invariant() {
         let codes: Vec<Vec<u32>> = batches.iter().map(|b| q.quantize_batch(b)).collect();
         (codes, q.codebook().clone())
     };
-    let (serial_codes, serial_book) = with_threads("1", run);
-    let (parallel_codes, parallel_book) = with_threads("4", run);
+    let (serial_codes, serial_book) = rayon::with_thread_count(1, run);
+    let (parallel_codes, parallel_book) = rayon::with_thread_count(4, run);
     assert_eq!(serial_codes, parallel_codes);
     assert_eq!(serial_book.len(), parallel_book.len());
     for i in 0..serial_book.len() {

@@ -17,21 +17,59 @@
 //! rayon is swapped in, no call site needs to change.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// In-process thread-count override installed by [`with_thread_count`]
+/// (0 = none). Kept outside the environment so tests and benches can
+/// force a thread count without `std::env::set_var`, whose concurrent
+/// use with `env::var` readers is undefined behaviour on glibc.
+static FORCED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Serializes [`with_thread_count`] sections so two concurrent tests
+/// cannot interleave their forced counts.
+static FORCE_LOCK: Mutex<()> = Mutex::new(());
 
 /// Number of worker threads parallel operations will use.
 ///
-/// Reads `RAYON_NUM_THREADS` on every call (the shim has no persistent
-/// pool): a positive integer forces that thread count, anything else falls
-/// back to `std::thread::available_parallelism`. Reading per call lets
-/// tests flip the variable between invocations.
+/// A [`with_thread_count`] override wins; otherwise `RAYON_NUM_THREADS`
+/// is read on every call (the shim has no persistent pool): a positive
+/// integer forces that thread count, anything else falls back to
+/// `std::thread::available_parallelism`.
 pub fn current_num_threads() -> usize {
-    match std::env::var("RAYON_NUM_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n > 0 => n,
-            _ => default_threads(),
+    match FORCED_THREADS.load(Ordering::Relaxed) {
+        0 => match std::env::var("RAYON_NUM_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => default_threads(),
+            },
+            Err(_) => default_threads(),
         },
-        Err(_) => default_threads(),
+        n => n,
     }
+}
+
+/// Run `f` with the shim forced to `threads` worker threads, restoring
+/// the previous state afterwards (also on panic).
+///
+/// This is the supported way for tests/benches to compare serial vs
+/// parallel execution in one process: it avoids mutating the process
+/// environment (a data race against concurrent `env::var` readers) and
+/// holds a global lock so concurrent forced sections serialize instead
+/// of interleaving. Shim extension — upstream rayon has no equivalent;
+/// call sites comparing thread counts must fork per configuration there
+/// (see `crates/shims/README.md`).
+pub fn with_thread_count<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    assert!(threads > 0, "thread count must be positive");
+    let _guard = FORCE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCED_THREADS.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let _restore = Restore(FORCED_THREADS.swap(threads, Ordering::Relaxed));
+    f()
 }
 
 fn default_threads() -> usize {
@@ -267,6 +305,18 @@ mod tests {
         let (a, b) = join(|| 1 + 1, || "two");
         assert_eq!(a, 2);
         assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn with_thread_count_overrides_and_restores() {
+        let outer = current_num_threads();
+        let inner = with_thread_count(3, current_num_threads);
+        assert_eq!(inner, 3);
+        assert_eq!(current_num_threads(), outer);
+        // Restores on panic too.
+        let result = std::panic::catch_unwind(|| with_thread_count(2, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(current_num_threads(), outer);
     }
 
     #[test]

@@ -5,18 +5,35 @@
 //! stored in that cell's compressed list. Queries locate the cell of
 //! `(x, y)` (or all cells within the local-search radius) and return the
 //! union of the stored ID lists.
+//!
+//! Storage is a *posting dictionary*: occupied cells are kept as a vector
+//! sorted by flat cell index, so a query probes by binary search and a
+//! rectangle/disc query walks sorted row intervals instead of hashing
+//! every covered cell. The bounding box of the occupied cells is
+//! precomputed at build time; probes that miss it return without touching
+//! any posting.
 
 use crate::idlist::CompressedIdList;
+use crate::posting::QueryScratch;
 use ppq_geo::{BBox, GridSpec, Point};
 use std::collections::HashMap;
 
 /// A grid index over one rectangle.
+///
+/// Cell keys and compressed lists live in parallel vectors: a
+/// `CompressedIdList` embeds its Huffman tables, so binary searching a
+/// `Vec<(u32, CompressedIdList)>` would take a cache miss per probe; the
+/// dense key vector keeps the whole search within a few cache lines.
 #[derive(Clone, Debug)]
 pub struct GridIndex {
     region: BBox,
     grid: GridSpec,
-    /// Sparse cell → compressed ID list.
-    cells: HashMap<usize, CompressedIdList>,
+    /// Occupied flat cell indices, sorted ascending.
+    keys: Vec<u32>,
+    /// `lists[i]` holds the compressed IDs of cell `keys[i]`.
+    lists: Vec<CompressedIdList>,
+    /// Geometric union of the occupied cells — the candidate-pruning box.
+    content_bounds: BBox,
     points_indexed: usize,
 }
 
@@ -26,24 +43,40 @@ impl GridIndex {
     pub fn build(region: BBox, gc: f64, points: &[(u32, Point)]) -> GridIndex {
         assert!(!region.is_empty());
         let grid = GridSpec::covering(&region, gc);
-        let mut raw: HashMap<usize, Vec<u32>> = HashMap::new();
+        // Posting keys are u32 flat cell indices; a grid beyond that
+        // domain would silently alias cells after truncation.
+        assert!(
+            grid.len() <= u32::MAX as usize,
+            "grid has {} cells, exceeding the u32 posting-key domain",
+            grid.len()
+        );
+        let mut raw: HashMap<u32, Vec<u32>> = HashMap::new();
         let mut points_indexed = 0;
         for (id, p) in points {
             if !region.contains(p) {
                 continue;
             }
             let (cx, cy) = grid.locate_clamped(p);
-            raw.entry(grid.flat(cx, cy)).or_default().push(*id);
+            raw.entry(grid.flat(cx, cy) as u32).or_default().push(*id);
             points_indexed += 1;
         }
-        let cells = raw
+        let mut cells: Vec<(u32, CompressedIdList)> = raw
             .into_iter()
             .map(|(cell, ids)| (cell, CompressedIdList::compress(&ids)))
             .collect();
+        cells.sort_unstable_by_key(|(cell, _)| *cell);
+        let mut content_bounds = BBox::EMPTY;
+        for (cell, _) in &cells {
+            let (cx, cy) = grid.unflat(*cell as usize);
+            content_bounds = content_bounds.union(&grid.cell_bbox(cx, cy));
+        }
+        let (keys, lists) = cells.into_iter().unzip();
         GridIndex {
             region,
             grid,
-            cells,
+            keys,
+            lists,
+            content_bounds,
             points_indexed,
         }
     }
@@ -56,6 +89,13 @@ impl GridIndex {
     #[inline]
     pub fn grid(&self) -> &GridSpec {
         &self.grid
+    }
+
+    /// Bounding box of the occupied cells (⊆ [`GridIndex::region`]); empty
+    /// when no point was indexed. Probes outside it cannot hit anything.
+    #[inline]
+    pub fn content_bounds(&self) -> &BBox {
+        &self.content_bounds
     }
 
     /// Number of points this index covers (`N_{R_i}` in Definition 5.1).
@@ -80,17 +120,29 @@ impl GridIndex {
         self.region.contains(p)
     }
 
+    #[inline]
+    fn list_at(&self, flat: u32) -> Option<&CompressedIdList> {
+        self.keys.binary_search(&flat).ok().map(|i| &self.lists[i])
+    }
+
     /// IDs stored in the cell containing `p` (empty when `p` is outside
     /// the region or the cell holds nothing).
     pub fn query_cell(&self, p: &Point) -> Vec<u32> {
-        if !self.region.contains(p) {
-            return Vec::new();
+        let mut out = Vec::new();
+        self.query_cell_into(p, &mut QueryScratch::new(), &mut out);
+        out
+    }
+
+    /// [`GridIndex::query_cell`] appending into `out` through a reusable
+    /// scratch — allocation-free once the scratch is warm.
+    pub fn query_cell_into(&self, p: &Point, scratch: &mut QueryScratch, out: &mut Vec<u32>) {
+        if !self.region.contains(p) || !self.content_bounds.contains(p) {
+            return;
         }
         let (cx, cy) = self.grid.locate_clamped(p);
-        self.cells
-            .get(&self.grid.flat(cx, cy))
-            .map(CompressedIdList::decompress)
-            .unwrap_or_default()
+        if let Some(list) = self.list_at(self.grid.flat(cx, cy) as u32) {
+            list.decompress_into(&mut scratch.bytes, out);
+        }
     }
 
     /// Union of IDs in every cell intersecting the disc of radius `r`
@@ -98,19 +150,47 @@ impl GridIndex {
     /// and deduplicated.
     pub fn query_disc(&self, p: &Point, r: f64) -> Vec<u32> {
         let mut out = Vec::new();
-        for (cx, cy) in self.grid.cells_in_disc(p, r) {
-            if let Some(list) = self.cells.get(&self.grid.flat(cx, cy)) {
-                out.extend(list.decompress());
-            }
-        }
-        out.sort_unstable();
-        out.dedup();
+        self.query_disc_into(p, r, &mut QueryScratch::new(), &mut out);
         out
+    }
+
+    /// [`GridIndex::query_disc`] appending into `out` (sorted, deduplicated)
+    /// through a reusable scratch.
+    pub fn query_disc_into(
+        &self,
+        p: &Point,
+        r: f64,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<u32>,
+    ) {
+        // Candidate pruning: clip the disc's bounding square against the
+        // precomputed occupied-cell bounds before touching the grid.
+        let probe = BBox::from_extents(p.x - r, p.y - r, p.x + r, p.y + r);
+        if !probe.intersects(&self.content_bounds) {
+            return;
+        }
+        let Some((lo_x, lo_y, hi_x, hi_y)) = self.grid.cell_range_in_rect(&probe) else {
+            return;
+        };
+        let r2 = r * r;
+        crate::posting::walk_cells_in_range(
+            &self.grid,
+            &self.keys,
+            (lo_x, lo_y, hi_x, hi_y),
+            |i, cx, cy| {
+                if self.grid.cell_dist2(cx, cy, p) <= r2 {
+                    scratch.ids.clear();
+                    self.lists[i].decompress_into(&mut scratch.bytes, &mut scratch.ids);
+                    scratch.set.insert_all(&scratch.ids);
+                }
+            },
+        );
+        scratch.set.drain_sorted_into(out);
     }
 
     /// Number of occupied cells.
     pub fn occupied_cells(&self) -> usize {
-        self.cells.len()
+        self.keys.len()
     }
 
     /// Stored size: region + grid header + per-cell compressed lists.
@@ -118,8 +198,8 @@ impl GridIndex {
         let header = 4 * 8 + 4 * 8; // region extents + grid spec
         header
             + self
-                .cells
-                .values()
+                .lists
+                .iter()
                 .map(|l| l.size_bytes() + 8 /* cell key */)
                 .sum::<usize>()
     }
@@ -169,6 +249,72 @@ mod tests {
     fn density_definition() {
         let g = setup();
         assert!((g.density() - 4.0 / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn content_bounds_prune_is_conservative() {
+        let g = setup();
+        // All occupied cells live in [0,1]², [5,6]², [9,10]² — the content
+        // box is their union and every stored point is inside it.
+        let cb = g.content_bounds();
+        for p in [
+            Point::new(0.5, 0.5),
+            Point::new(5.5, 5.5),
+            Point::new(9.9, 9.9),
+        ] {
+            assert!(cb.contains(&p));
+        }
+        // A probe well away from any content returns empty fast.
+        assert!(g.query_disc(&Point::new(-30.0, -30.0), 5.0).is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_queries() {
+        let g = setup();
+        let mut scratch = QueryScratch::new();
+        for (p, r) in [
+            (Point::new(3.0, 3.0), 4.0),
+            (Point::new(0.5, 0.5), 0.2),
+            (Point::new(9.0, 9.0), 2.0),
+        ] {
+            let mut out = Vec::new();
+            g.query_disc_into(&p, r, &mut scratch, &mut out);
+            assert_eq!(out, g.query_disc(&p, r));
+        }
+    }
+
+    #[test]
+    fn wide_and_sparse_probe_paths_agree() {
+        // Enough points that a small disc takes the sparse path while a
+        // huge disc takes the posting-scan path; both must agree with a
+        // brute-force union.
+        let region = BBox::from_extents(0.0, 0.0, 10.0, 10.0);
+        let pts: Vec<(u32, Point)> = (0..300)
+            .map(|i| {
+                (
+                    i % 90,
+                    Point::new((i % 17) as f64 * 0.6, (i % 23) as f64 * 0.43),
+                )
+            })
+            .collect();
+        let g = GridIndex::build(region, 0.5, &pts);
+        for r in [0.4, 1.7, 4.0, 50.0] {
+            let center = Point::new(4.0, 4.0);
+            let got = g.query_disc(&center, r);
+            let mut want: Vec<u32> = pts
+                .iter()
+                .filter(|(_, p)| {
+                    region.contains(p) && {
+                        let (cx, cy) = g.grid().locate_clamped(p);
+                        g.grid().cell_dist2(cx, cy, &center) <= r * r
+                    }
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            want.sort_unstable();
+            want.dedup();
+            assert_eq!(got, want, "radius {r}");
+        }
     }
 
     #[test]

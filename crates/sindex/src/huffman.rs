@@ -15,10 +15,20 @@ pub struct Huffman {
     lengths: [u8; 256],
     /// Canonical code value per symbol (valid when length > 0).
     codes: [u32; 256],
-    /// Decoding table: sorted (length, first_code, first_symbol_index) plus
-    /// symbol order.
+    /// Symbols sorted by (length, symbol) — the canonical order.
     sorted_symbols: Vec<u8>,
+    /// Per length `l`: the canonical code of the first symbol of that
+    /// length (`u32::MAX` when no symbol has length `l`).
+    first_code: [u32; MAX_CODE_LEN + 1],
+    /// Per length `l`: index into `sorted_symbols` of that first symbol.
+    first_index: [u16; MAX_CODE_LEN + 1],
+    /// Per length `l`: number of symbols with that length.
+    count: [u16; MAX_CODE_LEN + 1],
 }
+
+/// Codes never exceed the alphabet-size bound (≤ 255 merges), but the
+/// decoder also guards the stream, so a generous cap is fine.
+const MAX_CODE_LEN: usize = 32;
 
 impl Huffman {
     /// Build from symbol frequencies (usually a histogram of the payload).
@@ -99,12 +109,23 @@ impl Huffman {
             (0..=255u8).filter(|&s| lengths[s as usize] > 0).collect();
         sorted_symbols.sort_by_key(|&s| (lengths[s as usize], s));
         let mut codes = [0u32; 256];
+        let mut first_code = [u32::MAX; MAX_CODE_LEN + 1];
+        let mut first_index = [0u16; MAX_CODE_LEN + 1];
+        let mut count = [0u16; MAX_CODE_LEN + 1];
         let mut code = 0u32;
         let mut prev_len = 0u8;
-        for &s in &sorted_symbols {
+        for (i, &s) in sorted_symbols.iter().enumerate() {
             let len = lengths[s as usize];
             code <<= len - prev_len;
             codes[s as usize] = code;
+            // Canonical codes of equal length are consecutive, so recording
+            // the first (code, symbol index) per length gives an O(1)
+            // decode step: symbol = sorted[first_index + (code - first_code)].
+            if first_code[len as usize] == u32::MAX {
+                first_code[len as usize] = code;
+                first_index[len as usize] = i as u16;
+            }
+            count[len as usize] += 1;
             code += 1;
             prev_len = len;
         }
@@ -112,6 +133,9 @@ impl Huffman {
             lengths,
             codes,
             sorted_symbols,
+            first_code,
+            first_index,
+            count,
         }
     }
 
@@ -141,35 +165,35 @@ impl Huffman {
     /// Decode `n` symbols from a bit stream produced by [`Self::encode`].
     pub fn decode(&self, bits: &[u8], bit_len: usize, n: usize) -> Vec<u8> {
         let mut out = Vec::with_capacity(n);
+        self.decode_into(bits, bit_len, n, &mut out);
+        out
+    }
+
+    /// Decode `n` symbols, appending to `out` — the allocation-free form
+    /// used by the query path (pass a reused scratch buffer).
+    pub fn decode_into(&self, bits: &[u8], bit_len: usize, n: usize, out: &mut Vec<u8>) {
+        out.reserve(n);
         let mut pos = 0usize;
-        // Walk the canonical code: accumulate bits, compare against
-        // first-code boundaries per length.
-        while out.len() < n {
+        // Canonical decode: accumulate bits; at each length the codes are
+        // consecutive starting at `first_code[len]`, so membership is one
+        // subtraction + compare (no per-symbol search).
+        for _ in 0..n {
             let mut code = 0u32;
-            let mut len = 0u8;
+            let mut len = 0usize;
             loop {
                 assert!(pos < bit_len, "bit stream exhausted");
                 let bit = (bits[pos / 8] >> (7 - (pos % 8))) & 1;
                 pos += 1;
                 code = (code << 1) | bit as u32;
                 len += 1;
-                if let Some(sym) = self.lookup(code, len) {
-                    out.push(sym);
+                let offset = code.wrapping_sub(self.first_code[len]);
+                if offset < self.count[len] as u32 {
+                    out.push(self.sorted_symbols[self.first_index[len] as usize + offset as usize]);
                     break;
                 }
-                assert!(len < 32, "corrupt Huffman stream");
+                assert!(len < MAX_CODE_LEN, "corrupt Huffman stream");
             }
         }
-        out
-    }
-
-    fn lookup(&self, code: u32, len: u8) -> Option<u8> {
-        // Linear over the (short) canonical symbol list; ID-list alphabets
-        // are tiny so this is fast enough and simple.
-        self.sorted_symbols
-            .iter()
-            .find(|&&s| self.lengths[s as usize] == len && self.codes[s as usize] == code)
-            .copied()
     }
 
     /// Serialized size of the code table: one length byte per used symbol

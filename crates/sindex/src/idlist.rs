@@ -86,19 +86,31 @@ impl CompressedIdList {
 
     /// Decompress back into the sorted ID list.
     pub fn decompress(&self) -> Vec<u32> {
-        if self.len == 0 {
-            return Vec::new();
-        }
-        let bytes = self.huffman.decode(&self.bits, self.bit_len, self.n_bytes);
         let mut out = Vec::with_capacity(self.len);
+        self.decompress_into(&mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Decompress, appending the sorted IDs to `out`.
+    ///
+    /// `scratch` receives the intermediate Huffman-decoded bytes; passing a
+    /// reused buffer (for example [`crate::QueryScratch::bytes`]) makes the
+    /// hot query loop allocation-free after warm-up.
+    pub fn decompress_into(&self, scratch: &mut Vec<u8>, out: &mut Vec<u32>) {
+        if self.len == 0 {
+            return;
+        }
+        scratch.clear();
+        self.huffman
+            .decode_into(&self.bits, self.bit_len, self.n_bytes, scratch);
+        out.reserve(self.len);
         let mut pos = 0usize;
         let mut acc = 0u32;
         for i in 0..self.len {
-            let delta = read_varint(&bytes, &mut pos);
+            let delta = read_varint(scratch, &mut pos);
             acc = if i == 0 { delta } else { acc + delta };
             out.push(acc);
         }
-        out
     }
 
     /// Stored size: bit payload + Huffman table + counters.

@@ -15,14 +15,23 @@ use ppq_geo::BBox;
 /// Subtract `clip` from `r`, returning up to four disjoint rectangles
 /// covering `r \ clip`. Zero-area slivers are dropped.
 pub fn subtract(r: &BBox, clip: &BBox) -> Vec<BBox> {
+    let mut out = Vec::with_capacity(4);
+    subtract_into(r, clip, &mut out);
+    out
+}
+
+/// [`subtract`] appending into `out` — the allocation-free form used by
+/// [`remove_overlap`]'s ping-pong loop.
+pub fn subtract_into(r: &BBox, clip: &BBox, out: &mut Vec<BBox>) {
     let Some(i) = r.intersection(clip) else {
-        return vec![*r];
+        out.push(*r);
+        return;
     };
     if i.area() == 0.0 {
         // Touching edges only — nothing material removed.
-        return vec![*r];
+        out.push(*r);
+        return;
     }
-    let mut out = Vec::with_capacity(4);
     let mut push = |min_x: f64, min_y: f64, max_x: f64, max_y: f64| {
         if max_x - min_x > 0.0 && max_y - min_y > 0.0 {
             out.push(BBox::from_extents(min_x, min_y, max_x, max_y));
@@ -36,22 +45,33 @@ pub fn subtract(r: &BBox, clip: &BBox) -> Vec<BBox> {
     push(i.min.x, r.min.y, i.max.x, i.min.y);
     // Top band (between the vertical bands).
     push(i.min.x, i.max.y, i.max.x, r.max.y);
-    out
 }
 
 /// Remove from `rect` everything covered by `existing`, returning disjoint
 /// rectangles that cover exactly the uncovered remainder (possibly empty).
+///
+/// Obstacles that do not intersect `rect` are skipped up front, and the
+/// piece lists ping-pong between two buffers, so a round costs one
+/// `subtract_into` per *materially overlapping* obstacle rather than a
+/// fresh allocation per (piece, obstacle) pair — `Pi::build` calls this
+/// once per new MBR against every existing region.
 pub fn remove_overlap(rect: &BBox, existing: &[BBox]) -> Vec<BBox> {
     let mut pieces = vec![*rect];
+    let mut next: Vec<BBox> = Vec::new();
     for obstacle in existing {
         if pieces.is_empty() {
             break;
         }
-        let mut next = Vec::with_capacity(pieces.len());
-        for piece in &pieces {
-            next.extend(subtract(piece, obstacle));
+        // Pruning: an obstacle outside the original rect cannot clip any
+        // piece (every piece is ⊆ rect).
+        if !obstacle.intersects(rect) {
+            continue;
         }
-        pieces = next;
+        next.clear();
+        for piece in &pieces {
+            subtract_into(piece, obstacle, &mut next);
+        }
+        std::mem::swap(&mut pieces, &mut next);
     }
     pieces
 }

@@ -1,0 +1,309 @@
+//! Sorted posting-list primitives for the query path.
+//!
+//! Every ID list in the index (grid cells, PI cells, TPI periods) is a
+//! sorted, deduplicated `u32` posting list. The seed evaluated queries by
+//! concatenating decompressed lists and running `sort_unstable` +
+//! `dedup` per query; the primitives here replace that with classic
+//! information-retrieval machinery — two-pointer sorted intersections and
+//! a generation-free, reusable bitset union — so a query allocates
+//! nothing once its [`QueryScratch`] is warm and never re-sorts data that
+//! is already sorted.
+//!
+//! All functions produce output in ascending ID order, bit-identical to
+//! the `sort + dedup` they replace.
+
+/// Number of common elements between two sorted, deduplicated lists
+/// (two-pointer merge — no per-element binary search).
+pub fn intersect_count(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Append the intersection of two sorted, deduplicated lists to `out`.
+pub fn intersect_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Append the union of two sorted, deduplicated lists to `out`.
+pub fn union_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+/// Visit every entry of a sorted posting dictionary whose cell lies in
+/// the inclusive cell-coordinate range `(lo_x, lo_y) ..= (hi_x, hi_y)`.
+///
+/// `keys` holds occupied flat cell indices over `grid`, ascending (keys
+/// are kept separate from their payloads so the binary searches stay
+/// cache-dense). The walk picks whichever strategy touches fewer
+/// entries: per-row binary-searched interval scans when the range is
+/// small, or one linear pass over the dictionary when the range covers
+/// more cells than the dictionary holds. `visit` receives the entry's
+/// index in `keys` plus its cell coordinates; the caller applies any
+/// finer test (e.g. disc distance) and fetches its payload.
+pub fn walk_cells_in_range(
+    grid: &ppq_geo::GridSpec,
+    keys: &[u32],
+    (lo_x, lo_y, hi_x, hi_y): (u32, u32, u32, u32),
+    mut visit: impl FnMut(usize, u32, u32),
+) {
+    if keys.is_empty() || lo_x > hi_x || lo_y > hi_y {
+        return;
+    }
+    let range_cells = (hi_x - lo_x + 1) as usize * (hi_y - lo_y + 1) as usize;
+    if range_cells < keys.len() {
+        // Sparse probe: walk each covered row's sorted key interval.
+        for cy in lo_y..=hi_y {
+            let lo = grid.flat(lo_x, cy) as u32;
+            let hi = grid.flat(hi_x, cy) as u32;
+            let start = keys.partition_point(|&c| c < lo);
+            for (i, &cell) in keys.iter().enumerate().skip(start) {
+                if cell > hi {
+                    break;
+                }
+                let (cx, cy) = grid.unflat(cell as usize);
+                debug_assert!(cx >= lo_x && cx <= hi_x);
+                visit(i, cx, cy);
+            }
+        }
+    } else {
+        // Wide probe: one pass over the (smaller) dictionary.
+        for (i, &cell) in keys.iter().enumerate() {
+            let (cx, cy) = grid.unflat(cell as usize);
+            if cx >= lo_x && cx <= hi_x && cy >= lo_y && cy <= hi_y {
+                visit(i, cx, cy);
+            }
+        }
+    }
+}
+
+/// A reusable sparse bitset over trajectory IDs for multi-list unions.
+///
+/// Inserting marks a bit; [`IdBitSet::drain_sorted_into`] emits the set
+/// IDs in ascending order and resets only the words that were touched, so
+/// clearing costs O(touched), not O(universe). The backing word array is
+/// retained across queries — after the first query at a given ID range,
+/// union-deduplication allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct IdBitSet {
+    words: Vec<u64>,
+    /// Indices of words with at least one bit set, in insertion order.
+    touched: Vec<u32>,
+}
+
+impl IdBitSet {
+    pub fn new() -> IdBitSet {
+        IdBitSet::default()
+    }
+
+    /// Mark `id` as present.
+    #[inline]
+    pub fn insert(&mut self, id: u32) {
+        let w = (id >> 6) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let word = &mut self.words[w];
+        if *word == 0 {
+            self.touched.push(w as u32);
+        }
+        *word |= 1u64 << (id & 63);
+    }
+
+    /// Mark every ID in `ids`.
+    #[inline]
+    pub fn insert_all(&mut self, ids: &[u32]) {
+        for &id in ids {
+            self.insert(id);
+        }
+    }
+
+    /// Number of distinct IDs currently set.
+    pub fn len(&self) -> usize {
+        self.touched
+            .iter()
+            .map(|&w| self.words[w as usize].count_ones() as usize)
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Append the set IDs to `out` in ascending order, then clear the set
+    /// for reuse.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<u32>) {
+        self.touched.sort_unstable();
+        for &w in &self.touched {
+            let mut word = self.words[w as usize];
+            self.words[w as usize] = 0;
+            let base = w << 6;
+            while word != 0 {
+                out.push(base + word.trailing_zeros());
+                word &= word - 1;
+            }
+        }
+        self.touched.clear();
+    }
+
+    /// Clear without emitting.
+    pub fn clear(&mut self) {
+        for &w in &self.touched {
+            self.words[w as usize] = 0;
+        }
+        self.touched.clear();
+    }
+}
+
+/// Reusable per-query buffers shared by every index level: the Huffman
+/// byte-decode buffer, a raw-ID staging list, and the union bitset.
+///
+/// Mirrors the role `KMeansWorkspace` plays on the build path: create one
+/// (per thread, for batched queries), reuse it across queries, and the
+/// steady-state query path performs no heap allocation.
+#[derive(Clone, Debug, Default)]
+pub struct QueryScratch {
+    /// Decoded delta/varint bytes for one compressed list.
+    pub bytes: Vec<u8>,
+    /// Raw IDs staged before deduplication.
+    pub ids: Vec<u32>,
+    /// Union-dedup bitset.
+    pub set: IdBitSet,
+    /// Auxiliary staging (e.g. candidate region indices in the PI).
+    pub aux: Vec<u32>,
+}
+
+impl QueryScratch {
+    pub fn new() -> QueryScratch {
+        QueryScratch::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_union(lists: &[&[u32]]) -> Vec<u32> {
+        let mut all: Vec<u32> = lists.iter().flat_map(|l| l.iter().copied()).collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    #[test]
+    fn intersect_matches_naive() {
+        let a = vec![1, 3, 5, 9, 100, 2000];
+        let b = vec![2, 3, 9, 100, 101, 3000];
+        assert_eq!(intersect_count(&a, &b), 3);
+        let mut out = Vec::new();
+        intersect_into(&a, &b, &mut out);
+        assert_eq!(out, vec![3, 9, 100]);
+        assert_eq!(intersect_count(&a, &[]), 0);
+        assert_eq!(intersect_count(&[], &b), 0);
+    }
+
+    #[test]
+    fn union_matches_naive() {
+        let a = vec![1, 5, 9];
+        let b = vec![2, 5, 10, 11];
+        let mut out = Vec::new();
+        union_into(&a, &b, &mut out);
+        assert_eq!(out, naive_union(&[&a, &b]));
+    }
+
+    #[test]
+    fn bitset_drains_sorted_and_resets() {
+        let mut set = IdBitSet::new();
+        // Insert out of order, across distant words, with duplicates.
+        for &id in &[900_000u32, 3, 64, 65, 3, 127, 900_000, 0] {
+            set.insert(id);
+        }
+        assert_eq!(set.len(), 6);
+        let mut out = Vec::new();
+        set.drain_sorted_into(&mut out);
+        assert_eq!(out, vec![0, 3, 64, 65, 127, 900_000]);
+        // Reusable: empty after drain, next round unaffected.
+        assert!(set.is_empty());
+        set.insert_all(&[7, 5]);
+        out.clear();
+        set.drain_sorted_into(&mut out);
+        assert_eq!(out, vec![5, 7]);
+    }
+
+    #[test]
+    fn bitset_union_equals_naive_on_random_lists() {
+        // Deterministic pseudo-random lists (splitmix-style).
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        let lists: Vec<Vec<u32>> = (0..8)
+            .map(|_| {
+                let mut l: Vec<u32> = (0..200).map(|_| next() % 10_000).collect();
+                l.sort_unstable();
+                l.dedup();
+                l
+            })
+            .collect();
+        let refs: Vec<&[u32]> = lists.iter().map(Vec::as_slice).collect();
+        let mut set = IdBitSet::new();
+        for l in &refs {
+            set.insert_all(l);
+        }
+        let mut out = Vec::new();
+        set.drain_sorted_into(&mut out);
+        assert_eq!(out, naive_union(&refs));
+    }
+
+    #[test]
+    fn bitset_clear_without_emit() {
+        let mut set = IdBitSet::new();
+        set.insert_all(&[1, 2, 3]);
+        set.clear();
+        assert!(set.is_empty());
+        let mut out = Vec::new();
+        set.drain_sorted_into(&mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -20,7 +20,13 @@ pub struct Entry {
 #[derive(Clone, Debug)]
 enum Node {
     Leaf(Vec<Entry>),
-    Internal(Box<[Node; 4]>),
+    Internal {
+        children: Box<[Node; 4]>,
+        /// Bounding box of every entry position stored beneath this node —
+        /// maintained on insert, used to prune query descent (an internal
+        /// node whose content box misses the query cannot contribute).
+        content: BBox,
+    },
 }
 
 /// Adaptive quadtree with split-on-overflow and merge-on-underflow.
@@ -124,21 +130,26 @@ impl RegionQuadtree {
                     // Split: redistribute into four children.
                     let moved = std::mem::take(entries);
                     *splits += 1;
+                    let mut content = BBox::EMPTY;
                     let mut children: [Vec<Entry>; 4] =
                         [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
                     for entry in moved {
+                        content.expand(&entry.pos);
                         children[quadrant_of(bounds, &entry.pos)].push(entry);
                     }
                     let [sw, se, nw, ne] = children;
-                    *node = Node::Internal(Box::new([
-                        Node::Leaf(sw),
-                        Node::Leaf(se),
-                        Node::Leaf(nw),
-                        Node::Leaf(ne),
-                    ]));
+                    *node = Node::Internal {
+                        children: Box::new([
+                            Node::Leaf(sw),
+                            Node::Leaf(se),
+                            Node::Leaf(nw),
+                            Node::Leaf(ne),
+                        ]),
+                        content,
+                    };
                     // A pathological pile-up on one point could still
                     // overflow; the depth budget bounds the recursion.
-                    if let Node::Internal(kids) = node {
+                    if let Node::Internal { children: kids, .. } = node {
                         let qs = bounds.quadrants();
                         for (i, kid) in kids.iter_mut().enumerate() {
                             if let Node::Leaf(v) = kid {
@@ -160,7 +171,8 @@ impl RegionQuadtree {
                     }
                 }
             }
-            Node::Internal(children) => {
+            Node::Internal { children, content } => {
+                content.expand(&e.pos);
                 let q = quadrant_of(bounds, &e.pos);
                 let qs = bounds.quadrants();
                 Self::insert_rec(
@@ -186,7 +198,7 @@ impl RegionQuadtree {
     }
 
     fn merge_rec(node: &mut Node, threshold: usize, merges: &mut u64) {
-        if let Node::Internal(children) = node {
+        if let Node::Internal { children, .. } = node {
             for child in children.iter_mut() {
                 Self::merge_rec(child, threshold, merges);
             }
@@ -220,7 +232,7 @@ impl RegionQuadtree {
         loop {
             match node {
                 Node::Leaf(entries) => return (bounds, entries),
-                Node::Internal(children) => {
+                Node::Internal { children, .. } => {
                     let q = quadrant_of(&bounds, p);
                     bounds = bounds.quadrants()[q];
                     node = &children[q];
@@ -234,7 +246,7 @@ impl RegionQuadtree {
         fn walk<'a>(node: &'a Node, bounds: &BBox, f: &mut impl FnMut(&BBox, &'a [Entry])) {
             match node {
                 Node::Leaf(entries) => f(bounds, entries),
-                Node::Internal(children) => {
+                Node::Internal { children, .. } => {
                     let qs = bounds.quadrants();
                     for (i, c) in children.iter().enumerate() {
                         walk(c, &qs[i], f);
@@ -251,14 +263,41 @@ impl RegionQuadtree {
         n
     }
 
-    /// Leaves intersecting `query` rectangle.
+    /// Non-empty leaves intersecting the `query` rectangle.
+    ///
+    /// Descends only into quadrants whose bounds intersect `query` and
+    /// prunes whole subtrees whose *content* bounding box (maintained on
+    /// insert) misses it — the seed walked every leaf of the tree per
+    /// query. Leaves holding no entries are skipped (they cannot
+    /// contribute an answer).
     pub fn leaves_intersecting<'a>(&'a self, query: &BBox) -> Vec<(BBox, &'a [Entry])> {
-        let mut out = Vec::new();
-        self.for_each_leaf(|b, e| {
-            if b.intersects(query) {
-                out.push((*b, e));
+        fn walk<'a>(
+            node: &'a Node,
+            bounds: &BBox,
+            query: &BBox,
+            out: &mut Vec<(BBox, &'a [Entry])>,
+        ) {
+            match node {
+                Node::Leaf(entries) => {
+                    if !entries.is_empty() && bounds.intersects(query) {
+                        out.push((*bounds, entries));
+                    }
+                }
+                Node::Internal { children, content } => {
+                    if !content.intersects(query) {
+                        return;
+                    }
+                    let qs = bounds.quadrants();
+                    for (i, c) in children.iter().enumerate() {
+                        if qs[i].intersects(query) {
+                            walk(c, &qs[i], query, out);
+                        }
+                    }
+                }
             }
-        });
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &self.bounds, query, &mut out);
         out
     }
 }
@@ -359,6 +398,46 @@ mod tests {
         assert!(!hits.is_empty());
         for (b, _) in &hits {
             assert!(b.intersects(&BBox::from_extents(0.0, 0.0, 30.0, 30.0)));
+        }
+    }
+
+    #[test]
+    fn pruned_descent_matches_full_walk() {
+        let mut q = tree();
+        for i in 0..400 {
+            q.insert(entry(
+                i,
+                (i as f64 * 13.7) % 100.0,
+                (i as f64 * 29.3) % 100.0,
+            ));
+        }
+        for query in [
+            BBox::from_extents(10.0, 10.0, 30.0, 30.0),
+            BBox::from_extents(0.0, 0.0, 100.0, 100.0),
+            BBox::from_extents(95.0, 95.0, 99.0, 99.0),
+            BBox::from_extents(200.0, 200.0, 300.0, 300.0),
+        ] {
+            let pruned = q.leaves_intersecting(&query);
+            // Soundness: no entry whose position lies inside the query may
+            // be pruned away.
+            let mut got: Vec<u32> = pruned
+                .iter()
+                .flat_map(|(_, e)| e.iter())
+                .filter(|e| query.contains(&e.pos))
+                .map(|e| e.id)
+                .collect();
+            got.sort_unstable();
+            let mut want: Vec<u32> = Vec::new();
+            q.for_each_leaf(|_, e| {
+                want.extend(e.iter().filter(|e| query.contains(&e.pos)).map(|e| e.id))
+            });
+            want.sort_unstable();
+            assert_eq!(got, want, "query {query:?}");
+            // Every returned leaf really intersects the query and holds
+            // at least one entry.
+            for (b, e) in &pruned {
+                assert!(b.intersects(&query) && !e.is_empty());
+            }
         }
     }
 

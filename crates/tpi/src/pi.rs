@@ -1,9 +1,18 @@
 //! The partition index PI (paper Algorithm 3) and the TRD/ADR machinery
 //! (Definition 5.1, Eqs. 12–14).
+//!
+//! Query-path layout: each region keeps one *posting dictionary* per
+//! timestep — occupied cells sorted by flat index with their compressed
+//! ID lists plus the occupied cell-coordinate bounds — and the PI keeps a
+//! coarse locator grid over its region rectangles. A rectangle query
+//! therefore touches only the regions whose boxes the locator proposes
+//! and, within each, only the sorted posting intervals of the covered
+//! rows, instead of the seed's scan over every region and every covered
+//! cell.
 
 use ppq_geo::{BBox, GridSpec, Point};
 use ppq_quantize::{bounded_kmeans, KMeansConfig};
-use ppq_sindex::{remove_overlap, CompressedIdList};
+use ppq_sindex::{remove_overlap, CompressedIdList, QueryScratch};
 use std::collections::HashMap;
 
 /// Parameters of PI construction.
@@ -32,6 +41,48 @@ impl Default for PiConfig {
 /// regions.
 pub type CoverageSplit = (Vec<(u32, Point)>, Vec<(u32, Point)>);
 
+/// One timestep's occupied cells: a posting dictionary sorted by flat
+/// cell index, with the occupied cell-coordinate bounds for pruning.
+///
+/// Keys and compressed lists live in *parallel* vectors: a
+/// `CompressedIdList` is large (it embeds its Huffman tables), so binary
+/// searching a `Vec<(u32, CompressedIdList)>` would touch one cache line
+/// per ~1.5 KB stride. The dense `keys` vector keeps the whole search
+/// within a few cache lines.
+#[derive(Clone, Debug)]
+struct SlicePostings {
+    /// Occupied flat cell indices, sorted ascending.
+    keys: Vec<u32>,
+    /// `lists[i]` holds the IDs of cell `keys[i]`.
+    lists: Vec<CompressedIdList>,
+    /// Inclusive occupied cell-coordinate bounds `(min_cx, min_cy,
+    /// max_cx, max_cy)`.
+    min_cx: u32,
+    min_cy: u32,
+    max_cx: u32,
+    max_cy: u32,
+}
+
+impl SlicePostings {
+    fn new() -> SlicePostings {
+        SlicePostings {
+            keys: Vec::new(),
+            lists: Vec::new(),
+            min_cx: u32::MAX,
+            min_cy: u32::MAX,
+            max_cx: 0,
+            max_cy: 0,
+        }
+    }
+
+    fn note_occupied(&mut self, cx: u32, cy: u32) {
+        self.min_cx = self.min_cx.min(cx);
+        self.min_cy = self.min_cy.min(cy);
+        self.max_cx = self.max_cx.max(cx);
+        self.max_cy = self.max_cy.max(cy);
+    }
+}
+
 /// One non-overlapping rectangle with its grid and per-timestep ID lists.
 #[derive(Clone, Debug)]
 pub struct Region {
@@ -40,18 +91,27 @@ pub struct Region {
     /// Density `d(R, t_build)` measured when the region was created — the
     /// reference value of Eq. 13.
     built_density: f64,
-    /// (flat cell, timestep) → compressed IDs.
-    cells: HashMap<(u32, u32), CompressedIdList>,
+    /// timestep → sorted posting dictionary.
+    slices: HashMap<u32, SlicePostings>,
     points_indexed: usize,
 }
 
 impl Region {
     fn new(bbox: BBox, gc: f64) -> Region {
+        let grid = GridSpec::covering(&bbox, gc);
+        // Posting keys are u32 flat cell indices; a grid that exceeds
+        // that domain would silently alias cells after truncation.
+        assert!(
+            grid.len() <= u32::MAX as usize,
+            "region grid has {} cells, exceeding the u32 posting-key domain \
+             (grow gc or shrink the region)",
+            grid.len()
+        );
         Region {
             bbox,
-            grid: GridSpec::covering(&bbox, gc),
+            grid,
             built_density: 0.0,
-            cells: HashMap::new(),
+            slices: HashMap::new(),
             points_indexed: 0,
         }
     }
@@ -59,6 +119,13 @@ impl Region {
     #[inline]
     pub fn bbox(&self) -> &BBox {
         &self.bbox
+    }
+
+    /// The region's `g_c` grid (used by the disk layout and by reference
+    /// evaluators that reconstruct the seed's per-cell scan).
+    #[inline]
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
     }
 
     /// TRD of this region for an arbitrary point population (Definition
@@ -93,59 +160,220 @@ impl Region {
                 .push(*id);
             self.points_indexed += 1;
         }
-        for (cell, ids) in per_cell {
-            // Merge with an existing list for this (cell, t) if present
-            // (possible when an insertion round routes more points here).
-            let entry = self.cells.entry((cell, t));
-            match entry {
-                std::collections::hash_map::Entry::Occupied(mut o) => {
-                    let mut all = o.get().decompress();
-                    all.extend(ids);
-                    *o.get_mut() = CompressedIdList::compress(&all);
+        // Sort the incoming cells once and merge with the existing
+        // dictionary in one pass (repeated sorted `Vec::insert` would be
+        // quadratic in occupied cells, memmoving large list structs).
+        let mut incoming: Vec<(u32, Vec<u32>)> = per_cell.into_iter().collect();
+        incoming.sort_unstable_by_key(|(cell, _)| *cell);
+        let slice = self.slices.entry(t).or_insert_with(SlicePostings::new);
+        for (cell, _) in &incoming {
+            let (cx, cy) = self.grid.unflat(*cell as usize);
+            slice.note_occupied(cx, cy);
+        }
+        if slice.keys.is_empty() {
+            // Common case: first population of this timestep's slice.
+            slice.keys.extend(incoming.iter().map(|(cell, _)| *cell));
+            slice.lists.extend(
+                incoming
+                    .iter()
+                    .map(|(_, ids)| CompressedIdList::compress(ids)),
+            );
+            return;
+        }
+        // Two-pointer merge; on a key collision (possible when an
+        // insertion round routes more points into a cell already filled
+        // this timestep) the lists are merged and recompressed.
+        let old_keys = std::mem::take(&mut slice.keys);
+        let old_lists = std::mem::take(&mut slice.lists);
+        slice.keys.reserve(old_keys.len() + incoming.len());
+        slice.lists.reserve(old_lists.len() + incoming.len());
+        let mut old = old_keys.into_iter().zip(old_lists).peekable();
+        let mut new = incoming.into_iter().peekable();
+        loop {
+            match (old.peek(), new.peek()) {
+                (Some(&(ok, _)), Some(&(nk, _))) => match ok.cmp(&nk) {
+                    std::cmp::Ordering::Less => {
+                        let (k, l) = old.next().unwrap();
+                        slice.keys.push(k);
+                        slice.lists.push(l);
+                    }
+                    std::cmp::Ordering::Greater => {
+                        let (k, ids) = new.next().unwrap();
+                        slice.keys.push(k);
+                        slice.lists.push(CompressedIdList::compress(&ids));
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let (k, l) = old.next().unwrap();
+                        let (_, ids) = new.next().unwrap();
+                        let mut all = l.decompress();
+                        all.extend(ids);
+                        slice.keys.push(k);
+                        slice.lists.push(CompressedIdList::compress(&all));
+                    }
+                },
+                (Some(_), None) => {
+                    let (k, l) = old.next().unwrap();
+                    slice.keys.push(k);
+                    slice.lists.push(l);
                 }
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    v.insert(CompressedIdList::compress(&ids));
+                (None, Some(_)) => {
+                    let (k, ids) = new.next().unwrap();
+                    slice.keys.push(k);
+                    slice.lists.push(CompressedIdList::compress(&ids));
                 }
+                (None, None) => break,
             }
         }
     }
 
-    fn query_cell(&self, t: u32, p: &Point) -> Vec<u32> {
+    /// IDs of the single cell containing `p` at `t`, appended to `out`
+    /// (already sorted + deduplicated — one compressed list).
+    fn query_cell_into(&self, t: u32, p: &Point, scratch: &mut QueryScratch, out: &mut Vec<u32>) {
+        let Some(slice) = self.slices.get(&t) else {
+            return;
+        };
         let (cx, cy) = self.grid.locate_clamped(p);
-        self.cells
-            .get(&(self.grid.flat(cx, cy) as u32, t))
-            .map(CompressedIdList::decompress)
-            .unwrap_or_default()
+        if cx < slice.min_cx || cx > slice.max_cx || cy < slice.min_cy || cy > slice.max_cy {
+            return;
+        }
+        let flat = self.grid.flat(cx, cy) as u32;
+        if let Ok(i) = slice.keys.binary_search(&flat) {
+            slice.lists[i].decompress_into(&mut scratch.bytes, out);
+        }
     }
 
-    fn query_disc(&self, t: u32, p: &Point, r: f64) -> Vec<u32> {
-        let mut out = Vec::new();
-        for (cx, cy) in self.grid.cells_in_disc(p, r) {
-            if let Some(list) = self.cells.get(&(self.grid.flat(cx, cy) as u32, t)) {
-                out.extend(list.decompress());
-            }
-        }
-        out
+    /// Decompress every posting in cells intersecting `rect` at `t` into
+    /// `scratch.set` (deduplicating across cells and regions).
+    fn query_rect_into_set(&self, t: u32, rect: &BBox, scratch: &mut QueryScratch) {
+        self.covered_postings(t, rect, scratch, |_, _| true);
     }
 
-    fn query_rect(&self, t: u32, rect: &BBox) -> Vec<u32> {
-        let mut out = Vec::new();
-        for (cx, cy) in self.grid.cells_in_rect(rect) {
-            if let Some(list) = self.cells.get(&(self.grid.flat(cx, cy) as u32, t)) {
-                out.extend(list.decompress());
-            }
+    /// Like [`Region::query_rect_into_set`] for the disc of radius `r`
+    /// around `p` (the paper's local search).
+    fn query_disc_into_set(&self, t: u32, p: &Point, r: f64, scratch: &mut QueryScratch) {
+        let probe = BBox::from_extents(p.x - r, p.y - r, p.x + r, p.y + r);
+        let r2 = r * r;
+        let grid = &self.grid;
+        self.covered_postings(t, &probe, scratch, move |cx, cy| {
+            grid.cell_dist2(cx, cy, p) <= r2
+        });
+    }
+
+    /// Walk the sorted posting intervals of every row the `probe`
+    /// rectangle covers at `t`; postings whose cell passes `keep` are
+    /// decompressed into `scratch.set`. Falls back to one linear pass
+    /// over the dictionary when the probe covers more cells than the
+    /// dictionary holds.
+    fn covered_postings(
+        &self,
+        t: u32,
+        probe: &BBox,
+        scratch: &mut QueryScratch,
+        keep: impl Fn(u32, u32) -> bool,
+    ) {
+        let Some(slice) = self.slices.get(&t) else {
+            return;
+        };
+        if slice.keys.is_empty() {
+            return;
         }
-        out
+        let Some((lo_x, lo_y, hi_x, hi_y)) = self.grid.cell_range_in_rect(probe) else {
+            return;
+        };
+        // Clip against the occupied cell bounds (candidate pruning).
+        let lo_x = lo_x.max(slice.min_cx);
+        let lo_y = lo_y.max(slice.min_cy);
+        let hi_x = hi_x.min(slice.max_cx);
+        let hi_y = hi_y.min(slice.max_cy);
+        if lo_x > hi_x || lo_y > hi_y {
+            return;
+        }
+        ppq_sindex::posting::walk_cells_in_range(
+            &self.grid,
+            &slice.keys,
+            (lo_x, lo_y, hi_x, hi_y),
+            |i, cx, cy| {
+                if keep(cx, cy) {
+                    scratch.ids.clear();
+                    slice.lists[i].decompress_into(&mut scratch.bytes, &mut scratch.ids);
+                    scratch.set.insert_all(&scratch.ids);
+                }
+            },
+        );
     }
 
     pub fn size_bytes(&self) -> usize {
         let header = 4 * 8 + 4 * 8 + 8;
         header
             + self
-                .cells
+                .slices
                 .values()
+                .flat_map(|s| s.lists.iter())
                 .map(|l| l.size_bytes() + 8)
                 .sum::<usize>()
+    }
+}
+
+/// A coarse uniform grid over the PI's region rectangles: each cell lists
+/// the regions (ascending index) whose bbox intersects it, so point
+/// location and rectangle queries probe a handful of candidates instead
+/// of scanning every region.
+#[derive(Clone, Debug)]
+struct RegionLocator {
+    grid: GridSpec,
+    /// Per flat locator cell: ascending region indices intersecting it.
+    cells: Vec<Vec<u32>>,
+}
+
+impl RegionLocator {
+    /// Build over the current region set; `None` when there are no
+    /// regions (every lookup then trivially misses).
+    fn build(regions: &[Region]) -> Option<RegionLocator> {
+        let mut union = BBox::EMPTY;
+        for r in regions {
+            union = union.union(&r.bbox);
+        }
+        if union.is_empty() || union.area() <= 0.0 {
+            return None;
+        }
+        // Aim for ~4 locator cells per region, clamped so the cell table
+        // stays small no matter how the extents are shaped.
+        let target = (4 * regions.len()).clamp(64, 1 << 14) as f64;
+        let mut cell = (union.area() / target).sqrt();
+        loop {
+            let cols = (union.width() / cell).ceil().max(1.0);
+            let rows = (union.height() / cell).ceil().max(1.0);
+            if cols * rows <= 4.0 * target {
+                break;
+            }
+            cell *= 2.0;
+        }
+        if !(cell.is_finite() && cell > 0.0) {
+            return None;
+        }
+        let grid = GridSpec::covering(&union, cell);
+        let mut cells: Vec<Vec<u32>> = vec![Vec::new(); grid.len()];
+        for (ri, r) in regions.iter().enumerate() {
+            if let Some((lo_x, lo_y, hi_x, hi_y)) = grid.cell_range_in_rect(&r.bbox) {
+                for cy in lo_y..=hi_y {
+                    for cx in lo_x..=hi_x {
+                        // Regions are visited in ascending index order, so
+                        // each cell list is born sorted.
+                        cells[grid.flat(cx, cy)].push(ri as u32);
+                    }
+                }
+            }
+        }
+        Some(RegionLocator { grid, cells })
+    }
+
+    /// Candidate regions for a point (ascending; a superset filter).
+    #[inline]
+    fn candidates_at(&self, p: &Point) -> &[u32] {
+        match self.grid.locate(p) {
+            Some((cx, cy)) => &self.cells[self.grid.flat(cx, cy)],
+            None => &[],
+        }
     }
 }
 
@@ -156,6 +384,7 @@ pub struct Pi {
     cfg: PiConfig,
     /// Timestep the PI was (re)built at (`t_s`).
     built_at: u32,
+    locator: Option<RegionLocator>,
 }
 
 impl Pi {
@@ -167,6 +396,7 @@ impl Pi {
             regions: Vec::new(),
             cfg: cfg.clone(),
             built_at: t,
+            locator: None,
         };
         if !points.is_empty() {
             pi.add_regions_for(t, points);
@@ -225,6 +455,8 @@ impl Pi {
         // slivers not containing any member).
         self.regions
             .retain(|r| r.points_indexed > 0 || r.built_density > 0.0);
+        // Region set changed: rebuild the locator grid.
+        self.locator = RegionLocator::build(&self.regions);
     }
 
     fn locate_region_from(&self, start: usize, p: &Point) -> Option<usize> {
@@ -237,8 +469,18 @@ impl Pi {
     }
 
     /// Index of the region containing `p`, if covered.
+    ///
+    /// Accelerated by the locator grid; the result (the lowest-index
+    /// containing region) is identical to a linear scan.
     pub fn locate_region(&self, p: &Point) -> Option<usize> {
-        self.regions.iter().position(|r| r.bbox.contains(p))
+        match &self.locator {
+            Some(loc) => loc
+                .candidates_at(p)
+                .iter()
+                .find(|&&ri| self.regions[ri as usize].bbox.contains(p))
+                .map(|&ri| ri as usize),
+            None => self.regions.iter().position(|r| r.bbox.contains(p)),
+        }
     }
 
     #[inline]
@@ -322,9 +564,55 @@ impl Pi {
 
     /// STRQ primitive: IDs in the `g_c` cell containing `p` at time `t`.
     pub fn query(&self, t: u32, p: &Point) -> Vec<u32> {
-        match self.locate_region(p) {
-            Some(ri) => self.regions[ri].query_cell(t, p),
-            None => Vec::new(),
+        let mut out = Vec::new();
+        self.query_into(t, p, &mut QueryScratch::new(), &mut out);
+        out
+    }
+
+    /// [`Pi::query`] appending into `out` through a reusable scratch.
+    pub fn query_into(&self, t: u32, p: &Point, scratch: &mut QueryScratch, out: &mut Vec<u32>) {
+        if let Some(ri) = self.locate_region(p) {
+            self.regions[ri].query_cell_into(t, p, scratch, out);
+        }
+    }
+
+    /// Stage the ascending indices of regions whose bbox intersects
+    /// `probe` into `scratch.aux` (using the locator when available).
+    fn candidate_regions(&self, probe: &BBox, scratch: &mut QueryScratch) {
+        scratch.aux.clear();
+        match &self.locator {
+            Some(loc) => {
+                let Some((lo_x, lo_y, hi_x, hi_y)) = loc.grid.cell_range_in_rect(probe) else {
+                    return;
+                };
+                if lo_x == hi_x && lo_y == hi_y {
+                    // Fast path for the common one-locator-cell probe: the
+                    // cell's candidate list is already sorted and unique.
+                    scratch
+                        .aux
+                        .extend_from_slice(&loc.cells[loc.grid.flat(lo_x, lo_y)]);
+                } else {
+                    debug_assert!(scratch.set.is_empty());
+                    for cy in lo_y..=hi_y {
+                        for cx in lo_x..=hi_x {
+                            for &ri in &loc.cells[loc.grid.flat(cx, cy)] {
+                                scratch.set.insert(ri);
+                            }
+                        }
+                    }
+                    scratch.set.drain_sorted_into(&mut scratch.aux);
+                }
+                scratch
+                    .aux
+                    .retain(|&ri| self.regions[ri as usize].bbox.intersects(probe));
+            }
+            None => {
+                for (ri, region) in self.regions.iter().enumerate() {
+                    if region.bbox.intersects(probe) {
+                        scratch.aux.push(ri as u32);
+                    }
+                }
+            }
         }
     }
 
@@ -332,29 +620,54 @@ impl Pi {
     /// behind cell-bbox STRQ and local search over an inflated cell.
     pub fn query_rect(&self, t: u32, rect: &BBox) -> Vec<u32> {
         let mut out = Vec::new();
-        for region in &self.regions {
-            if region.bbox.intersects(rect) {
-                out.extend(region.query_rect(t, rect));
-            }
-        }
-        out.sort_unstable();
-        out.dedup();
+        self.query_rect_into(t, rect, &mut QueryScratch::new(), &mut out);
         out
+    }
+
+    /// [`Pi::query_rect`] appending the sorted, deduplicated result into
+    /// `out` through a reusable scratch — allocation-free once warm.
+    pub fn query_rect_into(
+        &self,
+        t: u32,
+        rect: &BBox,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<u32>,
+    ) {
+        self.candidate_regions(rect, scratch);
+        let aux = std::mem::take(&mut scratch.aux);
+        for &ri in &aux {
+            self.regions[ri as usize].query_rect_into_set(t, rect, scratch);
+        }
+        scratch.aux = aux;
+        scratch.set.drain_sorted_into(out);
     }
 
     /// Local-search primitive: union of IDs in all cells within radius `r`
     /// of `p` at time `t`, across every region the disc touches.
     pub fn query_disc(&self, t: u32, p: &Point, r: f64) -> Vec<u32> {
-        let probe = BBox::from_extents(p.x - r, p.y - r, p.x + r, p.y + r);
         let mut out = Vec::new();
-        for region in &self.regions {
-            if region.bbox.intersects(&probe) {
-                out.extend(region.query_disc(t, p, r));
-            }
-        }
-        out.sort_unstable();
-        out.dedup();
+        self.query_disc_into(t, p, r, &mut QueryScratch::new(), &mut out);
         out
+    }
+
+    /// [`Pi::query_disc`] appending the sorted, deduplicated result into
+    /// `out` through a reusable scratch.
+    pub fn query_disc_into(
+        &self,
+        t: u32,
+        p: &Point,
+        r: f64,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<u32>,
+    ) {
+        let probe = BBox::from_extents(p.x - r, p.y - r, p.x + r, p.y + r);
+        self.candidate_regions(&probe, scratch);
+        let aux = std::mem::take(&mut scratch.aux);
+        for &ri in &aux {
+            self.regions[ri as usize].query_disc_into_set(t, p, r, scratch);
+        }
+        scratch.aux = aux;
+        scratch.set.drain_sorted_into(out);
     }
 
     pub fn size_bytes(&self) -> usize {
@@ -381,12 +694,21 @@ impl Pi {
     pub fn export_blocks(&self) -> Vec<(u32, u32, u32, Vec<u32>)> {
         let mut out = Vec::new();
         for (ri, region) in self.regions.iter().enumerate() {
-            let mut keys: Vec<(u32, u32)> = region.cells.keys().copied().collect();
+            let mut keys: Vec<(u32, u32, &CompressedIdList)> = region
+                .slices
+                .iter()
+                .flat_map(|(&t, slice)| {
+                    slice
+                        .keys
+                        .iter()
+                        .zip(&slice.lists)
+                        .map(move |(&cell, list)| (cell, t, list))
+                })
+                .collect();
             // (cell, t) sorted cell-major keeps a cell's history adjacent.
-            keys.sort_unstable();
-            for (cell, t) in keys {
-                let ids = region.cells[&(cell, t)].decompress();
-                out.push((ri as u32, t, cell, ids));
+            keys.sort_unstable_by_key(|&(cell, t, _)| (cell, t));
+            for (cell, t, list) in keys {
+                out.push((ri as u32, t, cell, list.decompress()));
             }
         }
         out
@@ -531,5 +853,115 @@ mod tests {
         assert!(pi.regions().is_empty());
         assert!(pi.query(0, &Point::ORIGIN).is_empty());
         assert_eq!(pi.adr(&[], 0.5), 0.0);
+    }
+
+    /// The seed's query algorithm, reconstructed from `export_blocks`:
+    /// per-cell hash probes over every region, concatenate, sort, dedup.
+    struct SeedIndex {
+        /// (region, cell, t) → ids.
+        cells: std::collections::HashMap<(u32, u32, u32), Vec<u32>>,
+        regions: Vec<(BBox, GridSpec)>,
+    }
+
+    impl SeedIndex {
+        fn of(pi: &Pi) -> SeedIndex {
+            SeedIndex {
+                cells: pi
+                    .export_blocks()
+                    .into_iter()
+                    .map(|(ri, t, cell, ids)| ((ri, cell, t), ids))
+                    .collect(),
+                regions: pi
+                    .regions()
+                    .iter()
+                    .map(|r| (*r.bbox(), r.grid().clone()))
+                    .collect(),
+            }
+        }
+
+        fn query_rect(&self, t: u32, rect: &BBox) -> Vec<u32> {
+            let mut out = Vec::new();
+            for (ri, (bbox, grid)) in self.regions.iter().enumerate() {
+                if !bbox.intersects(rect) {
+                    continue;
+                }
+                for (cx, cy) in grid.cells_in_rect(rect) {
+                    if let Some(ids) = self.cells.get(&(ri as u32, grid.flat(cx, cy) as u32, t)) {
+                        out.extend(ids);
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
+        }
+
+        fn query_disc(&self, t: u32, p: &Point, r: f64) -> Vec<u32> {
+            let probe = BBox::from_extents(p.x - r, p.y - r, p.x + r, p.y + r);
+            let mut out = Vec::new();
+            for (ri, (bbox, grid)) in self.regions.iter().enumerate() {
+                if !bbox.intersects(&probe) {
+                    continue;
+                }
+                for (cx, cy) in grid.cells_in_disc(p, r) {
+                    if let Some(ids) = self.cells.get(&(ri as u32, grid.flat(cx, cy) as u32, t)) {
+                        out.extend(ids);
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
+        }
+    }
+
+    #[test]
+    fn optimized_queries_match_seed_reference() {
+        // Multi-region, multi-timestep PI with insertions.
+        let mut pts = cluster(Point::new(0.0, 0.0), 120, 1.5);
+        pts.extend(
+            cluster(Point::new(15.0, 3.0), 120, 1.5)
+                .into_iter()
+                .map(|(i, p)| (i + 200, p)),
+        );
+        let mut pi = Pi::build(0, &pts, &cfg());
+        let later: Vec<(u32, Point)> = pts.iter().map(|&(i, p)| (i + 400, p)).collect();
+        pi.insert_covered(1, &later);
+        pi.append_insertion(1, &cluster(Point::new(-20.0, -20.0), 40, 1.0));
+        let seed = SeedIndex::of(&pi);
+
+        let mut scratch = QueryScratch::new();
+        for t in 0..3u32 {
+            for i in 0..40 {
+                let p = Point::new((i as f64 * 1.3) - 22.0, (i as f64 * 0.9) - 21.0);
+                let r = 0.3 + (i % 7) as f64;
+                let rect = BBox::from_extents(p.x - r, p.y - r, p.x + r * 1.5, p.y + r * 0.5);
+
+                assert_eq!(pi.query_rect(t, &rect), seed.query_rect(t, &rect));
+                assert_eq!(pi.query_disc(t, &p, r), seed.query_disc(t, &p, r));
+
+                // The scratch-based form must agree with the fresh form.
+                let mut out = Vec::new();
+                pi.query_rect_into(t, &rect, &mut scratch, &mut out);
+                assert_eq!(out, pi.query_rect(t, &rect));
+            }
+        }
+    }
+
+    #[test]
+    fn locate_region_matches_linear_scan() {
+        let mut pts = cluster(Point::new(0.0, 0.0), 100, 2.0);
+        pts.extend(
+            cluster(Point::new(9.0, -4.0), 80, 2.5)
+                .into_iter()
+                .map(|(i, p)| (i + 100, p)),
+        );
+        let pi = Pi::build(0, &pts, &cfg());
+        assert!(pi.regions().len() >= 2);
+        for i in 0..500 {
+            let p = Point::new((i % 31) as f64 * 0.5 - 4.0, (i % 17) as f64 * 0.6 - 7.0);
+            let linear = pi.regions().iter().position(|r| r.bbox().contains(&p));
+            assert_eq!(pi.locate_region(&p), linear, "point {p:?}");
+        }
     }
 }

@@ -136,6 +136,19 @@ impl Tpi {
             .unwrap_or_default()
     }
 
+    /// [`Tpi::query`] appending into `out` through a reusable scratch.
+    pub fn query_into(
+        &self,
+        t: u32,
+        p: &Point,
+        scratch: &mut ppq_sindex::QueryScratch,
+        out: &mut Vec<u32>,
+    ) {
+        if let Some(period) = self.period_of(t) {
+            period.pi.query_into(t, p, scratch, out);
+        }
+    }
+
     /// Local-search STRQ: IDs within radius `r` of `p` at time `t`.
     pub fn query_disc(&self, t: u32, p: &Point, r: f64) -> Vec<u32> {
         self.period_of(t)
@@ -143,11 +156,40 @@ impl Tpi {
             .unwrap_or_default()
     }
 
+    /// [`Tpi::query_disc`] appending into `out` through a reusable scratch.
+    pub fn query_disc_into(
+        &self,
+        t: u32,
+        p: &Point,
+        r: f64,
+        scratch: &mut ppq_sindex::QueryScratch,
+        out: &mut Vec<u32>,
+    ) {
+        if let Some(period) = self.period_of(t) {
+            period.pi.query_disc_into(t, p, r, scratch, out);
+        }
+    }
+
     /// Rectangle STRQ: IDs in cells intersecting `rect` at time `t`.
     pub fn query_rect(&self, t: u32, rect: &ppq_geo::BBox) -> Vec<u32> {
         self.period_of(t)
             .map(|period| period.pi.query_rect(t, rect))
             .unwrap_or_default()
+    }
+
+    /// [`Tpi::query_rect`] appending the sorted, deduplicated IDs into
+    /// `out` through a reusable scratch — the allocation-free primitive
+    /// behind batched STRQ/TPQ evaluation.
+    pub fn query_rect_into(
+        &self,
+        t: u32,
+        rect: &ppq_geo::BBox,
+        scratch: &mut ppq_sindex::QueryScratch,
+        out: &mut Vec<u32>,
+    ) {
+        if let Some(period) = self.period_of(t) {
+            period.pi.query_rect_into(t, rect, scratch, out);
+        }
     }
 
     /// Total index size (what Tables 7–9 call "Index Size").
