@@ -27,7 +27,7 @@
 //! with-ground-truth protocol is verified seed-vs-optimized untimed
 //! before anything is measured.
 
-use ppq_bench::report::merge_bench_section;
+use ppq_bench::report::{merge_bench_section, time_median};
 use ppq_bench::sample_queries;
 use ppq_core::query::{QueryEngine, StrqOutcome};
 use ppq_core::{PpqConfig, PpqSummary, PpqTrajectory, Variant};
@@ -36,7 +36,6 @@ use ppq_traj::synth::{porto_like, PortoConfig};
 use ppq_traj::{Dataset, TrajId};
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// The seed's query path, reconstructed over the same index contents —
 /// including the seed's ID-list codec (canonical Huffman with a
@@ -445,19 +444,6 @@ mod reference {
 
 /// Median-of-`runs` wall-clock seconds for `f` (last run's result
 /// returned for output checks).
-fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
-    let mut times = Vec::with_capacity(runs);
-    let mut last = None;
-    for _ in 0..runs {
-        let start = Instant::now();
-        let out = f();
-        times.push(start.elapsed().as_secs_f64());
-        last = Some(out);
-    }
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    (times[times.len() / 2], last.unwrap())
-}
-
 struct Entry {
     name: String,
     reference_s: f64,
@@ -478,8 +464,11 @@ fn main() {
 
     // A wide dataset so per-timestep slices and TPI periods are well
     // populated, summarized with the paper's full PPQ-S pipeline.
+    // `PPQ_SCALE` shrinks the dataset and query counts proportionally for
+    // CI smoke runs.
+    let scale = ppq_bench::scale();
     let data = porto_like(&PortoConfig {
-        trajectories: 4000,
+        trajectories: ((4000.0 * scale).round() as usize).max(50),
         mean_len: 50,
         min_len: 30,
         start_spread: 12,
@@ -505,7 +494,7 @@ fn main() {
         grid: engine.grid().clone(),
     };
 
-    let n_queries = 10_000;
+    let n_queries = ((10_000.0 * scale).round() as usize).max(200);
     let queries = sample_queries(&data, n_queries, 42);
     let mut entries: Vec<Entry> = Vec::new();
 
@@ -550,11 +539,12 @@ fn main() {
     // ---- Untimed: the full Tables 2–4 protocol (with ground truth) ----
     // must agree between the seed and optimized engines before anything
     // is measured.
-    let protocol_seed: Vec<StrqOutcome> = queries[..1000]
+    let protocol_n = queries.len().min(1000);
+    let protocol_seed: Vec<StrqOutcome> = queries[..protocol_n]
         .iter()
         .map(|(t, p)| seed_engine.strq(*t, p))
         .collect();
-    let protocol_opt = engine.strq_batch(&queries[..1000]);
+    let protocol_opt = engine.strq_batch(&queries[..protocol_n]);
     assert_eq!(
         protocol_seed, protocol_opt,
         "full STRQ protocol diverged between seed and optimized engines"
@@ -580,14 +570,14 @@ fn main() {
         parallel_s: spar_s,
         identical: sref_out == sser_out && sser_out == spar_out,
         detail: format!(
-            "{nonempty}/1000 protocol queries non-empty truth, {:.2} candidates/query",
+            "{nonempty}/{protocol_n} protocol queries non-empty truth, {:.2} candidates/query",
             visited as f64 / n_queries as f64
         ),
     });
 
     // ---- Workload 3: TPQ end-to-end. -----------------------------------
     let horizon = 20u32;
-    let tpq_queries = &queries[..2000];
+    let tpq_queries = &queries[..queries.len().min(2000)];
     let (tref_s, tref_out) = time_median(runs, || {
         tpq_queries
             .iter()

@@ -1,0 +1,341 @@
+//! Sharded-pipeline scaling: ingest throughput, STRQ/TPQ latency, and
+//! cross-shard answer quality at S ∈ {1, 2, 4, 8}, merged into
+//! `BENCH_ppq.json` as the `shard_path` section (companion of
+//! `ppq_speedup` / `ppq_query_speedup`, which cover the unsharded build
+//! and query paths).
+//!
+//! Per shard count the bench measures:
+//!
+//! 1. **Ingest** — `ShardedPpqStream::push_slice` over the full stream +
+//!    `finish()`, forced serial and at the default thread count. Shards
+//!    are independent, so the fan-out is the scaling lever the ROADMAP's
+//!    "Streaming sharding" item asks for.
+//! 2. **STRQ / TPQ latency** — `ShardedQueryEngine` batches (production
+//!    STRQ form and TPQ with horizon 10), serial vs parallel.
+//! 3. **Quality** — precision/recall of the approximate answer against
+//!    ground truth, candidate recall, and the per-query visited ratio,
+//!    next to the summed codebook size and MAE. Fragmented per-shard
+//!    codebooks cost summary bytes and can shift reconstructions within
+//!    the ε bound; this records that cost instead of hiding it (exact
+//!    answers stay perfect — per-shard local search keeps recall 1).
+//!
+//! Checked before anything is recorded: S=1 is bit-identical to the
+//! unsharded `PpqStream` (reconstruction bits, codebook, breakdown),
+//! serial and parallel runs of every workload agree bit-for-bit, and TPQ
+//! id sets match across all shard counts.
+//!
+//! `PPQ_SCALE` shrinks the dataset/workload for CI smoke runs;
+//! `PPQ_BENCH_RUNS` overrides the median-of-3 timing runs.
+
+use ppq_bench::report::{merge_bench_section, time_median};
+use ppq_bench::{sample_queries, scale};
+use ppq_core::query::{precision_recall, ShardedQueryEngine, StrqOutcome};
+use ppq_core::shard::ShardedSummary;
+use ppq_core::{PpqConfig, PpqTrajectory, Variant};
+use ppq_geo::Point;
+use ppq_traj::synth::{porto_like, PortoConfig};
+use std::fmt::Write as _;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const TPQ_HORIZON: u32 = 10;
+
+fn points_bit_eq(a: &Point, b: &Point) -> bool {
+    a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits()
+}
+
+/// Mean precision/recall of one answer level across a scored batch.
+fn mean_pr(outcomes: &[StrqOutcome], level: impl Fn(&StrqOutcome) -> &[u32]) -> (f64, f64) {
+    let mut p_sum = 0.0;
+    let mut r_sum = 0.0;
+    for o in outcomes {
+        let (p, r) = precision_recall(level(o), &o.truth);
+        p_sum += p;
+        r_sum += r;
+    }
+    let n = outcomes.len().max(1) as f64;
+    (p_sum / n, r_sum / n)
+}
+
+struct Entry {
+    shards: usize,
+    ingest_serial_s: f64,
+    ingest_parallel_s: f64,
+    strq_serial_s: f64,
+    strq_parallel_s: f64,
+    tpq_serial_s: f64,
+    tpq_parallel_s: f64,
+    bit_identical: bool,
+    codebook_len: usize,
+    summary_bytes: usize,
+    mae_m: f64,
+    approx_p: f64,
+    approx_r: f64,
+    cand_r: f64,
+    visited_ratio: f64,
+    exact_perfect: bool,
+}
+
+fn main() {
+    let runs: usize = std::env::var("PPQ_BENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let threads_default = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let s = scale();
+
+    // A wide stream (many concurrent trajectories per timestep) so the
+    // shard fan-out has real per-step work to split.
+    let data = porto_like(&PortoConfig {
+        trajectories: ((2500.0 * s).round() as usize).max(50),
+        mean_len: 40,
+        min_len: 25,
+        start_spread: 10,
+        seed: 0x5AAD,
+    });
+    let n_points = data.num_points();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let gc = cfg.tpi.pi.gc;
+    let n_queries = ((4000.0 * s).round() as usize).max(200);
+    let queries = sample_queries(&data, n_queries, 42);
+    eprintln!(
+        "shard-scaling dataset: {n_points} points, {} trajectories, {n_queries} queries",
+        data.num_trajectories()
+    );
+
+    // Unsharded baseline for the S=1 bit-identity check.
+    let unsharded = PpqTrajectory::build(&data, &cfg).into_summary();
+    // One untimed warm-up: the first build after the baseline's
+    // allocation spike pays a large one-off allocator/page cost (~4× on
+    // this workload) that would otherwise land in the first timed config.
+    let _ = ShardedSummary::build(&data, &cfg, 1);
+    let mut s1_bit_identical = false;
+
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut tpq_id_sets: Vec<Vec<Vec<u32>>> = Vec::new();
+    for shards in SHARD_COUNTS {
+        // ---- Ingest. ---------------------------------------------------
+        let (ing_ser_s, ser_summary) = time_median(runs, || {
+            rayon::with_thread_count(1, || ShardedSummary::build(&data, &cfg, shards))
+        });
+        let (ing_par_s, par_summary) =
+            time_median(runs, || ShardedSummary::build(&data, &cfg, shards));
+        let mut bit_identical = ser_summary.num_points() == par_summary.num_points()
+            && ser_summary.codebook_len() == par_summary.codebook_len()
+            && data.trajectories().iter().all(|t| {
+                (0..t.len()).all(|off| {
+                    let ts = t.start + off as u32;
+                    match (
+                        ser_summary.reconstruct(t.id, ts),
+                        par_summary.reconstruct(t.id, ts),
+                    ) {
+                        (Some(a), Some(b)) => points_bit_eq(&a, &b),
+                        _ => false,
+                    }
+                })
+            });
+        if shards == 1 {
+            s1_bit_identical = ser_summary.num_points() == unsharded.num_points()
+                && ser_summary.codebook_len() == unsharded.codebook_len()
+                && ser_summary.breakdown() == unsharded.breakdown()
+                && data.trajectories().iter().all(|t| {
+                    (0..t.len()).all(|off| {
+                        let ts = t.start + off as u32;
+                        match (
+                            ser_summary.reconstruct(t.id, ts),
+                            unsharded.reconstruct(t.id, ts),
+                        ) {
+                            (Some(a), Some(b)) => points_bit_eq(&a, &b),
+                            _ => false,
+                        }
+                    })
+                });
+            assert!(
+                s1_bit_identical,
+                "S=1 sharded summary must be bit-identical to the unsharded pipeline"
+            );
+        }
+        let summary = par_summary;
+        let engine = ShardedQueryEngine::new(&summary, &data, gc);
+
+        // ---- Query latency (production STRQ + TPQ). --------------------
+        let (strq_ser_s, strq_ser) = time_median(runs, || {
+            rayon::with_thread_count(1, || engine.strq_online_batch(&queries))
+        });
+        let (strq_par_s, strq_par) = time_median(runs, || engine.strq_online_batch(&queries));
+        bit_identical &= strq_ser == strq_par;
+        let (tpq_ser_s, tpq_ser) = time_median(runs, || {
+            rayon::with_thread_count(1, || engine.tpq_batch(&queries, TPQ_HORIZON))
+        });
+        let (tpq_par_s, tpq_par) = time_median(runs, || engine.tpq_batch(&queries, TPQ_HORIZON));
+        bit_identical &= tpq_ser.len() == tpq_par.len()
+            && tpq_ser.iter().zip(&tpq_par).all(|(a, b)| {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|((ia, pa), (ib, pb))| {
+                        ia == ib
+                            && pa.len() == pb.len()
+                            && pa
+                                .iter()
+                                .zip(pb)
+                                .all(|((ta, qa), (tb, qb))| ta == tb && points_bit_eq(qa, qb))
+                    })
+            });
+        tpq_id_sets.push(
+            tpq_ser
+                .iter()
+                .map(|r| r.iter().map(|(id, _)| *id).collect())
+                .collect(),
+        );
+
+        // ---- Quality (scored against ground truth, untimed). -----------
+        let scored = engine.strq_batch(&queries);
+        let (approx_p, approx_r) = mean_pr(&scored, |o| &o.approx);
+        let (_, cand_r) = mean_pr(&scored, |o| &o.candidates);
+        let exact_perfect = scored.iter().all(|o| o.exact == o.truth);
+        let visited: usize = scored.iter().map(|o| o.visited).sum();
+        let visited_ratio =
+            visited as f64 / (scored.len().max(1) * data.num_trajectories().max(1)) as f64;
+
+        entries.push(Entry {
+            shards,
+            ingest_serial_s: ing_ser_s,
+            ingest_parallel_s: ing_par_s,
+            strq_serial_s: strq_ser_s,
+            strq_parallel_s: strq_par_s,
+            tpq_serial_s: tpq_ser_s,
+            tpq_parallel_s: tpq_par_s,
+            bit_identical,
+            codebook_len: summary.codebook_len(),
+            summary_bytes: summary.breakdown().total(),
+            mae_m: summary.mae_meters(&data),
+            approx_p,
+            approx_r,
+            cand_r,
+            visited_ratio,
+            exact_perfect,
+        });
+    }
+
+    // TPQ id sets must agree across shard counts (exact refinement pins
+    // them to the ground truth at every S).
+    for (i, sets) in tpq_id_sets.iter().enumerate().skip(1) {
+        assert_eq!(
+            &tpq_id_sets[0], sets,
+            "TPQ id sets differ between S={} and S={}",
+            SHARD_COUNTS[0], SHARD_COUNTS[i]
+        );
+    }
+
+    // ---- Report. -------------------------------------------------------
+    println!("\n=== PPQ shard scaling (runs={runs}, cores={threads_default}, {n_points} points, {n_queries} queries) ===");
+    println!(
+        "{:>6} {:>12} {:>12} {:>11} {:>11} {:>10} {:>10} {:>9} {:>8} {:>8} {:>8}  bit-identical",
+        "shards",
+        "ingest-1t(s)",
+        "ingest-Nt(s)",
+        "strq-1t(s)",
+        "strq-Nt(s)",
+        "tpq-1t(s)",
+        "tpq-Nt(s)",
+        "codebook",
+        "MAE(m)",
+        "approxP",
+        "approxR"
+    );
+    for e in &entries {
+        println!(
+            "{:>6} {:>12.4} {:>12.4} {:>11.4} {:>11.4} {:>10.4} {:>10.4} {:>9} {:>8.2} {:>8.4} {:>8.4}  {}",
+            e.shards,
+            e.ingest_serial_s,
+            e.ingest_parallel_s,
+            e.strq_serial_s,
+            e.strq_parallel_s,
+            e.tpq_serial_s,
+            e.tpq_parallel_s,
+            e.codebook_len,
+            e.mae_m,
+            e.approx_p,
+            e.approx_r,
+            e.bit_identical
+        );
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "    \"runner\": {{\"cores\": {threads_default}, \"runs\": {runs}, \"profile\": \"release\", \"points\": {n_points}, \"queries\": {n_queries}}},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"note\": \"ShardedPpqStream hash-partitions trajectory ids over S independent PpqStreams; ShardedQueryEngine fans STRQ out across shards and merges with two-pointer unions, TPQ payloads route to the owning shard. serial = RAYON_NUM_THREADS=1, parallel = default threads; on a 1-core runner serial==parallel by design. Quality rows track the codebook-fragmentation cost vs the S=1 baseline (which is verified bit-identical to the unsharded pipeline): approximate-answer precision/recall vs ground truth, candidate recall (stays 1 — per-shard local search preserves the paper's guarantee), summed codebook size, and MAE. exact_equals_truth must stay true at every S.\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"s1_bit_identical_to_unsharded\": {s1_bit_identical},"
+    );
+    let _ = writeln!(json, "    \"configs\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"shards\": {},", e.shards);
+        let _ = writeln!(
+            json,
+            "        \"ingest_serial_seconds\": {:.6},",
+            e.ingest_serial_s
+        );
+        let _ = writeln!(
+            json,
+            "        \"ingest_parallel_seconds\": {:.6},",
+            e.ingest_parallel_s
+        );
+        let _ = writeln!(
+            json,
+            "        \"ingest_kpts_per_second\": {:.1},",
+            n_points as f64 / e.ingest_parallel_s.min(e.ingest_serial_s) / 1e3
+        );
+        let _ = writeln!(
+            json,
+            "        \"strq_serial_seconds\": {:.6},",
+            e.strq_serial_s
+        );
+        let _ = writeln!(
+            json,
+            "        \"strq_parallel_seconds\": {:.6},",
+            e.strq_parallel_s
+        );
+        let _ = writeln!(
+            json,
+            "        \"tpq_serial_seconds\": {:.6},",
+            e.tpq_serial_s
+        );
+        let _ = writeln!(
+            json,
+            "        \"tpq_parallel_seconds\": {:.6},",
+            e.tpq_parallel_s
+        );
+        let _ = writeln!(json, "        \"bit_identical\": {},", e.bit_identical);
+        let _ = writeln!(json, "        \"codebook_words\": {},", e.codebook_len);
+        let _ = writeln!(json, "        \"summary_bytes\": {},", e.summary_bytes);
+        let _ = writeln!(json, "        \"mae_meters\": {:.4},", e.mae_m);
+        let _ = writeln!(json, "        \"approx_precision\": {:.6},", e.approx_p);
+        let _ = writeln!(json, "        \"approx_recall\": {:.6},", e.approx_r);
+        let _ = writeln!(json, "        \"candidate_recall\": {:.6},", e.cand_r);
+        let _ = writeln!(json, "        \"visited_ratio\": {:.6},", e.visited_ratio);
+        let _ = writeln!(json, "        \"exact_equals_truth\": {}", e.exact_perfect);
+        let _ = writeln!(
+            json,
+            "      }}{}",
+            if i + 1 < entries.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = write!(json, "  }}");
+
+    let out_path = std::env::var("BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ppq.json").into());
+    let existing = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let merged = merge_bench_section(&existing, "shard_path", &json);
+    std::fs::write(&out_path, merged).expect("write BENCH_ppq.json");
+    eprintln!("wrote {out_path} (shard_path section)");
+}

@@ -26,13 +26,13 @@
 //! (an in-process override; no environment mutation); with upstream
 //! rayon this bench would need to fork per configuration instead.
 
+use ppq_bench::report::time_median;
 use ppq_core::{PpqConfig, PpqStream, Variant};
 use ppq_geo::Point;
 use ppq_quantize::{bounded_kmeans, kmeans, IncrementalQuantizer, KMeansConfig, ProductQuantizer};
 use ppq_traj::synth::{porto_like, PortoConfig};
 use ppq_traj::Dataset;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// The seed's pre-SoA kernels and pre-optimization growth schedule, kept
 /// as the honest baseline for the recorded speedup numbers.
@@ -269,19 +269,6 @@ mod reference {
 
 /// Median-of-`runs` wall-clock seconds for `f` (result of the last run
 /// returned for output checks).
-fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
-    let mut times = Vec::with_capacity(runs);
-    let mut last = None;
-    for _ in 0..runs {
-        let start = Instant::now();
-        let out = f();
-        times.push(start.elapsed().as_secs_f64());
-        last = Some(out);
-    }
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    (times[times.len() / 2], last.unwrap())
-}
-
 fn points_eq(a: &[Point], b: &[Point]) -> bool {
     a.len() == b.len()
         && a.iter()
@@ -290,8 +277,11 @@ fn points_eq(a: &[Point], b: &[Point]) -> bool {
 }
 
 /// A wide dataset: many concurrent walkers so per-step slices are in the
-/// parallel regime (~`trajectories` points per timestep).
+/// parallel regime (~`trajectories` points per timestep). `PPQ_SCALE`
+/// shrinks it proportionally for smoke runs (CI runs the bench at tiny
+/// scale to catch report regressions).
 fn wide_dataset(trajectories: usize) -> Dataset {
+    let trajectories = ((trajectories as f64 * ppq_bench::scale()).round() as usize).max(50);
     porto_like(&PortoConfig {
         trajectories,
         mean_len: 30,
@@ -324,7 +314,10 @@ fn main() {
     let data = wide_dataset(4000);
     let all_points: Vec<Point> = data.iter_points().map(|(_, _, p)| p).collect();
     let n = all_points.len();
-    assert!(n >= 100_000, "dataset too small: {n}");
+    assert!(
+        n >= 100_000 || ppq_bench::scale() < 1.0,
+        "dataset too small: {n}"
+    );
     eprintln!("codebook-build dataset: {n} points");
 
     let cfg = KMeansConfig::default();

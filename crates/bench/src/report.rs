@@ -143,6 +143,22 @@ pub fn merge_bench_section(existing: &str, key: &str, rendered: &str) -> String 
     out
 }
 
+/// Median-of-`runs` wall-clock seconds for `f` (the last run's result is
+/// returned alongside). The shared timing methodology of the
+/// `BENCH_ppq.json`-writing benches; `runs` is clamped to at least 1.
+pub fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let runs = runs.max(1);
+    let mut times = Vec::with_capacity(runs);
+    let mut last = None;
+    for _ in 0..runs {
+        let t0 = std::time::Instant::now();
+        last = Some(f());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[times.len() / 2], last.unwrap())
+}
+
 /// Format seconds with adaptive precision.
 pub fn secs(d: std::time::Duration) -> String {
     let s = d.as_secs_f64();

@@ -26,16 +26,23 @@
 //! [`query::QueryWorkspace`] and [`query::QueryEngine::strq_batch`] for
 //! the reusable-workspace / bit-identical-batching contract (the
 //! query-path mirror of the build path's `KMeansWorkspace`).
+//!
+//! For repository-scale streams, [`shard::ShardedPpqStream`]
+//! hash-partitions trajectory ids over independent pipeline shards and
+//! [`query::ShardedQueryEngine`] fans STRQ/TPQ out across them — see
+//! the [`shard`] module docs for the determinism and quality contract.
 
 pub mod config;
 pub mod ndkmeans;
 pub mod partition;
 pub mod pipeline;
 pub mod query;
+pub mod shard;
 pub mod summary;
 pub mod summary_io;
 
 pub use config::{BuildBudget, ColdStart, PartitionMode, PpqConfig, Variant};
 pub use pipeline::{PpqStream, PpqTrajectory};
-pub use query::{QueryEngine, QueryWorkspace, StrqOutcome};
+pub use query::{QueryEngine, QueryWorkspace, ShardedQueryEngine, StrqOutcome};
+pub use shard::{ShardRouter, ShardedPpqStream, ShardedSummary};
 pub use summary::{BuildStats, CodebookStore, PpqSummary, SummaryBreakdown};

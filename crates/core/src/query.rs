@@ -23,6 +23,7 @@
 //! query workload over worker threads in fixed-size chunks with
 //! bit-identical, thread-count-independent result ordering.
 
+use crate::shard::ShardedSummary;
 use crate::summary::PpqSummary;
 use ppq_geo::{BBox, GridSpec, Point};
 use ppq_sindex::{posting, QueryScratch};
@@ -135,6 +136,33 @@ impl QueryWorkspace {
 /// not depend on the thread count, so batch results are reproducible on
 /// any machine.
 pub const QUERY_CHUNK: usize = 32;
+
+/// The one implementation of the batched-evaluation determinism
+/// contract, shared by every `*_batch` form (sharded and unsharded):
+/// queries are split into fixed [`QUERY_CHUNK`]-sized chunks (never
+/// thread-count-dependent), each chunk runs through one fresh reusable
+/// workspace, and chunk results concatenate in order — so batch output
+/// is bit-identical at any `RAYON_NUM_THREADS`.
+fn batch_chunked<W, R>(
+    queries: &[(u32, Point)],
+    per_query: impl Fn(u32, &Point, &mut W) -> R + Sync,
+) -> Vec<R>
+where
+    W: Default,
+    R: Send,
+{
+    let chunks: Vec<Vec<R>> = queries
+        .par_chunks(QUERY_CHUNK)
+        .map(|chunk| {
+            let mut ws = W::default();
+            chunk
+                .iter()
+                .map(|(t, p)| per_query(*t, p, &mut ws))
+                .collect()
+        })
+        .collect();
+    chunks.into_iter().flatten().collect()
+}
 
 /// Query engine binding a summary-like index to its original dataset.
 pub struct QueryEngine<'a, S: ReconIndex + ?Sized> {
@@ -302,27 +330,14 @@ impl<'a, S: ReconIndex + ?Sized> QueryEngine<'a, S> {
         out
     }
 
-    /// Evaluate a batch of STRQs, chunk-parallel across worker threads.
-    ///
-    /// Results are returned in query order and are bit-identical at any
-    /// `RAYON_NUM_THREADS`: queries are independent, chunk boundaries
-    /// depend only on [`QUERY_CHUNK`], and chunk results are concatenated
-    /// in order. Each chunk reuses one [`QueryWorkspace`].
+    /// Evaluate a batch of STRQs, chunk-parallel across worker threads
+    /// with the `batch_chunked` determinism contract (results in query
+    /// order, bit-identical at any `RAYON_NUM_THREADS`).
     pub fn strq_batch(&self, queries: &[(u32, Point)]) -> Vec<StrqOutcome>
     where
         S: Sync,
     {
-        let chunks: Vec<Vec<StrqOutcome>> = queries
-            .par_chunks(QUERY_CHUNK)
-            .map(|chunk| {
-                let mut ws = QueryWorkspace::new();
-                chunk
-                    .iter()
-                    .map(|(t, p)| self.strq_with(*t, p, &mut ws))
-                    .collect()
-            })
-            .collect();
-        chunks.into_iter().flatten().collect()
+        batch_chunked(queries, |t, p, ws| self.strq_with(t, p, ws))
     }
 
     /// Batched [`QueryEngine::strq_online_with`] — the production query
@@ -332,17 +347,7 @@ impl<'a, S: ReconIndex + ?Sized> QueryEngine<'a, S> {
     where
         S: Sync,
     {
-        let chunks: Vec<Vec<StrqOutcome>> = queries
-            .par_chunks(QUERY_CHUNK)
-            .map(|chunk| {
-                let mut ws = QueryWorkspace::new();
-                chunk
-                    .iter()
-                    .map(|(t, p)| self.strq_online_with(*t, p, &mut ws))
-                    .collect()
-            })
-            .collect();
-        chunks.into_iter().flatten().collect()
+        batch_chunked(queries, |t, p, ws| self.strq_online_with(t, p, ws))
     }
 
     /// Evaluate a batch of TPQs with horizon `l`, chunk-parallel with the
@@ -356,17 +361,7 @@ impl<'a, S: ReconIndex + ?Sized> QueryEngine<'a, S> {
     where
         S: Sync,
     {
-        let chunks: Vec<Vec<Vec<(TrajId, Vec<(u32, Point)>)>>> = queries
-            .par_chunks(QUERY_CHUNK)
-            .map(|chunk| {
-                let mut ws = QueryWorkspace::new();
-                chunk
-                    .iter()
-                    .map(|(t, p)| self.tpq_with(*t, p, l, &mut ws))
-                    .collect()
-            })
-            .collect();
-        chunks.into_iter().flatten().collect()
+        batch_chunked(queries, |t, p, ws| self.tpq_with(t, p, l, ws))
     }
 
     #[inline]
@@ -377,6 +372,225 @@ impl<'a, S: ReconIndex + ?Sized> QueryEngine<'a, S> {
     #[inline]
     pub fn grid(&self) -> &GridSpec {
         &self.grid
+    }
+}
+
+/// Reusable buffers for cross-shard STRQ/TPQ evaluation: one
+/// [`QueryWorkspace`] per shard plus the merge scratch.
+#[derive(Debug, Default)]
+pub struct ShardedQueryWorkspace {
+    per_shard: Vec<QueryWorkspace>,
+    /// Per-shard outcomes staged for merging. Only the spine is reused
+    /// across queries: the inner answer vectors are freshly allocated by
+    /// each per-shard probe (the same per-query allocation the unsharded
+    /// engine performs for its returned outcome) and dropped after the
+    /// union copies them into the merged outcome.
+    outcomes: Vec<StrqOutcome>,
+    /// Ping-pong scratch for [`posting::union_fold_into`].
+    tmp: Vec<u32>,
+}
+
+impl ShardedQueryWorkspace {
+    pub fn new() -> ShardedQueryWorkspace {
+        ShardedQueryWorkspace::default()
+    }
+
+    fn ensure_shards(&mut self, shards: usize) {
+        if self.per_shard.len() < shards {
+            self.per_shard.resize_with(shards, QueryWorkspace::new);
+        }
+    }
+}
+
+/// Cross-shard STRQ/TPQ over a [`ShardedSummary`]: the query-side mirror
+/// of [`crate::shard::ShardedPpqStream`]'s ingest fan-out.
+///
+/// * **STRQ** fans out to every shard's partition index (the query cell
+///   may contain trajectories of any shard) and merges the per-shard
+///   answer sets with two-pointer unions ([`posting::union_fold_into`]).
+///   Shards own disjoint id sets, so the merge is a pure interleave — no
+///   candidate is dropped or duplicated, and the merged candidate set
+///   equals the union of the per-shard candidate sets by construction.
+/// * **TPQ** reuses the fanned-out STRQ for matching, then routes each
+///   matched trajectory's payload reconstruction directly to its owning
+///   shard ([`ShardedSummary::shard_for`]).
+/// * **Batches** are chunk-parallel with the same fixed-[`QUERY_CHUNK`]
+///   determinism contract as [`QueryEngine::strq_batch`]: results are
+///   bit-identical at any `RAYON_NUM_THREADS`.
+///
+/// Every shard engine shares one canonical `g_c` grid (derived from the
+/// same dataset extent), so cell boundaries agree across shards and with
+/// the unsharded engine. Per-shard local search keeps recall 1 — each
+/// trajectory lives in exactly one shard whose CQC bound covers it — so
+/// exact answers match the unsharded engine's; only the approximate
+/// answer can differ (per-shard codebooks reconstruct slightly
+/// differently), which `ppq_shard_scaling` measures.
+pub struct ShardedQueryEngine<'a> {
+    summary: &'a ShardedSummary,
+    engines: Vec<QueryEngine<'a, PpqSummary>>,
+    dataset: &'a Dataset,
+}
+
+impl<'a> ShardedQueryEngine<'a> {
+    pub fn new(
+        summary: &'a ShardedSummary,
+        dataset: &'a Dataset,
+        gc: f64,
+    ) -> ShardedQueryEngine<'a> {
+        let engines = summary
+            .shards()
+            .iter()
+            .map(|s| QueryEngine::new(s, dataset, gc))
+            .collect();
+        ShardedQueryEngine {
+            summary,
+            engines,
+            dataset,
+        }
+    }
+
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The canonical query grid (identical across shards).
+    #[inline]
+    pub fn grid(&self) -> &GridSpec {
+        self.engines[0].grid()
+    }
+
+    #[inline]
+    pub fn dataset(&self) -> &Dataset {
+        self.dataset
+    }
+
+    /// The per-shard engine for shard `i` (tests compare per-shard
+    /// answers against the merged ones through this).
+    #[inline]
+    pub fn shard_engine(&self, i: usize) -> &QueryEngine<'a, PpqSummary> {
+        &self.engines[i]
+    }
+
+    /// The canonical `g_c` cell containing `p`.
+    pub fn cell_bbox(&self, p: &Point) -> Option<BBox> {
+        self.engines[0].cell_bbox(p)
+    }
+
+    /// Ground truth for STRQ at `(p, t)` (shard-independent).
+    pub fn truth(&self, t: u32, p: &Point) -> Vec<TrajId> {
+        self.engines[0].truth(t, p)
+    }
+
+    /// Run one STRQ at all answer levels (fan-out + merge + truth).
+    pub fn strq(&self, t: u32, p: &Point) -> StrqOutcome {
+        self.strq_with(t, p, &mut ShardedQueryWorkspace::new())
+    }
+
+    /// [`ShardedQueryEngine::strq`] through a reusable workspace.
+    pub fn strq_with(&self, t: u32, p: &Point, ws: &mut ShardedQueryWorkspace) -> StrqOutcome {
+        let mut outcome = self.strq_online_with(t, p, ws);
+        outcome.truth = self.truth(t, p);
+        outcome
+    }
+
+    /// The production form: fan the online STRQ out to every shard and
+    /// merge the per-shard answer sets. `truth` is left empty.
+    pub fn strq_online_with(
+        &self,
+        t: u32,
+        p: &Point,
+        ws: &mut ShardedQueryWorkspace,
+    ) -> StrqOutcome {
+        ws.ensure_shards(self.engines.len());
+        ws.outcomes.clear();
+        for (engine, shard_ws) in self.engines.iter().zip(&mut ws.per_shard) {
+            ws.outcomes.push(engine.strq_online_with(t, p, shard_ws));
+        }
+        let mut merged = StrqOutcome {
+            truth: Vec::new(),
+            approx: Vec::new(),
+            candidates: Vec::new(),
+            exact: Vec::new(),
+            visited: ws.outcomes.iter().map(|o| o.visited).sum(),
+        };
+        // Indexed-accessor form so no `Vec<&[u32]>` is built per query
+        // (ws.outcomes and ws.tmp are disjoint fields, borrowed apart).
+        let (outcomes, tmp) = (&ws.outcomes, &mut ws.tmp);
+        let n = outcomes.len();
+        posting::union_fold_into(
+            n,
+            |i| outcomes[i].candidates.as_slice(),
+            tmp,
+            &mut merged.candidates,
+        );
+        posting::union_fold_into(
+            n,
+            |i| outcomes[i].approx.as_slice(),
+            tmp,
+            &mut merged.approx,
+        );
+        posting::union_fold_into(n, |i| outcomes[i].exact.as_slice(), tmp, &mut merged.exact);
+        merged
+    }
+
+    /// TPQ: fanned-out exact STRQ, then each match's reconstructed
+    /// sub-trajectory over `[t, t + l]` served by its owning shard.
+    pub fn tpq(&self, t: u32, p: &Point, l: u32) -> Vec<(TrajId, Vec<(u32, Point)>)> {
+        self.tpq_with(t, p, l, &mut ShardedQueryWorkspace::new())
+    }
+
+    /// [`ShardedQueryEngine::tpq`] through a reusable workspace.
+    pub fn tpq_with(
+        &self,
+        t: u32,
+        p: &Point,
+        l: u32,
+        ws: &mut ShardedQueryWorkspace,
+    ) -> Vec<(TrajId, Vec<(u32, Point)>)> {
+        let outcome = self.strq_online_with(t, p, ws);
+        outcome
+            .exact
+            .iter()
+            .map(|&id| {
+                let mut sub = Vec::new();
+                self.summary
+                    .shard_for(id)
+                    .recon_range(id, t, t.saturating_add(l), &mut sub);
+                (id, sub)
+            })
+            .collect()
+    }
+
+    /// Reconstructed sub-trajectory for a specific id — routed directly
+    /// to the owning shard, no fan-out.
+    pub fn sub_trajectory(&self, id: TrajId, t: u32, l: u32) -> Vec<(u32, Point)> {
+        let mut out = Vec::new();
+        self.summary
+            .shard_for(id)
+            .recon_range(id, t, t.saturating_add(l), &mut out);
+        out
+    }
+
+    /// Batched STRQ with ground truth — same chunking/determinism
+    /// contract as [`QueryEngine::strq_batch`].
+    pub fn strq_batch(&self, queries: &[(u32, Point)]) -> Vec<StrqOutcome> {
+        batch_chunked(queries, |t, p, ws| self.strq_with(t, p, ws))
+    }
+
+    /// Batched production STRQ (no ground-truth scan).
+    pub fn strq_online_batch(&self, queries: &[(u32, Point)]) -> Vec<StrqOutcome> {
+        batch_chunked(queries, |t, p, ws| self.strq_online_with(t, p, ws))
+    }
+
+    /// Batched TPQ with horizon `l`.
+    #[allow(clippy::type_complexity)]
+    pub fn tpq_batch(
+        &self,
+        queries: &[(u32, Point)],
+        l: u32,
+    ) -> Vec<Vec<(TrajId, Vec<(u32, Point)>)>> {
+        batch_chunked(queries, |t, p, ws| self.tpq_with(t, p, l, ws))
     }
 }
 

@@ -1,0 +1,419 @@
+//! Sharded streaming: hash-partition trajectory ids across independent
+//! [`PpqStream`] shards for repository-scale ingest.
+//!
+//! The single-shard pipeline serializes every timestep through one
+//! partitioner, one codebook, and one TPI. [`ShardedPpqStream`] splits the
+//! id space over `S` fully independent shards — each owns its own
+//! [`PpqStream`] (codebook, error-bound state, TPI slices) — and fans each
+//! incoming time slice out to the shards in parallel. Because a
+//! trajectory's entire life belongs to exactly one shard and shards share
+//! no state, the result for any shard depends only on that shard's input
+//! order, which the scatter preserves; sharded ingest is therefore
+//! bit-identical at any `RAYON_NUM_THREADS`, and at `S = 1` bit-identical
+//! to the unsharded [`PpqStream`].
+//!
+//! What sharding trades away is *codebook sharing*: each shard grows its
+//! own error-bounded codebook from only its trajectories' prediction
+//! errors, so the union of the per-shard codebooks is larger than the
+//! single global codebook would be (fragmentation), slightly changing
+//! per-point reconstructions (still within the same ε bounds — every
+//! per-shard guarantee is the paper's guarantee). The `ppq_shard_scaling`
+//! bench records that quality cost next to the throughput gain; the
+//! cross-shard query semantics live in
+//! [`crate::query::ShardedQueryEngine`].
+
+use crate::config::PpqConfig;
+use crate::pipeline::PpqStream;
+use crate::summary::{PpqSummary, SummaryBreakdown};
+use ppq_geo::Point;
+use ppq_traj::{Dataset, TrajId};
+use rayon::prelude::*;
+
+/// Deterministic trajectory-id → shard assignment.
+///
+/// Uses a splitmix64-style finalizer so consecutive ids (the common
+/// allocation pattern) spread evenly instead of striping, and so the
+/// assignment is a pure function of `(id, shards)` — stable across
+/// platforms, thread counts, and runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: u32,
+}
+
+impl ShardRouter {
+    pub fn new(shards: usize) -> ShardRouter {
+        assert!(shards > 0, "shard count must be positive");
+        assert!(shards <= u32::MAX as usize, "shard count out of range");
+        ShardRouter {
+            shards: shards as u32,
+        }
+    }
+
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The shard owning trajectory `id`.
+    #[inline]
+    pub fn shard_of(&self, id: TrajId) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        // splitmix64 finalizer (Steele et al.) on the widened id.
+        let mut x = id as u64;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^= x >> 31;
+        (x % self.shards as u64) as usize
+    }
+}
+
+/// `S` independent [`PpqStream`]s behind one `push_slice` front door.
+///
+/// Feed it exactly like a [`PpqStream`] — consecutive timesteps,
+/// contiguous per-trajectory appearances — and it scatters each slice by
+/// [`ShardRouter::shard_of`] (preserving the slice's relative point
+/// order within every shard) and advances all shards, in parallel when a
+/// thread pool is available. Every shard sees every timestep (possibly as
+/// an empty slice), so shard clocks stay aligned and per-shard
+/// trajectory-retirement semantics match the unsharded pipeline's.
+///
+/// ```
+/// use ppq_core::shard::ShardedPpqStream;
+/// use ppq_core::PpqConfig;
+/// use ppq_geo::Point;
+///
+/// let mut stream = ShardedPpqStream::new(PpqConfig::default(), 4);
+/// for t in 0..50u32 {
+///     let pts: Vec<_> = (0..8u32)
+///         .map(|id| (id, Point::new(-8.6 + (t + id) as f64 * 1e-4, 41.1)))
+///         .collect();
+///     stream.push_slice(t, &pts);
+/// }
+/// let summary = stream.finish();
+/// assert_eq!(summary.num_points(), 50 * 8);
+/// assert!(summary.reconstruct(3, 10).is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardedPpqStream {
+    router: ShardRouter,
+    shards: Vec<PpqStream>,
+    /// Reusable per-shard scatter buffers (allocation-free steady state).
+    buckets: Vec<Vec<(TrajId, Point)>>,
+}
+
+impl ShardedPpqStream {
+    pub fn new(config: PpqConfig, shards: usize) -> ShardedPpqStream {
+        let router = ShardRouter::new(shards);
+        ShardedPpqStream {
+            router,
+            shards: (0..shards)
+                .map(|_| PpqStream::new(config.clone()))
+                .collect(),
+            buckets: vec![Vec::new(); shards],
+        }
+    }
+
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.router.num_shards()
+    }
+
+    #[inline]
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    #[inline]
+    pub fn config(&self) -> &PpqConfig {
+        self.shards[0].config()
+    }
+
+    /// Number of timesteps consumed so far.
+    pub fn timesteps(&self) -> usize {
+        self.shards[0].timesteps()
+    }
+
+    /// Consume one timestep, fanning the slice out across shards.
+    ///
+    /// Determinism contract: shard `i`'s state after this call depends
+    /// only on the subsequence of `points` routed to shard `i`, in slice
+    /// order — never on the thread count or on other shards.
+    pub fn push_slice(&mut self, t: u32, points: &[(TrajId, Point)]) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        for &(id, p) in points {
+            self.buckets[self.router.shard_of(id)].push((id, p));
+        }
+        if self.shards.len() > 1 && rayon::current_num_threads() > 1 {
+            let jobs: Vec<(&mut PpqStream, &Vec<(TrajId, Point)>)> =
+                self.shards.iter_mut().zip(self.buckets.iter()).collect();
+            jobs.into_par_iter()
+                .for_each(|(shard, bucket)| shard.push_slice(t, bucket));
+        } else {
+            for (shard, bucket) in self.shards.iter_mut().zip(&self.buckets) {
+                shard.push_slice(t, bucket);
+            }
+        }
+    }
+
+    /// Close every shard and produce the sharded summary (per-shard TPIs
+    /// build in parallel inside each shard's `finish`).
+    pub fn finish(self) -> ShardedSummary {
+        let summaries: Vec<PpqSummary> =
+            if self.shards.len() > 1 && rayon::current_num_threads() > 1 {
+                self.shards
+                    .into_par_iter()
+                    .map(|shard| shard.finish())
+                    .collect()
+            } else {
+                self.shards.into_iter().map(PpqStream::finish).collect()
+            };
+        ShardedSummary {
+            router: self.router,
+            shards: summaries,
+        }
+    }
+}
+
+/// The per-shard summaries plus the router that assigned them.
+///
+/// Point-level accessors route to the owning shard; aggregate accessors
+/// sum across shards. Cross-shard STRQ/TPQ live in
+/// [`crate::query::ShardedQueryEngine`].
+#[derive(Clone, Debug)]
+pub struct ShardedSummary {
+    router: ShardRouter,
+    shards: Vec<PpqSummary>,
+}
+
+impl ShardedSummary {
+    /// Batch convenience: stream a whole dataset through a
+    /// [`ShardedPpqStream`] (the sharded mirror of
+    /// [`crate::pipeline::PpqTrajectory::build`]).
+    pub fn build(dataset: &Dataset, config: &PpqConfig, shards: usize) -> ShardedSummary {
+        let mut stream = ShardedPpqStream::new(config.clone(), shards);
+        for slice in dataset.time_slices() {
+            stream.push_slice(slice.t, slice.points);
+        }
+        stream.finish()
+    }
+
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.router.num_shards()
+    }
+
+    #[inline]
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    #[inline]
+    pub fn shards(&self) -> &[PpqSummary] {
+        &self.shards
+    }
+
+    #[inline]
+    pub fn shard(&self, i: usize) -> &PpqSummary {
+        &self.shards[i]
+    }
+
+    #[inline]
+    pub fn config(&self) -> &PpqConfig {
+        self.shards[0].config()
+    }
+
+    /// The shard summary owning trajectory `id`.
+    #[inline]
+    pub fn shard_for(&self, id: TrajId) -> &PpqSummary {
+        &self.shards[self.router.shard_of(id)]
+    }
+
+    /// Final reconstructed position of trajectory `id` at timestep `t`
+    /// (routes to the owning shard).
+    pub fn reconstruct(&self, id: TrajId, t: u32) -> Option<Point> {
+        self.shard_for(id).reconstruct(id, t)
+    }
+
+    /// Reconstructed sub-trajectory over `[from, to]` — the TPQ payload,
+    /// served entirely by the owning shard.
+    pub fn reconstruct_range(&self, id: TrajId, from: u32, to: u32) -> Vec<(u32, Point)> {
+        self.shard_for(id).reconstruct_range(id, from, to)
+    }
+
+    /// Total points summarised across shards.
+    pub fn num_points(&self) -> usize {
+        self.shards.iter().map(PpqSummary::num_points).sum()
+    }
+
+    /// Trajectories with at least one summarised point, across shards.
+    pub fn num_trajectories(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.codes.iter().filter(|c| !c.is_empty()).count())
+            .sum()
+    }
+
+    /// Total codewords across per-shard codebooks. With `S > 1` this
+    /// exceeds the single-shard codebook (fragmentation) — the quality
+    /// cost `ppq_shard_scaling` tracks.
+    pub fn codebook_len(&self) -> usize {
+        self.shards.iter().map(PpqSummary::codebook_len).sum()
+    }
+
+    /// Component-wise sum of the per-shard size breakdowns.
+    pub fn breakdown(&self) -> SummaryBreakdown {
+        let mut total = SummaryBreakdown::default();
+        for s in &self.shards {
+            let b = s.breakdown();
+            total.codebook += b.codebook;
+            total.code_indices += b.code_indices;
+            total.coefficients += b.coefficients;
+            total.partition_runs += b.partition_runs;
+            total.cqc_codes += b.cqc_codes;
+            total.cqc_template += b.cqc_template;
+        }
+        total
+    }
+
+    /// Compression ratio = raw size / summed summary size.
+    pub fn compression_ratio(&self, dataset: &Dataset) -> f64 {
+        dataset.raw_size_bytes() as f64 / self.breakdown().total() as f64
+    }
+
+    /// Mean absolute error versus the original data, in metres.
+    pub fn mae_meters(&self, dataset: &Dataset) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (id, t, p) in dataset.iter_points() {
+            if let Some(r) = self.reconstruct(id, t) {
+                sum += p.dist(&r);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return 0.0;
+        }
+        ppq_geo::coords::deg_to_meters(sum / n as f64)
+    }
+
+    /// Maximum reconstruction error in coordinate units. Every shard runs
+    /// the full pipeline, so the paper's ε bounds hold per shard and
+    /// therefore globally.
+    pub fn max_error(&self, dataset: &Dataset) -> f64 {
+        dataset
+            .iter_points()
+            .filter_map(|(id, t, p)| self.reconstruct(id, t).map(|r| p.dist(&r)))
+            .fold(0.0, f64::max)
+    }
+
+    /// The local-search radius shared by all shards (identical configs).
+    pub fn search_radius(&self) -> f64 {
+        self.config().guaranteed_deviation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use crate::pipeline::PpqTrajectory;
+    use ppq_traj::synth::{porto_like, PortoConfig};
+
+    fn dataset() -> Dataset {
+        porto_like(&PortoConfig {
+            trajectories: 40,
+            mean_len: 45,
+            min_len: 30,
+            start_spread: 10,
+            seed: 33,
+        })
+    }
+
+    #[test]
+    fn router_is_stable_and_covers_all_shards() {
+        let router = ShardRouter::new(8);
+        let mut seen = [false; 8];
+        for id in 0..512u32 {
+            let s = router.shard_of(id);
+            assert!(s < 8);
+            assert_eq!(s, router.shard_of(id), "assignment must be pure");
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "512 ids should hit all 8 shards");
+        // S = 1 degenerates to shard 0.
+        let single = ShardRouter::new(1);
+        assert_eq!(single.shard_of(12345), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_shards_rejected() {
+        ShardRouter::new(0);
+    }
+
+    #[test]
+    fn sharded_build_preserves_points_and_bounds() {
+        let data = dataset();
+        let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+        for shards in [1, 2, 4, 8] {
+            let sharded = ShardedSummary::build(&data, &cfg, shards);
+            assert_eq!(sharded.num_shards(), shards);
+            assert_eq!(sharded.num_points(), data.num_points());
+            assert_eq!(sharded.num_trajectories(), data.num_trajectories());
+            let bound = cfg.cqc_error_bound();
+            assert!(
+                sharded.max_error(&data) <= bound + 1e-12,
+                "S={shards}: max error {} exceeds bound {bound}",
+                sharded.max_error(&data)
+            );
+        }
+    }
+
+    #[test]
+    fn one_shard_matches_unsharded_summary() {
+        let data = dataset();
+        let cfg = PpqConfig::variant(Variant::PpqA, 0.1);
+        let single = PpqTrajectory::build(&data, &cfg).into_summary();
+        let sharded = ShardedSummary::build(&data, &cfg, 1);
+        assert_eq!(sharded.num_points(), single.num_points());
+        assert_eq!(sharded.codebook_len(), single.codebook_len());
+        assert_eq!(sharded.breakdown(), single.breakdown());
+        for traj in data.trajectories() {
+            for off in 0..traj.len() {
+                let t = traj.start + off as u32;
+                let a = sharded.reconstruct(traj.id, t).unwrap();
+                let b = single.reconstruct(traj.id, t).unwrap();
+                assert!(
+                    a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits(),
+                    "S=1 divergence at traj {} t {t}",
+                    traj.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fragmentation_grows_codebook_but_not_error() {
+        let data = dataset();
+        let cfg = PpqConfig::variant(Variant::PpqSBasic, 0.1);
+        let s1 = ShardedSummary::build(&data, &cfg, 1);
+        let s4 = ShardedSummary::build(&data, &cfg, 4);
+        // Fragmented codebooks are at least as large in total...
+        assert!(s4.codebook_len() >= s1.codebook_len());
+        // ...but the per-point guarantee is unchanged.
+        assert!(s4.max_error(&data) <= cfg.eps1 + 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_builds_sharded() {
+        let data = Dataset::new(vec![]);
+        let sharded = ShardedSummary::build(&data, &PpqConfig::default(), 4);
+        assert_eq!(sharded.num_points(), 0);
+        assert_eq!(sharded.codebook_len(), 0);
+        assert_eq!(sharded.num_trajectories(), 0);
+    }
+}

@@ -70,6 +70,51 @@ pub fn union_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     out.extend_from_slice(&b[j..]);
 }
 
+/// Leave the union of `lists` (each sorted and deduplicated) in `out`,
+/// ascending, using `tmp` as ping-pong scratch. Both buffers are cleared
+/// on entry; nothing is allocated once they are warm.
+///
+/// Built for cross-shard merges, where the inputs are pairwise disjoint
+/// (each shard owns a distinct id subset) but interleaved in id space;
+/// general overlapping inputs are handled too. The fold is a sequence of
+/// two-pointer [`union_into`] passes, so the output is bit-identical to
+/// `concat + sort + dedup` without re-sorting already-sorted data.
+pub fn union_many_into(lists: &[&[u32]], tmp: &mut Vec<u32>, out: &mut Vec<u32>) {
+    union_fold_into(lists.len(), |i| lists[i], tmp, out)
+}
+
+/// [`union_many_into`] over an indexed accessor instead of a slice of
+/// slices, so callers whose lists live inside larger structures (e.g.
+/// one answer level of per-shard query outcomes) can merge without
+/// materialising a `Vec<&[u32]>` per call.
+pub fn union_fold_into<'a>(
+    n: usize,
+    list: impl Fn(usize) -> &'a [u32],
+    tmp: &mut Vec<u32>,
+    out: &mut Vec<u32>,
+) {
+    out.clear();
+    match n {
+        0 => {}
+        1 => out.extend_from_slice(list(0)),
+        2 => union_into(list(0), list(1), out),
+        _ => {
+            tmp.clear();
+            union_into(list(0), list(1), tmp);
+            // Each pass reads the accumulator in `tmp` and writes `out`;
+            // all but the final pass swap the roles back, so the loop
+            // lands the complete union in `out`.
+            for i in 2..n {
+                out.clear();
+                union_into(tmp, list(i), out);
+                if i + 1 < n {
+                    std::mem::swap(tmp, out);
+                }
+            }
+        }
+    }
+}
+
 /// Visit every entry of a sorted posting dictionary whose cell lies in
 /// the inclusive cell-coordinate range `(lo_x, lo_y) ..= (hi_x, hi_y)`.
 ///
@@ -249,6 +294,31 @@ mod tests {
         let mut out = Vec::new();
         union_into(&a, &b, &mut out);
         assert_eq!(out, naive_union(&[&a, &b]));
+    }
+
+    #[test]
+    fn union_many_matches_naive() {
+        let lists: Vec<Vec<u32>> = vec![
+            vec![1, 5, 9],
+            vec![2, 5, 10, 11],
+            vec![],
+            vec![0, 9, 12],
+            vec![3],
+        ];
+        let refs: Vec<&[u32]> = lists.iter().map(Vec::as_slice).collect();
+        let (mut tmp, mut out) = (Vec::new(), Vec::new());
+        // Every prefix of the list set, covering the 0/1/2/fold arms.
+        for n in 0..=refs.len() {
+            union_many_into(&refs[..n], &mut tmp, &mut out);
+            assert_eq!(out, naive_union(&refs[..n]), "prefix {n}");
+        }
+        // Disjoint shard-style inputs: strided id classes.
+        let shards: Vec<Vec<u32>> = (0..4u32)
+            .map(|s| (0..100u32).map(|i| i * 4 + s).collect())
+            .collect();
+        let refs: Vec<&[u32]> = shards.iter().map(Vec::as_slice).collect();
+        union_many_into(&refs, &mut tmp, &mut out);
+        assert_eq!(out, (0..400u32).collect::<Vec<_>>());
     }
 
     #[test]
