@@ -172,6 +172,7 @@ impl DiskTrajStore {
         page_size: usize,
     ) -> io::Result<DiskTrajStore> {
         let store = PageStore::create_with_page_size(path, pool_pages, page_size)?;
+        let capacity = ppq_storage::payload_capacity(page_size);
         let mut leaf_runs = Vec::new();
         let mut leaves: Vec<(BBox, Vec<Entry>)> = Vec::new();
         ts.quadtree
@@ -190,7 +191,7 @@ impl DiskTrajStore {
             let payload = enc.finish();
             let mut first = None;
             let mut pages = 0u64;
-            for chunk in payload.chunks(page_size) {
+            for chunk in payload.chunks(capacity) {
                 let id = store.append(&Page::from_payload_with(chunk, page_size))?;
                 first.get_or_insert(id);
                 pages += 1;
@@ -207,7 +208,7 @@ impl DiskTrajStore {
         };
         let mut bytes = Vec::with_capacity((pages as usize) * self.store.page_size());
         for pg in 0..pages {
-            bytes.extend_from_slice(self.store.read(first + pg)?.as_bytes());
+            bytes.extend_from_slice(self.store.read(first + pg)?.payload());
         }
         let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
         let mut out = Vec::new();

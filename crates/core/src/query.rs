@@ -138,12 +138,13 @@ impl QueryWorkspace {
 pub const QUERY_CHUNK: usize = 32;
 
 /// The one implementation of the batched-evaluation determinism
-/// contract, shared by every `*_batch` form (sharded and unsharded):
-/// queries are split into fixed [`QUERY_CHUNK`]-sized chunks (never
-/// thread-count-dependent), each chunk runs through one fresh reusable
-/// workspace, and chunk results concatenate in order — so batch output
-/// is bit-identical at any `RAYON_NUM_THREADS`.
-fn batch_chunked<W, R>(
+/// contract, shared by every `*_batch` form (sharded, unsharded, and the
+/// disk-resident engine in `ppq-repo`): queries are split into fixed
+/// [`QUERY_CHUNK`]-sized chunks (never thread-count-dependent), each
+/// chunk runs through one fresh reusable workspace, and chunk results
+/// concatenate in order — so batch output is bit-identical at any
+/// `RAYON_NUM_THREADS`.
+pub fn batch_chunked<W, R>(
     queries: &[(u32, Point)],
     per_query: impl Fn(u32, &Point, &mut W) -> R + Sync,
 ) -> Vec<R>

@@ -169,9 +169,40 @@ pub fn to_bytes(s: &PpqSummary) -> Vec<u8> {
     e.finish().to_vec()
 }
 
+/// Largest accepted prediction order `k`. The paper's configurations use
+/// single-digit orders; anything beyond this bound in a serialized header
+/// is corruption, and rejecting it keeps the decoder from allocating
+/// attacker-controlled amounts of coefficient memory.
+const MAX_K: usize = 1024;
+
+/// Largest accepted CQC grid side. Bounds the `n × n` template tables a
+/// corrupt `(ε₁, g_s)` pair could otherwise inflate without limit.
+const MAX_CQC_GRID_SIDE: i64 = 1025;
+
+/// Largest accepted total coefficient-row count across all timesteps.
+/// The byte-anchored guard below is vacuous when `k == 0` (a zero-order
+/// predictor row consumes no stream bytes), so this hard cap is what
+/// bounds the decoder's allocation in that regime. Legitimate summaries
+/// sit orders of magnitude below it (tens of partitions × thousands of
+/// steps).
+const MAX_TOTAL_PARTITIONS: usize = 1 << 22;
+
+macro_rules! need {
+    ($opt:expr, $what:literal) => {
+        $opt.ok_or(DecodeError::Corrupt($what))?
+    };
+}
+
 /// Deserialize a summary. The reconstruction cache is rebuilt by replay;
 /// the TPI is rebuilt from the reconstructed stream when `build_index`
 /// was requested (pass `rebuild_index = false` to skip).
+///
+/// Robust against untrusted input: every early-EOF, bad length, or
+/// out-of-range reference (codeword index past the codebook, partition
+/// label past the coefficient table, CQC parameters that would explode
+/// the template) returns [`DecodeError::Corrupt`] instead of panicking —
+/// the property tests in `tests/summary_io_corruption.rs` feed this
+/// function random truncations and bit-flips of valid serializations.
 pub fn from_bytes(bytes: &[u8], rebuild_index: bool) -> Result<PpqSummary, DecodeError> {
     let mut d = Decoder::from_slice(bytes);
     if d.remaining() < 8 || d.u32() != MAGIC {
@@ -182,20 +213,26 @@ pub fn from_bytes(bytes: &[u8], rebuild_index: bool) -> Result<PpqSummary, Decod
         return Err(DecodeError::UnsupportedVersion(version));
     }
 
-    let eps1 = d.f64();
-    let gs = d.f64();
-    let flags = d.u32();
-    let k = d.u32() as usize;
-    let min_t = d.u32();
-    let budget = match d.u32() {
+    let eps1 = need!(d.try_f64(), "eps1");
+    let gs = need!(d.try_f64(), "gs");
+    let flags = need!(d.try_u32(), "flags");
+    let k = need!(d.try_u32(), "k") as usize;
+    if k > MAX_K {
+        return Err(DecodeError::Corrupt("k out of range"));
+    }
+    let min_t = need!(d.try_u32(), "min_t");
+    let budget = match need!(d.try_u32(), "budget tag") {
         0 => BuildBudget::ErrorBounded,
-        1 => BuildBudget::PerStepBits(d.u32()),
+        1 => BuildBudget::PerStepBits(need!(d.try_u32(), "budget bits")),
         2 => {
-            let n = d.u32() as usize;
+            let n = need!(d.try_u32(), "budget len") as usize;
+            if n.saturating_mul(8) > d.remaining() {
+                return Err(DecodeError::Corrupt("budget len"));
+            }
             let mut v = Vec::with_capacity(n);
             for _ in 0..n {
-                let t = d.u32();
-                let w = d.u32();
+                let t = need!(d.try_u32(), "budget entry");
+                let w = need!(d.try_u32(), "budget entry");
                 v.push((t, w));
             }
             BuildBudget::PerStepWords(v)
@@ -203,6 +240,15 @@ pub fn from_bytes(bytes: &[u8], rebuild_index: bool) -> Result<PpqSummary, Decod
         _ => return Err(DecodeError::Corrupt("budget tag")),
     };
     let use_cqc = flags & 1 != 0;
+    if use_cqc {
+        // CqcTemplate::new asserts on non-positive inputs and builds an
+        // n × n table; reject headers that would panic or balloon it.
+        if !(eps1.is_finite() && gs.is_finite() && eps1 > 0.0 && gs > 0.0)
+            || CqcTemplate::grid_side(eps1, gs) > MAX_CQC_GRID_SIDE
+        {
+            return Err(DecodeError::Corrupt("cqc parameters"));
+        }
+    }
     let config = PpqConfig {
         eps1,
         gs,
@@ -224,23 +270,32 @@ pub fn from_bytes(bytes: &[u8], rebuild_index: bool) -> Result<PpqSummary, Decod
     };
 
     // --- Codebook store. ------------------------------------------------
-    let codebook = match d.u32() {
+    let codebook = match need!(d.try_u32(), "codebook tag") {
         0 => {
-            let n = d.u32() as usize;
+            let n = need!(d.try_u32(), "codebook len") as usize;
+            if n.saturating_mul(16) > d.remaining() {
+                return Err(DecodeError::Corrupt("codebook len"));
+            }
             let mut words = Vec::with_capacity(n);
             for _ in 0..n {
-                words.push(d.point());
+                words.push(need!(d.try_point(), "codebook word"));
             }
             CodebookStore::Global(Codebook::from_words(words))
         }
         1 => {
-            let steps_n = d.u32() as usize;
+            let steps_n = need!(d.try_u32(), "codebook steps") as usize;
+            if steps_n.saturating_mul(4) > d.remaining() {
+                return Err(DecodeError::Corrupt("codebook steps"));
+            }
             let mut steps = Vec::with_capacity(steps_n);
             for _ in 0..steps_n {
-                let n = d.u32() as usize;
+                let n = need!(d.try_u32(), "codebook step len") as usize;
+                if n.saturating_mul(16) > d.remaining() {
+                    return Err(DecodeError::Corrupt("codebook step len"));
+                }
                 let mut words = Vec::with_capacity(n);
                 for _ in 0..n {
-                    words.push(d.point());
+                    words.push(need!(d.try_point(), "codebook word"));
                 }
                 steps.push(words);
             }
@@ -251,13 +306,27 @@ pub fn from_bytes(bytes: &[u8], rebuild_index: bool) -> Result<PpqSummary, Decod
     let index_bits = codebook.index_bits();
 
     // --- Coefficients. ----------------------------------------------------
-    let steps_n = d.u32() as usize;
+    let steps_n = need!(d.try_u32(), "coeff steps") as usize;
+    if steps_n.saturating_mul(4) > d.remaining() {
+        return Err(DecodeError::Corrupt("coeff steps"));
+    }
     let mut coeffs = Vec::with_capacity(steps_n);
+    let mut total_partitions = 0usize;
     for _ in 0..steps_n {
-        let q = d.u32() as usize;
+        let q = need!(d.try_u32(), "coeff partitions") as usize;
+        if q.saturating_mul(k.saturating_mul(4)) > d.remaining() {
+            return Err(DecodeError::Corrupt("coeff partitions"));
+        }
+        total_partitions = total_partitions.saturating_add(q);
+        if total_partitions > MAX_TOTAL_PARTITIONS {
+            return Err(DecodeError::Corrupt("coeff partitions"));
+        }
         let mut step = Vec::with_capacity(q);
         for _ in 0..q {
-            let cs: Vec<f64> = (0..k).map(|_| d.f32() as f64).collect();
+            let mut cs = Vec::with_capacity(k);
+            for _ in 0..k {
+                cs.push(need!(d.try_f32(), "coefficient") as f64);
+            }
             step.push(Predictor::from_coeffs(cs));
         }
         coeffs.push(step);
@@ -266,14 +335,22 @@ pub fn from_bytes(bytes: &[u8], rebuild_index: bool) -> Result<PpqSummary, Decod
     // --- Trajectories. -----------------------------------------------------
     let template = use_cqc.then(|| CqcTemplate::new(eps1, gs));
     let cqc_depth = template.as_ref().map(|t| t.depth()).unwrap_or(0);
-    let n_traj = d.u32() as usize;
+    if 2 * cqc_depth as u32 > 32 {
+        // BitReader widths are capped at 32; the grid-side bound above
+        // keeps legitimate templates far below this.
+        return Err(DecodeError::Corrupt("cqc depth"));
+    }
+    let n_traj = need!(d.try_u32(), "trajectory count") as usize;
+    if n_traj.saturating_mul(8) > d.remaining() {
+        return Err(DecodeError::Corrupt("trajectory count"));
+    }
     let mut starts = Vec::with_capacity(n_traj);
     let mut codes = Vec::with_capacity(n_traj);
     let mut labels = Vec::with_capacity(n_traj);
     let mut cqc_codes = Vec::with_capacity(n_traj);
     for _ in 0..n_traj {
-        let start = d.u32();
-        let n = d.u32() as usize;
+        let start = need!(d.try_u32(), "trajectory start");
+        let n = need!(d.try_u32(), "trajectory len") as usize;
         starts.push(start);
         if n == 0 {
             codes.push(Vec::new());
@@ -281,22 +358,68 @@ pub fn from_bytes(bytes: &[u8], rebuild_index: bool) -> Result<PpqSummary, Decod
             cqc_codes.push(Vec::new());
             continue;
         }
-        let code_bytes = d.bytes();
+        // Every point references a coefficient row at `start - min_t + off`
+        // — replay would index out of bounds otherwise.
+        if start < min_t || (start - min_t) as usize + n > coeffs.len() {
+            return Err(DecodeError::Corrupt("trajectory span"));
+        }
+        if let CodebookStore::PerStep(steps) = &codebook {
+            if (start - min_t) as usize + n > steps.len() {
+                return Err(DecodeError::Corrupt("trajectory span"));
+            }
+        }
+        let code_bytes = need!(d.try_bytes(), "code bytes");
+        if code_bytes.len().saturating_mul(8) < n.saturating_mul(index_bits as usize) {
+            return Err(DecodeError::Corrupt("code bytes short"));
+        }
         let mut r = BitReader::new(&code_bytes);
-        codes.push((0..n).map(|_| r.read(index_bits)).collect::<Vec<u32>>());
-        let runs = d.u32() as usize;
+        let traj_codes: Vec<u32> = (0..n).map(|_| r.read(index_bits)).collect();
+        // Codeword indices must resolve in the step's codebook.
+        let t0 = (start - min_t) as usize;
+        let valid = match &codebook {
+            CodebookStore::Global(cb) => {
+                let len = cb.len() as u32;
+                traj_codes.iter().all(|&b| b < len)
+            }
+            CodebookStore::PerStep(steps) => traj_codes
+                .iter()
+                .enumerate()
+                .all(|(off, &b)| (b as usize) < steps[t0 + off].len()),
+        };
+        if !valid {
+            return Err(DecodeError::Corrupt("codeword index out of range"));
+        }
+        codes.push(traj_codes);
+        let runs = need!(d.try_u32(), "label runs") as usize;
+        if runs.saturating_mul(4) > d.remaining() {
+            return Err(DecodeError::Corrupt("label runs"));
+        }
         let mut ls: Vec<u32> = Vec::with_capacity(n);
         for _ in 0..runs {
-            let len = d.u16() as usize;
-            let label = d.u16() as u32;
+            let len = need!(d.try_u16(), "label run") as usize;
+            let label = need!(d.try_u16(), "label run") as u32;
+            if ls.len() + len > n {
+                return Err(DecodeError::Corrupt("label RLE length"));
+            }
             ls.extend(std::iter::repeat_n(label, len));
         }
         if ls.len() != n {
             return Err(DecodeError::Corrupt("label RLE length"));
         }
+        // Labels must resolve in their step's coefficient row.
+        if ls
+            .iter()
+            .enumerate()
+            .any(|(off, &l)| l as usize >= coeffs[t0 + off].len())
+        {
+            return Err(DecodeError::Corrupt("partition label out of range"));
+        }
         labels.push(ls);
         if cqc_depth > 0 {
-            let cqc_bytes = d.bytes();
+            let cqc_bytes = need!(d.try_bytes(), "cqc bytes");
+            if cqc_bytes.len().saturating_mul(8) < n.saturating_mul(2 * cqc_depth as usize) {
+                return Err(DecodeError::Corrupt("cqc bytes short"));
+            }
             let mut r = BitReader::new(&cqc_bytes);
             cqc_codes.push(
                 (0..n)
@@ -306,6 +429,12 @@ pub fn from_bytes(bytes: &[u8], rebuild_index: bool) -> Result<PpqSummary, Decod
         } else {
             cqc_codes.push(Vec::new());
         }
+    }
+    // The format has no trailing slack — `to_bytes` output is consumed
+    // exactly. Leftover bytes mean a count field was corrupted downward
+    // (structures silently dropped), which must surface as corruption.
+    if d.remaining() != 0 {
+        return Err(DecodeError::Corrupt("trailing bytes"));
     }
 
     // --- Rebuild the derived state. ---------------------------------------

@@ -1,0 +1,88 @@
+//! Corruption robustness of `summary_io::from_bytes`: random truncations
+//! and bit-flips of valid serializations must never panic — truncations
+//! must surface as a decode error, bit-flips may either error or decode
+//! to *some* summary (a flip can land in a coordinate payload and leave
+//! the structure intact), but the decoder must stay in control either
+//! way.
+
+use ppq_core::summary_io::{from_bytes, to_bytes, DecodeError};
+use ppq_core::{PpqConfig, PpqTrajectory, Variant};
+use ppq_traj::synth::{porto_like, PortoConfig};
+use proptest::prelude::*;
+
+/// One serialized summary per variant family: CQC-enabled (PPQ-S),
+/// CQC-free global codebook (PPQ-A without CQC path differences), and a
+/// per-step codebook (Q-trajectory). Built once — every proptest case
+/// reuses the same deterministic fixtures.
+fn fixtures() -> &'static Vec<Vec<u8>> {
+    static FIXTURES: std::sync::OnceLock<Vec<Vec<u8>>> = std::sync::OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let data = porto_like(&PortoConfig {
+            trajectories: 12,
+            mean_len: 30,
+            min_len: 20,
+            start_spread: 6,
+            seed: 0x5EED,
+        });
+        [Variant::PpqS, Variant::PpqA, Variant::QTrajectory]
+            .into_iter()
+            .map(|v| {
+                let mut cfg = PpqConfig::variant(v, 0.1);
+                cfg.build_index = false;
+                to_bytes(&PpqTrajectory::build(&data, &cfg).into_summary())
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every strict prefix of a valid serialization is an error, never a
+    /// panic: the format has no trailing slack, so a missing byte must
+    /// surface as an early EOF somewhere.
+    #[test]
+    fn truncation_errors_cleanly(which in 0usize..3, cut in 0u32..u32::MAX) {
+        let bytes = &fixtures()[which];
+        let cut = (cut as usize) % bytes.len();
+        let err = from_bytes(&bytes[..cut], false)
+            .expect_err("strict prefix decoded successfully");
+        prop_assert!(matches!(
+            err,
+            DecodeError::Corrupt(_) | DecodeError::BadMagic | DecodeError::UnsupportedVersion(_)
+        ));
+    }
+
+    /// Random bit-flips never panic; when the flip leaves the structure
+    /// decodable, the decoded summary is well-formed enough to replay
+    /// (from_bytes replays every trajectory internally).
+    #[test]
+    fn bit_flips_never_panic(which in 0usize..3, flips in prop::collection::vec((0u32..u32::MAX, 0u8..8), 1..6)) {
+        let mut bytes = fixtures()[which].clone();
+        for (pos, bit) in flips {
+            let at = (pos as usize) % bytes.len();
+            bytes[at] ^= 1 << bit;
+        }
+        // Ok or Err are both acceptable — panicking is not.
+        let _ = from_bytes(&bytes, false);
+    }
+
+    /// Flips restricted to the header/structure area (first 64 bytes) hit
+    /// the length- and tag-bearing fields hardest — the paths the
+    /// hardening targets.
+    #[test]
+    fn header_flips_never_panic(which in 0usize..3, at in 8u32..64, bit in 0u8..8) {
+        let mut bytes = fixtures()[which].clone();
+        let at = at as usize % bytes.len().max(1);
+        bytes[at] ^= 1 << bit;
+        let _ = from_bytes(&bytes, false);
+    }
+}
+
+#[test]
+fn valid_fixtures_roundtrip() {
+    for bytes in fixtures() {
+        let s = from_bytes(bytes, false).expect("valid serialization decodes");
+        assert!(s.num_points() > 0);
+    }
+}

@@ -1,0 +1,439 @@
+//! The per-shard *directory segment*: period/region structure plus the
+//! sorted block directory.
+//!
+//! The in-memory TPI keeps ID payloads inside each region; on disk the
+//! payloads live in the page segment and this segment holds everything a
+//! query needs to find them *without touching data pages*:
+//!
+//! * the period table (`[t_start, t_end]` per period) and, per period,
+//!   every region's rectangle and grid — enough to run the exact same
+//!   region/cell selection as the in-memory `Pi` query path;
+//! * the block directory: one entry per `(period, region, t, cell)`
+//!   block, sorted by that key, mapping to `(page, offset, n_ids)` in the
+//!   page segment — one directed page-in per block, replacing
+//!   `DiskTpi`'s scan-until-found over the period's page run.
+//!
+//! The directory is stored struct-of-arrays: the sorted cell keys of one
+//! `(period, region, t)` group form a contiguous `&[u32]` slice, which is
+//! exactly the posting-dictionary shape `sindex::posting::
+//! walk_cells_in_range` consumes — the disk query path reuses the
+//! in-memory walk verbatim, guaranteeing identical candidate sets.
+
+use crate::layout::RepoError;
+use ppq_geo::{BBox, GridSpec, Point};
+use ppq_storage::codec::{Decoder, Encoder};
+
+const DIR_MAGIC: u32 = 0x5050_5144; // "PPQD"
+const DIR_VERSION: u32 = 1;
+
+/// A region's query-relevant geometry (the in-memory `Region` minus its
+/// payload).
+#[derive(Clone, Debug)]
+pub struct DiskRegion {
+    pub bbox: BBox,
+    pub grid: GridSpec,
+}
+
+/// One period's structure.
+#[derive(Clone, Debug)]
+pub struct DiskPeriod {
+    pub t_start: u32,
+    pub t_end: u32,
+    pub regions: Vec<DiskRegion>,
+}
+
+/// Where one block's IDs live in the page segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Page holding the block's first byte.
+    pub page: u64,
+    /// Byte offset of the block within that page's *payload* area.
+    pub offset: u32,
+    /// Number of u32 trajectory IDs in the block.
+    pub n_ids: u32,
+}
+
+/// One directory entry, as produced by the writer (sorted by
+/// `(period, region, t, cell)` before serialization).
+#[derive(Clone, Copy, Debug)]
+pub struct DirEntry {
+    pub period: u32,
+    pub region: u32,
+    pub t: u32,
+    pub cell: u32,
+    pub meta: BlockMeta,
+}
+
+/// Inclusive occupied cell-coordinate bounds of one `(period, region, t)`
+/// group — the same pruning rectangle the in-memory `SlicePostings`
+/// tracks, recomputed from the group's cells at open.
+#[derive(Clone, Copy, Debug)]
+pub struct GroupBounds {
+    pub min_cx: u32,
+    pub min_cy: u32,
+    pub max_cx: u32,
+    pub max_cy: u32,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct GroupKey {
+    period: u32,
+    region: u32,
+    t: u32,
+}
+
+/// The sorted block directory of one shard, struct-of-arrays.
+#[derive(Clone, Debug, Default)]
+pub struct BlockDirectory {
+    /// Flat cell index per entry; within a group, ascending.
+    cells: Vec<u32>,
+    /// Parallel to `cells`.
+    metas: Vec<BlockMeta>,
+    /// One row per `(period, region, t)` group: key, entry range, bounds.
+    groups: Vec<(GroupKey, u32, u32, GroupBounds)>,
+}
+
+impl BlockDirectory {
+    /// The sorted cells, metas, and occupied bounds of one group, if any
+    /// block exists for `(period, region, t)`.
+    pub fn group(
+        &self,
+        period: u32,
+        region: u32,
+        t: u32,
+    ) -> Option<(&[u32], &[BlockMeta], GroupBounds)> {
+        let key = GroupKey { period, region, t };
+        let idx = self.groups.binary_search_by_key(&key, |g| g.0).ok()?;
+        let (_, start, end, bounds) = self.groups[idx];
+        Some((
+            &self.cells[start as usize..end as usize],
+            &self.metas[start as usize..end as usize],
+            bounds,
+        ))
+    }
+
+    /// Binary-search one cell's block within a group — the single-cell
+    /// STRQ probe.
+    pub fn block(&self, period: u32, region: u32, t: u32, cell: u32) -> Option<BlockMeta> {
+        let (cells, metas, _) = self.group(period, region, t)?;
+        let i = cells.binary_search(&cell).ok()?;
+        Some(metas[i])
+    }
+
+    pub fn num_blocks(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// In-memory footprint of the directory (the "lightweight index" the
+    /// disk experiments keep resident, reported next to page I/Os).
+    pub fn size_bytes(&self) -> usize {
+        self.cells.len() * (4 + std::mem::size_of::<BlockMeta>())
+            + self.groups.len() * std::mem::size_of::<(GroupKey, u32, u32, GroupBounds)>()
+    }
+
+    /// Check every block address against the page segment's geometry:
+    /// offsets must fall inside a page's payload area and a block's byte
+    /// span must end before the segment does. `decode_dir_segment` cannot
+    /// do this (it never sees the page size), so the repository runs it
+    /// at open — a version-skewed or buggy writer surfaces as a typed
+    /// corruption error instead of an arithmetic panic on first read.
+    pub fn validate_geometry(&self, payload_capacity: usize, num_pages: u64) -> Result<(), String> {
+        for (cell, meta) in self.cells.iter().zip(&self.metas) {
+            if meta.offset as usize >= payload_capacity {
+                return Err(format!(
+                    "block for cell {cell}: offset {} >= page payload capacity {payload_capacity}",
+                    meta.offset
+                ));
+            }
+            if meta.n_ids == 0 {
+                return Err(format!("block for cell {cell}: empty id list"));
+            }
+            let last_byte = meta.offset as u64 + meta.n_ids as u64 * 4 - 1;
+            let last_page = meta
+                .page
+                .saturating_add(last_byte / payload_capacity as u64);
+            if meta.page >= num_pages || last_page >= num_pages {
+                return Err(format!(
+                    "block for cell {cell}: pages {}..={last_page} exceed segment ({num_pages} pages)",
+                    meta.page
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serialize a shard's structure + directory entries (already sorted by
+/// `(period, region, t, cell)`).
+pub fn encode_dir_segment(periods: &[DiskPeriod], entries: &[DirEntry]) -> Vec<u8> {
+    let mut e = Encoder::with_capacity(64 + periods.len() * 64 + entries.len() * 32);
+    e.put_u32(DIR_MAGIC);
+    e.put_u32(DIR_VERSION);
+    e.put_u32(periods.len() as u32);
+    for p in periods {
+        e.put_u32(p.t_start);
+        e.put_u32(p.t_end);
+        e.put_u32(p.regions.len() as u32);
+        for r in &p.regions {
+            e.put_point(&r.bbox.min);
+            e.put_point(&r.bbox.max);
+            e.put_point(&r.grid.origin());
+            e.put_f64(r.grid.cell_size());
+            e.put_u32(r.grid.cols());
+            e.put_u32(r.grid.rows());
+        }
+    }
+    e.put_u64(entries.len() as u64);
+    for en in entries {
+        e.put_u32(en.period);
+        e.put_u32(en.region);
+        e.put_u32(en.t);
+        e.put_u32(en.cell);
+        e.put_u64(en.meta.page);
+        e.put_u32(en.meta.offset);
+        e.put_u32(en.meta.n_ids);
+    }
+    e.finish().to_vec()
+}
+
+/// Checked decode of a directory segment (the bytes were already CRC- and
+/// length-verified against the manifest; the structural checks here guard
+/// against a buggy or version-skewed writer, not bit rot).
+pub fn decode_dir_segment(bytes: &[u8]) -> Result<(Vec<DiskPeriod>, BlockDirectory), RepoError> {
+    let corrupt = |what: &str| RepoError::Corrupt(format!("dir segment: {what}"));
+    let mut d = Decoder::from_slice(bytes);
+    if d.try_u32() != Some(DIR_MAGIC) {
+        return Err(corrupt("bad magic"));
+    }
+    if d.try_u32() != Some(DIR_VERSION) {
+        return Err(corrupt("unsupported version"));
+    }
+    let n_periods = d.try_u32().ok_or_else(|| corrupt("truncated"))? as usize;
+    if n_periods.saturating_mul(12) > d.remaining() {
+        return Err(corrupt("period count"));
+    }
+    let mut periods = Vec::with_capacity(n_periods);
+    for _ in 0..n_periods {
+        let t_start = d.try_u32().ok_or_else(|| corrupt("period"))?;
+        let t_end = d.try_u32().ok_or_else(|| corrupt("period"))?;
+        if t_start > t_end {
+            return Err(corrupt("inverted period"));
+        }
+        if let Some(prev) = periods.last().map(|p: &DiskPeriod| p.t_end) {
+            if t_start <= prev {
+                return Err(corrupt("periods out of order"));
+            }
+        }
+        let n_regions = d.try_u32().ok_or_else(|| corrupt("period"))? as usize;
+        if n_regions.saturating_mul(56) > d.remaining() {
+            return Err(corrupt("region count"));
+        }
+        let mut regions = Vec::with_capacity(n_regions);
+        for _ in 0..n_regions {
+            let min = d.try_point().ok_or_else(|| corrupt("region"))?;
+            let max = d.try_point().ok_or_else(|| corrupt("region"))?;
+            let origin = d.try_point().ok_or_else(|| corrupt("region"))?;
+            let cell = d.try_f64().ok_or_else(|| corrupt("region"))?;
+            let cols = d.try_u32().ok_or_else(|| corrupt("region"))?;
+            let rows = d.try_u32().ok_or_else(|| corrupt("region"))?;
+            if !(cell.is_finite() && cell > 0.0) || cols == 0 || rows == 0 {
+                return Err(corrupt("degenerate region grid"));
+            }
+            regions.push(DiskRegion {
+                bbox: BBox::new(min, max),
+                grid: GridSpec::with_shape(origin, cell, cols, rows),
+            });
+        }
+        periods.push(DiskPeriod {
+            t_start,
+            t_end,
+            regions,
+        });
+    }
+    let n_entries = d.try_u64().ok_or_else(|| corrupt("truncated"))? as usize;
+    if n_entries.saturating_mul(32) != d.remaining() {
+        return Err(corrupt("entry table length"));
+    }
+    let mut dir = BlockDirectory {
+        cells: Vec::with_capacity(n_entries),
+        metas: Vec::with_capacity(n_entries),
+        groups: Vec::new(),
+    };
+    let mut prev: Option<(GroupKey, u32)> = None;
+    for i in 0..n_entries {
+        let key = GroupKey {
+            period: d.try_u32().ok_or_else(|| corrupt("entry"))?,
+            region: d.try_u32().ok_or_else(|| corrupt("entry"))?,
+            t: d.try_u32().ok_or_else(|| corrupt("entry"))?,
+        };
+        let cell = d.try_u32().ok_or_else(|| corrupt("entry"))?;
+        let meta = BlockMeta {
+            page: d.try_u64().ok_or_else(|| corrupt("entry"))?,
+            offset: d.try_u32().ok_or_else(|| corrupt("entry"))?,
+            n_ids: d.try_u32().ok_or_else(|| corrupt("entry"))?,
+        };
+        if (key.period as usize) >= periods.len()
+            || (key.region as usize) >= periods[key.period as usize].regions.len()
+        {
+            return Err(corrupt("entry references unknown period/region"));
+        }
+        match prev {
+            Some((pk, pc)) if (pk, pc) >= (key, cell) => {
+                return Err(corrupt("entries not sorted"));
+            }
+            _ => {}
+        }
+        // Open a new group row on every key change; extend the current
+        // row's bounds with this entry's cell otherwise.
+        let grid = &periods[key.period as usize].regions[key.region as usize].grid;
+        if (cell as usize) >= grid.len() {
+            return Err(corrupt("entry cell outside region grid"));
+        }
+        let (cx, cy) = grid.unflat(cell as usize);
+        match dir.groups.last_mut() {
+            Some((k, _, end, bounds)) if *k == key => {
+                *end = i as u32 + 1;
+                bounds.min_cx = bounds.min_cx.min(cx);
+                bounds.min_cy = bounds.min_cy.min(cy);
+                bounds.max_cx = bounds.max_cx.max(cx);
+                bounds.max_cy = bounds.max_cy.max(cy);
+            }
+            _ => dir.groups.push((
+                key,
+                i as u32,
+                i as u32 + 1,
+                GroupBounds {
+                    min_cx: cx,
+                    min_cy: cy,
+                    max_cx: cx,
+                    max_cy: cy,
+                },
+            )),
+        }
+        dir.cells.push(cell);
+        dir.metas.push(meta);
+        prev = Some((key, cell));
+    }
+    Ok((periods, dir))
+}
+
+/// Locate the period covering `t` (binary search; mirrors
+/// `Tpi::period_of`).
+pub fn period_of(periods: &[DiskPeriod], t: u32) -> Option<(usize, &DiskPeriod)> {
+    let idx = periods.partition_point(|p| p.t_end < t);
+    periods
+        .get(idx)
+        .filter(|p| p.t_start <= t && t <= p.t_end)
+        .map(|p| (idx, p))
+}
+
+/// Lowest-index region of `period` whose rectangle contains `p` —
+/// identical to the in-memory `Pi::locate_region` result.
+pub fn locate_region(period: &DiskPeriod, p: &Point) -> Option<usize> {
+    period.regions.iter().position(|r| r.bbox.contains(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (Vec<DiskPeriod>, Vec<DirEntry>) {
+        let grid = GridSpec::with_shape(Point::new(0.0, 0.0), 1.0, 4, 4);
+        let periods = vec![DiskPeriod {
+            t_start: 0,
+            t_end: 2,
+            regions: vec![DiskRegion {
+                bbox: BBox::from_extents(0.0, 0.0, 4.0, 4.0),
+                grid,
+            }],
+        }];
+        let entries = vec![
+            DirEntry {
+                period: 0,
+                region: 0,
+                t: 1,
+                cell: 2,
+                meta: BlockMeta {
+                    page: 0,
+                    offset: 0,
+                    n_ids: 3,
+                },
+            },
+            DirEntry {
+                period: 0,
+                region: 0,
+                t: 1,
+                cell: 9,
+                meta: BlockMeta {
+                    page: 0,
+                    offset: 12,
+                    n_ids: 1,
+                },
+            },
+            DirEntry {
+                period: 0,
+                region: 0,
+                t: 2,
+                cell: 5,
+                meta: BlockMeta {
+                    page: 0,
+                    offset: 16,
+                    n_ids: 2,
+                },
+            },
+        ];
+        (periods, entries)
+    }
+
+    #[test]
+    fn roundtrip_and_group_lookup() {
+        let (periods, entries) = fixture();
+        let bytes = encode_dir_segment(&periods, &entries);
+        let (back, dir) = decode_dir_segment(&bytes).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].regions.len(), 1);
+        assert_eq!(dir.num_blocks(), 3);
+        assert_eq!(dir.num_groups(), 2);
+        let (cells, metas, bounds) = dir.group(0, 0, 1).unwrap();
+        assert_eq!(cells, &[2, 9]);
+        assert_eq!(metas[1].offset, 12);
+        // Cells 2 and 9 on a 4-wide grid are (2,0) and (1,2).
+        assert_eq!(
+            (bounds.min_cx, bounds.min_cy, bounds.max_cx, bounds.max_cy),
+            (1, 0, 2, 2)
+        );
+        assert_eq!(dir.block(0, 0, 2, 5).unwrap().n_ids, 2);
+        assert!(dir.block(0, 0, 2, 6).is_none());
+        assert!(dir.group(0, 0, 0).is_none());
+    }
+
+    #[test]
+    fn period_and_region_location() {
+        let (periods, _) = fixture();
+        assert_eq!(period_of(&periods, 1).unwrap().0, 0);
+        assert!(period_of(&periods, 3).is_none());
+        assert_eq!(locate_region(&periods[0], &Point::new(1.0, 1.0)), Some(0));
+        assert_eq!(locate_region(&periods[0], &Point::new(9.0, 9.0)), None);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        let (periods, entries) = fixture();
+        let good = encode_dir_segment(&periods, &entries);
+        for cut in 0..good.len() {
+            assert!(decode_dir_segment(&good[..cut]).is_err(), "cut {cut}");
+        }
+        // Unsorted entries rejected.
+        let mut rev = entries.clone();
+        rev.reverse();
+        assert!(decode_dir_segment(&encode_dir_segment(&periods, &rev)).is_err());
+        // Dangling region reference rejected.
+        let mut bad = entries.clone();
+        bad[0].region = 5;
+        assert!(decode_dir_segment(&encode_dir_segment(&periods, &bad)).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Persistent PPQ trajectory repository (the paper's §6.5 deployment
+//! mode, grown into a reopenable store).
+//!
+//! The in-memory pipeline produces a [`ppq_core::PpqSummary`] (or a
+//! [`ppq_core::ShardedSummary`]); this crate makes that artifact
+//! *durable and serveable*:
+//!
+//! * [`RepoWriter`] lays a finished summary out as a single-directory
+//!   store — a checksummed [`layout::Manifest`] (written temp + rename,
+//!   so a crash mid-write leaves the previous generation intact), one
+//!   summary segment per shard, and TPI page segments whose `(period,
+//!   region, t, cell)` ID blocks are addressed by a sorted
+//!   [`dir::BlockDirectory`].
+//! * [`Repo::open`] validates every segment against the manifest's
+//!   recorded lengths and CRCs, decodes the summaries, loads the
+//!   lightweight directory, and attaches the page segments to one shared
+//!   LRU buffer pool ([`ppq_storage::SharedBufferPool`]) — data pages
+//!   are only touched when a query needs them.
+//! * [`DiskQueryEngine`] answers STRQ/TPQ straight off the open
+//!   repository, bit-identical to the in-memory
+//!   `QueryEngine`/`ShardedQueryEngine` on the same summary, with page
+//!   I/Os counted the way Table 9 counts them (a buffer hit is not an
+//!   I/O) — per query and cumulatively.
+//!
+//! The block directory is the structural win over the scan-based
+//! [`ppq_tpi::DiskTpi`]: where `DiskTpi` must read a period's pages until
+//! the wanted block happens to parse past, the directory maps the block
+//! to `(page, offset)` and pages in only the page(s) it spans. The
+//! `ppq_disk_path` bench records both counters side by side.
+//!
+//! ```no_run
+//! use ppq_core::{PpqConfig, PpqTrajectory, Variant};
+//! use ppq_repo::{DiskQueryEngine, Repo, RepoWriter};
+//! use ppq_traj::synth::{porto_like, PortoConfig};
+//!
+//! let data = porto_like(&PortoConfig::small());
+//! let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+//! let summary = PpqTrajectory::build(&data, &cfg).into_summary();
+//!
+//! let dir = std::env::temp_dir().join("ppq-repo-demo");
+//! RepoWriter::new(&dir).write(&summary)?;          // build → close
+//! let repo = Repo::open(&dir, 64)?;                // reopen
+//! let engine = DiskQueryEngine::new(&repo, &data, cfg.tpi.pi.gc);
+//! let (id, t, p) = data.iter_points().next().unwrap();
+//! assert!(engine.strq(t, &p)?.exact.contains(&id)); // query from disk
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod dir;
+pub mod engine;
+pub mod layout;
+pub mod repo;
+pub mod writer;
+
+pub use engine::{DiskQueryEngine, DiskQueryWorkspace};
+pub use layout::{Manifest, RepoError};
+pub use repo::{Repo, ShardStore};
+pub use writer::RepoWriter;

@@ -1,0 +1,291 @@
+//! The reopened repository: validated segments, lazily paged TPI blocks
+//! behind one shared buffer pool, and the block-level read primitives the
+//! disk query engine drives.
+
+use crate::dir::{
+    decode_dir_segment, locate_region, period_of, BlockDirectory, BlockMeta, DiskPeriod,
+};
+use crate::layout::{
+    dir_seg_name, read_verified, summary_seg_name, tpi_seg_name, Manifest, RepoError, MANIFEST_NAME,
+};
+use ppq_core::summary_io;
+use ppq_core::{PpqSummary, ShardRouter};
+use ppq_geo::Point;
+use ppq_storage::{IoStats, Segment, SharedBufferPool};
+use ppq_traj::TrajId;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// One shard of an open repository: the decoded (in-memory) summary, the
+/// period/region structure, the block directory, and the page segment the
+/// blocks are paged in from.
+pub struct ShardStore {
+    summary: PpqSummary,
+    periods: Vec<DiskPeriod>,
+    directory: BlockDirectory,
+    segment: Segment,
+    payload_capacity: usize,
+}
+
+impl ShardStore {
+    #[inline]
+    pub fn summary(&self) -> &PpqSummary {
+        &self.summary
+    }
+
+    #[inline]
+    pub fn periods(&self) -> &[DiskPeriod] {
+        &self.periods
+    }
+
+    #[inline]
+    pub fn directory(&self) -> &BlockDirectory {
+        &self.directory
+    }
+
+    #[inline]
+    pub fn segment(&self) -> &Segment {
+        &self.segment
+    }
+
+    /// The period covering `t`, with its index (the directory's period
+    /// key), if any.
+    #[inline]
+    pub fn period_of(&self, t: u32) -> Option<(usize, &DiskPeriod)> {
+        period_of(&self.periods, t)
+    }
+
+    /// Read one block's trajectory IDs, appending to `out`. Pages in only
+    /// the `⌈(offset + 4·n_ids) / capacity⌉ − ⌊offset / capacity⌋` pages
+    /// the block actually touches — the directed page-in that replaces
+    /// `DiskTpi`'s scan. I/O is charged to `stats` (pool hits are not
+    /// I/Os); `scratch` is a reusable byte staging buffer.
+    pub fn read_block_into(
+        &self,
+        meta: &BlockMeta,
+        stats: &IoStats,
+        scratch: &mut Vec<u8>,
+        out: &mut Vec<u32>,
+    ) -> std::io::Result<()> {
+        let total = meta.n_ids as usize * 4;
+        scratch.clear();
+        let mut page = meta.page;
+        let mut offset = meta.offset as usize;
+        while scratch.len() < total {
+            let p = self.segment.read(page, stats)?;
+            let payload = p.payload();
+            let take = (total - scratch.len()).min(payload.len() - offset);
+            scratch.extend_from_slice(&payload[offset..offset + take]);
+            page += 1;
+            offset = 0;
+        }
+        out.extend(
+            scratch
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+        );
+        Ok(())
+    }
+
+    /// Single-cell STRQ probe against this shard: locate the period and
+    /// region in memory, binary-search the block directory, and page in
+    /// exactly that block — the disk mirror of `Pi::query`, and the
+    /// directed counterpart of `DiskTpi::query`'s page-run scan.
+    pub fn query_cell(
+        &self,
+        t: u32,
+        p: &Point,
+        stats: &IoStats,
+        scratch: &mut Vec<u8>,
+        out: &mut Vec<u32>,
+    ) -> std::io::Result<()> {
+        let Some((pidx, period)) = self.period_of(t) else {
+            return Ok(());
+        };
+        let Some(ri) = locate_region(period, p) else {
+            return Ok(());
+        };
+        let grid = &period.regions[ri].grid;
+        let (cx, cy) = grid.locate_clamped(p);
+        let cell = grid.flat(cx, cy) as u32;
+        if let Some(meta) = self.directory.block(pidx as u32, ri as u32, t, cell) {
+            self.read_block_into(&meta, stats, scratch, out)?;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    pub fn payload_capacity(&self) -> usize {
+        self.payload_capacity
+    }
+}
+
+/// An open, validated repository.
+pub struct Repo {
+    dir: PathBuf,
+    manifest: Manifest,
+    shards: Vec<ShardStore>,
+    router: ShardRouter,
+    pool: Arc<SharedBufferPool>,
+    /// Cumulative I/O across the repository's lifetime (per-query counts
+    /// are taken by the engine and absorbed here).
+    stats: IoStats,
+}
+
+impl Repo {
+    /// Open the repository at `dir` with a shared buffer pool of
+    /// `pool_pages` frames (0 disables caching — every block read is a
+    /// real page I/O).
+    ///
+    /// Validation: the manifest must parse and checksum; every shard's
+    /// summary and directory segments must match their manifest-recorded
+    /// length and CRC; the TPI page segment must hold exactly the
+    /// recorded number of pages. Data pages themselves are verified
+    /// lazily (CRC trailer on page-in). A stale `MANIFEST.ppq.tmp` from a
+    /// crashed write is ignored.
+    pub fn open(dir: &Path, pool_pages: usize) -> Result<Repo, RepoError> {
+        let manifest_bytes = std::fs::read(dir.join(MANIFEST_NAME))?;
+        let manifest = Manifest::from_bytes(&manifest_bytes)?;
+        let pool = SharedBufferPool::new(pool_pages);
+        let page_size = manifest.page_size as usize;
+        let mut shards = Vec::with_capacity(manifest.shards.len());
+        for (i, sm) in manifest.shards.iter().enumerate() {
+            let g = manifest.generation;
+            let summary_bytes = read_verified(
+                &dir.join(summary_seg_name(g, i as u32)),
+                sm.summary_len,
+                sm.summary_crc,
+            )?;
+            // The disk TPI replaces the in-memory index: decode without
+            // rebuilding it.
+            let summary = summary_io::from_bytes(&summary_bytes, false)?;
+            let dir_bytes =
+                read_verified(&dir.join(dir_seg_name(g, i as u32)), sm.dir_len, sm.dir_crc)?;
+            let (periods, directory) = decode_dir_segment(&dir_bytes)?;
+            let segment = Segment::open(
+                &dir.join(tpi_seg_name(g, i as u32)),
+                i as u32,
+                page_size,
+                Arc::clone(&pool),
+            )?;
+            if segment.num_pages() != sm.tpi_pages {
+                return Err(RepoError::Corrupt(format!(
+                    "shard {i}: TPI segment has {} pages, manifest says {}",
+                    segment.num_pages(),
+                    sm.tpi_pages
+                )));
+            }
+            directory
+                .validate_geometry(
+                    ppq_storage::payload_capacity(page_size),
+                    segment.num_pages(),
+                )
+                .map_err(|what| RepoError::Corrupt(format!("shard {i}: {what}")))?;
+            shards.push(ShardStore {
+                summary,
+                periods,
+                directory,
+                segment,
+                payload_capacity: ppq_storage::payload_capacity(page_size),
+            });
+        }
+        let router = ShardRouter::new(shards.len());
+        Ok(Repo {
+            dir: dir.to_path_buf(),
+            manifest,
+            shards,
+            router,
+            pool,
+            stats: IoStats::default(),
+        })
+    }
+
+    #[inline]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    #[inline]
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    pub fn shards(&self) -> &[ShardStore] {
+        &self.shards
+    }
+
+    #[inline]
+    pub fn shard(&self, i: usize) -> &ShardStore {
+        &self.shards[i]
+    }
+
+    #[inline]
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The shard owning trajectory `id` (same pure hash as the ingest
+    /// router, rebuilt from the manifest's shard count).
+    #[inline]
+    pub fn shard_for(&self, id: TrajId) -> &ShardStore {
+        &self.shards[self.router.shard_of(id)]
+    }
+
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.manifest.page_size as usize
+    }
+
+    #[inline]
+    pub fn pool(&self) -> &Arc<SharedBufferPool> {
+        &self.pool
+    }
+
+    /// Cumulative I/O counters (per-query counts are absorbed here by
+    /// the engine).
+    #[inline]
+    pub fn io_stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Evict every pooled page (cold-start a measurement).
+    pub fn clear_cache(&self) {
+        self.pool.clear();
+    }
+
+    /// Total data pages across shards.
+    pub fn total_pages(&self) -> u64 {
+        self.shards.iter().map(|s| s.segment.num_pages()).sum()
+    }
+
+    /// On-disk footprint of the data pages plus the resident directory.
+    pub fn size_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.segment.size_bytes() + s.directory.size_bytes() as u64)
+            .sum()
+    }
+
+    /// Fan a single-cell STRQ probe out over every shard, unioning the
+    /// per-shard block answers (sorted, deduplicated). Charges `stats`
+    /// one page-in per block page touched — the workload
+    /// `ppq_disk_path` compares against `DiskTpi`'s period-run scan.
+    /// (Only `stats` is charged; callers roll into [`Repo::io_stats`]
+    /// with [`IoStats::absorb`] if they want the cumulative view.)
+    pub fn query_cell(&self, t: u32, p: &Point, stats: &IoStats) -> std::io::Result<Vec<u32>> {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        for shard in &self.shards {
+            shard.query_cell(t, p, stats, &mut scratch, &mut out)?;
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+}

@@ -1,0 +1,220 @@
+//! The repository write path: lay a finished summary (or sharded
+//! summary) out as a generation of segment files, then commit it with an
+//! atomic manifest swap.
+
+use crate::dir::{encode_dir_segment, BlockMeta, DirEntry, DiskPeriod, DiskRegion};
+use crate::layout::{
+    dir_seg_name, summary_seg_name, tpi_seg_name, Manifest, RepoError, ShardManifest,
+    MANIFEST_NAME, MANIFEST_TMP_NAME,
+};
+use ppq_core::summary_io;
+use ppq_core::{PpqSummary, ShardedSummary};
+use ppq_storage::{crc32, payload_capacity, Page, PageStore, PAGE_SIZE};
+use std::path::{Path, PathBuf};
+
+/// Writes a repository directory. One `write*` call produces one new
+/// *generation* of segment files and commits it by writing the manifest
+/// to a temp name and renaming it over `MANIFEST.ppq` — a crash at any
+/// point leaves the previous generation's manifest (and segments)
+/// untouched, so the store reopens at the last consistent state.
+pub struct RepoWriter {
+    dir: PathBuf,
+    page_size: usize,
+}
+
+impl RepoWriter {
+    /// Writer with the paper's default 1 MiB pages.
+    pub fn new(dir: &Path) -> RepoWriter {
+        Self::with_page_size(dir, PAGE_SIZE)
+    }
+
+    /// Explicit page size (scaled-down experiments scale the page with
+    /// the dataset, as in EXPERIMENTS.md Table 9).
+    pub fn with_page_size(dir: &Path, page_size: usize) -> RepoWriter {
+        let _ = payload_capacity(page_size); // validate early
+        RepoWriter {
+            dir: dir.to_path_buf(),
+            page_size,
+        }
+    }
+
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Persist an unsharded summary as a 1-shard repository.
+    pub fn write(&self, summary: &PpqSummary) -> Result<Manifest, RepoError> {
+        self.write_shards(std::slice::from_ref(summary))
+    }
+
+    /// Persist a sharded summary, one segment triple per shard. The shard
+    /// count is recorded in the manifest; `Repo::open` rebuilds the same
+    /// pure `ShardRouter` from it.
+    pub fn write_sharded(&self, sharded: &ShardedSummary) -> Result<Manifest, RepoError> {
+        self.write_shards(sharded.shards())
+    }
+
+    fn write_shards(&self, shards: &[PpqSummary]) -> Result<Manifest, RepoError> {
+        assert!(!shards.is_empty(), "repository needs at least one shard");
+        std::fs::create_dir_all(&self.dir)?;
+        // Each generation gets fresh file names, so writing never clobbers
+        // the committed generation's segments.
+        let generation = match self.committed_manifest()? {
+            Some(m) => m.generation + 1,
+            None => 1,
+        };
+        let mut shard_manifests = Vec::with_capacity(shards.len());
+        for (i, summary) in shards.iter().enumerate() {
+            shard_manifests.push(self.write_one_shard(generation, i as u32, summary)?);
+        }
+        let manifest = Manifest {
+            generation,
+            page_size: self.page_size as u32,
+            shards: shard_manifests,
+        };
+        // Commit: temp + rename, each step fsynced. Segment files were
+        // synced as they were written, the temp manifest is synced before
+        // the rename, and the directory is synced after it so the rename
+        // itself is durable — the rename is the linearization point for
+        // power loss, not just process crashes.
+        let tmp = self.dir.join(MANIFEST_TMP_NAME);
+        write_durable(&tmp, &manifest.to_bytes())?;
+        std::fs::rename(&tmp, self.dir.join(MANIFEST_NAME))?;
+        sync_dir(&self.dir)?;
+        self.sweep_old_generations(generation);
+        Ok(manifest)
+    }
+
+    /// The committed manifest, if a valid one exists. A *corrupt*
+    /// committed manifest is an error — overwriting it would destroy the
+    /// evidence an operator needs.
+    fn committed_manifest(&self) -> Result<Option<Manifest>, RepoError> {
+        match std::fs::read(self.dir.join(MANIFEST_NAME)) {
+            Ok(bytes) => Manifest::from_bytes(&bytes).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn write_one_shard(
+        &self,
+        generation: u64,
+        shard: u32,
+        summary: &PpqSummary,
+    ) -> Result<ShardManifest, RepoError> {
+        let tpi = summary.tpi().ok_or(RepoError::MissingIndex)?;
+
+        // --- Summary segment: the raw summary_io bytes. -----------------
+        let summary_bytes = summary_io::to_bytes(summary);
+        write_durable(
+            &self.dir.join(summary_seg_name(generation, shard)),
+            &summary_bytes,
+        )?;
+
+        // --- TPI page segment + block directory. ------------------------
+        // Blocks are packed back to back into page payload areas (a block
+        // may span pages); every block's address goes into the directory.
+        let capacity = payload_capacity(self.page_size);
+        let store = PageStore::create_with_page_size(
+            &self.dir.join(tpi_seg_name(generation, shard)),
+            0,
+            self.page_size,
+        )?;
+        let mut entries: Vec<DirEntry> = Vec::new();
+        let mut stream: Vec<u8> = Vec::new();
+        let mut periods: Vec<DiskPeriod> = Vec::with_capacity(tpi.periods().len());
+        for (pidx, period) in tpi.periods().iter().enumerate() {
+            periods.push(DiskPeriod {
+                t_start: period.t_start,
+                t_end: period.t_end,
+                regions: period
+                    .pi
+                    .regions()
+                    .iter()
+                    .map(|r| DiskRegion {
+                        bbox: *r.bbox(),
+                        grid: r.grid().clone(),
+                    })
+                    .collect(),
+            });
+            // export_blocks is region-major, (cell, t)-sorted; the
+            // directory wants (region, t, cell) so groups of one
+            // (period, region, t) are contiguous with ascending cells.
+            let mut blocks = period.pi.export_blocks();
+            blocks.sort_unstable_by_key(|&(region, t, cell, _)| (region, t, cell));
+            for (region, t, cell, ids) in blocks {
+                entries.push(DirEntry {
+                    period: pidx as u32,
+                    region,
+                    t,
+                    cell,
+                    meta: BlockMeta {
+                        page: (stream.len() / capacity) as u64,
+                        offset: (stream.len() % capacity) as u32,
+                        n_ids: ids.len() as u32,
+                    },
+                });
+                for id in ids {
+                    stream.extend_from_slice(&id.to_le_bytes());
+                }
+            }
+        }
+        for chunk in stream.chunks(capacity) {
+            store.append(&Page::from_payload_with(chunk, self.page_size))?;
+        }
+        store.sync()?;
+        let tpi_pages = store.num_pages();
+
+        // --- Directory segment. -----------------------------------------
+        let dir_bytes = encode_dir_segment(&periods, &entries);
+        write_durable(&self.dir.join(dir_seg_name(generation, shard)), &dir_bytes)?;
+
+        Ok(ShardManifest {
+            summary_len: summary_bytes.len() as u64,
+            summary_crc: crc32(&summary_bytes),
+            dir_len: dir_bytes.len() as u64,
+            dir_crc: crc32(&dir_bytes),
+            tpi_pages,
+        })
+    }
+
+    /// Best-effort removal of segment files from superseded generations.
+    /// The immediately previous generation is retained: a reader that
+    /// loaded the old manifest just before our rename can still finish
+    /// opening it; anything older is unreachable and removed. Failure is
+    /// harmless: stale files are never referenced again.
+    fn sweep_old_generations(&self, keep: u64) {
+        let Ok(read) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let retained = [
+            format!("-g{keep}-"),
+            format!("-g{}-", keep.saturating_sub(1)),
+        ];
+        for entry in read.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let is_segment = (name.starts_with("summary-g")
+                || name.starts_with("tpi-g")
+                || name.starts_with("dir-g"))
+                && !retained.iter().any(|m| name.contains(m));
+            if is_segment {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+/// Write `bytes` to `path` and fsync before returning, so the data is on
+/// stable storage before anything references the file.
+fn write_durable(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    std::io::Write::write_all(&mut f, bytes)?;
+    f.sync_all()
+}
+
+/// Fsync a directory so a completed rename survives power loss.
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}

@@ -1,0 +1,340 @@
+//! End-to-end persistence: build → write → reopen → query, with the disk
+//! engine's answers held bit-identical to the in-memory engines, plus
+//! crash-safety and corruption-detection coverage.
+
+use ppq_core::query::{QueryEngine, ShardedQueryEngine, StrqOutcome};
+use ppq_core::{PpqConfig, PpqTrajectory, ShardedSummary, Variant};
+use ppq_geo::Point;
+use ppq_repo::{DiskQueryEngine, Repo, RepoError, RepoWriter};
+use ppq_storage::IoStats;
+use ppq_tpi::DiskTpi;
+use ppq_traj::synth::{porto_like, PortoConfig};
+use ppq_traj::Dataset;
+use std::path::PathBuf;
+
+const PAGE: usize = 4096; // small pages so multi-page layouts are exercised
+
+fn dataset() -> Dataset {
+    porto_like(&PortoConfig {
+        trajectories: 60,
+        mean_len: 45,
+        min_len: 30,
+        start_spread: 12,
+        seed: 77,
+    })
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ppq-repo-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn queries(data: &Dataset) -> Vec<(u32, Point)> {
+    let mut qs: Vec<(u32, Point)> = data
+        .iter_points()
+        .step_by(23)
+        .map(|(_, t, p)| (t, p))
+        .collect();
+    // Misses too: far outside the extent and past the time range.
+    qs.push((0, Point::new(500.0, 500.0)));
+    qs.push((1_000_000, Point::new(-8.6, 41.1)));
+    qs
+}
+
+fn points_bit_eq(a: &Point, b: &Point) -> bool {
+    a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits()
+}
+
+fn assert_outcomes_bit_identical(disk: &[StrqOutcome], mem: &[StrqOutcome]) {
+    assert_eq!(disk.len(), mem.len());
+    for (i, (d, m)) in disk.iter().zip(mem).enumerate() {
+        assert_eq!(d.truth, m.truth, "truth diverged at query {i}");
+        assert_eq!(d.approx, m.approx, "approx diverged at query {i}");
+        assert_eq!(d.candidates, m.candidates, "candidates diverged at {i}");
+        assert_eq!(d.exact, m.exact, "exact diverged at query {i}");
+        assert_eq!(d.visited, m.visited, "visited diverged at query {i}");
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn assert_tpq_bit_identical(
+    disk: &[Vec<(u32, Vec<(u32, Point)>)>],
+    mem: &[Vec<(u32, Vec<(u32, Point)>)>],
+) {
+    assert_eq!(disk.len(), mem.len());
+    for (qi, (d, m)) in disk.iter().zip(mem).enumerate() {
+        assert_eq!(d.len(), m.len(), "TPQ match count diverged at query {qi}");
+        for ((id_d, sub_d), (id_m, sub_m)) in d.iter().zip(m) {
+            assert_eq!(id_d, id_m, "TPQ id diverged at query {qi}");
+            assert_eq!(sub_d.len(), sub_m.len());
+            for ((td, pd), (tm, pm)) in sub_d.iter().zip(sub_m) {
+                assert_eq!(td, tm);
+                assert!(
+                    points_bit_eq(pd, pm),
+                    "TPQ payload bits diverged at query {qi}, id {id_d}, t {td}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn disk_engine_bit_identical_to_memory_engine() {
+    let data = dataset();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let gc = cfg.tpi.pi.gc;
+    let summary = PpqTrajectory::build(&data, &cfg).into_summary();
+    assert!(summary.tpi().is_some(), "fixture must build its index");
+
+    let dir = tmp_dir("parity-1shard");
+    RepoWriter::with_page_size(&dir, PAGE)
+        .write(&summary)
+        .unwrap();
+    let repo = Repo::open(&dir, 64).unwrap();
+
+    // Precondition for payload bit-identity: the reopened summary
+    // reconstructs bit-for-bit like the original.
+    for traj in data.trajectories() {
+        for off in 0..traj.len() {
+            let t = traj.start + off as u32;
+            let a = summary.reconstruct(traj.id, t).unwrap();
+            let b = repo.shard(0).summary().reconstruct(traj.id, t).unwrap();
+            assert!(
+                points_bit_eq(&a, &b),
+                "reopened reconstruction diverged at traj {} t {t}",
+                traj.id
+            );
+        }
+    }
+
+    let engine_mem = QueryEngine::new(&summary, &data, gc);
+    let engine_disk = DiskQueryEngine::new(&repo, &data, gc);
+    let qs = queries(&data);
+    assert_outcomes_bit_identical(
+        &engine_disk.strq_batch(&qs).unwrap(),
+        &engine_mem.strq_batch(&qs),
+    );
+    assert_tpq_bit_identical(
+        &engine_disk.tpq_batch(&qs, 10).unwrap(),
+        &engine_mem.tpq_batch(&qs, 10),
+    );
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn disk_engine_bit_identical_to_sharded_engine() {
+    let data = dataset();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let gc = cfg.tpi.pi.gc;
+    let sharded = ShardedSummary::build(&data, &cfg, 3);
+
+    let dir = tmp_dir("parity-3shard");
+    RepoWriter::with_page_size(&dir, PAGE)
+        .write_sharded(&sharded)
+        .unwrap();
+    let repo = Repo::open(&dir, 64).unwrap();
+    assert_eq!(repo.num_shards(), 3);
+
+    let engine_mem = ShardedQueryEngine::new(&sharded, &data, gc);
+    let engine_disk = DiskQueryEngine::new(&repo, &data, gc);
+    let qs = queries(&data);
+    assert_outcomes_bit_identical(
+        &engine_disk.strq_batch(&qs).unwrap(),
+        &engine_mem.strq_batch(&qs),
+    );
+    assert_tpq_bit_identical(
+        &engine_disk.tpq_batch(&qs, 10).unwrap(),
+        &engine_mem.tpq_batch(&qs, 10),
+    );
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn batches_are_thread_count_invariant() {
+    let data = dataset();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let gc = cfg.tpi.pi.gc;
+    let summary = PpqTrajectory::build(&data, &cfg).into_summary();
+    let dir = tmp_dir("threads");
+    RepoWriter::with_page_size(&dir, PAGE)
+        .write(&summary)
+        .unwrap();
+    let repo = Repo::open(&dir, 64).unwrap();
+    let engine = DiskQueryEngine::new(&repo, &data, gc);
+    let qs = queries(&data);
+    let one = rayon::with_thread_count(1, || engine.strq_online_batch(&qs).unwrap());
+    let four = rayon::with_thread_count(4, || engine.strq_online_batch(&qs).unwrap());
+    assert_eq!(one, four);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn per_query_io_counts_and_pool() {
+    let data = dataset();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let gc = cfg.tpi.pi.gc;
+    let summary = PpqTrajectory::build(&data, &cfg).into_summary();
+    let dir = tmp_dir("iostats");
+    RepoWriter::with_page_size(&dir, PAGE)
+        .write(&summary)
+        .unwrap();
+    let repo = Repo::open(&dir, 128).unwrap();
+    let engine = DiskQueryEngine::new(&repo, &data, gc);
+
+    let (id, t, p) = data.iter_points().next().unwrap();
+    let mut ws = ppq_repo::DiskQueryWorkspace::new();
+    repo.clear_cache();
+    let out = engine.strq_online_with(t, &p, &mut ws).unwrap();
+    assert!(out.exact.contains(&id));
+    let (cold_reads, _) = ws.last_io;
+    assert!(cold_reads >= 1, "cold query must page something in");
+    // Warm repeat: all pages come from the shared pool.
+    let out2 = engine.strq_online_with(t, &p, &mut ws).unwrap();
+    assert_eq!(out, out2);
+    let (warm_reads, warm_hits) = ws.last_io;
+    assert_eq!(warm_reads, 0, "warm repeat must be I/O-free");
+    assert!(warm_hits >= 1);
+    // Cumulative counter saw both.
+    assert!(repo.io_stats().reads() >= cold_reads);
+    assert!(repo.io_stats().buffer_hits() >= warm_hits);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn directed_block_lookup_beats_disktpi_scan() {
+    let data = dataset();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let summary = PpqTrajectory::build(&data, &cfg).into_summary();
+    let tpi = summary.tpi().unwrap().clone();
+
+    let dir = tmp_dir("vs-scan");
+    RepoWriter::with_page_size(&dir, PAGE)
+        .write(&summary)
+        .unwrap();
+    let repo = Repo::open(&dir, 0).unwrap(); // pool off: count every page-in
+    let scan_path = dir.join("disktpi-baseline.pages");
+    let disk_tpi = DiskTpi::create_with(tpi, &scan_path, 0, PAGE).unwrap();
+
+    let mut directed = 0u64;
+    let mut scanned = 0u64;
+    for (_, t, p) in data.iter_points().step_by(37) {
+        let stats = IoStats::default();
+        let a = repo.query_cell(t, &p, &stats).unwrap();
+        directed += stats.reads();
+        disk_tpi.io_stats().reset();
+        let mut b = disk_tpi.query(t, &p).unwrap();
+        scanned += disk_tpi.io_stats().reads();
+        b.sort_unstable();
+        assert_eq!(a, b, "directed and scanned answers diverged at t {t}");
+    }
+    assert!(
+        directed < scanned,
+        "block directory must do strictly fewer page-ins: directed {directed} vs scan {scanned}"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn crash_during_write_leaves_previous_generation_consistent() {
+    let data = dataset();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let gc = cfg.tpi.pi.gc;
+    let summary = PpqTrajectory::build(&data, &cfg).into_summary();
+    let dir = tmp_dir("crash");
+    let writer = RepoWriter::with_page_size(&dir, PAGE);
+    writer.write(&summary).unwrap();
+    let gen1 = Repo::open(&dir, 16).unwrap().manifest().generation;
+    assert_eq!(gen1, 1);
+
+    // Simulated crash mid-write of generation 2: partial segment files
+    // exist and the manifest rewrite stopped at the temp file.
+    std::fs::write(dir.join("summary-g2-0.seg"), b"partial garbage").unwrap();
+    std::fs::write(dir.join("tpi-g2-0.pages"), b"torn").unwrap();
+    std::fs::write(dir.join("MANIFEST.ppq.tmp"), b"half a manifest").unwrap();
+
+    // The store still opens at generation 1 and serves queries.
+    let repo = Repo::open(&dir, 16).unwrap();
+    assert_eq!(repo.manifest().generation, 1);
+    let engine = DiskQueryEngine::new(&repo, &data, gc);
+    let (id, t, p) = data.iter_points().next().unwrap();
+    assert!(engine.strq(t, &p).unwrap().exact.contains(&id));
+    drop(repo);
+
+    // A completed rewrite commits generation 2. The sweep retains the
+    // immediately previous generation (a concurrent reader may still be
+    // opening it) but removes anything older.
+    writer.write(&summary).unwrap();
+    let repo = Repo::open(&dir, 16).unwrap();
+    assert_eq!(repo.manifest().generation, 2);
+    assert!(
+        dir.join("summary-g1-0.seg").exists(),
+        "previous generation must be retained for in-flight readers"
+    );
+    let engine = DiskQueryEngine::new(&repo, &data, gc);
+    assert!(engine.strq(t, &p).unwrap().exact.contains(&id));
+    drop(repo);
+
+    // Generation 3 makes generation 1 unreachable by any reader that
+    // started after the generation-2 commit — now it is swept.
+    writer.write(&summary).unwrap();
+    let repo = Repo::open(&dir, 16).unwrap();
+    assert_eq!(repo.manifest().generation, 3);
+    assert!(!dir.join("summary-g1-0.seg").exists(), "g1 not swept");
+    assert!(dir.join("summary-g2-0.seg").exists(), "g2 must be retained");
+    let engine = DiskQueryEngine::new(&repo, &data, gc);
+    assert!(engine.strq(t, &p).unwrap().exact.contains(&id));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn corruption_is_detected() {
+    let data = dataset();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let summary = PpqTrajectory::build(&data, &cfg).into_summary();
+    let dir = tmp_dir("corrupt");
+    RepoWriter::with_page_size(&dir, PAGE)
+        .write(&summary)
+        .unwrap();
+
+    // Missing manifest: clean error.
+    let empty = tmp_dir("corrupt-empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    assert!(matches!(Repo::open(&empty, 0), Err(RepoError::Io(_))));
+    let _ = std::fs::remove_dir_all(empty);
+
+    // Flipped byte in the summary segment: caught at open by the
+    // manifest CRC.
+    let seg = dir.join("summary-g1-0.seg");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&seg, &bytes).unwrap();
+    assert!(matches!(Repo::open(&dir, 0), Err(RepoError::Corrupt(_))));
+    bytes[mid] ^= 0x10;
+    std::fs::write(&seg, &bytes).unwrap();
+    Repo::open(&dir, 0).unwrap();
+
+    // Flipped byte in a data page: caught lazily by the page CRC when a
+    // query pages it in.
+    let pages = dir.join("tpi-g1-0.pages");
+    let mut bytes = std::fs::read(&pages).unwrap();
+    assert!(!bytes.is_empty());
+    bytes[10] ^= 0x01;
+    std::fs::write(&pages, &bytes).unwrap();
+    let repo = Repo::open(&dir, 0).unwrap(); // structure is fine
+    let gc = cfg.tpi.pi.gc;
+    let engine = DiskQueryEngine::new(&repo, &data, gc);
+    let mut saw_crc_error = false;
+    for (_, t, p) in data.iter_points().step_by(11) {
+        if let Err(e) = engine.strq_online(t, &p) {
+            assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+            saw_crc_error = true;
+            break;
+        }
+    }
+    assert!(saw_crc_error, "no query touched the corrupted page");
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -57,6 +57,12 @@ impl Encoder {
         self.buf.put_slice(b);
     }
 
+    /// Append raw bytes with no length prefix (the caller's framing
+    /// carries the length — e.g. a manifest header).
+    pub fn put_bytes_raw(&mut self, b: &[u8]) {
+        self.buf.put_slice(b);
+    }
+
     pub fn len(&self) -> usize {
         self.buf.len()
     }
@@ -121,6 +127,64 @@ impl Decoder {
     pub fn remaining(&self) -> usize {
         self.buf.len()
     }
+
+    // --- Checked accessors ------------------------------------------------
+    //
+    // The panicking accessors above are right for trusted, self-produced
+    // buffers (pages already CRC-verified). Decoders of *external* input
+    // (`core::summary_io`, the repository manifest) use these instead:
+    // every early-EOF returns `None` so the caller can surface a typed
+    // corruption error instead of a panic.
+
+    fn try_take<const N: usize>(&mut self) -> Option<[u8; N]> {
+        if self.buf.len() < N {
+            return None;
+        }
+        let head = self.buf.split_to(N);
+        Some(head[..].try_into().unwrap())
+    }
+
+    pub fn try_u16(&mut self) -> Option<u16> {
+        self.try_take::<2>().map(u16::from_le_bytes)
+    }
+
+    pub fn try_u32(&mut self) -> Option<u32> {
+        self.try_take::<4>().map(u32::from_le_bytes)
+    }
+
+    pub fn try_u64(&mut self) -> Option<u64> {
+        self.try_take::<8>().map(u64::from_le_bytes)
+    }
+
+    pub fn try_f32(&mut self) -> Option<f32> {
+        self.try_take::<4>().map(f32::from_le_bytes)
+    }
+
+    pub fn try_f64(&mut self) -> Option<f64> {
+        self.try_take::<8>().map(f64::from_le_bytes)
+    }
+
+    pub fn try_point(&mut self) -> Option<Point> {
+        let x = self.try_f64()?;
+        let y = self.try_f64()?;
+        Some(Point::new(x, y))
+    }
+
+    /// Length-prefixed bytes; `None` when the prefix or the payload runs
+    /// past the end of the buffer.
+    pub fn try_bytes(&mut self) -> Option<Bytes> {
+        let len = self.try_u32()? as usize;
+        if self.buf.len() < len {
+            return None;
+        }
+        Some(self.buf.split_to(len))
+    }
+
+    /// Take everything that remains (zero-copy view).
+    pub fn rest(&mut self) -> Bytes {
+        let n = self.buf.len();
+        self.buf.split_to(n)
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +226,27 @@ mod tests {
         assert_eq!(&d.bytes()[..], b"hello");
         assert_eq!(d.bytes().len(), 0);
         assert_eq!(d.u32(), 42);
+    }
+
+    #[test]
+    fn checked_accessors_report_eof() {
+        let mut e = Encoder::new();
+        e.put_u32(9);
+        e.put_bytes(b"abc");
+        let mut d = Decoder::new(e.finish());
+        assert_eq!(d.try_u32(), Some(9));
+        assert_eq!(&d.try_bytes().unwrap()[..], b"abc");
+        assert_eq!(d.try_u32(), None);
+        // A length prefix larger than the remaining buffer is caught.
+        let mut e = Encoder::new();
+        e.put_u32(1_000_000);
+        e.put_u32(0xAB);
+        let mut d = Decoder::new(e.finish());
+        assert!(d.try_bytes().is_none());
+        // Underflow mid-scalar too.
+        let mut d = Decoder::from_slice(&[1, 2, 3]);
+        assert_eq!(d.try_u32(), None);
+        assert_eq!(d.try_u16(), Some(u16::from_le_bytes([1, 2])));
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! CRC-32 (IEEE 802.3, the polynomial used by gzip/zlib/PNG), table-driven.
+//!
+//! The disk layer stores a CRC in every page trailer and in the repository
+//! manifest/segment headers; this module is the one shared implementation.
+//! Implemented locally because the build environment has no registry
+//! access (see `crates/shims/README.md` for the same story on other deps).
+
+/// The reflected polynomial of CRC-32/ISO-HDLC.
+const POLY: u32 = 0xEDB8_8320;
+
+/// One 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            k += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (init `!0`, final xor `!0` — the standard check value
+/// of `b"123456789"` is `0xCBF43926`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(&[]), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = vec![0xA5u8; 257];
+        let base = crc32(&data);
+        for byte in [0usize, 1, 128, 256] {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), base, "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+}

@@ -5,19 +5,29 @@
 //! lightweight `(period, starting page, page count)` index, and reports
 //! query response time and *page I/Os*. This crate supplies:
 //!
-//! * [`page`] — the fixed-size page abstraction.
+//! * [`page`] — the fixed-size page abstraction, with a CRC-32 trailer
+//!   sealed on write and verified on page-in.
 //! * [`store`] — a file-backed page store with read/write I/O counters and
 //!   an optional LRU buffer pool (a buffer hit is not an I/O, matching how
 //!   TrajStore counts).
+//! * [`pool`] — a buffer pool *shared* across segments (the repository's
+//!   shard-aware pool) and the read-only [`Segment`] handle with per-call
+//!   I/O accounting.
 //! * [`codec`] — a small byte codec (via `bytes`) for serializing
-//!   fixed-layout records onto pages.
+//!   fixed-layout records onto pages, with checked accessors for decoding
+//!   untrusted input.
+//! * [`mod@crc32`] — the shared CRC-32 implementation.
 //! * [`page_index`] — the lightweight period → page-range index of §5.1.
 
 pub mod codec;
+pub mod crc32;
 pub mod page;
 pub mod page_index;
+pub mod pool;
 pub mod store;
 
-pub use page::{Page, PAGE_SIZE};
+pub use crc32::crc32;
+pub use page::{payload_capacity, Page, PAGE_SIZE, PAGE_TRAILER};
 pub use page_index::PageIndex;
+pub use pool::{Segment, SharedBufferPool};
 pub use store::{IoStats, PageStore};

@@ -1,9 +1,27 @@
-//! Fixed-size pages.
+//! Fixed-size pages with a CRC-32 trailer.
+
+use crate::crc32::crc32;
 
 /// Page size used throughout the disk experiments: 1 MiB, "following the
 /// same process in the TrajStore paper, bounding the data on disk and
 /// setting the page size as 1MB" (paper §6.5).
 pub const PAGE_SIZE: usize = 1 << 20;
+
+/// Trailer bytes reserved at the end of every page for the CRC-32 of the
+/// payload area. [`crate::PageStore`] seals the trailer on write and
+/// verifies it on page-in, so torn or bit-rotted pages surface as I/O
+/// errors instead of silently corrupt query answers.
+pub const PAGE_TRAILER: usize = 4;
+
+/// Usable payload bytes of a page of `page_size` total bytes.
+#[inline]
+pub fn payload_capacity(page_size: usize) -> usize {
+    assert!(
+        page_size > PAGE_TRAILER,
+        "page size {page_size} leaves no room for the {PAGE_TRAILER}-byte CRC trailer"
+    );
+    page_size - PAGE_TRAILER
+}
 
 /// An owned page buffer. The size is fixed per [`crate::PageStore`]
 /// (default [`PAGE_SIZE`]); experiments that scale datasets down scale the
@@ -41,12 +59,14 @@ impl Page {
         Self::from_payload_with(payload, PAGE_SIZE)
     }
 
-    /// Build from a payload of at most `size` bytes, zero-padded.
+    /// Build from a payload of at most `payload_capacity(size)` bytes,
+    /// zero-padded, leaving the trailer free for the CRC seal.
     pub fn from_payload_with(payload: &[u8], size: usize) -> Page {
         assert!(
-            payload.len() <= size,
-            "payload {} exceeds page size {size}",
-            payload.len()
+            payload.len() <= payload_capacity(size),
+            "payload {} exceeds page payload capacity {}",
+            payload.len(),
+            payload_capacity(size)
         );
         let mut data = vec![0u8; size];
         data[..payload.len()].copy_from_slice(payload);
@@ -74,6 +94,26 @@ impl Page {
     pub fn as_bytes_mut(&mut self) -> &mut [u8] {
         &mut self.data
     }
+
+    /// The payload area (everything before the CRC trailer).
+    #[inline]
+    pub fn payload(&self) -> &[u8] {
+        &self.data[..self.data.len() - PAGE_TRAILER]
+    }
+
+    /// Compute the payload CRC and store it in the trailer.
+    pub fn seal_crc(&mut self) {
+        let crc = crc32(self.payload());
+        let at = self.data.len() - PAGE_TRAILER;
+        self.data[at..].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Check the trailer CRC against the payload.
+    pub fn verify_crc(&self) -> bool {
+        let at = self.data.len() - PAGE_TRAILER;
+        let stored = u32::from_le_bytes(self.data[at..].try_into().unwrap());
+        crc32(self.payload()) == stored
+    }
 }
 
 impl std::fmt::Debug for Page {
@@ -82,9 +122,9 @@ impl std::fmt::Debug for Page {
     }
 }
 
-/// Number of pages needed to hold `bytes` bytes.
+/// Number of default-size pages needed to hold `bytes` payload bytes.
 pub fn pages_for(bytes: usize) -> usize {
-    bytes.div_ceil(PAGE_SIZE).max(1)
+    bytes.div_ceil(payload_capacity(PAGE_SIZE)).max(1)
 }
 
 #[cfg(test)]
@@ -106,17 +146,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds page size")]
+    #[should_panic(expected = "exceeds page payload capacity")]
     fn oversize_payload_panics() {
-        Page::from_payload(&vec![0u8; PAGE_SIZE + 1]);
+        Page::from_payload(&vec![0u8; PAGE_SIZE - PAGE_TRAILER + 1]);
     }
 
     #[test]
     fn pages_for_rounding() {
+        let cap = payload_capacity(PAGE_SIZE);
         assert_eq!(pages_for(0), 1);
         assert_eq!(pages_for(1), 1);
-        assert_eq!(pages_for(PAGE_SIZE), 1);
-        assert_eq!(pages_for(PAGE_SIZE + 1), 2);
-        assert_eq!(pages_for(10 * PAGE_SIZE), 10);
+        assert_eq!(pages_for(cap), 1);
+        assert_eq!(pages_for(cap + 1), 2);
+        assert_eq!(pages_for(10 * cap), 10);
+    }
+
+    #[test]
+    fn crc_seal_and_verify() {
+        let mut p = Page::from_payload(&[1, 2, 3]);
+        p.seal_crc();
+        assert!(p.verify_crc());
+        // Payload corruption breaks the seal; resealing repairs it.
+        p.as_bytes_mut()[1] ^= 0x40;
+        assert!(!p.verify_crc());
+        p.seal_crc();
+        assert!(p.verify_crc());
+        // The payload view excludes the trailer.
+        assert_eq!(p.payload().len(), PAGE_SIZE - PAGE_TRAILER);
     }
 }

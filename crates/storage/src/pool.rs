@@ -1,0 +1,338 @@
+//! A buffer pool shared across page segments, plus the read-only
+//! [`Segment`] handle that pages data in through it.
+//!
+//! [`crate::PageStore`] owns one private LRU per file — right for a
+//! single scan structure, wrong for a repository whose shards each own a
+//! page segment: S private pools would partition the budget statically
+//! even when one shard is hot. [`SharedBufferPool`] is one LRU over
+//! `(segment, page)` keys, so every attached [`Segment`] competes for the
+//! same frames and a hot shard can occupy most of the pool.
+//!
+//! I/O accounting is per *call*, not per pool: [`Segment::read`] charges
+//! whichever [`IoStats`] the caller passes (a buffer hit is not an I/O,
+//! matching how TrajStore and Table 9 count). A query engine hands each
+//! query its own counter and rolls it up with [`IoStats::absorb`], which
+//! is how "page I/Os per query" is measured without any global reset
+//! dance.
+
+use crate::page::Page;
+use crate::store::IoStats;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::Arc;
+
+/// `(segment id, page id)` — the frame key of the shared pool.
+pub type FrameKey = (u32, u64);
+
+struct PoolInner {
+    capacity: usize,
+    /// Most-recent last (pool sizes in the experiments are small; a Vec
+    /// keeps this allocation-lean and obviously correct).
+    order: Vec<FrameKey>,
+    /// Frames are `Arc`-shared: pages are immutable once CRC-sealed, so
+    /// a pool hit hands out a reference-count bump, not a page_size-byte
+    /// memcpy under the pool mutex.
+    pages: HashMap<FrameKey, Arc<Page>>,
+}
+
+impl PoolInner {
+    fn touch(&mut self, key: FrameKey) {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+        }
+        self.order.push(key);
+    }
+}
+
+/// An LRU buffer pool shared by any number of [`Segment`]s.
+pub struct SharedBufferPool {
+    inner: Mutex<PoolInner>,
+}
+
+impl SharedBufferPool {
+    /// A pool of `capacity` page frames (0 disables caching: every read
+    /// is a real I/O — the cold-path configuration of the disk benches).
+    pub fn new(capacity: usize) -> Arc<SharedBufferPool> {
+        Arc::new(SharedBufferPool {
+            inner: Mutex::new(PoolInner {
+                capacity,
+                order: Vec::new(),
+                pages: HashMap::new(),
+            }),
+        })
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Pages currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().pages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, key: FrameKey) -> Option<Arc<Page>> {
+        let mut inner = self.inner.lock();
+        let page = inner.pages.get(&key).map(Arc::clone);
+        if page.is_some() {
+            inner.touch(key);
+        }
+        page
+    }
+
+    fn put(&self, key: FrameKey, page: Arc<Page>) {
+        let mut inner = self.inner.lock();
+        if inner.capacity == 0 {
+            return;
+        }
+        inner.pages.insert(key, page);
+        inner.touch(key);
+        while inner.pages.len() > inner.capacity {
+            let victim = inner.order.remove(0);
+            inner.pages.remove(&victim);
+        }
+    }
+
+    /// Evict everything (cold-start a query batch).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.order.clear();
+        inner.pages.clear();
+    }
+}
+
+/// A read-only page segment attached to a [`SharedBufferPool`].
+///
+/// Unlike [`crate::PageStore`] (a create-and-append store with a private
+/// pool), a `Segment` opens an existing page file, shares its pool with
+/// sibling segments, and charges I/O to the caller's counter per read.
+pub struct Segment {
+    file: Mutex<File>,
+    seg_id: u32,
+    num_pages: u64,
+    page_size: usize,
+    pool: Arc<SharedBufferPool>,
+}
+
+impl std::fmt::Debug for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Segment")
+            .field("seg_id", &self.seg_id)
+            .field("num_pages", &self.num_pages)
+            .field("page_size", &self.page_size)
+            .finish()
+    }
+}
+
+impl Segment {
+    /// Open the page file at `path` as segment `seg_id` of `pool`. The
+    /// file length must be an exact multiple of `page_size`.
+    pub fn open(
+        path: &Path,
+        seg_id: u32,
+        page_size: usize,
+        pool: Arc<SharedBufferPool>,
+    ) -> io::Result<Segment> {
+        let _ = crate::page::payload_capacity(page_size);
+        let file = OpenOptions::new().read(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % page_size as u64 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "segment {}: length {len} is not a multiple of page size {page_size}",
+                    path.display()
+                ),
+            ));
+        }
+        Ok(Segment {
+            file: Mutex::new(file),
+            seg_id,
+            num_pages: len / page_size as u64,
+            page_size,
+            pool,
+        })
+    }
+
+    #[inline]
+    pub fn seg_id(&self) -> u32 {
+        self.seg_id
+    }
+
+    #[inline]
+    pub fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    #[inline]
+    pub fn pool(&self) -> &Arc<SharedBufferPool> {
+        &self.pool
+    }
+
+    /// Total bytes on disk.
+    pub fn size_bytes(&self) -> u64 {
+        self.num_pages * self.page_size as u64
+    }
+
+    /// Read a page through the shared pool, charging `stats`: a pool hit
+    /// counts a buffer hit (and costs one refcount bump, not a copy), a
+    /// miss counts one read I/O and verifies the page's CRC trailer.
+    pub fn read(&self, page_id: u64, stats: &IoStats) -> io::Result<Arc<Page>> {
+        if page_id >= self.num_pages {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "segment {}: page {page_id} out of range ({} pages)",
+                    self.seg_id, self.num_pages
+                ),
+            ));
+        }
+        let key = (self.seg_id, page_id);
+        if let Some(p) = self.pool.get(key) {
+            stats
+                .buffer_hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Ok(p);
+        }
+        let mut buf = vec![0u8; self.page_size];
+        {
+            let mut f = self.file.lock();
+            f.seek(SeekFrom::Start(page_id * self.page_size as u64))?;
+            f.read_exact(&mut buf)?;
+        }
+        stats
+            .reads
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let page = Arc::new(Page::from_bytes(buf));
+        if !page.verify_crc() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "segment {} page {page_id}: CRC mismatch (corrupt page)",
+                    self.seg_id
+                ),
+            ));
+        }
+        self.pool.put(key, Arc::clone(&page));
+        Ok(page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PageStore;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ppq-segment-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    const PS: usize = 4096;
+
+    fn write_pages(path: &Path, n: u8) {
+        let store = PageStore::create_with_page_size(path, 0, PS).unwrap();
+        for i in 0..n {
+            let mut page = Page::zeroed_with(PS);
+            page.as_bytes_mut()[0] = i;
+            store.append(&page).unwrap();
+        }
+    }
+
+    #[test]
+    fn segments_share_one_pool() {
+        let (pa, pb) = (tmp("share-a"), tmp("share-b"));
+        write_pages(&pa, 2);
+        write_pages(&pb, 2);
+        let pool = SharedBufferPool::new(2);
+        let a = Segment::open(&pa, 0, PS, Arc::clone(&pool)).unwrap();
+        let b = Segment::open(&pb, 1, PS, Arc::clone(&pool)).unwrap();
+        let stats = IoStats::default();
+        // Same page id in different segments are distinct frames.
+        assert_eq!(a.read(0, &stats).unwrap().as_bytes()[0], 0);
+        assert_eq!(b.read(0, &stats).unwrap().as_bytes()[0], 0);
+        assert_eq!(stats.reads(), 2);
+        // Both are now resident; rereads are hits, not I/Os.
+        a.read(0, &stats).unwrap();
+        b.read(0, &stats).unwrap();
+        assert_eq!(stats.reads(), 2);
+        assert_eq!(stats.buffer_hits(), 2);
+        // A third distinct frame evicts the LRU (a:0).
+        a.read(1, &stats).unwrap();
+        a.read(0, &stats).unwrap();
+        assert_eq!(stats.reads(), 4);
+        std::fs::remove_file(pa).ok();
+        std::fs::remove_file(pb).ok();
+    }
+
+    #[test]
+    fn per_call_stats_are_independent() {
+        let p = tmp("percall");
+        write_pages(&p, 1);
+        let pool = SharedBufferPool::new(4);
+        let seg = Segment::open(&p, 0, PS, pool).unwrap();
+        let q1 = IoStats::default();
+        let q2 = IoStats::default();
+        seg.read(0, &q1).unwrap();
+        seg.read(0, &q2).unwrap();
+        assert_eq!((q1.reads(), q1.buffer_hits()), (1, 0));
+        assert_eq!((q2.reads(), q2.buffer_hits()), (0, 1));
+        let total = IoStats::default();
+        total.absorb(&q1);
+        total.absorb(&q2);
+        assert_eq!((total.reads(), total.buffer_hits()), (1, 1));
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn zero_capacity_pool_never_caches() {
+        let p = tmp("zerocap");
+        write_pages(&p, 1);
+        let pool = SharedBufferPool::new(0);
+        let seg = Segment::open(&p, 0, PS, pool).unwrap();
+        let stats = IoStats::default();
+        seg.read(0, &stats).unwrap();
+        seg.read(0, &stats).unwrap();
+        assert_eq!(stats.reads(), 2);
+        assert_eq!(stats.buffer_hits(), 0);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn corrupt_segment_page_detected() {
+        let p = tmp("segcrc");
+        write_pages(&p, 1);
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = OpenOptions::new().write(true).open(&p).unwrap();
+            f.seek(SeekFrom::Start(10)).unwrap();
+            f.write_all(&[0xEE]).unwrap();
+        }
+        let seg = Segment::open(&p, 0, PS, SharedBufferPool::new(4)).unwrap();
+        let err = seg.read(0, &IoStats::default()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn ragged_file_rejected() {
+        let p = tmp("ragged");
+        std::fs::write(&p, vec![0u8; PS + 7]).unwrap();
+        let err = Segment::open(&p, 0, PS, SharedBufferPool::new(1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(p).ok();
+    }
+}

@@ -38,6 +38,15 @@ impl IoStats {
         self.writes.store(0, Ordering::Relaxed);
         self.buffer_hits.store(0, Ordering::Relaxed);
     }
+
+    /// Add another counter's totals into this one — how per-query stats
+    /// roll up into a session-cumulative counter.
+    pub fn absorb(&self, other: &IoStats) {
+        self.reads.fetch_add(other.reads(), Ordering::Relaxed);
+        self.writes.fetch_add(other.writes(), Ordering::Relaxed);
+        self.buffer_hits
+            .fetch_add(other.buffer_hits(), Ordering::Relaxed);
+    }
 }
 
 /// LRU list over page ids (simple clock-less variant: a Vec ordered by
@@ -120,7 +129,8 @@ impl PageStore {
         pool_pages: usize,
         page_size: usize,
     ) -> io::Result<PageStore> {
-        assert!(page_size > 0);
+        // Every page reserves a CRC trailer; the size must leave payload room.
+        let _ = crate::page::payload_capacity(page_size);
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -141,41 +151,47 @@ impl PageStore {
         self.page_size
     }
 
-    /// Append a page, returning its id. Counts one write I/O.
+    /// Append a page, returning its id. Counts one write I/O. The page's
+    /// CRC trailer is sealed before it reaches the file (or the pool).
     pub fn append(&self, page: &Page) -> io::Result<u64> {
         assert_eq!(page.len(), self.page_size, "page size mismatch");
+        let mut sealed = page.clone();
+        sealed.seal_crc();
         let id = self.num_pages.fetch_add(1, Ordering::SeqCst);
         {
             let mut f = self.file.lock();
             f.seek(SeekFrom::Start(id * self.page_size as u64))?;
-            f.write_all(page.as_bytes())?;
+            f.write_all(sealed.as_bytes())?;
         }
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
-        self.cache.lock().put(id, page.clone());
+        self.cache.lock().put(id, sealed);
         Ok(id)
     }
 
-    /// Overwrite an existing page. Counts one write I/O.
+    /// Overwrite an existing page (CRC-sealed). Counts one write I/O.
     pub fn write(&self, id: u64, page: &Page) -> io::Result<()> {
         assert!(
             id < self.num_pages.load(Ordering::SeqCst),
             "page {id} out of range"
         );
         assert_eq!(page.len(), self.page_size, "page size mismatch");
+        let mut sealed = page.clone();
+        sealed.seal_crc();
         {
             let mut f = self.file.lock();
             f.seek(SeekFrom::Start(id * self.page_size as u64))?;
-            f.write_all(page.as_bytes())?;
+            f.write_all(sealed.as_bytes())?;
         }
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
         let mut cache = self.cache.lock();
         cache.invalidate(id);
-        cache.put(id, page.clone());
+        cache.put(id, sealed);
         Ok(())
     }
 
     /// Read a page. A buffer-pool hit does **not** count as an I/O; a miss
-    /// counts one read I/O.
+    /// counts one read I/O and verifies the CRC trailer (a mismatch is an
+    /// `InvalidData` error, never a silently corrupt answer).
     pub fn read(&self, id: u64) -> io::Result<Page> {
         assert!(
             id < self.num_pages.load(Ordering::SeqCst),
@@ -193,6 +209,12 @@ impl PageStore {
         }
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
         let page = Page::from_bytes(buf);
+        if !page.verify_crc() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("page {id}: CRC mismatch (corrupt page)"),
+            ));
+        }
         self.cache.lock().put(id, page.clone());
         Ok(page)
     }
@@ -200,6 +222,13 @@ impl PageStore {
     #[inline]
     pub fn num_pages(&self) -> u64 {
         self.num_pages.load(Ordering::SeqCst)
+    }
+
+    /// Flush all written pages to stable storage (`fsync`). Writers that
+    /// promise crash safety call this before publishing any reference to
+    /// the file.
+    pub fn sync(&self) -> io::Result<()> {
+        self.file.lock().sync_all()
     }
 
     #[inline]
@@ -298,5 +327,25 @@ mod tests {
         let path = tmp("oob");
         let store = PageStore::create(&path, 0).unwrap();
         let _ = store.read(5);
+    }
+
+    #[test]
+    fn corrupt_page_detected_on_page_in() {
+        let path = tmp("crc");
+        let store = PageStore::create(&path, 0).unwrap();
+        let mut page = Page::zeroed();
+        page.as_bytes_mut()[..3].copy_from_slice(&[7, 8, 9]);
+        let id = store.append(&page).unwrap();
+        // Flip one payload byte on disk, out-of-band.
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(id * PAGE_SIZE as u64 + 1)).unwrap();
+            f.write_all(&[0xFF]).unwrap();
+        }
+        let err = store.read(id).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("CRC"), "{err}");
+        std::fs::remove_file(path).ok();
     }
 }

@@ -60,12 +60,13 @@ impl DiskTpi {
         page_size: usize,
     ) -> io::Result<DiskTpi> {
         let store = PageStore::create_with_page_size(path, pool_pages, page_size)?;
+        let capacity = ppq_storage::payload_capacity(page_size);
         let mut index = PageIndex::new();
         for period in tpi.periods() {
             let payload = serialize_period(&period.pi);
-            let num_pages = payload.len().div_ceil(page_size).max(1) as u64;
+            let num_pages = payload.len().div_ceil(capacity).max(1) as u64;
             let mut first_page = None;
-            for chunk in payload.chunks(page_size) {
+            for chunk in payload.chunks(capacity) {
                 let id = store.append(&Page::from_payload_with(chunk, page_size))?;
                 first_page.get_or_insert(id);
             }
@@ -108,7 +109,7 @@ impl DiskTpi {
                 return Ok(false);
             }
             let page = self.store.read(run.first_page + *next_page)?;
-            bytes.extend_from_slice(page.as_bytes());
+            bytes.extend_from_slice(page.payload());
             *next_page += 1;
             Ok(true)
         };

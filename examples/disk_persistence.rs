@@ -1,16 +1,18 @@
-//! Disk persistence: build the temporal partition index over a fleet,
-//! page it to disk (1 MiB pages), and serve queries with I/O accounting —
-//! the §6.5 deployment mode.
+//! Disk persistence: build a PPQ summary over a fleet, persist it as a
+//! repository (checksummed manifest + summary/directory/page segments),
+//! then *reopen* the store and serve STRQ/TPQ from disk with Table 9
+//! I/O accounting — the §6.5 deployment mode grown into a durable store.
 //!
 //! ```bash
 //! cargo run --release --example disk_persistence
 //! ```
 
-use ppq_trajectory::tpi::{DiskTpi, Tpi, TpiConfig};
+use ppq_trajectory::core::{PpqConfig, PpqTrajectory, Variant};
+use ppq_trajectory::repo::{DiskQueryEngine, DiskQueryWorkspace, Repo, RepoWriter};
 use ppq_trajectory::traj::synth::{porto_like, PortoConfig};
 use ppq_trajectory::traj::DatasetStats;
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fleet = porto_like(&PortoConfig {
         trajectories: 250,
         mean_len: 100,
@@ -20,30 +22,44 @@ fn main() -> std::io::Result<()> {
     });
     println!("{}", DatasetStats::of(&fleet).banner("fleet"));
 
-    // Temporal index with the paper's disk-experiment parameters.
-    let cfg = TpiConfig {
-        eps_d: 0.8,
-        eps_c: 0.5,
-        ..TpiConfig::default()
-    };
-    let tpi = Tpi::build(&fleet, &cfg);
+    // Build the summary (with its TPI — the repository lays the index's
+    // ID blocks out on pages).
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let built = PpqTrajectory::build(&fleet, &cfg);
+    let summary = built.into_summary();
     println!(
-        "TPI: {} periods, {} insertions over {} timesteps",
-        tpi.stats().periods,
-        tpi.stats().insertions,
-        tpi.stats().timesteps
+        "summary: {} points, {} codewords, TPI over {} periods",
+        summary.num_points(),
+        summary.codebook_len(),
+        summary.tpi().map(|t| t.stats().periods).unwrap_or(0)
     );
 
-    let path = std::env::temp_dir().join(format!("ppq-example-disk-{}.pages", std::process::id()));
-    let disk = DiskTpi::create(tpi, &path, 16)?;
+    // --- Write: one directory, committed by an atomic manifest swap. ---
+    let dir = std::env::temp_dir().join(format!("ppq-example-repo-{}", std::process::id()));
+    let writer = RepoWriter::with_page_size(&dir, 64 << 10); // 64 KiB pages for the demo
+    let manifest = writer.write(&summary)?;
     println!(
-        "paged to {}: {} pages ({:.2} MiB)",
-        path.display(),
-        disk.num_pages(),
-        disk.size_bytes() as f64 / (1 << 20) as f64
+        "wrote {} (generation {}, {} shard(s))",
+        dir.display(),
+        manifest.generation,
+        manifest.shards.len()
     );
 
-    // Serve a query batch; first pass cold, second pass warm.
+    // --- Close: drop every in-memory artifact. The store is durable. ---
+    drop(summary);
+
+    // --- Reopen: checksums validated, pages mapped lazily via the pool.
+    let repo = Repo::open(&dir, 32)?;
+    println!(
+        "reopened: {} data pages ({:.2} MiB incl. resident directory), {} blocks addressed",
+        repo.total_pages(),
+        repo.size_bytes() as f64 / (1 << 20) as f64,
+        repo.shard(0).directory().num_blocks()
+    );
+
+    // --- Query from disk: cold pass, then warm (pool-absorbed) pass. ---
+    let gc = cfg.tpi.pi.gc;
+    let engine = DiskQueryEngine::new(&repo, &fleet, gc);
     let queries: Vec<(u32, ppq_trajectory::geo::Point)> = fleet
         .trajectories()
         .iter()
@@ -54,29 +70,41 @@ fn main() -> std::io::Result<()> {
         })
         .collect();
 
-    disk.clear_cache();
-    disk.io_stats().reset();
+    let mut ws = DiskQueryWorkspace::new();
+    repo.clear_cache();
+    repo.io_stats().reset();
     let mut hits = 0usize;
     for (t, p) in &queries {
-        hits += usize::from(!disk.query(*t, p)?.is_empty());
+        hits += usize::from(!engine.strq_online_with(*t, p, &mut ws)?.exact.is_empty());
     }
     println!(
         "cold pass: {} queries, {} answered, {} page reads",
         queries.len(),
         hits,
-        disk.io_stats().reads()
+        repo.io_stats().reads()
     );
 
-    let cold_reads = disk.io_stats().reads();
+    let cold_reads = repo.io_stats().reads();
     for (t, p) in &queries {
-        disk.query(*t, p)?;
+        engine.strq_online_with(*t, p, &mut ws)?;
     }
     println!(
-        "warm pass: +{} page reads ({} buffer hits) — the pool absorbs repeats",
-        disk.io_stats().reads() - cold_reads,
-        disk.io_stats().buffer_hits()
+        "warm pass: +{} page reads ({} buffer hits) — the shared pool absorbs repeats",
+        repo.io_stats().reads() - cold_reads,
+        repo.io_stats().buffer_hits()
     );
 
-    std::fs::remove_file(&path).ok();
+    // --- TPQ straight off the reopened store. --------------------------
+    let (t0, p0) = queries[0];
+    let tpq = engine.tpq(t0, &p0, 10)?;
+    if let Some((id, sub)) = tpq.first() {
+        println!(
+            "TPQ at t={t0}: {} match(es); trajectory {id} reproduced for {} steps",
+            tpq.len(),
+            sub.len()
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
     Ok(())
 }

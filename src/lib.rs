@@ -18,6 +18,8 @@
 //! * [`storage`] — paged disk store with I/O accounting.
 //! * [`core`] — the PPQ-trajectory pipeline itself: E-PQ, PPQ-S/PPQ-A,
 //!   summary, and the STRQ/TPQ query engine.
+//! * [`repo`] — the persistent, reopenable repository: segmented on-disk
+//!   format, block directory, shared buffer pool, disk query engine.
 //! * [`baselines`] — Q-trajectory, PQ, RQ, TrajStore, REST.
 //!
 //! ## Quickstart
@@ -47,6 +49,7 @@ pub use ppq_cqc as cqc;
 pub use ppq_geo as geo;
 pub use ppq_predict as predict;
 pub use ppq_quantize as quantize;
+pub use ppq_repo as repo;
 pub use ppq_sindex as sindex;
 pub use ppq_storage as storage;
 pub use ppq_tpi as tpi;
