@@ -1,0 +1,320 @@
+//! Incremental append + compaction path of the persistent repository
+//! (`ppq-repo`), measured end to end and merged into `BENCH_ppq.json` as
+//! the `append_path` section (companion of `disk_path`).
+//!
+//! What it records:
+//!
+//! 1. **Bit-identity** — a repository grown by `RepoWriter::append`
+//!    (base + two delta generations) must answer STRQ (all levels) and
+//!    TPQ (payload bits) exactly like a single-shot `write` of the same
+//!    data, like the in-memory `ShardedQueryEngine`, and must keep doing
+//!    so after `Repo::compact` collapses the chain. Recorded as the
+//!    `bit_identical` flag CI gates on.
+//! 2. **Append vs full rewrite** — the same three persistence points
+//!    (½, ¾, full of the stream) written once incrementally and once as
+//!    three full rewrites: wall time and bytes written per stage. The
+//!    delta stages must write strictly fewer bytes
+//!    (`delta_bytes_smaller`, also CI-gated).
+//! 3. **Post-compaction page-ins** — the same cold STRQ batch before and
+//!    after compaction (Table 9 I/O accounting: a buffer hit is not an
+//!    I/O), plus the generation/page counts the chain collapsed from.
+//!
+//! `PPQ_SCALE` shrinks the dataset/workload for CI smoke runs.
+
+use ppq_bench::report::merge_bench_section;
+use ppq_bench::{sample_queries, scale};
+use ppq_core::query::{ShardedQueryEngine, StrqOutcome};
+use ppq_core::shard::{ShardedPpqStream, ShardedSummary};
+use ppq_core::{PpqConfig, Variant};
+use ppq_geo::Point;
+use ppq_repo::{DiskQueryEngine, Manifest, Repo, RepoWriter};
+use ppq_traj::synth::{porto_like, PortoConfig};
+use ppq_traj::Dataset;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+const PAGE_SIZE_BENCH: usize = 4 << 10; // same regime choice as ppq_disk_path
+const TPQ_HORIZON: u32 = 10;
+const SHARDS: usize = 2;
+const POOL_PAGES: usize = 128;
+
+fn points_bit_eq(a: &Point, b: &Point) -> bool {
+    a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits()
+}
+
+#[allow(clippy::type_complexity)]
+fn tpq_bit_identical(
+    a: &[Vec<(u32, Vec<(u32, Point)>)>],
+    b: &[Vec<(u32, Vec<(u32, Point)>)>],
+) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(qa, qb)| {
+            qa.len() == qb.len()
+                && qa.iter().zip(qb).all(|((ia, sa), (ib, sb))| {
+                    ia == ib
+                        && sa.len() == sb.len()
+                        && sa
+                            .iter()
+                            .zip(sb)
+                            .all(|((ta, pa), (tb, pb))| ta == tb && points_bit_eq(pa, pb))
+                })
+        })
+}
+
+/// Bytes the newest generation of `manifest` put on disk (summary/delta +
+/// directory segments + data pages).
+fn newest_generation_bytes(manifest: &Manifest) -> u64 {
+    let g = manifest.newest();
+    g.shards
+        .iter()
+        .map(|s| s.summary_len + s.dir_len + s.tpi_pages * manifest.page_size as u64)
+        .sum()
+}
+
+struct Stage {
+    name: &'static str,
+    seconds: f64,
+    bytes: u64,
+}
+
+/// Time one write/append call and account the new generation's bytes.
+fn stage(name: &'static str, f: impl FnOnce() -> Result<Manifest, ppq_repo::RepoError>) -> Stage {
+    let t = Instant::now();
+    let manifest = f().expect("persistence stage failed");
+    Stage {
+        name,
+        seconds: t.elapsed().as_secs_f64(),
+        bytes: newest_generation_bytes(&manifest),
+    }
+}
+
+/// Cold page-ins of one full STRQ batch against the store at `dir`.
+fn cold_batch_reads(dir: &Path, data: &Dataset, gc: f64, queries: &[(u32, Point)]) -> (u64, u64) {
+    let repo = Repo::open(dir, POOL_PAGES).unwrap();
+    let engine = DiskQueryEngine::new(&repo, data, gc);
+    repo.clear_cache();
+    repo.io_stats().reset();
+    let _ = engine.strq_online_batch(queries).unwrap();
+    (repo.io_stats().reads(), repo.total_pages())
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let s = scale();
+
+    let data = porto_like(&PortoConfig {
+        trajectories: ((1200.0 * s).round() as usize).max(50),
+        mean_len: 45,
+        min_len: 30,
+        start_spread: 15,
+        seed: 0xA44E,
+    });
+    let n_points = data.num_points();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let gc = cfg.tpi.pi.gc;
+    let n_queries = ((2000.0 * s).round() as usize).max(200);
+    let queries = sample_queries(&data, n_queries, 53);
+    eprintln!(
+        "append-path dataset: {n_points} points, {} trajectories, {n_queries} queries, {SHARDS} shards",
+        data.num_trajectories()
+    );
+
+    // ---- Stream with snapshots at ½ and ¾ of the timeline. -------------
+    let slices: Vec<_> = data.time_slices().collect();
+    let cuts = [slices.len() / 2, 3 * slices.len() / 4];
+    let mut stream = ShardedPpqStream::new(cfg.clone(), SHARDS);
+    let mut snaps: Vec<ShardedSummary> = Vec::new();
+    for (i, slice) in slices.iter().enumerate() {
+        stream.push_slice(slice.t, slice.points);
+        if cuts.contains(&(i + 1)) {
+            snaps.push(stream.snapshot());
+        }
+    }
+    let full = stream.finish();
+
+    let work_dir = std::env::temp_dir().join(format!("ppq-append-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work_dir);
+    let inc_dir = work_dir.join("incremental");
+    let rw_dir = work_dir.join("rewrite");
+
+    // ---- Incremental path: base write + two appends. --------------------
+    let inc_writer = RepoWriter::with_page_size(&inc_dir, PAGE_SIZE_BENCH);
+    let append_stages = [
+        stage("write_base_half", || inc_writer.write_sharded(&snaps[0])),
+        stage("append_to_3q", || inc_writer.append_sharded(&snaps[1])),
+        stage("append_to_full", || inc_writer.append_sharded(&full)),
+    ];
+
+    // ---- Control path: the same three points as full rewrites. ----------
+    let rw_writer = RepoWriter::with_page_size(&rw_dir, PAGE_SIZE_BENCH);
+    let rewrite_stages = [
+        stage("write_half", || rw_writer.write_sharded(&snaps[0])),
+        stage("rewrite_3q", || rw_writer.write_sharded(&snaps[1])),
+        stage("rewrite_full", || rw_writer.write_sharded(&full)),
+    ];
+    // After three rewrites only the last generation is live — the
+    // single-shot control store for the bit-identity check.
+
+    // ---- Bit-identity: appended vs single-shot vs in-memory. ------------
+    let appended = Repo::open(&inc_dir, POOL_PAGES).unwrap();
+    let generations_before = appended.num_generations();
+    let pages_before = appended.total_pages();
+    let control = Repo::open(&rw_dir, POOL_PAGES).unwrap();
+    let mem = ShardedQueryEngine::new(&full, &data, gc);
+    let appended_engine = DiskQueryEngine::new(&appended, &data, gc);
+    let control_engine = DiskQueryEngine::new(&control, &data, gc);
+    let appended_strq: Vec<StrqOutcome> = appended_engine.strq_batch(&queries).unwrap();
+    let mut bit_identical = appended_strq == control_engine.strq_batch(&queries).unwrap();
+    bit_identical &= appended_strq == mem.strq_batch(&queries);
+    let appended_tpq = appended_engine.tpq_batch(&queries, TPQ_HORIZON).unwrap();
+    bit_identical &= tpq_bit_identical(
+        &appended_tpq,
+        &control_engine.tpq_batch(&queries, TPQ_HORIZON).unwrap(),
+    );
+    bit_identical &= tpq_bit_identical(&appended_tpq, &mem.tpq_batch(&queries, TPQ_HORIZON));
+
+    // ---- Cold page-ins before/after compaction. -------------------------
+    let (appended_cold_reads, _) = cold_batch_reads(&inc_dir, &data, gc, &queries);
+    let t = Instant::now();
+    appended.compact(None).unwrap();
+    let compact_seconds = t.elapsed().as_secs_f64();
+    drop(appended);
+    let (compacted_cold_reads, pages_after) = cold_batch_reads(&inc_dir, &data, gc, &queries);
+
+    // Post-compaction answers must still be bit-identical.
+    let compacted = Repo::open(&inc_dir, POOL_PAGES).unwrap();
+    let generations_after = compacted.num_generations();
+    let compacted_engine = DiskQueryEngine::new(&compacted, &data, gc);
+    bit_identical &= appended_strq == compacted_engine.strq_batch(&queries).unwrap();
+    bit_identical &= tpq_bit_identical(
+        &appended_tpq,
+        &compacted_engine.tpq_batch(&queries, TPQ_HORIZON).unwrap(),
+    );
+    assert!(
+        bit_identical,
+        "appended and compacted stores must answer bit-identically to the single-shot build"
+    );
+
+    let append_total_bytes: u64 = append_stages[1..].iter().map(|s| s.bytes).sum();
+    let rewrite_total_bytes: u64 = rewrite_stages[1..].iter().map(|s| s.bytes).sum();
+    let delta_bytes_smaller = append_total_bytes < rewrite_total_bytes;
+    assert!(
+        delta_bytes_smaller,
+        "delta generations ({append_total_bytes} B) must write fewer bytes than rewrites ({rewrite_total_bytes} B)"
+    );
+    let append_seconds: f64 = append_stages[1..].iter().map(|s| s.seconds).sum();
+    let rewrite_seconds: f64 = rewrite_stages[1..].iter().map(|s| s.seconds).sum();
+
+    // ---- Report. --------------------------------------------------------
+    println!(
+        "\n=== PPQ append path (cores={cores}, {n_points} points, {n_queries} queries, {} B pages, {SHARDS} shards) ===",
+        PAGE_SIZE_BENCH
+    );
+    println!(
+        "{:>18} {:>12} {:>14} | {:>18} {:>12} {:>14}",
+        "append", "s", "bytes", "rewrite", "s", "bytes"
+    );
+    for (a, r) in append_stages.iter().zip(&rewrite_stages) {
+        println!(
+            "{:>18} {:>12.4} {:>14} | {:>18} {:>12.4} {:>14}",
+            a.name, a.seconds, a.bytes, r.name, r.seconds, r.bytes
+        );
+    }
+    println!(
+        "post-base stages: append {append_seconds:.4}s / {append_total_bytes} B vs rewrite {rewrite_seconds:.4}s / {rewrite_total_bytes} B ({:.1}x fewer bytes)",
+        rewrite_total_bytes as f64 / append_total_bytes.max(1) as f64
+    );
+    println!(
+        "compaction: {generations_before} gens / {pages_before} pages -> {generations_after} gen / {pages_after} pages in {compact_seconds:.4}s; cold batch page-ins {appended_cold_reads} -> {compacted_cold_reads}; bit-identical: {bit_identical}"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "    \"runner\": {{\"cores\": {cores}, \"profile\": \"release\", \"points\": {n_points}, \"queries\": {n_queries}, \"page_size\": {PAGE_SIZE_BENCH}, \"shards\": {SHARDS}}},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"note\": \"Incremental repository growth: the stream is persisted at 1/2, 3/4 and full, once as base + two delta generations (RepoWriter::append — summary-delta segment, new-window TPI pages, delta block directory) and once as three full rewrites. bit_identical asserts the appended store answers STRQ (all levels) and TPQ (payload bits) exactly like the single-shot store, like the in-memory ShardedQueryEngine, and still does after Repo::compact collapses the chain. Bytes per stage are the new generation's segment bytes; page_ins compares the same cold STRQ batch (cleared pool, Table 9 accounting) against the 3-generation chain and the compacted single generation.\","
+    );
+    let _ = writeln!(json, "    \"bit_identical\": {bit_identical},");
+    let _ = writeln!(json, "    \"delta_bytes_smaller\": {delta_bytes_smaller},");
+    let _ = writeln!(json, "    \"append_stages\": [");
+    for (i, st) in append_stages.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"stage\": \"{}\", \"seconds\": {:.6}, \"bytes\": {}}}{}",
+            st.name,
+            st.seconds,
+            st.bytes,
+            if i + 1 < append_stages.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(json, "    \"rewrite_stages\": [");
+    for (i, st) in rewrite_stages.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"stage\": \"{}\", \"seconds\": {:.6}, \"bytes\": {}}}{}",
+            st.name,
+            st.seconds,
+            st.bytes,
+            if i + 1 < rewrite_stages.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(
+        json,
+        "    \"post_base_append_seconds\": {append_seconds:.6},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"post_base_rewrite_seconds\": {rewrite_seconds:.6},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"post_base_append_bytes\": {append_total_bytes},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"post_base_rewrite_bytes\": {rewrite_total_bytes},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"rewrite_over_append_bytes\": {:.4},",
+        rewrite_total_bytes as f64 / append_total_bytes.max(1) as f64
+    );
+    let _ = writeln!(json, "    \"compaction\": {{");
+    let _ = writeln!(json, "      \"seconds\": {compact_seconds:.6},");
+    let _ = writeln!(json, "      \"generations_before\": {generations_before},");
+    let _ = writeln!(json, "      \"generations_after\": {generations_after},");
+    let _ = writeln!(json, "      \"pages_before\": {pages_before},");
+    let _ = writeln!(json, "      \"pages_after\": {pages_after},");
+    let _ = writeln!(
+        json,
+        "      \"cold_batch_page_ins_before\": {appended_cold_reads},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"cold_batch_page_ins_after\": {compacted_cold_reads}"
+    );
+    let _ = writeln!(json, "    }}");
+    let _ = write!(json, "  }}");
+
+    let out_path = std::env::var("BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ppq.json").into());
+    let existing = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let merged = merge_bench_section(&existing, "append_path", &json);
+    std::fs::write(&out_path, merged).expect("write BENCH_ppq.json");
+    eprintln!("wrote {out_path} (append_path section)");
+
+    let _ = std::fs::remove_dir_all(&work_dir);
+}

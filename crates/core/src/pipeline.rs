@@ -412,6 +412,18 @@ impl PpqStream {
         self.coeffs.push(step_coeffs);
     }
 
+    /// The summary of everything consumed so far, without closing the
+    /// stream — the snapshot a persistence layer hands to
+    /// `RepoWriter::write`/`append` between time slices. Equivalent to
+    /// `self.clone().finish()`: because every piece of pipeline state is
+    /// append-only (the codebook only pushes words, coefficient rows are
+    /// fixed once written, per-trajectory arrays only grow), a snapshot is
+    /// an exact prefix of any later snapshot — the invariant
+    /// [`crate::summary_io::delta_to_bytes`] verifies and exploits.
+    pub fn snapshot(&self) -> PpqSummary {
+        self.clone().finish()
+    }
+
     /// Close the stream and produce the summary (building the TPI over
     /// the reconstructed stream when `config.build_index` is set).
     pub fn finish(mut self) -> PpqSummary {

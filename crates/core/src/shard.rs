@@ -24,8 +24,10 @@
 
 use crate::config::PpqConfig;
 use crate::pipeline::PpqStream;
-use crate::summary::{PpqSummary, SummaryBreakdown};
+use crate::summary::{BuildStats, CodebookStore, PpqSummary, SummaryBreakdown};
 use ppq_geo::Point;
+use ppq_predict::Predictor;
+use ppq_quantize::Codebook;
 use ppq_traj::{Dataset, TrajId};
 use rayon::prelude::*;
 
@@ -159,6 +161,12 @@ impl ShardedPpqStream {
         }
     }
 
+    /// The sharded summary of everything consumed so far, without closing
+    /// the stream (the sharded mirror of [`PpqStream::snapshot`]).
+    pub fn snapshot(&self) -> ShardedSummary {
+        self.clone().finish()
+    }
+
     /// Close every shard and produce the sharded summary (per-shard TPIs
     /// build in parallel inside each shard's `finish`).
     pub fn finish(self) -> ShardedSummary {
@@ -189,6 +197,39 @@ pub struct ShardedSummary {
     shards: Vec<PpqSummary>,
 }
 
+/// Why a set of per-shard summaries cannot be re-sharded losslessly.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReshardError {
+    /// Re-sharding remaps codeword indices into one concatenated global
+    /// codebook; per-step codebooks (the budgeted baselines) are not
+    /// supported.
+    PerStepCodebook,
+    /// The shard summaries disagree on a structural parameter that must be
+    /// uniform (timestep range, prediction order, CQC setting, …).
+    MisalignedShards(&'static str),
+    /// A remapped partition label would not fit the serialized u16 label
+    /// domain (astronomically many partitions per step).
+    LabelOverflow,
+}
+
+impl std::fmt::Display for ReshardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReshardError::PerStepCodebook => {
+                write!(f, "re-sharding requires global (error-bounded) codebooks")
+            }
+            ReshardError::MisalignedShards(what) => {
+                write!(f, "shard summaries are misaligned: {what}")
+            }
+            ReshardError::LabelOverflow => {
+                write!(f, "remapped partition label exceeds the u16 label domain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReshardError {}
+
 impl ShardedSummary {
     /// Batch convenience: stream a whole dataset through a
     /// [`ShardedPpqStream`] (the sharded mirror of
@@ -199,6 +240,21 @@ impl ShardedSummary {
             stream.push_slice(slice.t, slice.points);
         }
         stream.finish()
+    }
+
+    /// Assemble a sharded summary from per-shard summaries whose
+    /// trajectory assignment followed `ShardRouter::new(shards.len())` —
+    /// the inverse of [`ShardedSummary::shards`], used when reopening a
+    /// persisted sharded repository into the in-memory form.
+    pub fn from_shards(shards: Vec<PpqSummary>) -> ShardedSummary {
+        assert!(
+            !shards.is_empty(),
+            "sharded summary needs at least one shard"
+        );
+        ShardedSummary {
+            router: ShardRouter::new(shards.len()),
+            shards,
+        }
     }
 
     #[inline]
@@ -214,6 +270,125 @@ impl ShardedSummary {
     #[inline]
     pub fn shards(&self) -> &[PpqSummary] {
         &self.shards
+    }
+
+    /// Consume the sharded summary, yielding the per-shard summaries
+    /// (e.g. to rebuild each shard's index before persisting).
+    pub fn into_shards(self) -> Vec<PpqSummary> {
+        self.shards
+    }
+
+    /// Losslessly redistribute the trajectories over `new_shards` shards
+    /// (the repository's `S → S′` re-sharding primitive).
+    ///
+    /// A fresh `S′`-shard build would re-run quantization and produce
+    /// different codebooks; this instead keeps every trajectory's encoding
+    /// *bit-for-bit*: the old shards' codebooks are concatenated into one
+    /// union codebook carried by every new shard, codeword indices are
+    /// offset by the owning old shard's codebook position, per-step
+    /// coefficient rows are concatenated likewise and partition labels
+    /// offset per step. Reconstructions — and therefore STRQ answers at
+    /// every level and TPQ payload bits — are unchanged (per-point data is
+    /// never duplicated; only the union codebook and coefficient tables
+    /// are, the fragmentation cost `ppq_shard_scaling` already measures).
+    ///
+    /// Only global (error-bounded) codebooks are supported; the shard
+    /// summaries must agree on `min_t`, timestep count, and the
+    /// decode-relevant config (always true for summaries produced by one
+    /// [`ShardedPpqStream`] or reopened from one repository).
+    pub fn reshard(&self, new_shards: usize) -> Result<ShardedSummary, ReshardError> {
+        let old = &self.shards;
+        let steps = old[0].coeffs.len();
+        let min_t = old[0].min_t;
+        for s in old.iter() {
+            if s.coeffs.len() != steps {
+                return Err(ReshardError::MisalignedShards("timestep count"));
+            }
+            if s.min_t != min_t && s.num_points() > 0 {
+                return Err(ReshardError::MisalignedShards("min_t"));
+            }
+            if s.config.k != old[0].config.k
+                || s.config.use_cqc != old[0].config.use_cqc
+                || s.config.predict != old[0].config.predict
+            {
+                return Err(ReshardError::MisalignedShards("config"));
+            }
+            if !matches!(s.codebook, CodebookStore::Global(_)) {
+                return Err(ReshardError::PerStepCodebook);
+            }
+        }
+
+        // Union codebook + per-old-shard index offsets.
+        let mut word_off = Vec::with_capacity(old.len());
+        let mut words: Vec<Point> = Vec::new();
+        for s in old.iter() {
+            word_off.push(words.len() as u32);
+            if let CodebookStore::Global(cb) = &s.codebook {
+                words.extend_from_slice(cb.words());
+            }
+        }
+        // Per-step concatenated coefficient rows + per-(shard, step) label
+        // offsets.
+        let mut row_off: Vec<Vec<u32>> = vec![Vec::with_capacity(steps); old.len()];
+        let mut coeffs: Vec<Vec<Predictor>> = Vec::with_capacity(steps);
+        for t_off in 0..steps {
+            let mut step: Vec<Predictor> = Vec::new();
+            for (si, s) in old.iter().enumerate() {
+                row_off[si].push(step.len() as u32);
+                step.extend(s.coeffs[t_off].iter().cloned());
+            }
+            if step.len() > u16::MAX as usize + 1 {
+                return Err(ReshardError::LabelOverflow);
+            }
+            coeffs.push(step);
+        }
+
+        let n_traj = old.iter().map(|s| s.codes.len()).max().unwrap_or(0);
+        let new_router = ShardRouter::new(new_shards);
+        let template = old[0].template.clone();
+        let mut shards: Vec<PpqSummary> = (0..new_shards)
+            .map(|_| PpqSummary {
+                config: old[0].config.clone(),
+                codebook: CodebookStore::Global(Codebook::from_words(words.clone())),
+                coeffs: coeffs.clone(),
+                min_t,
+                starts: vec![0; n_traj],
+                codes: vec![Vec::new(); n_traj],
+                labels: vec![Vec::new(); n_traj],
+                cqc_codes: vec![Vec::new(); n_traj],
+                template: template.clone(),
+                recon: vec![Vec::new(); n_traj],
+                tpi: None,
+                stats: BuildStats::default(),
+            })
+            .collect();
+
+        for id in 0..n_traj as u32 {
+            let owner = &old[self.router.shard_of(id)];
+            let idx = id as usize;
+            let Some(codes) = owner.codes.get(idx).filter(|c| !c.is_empty()) else {
+                continue;
+            };
+            let dst = &mut shards[new_router.shard_of(id)];
+            let off = word_off[self.router.shard_of(id)];
+            let rows = &row_off[self.router.shard_of(id)];
+            dst.starts[idx] = owner.starts[idx];
+            dst.codes[idx] = codes.iter().map(|&b| b + off).collect();
+            let t0 = (owner.starts[idx] - min_t) as usize;
+            dst.labels[idx] = owner.labels[idx]
+                .iter()
+                .enumerate()
+                .map(|(p, &l)| l + rows[t0 + p])
+                .collect();
+            dst.cqc_codes[idx] = owner.cqc_codes[idx].clone();
+            // Reconstructions are unchanged by construction: the remapped
+            // indices resolve to the very same words and coefficient rows.
+            dst.recon[idx] = owner.recon[idx].clone();
+        }
+        Ok(ShardedSummary {
+            router: new_router,
+            shards,
+        })
     }
 
     #[inline]
@@ -406,6 +581,69 @@ mod tests {
         assert!(s4.codebook_len() >= s1.codebook_len());
         // ...but the per-point guarantee is unchanged.
         assert!(s4.max_error(&data) <= cfg.eps1 + 1e-12);
+    }
+
+    #[test]
+    fn reshard_preserves_reconstructions_bit_for_bit() {
+        let data = dataset();
+        let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+        let s3 = ShardedSummary::build(&data, &cfg, 3);
+        for new_s in [1usize, 2, 5] {
+            let re = s3.reshard(new_s).unwrap();
+            assert_eq!(re.num_shards(), new_s);
+            assert_eq!(re.num_points(), s3.num_points());
+            assert_eq!(re.num_trajectories(), s3.num_trajectories());
+            for traj in data.trajectories() {
+                for off in 0..traj.len() {
+                    let t = traj.start + off as u32;
+                    let a = s3.reconstruct(traj.id, t).unwrap();
+                    let b = re.reconstruct(traj.id, t).unwrap();
+                    assert!(
+                        a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits(),
+                        "S=3→{new_s} divergence at traj {} t {t}",
+                        traj.id
+                    );
+                }
+            }
+            // Replay from the remapped arrays (what a decoder of the
+            // re-sharded summary would run) agrees with the carried cache.
+            let probe = data.trajectories().iter().step_by(7);
+            for traj in probe {
+                let shard = re.shard_for(traj.id);
+                let replayed = shard.replay(traj.id);
+                for (off, p) in replayed.iter().enumerate() {
+                    let cached = shard.recon[traj.id as usize][off];
+                    assert!(
+                        p.x.to_bits() == cached.x.to_bits() && p.y.to_bits() == cached.y.to_bits(),
+                        "replay of remapped arrays diverged at traj {} off {off}",
+                        traj.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reshard_rejects_per_step_codebooks() {
+        let data = dataset();
+        let cfg = PpqConfig {
+            budget: crate::config::BuildBudget::PerStepBits(4),
+            ..PpqConfig::variant(Variant::PpqA, 0.1)
+        };
+        let s2 = ShardedSummary::build(&data, &cfg, 2);
+        assert!(matches!(s2.reshard(3), Err(ReshardError::PerStepCodebook)));
+    }
+
+    #[test]
+    fn from_shards_round_trips() {
+        let data = dataset();
+        let cfg = PpqConfig::variant(Variant::PpqA, 0.1);
+        let s2 = ShardedSummary::build(&data, &cfg, 2);
+        let rebuilt = ShardedSummary::from_shards(s2.shards().to_vec());
+        assert_eq!(rebuilt.num_shards(), 2);
+        assert_eq!(rebuilt.num_points(), s2.num_points());
+        let (id, t, _) = data.iter_points().next().unwrap();
+        assert_eq!(rebuilt.reconstruct(id, t), s2.reconstruct(id, t));
     }
 
     #[test]

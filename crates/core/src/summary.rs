@@ -220,6 +220,33 @@ impl PpqSummary {
             .map(move |(off, p)| (base + off as u32, *p))
     }
 
+    /// (Re)build the TPI over the materialized reconstructed stream —
+    /// exactly what a fresh build would have indexed. Used when a summary
+    /// decoded without an index (or assembled by re-sharding) needs to be
+    /// written back out as a repository generation.
+    pub fn rebuild_index(&mut self) {
+        let n = self.codes.len();
+        let max_t = (0..n)
+            .map(|i| self.starts[i] + self.codes[i].len() as u32)
+            .max()
+            .unwrap_or(self.min_t);
+        let slices = (self.min_t..max_t).map(|t| {
+            let pts: Vec<(u32, Point)> = (0..n)
+                .filter_map(|i| {
+                    let start = self.starts[i];
+                    if t < start {
+                        return None;
+                    }
+                    self.recon[i]
+                        .get((t - start) as usize)
+                        .map(|p| (i as u32, *p))
+                })
+                .collect();
+            (t, pts)
+        });
+        self.tpi = Some(Tpi::build_from_slices(slices, &self.config.tpi));
+    }
+
     /// Re-derive a trajectory's reconstructions *from the summary alone*
     /// (coefficients, codebook, indices, CQC) — the decoder a consumer of
     /// the serialized summary would run. Used by tests to prove the

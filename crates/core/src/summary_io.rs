@@ -22,10 +22,12 @@ use ppq_predict::Predictor;
 use ppq_quantize::bits::{BitReader, BitWriter};
 use ppq_quantize::Codebook;
 use ppq_storage::codec::{Decoder, Encoder};
-use ppq_tpi::Tpi;
 
 const MAGIC: u32 = 0x5050_5153; // "PPQS"
 const VERSION: u32 = 1;
+
+const DELTA_MAGIC: u32 = 0x5050_5164; // "PPQd"
+const DELTA_VERSION: u32 = 1;
 
 /// Errors from [`from_bytes`].
 #[derive(Debug, PartialEq, Eq)]
@@ -135,35 +137,10 @@ pub fn to_bytes(s: &PpqSummary) -> Vec<u8> {
         if n == 0 {
             continue;
         }
-        // Codeword indices, bit-packed.
-        let mut w = BitWriter::new();
-        for &b in &s.codes[idx] {
-            w.write(b, index_bits);
-        }
-        e.put_bytes(w.as_bytes());
-        // Partition labels, RLE: u16 run length (long runs split) +
-        // u16 label — matching the breakdown's per-run cost model.
-        let mut runs: Vec<(u16, u16)> = Vec::new();
-        for &l in &s.labels[idx] {
-            debug_assert!(l <= u16::MAX as u32, "partition label overflow");
-            let l = l as u16;
-            match runs.last_mut() {
-                Some((len, label)) if *label == l && *len < u16::MAX => *len += 1,
-                _ => runs.push((1, l)),
-            }
-        }
-        e.put_u32(runs.len() as u32);
-        for (len, label) in runs {
-            e.put_u16(len);
-            e.put_u16(label);
-        }
-        // CQC codes at 2·depth bits each.
+        put_packed_codes(&mut e, &s.codes[idx], index_bits);
+        put_labels_rle(&mut e, &s.labels[idx]);
         if cqc_depth > 0 {
-            let mut w = BitWriter::new();
-            for code in &s.cqc_codes[idx] {
-                w.write(code.raw_bits() as u32, 2 * cqc_depth as u32);
-            }
-            e.put_bytes(w.as_bytes());
+            put_packed_cqc(&mut e, &s.cqc_codes[idx], cqc_depth);
         }
     }
     e.finish().to_vec()
@@ -191,6 +168,95 @@ macro_rules! need {
     ($opt:expr, $what:literal) => {
         $opt.ok_or(DecodeError::Corrupt($what))?
     };
+}
+
+// --- Shared per-trajectory payload codecs. ---------------------------------
+//
+// The full-summary format (§4 of docs/FORMAT.md) and the delta format (§5)
+// encode trajectory payloads identically; chain verification compares
+// canonical serializations by CRC, so the two paths must stay
+// byte-for-byte in sync — they share these helpers rather than trusting
+// two copies to evolve together.
+
+/// Codeword indices, bit-packed at `index_bits`, as a length-prefixed blob.
+fn put_packed_codes(e: &mut Encoder, codes: &[u32], index_bits: u32) {
+    let mut w = BitWriter::new();
+    for &b in codes {
+        w.write(b, index_bits);
+    }
+    e.put_bytes(w.as_bytes());
+}
+
+/// Unpack `n` codeword indices (no range validation — the caller checks
+/// them against its codebook).
+fn read_packed_codes(d: &mut Decoder, n: usize, index_bits: u32) -> Result<Vec<u32>, DecodeError> {
+    let bytes = need!(d.try_bytes(), "code bytes");
+    if bytes.len().saturating_mul(8) < n.saturating_mul(index_bits as usize) {
+        return Err(DecodeError::Corrupt("code bytes short"));
+    }
+    let mut r = BitReader::new(&bytes);
+    Ok((0..n).map(|_| r.read(index_bits)).collect())
+}
+
+/// Partition labels, RLE: u16 run length (long runs split) + u16 label —
+/// matching the breakdown's per-run cost model.
+fn put_labels_rle(e: &mut Encoder, labels: &[u32]) {
+    let mut runs: Vec<(u16, u16)> = Vec::new();
+    for &l in labels {
+        debug_assert!(l <= u16::MAX as u32, "partition label overflow");
+        let l = l as u16;
+        match runs.last_mut() {
+            Some((len, label)) if *label == l && *len < u16::MAX => *len += 1,
+            _ => runs.push((1, l)),
+        }
+    }
+    e.put_u32(runs.len() as u32);
+    for (len, label) in runs {
+        e.put_u16(len);
+        e.put_u16(label);
+    }
+}
+
+/// Reassemble RLE labels; the runs must concatenate to exactly `n`.
+fn read_labels_rle(d: &mut Decoder, n: usize) -> Result<Vec<u32>, DecodeError> {
+    let runs = need!(d.try_u32(), "label runs") as usize;
+    if runs.saturating_mul(4) > d.remaining() {
+        return Err(DecodeError::Corrupt("label runs"));
+    }
+    let mut ls: Vec<u32> = Vec::with_capacity(n);
+    for _ in 0..runs {
+        let len = need!(d.try_u16(), "label run") as usize;
+        let label = need!(d.try_u16(), "label run") as u32;
+        if ls.len() + len > n {
+            return Err(DecodeError::Corrupt("label RLE length"));
+        }
+        ls.extend(std::iter::repeat_n(label, len));
+    }
+    if ls.len() != n {
+        return Err(DecodeError::Corrupt("label RLE length"));
+    }
+    Ok(ls)
+}
+
+/// CQC codes at `2·depth` bits each, as a length-prefixed blob.
+fn put_packed_cqc(e: &mut Encoder, codes: &[CqcCode], cqc_depth: u8) {
+    let mut w = BitWriter::new();
+    for code in codes {
+        w.write(code.raw_bits() as u32, 2 * cqc_depth as u32);
+    }
+    e.put_bytes(w.as_bytes());
+}
+
+/// Unpack `n` CQC codes of the given depth.
+fn read_packed_cqc(d: &mut Decoder, n: usize, cqc_depth: u8) -> Result<Vec<CqcCode>, DecodeError> {
+    let bytes = need!(d.try_bytes(), "cqc bytes");
+    if bytes.len().saturating_mul(8) < n.saturating_mul(2 * cqc_depth as usize) {
+        return Err(DecodeError::Corrupt("cqc bytes short"));
+    }
+    let mut r = BitReader::new(&bytes);
+    Ok((0..n)
+        .map(|_| CqcCode::from_raw(r.read(2 * cqc_depth as u32) as u64, cqc_depth))
+        .collect())
 }
 
 /// Deserialize a summary. The reconstruction cache is rebuilt by replay;
@@ -368,12 +434,7 @@ pub fn from_bytes(bytes: &[u8], rebuild_index: bool) -> Result<PpqSummary, Decod
                 return Err(DecodeError::Corrupt("trajectory span"));
             }
         }
-        let code_bytes = need!(d.try_bytes(), "code bytes");
-        if code_bytes.len().saturating_mul(8) < n.saturating_mul(index_bits as usize) {
-            return Err(DecodeError::Corrupt("code bytes short"));
-        }
-        let mut r = BitReader::new(&code_bytes);
-        let traj_codes: Vec<u32> = (0..n).map(|_| r.read(index_bits)).collect();
+        let traj_codes = read_packed_codes(&mut d, n, index_bits)?;
         // Codeword indices must resolve in the step's codebook.
         let t0 = (start - min_t) as usize;
         let valid = match &codebook {
@@ -390,22 +451,7 @@ pub fn from_bytes(bytes: &[u8], rebuild_index: bool) -> Result<PpqSummary, Decod
             return Err(DecodeError::Corrupt("codeword index out of range"));
         }
         codes.push(traj_codes);
-        let runs = need!(d.try_u32(), "label runs") as usize;
-        if runs.saturating_mul(4) > d.remaining() {
-            return Err(DecodeError::Corrupt("label runs"));
-        }
-        let mut ls: Vec<u32> = Vec::with_capacity(n);
-        for _ in 0..runs {
-            let len = need!(d.try_u16(), "label run") as usize;
-            let label = need!(d.try_u16(), "label run") as u32;
-            if ls.len() + len > n {
-                return Err(DecodeError::Corrupt("label RLE length"));
-            }
-            ls.extend(std::iter::repeat_n(label, len));
-        }
-        if ls.len() != n {
-            return Err(DecodeError::Corrupt("label RLE length"));
-        }
+        let ls = read_labels_rle(&mut d, n)?;
         // Labels must resolve in their step's coefficient row.
         if ls
             .iter()
@@ -416,16 +462,7 @@ pub fn from_bytes(bytes: &[u8], rebuild_index: bool) -> Result<PpqSummary, Decod
         }
         labels.push(ls);
         if cqc_depth > 0 {
-            let cqc_bytes = need!(d.try_bytes(), "cqc bytes");
-            if cqc_bytes.len().saturating_mul(8) < n.saturating_mul(2 * cqc_depth as usize) {
-                return Err(DecodeError::Corrupt("cqc bytes short"));
-            }
-            let mut r = BitReader::new(&cqc_bytes);
-            cqc_codes.push(
-                (0..n)
-                    .map(|_| CqcCode::from_raw(r.read(2 * cqc_depth as u32) as u64, cqc_depth))
-                    .collect::<Vec<CqcCode>>(),
-            );
+            cqc_codes.push(read_packed_cqc(&mut d, n, cqc_depth)?);
         } else {
             cqc_codes.push(Vec::new());
         }
@@ -459,27 +496,411 @@ pub fn from_bytes(bytes: &[u8], rebuild_index: bool) -> Result<PpqSummary, Decod
     }
     summary.recon = recon;
     if rebuild_index {
-        let max_t = (0..n)
-            .map(|i| summary.starts[i] + summary.codes[i].len() as u32)
-            .max()
-            .unwrap_or(summary.min_t);
-        let slices = (summary.min_t..max_t).map(|t| {
-            let pts: Vec<(u32, Point)> = (0..n)
-                .filter_map(|i| {
-                    let start = summary.starts[i];
-                    if t < start {
-                        return None;
-                    }
-                    summary.recon[i]
-                        .get((t - start) as usize)
-                        .map(|p| (i as u32, *p))
-                })
-                .collect();
-            (t, pts)
-        });
-        summary.tpi = Some(Tpi::build_from_slices(slices, &summary.config.tpi));
+        summary.rebuild_index();
     }
     Ok(summary)
+}
+
+// ---------------------------------------------------------------------------
+// Summary deltas (incremental append).
+// ---------------------------------------------------------------------------
+//
+// A streaming deployment persists a snapshot of the pipeline, keeps
+// ingesting, and wants to persist only what the new timesteps added. The
+// pipeline's state is strictly append-only — the error-bounded codebook
+// only ever pushes words, per-timestep coefficient rows are fixed once
+// written, and each trajectory's codes/labels/CQC arrays only grow — so a
+// snapshot at time T₁ is an exact prefix of the summary at any later T₂.
+// [`delta_to_bytes`] *verifies* that prefix relationship field by field
+// (bitwise, not approximately) and serializes just the suffix;
+// [`apply_delta`] replays the suffix onto the base summary and hands back
+// the recorded CRC-32 of the full summary's canonical serialization, so a
+// reader can prove the reassembled chain equals the writer's summary with
+// one `crc32(to_bytes(merged))` comparison.
+
+/// Why a summary cannot be expressed as a delta over a given base.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The claimed-newer summary does not extend the base: the named
+    /// component differs on the shared prefix (or shrank).
+    NotAnExtension(&'static str),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::NotAnExtension(what) => {
+                write!(f, "summary is not an extension of the base: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+fn points_bit_eq(a: &Point, b: &Point) -> bool {
+    a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits()
+}
+
+/// Verify that `full` extends `base`: identical decode-relevant config,
+/// identical `min_t`, and every shared structure bitwise equal on the
+/// base's prefix. Exactness matters — [`apply_delta`]'s end-to-end CRC
+/// check compares canonical serializations, so "close" is corrupt.
+fn verify_extension(base: &PpqSummary, full: &PpqSummary) -> Result<(), DeltaError> {
+    let err = DeltaError::NotAnExtension;
+    let (bc, fc) = (&base.config, &full.config);
+    if bc.eps1.to_bits() != fc.eps1.to_bits()
+        || bc.gs.to_bits() != fc.gs.to_bits()
+        || bc.use_cqc != fc.use_cqc
+        || bc.predict != fc.predict
+        || bc.partition_mode != fc.partition_mode
+        || bc.cold_start != fc.cold_start
+        || bc.k != fc.k
+        || bc.budget != fc.budget
+    {
+        return Err(err("config"));
+    }
+    if base.min_t != full.min_t {
+        return Err(err("min_t"));
+    }
+    match (&base.codebook, &full.codebook) {
+        (CodebookStore::Global(b), CodebookStore::Global(f)) => {
+            if b.len() > f.len()
+                || !b
+                    .words()
+                    .iter()
+                    .zip(f.words())
+                    .all(|(a, b)| points_bit_eq(a, b))
+            {
+                return Err(err("codebook"));
+            }
+        }
+        (CodebookStore::PerStep(b), CodebookStore::PerStep(f)) => {
+            if b.len() > f.len()
+                || !b.iter().zip(f).all(|(bs, fs)| {
+                    bs.len() == fs.len() && bs.iter().zip(fs).all(|(a, b)| points_bit_eq(a, b))
+                })
+            {
+                return Err(err("per-step codebook"));
+            }
+        }
+        _ => return Err(err("codebook kind")),
+    }
+    if base.coeffs.len() > full.coeffs.len() {
+        return Err(err("coefficient steps shrank"));
+    }
+    for (bs, fs) in base.coeffs.iter().zip(&full.coeffs) {
+        if bs.len() != fs.len() {
+            return Err(err("coefficient rows"));
+        }
+        for (bp, fp) in bs.iter().zip(fs) {
+            if bp.coeffs().len() != fp.coeffs().len()
+                || !bp
+                    .coeffs()
+                    .iter()
+                    .zip(fp.coeffs())
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+            {
+                return Err(err("coefficients"));
+            }
+        }
+    }
+    if base.codes.len() > full.codes.len() {
+        return Err(err("trajectory count shrank"));
+    }
+    for idx in 0..base.codes.len() {
+        let bn = base.codes[idx].len();
+        if bn == 0 {
+            continue;
+        }
+        if base.starts[idx] != full.starts[idx] {
+            return Err(err("trajectory start"));
+        }
+        if bn > full.codes[idx].len()
+            || base.cqc_codes[idx].len() > full.cqc_codes[idx].len()
+            || base.codes[idx] != full.codes[idx][..bn]
+            || base.labels[idx] != full.labels[idx][..bn]
+            || base.cqc_codes[idx] != full.cqc_codes[idx][..base.cqc_codes[idx].len()]
+        {
+            return Err(err("trajectory payload"));
+        }
+    }
+    Ok(())
+}
+
+/// Serialize the parts of `full` that `base` does not already have.
+///
+/// The delta records a fingerprint of the base it was cut against
+/// (trajectory count, coefficient-step count, codebook kind and length)
+/// and the CRC-32 of `to_bytes(full)`; [`apply_delta`] checks the former
+/// before merging and returns the latter so the caller can verify the
+/// merged chain end to end.
+pub fn delta_to_bytes(base: &PpqSummary, full: &PpqSummary) -> Result<Vec<u8>, DeltaError> {
+    verify_extension(base, full)?;
+    let index_bits = full.codebook.index_bits();
+    let cqc_depth = full.template.as_ref().map(|t| t.depth()).unwrap_or(0);
+    let mut e = Encoder::with_capacity(1024);
+    e.put_u32(DELTA_MAGIC);
+    e.put_u32(DELTA_VERSION);
+
+    // --- Base fingerprint + end-to-end check value. --------------------
+    e.put_u32(base.codes.len() as u32);
+    e.put_u32(base.coeffs.len() as u32);
+    match (&base.codebook, &full.codebook) {
+        (CodebookStore::Global(b), _) => {
+            e.put_u32(0);
+            e.put_u32(b.len() as u32);
+        }
+        (CodebookStore::PerStep(b), _) => {
+            e.put_u32(1);
+            e.put_u32(b.len() as u32);
+        }
+    }
+    e.put_u32(ppq_storage::crc32(&to_bytes(full)));
+
+    // --- Codebook extension. -------------------------------------------
+    match (&base.codebook, &full.codebook) {
+        (CodebookStore::Global(b), CodebookStore::Global(f)) => {
+            let new = &f.words()[b.len()..];
+            e.put_u32(new.len() as u32);
+            for w in new {
+                e.put_point(w);
+            }
+        }
+        (CodebookStore::PerStep(b), CodebookStore::PerStep(f)) => {
+            let new = &f[b.len()..];
+            e.put_u32(new.len() as u32);
+            for step in new {
+                e.put_u32(step.len() as u32);
+                for w in step {
+                    e.put_point(w);
+                }
+            }
+        }
+        _ => unreachable!("verified above"),
+    }
+
+    // --- Coefficient-step extension (same encoding as `to_bytes`). -----
+    let new_steps = &full.coeffs[base.coeffs.len()..];
+    e.put_u32(new_steps.len() as u32);
+    for step in new_steps {
+        e.put_u32(step.len() as u32);
+        for pred in step {
+            for &c in pred.coeffs() {
+                e.put_f32(c as f32);
+            }
+        }
+    }
+
+    // --- Per-trajectory suffixes. --------------------------------------
+    // Codes are bit-packed at the *merged* codebook's index width, which
+    // both sides derive independently (the reader extends its codebook
+    // first, then computes `index_bits`).
+    e.put_u32(full.codes.len() as u32);
+    let touched: Vec<usize> = (0..full.codes.len())
+        .filter(|&idx| {
+            let base_len = base.codes.get(idx).map(Vec::len).unwrap_or(0);
+            full.codes[idx].len() > base_len
+        })
+        .collect();
+    e.put_u32(touched.len() as u32);
+    for &idx in &touched {
+        let base_len = base.codes.get(idx).map(Vec::len).unwrap_or(0);
+        let n_new = full.codes[idx].len() - base_len;
+        e.put_u32(idx as u32);
+        e.put_u32(full.starts[idx]);
+        e.put_u32(n_new as u32);
+        put_packed_codes(&mut e, &full.codes[idx][base_len..], index_bits);
+        put_labels_rle(&mut e, &full.labels[idx][base_len..]);
+        if cqc_depth > 0 {
+            put_packed_cqc(&mut e, &full.cqc_codes[idx][base_len..], cqc_depth);
+        }
+    }
+    Ok(e.finish().to_vec())
+}
+
+/// Merge a delta produced by [`delta_to_bytes`] into `base`, in place.
+///
+/// On success the base holds the full summary the delta was cut from and
+/// the return value is the recorded CRC-32 of that summary's canonical
+/// `to_bytes` serialization — verify `crc32(to_bytes(base))` against it
+/// after applying the *last* delta of a chain to prove the whole chain
+/// reassembled exactly (each intermediate CRC describes its own prefix of
+/// the chain, so checking only the final one suffices).
+///
+/// Robustness contract matches [`from_bytes`]: untrusted bytes produce
+/// [`DecodeError`], never a panic, and a failed apply may leave `base`
+/// partially extended — callers must discard it on error. Reconstruction
+/// caches of touched trajectories are replayed; untouched trajectories
+/// keep their existing cache (their arrays did not change).
+pub fn apply_delta(base: &mut PpqSummary, bytes: &[u8]) -> Result<u32, DecodeError> {
+    let mut d = Decoder::from_slice(bytes);
+    if d.remaining() < 8 || d.u32() != DELTA_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = d.u32();
+    if version != DELTA_VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+
+    // --- Base fingerprint must describe *this* base. --------------------
+    let base_n_traj = need!(d.try_u32(), "delta base trajectories") as usize;
+    let base_steps = need!(d.try_u32(), "delta base steps") as usize;
+    let cb_tag = need!(d.try_u32(), "delta codebook tag");
+    let cb_len = need!(d.try_u32(), "delta codebook len") as usize;
+    let fingerprint_ok = base_n_traj == base.codes.len()
+        && base_steps == base.coeffs.len()
+        && match &base.codebook {
+            CodebookStore::Global(cb) => cb_tag == 0 && cb_len == cb.len(),
+            CodebookStore::PerStep(steps) => cb_tag == 1 && cb_len == steps.len(),
+        };
+    if !fingerprint_ok {
+        return Err(DecodeError::Corrupt("delta does not match base summary"));
+    }
+    let full_crc = need!(d.try_u32(), "delta full crc");
+
+    // --- Codebook extension. --------------------------------------------
+    match &mut base.codebook {
+        CodebookStore::Global(cb) => {
+            let n = need!(d.try_u32(), "delta codebook words") as usize;
+            if n.saturating_mul(16) > d.remaining() {
+                return Err(DecodeError::Corrupt("delta codebook words"));
+            }
+            for _ in 0..n {
+                cb.push(need!(d.try_point(), "delta codebook word"));
+            }
+        }
+        CodebookStore::PerStep(steps) => {
+            let n = need!(d.try_u32(), "delta codebook steps") as usize;
+            if n.saturating_mul(4) > d.remaining() {
+                return Err(DecodeError::Corrupt("delta codebook steps"));
+            }
+            for _ in 0..n {
+                let m = need!(d.try_u32(), "delta codebook step len") as usize;
+                if m.saturating_mul(16) > d.remaining() {
+                    return Err(DecodeError::Corrupt("delta codebook step len"));
+                }
+                let mut words = Vec::with_capacity(m);
+                for _ in 0..m {
+                    words.push(need!(d.try_point(), "delta codebook word"));
+                }
+                steps.push(words);
+            }
+        }
+    }
+    let index_bits = base.codebook.index_bits();
+
+    // --- Coefficient-step extension. -------------------------------------
+    let k = base.config.k;
+    let new_steps = need!(d.try_u32(), "delta coeff steps") as usize;
+    if new_steps.saturating_mul(4) > d.remaining() {
+        return Err(DecodeError::Corrupt("delta coeff steps"));
+    }
+    let mut total_partitions: usize = base.coeffs.iter().map(Vec::len).sum();
+    for _ in 0..new_steps {
+        let q = need!(d.try_u32(), "delta coeff partitions") as usize;
+        if q.saturating_mul(k.saturating_mul(4)) > d.remaining() {
+            return Err(DecodeError::Corrupt("delta coeff partitions"));
+        }
+        total_partitions = total_partitions.saturating_add(q);
+        if total_partitions > MAX_TOTAL_PARTITIONS {
+            return Err(DecodeError::Corrupt("delta coeff partitions"));
+        }
+        let mut step = Vec::with_capacity(q);
+        for _ in 0..q {
+            let mut cs = Vec::with_capacity(k);
+            for _ in 0..k {
+                cs.push(need!(d.try_f32(), "delta coefficient") as f64);
+            }
+            step.push(Predictor::from_coeffs(cs));
+        }
+        base.coeffs.push(step);
+    }
+
+    // --- Per-trajectory suffixes. ----------------------------------------
+    let cqc_depth = base.template.as_ref().map(|t| t.depth()).unwrap_or(0);
+    let full_n_traj = need!(d.try_u32(), "delta trajectory count") as usize;
+    if full_n_traj < base.codes.len()
+        || (full_n_traj - base.codes.len()).saturating_mul(1) > d.remaining()
+    {
+        return Err(DecodeError::Corrupt("delta trajectory count"));
+    }
+    base.starts.resize(full_n_traj, 0);
+    base.codes.resize(full_n_traj, Vec::new());
+    base.labels.resize(full_n_traj, Vec::new());
+    base.cqc_codes.resize(full_n_traj, Vec::new());
+    base.recon.resize(full_n_traj, Vec::new());
+    let n_touched = need!(d.try_u32(), "delta touched count") as usize;
+    if n_touched > full_n_traj || n_touched.saturating_mul(12) > d.remaining() {
+        return Err(DecodeError::Corrupt("delta touched count"));
+    }
+    let mut prev_idx: Option<usize> = None;
+    for _ in 0..n_touched {
+        let idx = need!(d.try_u32(), "delta trajectory idx") as usize;
+        if idx >= full_n_traj || prev_idx.is_some_and(|p| p >= idx) {
+            return Err(DecodeError::Corrupt("delta trajectory idx"));
+        }
+        prev_idx = Some(idx);
+        let start = need!(d.try_u32(), "delta trajectory start");
+        let n_new = need!(d.try_u32(), "delta trajectory len") as usize;
+        if n_new == 0 {
+            return Err(DecodeError::Corrupt("delta empty suffix"));
+        }
+        let base_len = base.codes[idx].len();
+        if base_len == 0 {
+            base.starts[idx] = start;
+        } else if base.starts[idx] != start {
+            return Err(DecodeError::Corrupt("delta trajectory start"));
+        }
+        let start = base.starts[idx];
+        // The appended points extend the trajectory contiguously; every
+        // one must resolve a coefficient row (and per-step codebook).
+        if start < base.min_t
+            || (start - base.min_t) as usize + base_len + n_new > base.coeffs.len()
+        {
+            return Err(DecodeError::Corrupt("delta trajectory span"));
+        }
+        if let CodebookStore::PerStep(steps) = &base.codebook {
+            if (start - base.min_t) as usize + base_len + n_new > steps.len() {
+                return Err(DecodeError::Corrupt("delta trajectory span"));
+            }
+        }
+        let t0 = (start - base.min_t) as usize + base_len;
+        let new_codes = read_packed_codes(&mut d, n_new, index_bits)?;
+        let valid = match &base.codebook {
+            CodebookStore::Global(cb) => {
+                let len = cb.len() as u32;
+                new_codes.iter().all(|&b| b < len)
+            }
+            CodebookStore::PerStep(steps) => new_codes
+                .iter()
+                .enumerate()
+                .all(|(off, &b)| (b as usize) < steps[t0 + off].len()),
+        };
+        if !valid {
+            return Err(DecodeError::Corrupt("delta codeword out of range"));
+        }
+        let ls = read_labels_rle(&mut d, n_new)?;
+        if ls
+            .iter()
+            .enumerate()
+            .any(|(off, &l)| l as usize >= base.coeffs[t0 + off].len())
+        {
+            return Err(DecodeError::Corrupt("delta label out of range"));
+        }
+        base.codes[idx].extend(new_codes);
+        base.labels[idx].extend(ls);
+        if cqc_depth > 0 {
+            base.cqc_codes[idx].extend(read_packed_cqc(&mut d, n_new, cqc_depth)?);
+        }
+        // Replay the whole trajectory: prediction history runs from its
+        // first point, so a suffix cannot be reconstructed in isolation.
+        base.recon[idx] = base.replay(idx as u32);
+    }
+    if d.remaining() != 0 {
+        return Err(DecodeError::Corrupt("delta trailing bytes"));
+    }
+    Ok(full_crc)
 }
 
 #[cfg(test)]
@@ -562,6 +983,162 @@ mod tests {
         assert!(
             serialized >= 0.5 * breakdown,
             "suspiciously small serialization"
+        );
+    }
+
+    /// Drive one stream over a dataset, snapshotting at the given
+    /// timestep cuts; returns the snapshots plus the final summary.
+    fn snapshots_at(d: &Dataset, cfg: &PpqConfig, cuts: &[usize]) -> (Vec<PpqSummary>, PpqSummary) {
+        let mut stream = crate::pipeline::PpqStream::new(cfg.clone());
+        let slices: Vec<_> = d.time_slices().collect();
+        let mut snaps = Vec::new();
+        for (i, slice) in slices.iter().enumerate() {
+            stream.push_slice(slice.t, slice.points);
+            if cuts.contains(&(i + 1)) {
+                snaps.push(stream.snapshot());
+            }
+        }
+        (snaps, stream.finish())
+    }
+
+    #[test]
+    fn delta_chain_reassembles_byte_identically() {
+        let d = data();
+        let mut configs: Vec<(String, PpqConfig)> =
+            [Variant::PpqA, Variant::PpqSBasic, Variant::QTrajectory]
+                .into_iter()
+                .map(|v| (v.name().to_string(), PpqConfig::variant(v, 0.1)))
+                .collect();
+        // Budgeted build: exercises the per-step-codebook delta path.
+        configs.push((
+            "PerStepBits".into(),
+            PpqConfig {
+                budget: BuildBudget::PerStepBits(4),
+                ..PpqConfig::variant(Variant::PpqA, 0.1)
+            },
+        ));
+        for (name, mut cfg) in configs {
+            cfg.build_index = false;
+            let n_slices = d.time_slices().count();
+            let (snaps, full) = snapshots_at(&d, &cfg, &[n_slices / 3, 2 * n_slices / 3]);
+            let full_bytes = to_bytes(&full);
+
+            // snapshot -> snapshot -> full, as two stacked deltas.
+            let d1 = delta_to_bytes(&snaps[0], &snaps[1]).unwrap();
+            let d2 = delta_to_bytes(&snaps[1], &full).unwrap();
+            let mut merged = from_bytes(&to_bytes(&snaps[0]), false).unwrap();
+            let crc1 = apply_delta(&mut merged, &d1).unwrap();
+            assert_eq!(
+                crc1,
+                ppq_storage::crc32(&to_bytes(&snaps[1])),
+                "{}: intermediate CRC must describe the intermediate chain",
+                name
+            );
+            let crc2 = apply_delta(&mut merged, &d2).unwrap();
+            let merged_bytes = to_bytes(&merged);
+            assert_eq!(
+                merged_bytes, full_bytes,
+                "{}: merged chain must re-serialize byte-identically",
+                name
+            );
+            assert_eq!(crc2, ppq_storage::crc32(&full_bytes), "{}", name);
+
+            // Reconstructions of the merged summary are bit-identical to
+            // the full build's (the payload the disk engine serves).
+            for traj in d.trajectories() {
+                for off in 0..traj.len() {
+                    let t = traj.start + off as u32;
+                    let a = full.reconstruct(traj.id, t).unwrap();
+                    let b = merged.reconstruct(traj.id, t).unwrap();
+                    assert!(
+                        a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits(),
+                        "{}: recon diverged at traj {} t {t}",
+                        name,
+                        traj.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_against_wrong_base_is_rejected() {
+        let d = data();
+        let mut cfg = PpqConfig::variant(Variant::PpqA, 0.1);
+        cfg.build_index = false;
+        let n_slices = d.time_slices().count();
+        let (snaps, full) = snapshots_at(&d, &cfg, &[n_slices / 2]);
+        let delta = delta_to_bytes(&snaps[0], &full).unwrap();
+
+        // Applying onto the full summary (wrong fingerprint) must fail.
+        let mut not_base = from_bytes(&to_bytes(&full), false).unwrap();
+        assert!(matches!(
+            apply_delta(&mut not_base, &delta),
+            Err(DecodeError::Corrupt(_))
+        ));
+
+        // An unrelated summary is not an extension of the snapshot.
+        let other = PpqTrajectory::build(
+            &porto_like(&PortoConfig {
+                trajectories: 10,
+                mean_len: 30,
+                min_len: 20,
+                start_spread: 4,
+                seed: 0x99,
+            }),
+            &cfg,
+        )
+        .into_summary();
+        assert!(matches!(
+            delta_to_bytes(&snaps[0], &other),
+            Err(DeltaError::NotAnExtension(_))
+        ));
+        // And a summary is trivially an extension of itself (empty delta).
+        let d0 = delta_to_bytes(&full, &full).unwrap();
+        let mut same = from_bytes(&to_bytes(&full), false).unwrap();
+        apply_delta(&mut same, &d0).unwrap();
+        assert_eq!(to_bytes(&same), to_bytes(&full));
+    }
+
+    #[test]
+    fn shrunken_cqc_history_is_rejected_not_a_panic() {
+        // A "full" summary whose CQC array is shorter than the base's
+        // violates the extension contract in the one dimension the other
+        // length checks don't cover; it must surface as NotAnExtension,
+        // not as an out-of-range slice panic.
+        let d = data();
+        let cfg = PpqConfig {
+            build_index: false,
+            ..PpqConfig::variant(Variant::PpqS, 0.1)
+        };
+        let base = PpqTrajectory::build(&d, &cfg).into_summary();
+        let mut full = base.clone();
+        let idx = full
+            .cqc_codes
+            .iter()
+            .position(|c| !c.is_empty())
+            .expect("CQC variant has codes");
+        full.cqc_codes[idx].pop();
+        assert!(matches!(
+            delta_to_bytes(&base, &full),
+            Err(DeltaError::NotAnExtension(_))
+        ));
+    }
+
+    #[test]
+    fn delta_size_tracks_the_appended_window() {
+        let d = data();
+        let mut cfg = PpqConfig::variant(Variant::PpqA, 0.1);
+        cfg.build_index = false;
+        let n_slices = d.time_slices().count();
+        let (snaps, full) = snapshots_at(&d, &cfg, &[3 * n_slices / 4]);
+        let delta = delta_to_bytes(&snaps[0], &full).unwrap();
+        let full_bytes = to_bytes(&full);
+        assert!(
+            delta.len() < full_bytes.len() / 2,
+            "a quarter-window delta ({}) should be much smaller than the full summary ({})",
+            delta.len(),
+            full_bytes.len()
         );
     }
 

@@ -1,12 +1,12 @@
-//! Corruption robustness of `summary_io::from_bytes`: random truncations
-//! and bit-flips of valid serializations must never panic — truncations
-//! must surface as a decode error, bit-flips may either error or decode
-//! to *some* summary (a flip can land in a coordinate payload and leave
-//! the structure intact), but the decoder must stay in control either
-//! way.
+//! Corruption robustness of `summary_io::from_bytes` and
+//! `summary_io::apply_delta`: random truncations and bit-flips of valid
+//! serializations must never panic — truncations must surface as a decode
+//! error, bit-flips may either error or decode to *some* summary (a flip
+//! can land in a coordinate payload and leave the structure intact), but
+//! the decoder must stay in control either way.
 
-use ppq_core::summary_io::{from_bytes, to_bytes, DecodeError};
-use ppq_core::{PpqConfig, PpqTrajectory, Variant};
+use ppq_core::summary_io::{apply_delta, delta_to_bytes, from_bytes, to_bytes, DecodeError};
+use ppq_core::{PpqConfig, PpqStream, PpqTrajectory, Variant};
 use ppq_traj::synth::{porto_like, PortoConfig};
 use proptest::prelude::*;
 
@@ -84,5 +84,86 @@ fn valid_fixtures_roundtrip() {
     for bytes in fixtures() {
         let s = from_bytes(bytes, false).expect("valid serialization decodes");
         assert!(s.num_points() > 0);
+    }
+}
+
+/// `(base serialization, delta serialization)` pairs per variant family —
+/// the delta was cut from a mid-stream snapshot to the stream's end, so
+/// it carries all four payload kinds (codebook/coefficient extensions,
+/// extended trajectories, fresh trajectories).
+fn delta_fixtures() -> &'static Vec<(Vec<u8>, Vec<u8>)> {
+    static FIXTURES: std::sync::OnceLock<Vec<(Vec<u8>, Vec<u8>)>> = std::sync::OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let data = porto_like(&PortoConfig {
+            trajectories: 12,
+            mean_len: 30,
+            min_len: 20,
+            start_spread: 6,
+            seed: 0x5EED,
+        });
+        [Variant::PpqS, Variant::PpqA, Variant::QTrajectory]
+            .into_iter()
+            .map(|v| {
+                let mut cfg = PpqConfig::variant(v, 0.1);
+                cfg.build_index = false;
+                let mut stream = PpqStream::new(cfg);
+                let slices: Vec<_> = data.time_slices().collect();
+                let cut = slices.len() / 2;
+                for slice in &slices[..cut] {
+                    stream.push_slice(slice.t, slice.points);
+                }
+                let snap = stream.snapshot();
+                for slice in &slices[cut..] {
+                    stream.push_slice(slice.t, slice.points);
+                }
+                let full = stream.finish();
+                let delta = delta_to_bytes(&snap, &full).expect("snapshot is a prefix");
+                (to_bytes(&snap), delta)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every strict prefix of a valid delta is an error when applied to
+    /// its base, never a panic.
+    #[test]
+    fn delta_truncation_errors_cleanly(which in 0usize..3, cut in 0u32..u32::MAX) {
+        let (base_bytes, delta) = &delta_fixtures()[which];
+        let cut = (cut as usize) % delta.len();
+        let mut base = from_bytes(base_bytes, false).expect("valid base");
+        let err = apply_delta(&mut base, &delta[..cut])
+            .expect_err("strict delta prefix applied successfully");
+        prop_assert!(matches!(
+            err,
+            DecodeError::Corrupt(_) | DecodeError::BadMagic | DecodeError::UnsupportedVersion(_)
+        ));
+    }
+
+    /// Random bit-flips in a delta never panic the apply path; the base
+    /// may be left partially extended (the documented contract: discard
+    /// on error), but control always returns.
+    #[test]
+    fn delta_bit_flips_never_panic(which in 0usize..3, flips in prop::collection::vec((0u32..u32::MAX, 0u8..8), 1..6)) {
+        let (base_bytes, delta) = &delta_fixtures()[which];
+        let mut delta = delta.clone();
+        for (pos, bit) in flips {
+            let at = (pos as usize) % delta.len();
+            delta[at] ^= 1 << bit;
+        }
+        let mut base = from_bytes(base_bytes, false).expect("valid base");
+        let _ = apply_delta(&mut base, &delta);
+    }
+}
+
+#[test]
+fn valid_delta_fixtures_apply() {
+    for (base_bytes, delta) in delta_fixtures() {
+        let mut base = from_bytes(base_bytes, false).expect("valid base");
+        let before = base.num_points();
+        apply_delta(&mut base, delta).expect("valid delta applies");
+        assert!(base.num_points() > before);
     }
 }

@@ -42,9 +42,15 @@ pub struct DiskPeriod {
     pub regions: Vec<DiskRegion>,
 }
 
-/// Where one block's IDs live in the page segment.
+/// Where one block's IDs live on disk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BlockMeta {
+    /// Which attached page segment holds the block — the index of the
+    /// owning *generation* in the shard's open-segment list. Not
+    /// serialized: a directory segment's entries implicitly address their
+    /// own generation's page segment; the overlay merge at open stamps
+    /// this field.
+    pub seg: u32,
     /// Page holding the block's first byte.
     pub page: u64,
     /// Byte offset of the block within that page's *payload* area.
@@ -126,6 +132,15 @@ impl BlockDirectory {
 
     pub fn num_groups(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Every entry in directory order: `(period, region, t, cell, meta)`,
+    /// sorted by that key — the stream a compaction rewrite consumes.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, u32, u32, u32, BlockMeta)> + '_ {
+        self.groups.iter().flat_map(move |&(key, start, end, _)| {
+            (start as usize..end as usize)
+                .map(move |i| (key.period, key.region, key.t, self.cells[i], self.metas[i]))
+        })
     }
 
     /// In-memory footprint of the directory (the "lightweight index" the
@@ -258,13 +273,8 @@ pub fn decode_dir_segment(bytes: &[u8]) -> Result<(Vec<DiskPeriod>, BlockDirecto
     if n_entries.saturating_mul(32) != d.remaining() {
         return Err(corrupt("entry table length"));
     }
-    let mut dir = BlockDirectory {
-        cells: Vec::with_capacity(n_entries),
-        metas: Vec::with_capacity(n_entries),
-        groups: Vec::new(),
-    };
-    let mut prev: Option<(GroupKey, u32)> = None;
-    for i in 0..n_entries {
+    let mut builder = DirBuilder::new(n_entries);
+    for _ in 0..n_entries {
         let key = GroupKey {
             period: d.try_u32().ok_or_else(|| corrupt("entry"))?,
             region: d.try_u32().ok_or_else(|| corrupt("entry"))?,
@@ -272,20 +282,56 @@ pub fn decode_dir_segment(bytes: &[u8]) -> Result<(Vec<DiskPeriod>, BlockDirecto
         };
         let cell = d.try_u32().ok_or_else(|| corrupt("entry"))?;
         let meta = BlockMeta {
+            seg: 0,
             page: d.try_u64().ok_or_else(|| corrupt("entry"))?,
             offset: d.try_u32().ok_or_else(|| corrupt("entry"))?,
             n_ids: d.try_u32().ok_or_else(|| corrupt("entry"))?,
         };
+        builder.push(&periods, key, cell, meta)?;
+    }
+    let dir = builder.finish();
+    Ok((periods, dir))
+}
+
+/// Incremental constructor of a [`BlockDirectory`] from entries in
+/// strictly ascending `(period, region, t, cell)` order, validating every
+/// entry against a period/region table. Shared by the segment decoder and
+/// the cross-generation overlay merge, so both enforce the same
+/// invariants.
+struct DirBuilder {
+    dir: BlockDirectory,
+    prev: Option<(GroupKey, u32)>,
+}
+
+impl DirBuilder {
+    fn new(capacity: usize) -> DirBuilder {
+        DirBuilder {
+            dir: BlockDirectory {
+                cells: Vec::with_capacity(capacity),
+                metas: Vec::with_capacity(capacity),
+                groups: Vec::new(),
+            },
+            prev: None,
+        }
+    }
+
+    fn push(
+        &mut self,
+        periods: &[DiskPeriod],
+        key: GroupKey,
+        cell: u32,
+        meta: BlockMeta,
+    ) -> Result<(), RepoError> {
+        let corrupt = |what: &str| RepoError::Corrupt(format!("dir segment: {what}"));
         if (key.period as usize) >= periods.len()
             || (key.region as usize) >= periods[key.period as usize].regions.len()
         {
             return Err(corrupt("entry references unknown period/region"));
         }
-        match prev {
-            Some((pk, pc)) if (pk, pc) >= (key, cell) => {
+        if let Some((pk, pc)) = self.prev {
+            if (pk, pc) >= (key, cell) {
                 return Err(corrupt("entries not sorted"));
             }
-            _ => {}
         }
         // Open a new group row on every key change; extend the current
         // row's bounds with this entry's cell otherwise.
@@ -294,18 +340,19 @@ pub fn decode_dir_segment(bytes: &[u8]) -> Result<(Vec<DiskPeriod>, BlockDirecto
             return Err(corrupt("entry cell outside region grid"));
         }
         let (cx, cy) = grid.unflat(cell as usize);
-        match dir.groups.last_mut() {
+        let i = self.dir.cells.len() as u32;
+        match self.dir.groups.last_mut() {
             Some((k, _, end, bounds)) if *k == key => {
-                *end = i as u32 + 1;
+                *end = i + 1;
                 bounds.min_cx = bounds.min_cx.min(cx);
                 bounds.min_cy = bounds.min_cy.min(cy);
                 bounds.max_cx = bounds.max_cx.max(cx);
                 bounds.max_cy = bounds.max_cy.max(cy);
             }
-            _ => dir.groups.push((
+            _ => self.dir.groups.push((
                 key,
-                i as u32,
-                i as u32 + 1,
+                i,
+                i + 1,
                 GroupBounds {
                     min_cx: cx,
                     min_cy: cy,
@@ -314,11 +361,63 @@ pub fn decode_dir_segment(bytes: &[u8]) -> Result<(Vec<DiskPeriod>, BlockDirecto
                 },
             )),
         }
-        dir.cells.push(cell);
-        dir.metas.push(meta);
-        prev = Some((key, cell));
+        self.dir.cells.push(cell);
+        self.dir.metas.push(meta);
+        self.prev = Some((key, cell));
+        Ok(())
     }
-    Ok((periods, dir))
+
+    fn finish(self) -> BlockDirectory {
+        self.dir
+    }
+}
+
+/// Stitch the per-generation directories of one shard into the logical
+/// view: the union of every generation's blocks keyed by
+/// `(period, region, t, cell)`, with the **newest generation winning** on
+/// key collisions and each surviving entry's [`BlockMeta::seg`] stamped
+/// with the index of the generation whose page segment holds it.
+///
+/// `gens` is ordered oldest → newest (the manifest's chain order);
+/// `periods` is the newest generation's period/region table, which every
+/// older generation's table is a structural prefix of — entries from any
+/// generation must validate against it, and a violation (a store whose
+/// chain was not built by `append` over this base) surfaces as a typed
+/// corruption error.
+///
+/// In an append-only chain the keys are actually disjoint — a delta only
+/// carries blocks for timesteps past the base's horizon — so newest-wins
+/// is a safety property rather than a merge policy; it is what makes a
+/// future in-place block rewrite (or an interrupted compaction retried
+/// over the same chain) well-defined.
+pub fn merge_overlay(
+    periods: &[DiskPeriod],
+    mut gens: Vec<BlockDirectory>,
+) -> Result<BlockDirectory, RepoError> {
+    if gens.len() == 1 {
+        return Ok(gens.pop().expect("one generation"));
+    }
+    let total: usize = gens.iter().map(BlockDirectory::num_blocks).sum();
+    let mut all: Vec<(GroupKey, u32, BlockMeta)> = Vec::with_capacity(total);
+    for (gi, dir) in gens.iter().enumerate() {
+        for (period, region, t, cell, mut meta) in dir.entries() {
+            meta.seg = gi as u32;
+            all.push((GroupKey { period, region, t }, cell, meta));
+        }
+    }
+    // Sort by key ascending, generation descending, so the first entry of
+    // every key run is the newest generation's.
+    all.sort_unstable_by(|a, b| {
+        (a.0, a.1)
+            .cmp(&(b.0, b.1))
+            .then_with(|| b.2.seg.cmp(&a.2.seg))
+    });
+    all.dedup_by(|cur, kept| (kept.0, kept.1) == (cur.0, cur.1));
+    let mut builder = DirBuilder::new(all.len());
+    for (key, cell, meta) in all {
+        builder.push(periods, key, cell, meta)?;
+    }
+    Ok(builder.finish())
 }
 
 /// Locate the period covering `t` (binary search; mirrors
@@ -358,6 +457,7 @@ mod tests {
                 t: 1,
                 cell: 2,
                 meta: BlockMeta {
+                    seg: 0,
                     page: 0,
                     offset: 0,
                     n_ids: 3,
@@ -369,6 +469,7 @@ mod tests {
                 t: 1,
                 cell: 9,
                 meta: BlockMeta {
+                    seg: 0,
                     page: 0,
                     offset: 12,
                     n_ids: 1,
@@ -380,6 +481,7 @@ mod tests {
                 t: 2,
                 cell: 5,
                 meta: BlockMeta {
+                    seg: 0,
                     page: 0,
                     offset: 16,
                     n_ids: 2,

@@ -1,21 +1,30 @@
 //! The on-disk layout of a repository directory.
 //!
-//! A repository is a single directory holding, per generation `g`:
+//! A repository is a single directory holding one or more *generations*
+//! of segment files. Generation `g` of shard `s` contributes:
 //!
 //! ```text
 //! MANIFEST.ppq              ← checksummed root (written temp + rename)
-//! summary-g<g>-<s>.seg      ← shard s's PpqSummary (core::summary_io bytes)
+//! summary-g<g>-<s>.seg      ← base generation: shard s's full PpqSummary
+//! sdelta-g<g>-<s>.seg       ← delta generation: shard s's summary delta
 //! tpi-g<g>-<s>.pages        ← shard s's TPI blocks on CRC-sealed pages
 //! dir-g<g>-<s>.seg          ← shard s's period structure + block directory
 //! ```
 //!
+//! The first live generation is a **base** (a complete summary snapshot);
+//! every later one is a **delta** that extends it by a timestep window —
+//! `RepoWriter::append` produces them, `Repo::open` stitches the chain
+//! back into one logical store, and `Repo::compact` collapses the chain
+//! into a single fresh base generation. docs/FORMAT.md specifies every
+//! byte.
+//!
 //! The manifest is the *only* mutable file and the single source of
-//! integrity metadata: it records, for every shard segment, the exact
-//! byte length and CRC-32 the writer produced. A crash anywhere during a
-//! write leaves at worst new-generation segment files plus a stale
-//! `MANIFEST.ppq.tmp` — the committed manifest still references the
-//! previous generation's segments, so the store reopens at the previous
-//! consistent state.
+//! integrity metadata: it records the live generation chain and, for
+//! every shard segment, the exact byte length and CRC-32 the writer
+//! produced. A crash anywhere during a write leaves at worst
+//! new-generation segment files plus a stale `MANIFEST.ppq.tmp` — the
+//! committed manifest still references the previous chain's segments, so
+//! the store reopens at the previous consistent state.
 
 use ppq_storage::codec::{Decoder, Encoder};
 use ppq_storage::crc32;
@@ -29,10 +38,18 @@ pub const MANIFEST_NAME: &str = "MANIFEST.ppq";
 pub const MANIFEST_TMP_NAME: &str = "MANIFEST.ppq.tmp";
 
 const MANIFEST_MAGIC: u32 = 0x5050_514D; // "PPQM"
-const MANIFEST_VERSION: u32 = 1;
+/// Current manifest version. Version 1 (single-generation stores written
+/// before incremental append existed) is still accepted by
+/// [`Manifest::from_bytes`] and lifted to a one-base-generation chain;
+/// writers always emit the current version.
+const MANIFEST_VERSION: u32 = 2;
 
 pub fn summary_seg_name(generation: u64, shard: u32) -> String {
     format!("summary-g{generation}-{shard}.seg")
+}
+
+pub fn sdelta_seg_name(generation: u64, shard: u32) -> String {
+    format!("sdelta-g{generation}-{shard}.seg")
 }
 
 pub fn tpi_seg_name(generation: u64, shard: u32) -> String {
@@ -53,6 +70,17 @@ pub enum RepoError {
     Summary(ppq_core::summary_io::DecodeError),
     /// The summary handed to the writer has no TPI to lay out.
     MissingIndex,
+    /// `append` was given a summary that does not extend the committed
+    /// store (different config, rewritten history, fewer shards, …) — the
+    /// caller should fall back to a full `write`.
+    NotAnExtension(String),
+    /// The requested operation is not supported by this store's contents
+    /// (e.g. re-sharding a per-step-codebook store).
+    Unsupported(String),
+    /// The store on disk advanced past the view this operation was
+    /// prepared from (e.g. `compact` on a `Repo` opened before a later
+    /// `append` committed) — reopen and retry.
+    Stale(String),
 }
 
 impl fmt::Display for RepoError {
@@ -64,6 +92,11 @@ impl fmt::Display for RepoError {
             RepoError::MissingIndex => {
                 write!(f, "summary has no TPI (build with build_index = true)")
             }
+            RepoError::NotAnExtension(what) => {
+                write!(f, "summary does not extend the committed store: {what}")
+            }
+            RepoError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            RepoError::Stale(what) => write!(f, "stale repository view: {what}"),
         }
     }
 }
@@ -82,9 +115,26 @@ impl From<ppq_core::summary_io::DecodeError> for RepoError {
     }
 }
 
-/// Integrity metadata of one shard's three segments.
+impl From<ppq_core::summary_io::DeltaError> for RepoError {
+    fn from(e: ppq_core::summary_io::DeltaError) -> RepoError {
+        RepoError::NotAnExtension(e.to_string())
+    }
+}
+
+/// Whether a generation carries a full summary snapshot or a delta over
+/// the chain before it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GenKind {
+    /// `summary-g<g>-<s>.seg` holds a complete `core::summary_io` summary.
+    Base,
+    /// `sdelta-g<g>-<s>.seg` holds a `core::summary_io` delta.
+    Delta,
+}
+
+/// Integrity metadata of one shard's segments within one generation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShardManifest {
+    /// Byte length of the summary (base) or summary-delta (delta) segment.
     pub summary_len: u64,
     pub summary_crc: u32,
     pub dir_len: u64,
@@ -93,28 +143,99 @@ pub struct ShardManifest {
     pub tpi_pages: u64,
 }
 
-/// The repository root: which generation is committed, how it is paged,
-/// and the integrity metadata of every shard segment.
+/// One live generation: its number, kind, and per-shard segment metadata.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Manifest {
+pub struct GenManifest {
     pub generation: u64,
-    pub page_size: u32,
+    pub kind: GenKind,
     pub shards: Vec<ShardManifest>,
 }
 
+/// The repository root: the live generation chain (oldest first — one
+/// base followed by zero or more deltas), and how data pages are sized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    pub page_size: u32,
+    pub generations: Vec<GenManifest>,
+}
+
 impl Manifest {
+    /// The newest (highest-numbered) live generation.
+    #[inline]
+    pub fn newest(&self) -> &GenManifest {
+        self.generations.last().expect("validated: at least one")
+    }
+
+    /// The newest generation number — what the next write increments.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.newest().generation
+    }
+
+    /// Shard count (identical across the chain, validated on decode).
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.generations[0].shards.len()
+    }
+
+    /// Structural invariants shared by the decoder and the writer: a
+    /// chain is one base followed by deltas, strictly ascending, with a
+    /// uniform non-zero shard count.
+    fn validate(&self) -> Result<(), RepoError> {
+        let corrupt = |what: &str| RepoError::Corrupt(format!("manifest: {what}"));
+        if self.page_size as usize <= ppq_storage::PAGE_TRAILER {
+            return Err(corrupt("page size too small"));
+        }
+        if self.generations.is_empty() {
+            return Err(corrupt("empty generation chain"));
+        }
+        let shards = self.generations[0].shards.len();
+        if shards == 0 {
+            return Err(corrupt("zero shards"));
+        }
+        for (i, g) in self.generations.iter().enumerate() {
+            let want = if i == 0 {
+                GenKind::Base
+            } else {
+                GenKind::Delta
+            };
+            if g.kind != want {
+                return Err(corrupt("chain must be one base followed by deltas"));
+            }
+            if g.shards.len() != shards {
+                return Err(corrupt("shard count varies across the chain"));
+            }
+            if i > 0 && g.generation <= self.generations[i - 1].generation {
+                return Err(corrupt("generations out of order"));
+            }
+        }
+        Ok(())
+    }
+
     /// Serialize: magic, version, body length, body CRC, body.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut body = Encoder::with_capacity(32 + self.shards.len() * 32);
-        body.put_u64(self.generation);
+        let per_gen: usize = self
+            .generations
+            .iter()
+            .map(|g| 16 + g.shards.len() * 32)
+            .sum();
+        let mut body = Encoder::with_capacity(16 + per_gen);
         body.put_u32(self.page_size);
-        body.put_u32(self.shards.len() as u32);
-        for s in &self.shards {
-            body.put_u64(s.summary_len);
-            body.put_u32(s.summary_crc);
-            body.put_u64(s.dir_len);
-            body.put_u32(s.dir_crc);
-            body.put_u64(s.tpi_pages);
+        body.put_u32(self.generations.len() as u32);
+        for g in &self.generations {
+            body.put_u64(g.generation);
+            body.put_u32(match g.kind {
+                GenKind::Base => 0,
+                GenKind::Delta => 1,
+            });
+            body.put_u32(g.shards.len() as u32);
+            for s in &g.shards {
+                body.put_u64(s.summary_len);
+                body.put_u32(s.summary_crc);
+                body.put_u64(s.dir_len);
+                body.put_u32(s.dir_crc);
+                body.put_u64(s.tpi_pages);
+            }
         }
         let body = body.finish();
         let mut e = Encoder::with_capacity(body.len() + 16);
@@ -127,18 +248,20 @@ impl Manifest {
     }
 
     /// Checked deserialization — every malformed input is a
-    /// [`RepoError::Corrupt`], never a panic.
+    /// [`RepoError::Corrupt`], never a panic. Accepts version 1 manifests
+    /// (pre-append single-generation stores) and lifts them into a
+    /// one-base-generation chain.
     pub fn from_bytes(bytes: &[u8]) -> Result<Manifest, RepoError> {
         let corrupt = |what: &str| RepoError::Corrupt(format!("manifest: {what}"));
         let mut d = Decoder::from_slice(bytes);
         if d.try_u32() != Some(MANIFEST_MAGIC) {
             return Err(corrupt("bad magic"));
         }
-        match d.try_u32() {
-            Some(MANIFEST_VERSION) => {}
+        let version = match d.try_u32() {
+            Some(v @ (1 | 2)) => v,
             Some(v) => return Err(corrupt(&format!("unsupported version {v}"))),
             None => return Err(corrupt("truncated header")),
-        }
+        };
         let body_len = d.try_u32().ok_or_else(|| corrupt("truncated header"))? as usize;
         let body_crc = d.try_u32().ok_or_else(|| corrupt("truncated header"))?;
         if d.remaining() != body_len {
@@ -149,30 +272,72 @@ impl Manifest {
             return Err(corrupt("body CRC mismatch"));
         }
         let mut d = Decoder::new(body);
-        let generation = d.try_u64().ok_or_else(|| corrupt("truncated body"))?;
-        let page_size = d.try_u32().ok_or_else(|| corrupt("truncated body"))?;
-        if page_size as usize <= ppq_storage::PAGE_TRAILER {
-            return Err(corrupt("page size too small"));
-        }
-        let n = d.try_u32().ok_or_else(|| corrupt("truncated body"))? as usize;
-        if n == 0 || n.saturating_mul(32) != d.remaining() {
-            return Err(corrupt("shard table length"));
-        }
-        let mut shards = Vec::with_capacity(n);
-        for _ in 0..n {
-            shards.push(ShardManifest {
-                summary_len: d.try_u64().ok_or_else(|| corrupt("shard entry"))?,
-                summary_crc: d.try_u32().ok_or_else(|| corrupt("shard entry"))?,
-                dir_len: d.try_u64().ok_or_else(|| corrupt("shard entry"))?,
-                dir_crc: d.try_u32().ok_or_else(|| corrupt("shard entry"))?,
-                tpi_pages: d.try_u64().ok_or_else(|| corrupt("shard entry"))?,
-            });
-        }
-        Ok(Manifest {
-            generation,
-            page_size,
-            shards,
-        })
+
+        let read_shards = |d: &mut Decoder, n: usize| -> Result<Vec<ShardManifest>, RepoError> {
+            let mut shards = Vec::with_capacity(n);
+            for _ in 0..n {
+                shards.push(ShardManifest {
+                    summary_len: d.try_u64().ok_or_else(|| corrupt("shard entry"))?,
+                    summary_crc: d.try_u32().ok_or_else(|| corrupt("shard entry"))?,
+                    dir_len: d.try_u64().ok_or_else(|| corrupt("shard entry"))?,
+                    dir_crc: d.try_u32().ok_or_else(|| corrupt("shard entry"))?,
+                    tpi_pages: d.try_u64().ok_or_else(|| corrupt("shard entry"))?,
+                });
+            }
+            Ok(shards)
+        };
+
+        let manifest = if version == 1 {
+            // v1 body: generation u64, page_size u32, shard table.
+            let generation = d.try_u64().ok_or_else(|| corrupt("truncated body"))?;
+            let page_size = d.try_u32().ok_or_else(|| corrupt("truncated body"))?;
+            let n = d.try_u32().ok_or_else(|| corrupt("truncated body"))? as usize;
+            if n == 0 || n.saturating_mul(32) != d.remaining() {
+                return Err(corrupt("shard table length"));
+            }
+            Manifest {
+                page_size,
+                generations: vec![GenManifest {
+                    generation,
+                    kind: GenKind::Base,
+                    shards: read_shards(&mut d, n)?,
+                }],
+            }
+        } else {
+            // v2 body: page_size u32, generation chain.
+            let page_size = d.try_u32().ok_or_else(|| corrupt("truncated body"))?;
+            let n_gens = d.try_u32().ok_or_else(|| corrupt("truncated body"))? as usize;
+            if n_gens == 0 || n_gens.saturating_mul(16) > d.remaining() {
+                return Err(corrupt("generation count"));
+            }
+            let mut generations = Vec::with_capacity(n_gens);
+            for _ in 0..n_gens {
+                let generation = d.try_u64().ok_or_else(|| corrupt("generation entry"))?;
+                let kind = match d.try_u32() {
+                    Some(0) => GenKind::Base,
+                    Some(1) => GenKind::Delta,
+                    _ => return Err(corrupt("generation kind")),
+                };
+                let n = d.try_u32().ok_or_else(|| corrupt("generation entry"))? as usize;
+                if n.saturating_mul(32) > d.remaining() {
+                    return Err(corrupt("shard table length"));
+                }
+                generations.push(GenManifest {
+                    generation,
+                    kind,
+                    shards: read_shards(&mut d, n)?,
+                });
+            }
+            if d.remaining() != 0 {
+                return Err(corrupt("trailing bytes"));
+            }
+            Manifest {
+                page_size,
+                generations,
+            }
+        };
+        manifest.validate()?;
+        Ok(manifest)
     }
 }
 
@@ -205,24 +370,34 @@ pub fn read_verified(
 mod tests {
     use super::*;
 
+    fn shard(seed: u64) -> ShardManifest {
+        ShardManifest {
+            summary_len: 100 + seed,
+            summary_crc: 1 + seed as u32,
+            dir_len: 200 + seed,
+            dir_crc: 2 + seed as u32,
+            tpi_pages: seed % 9,
+        }
+    }
+
     fn manifest() -> Manifest {
         Manifest {
-            generation: 3,
             page_size: 4096,
-            shards: vec![
-                ShardManifest {
-                    summary_len: 100,
-                    summary_crc: 1,
-                    dir_len: 200,
-                    dir_crc: 2,
-                    tpi_pages: 7,
+            generations: vec![
+                GenManifest {
+                    generation: 3,
+                    kind: GenKind::Base,
+                    shards: vec![shard(0), shard(7)],
                 },
-                ShardManifest {
-                    summary_len: 50,
-                    summary_crc: 3,
-                    dir_len: 60,
-                    dir_crc: 4,
-                    tpi_pages: 0,
+                GenManifest {
+                    generation: 4,
+                    kind: GenKind::Delta,
+                    shards: vec![shard(3), shard(12)],
+                },
+                GenManifest {
+                    generation: 6,
+                    kind: GenKind::Delta,
+                    shards: vec![shard(5), shard(1)],
                 },
             ],
         }
@@ -231,7 +406,10 @@ mod tests {
     #[test]
     fn manifest_roundtrip() {
         let m = manifest();
-        assert_eq!(Manifest::from_bytes(&m.to_bytes()).unwrap(), m);
+        let back = Manifest::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.generation(), 6);
+        assert_eq!(back.num_shards(), 2);
     }
 
     #[test]
@@ -255,8 +433,63 @@ mod tests {
     }
 
     #[test]
+    fn manifest_rejects_malformed_chains() {
+        // Delta-first chain.
+        let mut m = manifest();
+        m.generations[0].kind = GenKind::Delta;
+        assert!(matches!(
+            Manifest::from_bytes(&m.to_bytes()),
+            Err(RepoError::Corrupt(_))
+        ));
+        // Second base mid-chain.
+        let mut m = manifest();
+        m.generations[1].kind = GenKind::Base;
+        assert!(Manifest::from_bytes(&m.to_bytes()).is_err());
+        // Out-of-order generations.
+        let mut m = manifest();
+        m.generations[2].generation = 4;
+        assert!(Manifest::from_bytes(&m.to_bytes()).is_err());
+        // Varying shard counts.
+        let mut m = manifest();
+        m.generations[1].shards.pop();
+        assert!(Manifest::from_bytes(&m.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn v1_manifest_still_opens_as_single_base_generation() {
+        // Hand-build a version-1 manifest byte stream (the pre-append
+        // format) and check it lifts into a one-generation chain.
+        let mut body = Encoder::new();
+        body.put_u64(5); // generation
+        body.put_u32(4096); // page_size
+        body.put_u32(1); // one shard
+        let s = shard(2);
+        body.put_u64(s.summary_len);
+        body.put_u32(s.summary_crc);
+        body.put_u64(s.dir_len);
+        body.put_u32(s.dir_crc);
+        body.put_u64(s.tpi_pages);
+        let body = body.finish();
+        let mut e = Encoder::new();
+        e.put_u32(MANIFEST_MAGIC);
+        e.put_u32(1); // version 1
+        e.put_u32(body.len() as u32);
+        e.put_u32(crc32(&body));
+        e.put_bytes_raw(&body);
+        let m = Manifest::from_bytes(&e.finish()).unwrap();
+        assert_eq!(m.generations.len(), 1);
+        assert_eq!(m.generation(), 5);
+        assert_eq!(m.generations[0].kind, GenKind::Base);
+        assert_eq!(m.generations[0].shards, vec![shard(2)]);
+        // Re-serializing writes the current version.
+        let back = Manifest::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
     fn segment_names_are_generation_scoped() {
         assert_eq!(summary_seg_name(2, 0), "summary-g2-0.seg");
+        assert_eq!(sdelta_seg_name(4, 2), "sdelta-g4-2.seg");
         assert_eq!(tpi_seg_name(2, 3), "tpi-g2-3.pages");
         assert_eq!(dir_seg_name(10, 1), "dir-g10-1.seg");
     }

@@ -1,29 +1,99 @@
 //! The reopened repository: validated segments, lazily paged TPI blocks
 //! behind one shared buffer pool, and the block-level read primitives the
 //! disk query engine drives.
+//!
+//! A store may hold several live *generations* (one base + appended
+//! deltas); [`Repo::open`] stitches them into one logical view — the
+//! summary chain is reassembled (`core::summary_io::apply_delta`) and
+//! verified against the writer's recorded CRC, the newest generation's
+//! period/region table becomes *the* table, and the per-generation block
+//! directories are merged newest-wins into one sorted directory whose
+//! entries carry the index of the page segment that holds them. The query
+//! engine is oblivious to generations: it sees one summary, one period
+//! table, one directory.
 
 use crate::dir::{
-    decode_dir_segment, locate_region, period_of, BlockDirectory, BlockMeta, DiskPeriod,
+    decode_dir_segment, locate_region, merge_overlay, period_of, BlockDirectory, BlockMeta,
+    DiskPeriod,
 };
 use crate::layout::{
-    dir_seg_name, read_verified, summary_seg_name, tpi_seg_name, Manifest, RepoError, MANIFEST_NAME,
+    dir_seg_name, read_verified, sdelta_seg_name, summary_seg_name, tpi_seg_name, GenKind,
+    GenManifest, Manifest, RepoError, MANIFEST_NAME,
 };
+use crate::writer::RepoWriter;
 use ppq_core::summary_io;
-use ppq_core::{PpqSummary, ShardRouter};
+use ppq_core::{PpqSummary, ShardRouter, ShardedSummary};
 use ppq_geo::Point;
-use ppq_storage::{IoStats, Segment, SharedBufferPool};
+use ppq_storage::{crc32, IoStats, Segment, SharedBufferPool};
 use ppq_traj::TrajId;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// One shard of an open repository: the decoded (in-memory) summary, the
-/// period/region structure, the block directory, and the page segment the
-/// blocks are paged in from.
+/// Reassemble one shard's logical summary from the manifest's generation
+/// chain: decode the base snapshot, apply every delta in order, and — when
+/// the chain has deltas — prove the result equals the writer's summary by
+/// re-serializing and comparing against the final delta's recorded CRC-32
+/// of the full summary. Shared by [`Repo::open`] and the writer's append
+/// path (which diffs the next snapshot against exactly this view).
+pub(crate) fn load_shard_summary(
+    dir: &Path,
+    manifest: &Manifest,
+    shard: usize,
+) -> Result<PpqSummary, RepoError> {
+    let mut summary: Option<PpqSummary> = None;
+    let mut final_crc: Option<u32> = None;
+    for gen in &manifest.generations {
+        let sm = &gen.shards[shard];
+        let g = gen.generation;
+        match gen.kind {
+            GenKind::Base => {
+                let bytes = read_verified(
+                    &dir.join(summary_seg_name(g, shard as u32)),
+                    sm.summary_len,
+                    sm.summary_crc,
+                )?;
+                // The disk TPI replaces the in-memory index: decode
+                // without rebuilding it.
+                summary = Some(summary_io::from_bytes(&bytes, false)?);
+            }
+            GenKind::Delta => {
+                let bytes = read_verified(
+                    &dir.join(sdelta_seg_name(g, shard as u32)),
+                    sm.summary_len,
+                    sm.summary_crc,
+                )?;
+                let s = summary.as_mut().expect("manifest validated: base first");
+                final_crc = Some(summary_io::apply_delta(s, &bytes)?);
+            }
+        }
+    }
+    let summary = summary.expect("manifest validated: at least one generation");
+    if let Some(crc) = final_crc {
+        // End-to-end proof that the reassembled chain is the summary the
+        // writer appended from — any violated prefix assumption upstream
+        // (however it got past the writer) surfaces here as corruption,
+        // never as silently different query answers.
+        if crc32(&summary_io::to_bytes(&summary)) != crc {
+            return Err(RepoError::Corrupt(format!(
+                "shard {shard}: reassembled summary chain does not match the \
+                 writer's summary (final delta CRC mismatch)"
+            )));
+        }
+    }
+    Ok(summary)
+}
+
+/// One shard of an open repository: the stitched (in-memory) summary, the
+/// newest period/region structure, the merged block directory, and the
+/// page segments — one per live generation — the blocks are paged in
+/// from.
 pub struct ShardStore {
     summary: PpqSummary,
     periods: Vec<DiskPeriod>,
     directory: BlockDirectory,
-    segment: Segment,
+    /// Page segments in generation-chain order; a [`BlockMeta::seg`]
+    /// indexes this list.
+    segments: Vec<Segment>,
     payload_capacity: usize,
 }
 
@@ -43,9 +113,10 @@ impl ShardStore {
         &self.directory
     }
 
+    /// The page segments backing this shard, oldest generation first.
     #[inline]
-    pub fn segment(&self) -> &Segment {
-        &self.segment
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
     }
 
     /// The period covering `t`, with its index (the directory's period
@@ -57,9 +128,9 @@ impl ShardStore {
 
     /// Read one block's trajectory IDs, appending to `out`. Pages in only
     /// the `⌈(offset + 4·n_ids) / capacity⌉ − ⌊offset / capacity⌋` pages
-    /// the block actually touches — the directed page-in that replaces
-    /// `DiskTpi`'s scan. I/O is charged to `stats` (pool hits are not
-    /// I/Os); `scratch` is a reusable byte staging buffer.
+    /// the block actually touches — from the generation segment the
+    /// directory routed it to. I/O is charged to `stats` (pool hits are
+    /// not I/Os); `scratch` is a reusable byte staging buffer.
     pub fn read_block_into(
         &self,
         meta: &BlockMeta,
@@ -67,12 +138,13 @@ impl ShardStore {
         scratch: &mut Vec<u8>,
         out: &mut Vec<u32>,
     ) -> std::io::Result<()> {
+        let segment = &self.segments[meta.seg as usize];
         let total = meta.n_ids as usize * 4;
         scratch.clear();
         let mut page = meta.page;
         let mut offset = meta.offset as usize;
         while scratch.len() < total {
-            let p = self.segment.read(page, stats)?;
+            let p = segment.read(page, stats)?;
             let payload = p.payload();
             let take = (total - scratch.len()).min(payload.len() - offset);
             scratch.extend_from_slice(&payload[offset..offset + take]);
@@ -138,55 +210,66 @@ impl Repo {
     /// real page I/O).
     ///
     /// Validation: the manifest must parse and checksum; every shard's
-    /// summary and directory segments must match their manifest-recorded
-    /// length and CRC; the TPI page segment must hold exactly the
-    /// recorded number of pages. Data pages themselves are verified
-    /// lazily (CRC trailer on page-in). A stale `MANIFEST.ppq.tmp` from a
-    /// crashed write is ignored.
+    /// summary/summary-delta and directory segments — of every live
+    /// generation — must match their manifest-recorded length and CRC;
+    /// every TPI page segment must hold exactly the recorded number of
+    /// pages, and every generation's block addresses must fall inside its
+    /// segment. Chains with deltas are additionally verified end to end:
+    /// the reassembled summary must re-serialize to the CRC the last
+    /// append recorded. Data pages themselves are verified lazily (CRC
+    /// trailer on page-in). A stale `MANIFEST.ppq.tmp` from a crashed
+    /// write is ignored.
     pub fn open(dir: &Path, pool_pages: usize) -> Result<Repo, RepoError> {
         let manifest_bytes = std::fs::read(dir.join(MANIFEST_NAME))?;
         let manifest = Manifest::from_bytes(&manifest_bytes)?;
         let pool = SharedBufferPool::new(pool_pages);
         let page_size = manifest.page_size as usize;
-        let mut shards = Vec::with_capacity(manifest.shards.len());
-        for (i, sm) in manifest.shards.iter().enumerate() {
-            let g = manifest.generation;
-            let summary_bytes = read_verified(
-                &dir.join(summary_seg_name(g, i as u32)),
-                sm.summary_len,
-                sm.summary_crc,
-            )?;
-            // The disk TPI replaces the in-memory index: decode without
-            // rebuilding it.
-            let summary = summary_io::from_bytes(&summary_bytes, false)?;
-            let dir_bytes =
-                read_verified(&dir.join(dir_seg_name(g, i as u32)), sm.dir_len, sm.dir_crc)?;
-            let (periods, directory) = decode_dir_segment(&dir_bytes)?;
-            let segment = Segment::open(
-                &dir.join(tpi_seg_name(g, i as u32)),
-                i as u32,
-                page_size,
-                Arc::clone(&pool),
-            )?;
-            if segment.num_pages() != sm.tpi_pages {
-                return Err(RepoError::Corrupt(format!(
-                    "shard {i}: TPI segment has {} pages, manifest says {}",
-                    segment.num_pages(),
-                    sm.tpi_pages
-                )));
+        let capacity = ppq_storage::payload_capacity(page_size);
+        let mut shards = Vec::with_capacity(manifest.num_shards());
+        for s in 0..manifest.num_shards() {
+            let summary = load_shard_summary(dir, &manifest, s)?;
+            let mut segments: Vec<Segment> = Vec::with_capacity(manifest.generations.len());
+            let mut dirs: Vec<BlockDirectory> = Vec::with_capacity(manifest.generations.len());
+            let mut periods: Vec<DiskPeriod> = Vec::new();
+            for (gi, gen) in manifest.generations.iter().enumerate() {
+                let sm = &gen.shards[s];
+                let g = gen.generation;
+                let dir_bytes =
+                    read_verified(&dir.join(dir_seg_name(g, s as u32)), sm.dir_len, sm.dir_crc)?;
+                let (gen_periods, gen_dir) = decode_dir_segment(&dir_bytes)?;
+                // Frames are keyed per (generation, shard): two
+                // generations' page 0 must never collide in the pool.
+                let segment = Segment::open(
+                    &dir.join(tpi_seg_name(g, s as u32)),
+                    ((gi as u64) << 32) | s as u64,
+                    page_size,
+                    Arc::clone(&pool),
+                )?;
+                if segment.num_pages() != sm.tpi_pages {
+                    return Err(RepoError::Corrupt(format!(
+                        "shard {s} generation {g}: TPI segment has {} pages, manifest says {}",
+                        segment.num_pages(),
+                        sm.tpi_pages
+                    )));
+                }
+                gen_dir
+                    .validate_geometry(capacity, segment.num_pages())
+                    .map_err(|what| {
+                        RepoError::Corrupt(format!("shard {s} generation {g}: {what}"))
+                    })?;
+                // The newest generation's period table is the logical one
+                // (older tables are structural prefixes of it).
+                periods = gen_periods;
+                segments.push(segment);
+                dirs.push(gen_dir);
             }
-            directory
-                .validate_geometry(
-                    ppq_storage::payload_capacity(page_size),
-                    segment.num_pages(),
-                )
-                .map_err(|what| RepoError::Corrupt(format!("shard {i}: {what}")))?;
+            let directory = merge_overlay(&periods, dirs)?;
             shards.push(ShardStore {
                 summary,
                 periods,
                 directory,
-                segment,
-                payload_capacity: ppq_storage::payload_capacity(page_size),
+                segments,
+                payload_capacity: capacity,
             });
         }
         let router = ShardRouter::new(shards.len());
@@ -208,6 +291,12 @@ impl Repo {
     #[inline]
     pub fn manifest(&self) -> &Manifest {
         &self.manifest
+    }
+
+    /// Number of live generations in the chain this view was opened from.
+    #[inline]
+    pub fn num_generations(&self) -> usize {
+        self.manifest.generations.len()
     }
 
     #[inline]
@@ -259,16 +348,23 @@ impl Repo {
         self.pool.clear();
     }
 
-    /// Total data pages across shards.
+    /// Total data pages across shards and generations.
     pub fn total_pages(&self) -> u64 {
-        self.shards.iter().map(|s| s.segment.num_pages()).sum()
+        self.shards
+            .iter()
+            .flat_map(|s| s.segments.iter())
+            .map(Segment::num_pages)
+            .sum()
     }
 
     /// On-disk footprint of the data pages plus the resident directory.
     pub fn size_bytes(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.segment.size_bytes() + s.directory.size_bytes() as u64)
+            .map(|s| {
+                s.segments.iter().map(Segment::size_bytes).sum::<u64>()
+                    + s.directory.size_bytes() as u64
+            })
             .sum()
     }
 
@@ -287,5 +383,116 @@ impl Repo {
         out.sort_unstable();
         out.dedup();
         Ok(out)
+    }
+
+    /// Collapse the live generation chain into one fresh *base*
+    /// generation — and, with `target_shards`, re-shard the store from
+    /// `S` to `S′` in the same pass.
+    ///
+    /// Same shard count (the common maintenance compaction): each shard's
+    /// stitched summary is re-serialized as a full snapshot and every
+    /// live block is copied out of the merged directory into one densely
+    /// packed page segment, in directory order — no quantization, no
+    /// index rebuild, answers bit-identical to the pre-compaction view
+    /// (the stitched store *is* the single-shot layout already; this
+    /// merely materializes it).
+    ///
+    /// Re-sharding (`target_shards = Some(S′)`, `S′ ≠ S`): trajectories
+    /// are redistributed by `ShardRouter::new(S′)` with their encodings
+    /// kept bit-for-bit (`ShardedSummary::reshard` concatenates the old
+    /// codebooks/coefficient tables and remaps indices), and each new
+    /// shard's TPI is rebuilt over its reconstructed stream. Query
+    /// answers — STRQ at every level and TPQ payload bits — are invariant
+    /// (reconstructions are unchanged and the local-search protocol is
+    /// index-shape-independent); only global codebooks support this, per
+    /// [`ppq_core::ReshardError`].
+    ///
+    /// Crash-safe like every write: the new generation is written under
+    /// fresh names and committed with the temp + rename + fsync manifest
+    /// swap; superseded segments are swept only after the commit (the
+    /// immediately previous chain is retained for in-flight readers — the
+    /// *next* committed write removes it). This `Repo` keeps serving its
+    /// pre-compaction view; reopen to serve the compacted one.
+    ///
+    /// If the store on disk advanced past this view (a writer committed
+    /// after `open`), compacting would silently discard the newer
+    /// generations — the committed manifest is re-read first and a
+    /// mismatch returns [`RepoError::Stale`] before anything is written.
+    pub fn compact(&self, target_shards: Option<usize>) -> Result<Manifest, RepoError> {
+        let writer = RepoWriter::with_page_size(&self.dir, self.page_size());
+        // Compaction rewrites the *whole* logical store from this view;
+        // committing it against a manifest that has since advanced would
+        // drop the newer generations (and the fresh generation number
+        // could collide with committed segment names). Require the
+        // committed chain to still be the one this view was opened from.
+        let committed = writer
+            .committed_manifest()?
+            .ok_or_else(|| RepoError::Stale("manifest disappeared since open".to_string()))?;
+        if committed != self.manifest {
+            return Err(RepoError::Stale(format!(
+                "store advanced to generation {} since this view (generation {}) was \
+                 opened; reopen before compacting",
+                committed.generation(),
+                self.manifest.generation()
+            )));
+        }
+        let prev = self.manifest.clone();
+        let generation = prev.generation() + 1;
+        let mut shard_manifests = Vec::new();
+        match target_shards.filter(|&s| s != self.num_shards()) {
+            None => {
+                for (i, shard) in self.shards.iter().enumerate() {
+                    let summary_bytes = summary_io::to_bytes(shard.summary());
+                    let stats = IoStats::default();
+                    let mut scratch: Vec<u8> = Vec::new();
+                    let mut blocks = shard.directory.entries().map(|(p, r, t, c, meta)| {
+                        let mut ids = Vec::with_capacity(meta.n_ids as usize);
+                        shard.read_block_into(&meta, &stats, &mut scratch, &mut ids)?;
+                        Ok((p, r, t, c, ids))
+                    });
+                    shard_manifests.push(writer.write_segments(
+                        generation,
+                        i as u32,
+                        &summary_seg_name(generation, i as u32),
+                        &summary_bytes,
+                        &shard.periods,
+                        &mut blocks,
+                    )?);
+                    self.stats.absorb(&stats);
+                }
+            }
+            Some(s2) => {
+                let merged = ShardedSummary::from_shards(
+                    self.shards.iter().map(|s| s.summary.clone()).collect(),
+                );
+                let resharded = merged
+                    .reshard(s2)
+                    .map_err(|e| RepoError::Unsupported(e.to_string()))?;
+                for (i, mut summary) in resharded.into_shards().into_iter().enumerate() {
+                    summary.rebuild_index();
+                    let tpi = summary.tpi().expect("just rebuilt");
+                    let summary_bytes = summary_io::to_bytes(&summary);
+                    let (periods, blocks) = crate::writer::tpi_blocks_full(tpi);
+                    shard_manifests.push(writer.write_segments(
+                        generation,
+                        i as u32,
+                        &summary_seg_name(generation, i as u32),
+                        &summary_bytes,
+                        &periods,
+                        &mut blocks.into_iter().map(Ok),
+                    )?);
+                }
+            }
+        }
+        let manifest = Manifest {
+            page_size: self.page_size() as u32,
+            generations: vec![GenManifest {
+                generation,
+                kind: GenKind::Base,
+                shards: shard_manifests,
+            }],
+        };
+        writer.commit(&manifest, Some(&prev))?;
+        Ok(manifest)
     }
 }

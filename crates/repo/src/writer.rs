@@ -1,21 +1,47 @@
 //! The repository write path: lay a finished summary (or sharded
 //! summary) out as a generation of segment files, then commit it with an
 //! atomic manifest swap.
+//!
+//! Two write shapes share one segment writer:
+//!
+//! * [`RepoWriter::write`] / [`RepoWriter::write_sharded`] — a **full
+//!   rewrite**: one fresh *base* generation holding the complete summary
+//!   and every TPI block; the committed manifest is replaced by a
+//!   single-generation chain.
+//! * [`RepoWriter::append`] / [`RepoWriter::append_sharded`] — an
+//!   **incremental append**: the caller hands the *current full* summary
+//!   (a later snapshot of the same stream the store was written from) and
+//!   only the difference is persisted — a summary-delta segment
+//!   (`core::summary_io::delta_to_bytes` against the committed chain), the
+//!   TPI blocks of the new timestep window, and a delta block directory —
+//!   as one new *delta* generation appended to the chain.
+//!
+//! Both commit the same way: segments are written and fsynced under
+//! generation-scoped names that can never collide with the committed
+//! chain, then the manifest is rewritten temp + rename + directory fsync.
+//! A crash at any point leaves the previous chain fully intact.
 
 use crate::dir::{encode_dir_segment, BlockMeta, DirEntry, DiskPeriod, DiskRegion};
 use crate::layout::{
-    dir_seg_name, summary_seg_name, tpi_seg_name, Manifest, RepoError, ShardManifest,
-    MANIFEST_NAME, MANIFEST_TMP_NAME,
+    dir_seg_name, sdelta_seg_name, summary_seg_name, tpi_seg_name, GenKind, GenManifest, Manifest,
+    RepoError, ShardManifest, MANIFEST_NAME, MANIFEST_TMP_NAME,
 };
+use crate::repo::load_shard_summary;
 use ppq_core::summary_io;
 use ppq_core::{PpqSummary, ShardedSummary};
 use ppq_storage::{crc32, payload_capacity, Page, PageStore, PAGE_SIZE};
+use ppq_tpi::Tpi;
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
-/// Writes a repository directory. One `write*` call produces one new
-/// *generation* of segment files and commits it by writing the manifest
-/// to a temp name and renaming it over `MANIFEST.ppq` — a crash at any
-/// point leaves the previous generation's manifest (and segments)
+/// One block bound for the page segment: `(period, region, t, cell)` key
+/// plus the trajectory IDs, produced in strictly ascending key order.
+pub(crate) type BlockRecord = (u32, u32, u32, u32, Vec<u32>);
+
+/// Writes a repository directory. One `write*`/`append*` call produces
+/// one new *generation* of segment files and commits it by writing the
+/// manifest to a temp name and renaming it over `MANIFEST.ppq` — a crash
+/// at any point leaves the previous chain's manifest (and segments)
 /// untouched, so the store reopens at the last consistent state.
 pub struct RepoWriter {
     dir: PathBuf,
@@ -43,7 +69,8 @@ impl RepoWriter {
         self.page_size
     }
 
-    /// Persist an unsharded summary as a 1-shard repository.
+    /// Persist an unsharded summary as a 1-shard repository (full
+    /// rewrite — the committed chain, if any, is replaced).
     pub fn write(&self, summary: &PpqSummary) -> Result<Manifest, RepoError> {
         self.write_shards(std::slice::from_ref(summary))
     }
@@ -59,37 +86,120 @@ impl RepoWriter {
         assert!(!shards.is_empty(), "repository needs at least one shard");
         std::fs::create_dir_all(&self.dir)?;
         // Each generation gets fresh file names, so writing never clobbers
-        // the committed generation's segments.
-        let generation = match self.committed_manifest()? {
-            Some(m) => m.generation + 1,
-            None => 1,
-        };
+        // the committed chain's segments.
+        let prev = self.committed_manifest()?;
+        let generation = prev.as_ref().map(|m| m.generation() + 1).unwrap_or(1);
         let mut shard_manifests = Vec::with_capacity(shards.len());
         for (i, summary) in shards.iter().enumerate() {
-            shard_manifests.push(self.write_one_shard(generation, i as u32, summary)?);
+            let tpi = summary.tpi().ok_or(RepoError::MissingIndex)?;
+            let summary_bytes = summary_io::to_bytes(summary);
+            let (periods, blocks) = tpi_blocks(tpi, None);
+            shard_manifests.push(self.write_segments(
+                generation,
+                i as u32,
+                &summary_seg_name(generation, i as u32),
+                &summary_bytes,
+                &periods,
+                &mut blocks.into_iter().map(Ok),
+            )?);
         }
         let manifest = Manifest {
-            generation,
             page_size: self.page_size as u32,
-            shards: shard_manifests,
+            generations: vec![GenManifest {
+                generation,
+                kind: GenKind::Base,
+                shards: shard_manifests,
+            }],
         };
-        // Commit: temp + rename, each step fsynced. Segment files were
-        // synced as they were written, the temp manifest is synced before
-        // the rename, and the directory is synced after it so the rename
-        // itself is durable — the rename is the linearization point for
-        // power loss, not just process crashes.
-        let tmp = self.dir.join(MANIFEST_TMP_NAME);
-        write_durable(&tmp, &manifest.to_bytes())?;
-        std::fs::rename(&tmp, self.dir.join(MANIFEST_NAME))?;
-        sync_dir(&self.dir)?;
-        self.sweep_old_generations(generation);
+        self.commit(&manifest, prev.as_ref())?;
+        Ok(manifest)
+    }
+
+    /// Append everything `full` adds over the committed chain as one new
+    /// delta generation: a summary-delta segment, the TPI blocks of the
+    /// new timestep window, and a delta block directory, per shard.
+    ///
+    /// `full` must be a *later snapshot of the same stream* the store was
+    /// written from — the method verifies this structurally (the committed
+    /// chain must be an exact prefix: same config, same codebook prefix,
+    /// same per-trajectory history, period table extended in place) and
+    /// returns [`RepoError::NotAnExtension`] otherwise, in which case the
+    /// caller should fall back to a full [`RepoWriter::write`].
+    pub fn append(&self, full: &PpqSummary) -> Result<Manifest, RepoError> {
+        self.append_shards(std::slice::from_ref(full))
+    }
+
+    /// Sharded form of [`RepoWriter::append`]; the shard count must match
+    /// the committed store's.
+    pub fn append_sharded(&self, full: &ShardedSummary) -> Result<Manifest, RepoError> {
+        self.append_shards(full.shards())
+    }
+
+    fn append_shards(&self, fulls: &[PpqSummary]) -> Result<Manifest, RepoError> {
+        let not_ext = |what: &str| RepoError::NotAnExtension(what.to_string());
+        let prev = self
+            .committed_manifest()?
+            .ok_or_else(|| not_ext("no committed store to append to (write a base first)"))?;
+        if prev.num_shards() != fulls.len() {
+            return Err(not_ext(&format!(
+                "store has {} shards, summary has {}",
+                prev.num_shards(),
+                fulls.len()
+            )));
+        }
+        if prev.page_size as usize != self.page_size {
+            return Err(not_ext(&format!(
+                "store uses {}-byte pages, writer configured for {}",
+                prev.page_size, self.page_size
+            )));
+        }
+        let generation = prev.generation() + 1;
+        let mut shard_manifests = Vec::with_capacity(fulls.len());
+        for (i, full) in fulls.iter().enumerate() {
+            let tpi = full.tpi().ok_or(RepoError::MissingIndex)?;
+            // Reassemble the committed chain's summary for this shard and
+            // verify `full` extends it, bit for bit.
+            let base = load_shard_summary(&self.dir, &prev, i)?;
+            let delta_bytes = summary_io::delta_to_bytes(&base, full)?;
+            // The committed period table must be a structural prefix of
+            // the full TPI's (sealed periods untouched, the open period
+            // only extended, new periods only appended) — the property
+            // that makes delta block keys disjoint from committed ones.
+            let newest = prev.newest();
+            let sm = &newest.shards[i];
+            let dir_bytes = crate::layout::read_verified(
+                &self.dir.join(dir_seg_name(newest.generation, i as u32)),
+                sm.dir_len,
+                sm.dir_crc,
+            )?;
+            let (stored_periods, _) = crate::dir::decode_dir_segment(&dir_bytes)?;
+            check_period_extension(&stored_periods, tpi)?;
+            // Blocks strictly past the committed horizon.
+            let t_hi = stored_periods.last().map(|p| p.t_end);
+            let (periods, blocks) = tpi_blocks(tpi, t_hi);
+            shard_manifests.push(self.write_segments(
+                generation,
+                i as u32,
+                &sdelta_seg_name(generation, i as u32),
+                &delta_bytes,
+                &periods,
+                &mut blocks.into_iter().map(Ok),
+            )?);
+        }
+        let mut manifest = prev.clone();
+        manifest.generations.push(GenManifest {
+            generation,
+            kind: GenKind::Delta,
+            shards: shard_manifests,
+        });
+        self.commit(&manifest, Some(&prev))?;
         Ok(manifest)
     }
 
     /// The committed manifest, if a valid one exists. A *corrupt*
     /// committed manifest is an error — overwriting it would destroy the
     /// evidence an operator needs.
-    fn committed_manifest(&self) -> Result<Option<Manifest>, RepoError> {
+    pub(crate) fn committed_manifest(&self) -> Result<Option<Manifest>, RepoError> {
         match std::fs::read(self.dir.join(MANIFEST_NAME)) {
             Ok(bytes) => Manifest::from_bytes(&bytes).map(Some),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
@@ -97,20 +207,21 @@ impl RepoWriter {
         }
     }
 
-    fn write_one_shard(
+    /// Write one shard's three segments for generation `generation`: the
+    /// summary (or summary-delta) bytes under `summary_name`, the blocks
+    /// packed back to back onto CRC-sealed pages, and the directory
+    /// segment mapping every block to `(page, offset)`.
+    pub(crate) fn write_segments(
         &self,
         generation: u64,
         shard: u32,
-        summary: &PpqSummary,
+        summary_name: &str,
+        summary_bytes: &[u8],
+        periods: &[DiskPeriod],
+        blocks: &mut dyn Iterator<Item = Result<BlockRecord, RepoError>>,
     ) -> Result<ShardManifest, RepoError> {
-        let tpi = summary.tpi().ok_or(RepoError::MissingIndex)?;
-
-        // --- Summary segment: the raw summary_io bytes. -----------------
-        let summary_bytes = summary_io::to_bytes(summary);
-        write_durable(
-            &self.dir.join(summary_seg_name(generation, shard)),
-            &summary_bytes,
-        )?;
+        std::fs::create_dir_all(&self.dir)?;
+        write_durable(&self.dir.join(summary_name), summary_bytes)?;
 
         // --- TPI page segment + block directory. ------------------------
         // Blocks are packed back to back into page payload areas (a block
@@ -123,41 +234,22 @@ impl RepoWriter {
         )?;
         let mut entries: Vec<DirEntry> = Vec::new();
         let mut stream: Vec<u8> = Vec::new();
-        let mut periods: Vec<DiskPeriod> = Vec::with_capacity(tpi.periods().len());
-        for (pidx, period) in tpi.periods().iter().enumerate() {
-            periods.push(DiskPeriod {
-                t_start: period.t_start,
-                t_end: period.t_end,
-                regions: period
-                    .pi
-                    .regions()
-                    .iter()
-                    .map(|r| DiskRegion {
-                        bbox: *r.bbox(),
-                        grid: r.grid().clone(),
-                    })
-                    .collect(),
+        for block in blocks {
+            let (period, region, t, cell, ids) = block?;
+            entries.push(DirEntry {
+                period,
+                region,
+                t,
+                cell,
+                meta: BlockMeta {
+                    seg: 0,
+                    page: (stream.len() / capacity) as u64,
+                    offset: (stream.len() % capacity) as u32,
+                    n_ids: ids.len() as u32,
+                },
             });
-            // export_blocks is region-major, (cell, t)-sorted; the
-            // directory wants (region, t, cell) so groups of one
-            // (period, region, t) are contiguous with ascending cells.
-            let mut blocks = period.pi.export_blocks();
-            blocks.sort_unstable_by_key(|&(region, t, cell, _)| (region, t, cell));
-            for (region, t, cell, ids) in blocks {
-                entries.push(DirEntry {
-                    period: pidx as u32,
-                    region,
-                    t,
-                    cell,
-                    meta: BlockMeta {
-                        page: (stream.len() / capacity) as u64,
-                        offset: (stream.len() % capacity) as u32,
-                        n_ids: ids.len() as u32,
-                    },
-                });
-                for id in ids {
-                    stream.extend_from_slice(&id.to_le_bytes());
-                }
+            for id in ids {
+                stream.extend_from_slice(&id.to_le_bytes());
             }
         }
         for chunk in stream.chunks(capacity) {
@@ -167,43 +259,171 @@ impl RepoWriter {
         let tpi_pages = store.num_pages();
 
         // --- Directory segment. -----------------------------------------
-        let dir_bytes = encode_dir_segment(&periods, &entries);
+        let dir_bytes = encode_dir_segment(periods, &entries);
         write_durable(&self.dir.join(dir_seg_name(generation, shard)), &dir_bytes)?;
 
         Ok(ShardManifest {
             summary_len: summary_bytes.len() as u64,
-            summary_crc: crc32(&summary_bytes),
+            summary_crc: crc32(summary_bytes),
             dir_len: dir_bytes.len() as u64,
             dir_crc: crc32(&dir_bytes),
             tpi_pages,
         })
     }
 
-    /// Best-effort removal of segment files from superseded generations.
-    /// The immediately previous generation is retained: a reader that
-    /// loaded the old manifest just before our rename can still finish
-    /// opening it; anything older is unreachable and removed. Failure is
-    /// harmless: stale files are never referenced again.
-    fn sweep_old_generations(&self, keep: u64) {
+    /// Commit `manifest`: temp + rename, each step fsynced. Segment files
+    /// were synced as they were written, the temp manifest is synced
+    /// before the rename, and the directory is synced after it so the
+    /// rename itself is durable — the rename is the linearization point
+    /// for power loss, not just process crashes. After the commit,
+    /// segment files of generations referenced by neither the new nor the
+    /// immediately previous manifest are swept (the previous chain is
+    /// retained so a reader that loaded the old manifest just before our
+    /// rename can still finish opening it).
+    pub(crate) fn commit(
+        &self,
+        manifest: &Manifest,
+        prev: Option<&Manifest>,
+    ) -> Result<(), RepoError> {
+        let tmp = self.dir.join(MANIFEST_TMP_NAME);
+        write_durable(&tmp, &manifest.to_bytes())?;
+        std::fs::rename(&tmp, self.dir.join(MANIFEST_NAME))?;
+        sync_dir(&self.dir)?;
+        let mut keep: HashSet<u64> = manifest.generations.iter().map(|g| g.generation).collect();
+        if let Some(prev) = prev {
+            keep.extend(prev.generations.iter().map(|g| g.generation));
+        }
+        self.sweep_unreferenced(&keep);
+        Ok(())
+    }
+
+    /// Best-effort removal of segment files from generations referenced
+    /// by neither the committed nor the immediately previous manifest.
+    /// Failure is harmless: stale files are never referenced again.
+    fn sweep_unreferenced(&self, keep: &HashSet<u64>) {
         let Ok(read) = std::fs::read_dir(&self.dir) else {
             return;
         };
-        let retained = [
-            format!("-g{keep}-"),
-            format!("-g{}-", keep.saturating_sub(1)),
-        ];
         for entry in read.flatten() {
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
-            let is_segment = (name.starts_with("summary-g")
-                || name.starts_with("tpi-g")
-                || name.starts_with("dir-g"))
-                && !retained.iter().any(|m| name.contains(m));
-            if is_segment {
-                let _ = std::fs::remove_file(entry.path());
+            if let Some(generation) = segment_generation(name) {
+                if !keep.contains(&generation) {
+                    let _ = std::fs::remove_file(entry.path());
+                }
             }
         }
     }
+}
+
+/// The generation number a repository segment file belongs to, parsed
+/// from its `<prefix>-g<generation>-<shard>.<ext>` name; `None` for
+/// non-segment files (the manifest, foreign files).
+fn segment_generation(name: &str) -> Option<u64> {
+    let rest = ["summary-g", "sdelta-g", "tpi-g", "dir-g"]
+        .iter()
+        .find_map(|p| name.strip_prefix(p))?;
+    rest.split('-').next()?.parse().ok()
+}
+
+/// [`tpi_blocks`] without a horizon filter — the full-rewrite shape,
+/// shared with `Repo::compact`'s re-shard path.
+pub(crate) fn tpi_blocks_full(tpi: &Tpi) -> (Vec<DiskPeriod>, Vec<BlockRecord>) {
+    tpi_blocks(tpi, None)
+}
+
+/// Flatten a TPI into the disk shape: the full period/region table plus
+/// every block as `(period, region, t, cell, ids)` in ascending key
+/// order. With `min_exclusive_t` set, only blocks strictly past that
+/// timestep are kept (the delta window) — the period table is always the
+/// full current one, since the stitched reader takes its structure from
+/// the newest generation.
+fn tpi_blocks(tpi: &Tpi, min_exclusive_t: Option<u32>) -> (Vec<DiskPeriod>, Vec<BlockRecord>) {
+    let mut periods: Vec<DiskPeriod> = Vec::with_capacity(tpi.periods().len());
+    let mut records: Vec<BlockRecord> = Vec::new();
+    for (pidx, period) in tpi.periods().iter().enumerate() {
+        periods.push(DiskPeriod {
+            t_start: period.t_start,
+            t_end: period.t_end,
+            regions: period
+                .pi
+                .regions()
+                .iter()
+                .map(|r| DiskRegion {
+                    bbox: *r.bbox(),
+                    grid: r.grid().clone(),
+                })
+                .collect(),
+        });
+        if let Some(t_hi) = min_exclusive_t {
+            if period.t_end <= t_hi {
+                continue; // entirely inside the committed horizon
+            }
+        }
+        // export_blocks is region-major, (cell, t)-sorted; the directory
+        // wants (region, t, cell) so groups of one (period, region, t)
+        // are contiguous with ascending cells.
+        let mut blocks = period.pi.export_blocks();
+        blocks.sort_unstable_by_key(|&(region, t, cell, _)| (region, t, cell));
+        for (region, t, cell, ids) in blocks {
+            if min_exclusive_t.is_some_and(|t_hi| t <= t_hi) {
+                continue;
+            }
+            records.push((pidx as u32, region, t, cell, ids));
+        }
+    }
+    (periods, records)
+}
+
+/// Verify the committed period table is a structural prefix of the
+/// current TPI's: sealed periods bitwise identical, the last committed
+/// period extended in place (same start, same region prefix), new periods
+/// only appended. This is the index-side mirror of
+/// `summary_io::delta_to_bytes`'s prefix verification.
+fn check_period_extension(stored: &[DiskPeriod], tpi: &Tpi) -> Result<(), RepoError> {
+    let not_ext = |what: &str| RepoError::NotAnExtension(format!("TPI periods: {what}"));
+    let now = tpi.periods();
+    if stored.len() > now.len() {
+        return Err(not_ext("period count shrank"));
+    }
+    let bbox_eq = |a: &ppq_geo::BBox, b: &ppq_geo::BBox| {
+        a.min.x.to_bits() == b.min.x.to_bits()
+            && a.min.y.to_bits() == b.min.y.to_bits()
+            && a.max.x.to_bits() == b.max.x.to_bits()
+            && a.max.y.to_bits() == b.max.y.to_bits()
+    };
+    for (i, sp) in stored.iter().enumerate() {
+        let np = &now[i];
+        let regions_now = np.pi.regions();
+        if sp.t_start != np.t_start {
+            return Err(not_ext("period start moved"));
+        }
+        let sealed = i + 1 < stored.len();
+        if sealed && sp.t_end != np.t_end {
+            return Err(not_ext("sealed period end moved"));
+        }
+        if !sealed && sp.t_end > np.t_end {
+            return Err(not_ext("open period end moved backwards"));
+        }
+        if sp.regions.len() > regions_now.len() || (sealed && sp.regions.len() != regions_now.len())
+        {
+            return Err(not_ext("region list shrank"));
+        }
+        for (sr, nr) in sp.regions.iter().zip(regions_now) {
+            let g = nr.grid();
+            let sg = &sr.grid;
+            if !bbox_eq(&sr.bbox, nr.bbox())
+                || sg.origin().x.to_bits() != g.origin().x.to_bits()
+                || sg.origin().y.to_bits() != g.origin().y.to_bits()
+                || sg.cell_size().to_bits() != g.cell_size().to_bits()
+                || sg.cols() != g.cols()
+                || sg.rows() != g.rows()
+            {
+                return Err(not_ext("region geometry changed"));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Write `bytes` to `path` and fsync before returning, so the data is on
@@ -217,4 +437,21 @@ fn write_durable(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
 /// Fsync a directory so a completed rename survives power loss.
 fn sync_dir(dir: &Path) -> std::io::Result<()> {
     std::fs::File::open(dir)?.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_generation_parsing() {
+        assert_eq!(segment_generation("summary-g7-0.seg"), Some(7));
+        assert_eq!(segment_generation("sdelta-g12-3.seg"), Some(12));
+        assert_eq!(segment_generation("tpi-g1-0.pages"), Some(1));
+        assert_eq!(segment_generation("dir-g400-11.seg"), Some(400));
+        assert_eq!(segment_generation("MANIFEST.ppq"), None);
+        assert_eq!(segment_generation("MANIFEST.ppq.tmp"), None);
+        assert_eq!(segment_generation("summary-gX-0.seg"), None);
+        assert_eq!(segment_generation("notes.txt"), None);
+    }
 }

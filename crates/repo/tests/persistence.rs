@@ -3,7 +3,7 @@
 //! crash-safety and corruption-detection coverage.
 
 use ppq_core::query::{QueryEngine, ShardedQueryEngine, StrqOutcome};
-use ppq_core::{PpqConfig, PpqTrajectory, ShardedSummary, Variant};
+use ppq_core::{PpqConfig, PpqTrajectory, ShardedPpqStream, ShardedSummary, Variant};
 use ppq_geo::Point;
 use ppq_repo::{DiskQueryEngine, Repo, RepoError, RepoWriter};
 use ppq_storage::IoStats;
@@ -237,6 +237,373 @@ fn directed_block_lookup_beats_disktpi_scan() {
     let _ = std::fs::remove_dir_all(dir);
 }
 
+/// Stream `data` through an `S`-shard pipeline, snapshotting after the
+/// slice counts in `cuts`; returns the snapshots plus the final summary.
+fn sharded_snapshots(
+    data: &Dataset,
+    cfg: &PpqConfig,
+    shards: usize,
+    cuts: &[usize],
+) -> (Vec<ShardedSummary>, ShardedSummary) {
+    let mut stream = ShardedPpqStream::new(cfg.clone(), shards);
+    let slices: Vec<_> = data.time_slices().collect();
+    let mut snaps = Vec::new();
+    for (i, slice) in slices.iter().enumerate() {
+        stream.push_slice(slice.t, slice.points);
+        if cuts.contains(&(i + 1)) {
+            snaps.push(stream.snapshot());
+        }
+    }
+    (snaps, stream.finish())
+}
+
+/// Build + append a 3-generation store under `name` and the single-shot
+/// control store next to it; returns `(appended_dir, single_dir, full)`.
+fn appended_fixture(
+    data: &Dataset,
+    cfg: &PpqConfig,
+    shards: usize,
+    name: &str,
+) -> (PathBuf, PathBuf, ShardedSummary) {
+    let n_slices = data.time_slices().count();
+    let (snaps, full) = sharded_snapshots(data, cfg, shards, &[n_slices / 3, 2 * n_slices / 3]);
+    let appended = tmp_dir(&format!("{name}-appended"));
+    let writer = RepoWriter::with_page_size(&appended, PAGE);
+    writer.write_sharded(&snaps[0]).unwrap();
+    writer.append_sharded(&snaps[1]).unwrap();
+    writer.append_sharded(&full).unwrap();
+    let single = tmp_dir(&format!("{name}-single"));
+    RepoWriter::with_page_size(&single, PAGE)
+        .write_sharded(&full)
+        .unwrap();
+    (appended, single, full)
+}
+
+/// Assert two open repositories answer the query workload identically at
+/// every STRQ level and in every TPQ payload bit, and that the first also
+/// matches the in-memory engine on `full`.
+fn assert_stores_identical(
+    data: &Dataset,
+    full: &ShardedSummary,
+    gc: f64,
+    probe: &Repo,
+    control: &Repo,
+) {
+    let engine_probe = DiskQueryEngine::new(probe, data, gc);
+    let engine_control = DiskQueryEngine::new(control, data, gc);
+    let engine_mem = ShardedQueryEngine::new(full, data, gc);
+    let qs = queries(data);
+    let strq_probe = engine_probe.strq_batch(&qs).unwrap();
+    assert_outcomes_bit_identical(&strq_probe, &engine_control.strq_batch(&qs).unwrap());
+    assert_outcomes_bit_identical(&strq_probe, &engine_mem.strq_batch(&qs));
+    let tpq_probe = engine_probe.tpq_batch(&qs, 10).unwrap();
+    assert_tpq_bit_identical(&tpq_probe, &engine_control.tpq_batch(&qs, 10).unwrap());
+    assert_tpq_bit_identical(&tpq_probe, &engine_mem.tpq_batch(&qs, 10));
+}
+
+#[test]
+fn appended_store_bit_identical_to_single_shot_build() {
+    let data = dataset();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let gc = cfg.tpi.pi.gc;
+    let (appended, single, full) = appended_fixture(&data, &cfg, 2, "append-parity");
+
+    let repo = Repo::open(&appended, 64).unwrap();
+    assert_eq!(repo.num_generations(), 3, "base + two deltas must be live");
+    assert_eq!(repo.num_shards(), 2);
+    let control = Repo::open(&single, 64).unwrap();
+    assert_eq!(control.num_generations(), 1);
+
+    // The stitched summary chain reconstructs bit-for-bit like the live
+    // stream's summary — the precondition for TPQ payload identity.
+    for traj in data.trajectories() {
+        for off in 0..traj.len() {
+            let t = traj.start + off as u32;
+            let a = full.reconstruct(traj.id, t).unwrap();
+            let b = repo
+                .shard(repo.router().shard_of(traj.id))
+                .summary()
+                .reconstruct(traj.id, t)
+                .unwrap();
+            assert!(
+                points_bit_eq(&a, &b),
+                "stitched reconstruction diverged at traj {} t {t}",
+                traj.id
+            );
+        }
+    }
+    assert_stores_identical(&data, &full, gc, &repo, &control);
+
+    // An appended chain persists far fewer bytes than three rewrites: the
+    // delta generations' summary segments are a fraction of the base's.
+    let m = repo.manifest();
+    let base_bytes: u64 = m.generations[0].shards.iter().map(|s| s.summary_len).sum();
+    let delta_bytes: u64 = m.generations[1..]
+        .iter()
+        .flat_map(|g| g.shards.iter())
+        .map(|s| s.summary_len)
+        .sum();
+    assert!(
+        delta_bytes < base_bytes,
+        "two third-window deltas ({delta_bytes} B) must undercut the base snapshot ({base_bytes} B)"
+    );
+
+    let _ = std::fs::remove_dir_all(appended);
+    let _ = std::fs::remove_dir_all(single);
+}
+
+#[test]
+fn compaction_collapses_generations_and_preserves_answers() {
+    let data = dataset();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let gc = cfg.tpi.pi.gc;
+    let (appended, single, full) = appended_fixture(&data, &cfg, 2, "compact");
+
+    let repo = Repo::open(&appended, 64).unwrap();
+    assert_eq!(repo.num_generations(), 3);
+    let manifest = repo.compact(None).unwrap();
+    assert_eq!(manifest.generations.len(), 1);
+    drop(repo);
+
+    let compacted = Repo::open(&appended, 64).unwrap();
+    assert_eq!(compacted.num_generations(), 1);
+    assert_eq!(compacted.num_shards(), 2);
+    let control = Repo::open(&single, 64).unwrap();
+    assert_stores_identical(&data, &full, gc, &compacted, &control);
+
+    // The pre-compaction chain is retained for in-flight readers of the
+    // previous manifest; the next committed write sweeps it.
+    assert!(appended.join("sdelta-g2-0.seg").exists());
+    compacted.compact(None).unwrap();
+    assert!(
+        !appended.join("sdelta-g2-0.seg").exists(),
+        "second commit must sweep the pre-compaction chain"
+    );
+    assert!(
+        !appended.join("summary-g1-0.seg").exists(),
+        "second commit must sweep the original base"
+    );
+    drop(compacted);
+    let reopened = Repo::open(&appended, 64).unwrap();
+    let control = Repo::open(&single, 64).unwrap();
+    assert_stores_identical(&data, &full, gc, &reopened, &control);
+
+    let _ = std::fs::remove_dir_all(appended);
+    let _ = std::fs::remove_dir_all(single);
+}
+
+#[test]
+fn compaction_reshards_without_changing_answers() {
+    let data = dataset();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let gc = cfg.tpi.pi.gc;
+    let (appended, single, full) = appended_fixture(&data, &cfg, 2, "reshard");
+
+    let repo = Repo::open(&appended, 64).unwrap();
+    repo.compact(Some(3)).unwrap();
+    drop(repo);
+
+    let resharded = Repo::open(&appended, 64).unwrap();
+    assert_eq!(resharded.num_shards(), 3);
+    assert_eq!(resharded.num_generations(), 1);
+
+    // Exact STRQ answers and TPQ payload bits are invariant under
+    // re-sharding (reconstructions are carried bit-for-bit; the rebuilt
+    // index is a faithful index over the same reconstructed stream).
+    let control = Repo::open(&single, 64).unwrap();
+    let engine_new = DiskQueryEngine::new(&resharded, &data, gc);
+    let engine_control = DiskQueryEngine::new(&control, &data, gc);
+    let qs = queries(&data);
+    let a = engine_new.strq_batch(&qs).unwrap();
+    let b = engine_control.strq_batch(&qs).unwrap();
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(x.truth, y.truth, "truth diverged at query {i}");
+        assert_eq!(x.approx, y.approx, "approx diverged at query {i}");
+        assert_eq!(x.candidates, y.candidates, "candidates diverged at {i}");
+        assert_eq!(x.exact, y.exact, "exact diverged at query {i}");
+    }
+    assert_tpq_bit_identical(
+        &engine_new.tpq_batch(&qs, 10).unwrap(),
+        &engine_control.tpq_batch(&qs, 10).unwrap(),
+    );
+    let _ = full;
+
+    let _ = std::fs::remove_dir_all(appended);
+    let _ = std::fs::remove_dir_all(single);
+}
+
+#[test]
+fn compact_refuses_a_stale_view() {
+    let data = dataset();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let n_slices = data.time_slices().count();
+    let (snaps, full) = sharded_snapshots(&data, &cfg, 2, &[n_slices / 2]);
+    let dir = tmp_dir("stale-compact");
+    let writer = RepoWriter::with_page_size(&dir, PAGE);
+    writer.write_sharded(&snaps[0]).unwrap();
+
+    // Open a view, then let the store advance underneath it.
+    let repo = Repo::open(&dir, 16).unwrap();
+    writer.append_sharded(&full).unwrap();
+
+    // Compacting the stale view would discard the appended generation
+    // (and overwrite its committed segments); it must refuse instead.
+    assert!(matches!(repo.compact(None), Err(RepoError::Stale(_))));
+    drop(repo);
+
+    // The appended chain is untouched; a fresh view compacts fine.
+    let repo = Repo::open(&dir, 16).unwrap();
+    assert_eq!(repo.num_generations(), 2);
+    repo.compact(None).unwrap();
+    drop(repo);
+    assert_eq!(Repo::open(&dir, 16).unwrap().num_generations(), 1);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn append_rejects_non_extensions() {
+    let data = dataset();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let n_slices = data.time_slices().count();
+    let (snaps, full) = sharded_snapshots(&data, &cfg, 2, &[n_slices / 2]);
+
+    let dir = tmp_dir("reject");
+    let writer = RepoWriter::with_page_size(&dir, PAGE);
+
+    // Appending onto nothing is refused.
+    assert!(matches!(
+        writer.append_sharded(&full),
+        Err(RepoError::NotAnExtension(_))
+    ));
+    writer.write_sharded(&snaps[0]).unwrap();
+
+    // Wrong shard count.
+    let other = ShardedSummary::build(&data, &cfg, 3);
+    assert!(matches!(
+        writer.append_sharded(&other),
+        Err(RepoError::NotAnExtension(_))
+    ));
+
+    // A summary of unrelated data is structurally not an extension.
+    let unrelated_data = porto_like(&PortoConfig {
+        trajectories: 40,
+        mean_len: 40,
+        min_len: 30,
+        start_spread: 12,
+        seed: 4242,
+    });
+    let unrelated = ShardedSummary::build(&unrelated_data, &cfg, 2);
+    assert!(matches!(
+        writer.append_sharded(&unrelated),
+        Err(RepoError::NotAnExtension(_))
+    ));
+
+    // The real extension still appends cleanly afterwards.
+    writer.append_sharded(&full).unwrap();
+    assert_eq!(Repo::open(&dir, 0).unwrap().num_generations(), 2);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn crash_during_append_leaves_committed_chain_consistent() {
+    let data = dataset();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let gc = cfg.tpi.pi.gc;
+    let n_slices = data.time_slices().count();
+    let (snaps, full) = sharded_snapshots(&data, &cfg, 2, &[n_slices / 2]);
+    let dir = tmp_dir("crash-append");
+    let writer = RepoWriter::with_page_size(&dir, PAGE);
+    writer.write_sharded(&snaps[0]).unwrap();
+
+    // Simulated crash mid-append of generation 2: partial delta segment
+    // files exist and the manifest rewrite stopped at the temp file.
+    std::fs::write(dir.join("sdelta-g2-0.seg"), b"torn delta").unwrap();
+    std::fs::write(dir.join("tpi-g2-1.pages"), b"torn pages").unwrap();
+    std::fs::write(dir.join("dir-g2-0.seg"), b"torn dir").unwrap();
+    std::fs::write(dir.join("MANIFEST.ppq.tmp"), b"half a manifest").unwrap();
+
+    // The store still opens at generation 1 and answers like the
+    // snapshot it was written from.
+    let repo = Repo::open(&dir, 16).unwrap();
+    assert_eq!(repo.manifest().generation(), 1);
+    assert_eq!(repo.num_generations(), 1);
+    let engine = DiskQueryEngine::new(&repo, &data, gc);
+    let mem = ShardedQueryEngine::new(&snaps[0], &data, gc);
+    let qs = queries(&data);
+    assert_outcomes_bit_identical(
+        &engine.strq_online_batch(&qs).unwrap(),
+        &mem.strq_online_batch(&qs),
+    );
+    drop(repo);
+
+    // A completed append (same generation number — it overwrites the
+    // torn, unreferenced files) commits and serves the full view.
+    writer.append_sharded(&full).unwrap();
+    let repo = Repo::open(&dir, 16).unwrap();
+    assert_eq!(repo.num_generations(), 2);
+    let engine = DiskQueryEngine::new(&repo, &data, gc);
+    let mem = ShardedQueryEngine::new(&full, &data, gc);
+    assert_outcomes_bit_identical(
+        &engine.strq_online_batch(&qs).unwrap(),
+        &mem.strq_online_batch(&qs),
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn crash_during_compaction_leaves_chain_consistent() {
+    let data = dataset();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let gc = cfg.tpi.pi.gc;
+    let (appended, single, full) = appended_fixture(&data, &cfg, 2, "crash-compact");
+
+    // Simulated crash mid-compaction of generation 4: partial compacted
+    // segments plus a torn manifest temp file.
+    std::fs::write(appended.join("summary-g4-0.seg"), b"partial").unwrap();
+    std::fs::write(appended.join("tpi-g4-0.pages"), b"partial").unwrap();
+    std::fs::write(appended.join("MANIFEST.ppq.tmp"), b"torn").unwrap();
+
+    // The chain still opens at the appended view and answers correctly.
+    let repo = Repo::open(&appended, 16).unwrap();
+    assert_eq!(repo.num_generations(), 3);
+    let control = Repo::open(&single, 16).unwrap();
+    assert_stores_identical(&data, &full, gc, &repo, &control);
+
+    // Retrying the compaction over the same chain succeeds.
+    repo.compact(None).unwrap();
+    drop(repo);
+    let compacted = Repo::open(&appended, 16).unwrap();
+    assert_eq!(compacted.num_generations(), 1);
+    let control = Repo::open(&single, 16).unwrap();
+    assert_stores_identical(&data, &full, gc, &compacted, &control);
+    let _ = std::fs::remove_dir_all(appended);
+    let _ = std::fs::remove_dir_all(single);
+}
+
+#[test]
+fn delta_segment_corruption_is_detected() {
+    let data = dataset();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let (appended, single, _) = appended_fixture(&data, &cfg, 2, "delta-corrupt");
+    let _ = std::fs::remove_dir_all(single);
+
+    // A flipped byte anywhere in a delta segment is caught at open by the
+    // manifest CRC before the delta is ever applied.
+    let seg = appended.join("sdelta-g2-0.seg");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&seg, &bytes).unwrap();
+    assert!(matches!(
+        Repo::open(&appended, 0),
+        Err(RepoError::Corrupt(_))
+    ));
+    bytes[mid] ^= 0x20;
+    std::fs::write(&seg, &bytes).unwrap();
+    Repo::open(&appended, 0).unwrap();
+    let _ = std::fs::remove_dir_all(appended);
+}
+
 #[test]
 fn crash_during_write_leaves_previous_generation_consistent() {
     let data = dataset();
@@ -246,7 +613,7 @@ fn crash_during_write_leaves_previous_generation_consistent() {
     let dir = tmp_dir("crash");
     let writer = RepoWriter::with_page_size(&dir, PAGE);
     writer.write(&summary).unwrap();
-    let gen1 = Repo::open(&dir, 16).unwrap().manifest().generation;
+    let gen1 = Repo::open(&dir, 16).unwrap().manifest().generation();
     assert_eq!(gen1, 1);
 
     // Simulated crash mid-write of generation 2: partial segment files
@@ -257,7 +624,7 @@ fn crash_during_write_leaves_previous_generation_consistent() {
 
     // The store still opens at generation 1 and serves queries.
     let repo = Repo::open(&dir, 16).unwrap();
-    assert_eq!(repo.manifest().generation, 1);
+    assert_eq!(repo.manifest().generation(), 1);
     let engine = DiskQueryEngine::new(&repo, &data, gc);
     let (id, t, p) = data.iter_points().next().unwrap();
     assert!(engine.strq(t, &p).unwrap().exact.contains(&id));
@@ -268,7 +635,7 @@ fn crash_during_write_leaves_previous_generation_consistent() {
     // opening it) but removes anything older.
     writer.write(&summary).unwrap();
     let repo = Repo::open(&dir, 16).unwrap();
-    assert_eq!(repo.manifest().generation, 2);
+    assert_eq!(repo.manifest().generation(), 2);
     assert!(
         dir.join("summary-g1-0.seg").exists(),
         "previous generation must be retained for in-flight readers"
@@ -281,7 +648,7 @@ fn crash_during_write_leaves_previous_generation_consistent() {
     // started after the generation-2 commit — now it is swept.
     writer.write(&summary).unwrap();
     let repo = Repo::open(&dir, 16).unwrap();
-    assert_eq!(repo.manifest().generation, 3);
+    assert_eq!(repo.manifest().generation(), 3);
     assert!(!dir.join("summary-g1-0.seg").exists(), "g1 not swept");
     assert!(dir.join("summary-g2-0.seg").exists(), "g2 must be retained");
     let engine = DiskQueryEngine::new(&repo, &data, gc);

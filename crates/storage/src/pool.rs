@@ -25,7 +25,14 @@ use std::path::Path;
 use std::sync::Arc;
 
 /// `(segment id, page id)` — the frame key of the shared pool.
-pub type FrameKey = (u32, u64);
+///
+/// The segment id is a caller-assigned `u64` namespace: a single-file
+/// store uses 0, a sharded repository uses the shard index, and a
+/// multi-generation repository packs `(generation index << 32) | shard`
+/// so every generation's page segment keys its frames disjointly from
+/// every other generation's — two generations' page 0 of shard 0 must
+/// never collide in the pool.
+pub type FrameKey = (u64, u64);
 
 struct PoolInner {
     capacity: usize,
@@ -115,7 +122,7 @@ impl SharedBufferPool {
 /// sibling segments, and charges I/O to the caller's counter per read.
 pub struct Segment {
     file: Mutex<File>,
-    seg_id: u32,
+    seg_id: u64,
     num_pages: u64,
     page_size: usize,
     pool: Arc<SharedBufferPool>,
@@ -136,7 +143,7 @@ impl Segment {
     /// file length must be an exact multiple of `page_size`.
     pub fn open(
         path: &Path,
-        seg_id: u32,
+        seg_id: u64,
         page_size: usize,
         pool: Arc<SharedBufferPool>,
     ) -> io::Result<Segment> {
@@ -162,7 +169,7 @@ impl Segment {
     }
 
     #[inline]
-    pub fn seg_id(&self) -> u32 {
+    pub fn seg_id(&self) -> u64 {
         self.seg_id
     }
 

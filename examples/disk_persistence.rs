@@ -1,13 +1,16 @@
-//! Disk persistence: build a PPQ summary over a fleet, persist it as a
-//! repository (checksummed manifest + summary/directory/page segments),
-//! then *reopen* the store and serve STRQ/TPQ from disk with Table 9
-//! I/O accounting — the §6.5 deployment mode grown into a durable store.
+//! Disk persistence with incremental growth: stream a fleet, persist a
+//! mid-stream snapshot as a repository (checksummed manifest +
+//! summary/directory/page segments), *append* the rest of the stream as a
+//! delta generation, reopen the stitched store and serve STRQ/TPQ from
+//! disk with Table 9 I/O accounting, then compact the chain back into a
+//! single generation — the §6.5 deployment mode grown into a durable,
+//! incrementally-growing store.
 //!
 //! ```bash
 //! cargo run --release --example disk_persistence
 //! ```
 
-use ppq_trajectory::core::{PpqConfig, PpqTrajectory, Variant};
+use ppq_trajectory::core::{PpqConfig, PpqStream, Variant};
 use ppq_trajectory::repo::{DiskQueryEngine, DiskQueryWorkspace, Repo, RepoWriter};
 use ppq_trajectory::traj::synth::{porto_like, PortoConfig};
 use ppq_trajectory::traj::DatasetStats;
@@ -22,36 +25,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     println!("{}", DatasetStats::of(&fleet).banner("fleet"));
 
-    // Build the summary (with its TPI — the repository lays the index's
-    // ID blocks out on pages).
+    // Stream the fleet, snapshotting halfway — the streaming deployment's
+    // "persist what we have, keep ingesting" point.
     let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
-    let built = PpqTrajectory::build(&fleet, &cfg);
-    let summary = built.into_summary();
-    println!(
-        "summary: {} points, {} codewords, TPI over {} periods",
-        summary.num_points(),
-        summary.codebook_len(),
-        summary.tpi().map(|t| t.stats().periods).unwrap_or(0)
-    );
+    let mut stream = PpqStream::new(cfg.clone());
+    let slices: Vec<_> = fleet.time_slices().collect();
+    let half = slices.len() / 2;
+    for slice in &slices[..half] {
+        stream.push_slice(slice.t, slice.points);
+    }
+    let snapshot = stream.snapshot();
 
-    // --- Write: one directory, committed by an atomic manifest swap. ---
+    // --- Write the snapshot: one directory, atomic manifest swap. ------
     let dir = std::env::temp_dir().join(format!("ppq-example-repo-{}", std::process::id()));
     let writer = RepoWriter::with_page_size(&dir, 64 << 10); // 64 KiB pages for the demo
-    let manifest = writer.write(&summary)?;
+    let manifest = writer.write(&snapshot)?;
     println!(
-        "wrote {} (generation {}, {} shard(s))",
+        "wrote {} (generation {}, {} shard(s), {} summarised points)",
         dir.display(),
-        manifest.generation,
-        manifest.shards.len()
+        manifest.generation(),
+        manifest.num_shards(),
+        snapshot.num_points()
+    );
+
+    // --- Keep ingesting, then append only the new window. --------------
+    for slice in &slices[half..] {
+        stream.push_slice(slice.t, slice.points);
+    }
+    let full = stream.finish();
+    let manifest = writer.append(&full)?;
+    let delta = manifest.newest();
+    println!(
+        "appended generation {} as a delta: {} summary-delta bytes, {} new data pages",
+        delta.generation, delta.shards[0].summary_len, delta.shards[0].tpi_pages
     );
 
     // --- Close: drop every in-memory artifact. The store is durable. ---
-    drop(summary);
+    drop(full);
+    drop(snapshot);
 
-    // --- Reopen: checksums validated, pages mapped lazily via the pool.
+    // --- Reopen: the chain is stitched into one logical store. ---------
     let repo = Repo::open(&dir, 32)?;
     println!(
-        "reopened: {} data pages ({:.2} MiB incl. resident directory), {} blocks addressed",
+        "reopened: {} generations, {} data pages ({:.2} MiB incl. resident directory), {} blocks addressed",
+        repo.num_generations(),
         repo.total_pages(),
         repo.size_bytes() as f64 / (1 << 20) as f64,
         repo.shard(0).directory().num_blocks()
@@ -104,6 +121,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sub.len()
         );
     }
+
+    // --- Compact: collapse the chain into one fresh base generation. ---
+    repo.compact(None)?;
+    drop(repo);
+    let compacted = Repo::open(&dir, 32)?;
+    compacted.io_stats().reset();
+    let engine = DiskQueryEngine::new(&compacted, &fleet, gc);
+    let mut compacted_hits = 0usize;
+    for (t, p) in &queries {
+        compacted_hits += usize::from(!engine.strq_online_with(*t, p, &mut ws)?.exact.is_empty());
+    }
+    assert_eq!(compacted_hits, hits, "compaction must not change answers");
+    println!(
+        "compacted: {} generation(s), {} data pages, same {} answers in {} cold page reads",
+        compacted.num_generations(),
+        compacted.total_pages(),
+        compacted_hits,
+        compacted.io_stats().reads()
+    );
 
     std::fs::remove_dir_all(&dir).ok();
     Ok(())
