@@ -38,6 +38,7 @@ pub mod partition;
 pub mod pipeline;
 pub mod query;
 pub mod shard;
+pub mod state;
 pub mod summary;
 pub mod summary_io;
 

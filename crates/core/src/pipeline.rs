@@ -51,37 +51,40 @@ const PARALLEL_PREDICT_MIN: usize = 4096;
 /// ```
 #[derive(Clone, Debug)]
 pub struct PpqStream {
-    config: PpqConfig,
-    template: Option<CqcTemplate>,
-    incremental: Option<IncrementalQuantizer>,
-    per_step_books: Vec<Vec<Point>>,
-    partitioner: Option<Partitioner>,
-    d: usize,
-    started: Instant,
+    // Fields are `pub(crate)` so [`crate::state`] can checkpoint and
+    // restore a stream mid-flight without going through the summary
+    // (which deliberately drops stream-only state).
+    pub(crate) config: PpqConfig,
+    pub(crate) template: Option<CqcTemplate>,
+    pub(crate) incremental: Option<IncrementalQuantizer>,
+    pub(crate) per_step_books: Vec<Vec<Point>>,
+    pub(crate) partitioner: Option<Partitioner>,
+    pub(crate) d: usize,
+    pub(crate) started: Instant,
 
     // Per-trajectory state, indexed by TrajId (grown on demand).
-    histories: Vec<History>,
-    raw_windows: Vec<History>,
-    ages: Vec<usize>,
-    starts: Vec<u32>,
-    ended: Vec<bool>,
+    pub(crate) histories: Vec<History>,
+    pub(crate) raw_windows: Vec<History>,
+    pub(crate) ages: Vec<usize>,
+    pub(crate) starts: Vec<u32>,
+    pub(crate) ended: Vec<bool>,
 
     // Outputs.
-    min_t: Option<u32>,
-    next_t: Option<u32>,
-    codes: Vec<Vec<u32>>,
-    labels: Vec<Vec<u32>>,
-    cqc_codes: Vec<Vec<CqcCode>>,
-    recon: Vec<Vec<Point>>,
-    coeffs: Vec<Vec<Predictor>>,
-    stats: BuildStats,
-    tpi_slices: Vec<(u32, Vec<(TrajId, Point)>)>,
-    active_prev: HashSet<TrajId>,
-    feature_buf: Vec<f64>,
+    pub(crate) min_t: Option<u32>,
+    pub(crate) next_t: Option<u32>,
+    pub(crate) codes: Vec<Vec<u32>>,
+    pub(crate) labels: Vec<Vec<u32>>,
+    pub(crate) cqc_codes: Vec<Vec<CqcCode>>,
+    pub(crate) recon: Vec<Vec<Point>>,
+    pub(crate) coeffs: Vec<Vec<Predictor>>,
+    pub(crate) stats: BuildStats,
+    pub(crate) tpi_slices: Vec<(u32, Vec<(TrajId, Point)>)>,
+    pub(crate) active_prev: HashSet<TrajId>,
+    pub(crate) feature_buf: Vec<f64>,
     // Reusable per-step scratch (allocation-free steady state).
-    preds_buf: Vec<Point>,
-    errors_buf: Vec<Point>,
-    kbuf: Vec<Vec<Point>>,
+    pub(crate) preds_buf: Vec<Point>,
+    pub(crate) errors_buf: Vec<Point>,
+    pub(crate) kbuf: Vec<Vec<Point>>,
 }
 
 impl PpqStream {
@@ -149,6 +152,12 @@ impl PpqStream {
     /// Number of timesteps consumed so far.
     pub fn timesteps(&self) -> usize {
         self.coeffs.len()
+    }
+
+    /// The timestep the stream expects next (`None` before the first
+    /// push).
+    pub fn next_t(&self) -> Option<u32> {
+        self.next_t
     }
 
     /// Grow per-trajectory state to cover `id`.

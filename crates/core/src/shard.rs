@@ -99,10 +99,10 @@ impl ShardRouter {
 /// ```
 #[derive(Clone, Debug)]
 pub struct ShardedPpqStream {
-    router: ShardRouter,
-    shards: Vec<PpqStream>,
+    pub(crate) router: ShardRouter,
+    pub(crate) shards: Vec<PpqStream>,
     /// Reusable per-shard scatter buffers (allocation-free steady state).
-    buckets: Vec<Vec<(TrajId, Point)>>,
+    pub(crate) buckets: Vec<Vec<(TrajId, Point)>>,
 }
 
 impl ShardedPpqStream {
@@ -135,6 +135,12 @@ impl ShardedPpqStream {
     /// Number of timesteps consumed so far.
     pub fn timesteps(&self) -> usize {
         self.shards[0].timesteps()
+    }
+
+    /// The timestep the stream expects next (`None` before the first
+    /// push). Every shard sees every timestep, so the clock is shared.
+    pub fn next_t(&self) -> Option<u32> {
+        self.shards[0].next_t()
     }
 
     /// Consume one timestep, fanning the slice out across shards.

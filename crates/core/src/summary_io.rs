@@ -30,7 +30,7 @@ const DELTA_MAGIC: u32 = 0x5050_5164; // "PPQd"
 const DELTA_VERSION: u32 = 1;
 
 /// Errors from [`from_bytes`].
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DecodeError {
     BadMagic,
     UnsupportedVersion(u32),

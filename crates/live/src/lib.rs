@@ -1,0 +1,39 @@
+//! Crash-safe live ingest for the PPQ trajectory repository.
+//!
+//! [`ppq_repo`] persists *finished* snapshots: the writer assumes a
+//! whole [`ppq_core::ShardedSummary`] is in hand and commits it as a
+//! generation. A live deployment has the opposite shape — an unbounded
+//! stream of per-timestep slices, a process that can die between any two
+//! instructions, and clients that expect an acknowledged slice to
+//! survive the crash. This crate closes that gap with three pieces:
+//!
+//! * **Write-ahead log** ([`wal::Wal`]) — every pushed slice is recorded
+//!   in a CRC-sealed, length-prefixed log (group-committed fsyncs)
+//!   *before* it enters the in-memory pipeline. Recovery replays the
+//!   tail, trimming a torn final record and refusing (typed, never a
+//!   panic) mid-log corruption that a crash cannot produce.
+//! * **Checkpointed recovery** ([`LiveRepo::recover`]) — folding
+//!   persists the full pipeline state ([`ppq_core::state`]) alongside
+//!   the generation chain, so recovery = checkpoint + WAL tail. Because
+//!   the pipeline is deterministic, the recovered stream is *bit
+//!   identical* to an uncrashed run over the same acknowledged slices —
+//!   same summary bytes, same STRQ/TPQ answers (property-tested by the
+//!   crash-anywhere suite at every instrumented I/O operation).
+//! * **Folding and auto-compaction** ([`LiveRepo::fold`],
+//!   [`LiveRepo::maybe_compact`]) — on a configurable cadence the WAL is
+//!   drained into a delta generation through a cached
+//!   [`ppq_repo::Appender`], the checkpoint is committed, the log is
+//!   truncated, and the chain is compacted when it grows past a length
+//!   or dead-byte threshold. Maintenance failures back off and retry;
+//!   they never take down ingest — the WAL simply keeps absorbing
+//!   slices until a fold succeeds.
+//!
+//! Every durable operation routes through [`ppq_storage::fault`], which
+//! is what makes "crash at every single I/O operation and prove recovery
+//! converges" a unit test instead of a hope.
+
+pub mod live;
+pub mod wal;
+
+pub use live::{LiveConfig, LiveError, LiveRepo, CKPT_NAME};
+pub use wal::{Wal, WalError, WalRecord, WAL_NAME};

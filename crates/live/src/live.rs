@@ -1,0 +1,445 @@
+//! The live repository: WAL-guarded ingest in front of the
+//! generation-chain store, with checkpointed recovery, periodic WAL
+//! folding, and threshold-driven auto-compaction.
+//!
+//! See the crate docs for the lifecycle; `docs/ARCHITECTURE.md` has the
+//! full diagram and the crash-window argument.
+
+use crate::wal::{Wal, WalError, WAL_NAME};
+use ppq_core::summary_io::DecodeError;
+use ppq_core::{state, PpqConfig, ShardedPpqStream, ShardedSummary};
+use ppq_geo::Point;
+use ppq_repo::{Appender, Manifest, Repo, RepoError, RepoWriter};
+use ppq_storage::{crc32, fault, PAGE_SIZE};
+use ppq_traj::TrajId;
+use std::fs::File;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File name of the pipeline-state checkpoint inside a live directory.
+pub const CKPT_NAME: &str = "ckpt.ppq";
+/// Temp name a checkpoint is staged under before its rename.
+pub const CKPT_TMP_NAME: &str = "ckpt.ppq.tmp";
+
+const CKPT_MAGIC: [u8; 4] = *b"PPQC";
+const CKPT_VERSION: u32 = 1;
+const CKPT_HEADER_LEN: usize = 12;
+
+/// Buffer-pool pages used when auto-compaction opens the chain.
+const COMPACT_POOL_PAGES: usize = 64;
+
+/// Tuning knobs of a [`LiveRepo`]. `Default` is sized for real ingest;
+/// tests shrink everything.
+#[derive(Clone, Debug)]
+pub struct LiveConfig {
+    /// Pipeline configuration — must stay fixed for the life of the
+    /// directory (the checkpoint embeds it; recovery trusts the
+    /// checkpoint's copy for replay determinism).
+    pub ppq: PpqConfig,
+    /// Pipeline shards (fixed for the life of the directory).
+    pub shards: usize,
+    /// Repository page size (fixed for the life of the directory).
+    pub page_size: usize,
+    /// Fsync the WAL every this-many appended slices (1 = every append).
+    pub group_commit: usize,
+    /// Fold the WAL into a delta generation every this-many slices;
+    /// 0 disables automatic folding ([`LiveRepo::fold`] still works).
+    pub fold_every: u64,
+    /// Auto-compact when the committed chain reaches this many
+    /// generations; 0 disables the length trigger.
+    pub compact_max_chain: usize,
+    /// Auto-compact when the superseded fraction of the store's bytes
+    /// (older generations' block directories, re-recorded in full by
+    /// every delta) reaches this; > 1.0 disables the byte trigger.
+    pub compact_dead_frac: f64,
+    /// Cap on the fold-backoff exponent: after `f` consecutive
+    /// maintenance failures the next fold is attempted
+    /// `fold_every << min(f, max_backoff_shift)` slices later.
+    pub max_backoff_shift: u32,
+}
+
+impl LiveConfig {
+    pub fn new(ppq: PpqConfig, shards: usize) -> LiveConfig {
+        LiveConfig {
+            ppq,
+            shards,
+            page_size: PAGE_SIZE,
+            group_commit: 8,
+            fold_every: 256,
+            compact_max_chain: 6,
+            compact_dead_frac: 0.5,
+            max_backoff_shift: 6,
+        }
+    }
+}
+
+/// Failures of the live-ingest layer.
+#[derive(Debug)]
+pub enum LiveError {
+    Io(io::Error),
+    Wal(WalError),
+    Repo(RepoError),
+    /// The checkpoint file exists but fails its seal — magic, version,
+    /// or CRC. Not producible by a crash (checkpoints commit by rename),
+    /// so it is never silently ignored.
+    CorruptCheckpoint(String),
+    /// The checkpoint decoded but its pipeline state is unusable, or
+    /// the WAL and checkpoint disagree about the timeline.
+    Replay(String),
+    /// A slice arrived at a timestep the stream does not expect next.
+    /// Nothing was logged or ingested; the caller resumes from
+    /// [`LiveRepo::next_t`].
+    OutOfOrder {
+        expected: u32,
+        got: u32,
+    },
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::Io(e) => write!(f, "live-ingest I/O error: {e}"),
+            LiveError::Wal(e) => write!(f, "{e}"),
+            LiveError::Repo(e) => write!(f, "{e}"),
+            LiveError::CorruptCheckpoint(what) => write!(f, "corrupt checkpoint: {what}"),
+            LiveError::Replay(what) => write!(f, "recovery replay failed: {what}"),
+            LiveError::OutOfOrder { expected, got } => {
+                write!(f, "out-of-order slice: expected t={expected}, got t={got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+impl From<io::Error> for LiveError {
+    fn from(e: io::Error) -> LiveError {
+        LiveError::Io(e)
+    }
+}
+impl From<WalError> for LiveError {
+    fn from(e: WalError) -> LiveError {
+        LiveError::Wal(e)
+    }
+}
+impl From<RepoError> for LiveError {
+    fn from(e: RepoError) -> LiveError {
+        LiveError::Repo(e)
+    }
+}
+impl From<DecodeError> for LiveError {
+    fn from(e: DecodeError) -> LiveError {
+        LiveError::Replay(format!("checkpoint state: {e}"))
+    }
+}
+
+/// Crash-safe live ingest over a [`ppq_repo`] generation chain.
+///
+/// Ingest path: [`LiveRepo::push_slice`] logs the slice to the WAL,
+/// feeds it to the in-memory [`ShardedPpqStream`], and — on the folding
+/// cadence — drains the WAL into a delta generation, checkpoints the
+/// pipeline state, truncates the log, and compacts the chain when it
+/// crosses the configured thresholds. Maintenance failures never take
+/// down ingest: they are recorded ([`LiveRepo::last_maintenance_error`])
+/// and retried with doubling backoff while the WAL keeps absorbing
+/// slices.
+///
+/// [`LiveRepo::recover`] is the only constructor: opening a directory
+/// *is* recovery (a clean shutdown is just a crash with an empty WAL
+/// tail). It loads the last committed checkpoint, replays the WAL tail
+/// onto it — skipping records the checkpoint already covers, trimming a
+/// torn final record — and converges to the same pipeline state, bit for
+/// bit, as an uncrashed run that consumed the same acknowledged slices.
+pub struct LiveRepo {
+    dir: PathBuf,
+    cfg: LiveConfig,
+    wal: Wal,
+    stream: ShardedPpqStream,
+    appender: Appender,
+    /// Whether a base generation has been committed (first fold writes
+    /// the base, later folds append deltas).
+    based: bool,
+    /// Slices ingested since the last successful fold.
+    steps_since_fold: u64,
+    /// Consecutive maintenance failures (fold or compaction).
+    failures: u32,
+    last_error: Option<LiveError>,
+}
+
+impl LiveRepo {
+    /// Open `dir`, recovering whatever a previous incarnation left:
+    /// committed checkpoint + WAL tail → the exact pipeline state at the
+    /// last acknowledged slice. A fresh directory recovers to the empty
+    /// stream.
+    pub fn recover(dir: &Path, cfg: LiveConfig) -> Result<LiveRepo, LiveError> {
+        assert!(cfg.shards > 0, "need at least one shard");
+        assert!(cfg.group_commit > 0, "group_commit must be at least 1");
+        std::fs::create_dir_all(dir)?;
+
+        let mut stream = match read_checkpoint(&dir.join(CKPT_NAME))? {
+            Some(s) => {
+                if s.num_shards() != cfg.shards {
+                    return Err(LiveError::Replay(format!(
+                        "checkpoint has {} shards, config asks for {}",
+                        s.num_shards(),
+                        cfg.shards
+                    )));
+                }
+                s
+            }
+            None => ShardedPpqStream::new(cfg.ppq.clone(), cfg.shards),
+        };
+
+        let (wal, records) = Wal::open_replay(&dir.join(WAL_NAME), cfg.group_commit)?;
+        let mut replayed = 0u64;
+        for rec in &records {
+            match stream.next_t() {
+                // Already covered by the checkpoint (the crash hit the
+                // fold between the checkpoint commit and the truncation).
+                Some(next) if rec.t < next => continue,
+                Some(next) if rec.t > next => {
+                    return Err(LiveError::Replay(format!(
+                        "WAL gap: stream expects t={next}, log resumes at t={}",
+                        rec.t
+                    )))
+                }
+                _ => {}
+            }
+            stream.push_slice(rec.t, &rec.points);
+            replayed += 1;
+        }
+
+        let based = dir.join(ppq_repo::layout::MANIFEST_NAME).exists();
+        Ok(LiveRepo {
+            dir: dir.to_path_buf(),
+            cfg: cfg.clone(),
+            wal,
+            stream,
+            appender: Appender::with_page_size(dir, cfg.page_size),
+            based,
+            steps_since_fold: replayed,
+            failures: 0,
+            last_error: None,
+        })
+    }
+
+    /// Ingest one time slice: WAL first (group-committed), then the
+    /// in-memory pipeline, then any due maintenance. Returns only after
+    /// the slice is logged; maintenance failures are absorbed (see
+    /// [`LiveRepo::last_maintenance_error`]).
+    pub fn push_slice(&mut self, t: u32, points: &[(TrajId, Point)]) -> Result<(), LiveError> {
+        if let Some(expected) = self.stream.next_t() {
+            if t != expected {
+                return Err(LiveError::OutOfOrder { expected, got: t });
+            }
+        }
+        self.wal.append(t, points)?;
+        self.stream.push_slice(t, points);
+        self.steps_since_fold += 1;
+        self.maintain();
+        Ok(())
+    }
+
+    /// Force the WAL to stable storage (the group-commit flush).
+    pub fn sync(&mut self) -> Result<(), LiveError> {
+        self.wal.sync()?;
+        Ok(())
+    }
+
+    /// Drain the WAL into the repository: persist the current snapshot
+    /// as a generation (base on first fold, delta after), checkpoint the
+    /// pipeline state, then truncate the log. Ordering is the crash
+    /// contract: each step only widens what recovery can see, and the
+    /// log is only cut once the checkpoint durably covers it.
+    pub fn fold(&mut self) -> Result<(), LiveError> {
+        if self.stream.next_t().is_none() {
+            return Ok(()); // nothing ingested yet
+        }
+        if self.based && self.steps_since_fold == 0 {
+            return Ok(()); // nothing new since the last fold
+        }
+        self.wal.sync()?;
+        let snapshot = self.stream.snapshot();
+        if self.based {
+            match self.appender.append_sharded(&snapshot) {
+                Ok(_) => {}
+                // A chain this process did not grow (e.g. an operator
+                // compacted to a different shape) can make the delta path
+                // unusable; a full rewrite restores the invariant.
+                Err(RepoError::NotAnExtension(_)) => {
+                    RepoWriter::with_page_size(&self.dir, self.cfg.page_size)
+                        .write_sharded(&snapshot)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        } else {
+            RepoWriter::with_page_size(&self.dir, self.cfg.page_size).write_sharded(&snapshot)?;
+            self.based = true;
+        }
+        self.write_checkpoint()?;
+        let horizon = self.stream.next_t().expect("stream is non-empty");
+        self.wal.truncate_before(horizon)?;
+        self.steps_since_fold = 0;
+        Ok(())
+    }
+
+    /// Collapse the committed chain to a single base generation if it
+    /// crosses either compaction threshold. Called automatically after
+    /// each successful fold.
+    pub fn maybe_compact(&mut self) -> Result<bool, LiveError> {
+        if !self.based {
+            return Ok(false);
+        }
+        let manifest = self.committed_manifest()?;
+        let chain_long = self.cfg.compact_max_chain > 0
+            && manifest.generations.len() >= self.cfg.compact_max_chain;
+        let too_dead = dead_fraction(&manifest) >= self.cfg.compact_dead_frac;
+        if !chain_long && !too_dead {
+            return Ok(false);
+        }
+        Repo::open(&self.dir, COMPACT_POOL_PAGES)?.compact(None)?;
+        Ok(true)
+    }
+
+    /// The timestep the stream expects next (`None` before any slice).
+    #[inline]
+    pub fn next_t(&self) -> Option<u32> {
+        self.stream.next_t()
+    }
+
+    /// The live in-memory pipeline (for snapshots and online queries).
+    #[inline]
+    pub fn stream(&self) -> &ShardedPpqStream {
+        &self.stream
+    }
+
+    /// Summary of everything ingested so far (including slices not yet
+    /// folded to disk).
+    pub fn snapshot(&self) -> ShardedSummary {
+        self.stream.snapshot()
+    }
+
+    /// The last maintenance (fold/compaction) failure since the last
+    /// success, if any. Ingest keeps running through these; the WAL
+    /// holds everything the chain is missing.
+    #[inline]
+    pub fn last_maintenance_error(&self) -> Option<&LiveError> {
+        self.last_error.as_ref()
+    }
+
+    /// Consecutive failed maintenance attempts (drives the backoff).
+    #[inline]
+    pub fn maintenance_failures(&self) -> u32 {
+        self.failures
+    }
+
+    /// WAL records appended but not yet fsynced.
+    #[inline]
+    pub fn wal_pending(&self) -> usize {
+        self.wal.pending()
+    }
+
+    fn maintain(&mut self) {
+        if self.cfg.fold_every == 0 {
+            return;
+        }
+        let shift = self.failures.min(self.cfg.max_backoff_shift).min(63);
+        let due = self.cfg.fold_every.saturating_mul(1u64 << shift);
+        if self.steps_since_fold < due {
+            return;
+        }
+        let result = self.fold().and_then(|()| self.maybe_compact().map(|_| ()));
+        match result {
+            Ok(()) => {
+                self.failures = 0;
+                self.last_error = None;
+            }
+            Err(e) => {
+                // Degrade gracefully: remember, back off, keep ingesting.
+                // The appender cache may reference a half-written chain;
+                // rebuild it from the committed manifest next time.
+                self.failures = self.failures.saturating_add(1);
+                self.last_error = Some(e);
+                self.appender = Appender::with_page_size(&self.dir, self.cfg.page_size);
+            }
+        }
+    }
+
+    fn committed_manifest(&self) -> Result<Manifest, LiveError> {
+        let bytes = std::fs::read(self.dir.join(ppq_repo::layout::MANIFEST_NAME))?;
+        Ok(Manifest::from_bytes(&bytes)?)
+    }
+
+    /// Persist the full pipeline state, CRC-sealed, temp + rename +
+    /// directory fsync — the same commit discipline as the manifest.
+    fn write_checkpoint(&self) -> Result<(), LiveError> {
+        let state_bytes = state::sharded_to_bytes(&self.stream);
+        let mut out = Vec::with_capacity(CKPT_HEADER_LEN + state_bytes.len());
+        out.extend_from_slice(&CKPT_MAGIC);
+        out.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        out.extend_from_slice(&crc32(&state_bytes).to_le_bytes());
+        out.extend_from_slice(&state_bytes);
+
+        let tmp = self.dir.join(CKPT_TMP_NAME);
+        {
+            let mut f = File::create(&tmp)?;
+            fault::write_all(&mut f, &out)?;
+            fault::sync_all(&f)?;
+        }
+        fault::rename(&tmp, &self.dir.join(CKPT_NAME))?;
+        fault::sync_all(&File::open(&self.dir)?)?;
+        Ok(())
+    }
+}
+
+/// Superseded fraction of the committed store's bytes: every delta
+/// generation re-records the full period table in its directory segment,
+/// and the stitched reader takes structure only from the newest one —
+/// older directories are pure overhead the next compaction reclaims.
+fn dead_fraction(manifest: &Manifest) -> f64 {
+    let mut total = 0u64;
+    let mut dead = 0u64;
+    let n = manifest.generations.len();
+    for (gi, g) in manifest.generations.iter().enumerate() {
+        for s in &g.shards {
+            total += s.summary_len + s.dir_len + s.tpi_pages * manifest.page_size as u64;
+            if gi + 1 < n {
+                dead += s.dir_len;
+            }
+        }
+    }
+    dead as f64 / total.max(1) as f64
+}
+
+/// Read and unseal the checkpoint; `None` if the file does not exist.
+fn read_checkpoint(path: &Path) -> Result<Option<ShardedPpqStream>, LiveError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() < CKPT_HEADER_LEN {
+        return Err(LiveError::CorruptCheckpoint(format!(
+            "{} bytes is shorter than the header",
+            bytes.len()
+        )));
+    }
+    if bytes[..4] != CKPT_MAGIC {
+        return Err(LiveError::CorruptCheckpoint("bad magic".into()));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != CKPT_VERSION {
+        return Err(LiveError::CorruptCheckpoint(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let expect_crc = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let state_bytes = &bytes[CKPT_HEADER_LEN..];
+    let actual = crc32(state_bytes);
+    if actual != expect_crc {
+        return Err(LiveError::CorruptCheckpoint(format!(
+            "CRC mismatch (sealed {expect_crc:#010x}, computed {actual:#010x})"
+        )));
+    }
+    Ok(Some(state::sharded_from_bytes(state_bytes)?))
+}

@@ -68,6 +68,28 @@ impl IncrementalQuantizer {
         self.assigned
     }
 
+    /// Rebuild a quantizer mid-stream from persisted state: the codebook
+    /// words in index order plus the assignment counter. The grid index
+    /// is reconstructed by inserting the words in order, so lookups (and
+    /// therefore all future quantization decisions) are bit-identical to
+    /// the original instance's. The k-means workspace is scratch and
+    /// starts fresh.
+    pub fn restore(eps: f64, kmeans_cfg: KMeansConfig, words: Vec<Point>, assigned: u64) -> Self {
+        assert!(eps > 0.0 && eps.is_finite());
+        let mut nn = GridNN::new(eps);
+        for (i, w) in words.iter().enumerate() {
+            nn.insert(i as u32, *w);
+        }
+        IncrementalQuantizer {
+            eps,
+            codebook: Codebook::from_words(words),
+            nn,
+            kmeans_cfg,
+            workspace: KMeansWorkspace::new(),
+            assigned,
+        }
+    }
+
     fn push_word(&mut self, w: Point) -> u32 {
         let idx = self.codebook.push(w);
         self.nn.insert(idx, w);

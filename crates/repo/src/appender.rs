@@ -1,0 +1,200 @@
+//! A warm append handle over [`RepoWriter`].
+//!
+//! [`RepoWriter::append_sharded`] is stateless: every call re-reads the
+//! committed chain — base segment plus every delta, each CRC-verified —
+//! just to reconstruct the summary it diffs the new snapshot against.
+//! That cost grows with chain length, which is exactly wrong for the one
+//! caller that appends in a loop (live ingest folding its WAL every few
+//! hundred timesteps).
+//!
+//! [`Appender`] keeps the post-commit view in memory between calls: the
+//! committed [`Manifest`], each shard's stitched summary, and each
+//! shard's stored period table. A warm append skips the chain re-read
+//! entirely and goes straight to `delta_to_bytes` against the cached
+//! base. The cache is *verified, not trusted*: before every append the
+//! committed manifest (a tiny file) is re-read and compared to the
+//! cached one — if another writer has advanced the chain, the cache is
+//! rebuilt from disk, so a warm append writes byte-identical segments to
+//! a cold [`RepoWriter::append_sharded`] in all cases (asserted
+//! file-for-file in `tests/persistence.rs`). Any append error drops the
+//! cache; the next call re-warms from the committed state.
+
+use crate::dir::{decode_dir_segment, DiskPeriod};
+use crate::layout::{
+    dir_seg_name, read_verified, sdelta_seg_name, GenKind, GenManifest, Manifest, RepoError,
+};
+use crate::repo::load_shard_summary;
+use crate::writer::{check_period_extension, tpi_blocks, RepoWriter};
+use ppq_core::summary_io;
+use ppq_core::{PpqSummary, ShardedSummary};
+use ppq_storage::PAGE_SIZE;
+use std::path::Path;
+
+/// One shard's slice of the committed view: the stitched summary the next
+/// delta is diffed against, and the period table the next delta's block
+/// horizon is taken from.
+struct ShardState {
+    base: PpqSummary,
+    periods: Vec<DiskPeriod>,
+}
+
+/// The committed view the last append left behind (or the last warm-up
+/// loaded). Valid only while `manifest` still matches the on-disk one.
+struct AppendCache {
+    manifest: Manifest,
+    shards: Vec<ShardState>,
+}
+
+/// A repository append handle that caches the committed chain's stitched
+/// view between calls, so repeated appends don't re-decode and re-verify
+/// the whole generation chain each time. See the module docs for the
+/// freshness contract.
+pub struct Appender {
+    writer: RepoWriter,
+    cache: Option<AppendCache>,
+}
+
+impl Appender {
+    /// Append handle with the paper's default 1 MiB pages. The cache
+    /// starts cold; the first append warms it from the committed chain.
+    pub fn new(dir: &Path) -> Appender {
+        Self::with_page_size(dir, PAGE_SIZE)
+    }
+
+    /// Explicit page size — must match the committed store's, as with
+    /// [`RepoWriter::with_page_size`].
+    pub fn with_page_size(dir: &Path, page_size: usize) -> Appender {
+        Appender {
+            writer: RepoWriter::with_page_size(dir, page_size),
+            cache: None,
+        }
+    }
+
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.writer.page_size()
+    }
+
+    /// Whether the next append can skip the chain re-read. Only a hint —
+    /// the cache is still validated against the committed manifest.
+    #[inline]
+    pub fn is_warm(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Unsharded form of [`Appender::append_sharded`].
+    pub fn append(&mut self, full: &PpqSummary) -> Result<Manifest, RepoError> {
+        self.append_shards(std::slice::from_ref(full))
+    }
+
+    /// [`RepoWriter::append_sharded`] with the committed view served from
+    /// the cache when it is still current. Output is byte-identical to
+    /// the cold path; on any error the cache is dropped so the next call
+    /// re-warms from the committed state.
+    pub fn append_sharded(&mut self, full: &ShardedSummary) -> Result<Manifest, RepoError> {
+        self.append_shards(full.shards())
+    }
+
+    fn append_shards(&mut self, fulls: &[PpqSummary]) -> Result<Manifest, RepoError> {
+        let result = self.try_append(fulls);
+        if result.is_err() {
+            // A failed append may have left the cache half-updated or the
+            // directory in a state we did not predict; rebuild from the
+            // committed manifest next time.
+            self.cache = None;
+        }
+        result
+    }
+
+    fn try_append(&mut self, fulls: &[PpqSummary]) -> Result<Manifest, RepoError> {
+        let not_ext = |what: &str| RepoError::NotAnExtension(what.to_string());
+        let prev = self
+            .writer
+            .committed_manifest()?
+            .ok_or_else(|| not_ext("no committed store to append to (write a base first)"))?;
+        if prev.num_shards() != fulls.len() {
+            return Err(not_ext(&format!(
+                "store has {} shards, summary has {}",
+                prev.num_shards(),
+                fulls.len()
+            )));
+        }
+        if prev.page_size as usize != self.writer.page_size() {
+            return Err(not_ext(&format!(
+                "store uses {}-byte pages, appender configured for {}",
+                prev.page_size,
+                self.writer.page_size()
+            )));
+        }
+
+        // Re-warm if cold or if another writer moved the chain under us.
+        if self.cache.as_ref().is_none_or(|c| c.manifest != prev) {
+            self.cache = Some(Self::warm(self.writer.dir(), &prev)?);
+        }
+        let cache = self.cache.as_mut().expect("cache warmed above");
+
+        let generation = prev.generation() + 1;
+        let mut shard_manifests = Vec::with_capacity(fulls.len());
+        let mut new_periods = Vec::with_capacity(fulls.len());
+        for (i, full) in fulls.iter().enumerate() {
+            let tpi = full.tpi().ok_or(RepoError::MissingIndex)?;
+            let state = &cache.shards[i];
+            let delta_bytes = summary_io::delta_to_bytes(&state.base, full)?;
+            check_period_extension(&state.periods, tpi)?;
+            let t_hi = state.periods.last().map(|p| p.t_end);
+            let (periods, blocks) = tpi_blocks(tpi, t_hi);
+            shard_manifests.push(self.writer.write_segments(
+                generation,
+                i as u32,
+                &sdelta_seg_name(generation, i as u32),
+                &delta_bytes,
+                &periods,
+                &mut blocks.into_iter().map(Ok),
+            )?);
+            new_periods.push(periods);
+        }
+        let mut manifest = prev.clone();
+        manifest.generations.push(GenManifest {
+            generation,
+            kind: GenKind::Delta,
+            shards: shard_manifests,
+        });
+        self.writer.commit(&manifest, Some(&prev))?;
+
+        // The committed chain now stitches to exactly `fulls` (that is
+        // what `delta_to_bytes` proved and the commit persisted), and the
+        // newest dir segments hold exactly `new_periods`.
+        let cache = self.cache.as_mut().expect("cache warmed above");
+        cache.manifest = manifest.clone();
+        for (state, (full, periods)) in cache.shards.iter_mut().zip(fulls.iter().zip(new_periods)) {
+            state.base = full.clone();
+            state.periods = periods;
+        }
+        Ok(manifest)
+    }
+
+    /// Load the committed view the cold append path reconstructs on every
+    /// call: each shard's stitched summary and the newest generation's
+    /// period table.
+    fn warm(dir: &Path, manifest: &Manifest) -> Result<AppendCache, RepoError> {
+        let newest = manifest.newest();
+        let mut shards = Vec::with_capacity(manifest.num_shards());
+        for i in 0..manifest.num_shards() {
+            let base = load_shard_summary(dir, manifest, i)?;
+            let sm = &newest.shards[i];
+            let dir_bytes = read_verified(
+                &dir.join(dir_seg_name(newest.generation, i as u32)),
+                newest.generation,
+                i as u32,
+                sm.dir_len,
+                sm.dir_crc,
+            )?;
+            let (periods, _) = decode_dir_segment(&dir_bytes)?;
+            shards.push(ShardState { base, periods });
+        }
+        Ok(AppendCache {
+            manifest: manifest.clone(),
+            shards,
+        })
+    }
+}

@@ -66,6 +66,20 @@ pub enum RepoError {
     Io(io::Error),
     /// A segment or the manifest failed structural / checksum validation.
     Corrupt(String),
+    /// A segment file failed its manifest-recorded length/CRC check —
+    /// carries *which* file of *which* generation, and both sides of the
+    /// mismatch, so recovery logs are actionable.
+    CorruptSegment {
+        path: std::path::PathBuf,
+        generation: u64,
+        shard: u32,
+        expected_len: u64,
+        actual_len: u64,
+        expected_crc: u32,
+        /// `None` when the length already mismatched (the CRC of a
+        /// wrong-length file proves nothing).
+        actual_crc: Option<u32>,
+    },
     /// A summary segment failed to decode.
     Summary(ppq_core::summary_io::DecodeError),
     /// The summary handed to the writer has no TPI to lay out.
@@ -88,6 +102,28 @@ impl fmt::Display for RepoError {
         match self {
             RepoError::Io(e) => write!(f, "repository I/O error: {e}"),
             RepoError::Corrupt(what) => write!(f, "corrupt repository: {what}"),
+            RepoError::CorruptSegment {
+                path,
+                generation,
+                shard,
+                expected_len,
+                actual_len,
+                expected_crc,
+                actual_crc,
+            } => {
+                write!(
+                    f,
+                    "corrupt segment {} (generation {generation}, shard {shard}): ",
+                    path.display()
+                )?;
+                match actual_crc {
+                    None => write!(f, "length {actual_len} != manifest {expected_len}"),
+                    Some(crc) => write!(
+                        f,
+                        "CRC mismatch (manifest {expected_crc:#010x}, file {crc:#010x})"
+                    ),
+                }
+            }
             RepoError::Summary(e) => write!(f, "corrupt summary segment: {e}"),
             RepoError::MissingIndex => {
                 write!(f, "summary has no TPI (build with build_index = true)")
@@ -342,26 +378,33 @@ impl Manifest {
 }
 
 /// Read a whole segment file and verify it against the manifest's
-/// recorded length and CRC before handing the bytes to a decoder.
+/// recorded length and CRC before handing the bytes to a decoder. A
+/// mismatch is reported as [`RepoError::CorruptSegment`] carrying the
+/// path, the generation/shard the caller was validating, and both sides
+/// of the failed comparison.
 pub fn read_verified(
     path: &std::path::Path,
+    generation: u64,
+    shard: u32,
     expect_len: u64,
     expect_crc: u32,
 ) -> Result<Vec<u8>, RepoError> {
     let bytes = std::fs::read(path)?;
+    let corrupt = |actual_crc: Option<u32>| RepoError::CorruptSegment {
+        path: path.to_path_buf(),
+        generation,
+        shard,
+        expected_len: expect_len,
+        actual_len: bytes.len() as u64,
+        expected_crc: expect_crc,
+        actual_crc,
+    };
     if bytes.len() as u64 != expect_len {
-        return Err(RepoError::Corrupt(format!(
-            "{}: length {} != manifest {}",
-            path.display(),
-            bytes.len(),
-            expect_len
-        )));
+        return Err(corrupt(None));
     }
-    if crc32(&bytes) != expect_crc {
-        return Err(RepoError::Corrupt(format!(
-            "{}: CRC mismatch",
-            path.display()
-        )));
+    let actual = crc32(&bytes);
+    if actual != expect_crc {
+        return Err(corrupt(Some(actual)));
     }
     Ok(bytes)
 }

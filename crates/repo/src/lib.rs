@@ -90,12 +90,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod appender;
 pub mod dir;
 pub mod engine;
 pub mod layout;
 pub mod repo;
 pub mod writer;
 
+pub use appender::Appender;
 pub use engine::{DiskQueryEngine, DiskQueryWorkspace};
 pub use layout::{GenKind, GenManifest, Manifest, RepoError, ShardManifest};
 pub use repo::{Repo, ShardStore};

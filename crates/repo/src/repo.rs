@@ -49,6 +49,8 @@ pub(crate) fn load_shard_summary(
             GenKind::Base => {
                 let bytes = read_verified(
                     &dir.join(summary_seg_name(g, shard as u32)),
+                    g,
+                    shard as u32,
                     sm.summary_len,
                     sm.summary_crc,
                 )?;
@@ -59,6 +61,8 @@ pub(crate) fn load_shard_summary(
             GenKind::Delta => {
                 let bytes = read_verified(
                     &dir.join(sdelta_seg_name(g, shard as u32)),
+                    g,
+                    shard as u32,
                     sm.summary_len,
                     sm.summary_crc,
                 )?;
@@ -234,8 +238,13 @@ impl Repo {
             for (gi, gen) in manifest.generations.iter().enumerate() {
                 let sm = &gen.shards[s];
                 let g = gen.generation;
-                let dir_bytes =
-                    read_verified(&dir.join(dir_seg_name(g, s as u32)), sm.dir_len, sm.dir_crc)?;
+                let dir_bytes = read_verified(
+                    &dir.join(dir_seg_name(g, s as u32)),
+                    g,
+                    s as u32,
+                    sm.dir_len,
+                    sm.dir_crc,
+                )?;
                 let (gen_periods, gen_dir) = decode_dir_segment(&dir_bytes)?;
                 // Frames are keyed per (generation, shard): two
                 // generations' page 0 must never collide in the pool.

@@ -69,6 +69,11 @@ impl RepoWriter {
         self.page_size
     }
 
+    #[inline]
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+
     /// Persist an unsharded summary as a 1-shard repository (full
     /// rewrite — the committed chain, if any, is replaced).
     pub fn write(&self, summary: &PpqSummary) -> Result<Manifest, RepoError> {
@@ -169,6 +174,8 @@ impl RepoWriter {
             let sm = &newest.shards[i];
             let dir_bytes = crate::layout::read_verified(
                 &self.dir.join(dir_seg_name(newest.generation, i as u32)),
+                newest.generation,
+                i as u32,
                 sm.dir_len,
                 sm.dir_crc,
             )?;
@@ -287,7 +294,7 @@ impl RepoWriter {
     ) -> Result<(), RepoError> {
         let tmp = self.dir.join(MANIFEST_TMP_NAME);
         write_durable(&tmp, &manifest.to_bytes())?;
-        std::fs::rename(&tmp, self.dir.join(MANIFEST_NAME))?;
+        ppq_storage::fault::rename(&tmp, &self.dir.join(MANIFEST_NAME))?;
         sync_dir(&self.dir)?;
         let mut keep: HashSet<u64> = manifest.generations.iter().map(|g| g.generation).collect();
         if let Some(prev) = prev {
@@ -338,7 +345,10 @@ pub(crate) fn tpi_blocks_full(tpi: &Tpi) -> (Vec<DiskPeriod>, Vec<BlockRecord>) 
 /// timestep are kept (the delta window) — the period table is always the
 /// full current one, since the stitched reader takes its structure from
 /// the newest generation.
-fn tpi_blocks(tpi: &Tpi, min_exclusive_t: Option<u32>) -> (Vec<DiskPeriod>, Vec<BlockRecord>) {
+pub(crate) fn tpi_blocks(
+    tpi: &Tpi,
+    min_exclusive_t: Option<u32>,
+) -> (Vec<DiskPeriod>, Vec<BlockRecord>) {
     let mut periods: Vec<DiskPeriod> = Vec::with_capacity(tpi.periods().len());
     let mut records: Vec<BlockRecord> = Vec::new();
     for (pidx, period) in tpi.periods().iter().enumerate() {
@@ -380,7 +390,7 @@ fn tpi_blocks(tpi: &Tpi, min_exclusive_t: Option<u32>) -> (Vec<DiskPeriod>, Vec<
 /// period extended in place (same start, same region prefix), new periods
 /// only appended. This is the index-side mirror of
 /// `summary_io::delta_to_bytes`'s prefix verification.
-fn check_period_extension(stored: &[DiskPeriod], tpi: &Tpi) -> Result<(), RepoError> {
+pub(crate) fn check_period_extension(stored: &[DiskPeriod], tpi: &Tpi) -> Result<(), RepoError> {
     let not_ext = |what: &str| RepoError::NotAnExtension(format!("TPI periods: {what}"));
     let now = tpi.periods();
     if stored.len() > now.len() {
@@ -427,16 +437,18 @@ fn check_period_extension(stored: &[DiskPeriod], tpi: &Tpi) -> Result<(), RepoEr
 }
 
 /// Write `bytes` to `path` and fsync before returning, so the data is on
-/// stable storage before anything references the file.
+/// stable storage before anything references the file. Routed through
+/// the [`ppq_storage::fault`] layer so torn-write and crash-anywhere
+/// tests can target every durable step of a commit.
 fn write_durable(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
-    std::io::Write::write_all(&mut f, bytes)?;
-    f.sync_all()
+    ppq_storage::fault::write_all(&mut f, bytes)?;
+    ppq_storage::fault::sync_all(&f)
 }
 
 /// Fsync a directory so a completed rename survives power loss.
 fn sync_dir(dir: &Path) -> std::io::Result<()> {
-    std::fs::File::open(dir)?.sync_all()
+    ppq_storage::fault::sync_all(&std::fs::File::open(dir)?)
 }
 
 #[cfg(test)]

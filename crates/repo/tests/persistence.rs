@@ -5,8 +5,8 @@
 use ppq_core::query::{QueryEngine, ShardedQueryEngine, StrqOutcome};
 use ppq_core::{PpqConfig, PpqTrajectory, ShardedPpqStream, ShardedSummary, Variant};
 use ppq_geo::Point;
-use ppq_repo::{DiskQueryEngine, Repo, RepoError, RepoWriter};
-use ppq_storage::IoStats;
+use ppq_repo::{Appender, DiskQueryEngine, Repo, RepoError, RepoWriter};
+use ppq_storage::{fault, IoStats};
 use ppq_tpi::DiskTpi;
 use ppq_traj::synth::{porto_like, PortoConfig};
 use ppq_traj::Dataset;
@@ -301,6 +301,93 @@ fn assert_stores_identical(
     assert_tpq_bit_identical(&tpq_probe, &engine_mem.tpq_batch(&qs, 10));
 }
 
+/// Assert two repository directories hold exactly the same files with
+/// exactly the same bytes (the strongest possible parity: not just the
+/// same answers, the same store).
+fn assert_dirs_byte_identical(a: &std::path::Path, b: &std::path::Path) {
+    let listing = |d: &std::path::Path| -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(d)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        names
+    };
+    let names = listing(a);
+    assert_eq!(names, listing(b), "directory listings diverge");
+    for name in &names {
+        let ba = std::fs::read(a.join(name)).unwrap();
+        let bb = std::fs::read(b.join(name)).unwrap();
+        assert_eq!(ba, bb, "file {name} diverges between {a:?} and {b:?}");
+    }
+}
+
+#[test]
+fn warm_appender_bit_identical_to_cold_append_path() {
+    let data = dataset();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let n = data.time_slices().count();
+    let (snaps, full) = sharded_snapshots(&data, &cfg, 2, &[n / 4, n / 2, 3 * n / 4]);
+
+    // Cold control: the stateless writer re-reads the chain every append.
+    let cold = tmp_dir("appender-cold");
+    let writer = RepoWriter::with_page_size(&cold, PAGE);
+    writer.write_sharded(&snaps[0]).unwrap();
+    for snap in snaps[1..].iter().chain([&full]) {
+        writer.append_sharded(snap).unwrap();
+    }
+
+    // Warm probe: one cached Appender drives the same appends.
+    let warm = tmp_dir("appender-warm");
+    RepoWriter::with_page_size(&warm, PAGE)
+        .write_sharded(&snaps[0])
+        .unwrap();
+    let mut appender = Appender::with_page_size(&warm, PAGE);
+    assert!(!appender.is_warm());
+    for snap in snaps[1..].iter().chain([&full]) {
+        appender.append_sharded(snap).unwrap();
+        assert!(appender.is_warm(), "cache must survive a successful append");
+    }
+
+    assert_dirs_byte_identical(&cold, &warm);
+    let _ = std::fs::remove_dir_all(cold);
+    let _ = std::fs::remove_dir_all(warm);
+}
+
+#[test]
+fn stale_appender_cache_is_detected_and_rebuilt() {
+    let data = dataset();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let n = data.time_slices().count();
+    let (snaps, full) = sharded_snapshots(&data, &cfg, 2, &[n / 4, n / 2, 3 * n / 4]);
+
+    let cold = tmp_dir("appender-stale-cold");
+    let writer = RepoWriter::with_page_size(&cold, PAGE);
+    writer.write_sharded(&snaps[0]).unwrap();
+    for snap in snaps[1..].iter().chain([&full]) {
+        writer.append_sharded(snap).unwrap();
+    }
+
+    // The appender commits one delta, then a *different* writer advances
+    // the chain behind its back; the appender's next call must notice its
+    // cached manifest is stale, rebuild from disk, and still produce the
+    // byte-identical store.
+    let warm = tmp_dir("appender-stale-warm");
+    RepoWriter::with_page_size(&warm, PAGE)
+        .write_sharded(&snaps[0])
+        .unwrap();
+    let mut appender = Appender::with_page_size(&warm, PAGE);
+    appender.append_sharded(&snaps[1]).unwrap();
+    RepoWriter::with_page_size(&warm, PAGE)
+        .append_sharded(&snaps[2])
+        .unwrap();
+    appender.append_sharded(&full).unwrap();
+
+    assert_dirs_byte_identical(&cold, &warm);
+    let _ = std::fs::remove_dir_all(cold);
+    let _ = std::fs::remove_dir_all(warm);
+}
+
 #[test]
 fn appended_store_bit_identical_to_single_shot_build() {
     let data = dataset();
@@ -515,38 +602,58 @@ fn crash_during_append_leaves_committed_chain_consistent() {
     let writer = RepoWriter::with_page_size(&dir, PAGE);
     writer.write_sharded(&snaps[0]).unwrap();
 
-    // Simulated crash mid-append of generation 2: partial delta segment
-    // files exist and the manifest rewrite stopped at the temp file.
-    std::fs::write(dir.join("sdelta-g2-0.seg"), b"torn delta").unwrap();
-    std::fs::write(dir.join("tpi-g2-1.pages"), b"torn pages").unwrap();
-    std::fs::write(dir.join("dir-g2-0.seg"), b"torn dir").unwrap();
-    std::fs::write(dir.join("MANIFEST.ppq.tmp"), b"half a manifest").unwrap();
-
-    // The store still opens at generation 1 and answers like the
-    // snapshot it was written from.
-    let repo = Repo::open(&dir, 16).unwrap();
-    assert_eq!(repo.manifest().generation(), 1);
-    assert_eq!(repo.num_generations(), 1);
-    let engine = DiskQueryEngine::new(&repo, &data, gc);
-    let mem = ShardedQueryEngine::new(&snaps[0], &data, gc);
     let qs = queries(&data);
-    assert_outcomes_bit_identical(
-        &engine.strq_online_batch(&qs).unwrap(),
-        &mem.strq_online_batch(&qs),
-    );
-    drop(repo);
+    let mem_before = ShardedQueryEngine::new(&snaps[0], &data, gc).strq_online_batch(&qs);
+    let mem_after = ShardedQueryEngine::new(&full, &data, gc).strq_online_batch(&qs);
 
-    // A completed append (same generation number — it overwrites the
-    // torn, unreferenced files) commits and serves the full view.
-    writer.append_sharded(&full).unwrap();
+    // Crash the *real* append at every instrumented I/O operation in
+    // turn (alternating hard failures with torn writes that persist a
+    // prefix). Every pre-commit crash must leave the chain opening at
+    // generation 1 answering like the old snapshot; a crash past the
+    // manifest rename must leave generation 2 fully live — never
+    // anything in between.
+    let mut n = 0u64;
+    let committed_by_crash = loop {
+        assert!(n < 10_000, "append never completed");
+        let kind = if n.is_multiple_of(2) {
+            fault::FaultKind::Fail
+        } else {
+            fault::FaultKind::Torn { keep: 7 }
+        };
+        fault::arm(n, kind, fault::FaultMode::CrashAfter);
+        let result = writer.append_sharded(&full);
+        let out = fault::disarm();
+        if !out.triggered {
+            result.unwrap();
+            break false; // ran past the last op: clean commit
+        }
+        assert!(result.is_err(), "a crashed append must surface an error");
+        let repo = Repo::open(&dir, 16).unwrap();
+        let engine = DiskQueryEngine::new(&repo, &data, gc);
+        match repo.num_generations() {
+            1 => {
+                assert_eq!(repo.manifest().generation(), 1);
+                assert_outcomes_bit_identical(&engine.strq_online_batch(&qs).unwrap(), &mem_before);
+            }
+            2 => {
+                // The rename is the linearization point; this crash
+                // landed after it (e.g. on the directory fsync), so the
+                // append is durable despite the error.
+                assert_outcomes_bit_identical(&engine.strq_online_batch(&qs).unwrap(), &mem_after);
+                break true;
+            }
+            g => panic!("crashed append left {g} generations"),
+        }
+        n += 1;
+    };
+
+    // Whether the commit landed via the crash tail or a clean retry, the
+    // final store serves the full view.
+    assert!(committed_by_crash || n > 0, "no crash was ever injected");
     let repo = Repo::open(&dir, 16).unwrap();
     assert_eq!(repo.num_generations(), 2);
     let engine = DiskQueryEngine::new(&repo, &data, gc);
-    let mem = ShardedQueryEngine::new(&full, &data, gc);
-    assert_outcomes_bit_identical(
-        &engine.strq_online_batch(&qs).unwrap(),
-        &mem.strq_online_batch(&qs),
-    );
+    assert_outcomes_bit_identical(&engine.strq_online_batch(&qs).unwrap(), &mem_after);
     let _ = std::fs::remove_dir_all(dir);
 }
 
@@ -556,25 +663,53 @@ fn crash_during_compaction_leaves_chain_consistent() {
     let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
     let gc = cfg.tpi.pi.gc;
     let (appended, single, full) = appended_fixture(&data, &cfg, 2, "crash-compact");
-
-    // Simulated crash mid-compaction of generation 4: partial compacted
-    // segments plus a torn manifest temp file.
-    std::fs::write(appended.join("summary-g4-0.seg"), b"partial").unwrap();
-    std::fs::write(appended.join("tpi-g4-0.pages"), b"partial").unwrap();
-    std::fs::write(appended.join("MANIFEST.ppq.tmp"), b"torn").unwrap();
-
-    // The chain still opens at the appended view and answers correctly.
-    let repo = Repo::open(&appended, 16).unwrap();
-    assert_eq!(repo.num_generations(), 3);
     let control = Repo::open(&single, 16).unwrap();
-    assert_stores_identical(&data, &full, gc, &repo, &control);
 
-    // Retrying the compaction over the same chain succeeds.
-    repo.compact(None).unwrap();
-    drop(repo);
+    // Crash the *real* compaction at every instrumented I/O operation in
+    // turn — including the chain page reads feeding the block copy. A
+    // pre-commit crash leaves the 3-generation chain untouched (partial
+    // generation-4 segments and a torn manifest temp are unreferenced
+    // litter); a post-rename crash leaves the compacted single
+    // generation fully live. Each iteration reopens and retries over
+    // whatever the previous crash left behind.
+    let mut n = 0u64;
+    loop {
+        assert!(n < 10_000, "compaction never completed");
+        let kind = if n.is_multiple_of(2) {
+            fault::FaultKind::Fail
+        } else {
+            fault::FaultKind::Torn { keep: 7 }
+        };
+        let repo = Repo::open(&appended, 16).unwrap();
+        fault::arm(n, kind, fault::FaultMode::CrashAfter);
+        let result = repo.compact(None);
+        let out = fault::disarm();
+        drop(repo);
+        if !out.triggered {
+            result.unwrap();
+            break;
+        }
+        assert!(
+            result.is_err(),
+            "a crashed compaction must surface an error"
+        );
+        let reopened = Repo::open(&appended, 16).unwrap();
+        match reopened.num_generations() {
+            3 => assert_stores_identical(&data, &full, gc, &reopened, &control),
+            1 => {
+                // Crash landed past the manifest rename: the compaction
+                // is durable despite the error.
+                assert_stores_identical(&data, &full, gc, &reopened, &control);
+                break;
+            }
+            g => panic!("crashed compaction left {g} generations"),
+        }
+        n += 1;
+    }
+    assert!(n > 0, "no crash was ever injected");
+
     let compacted = Repo::open(&appended, 16).unwrap();
     assert_eq!(compacted.num_generations(), 1);
-    let control = Repo::open(&single, 16).unwrap();
     assert_stores_identical(&data, &full, gc, &compacted, &control);
     let _ = std::fs::remove_dir_all(appended);
     let _ = std::fs::remove_dir_all(single);
@@ -588,16 +723,28 @@ fn delta_segment_corruption_is_detected() {
     let _ = std::fs::remove_dir_all(single);
 
     // A flipped byte anywhere in a delta segment is caught at open by the
-    // manifest CRC before the delta is ever applied.
+    // manifest CRC before the delta is ever applied, and the error names
+    // the exact file and generation that failed verification.
     let seg = appended.join("sdelta-g2-0.seg");
     let mut bytes = std::fs::read(&seg).unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x20;
     std::fs::write(&seg, &bytes).unwrap();
-    assert!(matches!(
-        Repo::open(&appended, 0),
-        Err(RepoError::Corrupt(_))
-    ));
+    match Repo::open(&appended, 0).err() {
+        Some(RepoError::CorruptSegment {
+            path,
+            generation,
+            shard,
+            actual_crc,
+            ..
+        }) => {
+            assert_eq!(path, seg);
+            assert_eq!(generation, 2);
+            assert_eq!(shard, 0);
+            assert!(actual_crc.is_some(), "length matched, CRC did not");
+        }
+        other => panic!("expected CorruptSegment, got {other:?}"),
+    }
     bytes[mid] ^= 0x20;
     std::fs::write(&seg, &bytes).unwrap();
     Repo::open(&appended, 0).unwrap();
@@ -616,24 +763,44 @@ fn crash_during_write_leaves_previous_generation_consistent() {
     let gen1 = Repo::open(&dir, 16).unwrap().manifest().generation();
     assert_eq!(gen1, 1);
 
-    // Simulated crash mid-write of generation 2: partial segment files
-    // exist and the manifest rewrite stopped at the temp file.
-    std::fs::write(dir.join("summary-g2-0.seg"), b"partial garbage").unwrap();
-    std::fs::write(dir.join("tpi-g2-0.pages"), b"torn").unwrap();
-    std::fs::write(dir.join("MANIFEST.ppq.tmp"), b"half a manifest").unwrap();
-
-    // The store still opens at generation 1 and serves queries.
-    let repo = Repo::open(&dir, 16).unwrap();
-    assert_eq!(repo.manifest().generation(), 1);
-    let engine = DiskQueryEngine::new(&repo, &data, gc);
+    // Crash the *real* generation-2 rewrite at every instrumented I/O
+    // operation in turn. Every pre-commit crash leaves partial g2 files
+    // (and possibly a torn manifest temp) on disk, but the store keeps
+    // opening at generation 1 and serving queries; a post-rename crash
+    // commits generation 2 despite the error.
     let (id, t, p) = data.iter_points().next().unwrap();
-    assert!(engine.strq(t, &p).unwrap().exact.contains(&id));
-    drop(repo);
+    let mut n = 0u64;
+    loop {
+        assert!(n < 10_000, "rewrite never completed");
+        let kind = if n.is_multiple_of(2) {
+            fault::FaultKind::Fail
+        } else {
+            fault::FaultKind::Torn { keep: 7 }
+        };
+        fault::arm(n, kind, fault::FaultMode::CrashAfter);
+        let result = writer.write(&summary);
+        let out = fault::disarm();
+        if !out.triggered {
+            result.unwrap();
+            break;
+        }
+        assert!(result.is_err(), "a crashed rewrite must surface an error");
+        let repo = Repo::open(&dir, 16).unwrap();
+        let g = repo.manifest().generation();
+        assert!(g == 1 || g == 2, "crashed rewrite left generation {g}");
+        let engine = DiskQueryEngine::new(&repo, &data, gc);
+        assert!(engine.strq(t, &p).unwrap().exact.contains(&id));
+        if g == 2 {
+            break;
+        }
+        n += 1;
+    }
+    assert!(n > 0, "no crash was ever injected");
 
-    // A completed rewrite commits generation 2. The sweep retains the
-    // immediately previous generation (a concurrent reader may still be
-    // opening it) but removes anything older.
-    writer.write(&summary).unwrap();
+    // Generation 2 is committed (by the crash tail or the clean final
+    // attempt). The sweep retains the immediately previous generation (a
+    // concurrent reader may still be opening it) but removes anything
+    // older.
     let repo = Repo::open(&dir, 16).unwrap();
     assert_eq!(repo.manifest().generation(), 2);
     assert!(
@@ -673,13 +840,21 @@ fn corruption_is_detected() {
     let _ = std::fs::remove_dir_all(empty);
 
     // Flipped byte in the summary segment: caught at open by the
-    // manifest CRC.
+    // manifest CRC, reported with the offending path and generation.
     let seg = dir.join("summary-g1-0.seg");
     let mut bytes = std::fs::read(&seg).unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x10;
     std::fs::write(&seg, &bytes).unwrap();
-    assert!(matches!(Repo::open(&dir, 0), Err(RepoError::Corrupt(_))));
+    match Repo::open(&dir, 0).err() {
+        Some(RepoError::CorruptSegment {
+            path, generation, ..
+        }) => {
+            assert_eq!(path, seg);
+            assert_eq!(generation, 1);
+        }
+        other => panic!("expected CorruptSegment, got {other:?}"),
+    }
     bytes[mid] ^= 0x10;
     std::fs::write(&seg, &bytes).unwrap();
     Repo::open(&dir, 0).unwrap();

@@ -18,9 +18,12 @@
 //!   untrusted input.
 //! * [`mod@crc32`] — the shared CRC-32 implementation.
 //! * [`page_index`] — the lightweight period → page-range index of §5.1.
+//! * [`fault`] — deterministic fault injection under every durable I/O
+//!   path (the crash-anywhere and torn-write test harness).
 
 pub mod codec;
 pub mod crc32;
+pub mod fault;
 pub mod page;
 pub mod page_index;
 pub mod pool;

@@ -15,12 +15,13 @@
 //! is how "page I/Os per query" is measured without any global reset
 //! dance.
 
+use crate::fault;
 use crate::page::Page;
 use crate::store::IoStats;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom};
+use std::io::{self, Seek, SeekFrom};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -217,7 +218,7 @@ impl Segment {
         {
             let mut f = self.file.lock();
             f.seek(SeekFrom::Start(page_id * self.page_size as u64))?;
-            f.read_exact(&mut buf)?;
+            fault::read_exact(&mut f, &mut buf)?;
         }
         stats
             .reads

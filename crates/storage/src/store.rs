@@ -1,10 +1,11 @@
 //! File-backed page store with I/O accounting and an LRU buffer pool.
 
+use crate::fault;
 use crate::page::{Page, PAGE_SIZE};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::io::{self, Seek, SeekFrom};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -161,7 +162,7 @@ impl PageStore {
         {
             let mut f = self.file.lock();
             f.seek(SeekFrom::Start(id * self.page_size as u64))?;
-            f.write_all(sealed.as_bytes())?;
+            fault::write_all(&mut f, sealed.as_bytes())?;
         }
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
         self.cache.lock().put(id, sealed);
@@ -180,7 +181,7 @@ impl PageStore {
         {
             let mut f = self.file.lock();
             f.seek(SeekFrom::Start(id * self.page_size as u64))?;
-            f.write_all(sealed.as_bytes())?;
+            fault::write_all(&mut f, sealed.as_bytes())?;
         }
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
         let mut cache = self.cache.lock();
@@ -205,7 +206,7 @@ impl PageStore {
         {
             let mut f = self.file.lock();
             f.seek(SeekFrom::Start(id * self.page_size as u64))?;
-            f.read_exact(&mut buf)?;
+            fault::read_exact(&mut f, &mut buf)?;
         }
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
         let page = Page::from_bytes(buf);
@@ -228,7 +229,7 @@ impl PageStore {
     /// promise crash safety call this before publishing any reference to
     /// the file.
     pub fn sync(&self) -> io::Result<()> {
-        self.file.lock().sync_all()
+        fault::sync_all(&self.file.lock())
     }
 
     #[inline]

@@ -20,6 +20,8 @@
 //!   summary, and the STRQ/TPQ query engine.
 //! * [`repo`] — the persistent, reopenable repository: segmented on-disk
 //!   format, block directory, shared buffer pool, disk query engine.
+//! * [`live`] — crash-safe live ingest over the repository: write-ahead
+//!   log, checkpointed bit-identical recovery, folding + auto-compaction.
 //! * [`baselines`] — Q-trajectory, PQ, RQ, TrajStore, REST.
 //!
 //! ## Quickstart
@@ -47,6 +49,7 @@ pub use ppq_baselines as baselines;
 pub use ppq_core as core;
 pub use ppq_cqc as cqc;
 pub use ppq_geo as geo;
+pub use ppq_live as live;
 pub use ppq_predict as predict;
 pub use ppq_quantize as quantize;
 pub use ppq_repo as repo;
