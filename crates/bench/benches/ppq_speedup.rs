@@ -417,8 +417,7 @@ fn main() {
         }
     }
     let mut mags: Vec<f64> = batches.iter().flatten().map(|e| e.norm()).collect();
-    mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let eps_q = (mags[mags.len() / 2] / 12.0).max(1e-9);
+    let eps_q = (ppq_bench::report::median(&mut mags) / 12.0).max(1e-9);
     let q_points: usize = batches.iter().map(Vec::len).sum();
     eprintln!(
         "quantize-proxy: {} batches, {} errors, eps={eps_q:.2e}",

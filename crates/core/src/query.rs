@@ -181,10 +181,20 @@ impl<'a, S: ReconIndex + ?Sized> QueryEngine<'a, S> {
         let bbox = dataset
             .bbox()
             .unwrap_or(BBox::from_extents(0.0, 0.0, 1.0, 1.0));
+        QueryEngine::with_grid(index, dataset, GridSpec::covering(&bbox.inflate(gc), gc))
+    }
+
+    /// [`QueryEngine::new`] with a precomputed canonical grid, skipping
+    /// the O(points) extent scan. This is the constructor for serving
+    /// paths that rebuild engines repeatedly over snapshots of the same
+    /// extent (e.g. the live-ingest service): compute the grid once with
+    /// [`GridSpec::covering`] and reuse it, which also pins cell
+    /// boundaries across snapshots.
+    pub fn with_grid(index: &'a S, dataset: &'a Dataset, grid: GridSpec) -> QueryEngine<'a, S> {
         QueryEngine {
             index,
             dataset,
-            grid: GridSpec::covering(&bbox.inflate(gc), gc),
+            grid,
         }
     }
 
@@ -442,6 +452,26 @@ impl<'a> ShardedQueryEngine<'a> {
             .shards()
             .iter()
             .map(|s| QueryEngine::new(s, dataset, gc))
+            .collect();
+        ShardedQueryEngine {
+            summary,
+            engines,
+            dataset,
+        }
+    }
+
+    /// [`ShardedQueryEngine::new`] with a precomputed canonical grid —
+    /// every shard engine shares `grid` and no extent scan runs. See
+    /// [`QueryEngine::with_grid`].
+    pub fn with_grid(
+        summary: &'a ShardedSummary,
+        dataset: &'a Dataset,
+        grid: GridSpec,
+    ) -> ShardedQueryEngine<'a> {
+        let engines = summary
+            .shards()
+            .iter()
+            .map(|s| QueryEngine::with_grid(s, dataset, grid.clone()))
             .collect();
         ShardedQueryEngine {
             summary,

@@ -31,9 +31,16 @@
 //! Every durable operation routes through [`ppq_storage::fault`], which
 //! is what makes "crash at every single I/O operation and prove recovery
 //! converges" a unit test instead of a hope.
+//!
+//! [`service::LiveService`] layers concurrent *serving* on top: a single
+//! writer lane feeds the repo while readers answer STRQ/TPQ against
+//! immutable published snapshots, versioned by the stream's `next_t` so
+//! every answer is provably a function of an acknowledged slice prefix.
 
 pub mod live;
+pub mod service;
 pub mod wal;
 
 pub use live::{LiveConfig, LiveError, LiveRepo, CKPT_NAME};
+pub use service::{LiveService, Published};
 pub use wal::{Wal, WalError, WalRecord, WAL_NAME};

@@ -1,0 +1,197 @@
+//! Serve-during-ingest: a concurrent query service over a [`LiveRepo`].
+//!
+//! The ingest side ([`LiveService::push_slice`]) serializes writers
+//! through one mutex — slices must arrive in timestep order anyway
+//! ([`crate::LiveError::OutOfOrder`]), so a single writer lane *is* the
+//! ordering contract, not a bottleneck workaround. The query side never
+//! touches that lock: readers clone an `Arc` of the current
+//! [`Published`] snapshot from an `RwLock` that is only write-held for
+//! the duration of a pointer swap.
+//!
+//! ## Consistency contract
+//!
+//! A [`Published`] snapshot is built under the writer lock from
+//! [`LiveRepo::snapshot`], so it reflects a *prefix* of the acknowledged
+//! slice sequence: every slice with `t < version` is fully applied and
+//! nothing else is visible. Readers therefore can never observe a torn
+//! slice or an uncommitted suffix — the worst case is staleness bounded
+//! by `publish_every`. Because the pipeline is deterministic, the
+//! contract is checkable: replaying the first `version - min_t` slices
+//! into a fresh `ShardedPpqStream` must reproduce the served answers bit
+//! for bit (`tests/concurrent_consistency.rs` does exactly this while
+//! ingest, folding, and compaction run).
+
+use crate::{LiveConfig, LiveError, LiveRepo};
+use ppq_core::query::{ShardedQueryEngine, ShardedQueryWorkspace, StrqOutcome};
+use ppq_core::ShardedSummary;
+use ppq_geo::{BBox, GridSpec, Point};
+use ppq_traj::{Dataset, TrajId};
+use std::path::Path;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// An immutable, versioned view of everything ingested before `version`.
+pub struct Published {
+    /// The stream's `next_t` when this snapshot was taken: all slices
+    /// with `t < version` are included, none after.
+    pub version: u32,
+    /// The quantized summary those slices fold into.
+    pub summary: ShardedSummary,
+}
+
+struct Writer {
+    live: LiveRepo,
+    since_publish: u64,
+}
+
+/// Concurrent ingest-and-serve front end for a [`LiveRepo`].
+pub struct LiveService {
+    writer: Mutex<Writer>,
+    published: RwLock<Arc<Published>>,
+    /// Original-point store backing exact-answer refinement — the same
+    /// role the repository's full dataset plays for `DiskQueryEngine`.
+    dataset: Arc<Dataset>,
+    /// Canonical query grid, fixed across snapshots so cell boundaries
+    /// never move while the service is live.
+    grid: GridSpec,
+    publish_every: u64,
+}
+
+impl LiveService {
+    /// Open (recovering if needed) the live directory and start serving.
+    /// A fresh snapshot is published every `publish_every` ingested
+    /// slices (0 publishes only on explicit [`LiveService::publish`]).
+    pub fn open(
+        dir: &Path,
+        cfg: LiveConfig,
+        dataset: Arc<Dataset>,
+        publish_every: u64,
+    ) -> Result<LiveService, LiveError> {
+        let gc = cfg.ppq.tpi.pi.gc;
+        let bbox = dataset
+            .bbox()
+            .unwrap_or(BBox::from_extents(0.0, 0.0, 1.0, 1.0));
+        let grid = GridSpec::covering(&bbox.inflate(gc), gc);
+        let live = LiveRepo::recover(dir, cfg)?;
+        let snapshot = Arc::new(Published {
+            version: live.next_t().unwrap_or(0),
+            summary: live.snapshot(),
+        });
+        Ok(LiveService {
+            writer: Mutex::new(Writer {
+                live,
+                since_publish: 0,
+            }),
+            published: RwLock::new(snapshot),
+            dataset,
+            grid,
+            publish_every,
+        })
+    }
+
+    /// Ingest one slice (WAL + pipeline + due maintenance, exactly
+    /// [`LiveRepo::push_slice`]) and republish if the cadence is due.
+    pub fn push_slice(&self, t: u32, points: &[(TrajId, Point)]) -> Result<(), LiveError> {
+        let mut w = self.writer.lock().expect("writer lock poisoned");
+        w.live.push_slice(t, points)?;
+        w.since_publish += 1;
+        if self.publish_every > 0 && w.since_publish >= self.publish_every {
+            self.publish_locked(&mut w);
+        }
+        Ok(())
+    }
+
+    /// Take and publish a snapshot of the current pipeline state.
+    /// Returns the new version.
+    pub fn publish(&self) -> u32 {
+        let mut w = self.writer.lock().expect("writer lock poisoned");
+        self.publish_locked(&mut w)
+    }
+
+    fn publish_locked(&self, w: &mut Writer) -> u32 {
+        let snapshot = Arc::new(Published {
+            version: w.live.next_t().unwrap_or(0),
+            summary: w.live.snapshot(),
+        });
+        w.since_publish = 0;
+        let version = snapshot.version;
+        *self.published.write().expect("publish lock poisoned") = snapshot;
+        version
+    }
+
+    /// The current snapshot (cheap: one `Arc` clone under a read lock).
+    pub fn published(&self) -> Arc<Published> {
+        self.published
+            .read()
+            .expect("publish lock poisoned")
+            .clone()
+    }
+
+    /// A query engine over `snap` — the identical evaluation path the
+    /// offline [`ShardedQueryEngine`] uses, pinned to the service's
+    /// canonical grid. The consistency test replays through this same
+    /// constructor so live and quiescent answers share every code path.
+    pub fn engine_for<'a>(&'a self, snap: &'a Published) -> ShardedQueryEngine<'a> {
+        ShardedQueryEngine::with_grid(&snap.summary, &self.dataset, self.grid.clone())
+    }
+
+    /// One production STRQ against the current snapshot. Returns the
+    /// snapshot version the answer was computed from.
+    pub fn strq(&self, t: u32, p: &Point, ws: &mut ShardedQueryWorkspace) -> (u32, StrqOutcome) {
+        let snap = self.published();
+        let outcome = self.engine_for(&snap).strq_online_with(t, p, ws);
+        (snap.version, outcome)
+    }
+
+    /// One TPQ against the current snapshot, with the snapshot version.
+    #[allow(clippy::type_complexity)]
+    pub fn tpq(
+        &self,
+        t: u32,
+        p: &Point,
+        l: u32,
+        ws: &mut ShardedQueryWorkspace,
+    ) -> (u32, Vec<(TrajId, Vec<(u32, Point)>)>) {
+        let snap = self.published();
+        let answers = self.engine_for(&snap).tpq_with(t, p, l, ws);
+        (snap.version, answers)
+    }
+
+    /// Force the WAL to stable storage.
+    pub fn sync(&self) -> Result<(), LiveError> {
+        self.writer
+            .lock()
+            .expect("writer lock poisoned")
+            .live
+            .sync()
+    }
+
+    /// Fold the WAL into the generation chain now.
+    pub fn fold(&self) -> Result<(), LiveError> {
+        self.writer
+            .lock()
+            .expect("writer lock poisoned")
+            .live
+            .fold()
+    }
+
+    /// The canonical query grid (fixed for the service's lifetime).
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+
+    /// The original-point store queries refine against.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// Tear down the service and hand back the underlying [`LiveRepo`].
+    pub fn into_inner(self) -> LiveRepo {
+        self.writer.into_inner().expect("writer lock poisoned").live
+    }
+
+    /// Run `f` with the underlying repo under the writer lock (tests and
+    /// maintenance hooks; queries must not use this).
+    pub fn with_repo<T>(&self, f: impl FnOnce(&mut LiveRepo) -> T) -> T {
+        f(&mut self.writer.lock().expect("writer lock poisoned").live)
+    }
+}

@@ -1,0 +1,279 @@
+//! Open-loop workload execution with coordinated-omission-safe latency
+//! recording.
+//!
+//! ## Why open-loop
+//!
+//! A closed-loop generator (issue, await, repeat) implicitly asks every
+//! stall for permission to keep loading the system: while one request is
+//! stuck, no others arrive, so a 100 ms hiccup costs the histogram *one*
+//! 100 ms sample instead of the hundreds of delayed requests a real
+//! arrival process would have produced. Tail percentiles measured that
+//! way are systematically optimistic — the coordinated-omission problem.
+//!
+//! This driver holds the arrival plan fixed ([`crate::Schedule`] is
+//! precomputed) and measures every operation from its *scheduled*
+//! arrival to completion. If the system falls behind, subsequent ops
+//! start late and their full queueing delay lands in the histogram —
+//! exactly what a client would have experienced.
+//!
+//! ## Execution shape
+//!
+//! * Queries are pre-assigned round-robin to `readers` worker threads
+//!   (no shared queue, no contention, assignment independent of timing).
+//! * Appends all ride one dedicated writer lane, because slices must
+//!   enter the ingest pipeline in timestep order — the lane *is* the
+//!   ordering contract. The writer runs on the calling thread.
+//! * Each worker sleeps (coarse) then spins (fine) until an op's
+//!   scheduled instant, fires it, and records completion − schedule into
+//!   a per-worker, per-class [`LatencyHistogram`]; histograms merge
+//!   after the run.
+
+use crate::schedule::{Op, OpKind, Schedule};
+use ppq_bench::report::{LatencyHistogram, LatencySummary};
+use ppq_geo::Point;
+use std::time::{Duration, Instant};
+
+/// Something that can answer the two query classes. One `Ctx` lives per
+/// worker thread, so engines can expose their reusable workspaces.
+pub trait QueryTarget: Sync {
+    type Ctx: Default + Send;
+    /// Production STRQ; returns the exact-answer cardinality (consumed
+    /// so the call cannot be optimized away).
+    fn strq(&self, t: u32, p: &Point, ctx: &mut Self::Ctx) -> usize;
+    /// TPQ over `horizon`; returns the number of matched trajectories.
+    fn tpq(&self, t: u32, p: &Point, horizon: u32, ctx: &mut Self::Ctx) -> usize;
+}
+
+/// Per-class latency/service accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassStats {
+    /// Operations completed.
+    pub ops: u64,
+    /// Latency (scheduled arrival → completion), `None` if no ops ran.
+    pub latency: Option<LatencySummary>,
+    /// Mean service time (issue → completion) in microseconds — feeds
+    /// the saturation estimate, not the latency contract.
+    pub mean_service_us: f64,
+}
+
+impl ClassStats {
+    fn from_parts(hist: &LatencyHistogram, service_nanos: u128) -> ClassStats {
+        let ops = hist.count();
+        ClassStats {
+            ops,
+            latency: if ops > 0 { Some(hist.summary()) } else { None },
+            mean_service_us: if ops > 0 {
+                service_nanos as f64 / ops as f64 / 1_000.0
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Outcome of one open-loop run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadReport {
+    pub wall_seconds: f64,
+    /// Arrival rate the schedule offered.
+    pub offered_ops_per_sec: f64,
+    /// Completions per wall second actually achieved.
+    pub achieved_ops_per_sec: f64,
+    pub strq: ClassStats,
+    pub tpq: ClassStats,
+    pub append: ClassStats,
+    /// Answer-size checksum (keeps query results observably consumed).
+    pub answer_checksum: u64,
+}
+
+struct WorkerAccum {
+    strq: LatencyHistogram,
+    tpq: LatencyHistogram,
+    strq_service: u128,
+    tpq_service: u128,
+    checksum: u64,
+}
+
+impl WorkerAccum {
+    fn new() -> WorkerAccum {
+        WorkerAccum {
+            strq: LatencyHistogram::new(),
+            tpq: LatencyHistogram::new(),
+            strq_service: 0,
+            tpq_service: 0,
+            checksum: 0,
+        }
+    }
+}
+
+/// Block until `at` nanoseconds after `start`: sleep while far out, spin
+/// the last stretch (sleep granularity is tens of microseconds — too
+/// coarse for a microsecond-scale arrival plan).
+fn wait_until(start: Instant, at_nanos: u64) {
+    let at = Duration::from_nanos(at_nanos);
+    loop {
+        let now = start.elapsed();
+        if now >= at {
+            return;
+        }
+        let remain = at - now;
+        if remain > Duration::from_micros(300) {
+            std::thread::sleep(remain - Duration::from_micros(200));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Run `schedule` open-loop against `target` with `readers` query
+/// workers. `on_append` is invoked once per scheduled append, in
+/// schedule order, from a single writer lane on the calling thread —
+/// it should push the next pending slice (and is free to ignore the
+/// call for read-only targets, though a read-only run should simply
+/// schedule no appends).
+pub fn run_open_loop<T, F>(
+    target: &T,
+    schedule: &Schedule,
+    readers: usize,
+    mut on_append: F,
+) -> LoadReport
+where
+    T: QueryTarget,
+    F: FnMut(),
+{
+    assert!(readers >= 1, "need at least one reader worker");
+    let mut per_reader: Vec<Vec<Op>> = vec![Vec::new(); readers];
+    let mut appends: Vec<Op> = Vec::new();
+    let mut q = 0usize;
+    for op in &schedule.ops {
+        match op.kind {
+            OpKind::Append => appends.push(*op),
+            _ => {
+                per_reader[q % readers].push(*op);
+                q += 1;
+            }
+        }
+    }
+
+    let mut append_hist = LatencyHistogram::new();
+    let mut append_service = 0u128;
+    let start = Instant::now();
+    let accums: Vec<WorkerAccum> = std::thread::scope(|scope| {
+        let handles: Vec<_> = per_reader
+            .iter()
+            .map(|ops| {
+                scope.spawn(move || {
+                    let mut ctx = T::Ctx::default();
+                    let mut acc = WorkerAccum::new();
+                    for op in ops {
+                        wait_until(start, op.at_nanos);
+                        let issued = start.elapsed();
+                        let n = match op.kind {
+                            OpKind::Strq => target.strq(op.t, &op.point, &mut ctx),
+                            OpKind::Tpq => target.tpq(op.t, &op.point, op.horizon, &mut ctx),
+                            OpKind::Append => unreachable!("appends ride the writer lane"),
+                        };
+                        let done = start.elapsed();
+                        let latency = done.as_nanos().saturating_sub(op.at_nanos as u128) as u64;
+                        let service = (done - issued).as_nanos();
+                        match op.kind {
+                            OpKind::Strq => {
+                                acc.strq.record(latency);
+                                acc.strq_service += service;
+                            }
+                            _ => {
+                                acc.tpq.record(latency);
+                                acc.tpq_service += service;
+                            }
+                        }
+                        acc.checksum = acc.checksum.wrapping_mul(31).wrapping_add(n as u64);
+                    }
+                    acc
+                })
+            })
+            .collect();
+
+        // Writer lane: the calling thread plays every append on schedule.
+        for op in &appends {
+            wait_until(start, op.at_nanos);
+            let issued = start.elapsed();
+            on_append();
+            let done = start.elapsed();
+            append_hist.record(done.as_nanos().saturating_sub(op.at_nanos as u128) as u64);
+            append_service += (done - issued).as_nanos();
+        }
+
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reader worker panicked"))
+            .collect()
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    let mut strq_hist = LatencyHistogram::new();
+    let mut tpq_hist = LatencyHistogram::new();
+    let mut strq_service = 0u128;
+    let mut tpq_service = 0u128;
+    let mut checksum = 0u64;
+    for acc in &accums {
+        strq_hist.merge(&acc.strq);
+        tpq_hist.merge(&acc.tpq);
+        strq_service += acc.strq_service;
+        tpq_service += acc.tpq_service;
+        checksum ^= acc.checksum;
+    }
+
+    let total_ops = strq_hist.count() + tpq_hist.count() + append_hist.count();
+    LoadReport {
+        wall_seconds,
+        offered_ops_per_sec: schedule.offered_rate(),
+        achieved_ops_per_sec: total_ops as f64 / wall_seconds.max(1e-9),
+        strq: ClassStats::from_parts(&strq_hist, strq_service),
+        tpq: ClassStats::from_parts(&tpq_hist, tpq_service),
+        append: ClassStats::from_parts(&append_hist, append_service),
+        answer_checksum: checksum,
+    }
+}
+
+/// Measure saturation throughput: every reader re-issues the schedule's
+/// query ops back to back (closed-loop, zero think time) for
+/// `ops_per_reader` operations; the aggregate completion rate is the
+/// ceiling the open-loop run should be compared against. Appends are
+/// excluded — ingest capacity is a single-lane number reported by the
+/// open-loop run's append service time.
+pub fn saturation_throughput<T: QueryTarget>(
+    target: &T,
+    schedule: &Schedule,
+    readers: usize,
+    ops_per_reader: usize,
+) -> f64 {
+    assert!(readers >= 1 && ops_per_reader > 0);
+    let queries: Vec<&Op> = schedule
+        .ops
+        .iter()
+        .filter(|o| o.kind != OpKind::Append)
+        .collect();
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for r in 0..readers {
+            let queries = &queries;
+            scope.spawn(move || {
+                let mut ctx = T::Ctx::default();
+                let mut sink = 0usize;
+                for k in 0..ops_per_reader {
+                    let op = queries[(r + k * readers) % queries.len()];
+                    sink = sink.wrapping_add(match op.kind {
+                        OpKind::Strq => target.strq(op.t, &op.point, &mut ctx),
+                        OpKind::Tpq => target.tpq(op.t, &op.point, op.horizon, &mut ctx),
+                        OpKind::Append => unreachable!(),
+                    });
+                }
+                std::hint::black_box(sink);
+            });
+        }
+    });
+    (readers * ops_per_reader) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}

@@ -1,0 +1,41 @@
+//! Open-loop load generation for the PPQ trajectory repository.
+//!
+//! The offline benches (`ppq-bench/benches/*`) measure *service time*:
+//! they issue one query, wait for it, issue the next. That closed-loop
+//! shape silently coordinates with the system under test — when a query
+//! stalls, the generator stops offering load, so the stall is counted
+//! once instead of once per request that *would* have arrived. Median
+//! numbers survive; tail latencies are fiction.
+//!
+//! This crate measures the production question instead: *requests arrive
+//! whether or not the last one finished*. It provides
+//!
+//! * [`schedule::Schedule`] — a fully precomputed, seeded arrival plan
+//!   for a mixed STRQ/TPQ/append workload: Poisson arrivals at a target
+//!   rate, trajectory popularity skewed by a [`zipf::Zipf`] law, spatial
+//!   skew from a [`spatial::HotspotSampler`]. Generation is
+//!   single-threaded from one seeded RNG, so a `(dataset, config)` pair
+//!   yields byte-identical schedules on any machine at any
+//!   `RAYON_NUM_THREADS` ([`schedule::Schedule::to_bytes`] is the
+//!   comparison form).
+//! * [`driver`] — an open-loop executor: reader workers dequeue their
+//!   pre-assigned queries and block until each op's *scheduled* arrival,
+//!   appends ride a dedicated writer lane (slice order is an ingest
+//!   invariant), and every latency is recorded from scheduled arrival to
+//!   completion — the coordinated-omission-safe convention — into
+//!   [`ppq_bench::report::LatencyHistogram`]s.
+//! * [`targets`] — [`driver::QueryTarget`] adapters for the in-memory
+//!   [`ppq_core::query::ShardedQueryEngine`], the disk-resident
+//!   [`ppq_repo::DiskQueryEngine`], and the ingest-and-serve
+//!   [`ppq_live::LiveService`].
+
+pub mod driver;
+pub mod schedule;
+pub mod spatial;
+pub mod targets;
+pub mod zipf;
+
+pub use driver::{run_open_loop, saturation_throughput, ClassStats, LoadReport, QueryTarget};
+pub use schedule::{MixConfig, Op, OpKind, Schedule, ScheduleConfig};
+pub use spatial::HotspotSampler;
+pub use zipf::Zipf;

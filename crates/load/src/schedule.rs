@@ -1,0 +1,358 @@
+//! Deterministic open-loop arrival schedules.
+//!
+//! The whole workload — arrival instants, op kinds, query anchors — is
+//! precomputed before the first request fires. That is what makes the
+//! harness *open-loop*: the plan cannot react to (coordinate with) the
+//! system under test. It is also what makes runs reproducible: the plan
+//! is a pure function of `(dataset, ScheduleConfig)`, generated
+//! single-threaded from one seeded [`StdRng`], so two runs on any
+//! machines at any `RAYON_NUM_THREADS` produce byte-identical plans
+//! ([`Schedule::to_bytes`] is the canonical comparison form, and the
+//! `schedule_deterministic` flag in `BENCH_ppq.json` gates on it).
+//!
+//! Arrivals are Poisson at `rate_per_sec` (exponential inter-arrival
+//! times via inverse CDF). Query anchors are skewed two ways, matching
+//! how production traffic misbehaves:
+//!
+//! * **popularity skew** — the anchor trajectory is drawn rank-first
+//!   from a [`Zipf`] law, with ranks mapped to trajectory ids through a
+//!   seeded shuffle (so "hot" ids are arbitrary, not the lowest ids);
+//! * **spatial skew** — with probability `hot_frac` the anchor position
+//!   is redrawn from a [`HotspotSampler`] hot cell (seeded with the hot
+//!   trajectories' own points, so hotspots overlap real data).
+
+use crate::spatial::HotspotSampler;
+use crate::zipf::Zipf;
+use ppq_geo::Point;
+use ppq_traj::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scheduled operation kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Spatio-temporal range query at `(t, point)`.
+    Strq,
+    /// Trajectory prediction query at `(t, point)` over `horizon`.
+    Tpq,
+    /// Ingest the next pending time slice (payload is positional: the
+    /// driver's writer lane feeds slices in stream order, which is the
+    /// ingest contract — an append op says *when*, never *what*).
+    Append,
+}
+
+impl OpKind {
+    fn tag(self) -> u8 {
+        match self {
+            OpKind::Strq => 0,
+            OpKind::Tpq => 1,
+            OpKind::Append => 2,
+        }
+    }
+}
+
+/// One scheduled operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Op {
+    /// Scheduled arrival, nanoseconds from run start. Latency is
+    /// measured from this instant — not from when a worker got around to
+    /// issuing the request — which is the coordinated-omission-safe
+    /// convention.
+    pub at_nanos: u64,
+    pub kind: OpKind,
+    /// Query timestep (unused for appends).
+    pub t: u32,
+    /// Query anchor position (unused for appends).
+    pub point: Point,
+    /// TPQ horizon (zero for other kinds).
+    pub horizon: u32,
+}
+
+/// Workload mix as relative weights (normalized internally).
+#[derive(Clone, Copy, Debug)]
+pub struct MixConfig {
+    pub strq: f64,
+    pub tpq: f64,
+    pub append: f64,
+}
+
+impl MixConfig {
+    /// Read-only mix: no appends.
+    pub fn read_only(strq: f64, tpq: f64) -> MixConfig {
+        MixConfig {
+            strq,
+            tpq,
+            append: 0.0,
+        }
+    }
+}
+
+/// Everything that determines a [`Schedule`].
+#[derive(Clone, Debug)]
+pub struct ScheduleConfig {
+    pub seed: u64,
+    /// Target offered rate, operations per second.
+    pub rate_per_sec: f64,
+    /// Total operations to schedule.
+    pub ops: usize,
+    pub mix: MixConfig,
+    /// Zipf exponent for trajectory popularity (0 = uniform).
+    pub zipf_s: f64,
+    /// Fraction of queries redirected into hot cells.
+    pub hot_frac: f64,
+    /// Number of hot cells.
+    pub hot_cells: usize,
+    /// Hotspot grid resolution (cells per side).
+    pub grid_cells: u32,
+    pub tpq_horizon: u32,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> ScheduleConfig {
+        ScheduleConfig {
+            seed: 0x10AD,
+            rate_per_sec: 2000.0,
+            ops: 10_000,
+            mix: MixConfig {
+                strq: 0.6,
+                tpq: 0.3,
+                append: 0.1,
+            },
+            zipf_s: 1.0,
+            hot_frac: 0.3,
+            hot_cells: 8,
+            grid_cells: 32,
+            tpq_horizon: 10,
+        }
+    }
+}
+
+/// A precomputed open-loop arrival plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Schedule {
+    /// Ops in arrival order (`at_nanos` non-decreasing).
+    pub ops: Vec<Op>,
+}
+
+impl Schedule {
+    /// Generate the plan. Single-threaded by construction; see the
+    /// module docs for the determinism contract.
+    pub fn generate(dataset: &Dataset, cfg: &ScheduleConfig) -> Schedule {
+        assert!(cfg.ops > 0, "empty schedule");
+        assert!(
+            cfg.rate_per_sec > 0.0 && cfg.rate_per_sec.is_finite(),
+            "rate must be positive and finite"
+        );
+        let trajs = dataset.trajectories();
+        assert!(!trajs.is_empty(), "cannot schedule over an empty dataset");
+        let weight = cfg.mix.strq + cfg.mix.tpq + cfg.mix.append;
+        assert!(weight > 0.0, "degenerate workload mix");
+        let (w_strq, w_tpq) = (cfg.mix.strq / weight, cfg.mix.tpq / weight);
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let zipf = Zipf::new(trajs.len(), cfg.zipf_s);
+        // Rank -> trajectory id through a seeded Fisher-Yates shuffle.
+        let mut rank_to_id: Vec<u32> = (0..trajs.len() as u32).collect();
+        for i in (1..rank_to_id.len()).rev() {
+            rank_to_id.swap(i, rng.gen_range(0..i + 1));
+        }
+        // Hot cells seeded with the hottest trajectories' first points,
+        // so spatial hotspots sit on real data.
+        let bbox = dataset.bbox().expect("non-empty dataset has an extent");
+        let seeds: Vec<Point> = rank_to_id
+            .iter()
+            .take(cfg.hot_cells.max(1) * 4)
+            .map(|&id| trajs[id as usize].points[0])
+            .collect();
+        let hotspot = HotspotSampler::from_seeds(
+            &bbox,
+            cfg.grid_cells,
+            &seeds,
+            cfg.hot_cells.max(1),
+            cfg.hot_frac,
+        );
+
+        let mut ops = Vec::with_capacity(cfg.ops);
+        let mut clock_secs = 0.0f64;
+        for _ in 0..cfg.ops {
+            // Exponential inter-arrival: Poisson process at the target rate.
+            let u: f64 = rng.gen_range(0.0..1.0);
+            clock_secs += -(1.0 - u).ln() / cfg.rate_per_sec;
+            let at_nanos = (clock_secs * 1e9).round() as u64;
+
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            let kind = if roll < w_strq {
+                OpKind::Strq
+            } else if roll < w_strq + w_tpq {
+                OpKind::Tpq
+            } else {
+                OpKind::Append
+            };
+            if kind == OpKind::Append {
+                ops.push(Op {
+                    at_nanos,
+                    kind,
+                    t: 0,
+                    point: Point::new(0.0, 0.0),
+                    horizon: 0,
+                });
+                continue;
+            }
+            let traj = &trajs[rank_to_id[zipf.sample(&mut rng)] as usize];
+            let off = rng.gen_range(0..traj.len());
+            let t = traj.start + off as u32;
+            let point = if cfg.hot_frac > 0.0 && rng.gen_bool(cfg.hot_frac) {
+                hotspot.sample(&mut rng)
+            } else {
+                traj.points[off]
+            };
+            ops.push(Op {
+                at_nanos,
+                kind,
+                t,
+                point,
+                horizon: if kind == OpKind::Tpq {
+                    cfg.tpq_horizon
+                } else {
+                    0
+                },
+            });
+        }
+        Schedule { ops }
+    }
+
+    /// Scheduled span in seconds (arrival of the last op).
+    pub fn duration_secs(&self) -> f64 {
+        self.ops.last().map_or(0.0, |o| o.at_nanos as f64 / 1e9)
+    }
+
+    /// Offered rate implied by the realized arrivals.
+    pub fn offered_rate(&self) -> f64 {
+        let d = self.duration_secs();
+        if d > 0.0 {
+            self.ops.len() as f64 / d
+        } else {
+            0.0
+        }
+    }
+
+    /// Ops of a given kind.
+    pub fn count(&self, kind: OpKind) -> usize {
+        self.ops.iter().filter(|o| o.kind == kind).count()
+    }
+
+    /// Canonical byte serialization — the form the determinism contract
+    /// is stated over. Little-endian fields, `f64` as IEEE bits, so
+    /// "byte-identical" means *bit*-identical anchors and instants.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.ops.len() * 29);
+        out.extend_from_slice(&(self.ops.len() as u64).to_le_bytes());
+        for op in &self.ops {
+            out.extend_from_slice(&op.at_nanos.to_le_bytes());
+            out.push(op.kind.tag());
+            out.extend_from_slice(&op.t.to_le_bytes());
+            out.extend_from_slice(&op.point.x.to_bits().to_le_bytes());
+            out.extend_from_slice(&op.point.y.to_bits().to_le_bytes());
+            out.extend_from_slice(&op.horizon.to_le_bytes());
+        }
+        out
+    }
+
+    /// FNV-1a digest of [`Schedule::to_bytes`] — a compact fingerprint
+    /// for cross-process comparison in bench reports.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in self.to_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppq_traj::synth::{porto_like, PortoConfig};
+
+    fn data() -> Dataset {
+        porto_like(&PortoConfig {
+            trajectories: 40,
+            mean_len: 45,
+            min_len: 30,
+            start_spread: 10,
+            seed: 0xDA7A,
+        })
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_rate_is_close() {
+        let d = data();
+        let cfg = ScheduleConfig {
+            ops: 5000,
+            rate_per_sec: 10_000.0,
+            ..ScheduleConfig::default()
+        };
+        let s = Schedule::generate(&d, &cfg);
+        assert_eq!(s.ops.len(), 5000);
+        assert!(s.ops.windows(2).all(|w| w[0].at_nanos <= w[1].at_nanos));
+        let rate = s.offered_rate();
+        assert!(
+            (rate - 10_000.0).abs() / 10_000.0 < 0.1,
+            "offered rate {rate} too far from target"
+        );
+    }
+
+    #[test]
+    fn mix_fractions_are_respected() {
+        let d = data();
+        let cfg = ScheduleConfig {
+            ops: 20_000,
+            ..ScheduleConfig::default()
+        };
+        let s = Schedule::generate(&d, &cfg);
+        let strq = s.count(OpKind::Strq) as f64 / s.ops.len() as f64;
+        let tpq = s.count(OpKind::Tpq) as f64 / s.ops.len() as f64;
+        let append = s.count(OpKind::Append) as f64 / s.ops.len() as f64;
+        assert!((strq - 0.6).abs() < 0.02, "strq {strq}");
+        assert!((tpq - 0.3).abs() < 0.02, "tpq {tpq}");
+        assert!((append - 0.1).abs() < 0.02, "append {append}");
+    }
+
+    #[test]
+    fn tpq_ops_carry_the_horizon() {
+        let d = data();
+        let s = Schedule::generate(&d, &ScheduleConfig::default());
+        for op in &s.ops {
+            match op.kind {
+                OpKind::Tpq => assert_eq!(op.horizon, 10),
+                _ => assert_eq!(op.horizon, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn query_times_fall_inside_the_dataset() {
+        let d = data();
+        let s = Schedule::generate(&d, &ScheduleConfig::default());
+        for op in &s.ops {
+            if op.kind != OpKind::Append {
+                assert!(op.t >= d.min_t() && op.t <= d.max_t());
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = data();
+        let a = Schedule::generate(&d, &ScheduleConfig::default());
+        let b = Schedule::generate(
+            &d,
+            &ScheduleConfig {
+                seed: 0x10AD + 1,
+                ..ScheduleConfig::default()
+            },
+        );
+        assert_ne!(a.to_bytes(), b.to_bytes());
+    }
+}

@@ -1,0 +1,73 @@
+//! Satellite: the open-loop schedule is byte-identical across runs for
+//! a fixed seed, at any `RAYON_NUM_THREADS`. Generation is
+//! single-threaded by construction; these tests pin that contract so a
+//! future "parallelize schedule generation" change cannot silently
+//! break reproducibility.
+
+use ppq_load::{MixConfig, Schedule, ScheduleConfig};
+use ppq_traj::synth::{porto_like, PortoConfig};
+use ppq_traj::Dataset;
+
+fn data() -> Dataset {
+    porto_like(&PortoConfig {
+        trajectories: 60,
+        mean_len: 50,
+        min_len: 30,
+        start_spread: 12,
+        seed: 0x5EED,
+    })
+}
+
+fn cfg() -> ScheduleConfig {
+    ScheduleConfig {
+        seed: 0xFEED_BEEF,
+        rate_per_sec: 5000.0,
+        ops: 4000,
+        mix: MixConfig {
+            strq: 0.5,
+            tpq: 0.3,
+            append: 0.2,
+        },
+        zipf_s: 1.1,
+        hot_frac: 0.25,
+        hot_cells: 6,
+        grid_cells: 24,
+        tpq_horizon: 8,
+    }
+}
+
+#[test]
+fn byte_identical_across_repeated_runs() {
+    let d = data();
+    let a = Schedule::generate(&d, &cfg()).to_bytes();
+    let b = Schedule::generate(&d, &cfg()).to_bytes();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn byte_identical_at_any_thread_count() {
+    let d = data();
+    // Force both extremes of the worker pool regardless of the ambient
+    // RAYON_NUM_THREADS this test process runs under.
+    let one = rayon::with_thread_count(1, || Schedule::generate(&d, &cfg()).to_bytes());
+    let four = rayon::with_thread_count(4, || Schedule::generate(&d, &cfg()).to_bytes());
+    assert_eq!(one, four, "schedule depends on the rayon thread count");
+}
+
+/// Cross-process pin: the fingerprint of the canonical `(dataset, cfg)`
+/// pair. If schedule generation (or the RNG behind it) changes, this
+/// golden must be updated *deliberately* — that is the point: seeded
+/// schedules are stable artifacts, comparable across machines and CI
+/// runs, not just within one process.
+#[test]
+fn fingerprint_matches_golden() {
+    let d = data();
+    let s = Schedule::generate(&d, &cfg());
+    let fp = s.fingerprint();
+    assert_eq!(
+        fp, GOLDEN_FINGERPRINT,
+        "schedule fingerprint drifted: got {fp:#018x}"
+    );
+}
+
+const GOLDEN_FINGERPRINT: u64 = 0x04c9_ac92_52a1_8ca3;

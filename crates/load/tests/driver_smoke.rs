@@ -1,0 +1,114 @@
+//! End-to-end driver runs, small: the open-loop executor against the
+//! in-memory engine (read-only mix) and against a live ingest-and-serve
+//! service (mixed with appends). These assert the accounting contract —
+//! every scheduled op completes and lands in exactly one class
+//! histogram — not performance numbers.
+
+use ppq_core::query::ShardedQueryEngine;
+use ppq_core::{PpqConfig, ShardedSummary, Variant};
+use ppq_live::{LiveConfig, LiveService};
+use ppq_load::{run_open_loop, saturation_throughput, MixConfig, OpKind, Schedule, ScheduleConfig};
+use ppq_traj::synth::{porto_like, PortoConfig};
+use ppq_traj::Dataset;
+use std::sync::Arc;
+
+fn data() -> Dataset {
+    porto_like(&PortoConfig {
+        trajectories: 30,
+        mean_len: 40,
+        min_len: 30,
+        start_spread: 8,
+        seed: 0xD21,
+    })
+}
+
+#[test]
+fn open_loop_read_only_accounts_every_op() {
+    let d = data();
+    let ppq = PpqConfig::variant(Variant::PpqS, 0.1);
+    let gc = ppq.tpi.pi.gc;
+    let summary = ShardedSummary::build(&d, &ppq, 2);
+    let engine = ShardedQueryEngine::new(&summary, &d, gc);
+
+    let cfg = ScheduleConfig {
+        seed: 0xABC,
+        rate_per_sec: 20_000.0,
+        ops: 600,
+        mix: MixConfig::read_only(0.7, 0.3),
+        ..ScheduleConfig::default()
+    };
+    let schedule = Schedule::generate(&d, &cfg);
+    assert_eq!(schedule.count(OpKind::Append), 0);
+
+    let report = run_open_loop(&engine, &schedule, 2, || {
+        panic!("read-only schedule must not append")
+    });
+    assert_eq!(
+        report.strq.ops + report.tpq.ops,
+        schedule.ops.len() as u64,
+        "every scheduled op must be accounted"
+    );
+    assert_eq!(report.strq.ops, schedule.count(OpKind::Strq) as u64);
+    assert_eq!(report.append.ops, 0);
+    let strq = report.strq.latency.expect("strq ran");
+    assert!(strq.p50_us <= strq.p99_us && strq.p99_us <= strq.max_us);
+    assert!(report.achieved_ops_per_sec > 0.0);
+    assert!(report.wall_seconds >= schedule.duration_secs() * 0.5);
+
+    let sat = saturation_throughput(&engine, &schedule, 2, 200);
+    assert!(sat > 0.0);
+}
+
+#[test]
+fn open_loop_live_mixed_ingests_and_serves() {
+    let d = data();
+    let ppq = PpqConfig::variant(Variant::PpqS, 0.1);
+    let mut live_cfg = LiveConfig::new(ppq, 2);
+    live_cfg.page_size = 4 << 10;
+    live_cfg.fold_every = 8;
+    live_cfg.compact_max_chain = 3;
+
+    let dir = std::env::temp_dir().join(format!("ppq-load-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let arc = Arc::new(d);
+    let service = LiveService::open(&dir, live_cfg, arc.clone(), 4).expect("open live service");
+    let slices: Vec<(u32, Vec<_>)> = arc
+        .time_slices()
+        .map(|s| (s.t, s.points.to_vec()))
+        .collect();
+
+    let cfg = ScheduleConfig {
+        seed: 0xDEF,
+        rate_per_sec: 20_000.0,
+        ops: 400,
+        mix: MixConfig {
+            strq: 0.5,
+            tpq: 0.25,
+            append: 0.25,
+        },
+        ..ScheduleConfig::default()
+    };
+    let schedule = Schedule::generate(&arc, &cfg);
+    let scheduled_appends = schedule.count(OpKind::Append);
+    assert!(scheduled_appends > 0, "mixed schedule needs appends");
+
+    let mut next = 0usize;
+    let report = run_open_loop(&service, &schedule, 2, || {
+        if next < slices.len() {
+            let (t, points) = &slices[next];
+            service.push_slice(*t, points).expect("in-order append");
+            next += 1;
+        }
+    });
+    assert_eq!(report.append.ops, scheduled_appends as u64);
+    assert_eq!(
+        report.strq.ops + report.tpq.ops + report.append.ops,
+        schedule.ops.len() as u64
+    );
+    assert!(report.append.latency.is_some());
+    // Appends were published, so late queries can see ingested slices.
+    assert!(service.published().version > 0);
+
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+}

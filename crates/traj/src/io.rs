@@ -5,6 +5,8 @@
 //! they are available; the loader tolerates unsorted rows and gaps are
 //! rejected (the pipeline assumes per-trajectory regular sampling).
 
+pub mod real;
+
 use crate::dataset::Dataset;
 use crate::trajectory::Trajectory;
 use ppq_geo::Point;
