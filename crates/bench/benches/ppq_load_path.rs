@@ -184,12 +184,10 @@ fn main() {
             next_slice += 1;
         }
     });
-    service.with_repo(|live| {
-        assert!(
-            live.last_maintenance_error().is_none(),
-            "maintenance must not fail in a fault-free bench run"
-        );
-    });
+    assert!(
+        service.status().last_maintenance_error.is_none(),
+        "maintenance must not fail in a fault-free bench run"
+    );
     service.publish();
     let live_saturation = saturation_throughput(
         &service,

@@ -44,6 +44,6 @@ pub mod summary_io;
 
 pub use config::{BuildBudget, ColdStart, PartitionMode, PpqConfig, Variant};
 pub use pipeline::{PpqStream, PpqTrajectory};
-pub use query::{QueryEngine, QueryWorkspace, ShardedQueryEngine, StrqOutcome};
+pub use query::{QueryEngine, QueryTarget, QueryWorkspace, ShardedQueryEngine, StrqOutcome};
 pub use shard::{ReshardError, ShardRouter, ShardedPpqStream, ShardedSummary};
 pub use summary::{BuildStats, CodebookStore, PpqSummary, SummaryBreakdown};

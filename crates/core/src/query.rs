@@ -74,6 +74,26 @@ impl ReconIndex for PpqSummary {
     }
 }
 
+/// The single query-backend abstraction: anything that can answer the
+/// two production query classes, whatever sits underneath — the
+/// in-memory [`ShardedQueryEngine`], the disk-resident engine in
+/// `ppq-repo`, the serve-during-ingest `LiveService` in `ppq-live`, or a
+/// remote server reached over TCP (`ppq-server`'s `RemoteClient`). The
+/// load harness (`ppq_load::run_open_loop`), the server's request
+/// handler, and the benches all drive backends through this one trait.
+///
+/// One `Ctx` lives per worker thread, so engines can expose their
+/// reusable workspaces (and network clients their per-thread
+/// connections) without interior mutability on the shared handle.
+pub trait QueryTarget: Sync {
+    type Ctx: Default + Send;
+    /// Production STRQ; returns the exact-answer cardinality (consumed
+    /// so the call cannot be optimized away).
+    fn strq(&self, t: u32, p: &Point, ctx: &mut Self::Ctx) -> usize;
+    /// TPQ over `horizon`; returns the number of matched trajectories.
+    fn tpq(&self, t: u32, p: &Point, horizon: u32, ctx: &mut Self::Ctx) -> usize;
+}
+
 /// Result of one STRQ at all three answer levels.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StrqOutcome {
@@ -622,6 +642,20 @@ impl<'a> ShardedQueryEngine<'a> {
         l: u32,
     ) -> Vec<Vec<(TrajId, Vec<(u32, Point)>)>> {
         batch_chunked(queries, |t, p, ws| self.tpq_with(t, p, l, ws))
+    }
+}
+
+/// The in-memory sharded engine drives [`QueryTarget`] through its
+/// production forms (no ground-truth scan).
+impl QueryTarget for ShardedQueryEngine<'_> {
+    type Ctx = ShardedQueryWorkspace;
+
+    fn strq(&self, t: u32, p: &Point, ctx: &mut Self::Ctx) -> usize {
+        self.strq_online_with(t, p, ctx).exact.len()
+    }
+
+    fn tpq(&self, t: u32, p: &Point, horizon: u32, ctx: &mut Self::Ctx) -> usize {
+        self.tpq_with(t, p, horizon, ctx).len()
     }
 }
 

@@ -36,11 +36,16 @@
 //! writer lane feeds the repo while readers answer STRQ/TPQ against
 //! immutable published snapshots, versioned by the stream's `next_t` so
 //! every answer is provably a function of an acknowledged slice prefix.
+//! [`worker::MaintenanceWorker`] moves fold/compaction/WAL-sync off the
+//! ingest path onto a dedicated background thread with graceful
+//! drain-on-shutdown — the deployment shape `ppq-server` runs.
 
 pub mod live;
 pub mod service;
 pub mod wal;
+pub mod worker;
 
-pub use live::{LiveConfig, LiveError, LiveRepo, CKPT_NAME};
-pub use service::{LiveService, Published};
+pub use live::{LiveConfig, LiveError, LiveRepo, MaintenanceOutcome, CKPT_NAME};
+pub use service::{LiveService, Published, ServiceStatus};
 pub use wal::{Wal, WalError, WalRecord, WAL_NAME};
+pub use worker::{MaintenanceConfig, MaintenanceWorker, WorkerStats};

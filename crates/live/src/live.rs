@@ -164,6 +164,26 @@ pub struct LiveRepo {
     /// Consecutive maintenance failures (fold or compaction).
     failures: u32,
     last_error: Option<LiveError>,
+    /// Whether `push_slice` runs due maintenance itself (the default) or
+    /// leaves the cadence to an external owner — the background
+    /// [`crate::worker::MaintenanceWorker`] flips this off so fold,
+    /// compaction, and WAL syncs leave the ingest path.
+    inline_maintenance: bool,
+}
+
+/// What one [`LiveRepo::maintain_if_due`] pass actually did — the
+/// background worker folds these into its counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaintenanceOutcome {
+    /// The cadence (with backoff) said maintenance was due.
+    pub attempted: bool,
+    /// A fold with real work (unfolded slices) committed.
+    pub folded: bool,
+    /// The chain was compacted after the fold.
+    pub compacted: bool,
+    /// The pass failed (recorded in [`LiveRepo::last_maintenance_error`],
+    /// backoff widened); ingest is unaffected.
+    pub failed: bool,
 }
 
 impl LiveRepo {
@@ -220,6 +240,7 @@ impl LiveRepo {
             steps_since_fold: replayed,
             failures: 0,
             last_error: None,
+            inline_maintenance: true,
         })
     }
 
@@ -339,18 +360,45 @@ impl LiveRepo {
         self.wal.pending()
     }
 
+    /// Whether `push_slice` runs due maintenance inline. `true` unless a
+    /// background maintenance worker has taken ownership of the cadence.
+    #[inline]
+    pub fn inline_maintenance(&self) -> bool {
+        self.inline_maintenance
+    }
+
+    pub(crate) fn set_inline_maintenance(&mut self, on: bool) {
+        self.inline_maintenance = on;
+    }
+
     fn maintain(&mut self) {
+        if self.inline_maintenance {
+            self.maintain_if_due();
+        }
+    }
+
+    /// Run fold + auto-compaction if the cadence (with failure backoff)
+    /// says it is due. This is the single maintenance entry point, shared
+    /// by the inline path (`push_slice` when no worker owns maintenance)
+    /// and the background [`crate::worker::MaintenanceWorker`]'s tick.
+    /// Failures are absorbed into the backoff state, never propagated —
+    /// the WAL keeps covering everything the chain is missing.
+    pub fn maintain_if_due(&mut self) -> MaintenanceOutcome {
+        let mut out = MaintenanceOutcome::default();
         if self.cfg.fold_every == 0 {
-            return;
+            return out;
         }
         let shift = self.failures.min(self.cfg.max_backoff_shift).min(63);
         let due = self.cfg.fold_every.saturating_mul(1u64 << shift);
         if self.steps_since_fold < due {
-            return;
+            return out;
         }
-        let result = self.fold().and_then(|()| self.maybe_compact().map(|_| ()));
-        match result {
-            Ok(()) => {
+        out.attempted = true;
+        let had_work = self.steps_since_fold > 0;
+        match self.fold().and_then(|()| self.maybe_compact()) {
+            Ok(compacted) => {
+                out.folded = had_work;
+                out.compacted = compacted;
                 self.failures = 0;
                 self.last_error = None;
             }
@@ -358,11 +406,13 @@ impl LiveRepo {
                 // Degrade gracefully: remember, back off, keep ingesting.
                 // The appender cache may reference a half-written chain;
                 // rebuild it from the committed manifest next time.
+                out.failed = true;
                 self.failures = self.failures.saturating_add(1);
                 self.last_error = Some(e);
                 self.appender = Appender::with_page_size(&self.dir, self.cfg.page_size);
             }
         }
+        out
     }
 
     fn committed_manifest(&self) -> Result<Manifest, LiveError> {

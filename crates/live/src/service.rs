@@ -20,13 +20,30 @@
 //! into a fresh `ShardedPpqStream` must reproduce the served answers bit
 //! for bit (`tests/concurrent_consistency.rs` does exactly this while
 //! ingest, folding, and compaction run).
+//!
+//! ## Maintenance ownership
+//!
+//! By default the service inherits [`LiveRepo`]'s inline behavior: every
+//! `push_slice` runs due maintenance (fold, compaction) on the calling
+//! thread. Attaching a [`crate::worker::MaintenanceWorker`]
+//! ([`LiveService::start_maintenance`]) transfers that ownership to a
+//! dedicated background thread: ingest then only appends to the WAL and
+//! the in-memory pipeline, and **exactly one** agent — the worker —
+//! drives fold/sync/compaction. To make that contract unforgeable, the
+//! direct maintenance methods (`fold`, `sync`, `with_repo`) are not part
+//! of the public serving surface; they exist only for tests behind the
+//! `test-internals` feature. Production callers observe maintenance
+//! through [`LiveService::status`] and the worker's
+//! [`crate::worker::WorkerStats`].
 
+use crate::live::MaintenanceOutcome;
 use crate::{LiveConfig, LiveError, LiveRepo};
-use ppq_core::query::{ShardedQueryEngine, ShardedQueryWorkspace, StrqOutcome};
+use ppq_core::query::{QueryTarget, ShardedQueryEngine, ShardedQueryWorkspace, StrqOutcome};
 use ppq_core::ShardedSummary;
 use ppq_geo::{BBox, GridSpec, Point};
 use ppq_traj::{Dataset, TrajId};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// An immutable, versioned view of everything ingested before `version`.
@@ -43,6 +60,37 @@ struct Writer {
     since_publish: u64,
 }
 
+/// A point-in-time health/progress report of the service — the public
+/// observation surface now that maintenance internals are owned by the
+/// background worker (feeds the server's `Stats` response and the bench
+/// reports).
+#[derive(Clone, Debug)]
+pub struct ServiceStatus {
+    /// The timestep the stream expects next (`None` before any slice).
+    pub next_t: Option<u32>,
+    /// Version of the currently published snapshot.
+    pub published_version: u32,
+    /// WAL records appended but not yet fsynced.
+    pub wal_pending: usize,
+    /// Consecutive failed maintenance attempts (drives the backoff).
+    pub maintenance_failures: u32,
+    /// The last maintenance failure since the last success, rendered.
+    pub last_maintenance_error: Option<String>,
+    /// Whether `push_slice` still runs maintenance inline (no worker).
+    pub inline_maintenance: bool,
+    /// Whether a background maintenance worker owns the cadence.
+    pub worker_attached: bool,
+}
+
+/// What one background-worker tick did (see
+/// [`crate::worker::MaintenanceWorker`]).
+pub(crate) struct TickOutcome {
+    pub maintenance: MaintenanceOutcome,
+    pub synced: bool,
+    pub sync_error: Option<LiveError>,
+    pub published: Option<u32>,
+}
+
 /// Concurrent ingest-and-serve front end for a [`LiveRepo`].
 pub struct LiveService {
     writer: Mutex<Writer>,
@@ -54,6 +102,9 @@ pub struct LiveService {
     /// never move while the service is live.
     grid: GridSpec,
     publish_every: u64,
+    /// Set while a [`crate::worker::MaintenanceWorker`] owns the
+    /// fold/sync/compaction cadence (at most one at a time).
+    worker_attached: AtomicBool,
 }
 
 impl LiveService {
@@ -85,11 +136,13 @@ impl LiveService {
             dataset,
             grid,
             publish_every,
+            worker_attached: AtomicBool::new(false),
         })
     }
 
-    /// Ingest one slice (WAL + pipeline + due maintenance, exactly
-    /// [`LiveRepo::push_slice`]) and republish if the cadence is due.
+    /// Ingest one slice (WAL + pipeline + due maintenance unless a
+    /// background worker owns it, exactly [`LiveRepo::push_slice`]) and
+    /// republish if the cadence is due.
     pub fn push_slice(&self, t: u32, points: &[(TrajId, Point)]) -> Result<(), LiveError> {
         let mut w = self.writer.lock().expect("writer lock poisoned");
         w.live.push_slice(t, points)?;
@@ -101,19 +154,32 @@ impl LiveService {
     }
 
     /// Take and publish a snapshot of the current pipeline state.
-    /// Returns the new version.
+    /// Returns the (possibly unchanged) current version.
+    ///
+    /// No-op publishes are skipped: if no slice was acknowledged since
+    /// the last publish, the snapshot version (= the stream's `next_t`)
+    /// is unchanged, and — the pipeline being deterministic — the
+    /// snapshot would be identical too. The already-published `Arc` is
+    /// kept, so a periodic publish tick (the background worker's) does
+    /// not churn pointer swaps or clone the summary.
     pub fn publish(&self) -> u32 {
         let mut w = self.writer.lock().expect("writer lock poisoned");
         self.publish_locked(&mut w)
     }
 
     fn publish_locked(&self, w: &mut Writer) -> u32 {
+        let version = w.live.next_t().unwrap_or(0);
+        w.since_publish = 0;
+        {
+            let current = self.published.read().expect("publish lock poisoned");
+            if current.version == version {
+                return version;
+            }
+        }
         let snapshot = Arc::new(Published {
-            version: w.live.next_t().unwrap_or(0),
+            version,
             summary: w.live.snapshot(),
         });
-        w.since_publish = 0;
-        let version = snapshot.version;
         *self.published.write().expect("publish lock poisoned") = snapshot;
         version
     }
@@ -156,22 +222,22 @@ impl LiveService {
         (snap.version, answers)
     }
 
-    /// Force the WAL to stable storage.
-    pub fn sync(&self) -> Result<(), LiveError> {
-        self.writer
-            .lock()
-            .expect("writer lock poisoned")
-            .live
-            .sync()
-    }
-
-    /// Fold the WAL into the generation chain now.
-    pub fn fold(&self) -> Result<(), LiveError> {
-        self.writer
-            .lock()
-            .expect("writer lock poisoned")
-            .live
-            .fold()
+    /// Health/progress snapshot (briefly takes the writer lock).
+    pub fn status(&self) -> ServiceStatus {
+        let w = self.writer.lock().expect("writer lock poisoned");
+        ServiceStatus {
+            next_t: w.live.next_t(),
+            published_version: self
+                .published
+                .read()
+                .expect("publish lock poisoned")
+                .version,
+            wal_pending: w.live.wal_pending(),
+            maintenance_failures: w.live.maintenance_failures(),
+            last_maintenance_error: w.live.last_maintenance_error().map(|e| e.to_string()),
+            inline_maintenance: w.live.inline_maintenance(),
+            worker_attached: self.worker_attached.load(Ordering::Acquire),
+        }
     }
 
     /// The canonical query grid (fixed for the service's lifetime).
@@ -185,13 +251,121 @@ impl LiveService {
     }
 
     /// Tear down the service and hand back the underlying [`LiveRepo`].
+    /// Unreachable while a worker (or any other clone of the owning
+    /// `Arc`) is alive, so it cannot race background maintenance.
     pub fn into_inner(self) -> LiveRepo {
         self.writer.into_inner().expect("writer lock poisoned").live
     }
 
-    /// Run `f` with the underlying repo under the writer lock (tests and
-    /// maintenance hooks; queries must not use this).
+    // --- Worker hooks (crate-internal; `worker.rs` is the one caller) ---
+
+    /// Claim maintenance ownership: flips the repo to worker-driven
+    /// maintenance. Returns `false` if another worker already owns it.
+    pub(crate) fn attach_worker(&self) -> bool {
+        if self.worker_attached.swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        self.writer
+            .lock()
+            .expect("writer lock poisoned")
+            .live
+            .set_inline_maintenance(false);
+        true
+    }
+
+    /// Release maintenance ownership (worker shutdown/drop): inline
+    /// maintenance resumes so an un-workered service never silently
+    /// stops folding.
+    pub(crate) fn detach_worker(&self) {
+        self.writer
+            .lock()
+            .expect("writer lock poisoned")
+            .live
+            .set_inline_maintenance(true);
+        self.worker_attached.store(false, Ordering::Release);
+    }
+
+    /// One background-maintenance tick: run due fold/compaction, flush
+    /// the WAL group-commit remainder, then republish (a no-op unless a
+    /// slice arrived). The writer lock is held only for the repo work —
+    /// never across the publish `RwLock` swap's readers.
+    pub(crate) fn worker_tick(&self, sync_wal: bool, publish: bool) -> TickOutcome {
+        let (maintenance, synced, sync_error) = {
+            let mut w = self.writer.lock().expect("writer lock poisoned");
+            let maintenance = w.live.maintain_if_due();
+            let (synced, sync_error) = if sync_wal && w.live.wal_pending() > 0 {
+                match w.live.sync() {
+                    Ok(()) => (true, None),
+                    Err(e) => (false, Some(e)),
+                }
+            } else {
+                (false, None)
+            };
+            (maintenance, synced, sync_error)
+        };
+        let published = if publish { Some(self.publish()) } else { None };
+        TickOutcome {
+            maintenance,
+            synced,
+            sync_error,
+            published,
+        }
+    }
+
+    /// Final drain for graceful shutdown: fsync the WAL and fold
+    /// everything outstanding into the chain (fold = sync → generation
+    /// commit → checkpoint → WAL truncate), so recovery starts from a
+    /// checkpoint covering every acknowledged slice.
+    pub(crate) fn final_drain(&self) -> Result<(), LiveError> {
+        let mut w = self.writer.lock().expect("writer lock poisoned");
+        w.live.fold()
+    }
+
+    // --- Test-only escape hatches -----------------------------------------
+    //
+    // Gated so production callers cannot race the maintenance worker:
+    // the worker is the only agent that folds/syncs once attached.
+
+    /// Force the WAL to stable storage. Test-only: the maintenance
+    /// worker owns syncs in production.
+    #[cfg(any(test, feature = "test-internals"))]
+    pub fn sync(&self) -> Result<(), LiveError> {
+        self.writer
+            .lock()
+            .expect("writer lock poisoned")
+            .live
+            .sync()
+    }
+
+    /// Fold the WAL into the generation chain now. Test-only: the
+    /// maintenance worker owns folds in production.
+    #[cfg(any(test, feature = "test-internals"))]
+    pub fn fold(&self) -> Result<(), LiveError> {
+        self.writer
+            .lock()
+            .expect("writer lock poisoned")
+            .live
+            .fold()
+    }
+
+    /// Run `f` with the underlying repo under the writer lock. Test-only:
+    /// queries and production maintenance must not use this.
+    #[cfg(any(test, feature = "test-internals"))]
     pub fn with_repo<T>(&self, f: impl FnOnce(&mut LiveRepo) -> T) -> T {
         f(&mut self.writer.lock().expect("writer lock poisoned").live)
+    }
+}
+
+/// The live service as a [`QueryTarget`] backend: versioned snapshot
+/// queries through a per-worker [`ShardedQueryWorkspace`].
+impl QueryTarget for LiveService {
+    type Ctx = ShardedQueryWorkspace;
+
+    fn strq(&self, t: u32, p: &Point, ctx: &mut Self::Ctx) -> usize {
+        LiveService::strq(self, t, p, ctx).1.exact.len()
+    }
+
+    fn tpq(&self, t: u32, p: &Point, horizon: u32, ctx: &mut Self::Ctx) -> usize {
+        LiveService::tpq(self, t, p, horizon, ctx).1.len()
     }
 }

@@ -30,19 +30,13 @@
 
 use crate::schedule::{Op, OpKind, Schedule};
 use ppq_bench::report::{LatencyHistogram, LatencySummary};
-use ppq_geo::Point;
 use std::time::{Duration, Instant};
 
-/// Something that can answer the two query classes. One `Ctx` lives per
-/// worker thread, so engines can expose their reusable workspaces.
-pub trait QueryTarget: Sync {
-    type Ctx: Default + Send;
-    /// Production STRQ; returns the exact-answer cardinality (consumed
-    /// so the call cannot be optimized away).
-    fn strq(&self, t: u32, p: &Point, ctx: &mut Self::Ctx) -> usize;
-    /// TPQ over `horizon`; returns the number of matched trajectories.
-    fn tpq(&self, t: u32, p: &Point, horizon: u32, ctx: &mut Self::Ctx) -> usize;
-}
+// The query-backend abstraction now lives in `ppq_core::query` so every
+// backend crate (in-memory engine, disk engine, live service, remote
+// client) can implement it without depending on the harness; re-exported
+// here for backward compatibility.
+pub use ppq_core::query::QueryTarget;
 
 /// Per-class latency/service accounting.
 #[derive(Clone, Copy, Debug)]

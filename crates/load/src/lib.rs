@@ -24,10 +24,13 @@
 //!   invariant), and every latency is recorded from scheduled arrival to
 //!   completion — the coordinated-omission-safe convention — into
 //!   [`ppq_bench::report::LatencyHistogram`]s.
-//! * [`targets`] — [`driver::QueryTarget`] adapters for the in-memory
-//!   [`ppq_core::query::ShardedQueryEngine`], the disk-resident
-//!   [`ppq_repo::DiskQueryEngine`], and the ingest-and-serve
-//!   [`ppq_live::LiveService`].
+//!
+//! The harness drives any [`ppq_core::query::QueryTarget`] — the
+//! repo-wide query-backend abstraction. Implementations live with their
+//! backends (in-memory [`ppq_core::query::ShardedQueryEngine`],
+//! disk-resident [`ppq_repo::DiskQueryEngine`], ingest-and-serve
+//! [`ppq_live::LiveService`], and `ppq-server`'s `RemoteClient` over
+//! TCP); see [`targets`] for the map.
 
 pub mod driver;
 pub mod schedule;

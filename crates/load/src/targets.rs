@@ -1,53 +1,19 @@
-//! [`QueryTarget`] adapters for the engines the harness drives.
+//! [`crate::QueryTarget`] backends the harness drives.
 //!
-//! All three answer through the *production* query forms (no
-//! ground-truth scoring scan): `strq_online_with` for STRQ and
-//! `tpq_with` for TPQ, each through the engine's reusable per-thread
-//! workspace so the steady-state loop allocates only answer vectors.
-
-use crate::driver::QueryTarget;
-use ppq_core::query::{ShardedQueryEngine, ShardedQueryWorkspace};
-use ppq_geo::Point;
-use ppq_live::LiveService;
-use ppq_repo::{DiskQueryEngine, DiskQueryWorkspace};
-
-impl QueryTarget for ShardedQueryEngine<'_> {
-    type Ctx = ShardedQueryWorkspace;
-
-    fn strq(&self, t: u32, p: &Point, ctx: &mut Self::Ctx) -> usize {
-        self.strq_online_with(t, p, ctx).exact.len()
-    }
-
-    fn tpq(&self, t: u32, p: &Point, horizon: u32, ctx: &mut Self::Ctx) -> usize {
-        self.tpq_with(t, p, horizon, ctx).len()
-    }
-}
-
-impl QueryTarget for DiskQueryEngine<'_> {
-    type Ctx = DiskQueryWorkspace;
-
-    fn strq(&self, t: u32, p: &Point, ctx: &mut Self::Ctx) -> usize {
-        self.strq_online_with(t, p, ctx)
-            .expect("disk STRQ failed under load")
-            .exact
-            .len()
-    }
-
-    fn tpq(&self, t: u32, p: &Point, horizon: u32, ctx: &mut Self::Ctx) -> usize {
-        self.tpq_with(t, p, horizon, ctx)
-            .expect("disk TPQ failed under load")
-            .len()
-    }
-}
-
-impl QueryTarget for LiveService {
-    type Ctx = ShardedQueryWorkspace;
-
-    fn strq(&self, t: u32, p: &Point, ctx: &mut Self::Ctx) -> usize {
-        LiveService::strq(self, t, p, ctx).1.exact.len()
-    }
-
-    fn tpq(&self, t: u32, p: &Point, horizon: u32, ctx: &mut Self::Ctx) -> usize {
-        LiveService::tpq(self, t, p, horizon, ctx).1.len()
-    }
-}
+//! The trait itself lives in [`ppq_core::query::QueryTarget`] — it is
+//! the repo-wide query-backend abstraction, not a harness detail — and
+//! each implementation lives with its backend (the orphan rule wants it
+//! there anyway):
+//!
+//! * `ShardedQueryEngine` — in `ppq-core`, next to the engine.
+//! * `DiskQueryEngine` — in `ppq-repo` (I/O errors panic: an open-loop
+//!   run cannot meaningfully continue past a failing disk).
+//! * `LiveService` — in `ppq-live`, answering against published
+//!   snapshots.
+//! * `RemoteClient` — in `ppq-server`, driving a live server over TCP
+//!   with one lazily-dialed connection per worker thread.
+//!
+//! All of them answer through the *production* query forms (no
+//! ground-truth scoring scan), through each backend's reusable
+//! per-thread workspace so the steady-state loop allocates only answer
+//! vectors.

@@ -404,3 +404,26 @@ impl<'a> DiskQueryEngine<'a> {
         .collect()
     }
 }
+
+/// The disk engine as a [`ppq_core::query::QueryTarget`] backend (load harness, server).
+///
+/// The trait's counting signatures cannot carry `io::Result`, so a page
+/// I/O failure panics here — under synthetic load an I/O error means the
+/// store is gone, and the harness should stop measuring, not record the
+/// failure as a fast answer.
+impl ppq_core::query::QueryTarget for DiskQueryEngine<'_> {
+    type Ctx = DiskQueryWorkspace;
+
+    fn strq(&self, t: u32, p: &Point, ctx: &mut Self::Ctx) -> usize {
+        self.strq_online_with(t, p, ctx)
+            .expect("disk STRQ failed under load")
+            .exact
+            .len()
+    }
+
+    fn tpq(&self, t: u32, p: &Point, horizon: u32, ctx: &mut Self::Ctx) -> usize {
+        self.tpq_with(t, p, horizon, ctx)
+            .expect("disk TPQ failed under load")
+            .len()
+    }
+}

@@ -1,0 +1,447 @@
+//! Threaded TCP transport serving a [`LiveService`].
+//!
+//! ## Thread model
+//!
+//! ```text
+//!                    ┌────────────────────────────┐
+//!   clients ──TCP──▶ │ accept thread (nonblocking)│
+//!                    └──────────┬─────────────────┘
+//!                               │ bounded sync_channel(queue_depth)
+//!                  full? ──▶ Busy frame, connection dropped
+//!                               │
+//!            ┌──────────────────┼──────────────────┐
+//!            ▼                  ▼                  ▼
+//!      handler thread 0   handler thread 1   handler thread N-1
+//!      (own workspace)    (own workspace)    (own workspace)
+//!                               │
+//!                               ▼ queries / appends
+//!                    ┌────────────────────────────┐
+//!                    │ Arc<LiveService>           │◀── maintenance
+//!                    └────────────────────────────┘    worker thread
+//! ```
+//!
+//! Each handler owns one connection at a time and one reusable
+//! [`ShardedQueryWorkspace`] across all of them — the same
+//! allocation-lean convention as the in-process query path. Overload is
+//! shed at the *accept* edge: when the bounded hand-off queue is full
+//! the new connection gets a single [`Response::Busy`] frame and is
+//! closed, so admitted connections keep their latency instead of
+//! everyone queueing unboundedly.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] is a drain, not an abort: stop the accept
+//! loop, let every handler finish its in-flight request and close its
+//! connection at the next frame boundary, then (if this server owns the
+//! maintenance worker) fold all acknowledged slices into a checkpointed
+//! generation chain. After `Ok(())`, recovering the live directory
+//! reproduces exactly the acknowledged state — `tests/shutdown.rs`
+//! proves no acked slice is lost.
+
+use crate::proto::{self, ProtocolError, Request, Response, StatsBody, WireError};
+use ppq_core::query::ShardedQueryWorkspace;
+use ppq_live::{LiveError, LiveService, MaintenanceConfig, MaintenanceWorker, WorkerStats};
+use std::io::{self, ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Transport knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Handler threads = max concurrently served connections.
+    pub handler_threads: usize,
+    /// Accepted-but-unclaimed connections the hand-off queue holds
+    /// before new arrivals are shed with [`Response::Busy`].
+    pub queue_depth: usize,
+    /// Socket read timeout — bounds how long a handler blocks on an
+    /// idle connection before polling the stop flag (it does not drop
+    /// the connection).
+    pub poll_interval: Duration,
+    /// When `Some`, the server attaches a background
+    /// [`MaintenanceWorker`] to the service and owns its drain on
+    /// shutdown. `None` leaves maintenance inline on the ingest path.
+    pub maintenance: Option<MaintenanceConfig>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            handler_threads: 4,
+            queue_depth: 16,
+            poll_interval: Duration::from_millis(100),
+            maintenance: Some(MaintenanceConfig::default()),
+        }
+    }
+}
+
+/// Counters the transport keeps (monotonic, lock-free).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Connections handed to a handler.
+    pub accepted: u64,
+    /// Connections shed with a `Busy` frame.
+    pub shed: u64,
+    /// Requests answered (any response, including errors).
+    pub requests: u64,
+    /// Connections dropped for protocol violations.
+    pub protocol_errors: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// A running server. Dropping without [`ServerHandle::shutdown`] stops
+/// the threads best-effort (the maintenance worker still drains via its
+/// own `Drop`).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<LiveService>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
+    worker: Option<MaintenanceWorker>,
+}
+
+/// Bind `addr` and serve `service` until shutdown. `addr` may carry
+/// port 0 to let the OS pick; [`ServerHandle::addr`] reports the bound
+/// address.
+pub fn start(
+    addr: impl ToSocketAddrs,
+    service: Arc<LiveService>,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+
+    let worker = match cfg.maintenance.clone() {
+        Some(mcfg) => {
+            let w = service.start_maintenance(mcfg).ok_or_else(|| {
+                io::Error::new(
+                    ErrorKind::AlreadyExists,
+                    "a maintenance worker is already attached to this service",
+                )
+            })?;
+            Some(w)
+        }
+        None => None,
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let counters = Arc::new(Counters::default());
+    let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(cfg.queue_depth.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut handlers = Vec::with_capacity(cfg.handler_threads.max(1));
+    for i in 0..cfg.handler_threads.max(1) {
+        let service = Arc::clone(&service);
+        let rx = Arc::clone(&rx);
+        let stop = Arc::clone(&stop);
+        let counters = Arc::clone(&counters);
+        let poll = cfg.poll_interval;
+        handlers.push(
+            std::thread::Builder::new()
+                .name(format!("ppq-handler-{i}"))
+                .spawn(move || handler_loop(service, rx, stop, counters, poll))
+                .expect("spawn handler thread"),
+        );
+    }
+
+    let accept = {
+        let stop = Arc::clone(&stop);
+        let counters = Arc::clone(&counters);
+        let poll = cfg.poll_interval;
+        std::thread::Builder::new()
+            .name("ppq-accept".into())
+            .spawn(move || accept_loop(listener, tx, stop, counters, poll))
+            .expect("spawn accept thread")
+    };
+
+    Ok(ServerHandle {
+        addr: bound,
+        service,
+        stop,
+        counters,
+        accept: Some(accept),
+        handlers,
+        worker,
+    })
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served [`LiveService`].
+    pub fn service(&self) -> &Arc<LiveService> {
+        &self.service
+    }
+
+    /// Transport counters so far.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Maintenance-worker counters, when this server owns the worker.
+    pub fn worker_stats(&self) -> Option<WorkerStats> {
+        self.worker.as_ref().map(|w| w.stats())
+    }
+
+    /// Graceful drain: stop accepting, finish in-flight requests, close
+    /// connections at their next frame boundary, then fold every
+    /// acknowledged slice to a checkpoint (when this server owns the
+    /// maintenance worker).
+    pub fn shutdown(mut self) -> Result<(), LiveError> {
+        self.stop_transport();
+        match self.worker.take() {
+            Some(w) => w.shutdown(),
+            None => Ok(()),
+        }
+    }
+
+    fn stop_transport(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.handlers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_transport();
+        // `self.worker` drains via its own Drop.
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: SyncSender<TcpStream>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    poll: Duration,
+) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(stream)) => {
+                    counters.shed.fetch_add(1, Ordering::Relaxed);
+                    shed(stream);
+                }
+                Err(TrySendError::Disconnected(_)) => return,
+            },
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(poll.min(POLL_CAP)),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // Transient per-connection failures (reset before accept);
+            // keep listening.
+            Err(_) => std::thread::sleep(poll.min(POLL_CAP)),
+        }
+    }
+}
+
+/// Accept-loop sleep cap so shutdown latency stays low even with a
+/// generous handler poll interval.
+const POLL_CAP: Duration = Duration::from_millis(25);
+
+/// Tell an un-admitted connection we are overloaded, then close it.
+fn shed(mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = proto::write_frame(&mut stream, &Response::Busy.encode());
+}
+
+fn handler_loop(
+    service: Arc<LiveService>,
+    rx: Arc<Mutex<Receiver<TcpStream>>>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    poll: Duration,
+) {
+    // One workspace per handler thread, reused across connections and
+    // requests — the steady state allocates only answer vectors.
+    let mut ws = ShardedQueryWorkspace::default();
+    loop {
+        let next = {
+            let rx = rx.lock().expect("handler queue lock poisoned");
+            rx.recv_timeout(poll.min(POLL_CAP))
+        };
+        match next {
+            Ok(stream) => {
+                counters.accepted.fetch_add(1, Ordering::Relaxed);
+                serve_connection(&service, stream, &stop, &counters, poll, &mut ws);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serve one connection until the peer closes, a protocol violation
+/// poisons the framing, or shutdown is requested (checked between
+/// frames — an in-flight request always completes and is answered).
+fn serve_connection(
+    service: &Arc<LiveService>,
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+    counters: &Counters,
+    poll: Duration,
+    ws: &mut ShardedQueryWorkspace,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(poll)).is_err() {
+        return;
+    }
+    loop {
+        let payload = match next_frame(&mut stream, stop) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return,
+            Err(WireError::Protocol(e)) => {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                // Best-effort diagnosis; the framing can no longer be
+                // trusted, so the connection closes either way.
+                let resp = Response::Error {
+                    message: format!("malformed frame: {e}"),
+                };
+                let _ = proto::write_frame(&mut stream, &resp.encode());
+                return;
+            }
+            Err(WireError::Io(_)) => return,
+        };
+        let response = match Request::decode(&payload) {
+            Ok(req) => dispatch(service, req, ws),
+            Err(e) => {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error {
+                    message: format!("malformed request: {e}"),
+                };
+                let _ = proto::write_frame(&mut stream, &resp.encode());
+                return;
+            }
+        };
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        if proto::write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+fn dispatch(service: &Arc<LiveService>, req: Request, ws: &mut ShardedQueryWorkspace) -> Response {
+    match req {
+        Request::Strq { t, point } => {
+            let (version, outcome) = service.strq(t, &point, ws);
+            Response::Strq { version, outcome }
+        }
+        Request::Tpq { t, point, horizon } => {
+            let (version, matches) = service.tpq(t, &point, horizon, ws);
+            Response::Tpq { version, matches }
+        }
+        Request::Append { t, points } => match service.push_slice(t, &points) {
+            Ok(()) => Response::Appended { next_t: t + 1 },
+            Err(LiveError::OutOfOrder { expected, got }) => Response::OutOfOrder { expected, got },
+            Err(e) => Response::Error {
+                message: format!("append failed: {e}"),
+            },
+        },
+        Request::Stats => {
+            let s = service.status();
+            Response::Stats(StatsBody {
+                next_t: s.next_t,
+                published_version: s.published_version,
+                wal_pending: s.wal_pending as u64,
+                maintenance_failures: s.maintenance_failures,
+                inline_maintenance: s.inline_maintenance,
+                worker_attached: s.worker_attached,
+                last_maintenance_error: s.last_maintenance_error,
+            })
+        }
+        Request::Publish => Response::Published {
+            version: service.publish(),
+        },
+    }
+}
+
+/// [`proto::read_frame`] with stop-flag polling: read timeouts at a
+/// frame boundary check `stop` (and return `None` to close the
+/// connection on shutdown); timeouts mid-frame keep reading, so a slow
+/// client cannot desynchronize the framing.
+fn next_frame(stream: &mut TcpStream, stop: &AtomicBool) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_buf = [0u8; 4];
+    match fill_polling(stream, &mut len_buf, Some(stop))? {
+        Fill::Eof | Fill::Stopped => return Ok(None),
+        Fill::Full => {}
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > proto::MAX_FRAME_LEN {
+        return Err(ProtocolError::Oversize(len).into());
+    }
+    let mut payload = vec![0u8; len];
+    match fill_polling(stream, &mut payload, None)? {
+        Fill::Full => Ok(Some(payload)),
+        Fill::Eof | Fill::Stopped => Err(ProtocolError::Truncated.into()),
+    }
+}
+
+enum Fill {
+    Full,
+    Eof,
+    Stopped,
+}
+
+/// Fill `buf` across read timeouts. When `stop_at_start` is set, a
+/// timeout before the first byte consults the flag; once any byte has
+/// arrived the frame is finished regardless.
+fn fill_polling(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop_at_start: Option<&AtomicBool>,
+) -> Result<Fill, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(Fill::Eof)
+                } else {
+                    Err(ProtocolError::Truncated.into())
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if filled == 0 {
+                    if let Some(stop) = stop_at_start {
+                        if stop.load(Ordering::Acquire) {
+                            return Ok(Fill::Stopped);
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Fill::Full)
+}

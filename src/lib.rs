@@ -22,6 +22,9 @@
 //!   format, block directory, shared buffer pool, disk query engine.
 //! * [`live`] — crash-safe live ingest over the repository: write-ahead
 //!   log, checkpointed bit-identical recovery, folding + auto-compaction.
+//! * [`server`] — the live service shell: versioned binary wire
+//!   protocol, threaded TCP transport, background maintenance worker,
+//!   and a remote query-target client.
 //! * [`baselines`] — Q-trajectory, PQ, RQ, TrajStore, REST.
 //!
 //! ## Quickstart
@@ -53,6 +56,7 @@ pub use ppq_live as live;
 pub use ppq_predict as predict;
 pub use ppq_quantize as quantize;
 pub use ppq_repo as repo;
+pub use ppq_server as server;
 pub use ppq_sindex as sindex;
 pub use ppq_storage as storage;
 pub use ppq_tpi as tpi;
