@@ -29,7 +29,8 @@ use ppq_bench::scale;
 use ppq_core::{PpqConfig, ShardedSummary, Variant};
 use ppq_live::{LiveConfig, LiveService};
 use ppq_load::{
-    run_open_loop, saturation_throughput, ClassStats, MixConfig, OpKind, Schedule, ScheduleConfig,
+    run_open_loop, run_open_loop_scraped, saturation_throughput, ClassStats, MixConfig, OpKind,
+    Schedule, ScheduleConfig,
 };
 use ppq_repo::{DiskQueryEngine, Repo, RepoWriter};
 use ppq_traj::io::real::{real_dataset_from_env, RealDataset};
@@ -177,16 +178,68 @@ fn main() {
     let service =
         LiveService::open(&live_dir, live_cfg, data.clone(), 8).expect("open live service");
     let mut next_slice = 0usize;
-    let live_report = run_open_loop(&service, &live_schedule, readers, || {
-        if next_slice < slices.len() {
-            let (t, points) = &slices[next_slice];
-            service.push_slice(*t, points).expect("in-order append");
-            next_slice += 1;
-        }
-    });
+    // The scrape lane polls the process-wide metrics registry while the
+    // schedule plays — the same closure shape a TCP run uses with
+    // `RemoteConn::metrics` (the `ppq_obs_path` bench does exactly
+    // that); here the target is in-process, so the registry *is* the
+    // server side.
+    let (live_report, live_scrape) = run_open_loop_scraped(
+        &service,
+        &live_schedule,
+        readers,
+        || {
+            if next_slice < slices.len() {
+                let (t, points) = &slices[next_slice];
+                service.push_slice(*t, points).expect("in-order append");
+                next_slice += 1;
+            }
+        },
+        std::time::Duration::from_millis(50),
+        || Some(ppq_obs::snapshot()),
+    );
     assert!(
         service.status().last_maintenance_error.is_none(),
         "maintenance must not fail in a fault-free bench run"
+    );
+
+    // ---- Server-vs-client agreement from the scrape. --------------------
+    // The engine-side span population: every client STRQ records one
+    // `ppq_strq_ns` sample, and every client TPQ records one
+    // `ppq_tpq_ns` sample *plus* one `ppq_strq_ns` sample (TPQ runs its
+    // selection STRQ through the same entry point). Counts must match
+    // exactly; and because the engine span is strictly inside the
+    // client's scheduled-arrival → completion window, the engine's TPQ
+    // p50 cannot exceed the client's (modulo ≤1.6% histogram
+    // quantization on each side).
+    let scrape = live_scrape.expect("in-process scrape cannot fail");
+    let engine_strq = scrape
+        .histogram_count_delta("ppq_strq_ns")
+        .expect("strq histogram registered");
+    let engine_tpq = scrape
+        .histogram_count_delta("ppq_tpq_ns")
+        .expect("tpq histogram registered");
+    let counts_match = engine_strq == live_report.strq.ops + live_report.tpq.ops
+        && engine_tpq == live_report.tpq.ops;
+    assert!(
+        counts_match,
+        "engine span counts diverge from client completions: \
+         engine strq {engine_strq} vs client {}+{}, engine tpq {engine_tpq} vs client {}",
+        live_report.strq.ops, live_report.tpq.ops, live_report.tpq.ops
+    );
+    let server_tpq_p50_us = scrape
+        .after
+        .histogram("ppq_tpq_ns")
+        .map_or(0.0, |h| h.p50_ns as f64 / 1_000.0);
+    let client_tpq_p50_us = live_report
+        .tpq
+        .latency
+        .as_ref()
+        .map_or(f64::INFINITY, |l| l.p50_us);
+    let server_not_slower = server_tpq_p50_us <= client_tpq_p50_us * 1.05 + 1.0;
+    assert!(
+        server_not_slower,
+        "engine-side p50 ({server_tpq_p50_us:.1}us) exceeds client-observed p50 \
+         ({client_tpq_p50_us:.1}us) — the span is inside the client window, impossible"
     );
     service.publish();
     let live_saturation = saturation_throughput(
@@ -252,6 +305,11 @@ fn main() {
         read_schedule.fingerprint(),
         live_schedule.fingerprint(),
         live_schedule.count(OpKind::Append)
+    );
+    let _ = writeln!(
+        json,
+        "    \"observability\": {{\"scrape_samples\": {}, \"engine_strq_samples\": {engine_strq}, \"engine_tpq_samples\": {engine_tpq}, \"client_strq_completions\": {}, \"client_tpq_completions\": {}, \"counts_match\": {counts_match}, \"server_tpq_p50_us\": {server_tpq_p50_us:.3}, \"client_tpq_p50_us\": {client_tpq_p50_us:.3}, \"server_not_slower_than_client\": {server_not_slower}}},",
+        scrape.samples, live_report.strq.ops, live_report.tpq.ops
     );
     for (name, report, saturation, trailing_comma) in [
         ("disk", &disk_report, disk_saturation, true),

@@ -1,0 +1,372 @@
+//! The observability surface itself, under load, merged into
+//! `BENCH_ppq.json` as the `obs_path` section.
+//!
+//! Four contracts, all CI-gated:
+//!
+//! 1. **Wire-level consistency** — a loopback `ppq-server` serves an
+//!    open-loop mixed schedule while a scrape lane polls the `Metrics`
+//!    frame (`run_open_loop_scraped` + `RemoteConn::metrics`). The
+//!    registry deltas over the run must equal the client's own
+//!    accounting *exactly*: per-class server request counters match
+//!    client completions, and the total matches the sum of every
+//!    request this process sent (metrics polls included).
+//! 2. **Pool accounting** — a quiescent disk-engine pass reconciles the
+//!    registry's `ppq_pool_hits`/`ppq_pool_misses` deltas against the
+//!    per-query [`IoStats`] sums: hits+misses is page-in attempts, and
+//!    misses is exactly the real reads.
+//! 3. **Slow-query capture** — with the threshold forced to zero, a
+//!    burst of remote queries must land in the slow-query ring with
+//!    latency attached.
+//! 4. **Instrumentation overhead** — the same in-process STRQ hot path
+//!    timed with the registry enabled and disabled (interleaved rounds,
+//!    min per mode); the ratio must stay under a small bound
+//!    (`PPQ_OBS_BOUND`, default 1.30). This is the claim that
+//!    observability rides along for free.
+//!
+//! Env knobs match `ppq_load_path` (`PPQ_SCALE`, `PPQ_LOAD_RATE`,
+//! `PPQ_LOAD_OPS`, `PPQ_LOAD_WORKERS`), plus `PPQ_OBS_BOUND`.
+
+use ppq_bench::report::merge_bench_section;
+use ppq_bench::scale;
+use ppq_core::query::{ShardedQueryEngine, ShardedQueryWorkspace};
+use ppq_core::{PpqConfig, ShardedSummary, Variant};
+use ppq_live::{LiveConfig, LiveService, MaintenanceConfig};
+use ppq_load::{run_open_loop_scraped, MixConfig, Schedule, ScheduleConfig};
+use ppq_repo::{DiskQueryEngine, DiskQueryWorkspace, Repo, RepoWriter};
+use ppq_server::{RemoteClient, RemoteConn, ServerConfig};
+use ppq_traj::synth::{porto_like, PortoConfig};
+use ppq_traj::TrajId;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const PAGE_SIZE_BENCH: usize = 4 << 10;
+const SHARDS: usize = 2;
+const POOL_PAGES: usize = 64;
+const SEED: u64 = 0x0B5E_CAFE;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let s = scale();
+    let data = Arc::new(porto_like(&PortoConfig {
+        trajectories: ((600.0 * s).round() as usize).max(40),
+        mean_len: 50,
+        min_len: 25,
+        start_spread: 40,
+        seed: 0x0B5E,
+    }));
+    let n_points = data.num_points();
+    let slices: Vec<(u32, Vec<(TrajId, ppq_geo::Point)>)> = data
+        .time_slices()
+        .map(|sl| (sl.t, sl.points.to_vec()))
+        .collect();
+
+    let rate = env_f64("PPQ_LOAD_RATE", (1500.0 * s).max(150.0));
+    let ops = env_usize("PPQ_LOAD_OPS", ((3000.0 * s).round() as usize).max(300));
+    let readers = env_usize("PPQ_LOAD_WORKERS", cores.saturating_sub(1).clamp(1, 4));
+    let append_frac = (0.8 * slices.len() as f64 / ops as f64).min(0.2);
+    let live_sched_cfg = ScheduleConfig {
+        seed: SEED,
+        rate_per_sec: rate,
+        ops,
+        mix: MixConfig {
+            strq: (1.0 - append_frac) * 0.7,
+            tpq: (1.0 - append_frac) * 0.3,
+            append: append_frac,
+        },
+        ..ScheduleConfig::default()
+    };
+    let schedule = Schedule::generate(&data, &live_sched_cfg);
+    eprintln!(
+        "obs-path dataset: {n_points} points, {} slices; rate {rate} ops/s, {ops} ops, {readers} readers",
+        slices.len()
+    );
+
+    let ppq = PpqConfig::variant(Variant::PpqS, 0.1);
+    let gc = ppq.tpi.pi.gc;
+    let work_dir = std::env::temp_dir().join(format!("ppq-obs-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work_dir);
+
+    // ---- 1. Loopback server under load with a metrics scrape lane. ------
+    let mut live_cfg = LiveConfig::new(ppq.clone(), SHARDS);
+    live_cfg.page_size = PAGE_SIZE_BENCH;
+    live_cfg.fold_every = 16;
+    live_cfg.compact_max_chain = 4;
+    let service = Arc::new(
+        LiveService::open(&work_dir.join("live"), live_cfg, data.clone(), 8)
+            .expect("open live service"),
+    );
+    let server = ppq_server::start(
+        "127.0.0.1:0",
+        service.clone(),
+        ServerConfig {
+            // Headroom above the reader count: a shed connection answers
+            // Busy without decoding a request, which would break the
+            // exact request-count reconciliation below (and is asserted
+            // not to happen).
+            handler_threads: (readers + 3).min(8),
+            queue_depth: 64,
+            poll_interval: Duration::from_millis(25),
+            maintenance: Some(MaintenanceConfig {
+                tick: Duration::from_millis(5),
+                sync_wal: true,
+                publish: true,
+            }),
+        },
+    )
+    .expect("bind loopback server");
+    let remote = RemoteClient::new(server.addr()).expect("resolve server addr");
+
+    let mut writer_conn = RemoteConn::connect(server.addr()).expect("writer connection");
+    let mut scrape_conn = RemoteConn::connect(server.addr()).expect("scrape connection");
+    let mut next_slice = 0usize;
+    let mut appends_sent = 0u64;
+    let (report, scrape) = run_open_loop_scraped(
+        &remote,
+        &schedule,
+        readers,
+        || {
+            if next_slice < slices.len() {
+                let (t, points) = &slices[next_slice];
+                let acked = writer_conn
+                    .append(*t, points)
+                    .expect("remote in-order append");
+                assert_eq!(acked, *t + 1);
+                next_slice += 1;
+                appends_sent += 1;
+            }
+        },
+        Duration::from_millis(50),
+        move || scrape_conn.metrics().ok(),
+    );
+    let scrape = scrape.expect("loopback scrape lane must stay alive");
+
+    // Registry deltas over the run vs the client's own books. Every op
+    // the harness completed is exactly one request on the wire (no
+    // shedding happened — asserted), and the scrape lane's own Metrics
+    // polls are the only other traffic.
+    let delta = |name: &str| scrape.counter_delta(name).unwrap_or(0);
+    assert_eq!(delta("ppq_server_shed"), 0, "shed under benign load");
+    assert_eq!(delta("ppq_server_protocol_errors"), 0);
+    let strq_delta = delta("ppq_server_strq_requests");
+    let tpq_delta = delta("ppq_server_tpq_requests");
+    let append_delta = delta("ppq_server_append_requests");
+    let metrics_delta = delta("ppq_server_metrics_requests");
+    let requests_delta = delta("ppq_server_requests");
+    let client_completions = report.strq.ops + report.tpq.ops + appends_sent;
+    let per_class_match = strq_delta == report.strq.ops
+        && tpq_delta == report.tpq.ops
+        && append_delta == appends_sent;
+    let requests_match = requests_delta == client_completions + metrics_delta;
+    assert!(
+        per_class_match,
+        "per-class server counters diverge from client completions: \
+         strq {strq_delta}/{}, tpq {tpq_delta}/{}, append {append_delta}/{appends_sent}",
+        report.strq.ops, report.tpq.ops
+    );
+    assert!(
+        requests_match,
+        "server total {requests_delta} != client {client_completions} + metrics polls {metrics_delta}"
+    );
+    assert!(
+        scrape.samples > 0,
+        "scrape lane never landed a mid-run poll"
+    );
+    let wal_appends_delta = delta("ppq_wal_appends");
+    assert_eq!(
+        wal_appends_delta, appends_sent,
+        "every remote append is exactly one WAL append"
+    );
+
+    // ---- 2. Injected outliers land in the slow-query ring. --------------
+    ppq_obs::set_slow_threshold(Some(Duration::ZERO));
+    let injected = 5u64;
+    let probe: Vec<(u32, ppq_geo::Point)> = data
+        .iter_points()
+        .step_by((n_points / injected as usize).max(1))
+        .map(|(_, t, p)| (t, p))
+        .take(injected as usize)
+        .collect();
+    for &(t, p) in &probe {
+        writer_conn.strq(t, &p).expect("probe STRQ");
+    }
+    ppq_obs::set_slow_threshold(None);
+    let snap = writer_conn.metrics().expect("metrics after probes");
+    let slow_server_strq = snap
+        .slow_queries
+        .iter()
+        .filter(|q| q.name == "server_strq" && q.latency_ns > 0)
+        .count() as u64;
+    assert!(
+        slow_server_strq >= injected,
+        "zero-threshold probes missing from the slow log: {slow_server_strq}/{injected}"
+    );
+
+    drop(writer_conn);
+    server.shutdown().expect("graceful server shutdown");
+
+    // ---- 3. Pool accounting against per-query IoStats (quiescent). ------
+    let summary = ShardedSummary::build(&data, &ppq, SHARDS);
+    let repo_dir = work_dir.join("repo");
+    RepoWriter::with_page_size(&repo_dir, PAGE_SIZE_BENCH)
+        .write_sharded(&summary)
+        .expect("write repository");
+    let repo = Repo::open(&repo_dir, POOL_PAGES).expect("open repository");
+    let disk_engine = DiskQueryEngine::new(&repo, &data, gc);
+    let disk_queries: Vec<(u32, ppq_geo::Point)> = data
+        .iter_points()
+        .step_by((n_points / 128).max(1))
+        .map(|(_, t, p)| (t, p))
+        .collect();
+    let before_pool = ppq_obs::snapshot();
+    let mut ws = DiskQueryWorkspace::new();
+    let (mut io_reads, mut io_hits) = (0u64, 0u64);
+    for &(t, p) in &disk_queries {
+        let outcome = disk_engine
+            .strq_online_with(t, &p, &mut ws)
+            .expect("disk STRQ");
+        std::hint::black_box(outcome.exact.len());
+        io_reads += ws.last_io.0;
+        io_hits += ws.last_io.1;
+    }
+    let after_pool = ppq_obs::snapshot();
+    let pool_delta =
+        |name: &str| after_pool.counter(name).unwrap_or(0) - before_pool.counter(name).unwrap_or(0);
+    let (hits_delta, misses_delta) = (pool_delta("ppq_pool_hits"), pool_delta("ppq_pool_misses"));
+    let pool_match = hits_delta + misses_delta == io_reads + io_hits
+        && misses_delta == io_reads
+        && hits_delta == io_hits;
+    assert!(
+        pool_match,
+        "pool counters diverge from IoStats: hits {hits_delta}/{io_hits}, misses {misses_delta}/{io_reads}"
+    );
+    assert!(io_reads + io_hits > 0, "disk pass did no page-in attempts");
+
+    // ---- 4. Overhead: enabled vs disabled on the in-process hot path. ---
+    let engine = ShardedQueryEngine::new(&summary, &data, gc);
+    let hot_queries: Vec<(u32, ppq_geo::Point)> = data
+        .iter_points()
+        .step_by((n_points / ((400.0 * s) as usize).clamp(64, 512)).max(1))
+        .map(|(_, t, p)| (t, p))
+        .collect();
+    let mut hot_ws = ShardedQueryWorkspace::new();
+    let pass = |enabled: bool, ws: &mut ShardedQueryWorkspace| -> (u64, u64) {
+        ppq_obs::set_enabled(enabled);
+        let start = Instant::now();
+        let mut ck = 0u64;
+        for &(t, p) in &hot_queries {
+            let o = engine.strq_online_with(t, &p, ws);
+            ck = ck.wrapping_mul(31).wrapping_add(o.exact.len() as u64);
+        }
+        (start.elapsed().as_nanos() as u64, ck)
+    };
+    // Warm both modes once, then interleave and keep the per-mode min —
+    // the noise-robust estimator for a bound check.
+    let _ = pass(true, &mut hot_ws);
+    let _ = pass(false, &mut hot_ws);
+    let rounds = 5;
+    let (mut min_en, mut min_dis) = (u64::MAX, u64::MAX);
+    let (mut ck_en, mut ck_dis) = (0u64, 0u64);
+    for _ in 0..rounds {
+        let (ns, ck) = pass(true, &mut hot_ws);
+        min_en = min_en.min(ns);
+        ck_en = ck;
+        let (ns, ck) = pass(false, &mut hot_ws);
+        min_dis = min_dis.min(ns);
+        ck_dis = ck;
+    }
+    ppq_obs::set_enabled(true);
+    assert_eq!(ck_en, ck_dis, "instrumentation changed query answers");
+    let n = hot_queries.len() as u64;
+    let (en_ns_op, dis_ns_op) = (min_en / n.max(1), min_dis / n.max(1));
+    let bound = env_f64("PPQ_OBS_BOUND", 1.30);
+    let ratio = min_en as f64 / min_dis.max(1) as f64;
+    let overhead_within_bound = ratio <= bound;
+    assert!(
+        overhead_within_bound,
+        "instrumented hot path {ratio:.3}x over the registry-disabled build (bound {bound})"
+    );
+
+    // ---- Report. --------------------------------------------------------
+    let final_snap = ppq_obs::snapshot();
+    let server_requests = final_snap.counter("ppq_server_requests").unwrap_or(0);
+    let pool_attempts = final_snap.counter("ppq_pool_hits").unwrap_or(0)
+        + final_snap.counter("ppq_pool_misses").unwrap_or(0);
+    let wal_appends = final_snap.counter("ppq_wal_appends").unwrap_or(0);
+    println!(
+        "\n=== PPQ obs path (cores={cores}, {n_points} points, {ops} ops @ {rate:.0}/s, {readers} readers) ==="
+    );
+    println!(
+        "consistency: requests {requests_delta} == {client_completions} client + {metrics_delta} polls; \
+         per-class strq {strq_delta} tpq {tpq_delta} append {append_delta}; {} scrape samples",
+        scrape.samples
+    );
+    println!(
+        "pool: {hits_delta} hits + {misses_delta} misses == {} page-in attempts ({io_reads} real reads)",
+        io_reads + io_hits
+    );
+    println!("slow log: {slow_server_strq} server_strq records captured at zero threshold");
+    println!(
+        "overhead: enabled {en_ns_op} ns/op vs disabled {dis_ns_op} ns/op, ratio {ratio:.3} (bound {bound})"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "    \"runner\": {{\"cores\": {cores}, \"profile\": \"release\", \"points\": {n_points}, \"slices\": {}, \"readers\": {readers}, \"shards\": {SHARDS}, \"page_size\": {PAGE_SIZE_BENCH}}},",
+        slices.len()
+    );
+    let _ = writeln!(
+        json,
+        "    \"note\": \"Observability surface under load. consistency: a loopback ppq-server served an open-loop mixed schedule while a scrape lane polled the wire Metrics frame; the registry's per-class request counters and total must equal the client's completion counts exactly (metrics polls accounted). pool: a quiescent disk-engine pass reconciles ppq_pool_hits/ppq_pool_misses deltas against per-query IoStats — hits+misses is page-in attempts, misses is real reads. slow_query_log: remote STRQs issued under a zero slow-threshold must appear in the ring with latency attached. overhead: the in-process STRQ hot path timed with the registry enabled vs disabled (interleaved rounds, min per mode); overhead_within_bound gates the ratio.\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"consistency\": {{\"server_requests_delta\": {requests_delta}, \"client_completions\": {client_completions}, \"metrics_polls\": {metrics_delta}, \"requests_match\": {requests_match}, \"per_class_match\": {per_class_match}, \"scrape_samples\": {}, \"wal_appends_delta\": {wal_appends_delta}}},",
+        scrape.samples
+    );
+    let _ = writeln!(
+        json,
+        "    \"pool\": {{\"hits_delta\": {hits_delta}, \"misses_delta\": {misses_delta}, \"io_reads\": {io_reads}, \"io_buffer_hits\": {io_hits}, \"pool_match\": {pool_match}}},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"slow_query_log\": {{\"injected\": {injected}, \"captured_server_strq\": {slow_server_strq}, \"capacity\": {}}},",
+        ppq_obs::SLOW_LOG_CAPACITY
+    );
+    let _ = writeln!(
+        json,
+        "    \"counters\": {{\"server_requests\": {server_requests}, \"pool_attempts\": {pool_attempts}, \"wal_appends\": {wal_appends}}},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"overhead\": {{\"queries_per_round\": {n}, \"rounds\": {rounds}, \"enabled_ns_per_op\": {en_ns_op}, \"disabled_ns_per_op\": {dis_ns_op}, \"ratio\": {ratio:.4}, \"bound\": {bound:.2}, \"overhead_within_bound\": {overhead_within_bound}}}"
+    );
+    let _ = write!(json, "  }}");
+
+    let out_path = std::env::var("BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ppq.json").into());
+    let existing = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let merged = merge_bench_section(&existing, "obs_path", &json);
+    std::fs::write(&out_path, merged).expect("write BENCH_ppq.json");
+    eprintln!("wrote {out_path} (obs_path section)");
+
+    let _ = std::fs::remove_dir_all(&work_dir);
+}

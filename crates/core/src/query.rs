@@ -30,6 +30,27 @@ use ppq_sindex::{posting, QueryScratch};
 use ppq_tpi::Tpi;
 use ppq_traj::{Dataset, TrajId};
 use rayon::prelude::*;
+use std::sync::OnceLock;
+
+/// Registry handles for the in-memory query layer, resolved once so the
+/// per-query hot path touches only atomics.
+struct QueryMetrics {
+    strq_ns: ppq_obs::Histogram,
+    tpq_ns: ppq_obs::Histogram,
+    candidates_refined: ppq_obs::Counter,
+}
+
+fn query_metrics() -> &'static QueryMetrics {
+    static METRICS: OnceLock<QueryMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = ppq_obs::Registry::global();
+        QueryMetrics {
+            strq_ns: r.histogram("ppq_strq_ns"),
+            tpq_ns: r.histogram("ppq_tpq_ns"),
+            candidates_refined: r.counter("ppq_query_candidates_refined"),
+        }
+    })
+}
 
 /// Anything that can answer "where does the summary say trajectory `id`
 /// was at time `t`" and expose a TPI over those positions. Implemented by
@@ -305,7 +326,10 @@ impl<'a, S: ReconIndex + ?Sized> QueryEngine<'a, S> {
             .map(|(&id, _)| id)
             .collect();
         let visited = candidates.len();
-        // Refinement: access the original trajectory of every candidate.
+        // Refinement accesses the original trajectory of every candidate;
+        // the registry counts those accesses across all engines (Table 4's
+        // "trajectories visited", live).
+        query_metrics().candidates_refined.add(visited as u64);
         let exact: Vec<TrajId> = candidates
             .iter()
             .copied()
@@ -553,6 +577,7 @@ impl<'a> ShardedQueryEngine<'a> {
         p: &Point,
         ws: &mut ShardedQueryWorkspace,
     ) -> StrqOutcome {
+        let mut sp = ppq_obs::Span::with("strq", &query_metrics().strq_ns);
         ws.ensure_shards(self.engines.len());
         ws.outcomes.clear();
         for (engine, shard_ws) in self.engines.iter().zip(&mut ws.per_shard) {
@@ -582,6 +607,7 @@ impl<'a> ShardedQueryEngine<'a> {
             &mut merged.approx,
         );
         posting::union_fold_into(n, |i| outcomes[i].exact.as_slice(), tmp, &mut merged.exact);
+        sp.visited(merged.visited as u64);
         merged
     }
 
@@ -599,7 +625,9 @@ impl<'a> ShardedQueryEngine<'a> {
         l: u32,
         ws: &mut ShardedQueryWorkspace,
     ) -> Vec<(TrajId, Vec<(u32, Point)>)> {
+        let mut sp = ppq_obs::Span::with("tpq", &query_metrics().tpq_ns);
         let outcome = self.strq_online_with(t, p, ws);
+        sp.visited(outcome.visited as u64);
         outcome
             .exact
             .iter()

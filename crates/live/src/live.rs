@@ -15,6 +15,34 @@ use ppq_traj::TrajId;
 use std::fs::File;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// Registry handles for the maintenance path, resolved once.
+struct LiveMetrics {
+    fold_ns: ppq_obs::Histogram,
+    compact_ns: ppq_obs::Histogram,
+    folds: ppq_obs::Counter,
+    compactions: ppq_obs::Counter,
+    failures: ppq_obs::Counter,
+    backoff_shift: ppq_obs::Gauge,
+    chain_generations: ppq_obs::Gauge,
+}
+
+fn live_metrics() -> &'static LiveMetrics {
+    static METRICS: OnceLock<LiveMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = ppq_obs::Registry::global();
+        LiveMetrics {
+            fold_ns: r.histogram("ppq_fold_ns"),
+            compact_ns: r.histogram("ppq_compact_ns"),
+            folds: r.counter("ppq_maintenance_folds"),
+            compactions: r.counter("ppq_maintenance_compactions"),
+            failures: r.counter("ppq_maintenance_failures"),
+            backoff_shift: r.gauge("ppq_maintenance_backoff_shift"),
+            chain_generations: r.gauge("ppq_chain_generations"),
+        }
+    })
+}
 
 /// File name of the pipeline-state checkpoint inside a live directory.
 pub const CKPT_NAME: &str = "ckpt.ppq";
@@ -164,6 +192,13 @@ pub struct LiveRepo {
     /// Consecutive maintenance failures (fold or compaction).
     failures: u32,
     last_error: Option<LiveError>,
+    /// Committed generations (cached from the manifest after every fold
+    /// or compaction so status queries never touch the disk).
+    chain_generations: u32,
+    /// Wall-clock milliseconds of the last successful fold / compaction
+    /// (`None` until one happens in this incarnation).
+    last_fold_unix_ms: Option<u64>,
+    last_compaction_unix_ms: Option<u64>,
     /// Whether `push_slice` runs due maintenance itself (the default) or
     /// leaves the cadence to an external owner — the background
     /// [`crate::worker::MaintenanceWorker`] flips this off so fold,
@@ -230,7 +265,7 @@ impl LiveRepo {
         }
 
         let based = dir.join(ppq_repo::layout::MANIFEST_NAME).exists();
-        Ok(LiveRepo {
+        let mut live = LiveRepo {
             dir: dir.to_path_buf(),
             cfg: cfg.clone(),
             wal,
@@ -240,8 +275,18 @@ impl LiveRepo {
             steps_since_fold: replayed,
             failures: 0,
             last_error: None,
+            chain_generations: 0,
+            last_fold_unix_ms: None,
+            last_compaction_unix_ms: None,
             inline_maintenance: true,
-        })
+        };
+        if based {
+            live.chain_generations = live.committed_manifest()?.generations.len() as u32;
+        }
+        live_metrics()
+            .chain_generations
+            .set(live.chain_generations as u64);
+        Ok(live)
     }
 
     /// Ingest one time slice: WAL first (group-committed), then the
@@ -279,6 +324,7 @@ impl LiveRepo {
         if self.based && self.steps_since_fold == 0 {
             return Ok(()); // nothing new since the last fold
         }
+        let _sp = ppq_obs::Span::with("fold", &live_metrics().fold_ns);
         self.wal.sync()?;
         let snapshot = self.stream.snapshot();
         if self.based {
@@ -301,6 +347,11 @@ impl LiveRepo {
         let horizon = self.stream.next_t().expect("stream is non-empty");
         self.wal.truncate_before(horizon)?;
         self.steps_since_fold = 0;
+        self.chain_generations = self.committed_manifest()?.generations.len() as u32;
+        self.last_fold_unix_ms = Some(ppq_obs::unix_ms());
+        live_metrics()
+            .chain_generations
+            .set(self.chain_generations as u64);
         Ok(())
     }
 
@@ -318,7 +369,11 @@ impl LiveRepo {
         if !chain_long && !too_dead {
             return Ok(false);
         }
+        let _sp = ppq_obs::Span::with("compact", &live_metrics().compact_ns);
         Repo::open(&self.dir, COMPACT_POOL_PAGES)?.compact(None)?;
+        self.chain_generations = 1;
+        self.last_compaction_unix_ms = Some(ppq_obs::unix_ms());
+        live_metrics().chain_generations.set(1);
         Ok(true)
     }
 
@@ -360,6 +415,32 @@ impl LiveRepo {
         self.wal.pending()
     }
 
+    /// Committed-structure bytes of the WAL (its append position) — the
+    /// durable backlog the next fold will drain.
+    #[inline]
+    pub fn wal_pending_bytes(&self) -> u64 {
+        self.wal.len_bytes()
+    }
+
+    /// Committed generations in the chain (0 before the first fold).
+    /// Cached from the manifest; status queries never touch the disk.
+    #[inline]
+    pub fn chain_generations(&self) -> u32 {
+        self.chain_generations
+    }
+
+    /// Wall-clock ms of the last successful fold in this incarnation.
+    #[inline]
+    pub fn last_fold_unix_ms(&self) -> Option<u64> {
+        self.last_fold_unix_ms
+    }
+
+    /// Wall-clock ms of the last compaction in this incarnation.
+    #[inline]
+    pub fn last_compaction_unix_ms(&self) -> Option<u64> {
+        self.last_compaction_unix_ms
+    }
+
     /// Whether `push_slice` runs due maintenance inline. `true` unless a
     /// background maintenance worker has taken ownership of the cadence.
     #[inline]
@@ -395,12 +476,19 @@ impl LiveRepo {
         }
         out.attempted = true;
         let had_work = self.steps_since_fold > 0;
+        let m = live_metrics();
         match self.fold().and_then(|()| self.maybe_compact()) {
             Ok(compacted) => {
                 out.folded = had_work;
                 out.compacted = compacted;
                 self.failures = 0;
                 self.last_error = None;
+                if out.folded {
+                    m.folds.inc();
+                }
+                if out.compacted {
+                    m.compactions.inc();
+                }
             }
             Err(e) => {
                 // Degrade gracefully: remember, back off, keep ingesting.
@@ -410,8 +498,11 @@ impl LiveRepo {
                 self.failures = self.failures.saturating_add(1);
                 self.last_error = Some(e);
                 self.appender = Appender::with_page_size(&self.dir, self.cfg.page_size);
+                m.failures.inc();
             }
         }
+        m.backoff_shift
+            .set(self.failures.min(self.cfg.max_backoff_shift) as u64);
         out
     }
 

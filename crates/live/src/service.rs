@@ -44,7 +44,28 @@ use ppq_geo::{BBox, GridSpec, Point};
 use ppq_traj::{Dataset, TrajId};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// Registry handles for the publish path. Publish age is derived by the
+/// scraper from the publish-time gauge rather than recomputed here, so
+/// the registry stays clock-free on the hot path.
+struct ServiceMetrics {
+    published_version: ppq_obs::Gauge,
+    last_publish_unix_ms: ppq_obs::Gauge,
+    publishes: ppq_obs::Counter,
+}
+
+fn service_metrics() -> &'static ServiceMetrics {
+    static METRICS: OnceLock<ServiceMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = ppq_obs::Registry::global();
+        ServiceMetrics {
+            published_version: r.gauge("ppq_published_version"),
+            last_publish_unix_ms: r.gauge("ppq_last_publish_unix_ms"),
+            publishes: r.counter("ppq_publishes"),
+        }
+    })
+}
 
 /// An immutable, versioned view of everything ingested before `version`.
 pub struct Published {
@@ -80,6 +101,15 @@ pub struct ServiceStatus {
     pub inline_maintenance: bool,
     /// Whether a background maintenance worker owns the cadence.
     pub worker_attached: bool,
+    /// Committed-structure bytes of the WAL — the durable backlog the
+    /// next fold will drain.
+    pub wal_pending_bytes: u64,
+    /// Committed generations in the chain (0 before the first fold).
+    pub chain_generations: u32,
+    /// Wall-clock ms of the last successful fold (this incarnation).
+    pub last_fold_unix_ms: Option<u64>,
+    /// Wall-clock ms of the last compaction (this incarnation).
+    pub last_compaction_unix_ms: Option<u64>,
 }
 
 /// What one background-worker tick did (see
@@ -181,6 +211,10 @@ impl LiveService {
             summary: w.live.snapshot(),
         });
         *self.published.write().expect("publish lock poisoned") = snapshot;
+        let m = service_metrics();
+        m.published_version.set(version as u64);
+        m.last_publish_unix_ms.set(ppq_obs::unix_ms());
+        m.publishes.inc();
         version
     }
 
@@ -237,6 +271,10 @@ impl LiveService {
             last_maintenance_error: w.live.last_maintenance_error().map(|e| e.to_string()),
             inline_maintenance: w.live.inline_maintenance(),
             worker_attached: self.worker_attached.load(Ordering::Acquire),
+            wal_pending_bytes: w.live.wal_pending_bytes(),
+            chain_generations: w.live.chain_generations(),
+            last_fold_unix_ms: w.live.last_fold_unix_ms(),
+            last_compaction_unix_ms: w.live.last_compaction_unix_ms(),
         }
     }
 

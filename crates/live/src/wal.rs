@@ -36,6 +36,30 @@ use ppq_traj::TrajId;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// Registry handles for the WAL, resolved once. The pending gauge is
+/// process-wide (last writer wins across concurrently open logs) — the
+/// served configuration opens exactly one.
+struct WalMetrics {
+    append_ns: ppq_obs::Histogram,
+    sync_ns: ppq_obs::Histogram,
+    appends: ppq_obs::Counter,
+    pending: ppq_obs::Gauge,
+}
+
+fn wal_metrics() -> &'static WalMetrics {
+    static METRICS: OnceLock<WalMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = ppq_obs::Registry::global();
+        WalMetrics {
+            append_ns: r.histogram("ppq_wal_append_ns"),
+            sync_ns: r.histogram("ppq_wal_sync_ns"),
+            appends: r.counter("ppq_wal_appends"),
+            pending: r.gauge("ppq_wal_records_pending"),
+        }
+    })
+}
 
 /// File name of the log inside a live repository directory.
 pub const WAL_NAME: &str = "wal.ppq";
@@ -167,6 +191,8 @@ impl Wal {
     /// error the in-memory append position is unchanged — a later retry
     /// first discards whatever partial bytes the failed attempt left.
     pub fn append(&mut self, t: u32, points: &[(TrajId, Point)]) -> Result<(), WalError> {
+        let m = wal_metrics();
+        let _sp = ppq_obs::Span::with("wal_append", &m.append_ns);
         self.repair()?;
         let record = encode_record(t, points);
         self.file.seek(SeekFrom::Start(self.len))?;
@@ -176,6 +202,8 @@ impl Wal {
         }
         self.len += record.len() as u64;
         self.pending += 1;
+        m.appends.inc();
+        m.pending.set(self.pending as u64);
         if self.pending >= self.group_commit {
             self.sync()?;
         }
@@ -186,8 +214,11 @@ impl Wal {
     /// leaves the records written; a later sync covers them.
     pub fn sync(&mut self) -> Result<(), WalError> {
         if self.pending > 0 {
+            let m = wal_metrics();
+            let _sp = ppq_obs::Span::with("wal_sync", &m.sync_ns);
             fault::sync_all(&self.file)?;
             self.pending = 0;
+            m.pending.set(0);
         }
         Ok(())
     }
@@ -235,6 +266,7 @@ impl Wal {
         self.file = file;
         self.len = out.len() as u64;
         self.pending = 0;
+        wal_metrics().pending.set(0);
         Ok(())
     }
 

@@ -69,7 +69,7 @@ impl Default for MaintenanceConfig {
 }
 
 /// Monotonic counters describing what the worker has done so far.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct WorkerStats {
     /// Ticks executed (including no-op ones).
     pub ticks: u64,
@@ -85,6 +85,11 @@ pub struct WorkerStats {
     pub sync_failures: u64,
     /// Publishes that actually swapped in a new snapshot.
     pub publishes: u64,
+    /// The most recent WAL-sync failure, rendered. Unlike maintenance
+    /// errors (kept by the repo and shown in the service status), sync
+    /// errors happen on the worker thread only — without this they
+    /// would vanish into a bare counter.
+    pub last_sync_error: Option<String>,
 }
 
 #[derive(Default)]
@@ -96,6 +101,7 @@ struct Counters {
     wal_syncs: AtomicU64,
     sync_failures: AtomicU64,
     publishes: AtomicU64,
+    last_sync_error: Mutex<Option<String>>,
 }
 
 struct Shared {
@@ -175,8 +181,9 @@ fn run(service: Arc<LiveService>, shared: Arc<Shared>, cfg: MaintenanceConfig) {
         if out.synced {
             c.wal_syncs.fetch_add(1, Ordering::Relaxed);
         }
-        if out.sync_error.is_some() {
+        if let Some(e) = &out.sync_error {
             c.sync_failures.fetch_add(1, Ordering::Relaxed);
+            *c.last_sync_error.lock().expect("sync error lock poisoned") = Some(e.to_string());
         }
         if out.published.is_some() {
             c.publishes.fetch_add(1, Ordering::Relaxed);
@@ -196,6 +203,11 @@ impl MaintenanceWorker {
             wal_syncs: c.wal_syncs.load(Ordering::Relaxed),
             sync_failures: c.sync_failures.load(Ordering::Relaxed),
             publishes: c.publishes.load(Ordering::Relaxed),
+            last_sync_error: c
+                .last_sync_error
+                .lock()
+                .expect("sync error lock poisoned")
+                .clone(),
         }
     }
 

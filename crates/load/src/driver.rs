@@ -229,6 +229,99 @@ where
     }
 }
 
+/// What a metrics-scraping open-loop run observed of the server's own
+/// registry (see [`run_open_loop_scraped`]): one snapshot bracketing
+/// each end of the run, plus how many mid-run polls succeeded. The
+/// deltas are the server-side view of the load the client offered —
+/// agreement between the two (server requests == client completions,
+/// server latency ≤ client latency per quantile) is the check the
+/// `ppq_obs_path` bench gates on.
+#[derive(Clone, Debug)]
+pub struct ScrapeReport {
+    /// Snapshot taken before the first scheduled op.
+    pub before: ppq_obs::MetricsSnapshot,
+    /// Snapshot taken after every op completed (quiescent).
+    pub after: ppq_obs::MetricsSnapshot,
+    /// Mid-run polls that returned a snapshot.
+    pub samples: u64,
+}
+
+impl ScrapeReport {
+    /// How much counter `name` advanced over the run (`None` if absent
+    /// from the closing snapshot; saturating at 0 if the server reset).
+    /// Instruments register lazily on first touch, so a name missing
+    /// from the opening snapshot reads as a starting value of 0 — it
+    /// simply had not fired before the run began.
+    pub fn counter_delta(&self, name: &str) -> Option<u64> {
+        let b = self.before.counter(name).unwrap_or(0);
+        let a = self.after.counter(name)?;
+        Some(a.saturating_sub(b))
+    }
+
+    /// How many samples histogram `name` gained over the run. Lazy
+    /// registration reads as a starting count of 0, as for counters.
+    pub fn histogram_count_delta(&self, name: &str) -> Option<u64> {
+        let b = self.before.histogram(name).map(|h| h.count).unwrap_or(0);
+        let a = self.after.histogram(name)?.count;
+        Some(a.saturating_sub(b))
+    }
+}
+
+/// [`run_open_loop`] plus a metrics-scrape lane: while the schedule
+/// plays, a sampler thread polls `scrape` every `interval` (a closure
+/// so any transport works — a `RemoteConn::metrics` round-trip for a
+/// TCP server, `ppq_obs::snapshot` for an in-process target), and one
+/// bracketing snapshot is taken on each side of the run. Returns the
+/// unchanged load report plus the scrape evidence; `None` if either
+/// bracketing poll failed (a dead scrape lane must not fail the run —
+/// the report's absence is the signal).
+pub fn run_open_loop_scraped<T, F, S>(
+    target: &T,
+    schedule: &Schedule,
+    readers: usize,
+    on_append: F,
+    interval: Duration,
+    mut scrape: S,
+) -> (LoadReport, Option<ScrapeReport>)
+where
+    T: QueryTarget,
+    F: FnMut(),
+    S: FnMut() -> Option<ppq_obs::MetricsSnapshot> + Send,
+{
+    let before = scrape();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let (report, samples, scrape_back) = std::thread::scope(|scope| {
+        // The sampler owns the closure for the duration of the run; the
+        // final bracketing call gets it back through the join.
+        let sampler = scope.spawn(|| {
+            let mut scrape = scrape;
+            let mut samples = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                std::thread::sleep(interval);
+                if scrape().is_some() {
+                    samples += 1;
+                }
+            }
+            (samples, scrape)
+        });
+        let report = run_open_loop(target, schedule, readers, on_append);
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        let (samples, scrape) = sampler.join().expect("scrape sampler panicked");
+        (report, samples, scrape)
+    });
+    let mut scrape = scrape_back;
+    let after = scrape();
+    let scrape_report = match (before, after) {
+        (Some(before), Some(after)) => Some(ScrapeReport {
+            before,
+            after,
+            samples,
+        }),
+        _ => None,
+    };
+    (report, scrape_report)
+}
+
 /// Measure saturation throughput: every reader re-issues the schedule's
 /// query ops back to back (closed-loop, zero think time) for
 /// `ops_per_reader` operations; the aggregate completion rate is the

@@ -38,7 +38,10 @@ pub mod spatial;
 pub mod targets;
 pub mod zipf;
 
-pub use driver::{run_open_loop, saturation_throughput, ClassStats, LoadReport, QueryTarget};
+pub use driver::{
+    run_open_loop, run_open_loop_scraped, saturation_throughput, ClassStats, LoadReport,
+    QueryTarget, ScrapeReport,
+};
 pub use schedule::{MixConfig, Op, OpKind, Schedule, ScheduleConfig};
 pub use spatial::HotspotSampler;
 pub use zipf::Zipf;

@@ -1,0 +1,162 @@
+//! RAII timing spans and the bounded slow-query log.
+//!
+//! A [`Span`] times a region and records the elapsed nanoseconds into a
+//! registry histogram when dropped. Per-query context (I/O counts, STRQ
+//! visited counts) can be attached before the drop; if the span's
+//! latency crosses the configured threshold ([`set_slow_threshold`]),
+//! the whole record lands in a fixed-capacity ring buffer — the
+//! always-on flight recorder that makes "what was that p999 outlier
+//! doing" answerable on a live server without tracing infrastructure.
+
+use crate::registry::{self, Histogram, Registry};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Slow-query records retained (oldest evicted first).
+pub const SLOW_LOG_CAPACITY: usize = 128;
+
+/// One query that crossed the slow threshold.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// The span name (= the histogram it recorded into).
+    pub name: String,
+    /// Monotonic admission number (never reused; gaps mean eviction).
+    pub seq: u64,
+    pub latency_ns: u64,
+    /// Page reads charged to this query.
+    pub reads: u64,
+    /// Buffer-pool hits charged to this query.
+    pub hits: u64,
+    /// Candidates visited (STRQ refinement work).
+    pub visited: u64,
+}
+
+/// Latency at or above which a span is logged; `u64::MAX` = off.
+static SLOW_THRESHOLD_NS: AtomicU64 = AtomicU64::new(u64::MAX);
+
+struct SlowLog {
+    next_seq: u64,
+    ring: VecDeque<SlowQuery>,
+}
+
+fn slow_log() -> &'static Mutex<SlowLog> {
+    static LOG: OnceLock<Mutex<SlowLog>> = OnceLock::new();
+    LOG.get_or_init(|| {
+        Mutex::new(SlowLog {
+            next_seq: 0,
+            ring: VecDeque::with_capacity(SLOW_LOG_CAPACITY),
+        })
+    })
+}
+
+/// Log every span at least this slow (`None` disables, the default).
+pub fn set_slow_threshold(threshold: Option<Duration>) {
+    let ns = threshold
+        .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
+        .unwrap_or(u64::MAX);
+    SLOW_THRESHOLD_NS.store(ns, Ordering::SeqCst);
+}
+
+/// The slow-query log, oldest first.
+pub fn slow_queries() -> Vec<SlowQuery> {
+    let log = slow_log().lock().expect("slow log poisoned");
+    log.ring.iter().cloned().collect()
+}
+
+pub(crate) fn clear_slow_log() {
+    let mut log = slow_log().lock().expect("slow log poisoned");
+    log.next_seq = 0;
+    log.ring.clear();
+}
+
+fn push_slow(rec: SlowQuery) {
+    let mut log = slow_log().lock().expect("slow log poisoned");
+    let mut rec = rec;
+    rec.seq = log.next_seq;
+    log.next_seq += 1;
+    if log.ring.len() == SLOW_LOG_CAPACITY {
+        log.ring.pop_front();
+    }
+    log.ring.push_back(rec);
+}
+
+/// An in-flight timing span. Dropping it records; mem::forget skips.
+pub struct Span {
+    name: &'static str,
+    /// `None` when the registry was disabled at creation — the drop is
+    /// then free (no clock read happened either).
+    timing: Option<(Histogram, Instant)>,
+    reads: u64,
+    hits: u64,
+    visited: u64,
+}
+
+/// Start a span named `name`, recording into the global registry's
+/// histogram of the same name. The lookup locks the registry map — for
+/// per-request call sites that is fine; inner-loop call sites should
+/// cache a [`Histogram`] handle and use [`Span::with`].
+pub fn span(name: &'static str) -> Span {
+    if !registry::enabled() {
+        return Span::inert(name);
+    }
+    Span::with(name, &Registry::global().histogram(name))
+}
+
+impl Span {
+    /// Start a span feeding a pre-resolved histogram handle (the
+    /// zero-lookup hot-path form).
+    pub fn with(name: &'static str, hist: &Histogram) -> Span {
+        let timing = registry::enabled().then(|| (hist.clone(), Instant::now()));
+        Span {
+            name,
+            timing,
+            reads: 0,
+            hits: 0,
+            visited: 0,
+        }
+    }
+
+    fn inert(name: &'static str) -> Span {
+        Span {
+            name,
+            timing: None,
+            reads: 0,
+            hits: 0,
+            visited: 0,
+        }
+    }
+
+    /// Attach the query's I/O charge (page reads, buffer hits) for the
+    /// slow-query record.
+    pub fn io(&mut self, reads: u64, hits: u64) {
+        self.reads = reads;
+        self.hits = hits;
+    }
+
+    /// Attach the candidates-visited count for the slow-query record.
+    pub fn visited(&mut self, n: u64) {
+        self.visited = n;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((hist, start)) = self.timing.take() else {
+            return;
+        };
+        let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        hist.record(ns);
+        if ns >= SLOW_THRESHOLD_NS.load(Ordering::Relaxed) {
+            push_slow(SlowQuery {
+                name: self.name.to_string(),
+                seq: 0, // assigned under the log lock
+                latency_ns: ns,
+                reads: self.reads,
+                hits: self.hits,
+                visited: self.visited,
+            });
+        }
+    }
+}

@@ -27,6 +27,30 @@ use ppq_sindex::posting;
 use ppq_storage::IoStats;
 use ppq_traj::{Dataset, TrajId};
 use std::io;
+use std::sync::OnceLock;
+
+/// Registry handles for the disk query layer, resolved once so the
+/// per-query path touches only atomics. Separate histograms from the
+/// in-memory engines (`ppq_strq_ns`): a paged query's latency profile is
+/// a different population and folding them together would hide pool
+/// regressions.
+struct DiskQueryMetrics {
+    strq_ns: ppq_obs::Histogram,
+    tpq_ns: ppq_obs::Histogram,
+    pages_read: ppq_obs::Counter,
+}
+
+fn disk_metrics() -> &'static DiskQueryMetrics {
+    static METRICS: OnceLock<DiskQueryMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = ppq_obs::Registry::global();
+        DiskQueryMetrics {
+            strq_ns: r.histogram("ppq_disk_strq_ns"),
+            tpq_ns: r.histogram("ppq_disk_tpq_ns"),
+            pages_read: r.counter("ppq_query_pages_read"),
+        }
+    })
+}
 
 /// Reusable per-thread state for disk query evaluation: the posting
 /// union machinery of the in-memory `QueryWorkspace`, the block staging
@@ -256,6 +280,7 @@ impl<'a> DiskQueryEngine<'a> {
         p: &Point,
         ws: &mut DiskQueryWorkspace,
     ) -> io::Result<StrqOutcome> {
+        let mut sp = ppq_obs::Span::with("disk_strq", &disk_metrics().strq_ns);
         ws.io.reset();
         let result = self.strq_online_inner(t, p, ws);
         // Account on *every* exit: a failed query's partial page-ins are
@@ -263,6 +288,11 @@ impl<'a> DiskQueryEngine<'a> {
         // successful one.
         ws.last_io = (ws.io.reads(), ws.io.buffer_hits());
         self.repo.io_stats().absorb(&ws.io);
+        disk_metrics().pages_read.add(ws.last_io.0);
+        sp.io(ws.last_io.0, ws.last_io.1);
+        if let Ok(o) = &result {
+            sp.visited(o.visited as u64);
+        }
         result
     }
 
@@ -342,7 +372,10 @@ impl<'a> DiskQueryEngine<'a> {
         l: u32,
         ws: &mut DiskQueryWorkspace,
     ) -> io::Result<Vec<(TrajId, Vec<(u32, Point)>)>> {
+        let mut sp = ppq_obs::Span::with("disk_tpq", &disk_metrics().tpq_ns);
         let outcome = self.strq_online_with(t, p, ws)?;
+        sp.io(ws.last_io.0, ws.last_io.1);
+        sp.visited(outcome.visited as u64);
         Ok(outcome
             .exact
             .iter()

@@ -136,6 +136,14 @@ impl RemoteConn {
             _ => Err(ClientError::UnexpectedResponse),
         }
     }
+
+    /// Full metrics-registry snapshot of the server process.
+    pub fn metrics(&mut self) -> Result<ppq_obs::MetricsSnapshot, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(m),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
 }
 
 /// The remote server as a [`QueryTarget`]: hand this to

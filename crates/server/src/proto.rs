@@ -36,6 +36,7 @@
 use bytes::Bytes;
 use ppq_core::query::StrqOutcome;
 use ppq_geo::Point;
+use ppq_obs::{HistogramStats, MetricsSnapshot, SlowQuery};
 use ppq_storage::codec::{Decoder, Encoder};
 use ppq_traj::TrajId;
 use std::fmt;
@@ -146,6 +147,9 @@ pub enum Request {
     /// Force a snapshot publish; returns the (possibly unchanged)
     /// version.
     Publish,
+    /// Full metrics-registry snapshot (counters, gauges, histogram
+    /// digests, slow-query log) — the wire-level admin surface.
+    Metrics,
 }
 
 const REQ_STRQ: u8 = 1;
@@ -153,6 +157,7 @@ const REQ_TPQ: u8 = 2;
 const REQ_APPEND: u8 = 3;
 const REQ_STATS: u8 = 4;
 const REQ_PUBLISH: u8 = 5;
+const REQ_METRICS: u8 = 6;
 
 /// Server → client messages.
 #[derive(Clone, Debug, PartialEq)]
@@ -176,6 +181,9 @@ pub enum Response {
     OutOfOrder { expected: u32, got: u32 },
     /// Request understood but failed; human-readable cause.
     Error { message: String },
+    /// Metrics-registry snapshot. Every numeric field is an integer
+    /// (nanoseconds for latencies) — the wire carries no floats.
+    Metrics(MetricsSnapshot),
 }
 
 const RESP_STRQ: u8 = 1;
@@ -186,6 +194,7 @@ const RESP_PUBLISHED: u8 = 5;
 const RESP_BUSY: u8 = 6;
 const RESP_OUT_OF_ORDER: u8 = 7;
 const RESP_ERROR: u8 = 8;
+const RESP_METRICS: u8 = 9;
 
 /// Body of [`Response::Stats`] — the wire form of
 /// [`ppq_live::ServiceStatus`].
@@ -198,6 +207,10 @@ pub struct StatsBody {
     pub inline_maintenance: bool,
     pub worker_attached: bool,
     pub last_maintenance_error: Option<String>,
+    pub wal_pending_bytes: u64,
+    pub chain_generations: u32,
+    pub last_fold_unix_ms: Option<u64>,
+    pub last_compaction_unix_ms: Option<u64>,
 }
 
 // --- Encode -----------------------------------------------------------------
@@ -220,6 +233,16 @@ fn put_opt_u32(e: &mut Encoder, v: Option<u32>) {
         Some(v) => {
             e.put_u16(1);
             e.put_u32(v);
+        }
+        None => e.put_u16(0),
+    }
+}
+
+fn put_opt_u64(e: &mut Encoder, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            e.put_u16(1);
+            e.put_u64(v);
         }
         None => e.put_u16(0),
     }
@@ -257,6 +280,7 @@ impl Request {
             }
             Request::Stats => header(&mut e, REQ_STATS),
             Request::Publish => header(&mut e, REQ_PUBLISH),
+            Request::Metrics => header(&mut e, REQ_METRICS),
         }
         e.finish()
     }
@@ -289,6 +313,7 @@ impl Request {
             }
             REQ_STATS => Request::Stats,
             REQ_PUBLISH => Request::Publish,
+            REQ_METRICS => Request::Metrics,
             other => return Err(ProtocolError::UnknownTag(other)),
         };
         finish(&d)?;
@@ -342,6 +367,10 @@ impl Response {
                     }
                     None => e.put_u16(0),
                 }
+                e.put_u64(s.wal_pending_bytes);
+                e.put_u32(s.chain_generations);
+                put_opt_u64(&mut e, s.last_fold_unix_ms);
+                put_opt_u64(&mut e, s.last_compaction_unix_ms);
             }
             Response::Published { version } => {
                 header(&mut e, RESP_PUBLISHED);
@@ -356,6 +385,36 @@ impl Response {
             Response::Error { message } => {
                 header(&mut e, RESP_ERROR);
                 e.put_bytes(message.as_bytes());
+            }
+            Response::Metrics(m) => {
+                header(&mut e, RESP_METRICS);
+                e.put_u32(m.counters.len() as u32);
+                for (name, v) in &m.counters {
+                    e.put_bytes(name.as_bytes());
+                    e.put_u64(*v);
+                }
+                e.put_u32(m.gauges.len() as u32);
+                for (name, v) in &m.gauges {
+                    e.put_bytes(name.as_bytes());
+                    e.put_u64(*v);
+                }
+                e.put_u32(m.histograms.len() as u32);
+                for (name, h) in &m.histograms {
+                    e.put_bytes(name.as_bytes());
+                    for v in [
+                        h.count, h.sum_ns, h.min_ns, h.p50_ns, h.p90_ns, h.p99_ns, h.p999_ns,
+                        h.max_ns,
+                    ] {
+                        e.put_u64(v);
+                    }
+                }
+                e.put_u32(m.slow_queries.len() as u32);
+                for q in &m.slow_queries {
+                    e.put_bytes(q.name.as_bytes());
+                    for v in [q.seq, q.latency_ns, q.reads, q.hits, q.visited] {
+                        e.put_u64(v);
+                    }
+                }
             }
         }
         e.finish()
@@ -418,6 +477,10 @@ impl Response {
                     1 => Some(read_string(&mut d)?),
                     _ => return Err(ProtocolError::BadValue("error-presence flag")),
                 };
+                let wal_pending_bytes = try_u64(&mut d)?;
+                let chain_generations = try_u32(&mut d)?;
+                let last_fold_unix_ms = read_opt_u64(&mut d)?;
+                let last_compaction_unix_ms = read_opt_u64(&mut d)?;
                 Response::Stats(StatsBody {
                     next_t,
                     published_version,
@@ -426,6 +489,10 @@ impl Response {
                     inline_maintenance,
                     worker_attached,
                     last_maintenance_error,
+                    wal_pending_bytes,
+                    chain_generations,
+                    last_fold_unix_ms,
+                    last_compaction_unix_ms,
                 })
             }
             RESP_PUBLISHED => Response::Published {
@@ -439,6 +506,58 @@ impl Response {
             RESP_ERROR => Response::Error {
                 message: read_string(&mut d)?,
             },
+            RESP_METRICS => {
+                // Entry minimums: empty name = 4 B length prefix, then
+                // the fixed u64 block of each entry kind.
+                let n = bounded_count(&mut d, 4 + 8)?;
+                let mut counters = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = read_string(&mut d)?;
+                    counters.push((name, try_u64(&mut d)?));
+                }
+                let n = bounded_count(&mut d, 4 + 8)?;
+                let mut gauges = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = read_string(&mut d)?;
+                    gauges.push((name, try_u64(&mut d)?));
+                }
+                let n = bounded_count(&mut d, 4 + 64)?;
+                let mut histograms = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = read_string(&mut d)?;
+                    histograms.push((
+                        name,
+                        HistogramStats {
+                            count: try_u64(&mut d)?,
+                            sum_ns: try_u64(&mut d)?,
+                            min_ns: try_u64(&mut d)?,
+                            p50_ns: try_u64(&mut d)?,
+                            p90_ns: try_u64(&mut d)?,
+                            p99_ns: try_u64(&mut d)?,
+                            p999_ns: try_u64(&mut d)?,
+                            max_ns: try_u64(&mut d)?,
+                        },
+                    ));
+                }
+                let n = bounded_count(&mut d, 4 + 40)?;
+                let mut slow_queries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    slow_queries.push(SlowQuery {
+                        name: read_string(&mut d)?,
+                        seq: try_u64(&mut d)?,
+                        latency_ns: try_u64(&mut d)?,
+                        reads: try_u64(&mut d)?,
+                        hits: try_u64(&mut d)?,
+                        visited: try_u64(&mut d)?,
+                    });
+                }
+                Response::Metrics(MetricsSnapshot {
+                    counters,
+                    gauges,
+                    histograms,
+                    slow_queries,
+                })
+            }
             other => return Err(ProtocolError::UnknownTag(other)),
         };
         finish(&d)?;
@@ -496,6 +615,14 @@ fn read_opt_u32(d: &mut Decoder) -> Result<Option<u32>, ProtocolError> {
     match try_u16(d)? {
         0 => Ok(None),
         1 => Ok(Some(try_u32(d)?)),
+        _ => Err(ProtocolError::BadValue("option flag")),
+    }
+}
+
+fn read_opt_u64(d: &mut Decoder) -> Result<Option<u64>, ProtocolError> {
+    match try_u16(d)? {
+        0 => Ok(None),
+        1 => Ok(Some(try_u64(d)?)),
         _ => Err(ProtocolError::BadValue("option flag")),
     }
 }

@@ -99,6 +99,56 @@ struct Counters {
     protocol_errors: AtomicU64,
 }
 
+/// Registry handles for the transport, resolved once. The handle-level
+/// [`ServerStats`] counters above stay authoritative for the handle's
+/// own API; the registry mirrors them (plus per-class detail) for the
+/// wire-level `Metrics` surface.
+struct ServerMetrics {
+    requests: ppq_obs::Counter,
+    shed: ppq_obs::Counter,
+    protocol_errors: ppq_obs::Counter,
+    bytes_in: ppq_obs::Counter,
+    bytes_out: ppq_obs::Counter,
+    connections_opened: ppq_obs::Counter,
+    connections_closed: ppq_obs::Counter,
+    connections_active: ppq_obs::Gauge,
+    strq_requests: ppq_obs::Counter,
+    tpq_requests: ppq_obs::Counter,
+    append_requests: ppq_obs::Counter,
+    stats_requests: ppq_obs::Counter,
+    publish_requests: ppq_obs::Counter,
+    metrics_requests: ppq_obs::Counter,
+    strq_ns: ppq_obs::Histogram,
+    tpq_ns: ppq_obs::Histogram,
+    append_ns: ppq_obs::Histogram,
+}
+
+fn server_metrics() -> &'static ServerMetrics {
+    static METRICS: std::sync::OnceLock<ServerMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = ppq_obs::Registry::global();
+        ServerMetrics {
+            requests: r.counter("ppq_server_requests"),
+            shed: r.counter("ppq_server_shed"),
+            protocol_errors: r.counter("ppq_server_protocol_errors"),
+            bytes_in: r.counter("ppq_server_bytes_in"),
+            bytes_out: r.counter("ppq_server_bytes_out"),
+            connections_opened: r.counter("ppq_server_connections_opened"),
+            connections_closed: r.counter("ppq_server_connections_closed"),
+            connections_active: r.gauge("ppq_server_connections_active"),
+            strq_requests: r.counter("ppq_server_strq_requests"),
+            tpq_requests: r.counter("ppq_server_tpq_requests"),
+            append_requests: r.counter("ppq_server_append_requests"),
+            stats_requests: r.counter("ppq_server_stats_requests"),
+            publish_requests: r.counter("ppq_server_publish_requests"),
+            metrics_requests: r.counter("ppq_server_metrics_requests"),
+            strq_ns: r.histogram("ppq_server_strq_ns"),
+            tpq_ns: r.histogram("ppq_server_tpq_ns"),
+            append_ns: r.histogram("ppq_server_append_ns"),
+        }
+    })
+}
+
 /// A running server. Dropping without [`ServerHandle::shutdown`] stops
 /// the threads best-effort (the maintenance worker still drains via its
 /// own `Drop`).
@@ -247,6 +297,7 @@ fn accept_loop(
                 Ok(()) => {}
                 Err(TrySendError::Full(stream)) => {
                     counters.shed.fetch_add(1, Ordering::Relaxed);
+                    server_metrics().shed.inc();
                     shed(stream);
                 }
                 Err(TrySendError::Disconnected(_)) => return,
@@ -288,7 +339,12 @@ fn handler_loop(
         match next {
             Ok(stream) => {
                 counters.accepted.fetch_add(1, Ordering::Relaxed);
+                let m = server_metrics();
+                m.connections_opened.inc();
+                m.connections_active.add(1);
                 serve_connection(&service, stream, &stop, &counters, poll, &mut ws);
+                m.connections_closed.inc();
+                m.connections_active.sub(1);
             }
             Err(RecvTimeoutError::Timeout) => {
                 if stop.load(Ordering::Acquire) {
@@ -316,11 +372,13 @@ fn serve_connection(
         return;
     }
     loop {
+        let m = server_metrics();
         let payload = match next_frame(&mut stream, stop) {
             Ok(Some(payload)) => payload,
             Ok(None) => return,
             Err(WireError::Protocol(e)) => {
                 counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                m.protocol_errors.inc();
                 // Best-effort diagnosis; the framing can no longer be
                 // trusted, so the connection closes either way.
                 let resp = Response::Error {
@@ -331,10 +389,13 @@ fn serve_connection(
             }
             Err(WireError::Io(_)) => return,
         };
-        let response = match Request::decode(&payload) {
-            Ok(req) => dispatch(service, req, ws),
+        // 4-byte length prefix + payload, the full wire footprint.
+        m.bytes_in.add(4 + payload.len() as u64);
+        let req = match Request::decode(&payload) {
+            Ok(req) => req,
             Err(e) => {
                 counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                m.protocol_errors.inc();
                 let resp = Response::Error {
                     message: format!("malformed request: {e}"),
                 };
@@ -342,31 +403,51 @@ fn serve_connection(
                 return;
             }
         };
+        // Counted before dispatch so a `Metrics` snapshot includes the
+        // request that produced it — server totals then equal client
+        // completions exactly, with nothing in flight.
         counters.requests.fetch_add(1, Ordering::Relaxed);
-        if proto::write_frame(&mut stream, &response.encode()).is_err() {
+        m.requests.inc();
+        let response = dispatch(service, req, ws);
+        let encoded = response.encode();
+        m.bytes_out.add(4 + encoded.len() as u64);
+        if proto::write_frame(&mut stream, &encoded).is_err() {
             return;
         }
     }
 }
 
 fn dispatch(service: &Arc<LiveService>, req: Request, ws: &mut ShardedQueryWorkspace) -> Response {
+    let m = server_metrics();
     match req {
         Request::Strq { t, point } => {
+            m.strq_requests.inc();
+            let mut sp = ppq_obs::Span::with("server_strq", &m.strq_ns);
             let (version, outcome) = service.strq(t, &point, ws);
+            sp.visited(outcome.visited as u64);
             Response::Strq { version, outcome }
         }
         Request::Tpq { t, point, horizon } => {
+            m.tpq_requests.inc();
+            let _sp = ppq_obs::Span::with("server_tpq", &m.tpq_ns);
             let (version, matches) = service.tpq(t, &point, horizon, ws);
             Response::Tpq { version, matches }
         }
-        Request::Append { t, points } => match service.push_slice(t, &points) {
-            Ok(()) => Response::Appended { next_t: t + 1 },
-            Err(LiveError::OutOfOrder { expected, got }) => Response::OutOfOrder { expected, got },
-            Err(e) => Response::Error {
-                message: format!("append failed: {e}"),
-            },
-        },
+        Request::Append { t, points } => {
+            m.append_requests.inc();
+            let _sp = ppq_obs::Span::with("server_append", &m.append_ns);
+            match service.push_slice(t, &points) {
+                Ok(()) => Response::Appended { next_t: t + 1 },
+                Err(LiveError::OutOfOrder { expected, got }) => {
+                    Response::OutOfOrder { expected, got }
+                }
+                Err(e) => Response::Error {
+                    message: format!("append failed: {e}"),
+                },
+            }
+        }
         Request::Stats => {
+            m.stats_requests.inc();
             let s = service.status();
             Response::Stats(StatsBody {
                 next_t: s.next_t,
@@ -376,11 +457,22 @@ fn dispatch(service: &Arc<LiveService>, req: Request, ws: &mut ShardedQueryWorks
                 inline_maintenance: s.inline_maintenance,
                 worker_attached: s.worker_attached,
                 last_maintenance_error: s.last_maintenance_error,
+                wal_pending_bytes: s.wal_pending_bytes,
+                chain_generations: s.chain_generations,
+                last_fold_unix_ms: s.last_fold_unix_ms,
+                last_compaction_unix_ms: s.last_compaction_unix_ms,
             })
         }
-        Request::Publish => Response::Published {
-            version: service.publish(),
-        },
+        Request::Publish => {
+            m.publish_requests.inc();
+            Response::Published {
+                version: service.publish(),
+            }
+        }
+        Request::Metrics => {
+            m.metrics_requests.inc();
+            Response::Metrics(ppq_obs::snapshot())
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 
 use ppq_core::query::StrqOutcome;
 use ppq_geo::Point;
+use ppq_obs::{HistogramStats, MetricsSnapshot, SlowQuery};
 use ppq_server::proto::{self, ProtocolError, Request, Response, StatsBody, WireError};
 use proptest::prelude::*;
 
@@ -35,6 +36,7 @@ fn sample_requests() -> Vec<Request> {
         },
         Request::Stats,
         Request::Publish,
+        Request::Metrics,
     ]
 }
 
@@ -71,6 +73,38 @@ fn sample_responses() -> Vec<Response> {
             inline_maintenance: false,
             worker_attached: true,
             last_maintenance_error: Some("disk on fire".to_string()),
+            wal_pending_bytes: 4096,
+            chain_generations: 2,
+            last_fold_unix_ms: Some(1_700_000_000_000),
+            last_compaction_unix_ms: None,
+        }),
+        Response::Metrics(MetricsSnapshot {
+            counters: vec![
+                ("ppq_pool_hits".to_string(), 42),
+                ("ppq_server_requests".to_string(), 7),
+            ],
+            gauges: vec![("ppq_wal_records_pending".to_string(), 3)],
+            histograms: vec![(
+                "ppq_server_strq_ns".to_string(),
+                HistogramStats {
+                    count: 9,
+                    sum_ns: 90_000,
+                    min_ns: 1_000,
+                    p50_ns: 10_000,
+                    p90_ns: 20_000,
+                    p99_ns: 30_000,
+                    p999_ns: 30_000,
+                    max_ns: 31_000,
+                },
+            )],
+            slow_queries: vec![SlowQuery {
+                name: "strq".to_string(),
+                seq: 4,
+                latency_ns: 31_000,
+                reads: 12,
+                hits: 9,
+                visited: 80,
+            }],
         }),
         Response::Published { version: 13 },
         Response::Busy,

@@ -46,6 +46,28 @@ struct PoolInner {
     pages: HashMap<FrameKey, Arc<Page>>,
 }
 
+/// Registry instruments every pool shares (process-cumulative, like the
+/// `ppq_io_*` counters): the per-call [`IoStats`] charging stays the
+/// Table 9 measurement path, these feed the live metrics surface. The
+/// invariant `hits + misses == page-in attempts` is checked end-to-end
+/// by the `ppq_obs_path` bench.
+struct PoolMetrics {
+    hits: ppq_obs::Counter,
+    misses: ppq_obs::Counter,
+    evictions: ppq_obs::Counter,
+    resident: ppq_obs::Gauge,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static M: std::sync::OnceLock<PoolMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| PoolMetrics {
+        hits: ppq_obs::counter("ppq_pool_hits"),
+        misses: ppq_obs::counter("ppq_pool_misses"),
+        evictions: ppq_obs::counter("ppq_pool_evictions"),
+        resident: ppq_obs::gauge("ppq_pool_resident_frames"),
+    })
+}
+
 impl PoolInner {
     fn touch(&mut self, key: FrameKey) {
         if let Some(pos) = self.order.iter().position(|&k| k == key) {
@@ -89,8 +111,12 @@ impl SharedBufferPool {
     fn get(&self, key: FrameKey) -> Option<Arc<Page>> {
         let mut inner = self.inner.lock();
         let page = inner.pages.get(&key).map(Arc::clone);
+        let m = pool_metrics();
         if page.is_some() {
             inner.touch(key);
+            m.hits.inc();
+        } else {
+            m.misses.inc();
         }
         page
     }
@@ -100,19 +126,33 @@ impl SharedBufferPool {
         if inner.capacity == 0 {
             return;
         }
-        inner.pages.insert(key, page);
+        let m = pool_metrics();
+        if inner.pages.insert(key, page).is_none() {
+            m.resident.add(1);
+        }
         inner.touch(key);
         while inner.pages.len() > inner.capacity {
             let victim = inner.order.remove(0);
             inner.pages.remove(&victim);
+            m.evictions.inc();
+            m.resident.sub(1);
         }
     }
 
     /// Evict everything (cold-start a query batch).
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
+        pool_metrics().resident.sub(inner.pages.len() as u64);
         inner.order.clear();
         inner.pages.clear();
+    }
+}
+
+impl Drop for SharedBufferPool {
+    /// Return this pool's frames to the shared resident-frames gauge.
+    fn drop(&mut self) {
+        let inner = self.inner.lock();
+        pool_metrics().resident.sub(inner.pages.len() as u64);
     }
 }
 

@@ -41,13 +41,37 @@ impl IoStats {
     }
 
     /// Add another counter's totals into this one — how per-query stats
-    /// roll up into a session-cumulative counter.
+    /// roll up into a session-cumulative counter. The absorbed amounts
+    /// also feed the process-wide registry (`ppq_io_*` counters), so the
+    /// live metrics surface sees cumulative I/O without any engine
+    /// plumbing.
     pub fn absorb(&self, other: &IoStats) {
-        self.reads.fetch_add(other.reads(), Ordering::Relaxed);
-        self.writes.fetch_add(other.writes(), Ordering::Relaxed);
-        self.buffer_hits
-            .fetch_add(other.buffer_hits(), Ordering::Relaxed);
+        let (reads, writes, hits) = (other.reads(), other.writes(), other.buffer_hits());
+        self.reads.fetch_add(reads, Ordering::Relaxed);
+        self.writes.fetch_add(writes, Ordering::Relaxed);
+        self.buffer_hits.fetch_add(hits, Ordering::Relaxed);
+        let m = io_metrics();
+        m.reads.add(reads);
+        m.writes.add(writes);
+        m.buffer_hits.add(hits);
     }
+}
+
+/// Registry counters fed by [`IoStats::absorb`] (one lazy lookup for
+/// the process, relaxed adds after).
+struct IoMetrics {
+    reads: ppq_obs::Counter,
+    writes: ppq_obs::Counter,
+    buffer_hits: ppq_obs::Counter,
+}
+
+fn io_metrics() -> &'static IoMetrics {
+    static M: std::sync::OnceLock<IoMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| IoMetrics {
+        reads: ppq_obs::counter("ppq_io_reads"),
+        writes: ppq_obs::counter("ppq_io_writes"),
+        buffer_hits: ppq_obs::counter("ppq_io_buffer_hits"),
+    })
 }
 
 /// LRU list over page ids (simple clock-less variant: a Vec ordered by

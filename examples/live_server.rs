@@ -11,6 +11,10 @@
 //!
 //! # Long-running server for external clients / the CI smoke job:
 //! cargo run --release --example live_server -- --serve 127.0.0.1:7878 --secs 30
+//!
+//! # Same, with a plain-HTTP admin listener for metric scrapers:
+//! cargo run --release --example live_server -- --serve 127.0.0.1:7878 --admin 127.0.0.1:9878
+//! curl http://127.0.0.1:9878/metrics
 //! ```
 //!
 //! In `--serve` mode the process builds the same synthetic fleet
@@ -86,20 +90,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .and_then(|j| args.get(j + 1))
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(30u64);
-            serve(&addr, secs)
+            let admin = args
+                .iter()
+                .position(|a| a == "--admin")
+                .and_then(|j| args.get(j + 1))
+                .cloned();
+            serve(&addr, secs, admin.as_deref())
         }
         None => demo(),
     }
 }
 
+/// Serve the process metrics page over bare HTTP on `addr`: every
+/// connection gets a `200 text/plain` whose body is
+/// [`ppq_trajectory::obs::render_text`] — the Prometheus exposition
+/// shape, enough for `curl` and any scraper that speaks HTTP/1.0. The
+/// listener thread is detached; it lives until the process exits.
+fn spawn_admin(addr: &str) -> Result<std::net::SocketAddr, Box<dyn std::error::Error>> {
+    use std::io::Write as _;
+    let listener = std::net::TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let body = ppq_trajectory::obs::render_text();
+            let header = format!(
+                "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            );
+            let _ = stream
+                .write_all(header.as_bytes())
+                .and_then(|()| stream.write_all(body.as_bytes()));
+        }
+    });
+    Ok(bound)
+}
+
 /// Long-running mode: serve `addr` for `secs` seconds, ingesting the
 /// fleet in the background, then drain and exit.
-fn serve(addr: &str, secs: u64) -> Result<(), Box<dyn std::error::Error>> {
+fn serve(addr: &str, secs: u64, admin: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
     let data = Arc::new(service_dataset());
     println!("{}", DatasetStats::of(&data).banner("service fleet"));
     let dir = std::env::temp_dir().join(format!("ppq-live-server-{}", std::process::id()));
     let server = start_server(addr, data.clone(), &dir)?;
     println!("serving on {} for {secs}s", server.addr());
+    if let Some(admin_addr) = admin {
+        let bound = spawn_admin(admin_addr)?;
+        println!("admin metrics on http://{bound}/metrics");
+    }
 
     // Background ingest through the service (the transport is for
     // clients; the co-located writer shortcuts straight to the service).
@@ -184,6 +222,29 @@ fn demo() -> Result<(), Box<dyn std::error::Error>> {
         "background maintenance: folds={} compactions={} wal_syncs={} publishes={}",
         wstats.folds, wstats.compactions, wstats.wal_syncs, wstats.publishes
     );
+
+    // --- Observability over the wire: the Metrics frame. -----------------
+    let snap = conn.metrics()?;
+    println!(
+        "metrics snapshot over TCP: {} counters, {} gauges, {} histograms, {} slow queries",
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.histograms.len(),
+        snap.slow_queries.len()
+    );
+    assert!(snap.counter("ppq_server_requests").unwrap_or(0) > 0);
+    assert_eq!(
+        snap.counter("ppq_wal_appends"),
+        Some(u64::from(last_t) + 1),
+        "one WAL append per ingested slice"
+    );
+    let page = snap.render_text();
+    for line in page
+        .lines()
+        .filter(|l| l.starts_with("ppq_server_requests") || l.starts_with("ppq_strq_ns_count"))
+    {
+        println!("  {line}");
+    }
 
     // --- Graceful shutdown: drain, fold, checkpoint. ---------------------
     drop(conn);

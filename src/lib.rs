@@ -53,6 +53,7 @@ pub use ppq_core as core;
 pub use ppq_cqc as cqc;
 pub use ppq_geo as geo;
 pub use ppq_live as live;
+pub use ppq_obs as obs;
 pub use ppq_predict as predict;
 pub use ppq_quantize as quantize;
 pub use ppq_repo as repo;
