@@ -110,6 +110,14 @@ pub struct ServiceStatus {
     pub last_fold_unix_ms: Option<u64>,
     /// Wall-clock ms of the last compaction (this incarnation).
     pub last_compaction_unix_ms: Option<u64>,
+    /// Frames resident across the process's shared buffer pools (the
+    /// `ppq_pool_resident_frames` gauge) — auto-compaction's repository
+    /// view and any disk query engine in this process page through them.
+    pub pool_resident_frames: u64,
+    /// Frames pinned by in-flight batched reads
+    /// (`ppq_pool_pinned_frames`): nonzero while concurrent disk queries
+    /// hold their working sets.
+    pub pool_pinned_frames: u64,
 }
 
 /// What one background-worker tick did (see
@@ -275,6 +283,8 @@ impl LiveService {
             chain_generations: w.live.chain_generations(),
             last_fold_unix_ms: w.live.last_fold_unix_ms(),
             last_compaction_unix_ms: w.live.last_compaction_unix_ms(),
+            pool_resident_frames: ppq_obs::gauge("ppq_pool_resident_frames").get(),
+            pool_pinned_frames: ppq_obs::gauge("ppq_pool_pinned_frames").get(),
         }
     }
 

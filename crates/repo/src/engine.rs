@@ -20,6 +20,7 @@
 //! repository's cumulative counter, so both per-query and per-batch
 //! page-in numbers fall out of one mechanism.
 
+use crate::dir::{BlockMeta, DiskPeriod};
 use crate::repo::{Repo, ShardStore};
 use ppq_core::query::{batch_chunked, StrqOutcome};
 use ppq_geo::{BBox, GridSpec, Point};
@@ -28,6 +29,32 @@ use ppq_storage::IoStats;
 use ppq_traj::{Dataset, TrajId};
 use std::io;
 use std::sync::OnceLock;
+
+/// How the engine turns a query plan into page reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReadMode {
+    /// Plan-then-fetch (the default): walk the block directory first,
+    /// collect the deduplicated page set, resolve it in one
+    /// [`ppq_storage::SharedBufferPool::fetch_batch`] — hits pinned
+    /// immediately, misses overlapped on the I/O backend.
+    #[default]
+    Batched,
+    /// One synchronous page-in per block as the directory walk visits it
+    /// — the pre-batching behaviour, kept selectable for the
+    /// `fewer_or_equal_ios` A/B in `ppq_disk_path`.
+    Sequential,
+}
+
+impl ReadMode {
+    /// `PPQ_READ_MODE=seq|sequential` selects [`ReadMode::Sequential`];
+    /// anything else (including unset) is [`ReadMode::Batched`].
+    pub fn from_env() -> ReadMode {
+        match std::env::var("PPQ_READ_MODE").as_deref() {
+            Ok("seq") | Ok("sequential") => ReadMode::Sequential,
+            _ => ReadMode::Batched,
+        }
+    }
+}
 
 /// Registry handles for the disk query layer, resolved once so the
 /// per-query path touches only atomics. Separate histograms from the
@@ -68,6 +95,9 @@ pub struct DiskQueryWorkspace {
     tmp: Vec<u32>,
     /// Byte staging for block reads.
     block: Vec<u8>,
+    /// The query plan: every directory block the current rect probe
+    /// touches, collected *before* any page is read.
+    plan: Vec<BlockMeta>,
     /// Per-query I/O counter; a snapshot survives in [`Self::last_io`].
     io: IoStats,
     /// `(page reads, buffer hits)` of the most recent query through this
@@ -80,6 +110,20 @@ impl DiskQueryWorkspace {
     pub fn new() -> DiskQueryWorkspace {
         DiskQueryWorkspace::default()
     }
+
+    /// Cap page-in attempts per query served through this workspace
+    /// (`u64::MAX` — the default — is unlimited). The cap survives the
+    /// per-query counter reset; an over-budget query fails typed
+    /// (`RepoError::Io` at the repository surface) *before* dispatching
+    /// the refused batch, never silently truncated.
+    pub fn set_io_budget(&mut self, max_reads: u64) {
+        self.io.set_budget(max_reads);
+    }
+
+    /// The configured per-query read budget.
+    pub fn io_budget(&self) -> u64 {
+        self.io.budget()
+    }
 }
 
 /// Disk-resident STRQ/TPQ engine over an open [`Repo`].
@@ -90,6 +134,13 @@ pub struct DiskQueryEngine<'a> {
     /// so cell boundaries agree across engines and methods.
     grid: GridSpec,
     search_radius: f64,
+    read_mode: ReadMode,
+    /// Warm the pool with the next timestep's blocks after each rect
+    /// probe (`PPQ_PREFETCH_NEXT=1`). Prefetched page-ins are charged to
+    /// the triggering query's [`IoStats`], so the pool/stats
+    /// reconciliation invariant stays exact; prefetch failures never fail
+    /// the query.
+    prefetch_next: bool,
 }
 
 impl<'a> DiskQueryEngine<'a> {
@@ -105,7 +156,24 @@ impl<'a> DiskQueryEngine<'a> {
             dataset,
             grid: GridSpec::covering(&bbox.inflate(gc), gc),
             search_radius,
+            read_mode: ReadMode::from_env(),
+            prefetch_next: std::env::var("PPQ_PREFETCH_NEXT").as_deref() == Ok("1"),
         }
+    }
+
+    #[inline]
+    pub fn read_mode(&self) -> ReadMode {
+        self.read_mode
+    }
+
+    /// Override the environment-selected read mode (the bench A/B).
+    pub fn set_read_mode(&mut self, mode: ReadMode) {
+        self.read_mode = mode;
+    }
+
+    /// Enable or disable next-timestep prefetch (default: env-selected).
+    pub fn set_prefetch_next(&mut self, on: bool) {
+        self.prefetch_next = on;
     }
 
     #[inline]
@@ -163,7 +231,31 @@ impl<'a> DiskQueryEngine<'a> {
         let Some((pidx, period)) = shard.period_of(t) else {
             return Ok(());
         };
-        let mut io_err: Option<io::Error> = None;
+        let result = match self.read_mode {
+            ReadMode::Batched => self.collect_rect_batched(shard, pidx, period, t, rect, ws),
+            ReadMode::Sequential => Self::collect_rect_sequential(shard, pidx, period, t, rect, ws),
+        };
+        if let Err(e) = result {
+            // Leave the bitset clean for the next query.
+            ws.ids.clear();
+            ws.set.drain_sorted_into(&mut ws.ids);
+            return Err(e);
+        }
+        ws.set.drain_sorted_into(out);
+        Ok(())
+    }
+
+    /// The *plan* phase: the block directory walk alone, with the same
+    /// region/bounds pruning as the sequential path, appending every
+    /// surviving block's meta to `plan` — no page is touched.
+    fn plan_rect(
+        shard: &ShardStore,
+        pidx: usize,
+        period: &DiskPeriod,
+        t: u32,
+        rect: &BBox,
+        plan: &mut Vec<BlockMeta>,
+    ) {
         for (ri, region) in period.regions.iter().enumerate() {
             if !region.bbox.intersects(rect) {
                 continue;
@@ -177,6 +269,90 @@ impl<'a> DiskQueryEngine<'a> {
             };
             // Clip to the occupied cell bounds (pruning only — the walk
             // visits stored cells exclusively either way).
+            let lo_x = lo_x.max(bounds.min_cx);
+            let lo_y = lo_y.max(bounds.min_cy);
+            let hi_x = hi_x.min(bounds.max_cx);
+            let hi_y = hi_y.min(bounds.max_cy);
+            if lo_x > hi_x || lo_y > hi_y {
+                continue;
+            }
+            posting::walk_cells_in_range(
+                &region.grid,
+                cells,
+                (lo_x, lo_y, hi_x, hi_y),
+                |i, _cx, _cy| plan.push(metas[i]),
+            );
+        }
+    }
+
+    /// Plan-then-fetch: collect the plan, resolve its whole page set in
+    /// one pinned pool batch, then decode every block out of the pinned
+    /// pages. Read order no longer matters — the bitset union and sorted
+    /// drain make the candidate set identical to the sequential path.
+    fn collect_rect_batched(
+        &self,
+        shard: &ShardStore,
+        pidx: usize,
+        period: &DiskPeriod,
+        t: u32,
+        rect: &BBox,
+        ws: &mut DiskQueryWorkspace,
+    ) -> io::Result<()> {
+        ws.plan.clear();
+        Self::plan_rect(shard, pidx, period, t, rect, &mut ws.plan);
+        if !ws.plan.is_empty() {
+            let pages = shard.fetch_blocks(&ws.plan, &ws.io)?;
+            let (plan, block, ids, set) = (&ws.plan, &mut ws.block, &mut ws.ids, &mut ws.set);
+            for meta in plan {
+                ids.clear();
+                shard.decode_block_from(meta, &pages, block, ids)?;
+                set.insert_all(ids);
+            }
+        }
+        if self.prefetch_next {
+            self.prefetch_rect(shard, t.saturating_add(1), rect, ws);
+        }
+        Ok(())
+    }
+
+    /// Warm the pool with the blocks the same rect will touch at `t`
+    /// (used with the *next* timestep — the TPQ follow-up pattern). Best
+    /// effort: the pinned guard is dropped immediately (the pages stay
+    /// resident) and errors are swallowed — an over-budget or failed
+    /// prefetch must not fail the query that triggered it.
+    fn prefetch_rect(&self, shard: &ShardStore, t: u32, rect: &BBox, ws: &mut DiskQueryWorkspace) {
+        let Some((pidx, period)) = shard.period_of(t) else {
+            return;
+        };
+        ws.plan.clear();
+        Self::plan_rect(shard, pidx, period, t, rect, &mut ws.plan);
+        if !ws.plan.is_empty() {
+            let _ = shard.fetch_blocks(&ws.plan, &ws.io);
+        }
+    }
+
+    /// The pre-batching read path: one synchronous page-in per block, in
+    /// walk order, stopping at the first error.
+    fn collect_rect_sequential(
+        shard: &ShardStore,
+        pidx: usize,
+        period: &DiskPeriod,
+        t: u32,
+        rect: &BBox,
+        ws: &mut DiskQueryWorkspace,
+    ) -> io::Result<()> {
+        let mut io_err: Option<io::Error> = None;
+        for (ri, region) in period.regions.iter().enumerate() {
+            if !region.bbox.intersects(rect) {
+                continue;
+            }
+            let Some((cells, metas, bounds)) = shard.directory().group(pidx as u32, ri as u32, t)
+            else {
+                continue;
+            };
+            let Some((lo_x, lo_y, hi_x, hi_y)) = region.grid.cell_range_in_rect(rect) else {
+                continue;
+            };
             let lo_x = lo_x.max(bounds.min_cx);
             let lo_y = lo_y.max(bounds.min_cy);
             let hi_x = hi_x.min(bounds.max_cx);
@@ -201,13 +377,9 @@ impl<'a> DiskQueryEngine<'a> {
                 },
             );
             if let Some(e) = io_err.take() {
-                // Leave the bitset clean for the next query.
-                ws.ids.clear();
-                ws.set.drain_sorted_into(&mut ws.ids);
                 return Err(e);
             }
         }
-        ws.set.drain_sorted_into(out);
         Ok(())
     }
 

@@ -98,7 +98,7 @@ pub mod repo;
 pub mod writer;
 
 pub use appender::Appender;
-pub use engine::{DiskQueryEngine, DiskQueryWorkspace};
+pub use engine::{DiskQueryEngine, DiskQueryWorkspace, ReadMode};
 pub use layout::{GenKind, GenManifest, Manifest, RepoError, ShardManifest};
 pub use repo::{Repo, ShardStore};
 pub use writer::RepoWriter;

@@ -24,7 +24,9 @@ use crate::writer::RepoWriter;
 use ppq_core::summary_io;
 use ppq_core::{PpqSummary, ShardRouter, ShardedSummary};
 use ppq_geo::Point;
-use ppq_storage::{crc32, IoStats, Segment, SharedBufferPool};
+use ppq_storage::{
+    crc32, IoStats, PageRequest, PinnedPages, PoolPolicy, Segment, SharedBufferPool,
+};
 use ppq_traj::TrajId;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -163,6 +165,69 @@ impl ShardStore {
         Ok(())
     }
 
+    /// Resolve every page the planned `metas` span in **one** pool batch:
+    /// hits are pinned immediately, all misses go to the I/O backend as
+    /// one overlapped submission. Duplicate pages (adjacent blocks on one
+    /// page, multi-page blocks overlapping) are deduplicated by the pool,
+    /// so `stats` is charged exactly one attempt per *unique* page. The
+    /// returned guard keeps the batch's frames pinned — a concurrent
+    /// query cannot evict this query's working set mid-decode.
+    pub fn fetch_blocks<'s>(
+        &'s self,
+        metas: &[BlockMeta],
+        stats: &IoStats,
+    ) -> std::io::Result<PinnedPages<'s>> {
+        let mut requests: Vec<PageRequest<'s>> = Vec::with_capacity(metas.len());
+        for meta in metas {
+            let segment = &self.segments[meta.seg as usize];
+            let total = meta.n_ids as u64 * 4;
+            let n_pages = (meta.offset as u64 + total).div_ceil(self.payload_capacity as u64);
+            for page in meta.page..meta.page + n_pages {
+                requests.push(PageRequest { segment, page });
+            }
+        }
+        let pool: &'s SharedBufferPool = self.segments[0].pool();
+        pool.fetch_batch(&requests, stats)
+    }
+
+    /// Decode one planned block out of an already-fetched batch — the
+    /// second half of plan-then-fetch, no I/O. The bytes are identical to
+    /// what [`ShardStore::read_block_into`] pages in one-at-a-time; a
+    /// page missing from the batch (a plan the fetch didn't cover) is a
+    /// typed error, never a silently short answer.
+    pub fn decode_block_from(
+        &self,
+        meta: &BlockMeta,
+        pages: &PinnedPages<'_>,
+        scratch: &mut Vec<u8>,
+        out: &mut Vec<u32>,
+    ) -> std::io::Result<()> {
+        let seg_id = self.segments[meta.seg as usize].seg_id();
+        let total = meta.n_ids as usize * 4;
+        scratch.clear();
+        let mut page = meta.page;
+        let mut offset = meta.offset as usize;
+        while scratch.len() < total {
+            let Some(p) = pages.get(seg_id, page) else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("segment {seg_id} page {page} absent from fetched batch"),
+                ));
+            };
+            let payload = p.payload();
+            let take = (total - scratch.len()).min(payload.len() - offset);
+            scratch.extend_from_slice(&payload[offset..offset + take]);
+            page += 1;
+            offset = 0;
+        }
+        out.extend(
+            scratch
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+        );
+        Ok(())
+    }
+
     /// Single-cell STRQ probe against this shard: locate the period and
     /// region in memory, binary-search the block directory, and page in
     /// exactly that block — the disk mirror of `Pi::query`, and the
@@ -224,9 +289,23 @@ impl Repo {
     /// trailer on page-in). A stale `MANIFEST.ppq.tmp` from a crashed
     /// write is ignored.
     pub fn open(dir: &Path, pool_pages: usize) -> Result<Repo, RepoError> {
+        // Residency policy from the environment (`PPQ_POOL_POLICY`,
+        // `PPQ_POOL_PROTECTED_PCT`): segmented LRU by default, so scans
+        // cannot flush the hot set a skewed query mix builds up.
+        Self::open_with_policy(dir, pool_pages, PoolPolicy::from_env())
+    }
+
+    /// [`Repo::open`] with an explicit residency policy, ignoring the
+    /// environment — the A/B form the residency-curve benchmark uses to
+    /// compare plain LRU against segmented LRU on one process.
+    pub fn open_with_policy(
+        dir: &Path,
+        pool_pages: usize,
+        policy: PoolPolicy,
+    ) -> Result<Repo, RepoError> {
         let manifest_bytes = std::fs::read(dir.join(MANIFEST_NAME))?;
         let manifest = Manifest::from_bytes(&manifest_bytes)?;
-        let pool = SharedBufferPool::new(pool_pages);
+        let pool = SharedBufferPool::with_policy(pool_pages, policy);
         let page_size = manifest.page_size as usize;
         let capacity = ppq_storage::payload_capacity(page_size);
         let mut shards = Vec::with_capacity(manifest.num_shards());

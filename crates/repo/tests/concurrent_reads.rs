@@ -1,0 +1,447 @@
+//! Concurrency and fault battery for the batched disk read path.
+//!
+//! The batched plan-then-fetch engine shares one residency-managed
+//! buffer pool across every reader thread, so the properties worth
+//! money are the cross-thread ones:
+//!
+//! * N threads hammering batched STRQ/TPQ against one engine get
+//!   answers bit-identical to the serial baseline — hits, misses,
+//!   evictions and pin traffic from sibling threads never leak into a
+//!   query's result.
+//! * The accounting invariant `pool hits + misses == Σ per-query
+//!   attempts` holds exactly under concurrency, not just on average.
+//! * A fault injected mid-batch (hard read failure or silent bit-flip)
+//!   surfaces as a typed error, leaks no pinned frames, and a retry
+//!   after the fault clears is bit-identical — the pool never serves a
+//!   poisoned frame.
+//! * A per-query I/O budget violation is a typed refusal, equally
+//!   recoverable.
+//!
+//! Everything here must hold at `RAYON_NUM_THREADS=1` and `=4`; the CI
+//! determinism matrix runs this suite under both.
+
+use ppq_core::query::StrqOutcome;
+use ppq_core::{PpqConfig, ShardedSummary, Variant};
+use ppq_geo::Point;
+use ppq_repo::{DiskQueryEngine, DiskQueryWorkspace, ReadMode, Repo, RepoError, RepoWriter};
+use ppq_storage::fault;
+use ppq_traj::synth::{porto_like, PortoConfig};
+use ppq_traj::Dataset;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+const PAGE: usize = 4096;
+
+/// The pool instruments are process-global registry counters; tests
+/// that measure deltas (or assert a quiescent pinned count) must not
+/// interleave with pool traffic from their neighbours in this binary.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn dataset() -> Dataset {
+    porto_like(&PortoConfig {
+        trajectories: 60,
+        mean_len: 45,
+        min_len: 30,
+        start_spread: 12,
+        seed: 77,
+    })
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ppq-conc-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn queries(data: &Dataset) -> Vec<(u32, Point)> {
+    let mut qs: Vec<(u32, Point)> = data
+        .iter_points()
+        .step_by(23)
+        .map(|(_, t, p)| (t, p))
+        .collect();
+    qs.push((0, Point::new(500.0, 500.0)));
+    qs.push((1_000_000, Point::new(-8.6, 41.1)));
+    qs
+}
+
+/// A 3-shard on-disk store of the synthetic fixture; small pages so
+/// multi-page blocks are routine.
+fn build_store(name: &str) -> (PathBuf, Dataset, f64) {
+    let data = dataset();
+    let cfg = PpqConfig::variant(Variant::PpqS, 0.1);
+    let gc = cfg.tpi.pi.gc;
+    let sharded = ShardedSummary::build(&data, &cfg, 3);
+    let dir = tmp_dir(name);
+    RepoWriter::with_page_size(&dir, PAGE)
+        .write_sharded(&sharded)
+        .unwrap();
+    (dir, data, gc)
+}
+
+fn points_bit_eq(a: &Point, b: &Point) -> bool {
+    a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits()
+}
+
+fn assert_strq_bit_identical(got: &[StrqOutcome], want: &[StrqOutcome], who: &str) {
+    assert_eq!(got.len(), want.len(), "{who}: result count");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.approx, w.approx, "{who}: approx diverged at query {i}");
+        assert_eq!(
+            g.candidates, w.candidates,
+            "{who}: candidates diverged at {i}"
+        );
+        assert_eq!(g.exact, w.exact, "{who}: exact diverged at query {i}");
+        assert_eq!(g.visited, w.visited, "{who}: visited diverged at query {i}");
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn assert_tpq_bit_identical(
+    got: &[Vec<(u32, Vec<(u32, Point)>)>],
+    want: &[Vec<(u32, Vec<(u32, Point)>)>],
+    who: &str,
+) {
+    assert_eq!(got.len(), want.len());
+    for (qi, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.len(), w.len(), "{who}: TPQ match count at query {qi}");
+        for ((id_g, sub_g), (id_w, sub_w)) in g.iter().zip(w) {
+            assert_eq!(id_g, id_w, "{who}: TPQ id diverged at query {qi}");
+            assert_eq!(sub_g.len(), sub_w.len());
+            for ((tg, pg), (tw, pw)) in sub_g.iter().zip(sub_w) {
+                assert_eq!(tg, tw);
+                assert!(
+                    points_bit_eq(pg, pw),
+                    "{who}: TPQ payload bits diverged at query {qi}, id {id_g}, t {tg}"
+                );
+            }
+        }
+    }
+}
+
+/// A query whose cold working set spans several pages (so mid-batch
+/// faults and sub-working-set budgets have room to land), found by
+/// probing the fixture's own points.
+fn multi_page_query(engine: &DiskQueryEngine, data: &Dataset) -> (u32, Point) {
+    let mut ws = DiskQueryWorkspace::new();
+    for (_, t, p) in data.iter_points().step_by(7) {
+        engine.repo().clear_cache();
+        if engine.strq_online_with(t, &p, &mut ws).is_ok() && ws.last_io.0 >= 2 {
+            return (t, p);
+        }
+    }
+    panic!("no fixture query pages in more than one page");
+}
+
+/// A fault-path error must be typed: it converts to [`RepoError::Io`]
+/// and names either the injected fault or the CRC check that caught it
+/// (or the refused budget) — never a panic, never a silent wrong answer.
+fn assert_typed(err: std::io::Error, who: &str) {
+    let msg = err.to_string();
+    let typed = RepoError::from(err);
+    match &typed {
+        RepoError::Io(_) => {}
+        other => panic!("{who}: expected RepoError::Io, got {other:?}"),
+    }
+    assert!(
+        msg.contains("injected fault") || msg.contains("CRC") || msg.contains("budget"),
+        "{who}: untyped error message: {msg}"
+    );
+}
+
+#[test]
+fn concurrent_batched_queries_are_bit_identical_to_serial() {
+    let _g = lock();
+    let (dir, data, gc) = build_store("parallel");
+    let repo = Repo::open(&dir, 64).unwrap();
+    let engine = DiskQueryEngine::new(&repo, &data, gc);
+    let qs = queries(&data);
+
+    // Serial baselines (and the fixed-chunk determinism contract: the
+    // rayon thread count must not change a batch's answers).
+    let strq_base = engine.strq_online_batch(&qs).unwrap();
+    let tpq_base = engine.tpq_batch(&qs, 8).unwrap();
+    let strq_one = rayon::with_thread_count(1, || engine.strq_online_batch(&qs).unwrap());
+    let strq_four = rayon::with_thread_count(4, || engine.strq_online_batch(&qs).unwrap());
+    assert_strq_bit_identical(&strq_one, &strq_base, "rayon=1");
+    assert_strq_bit_identical(&strq_four, &strq_base, "rayon=4");
+
+    std::thread::scope(|s| {
+        for worker in 0..6 {
+            let engine = &engine;
+            let repo = &repo;
+            let (qs, strq_base, tpq_base) = (&qs, &strq_base, &tpq_base);
+            s.spawn(move || {
+                for round in 0..3 {
+                    // Odd workers cold-start the shared pool mid-flight:
+                    // sibling queries must survive losing their unpinned
+                    // frames at any point.
+                    if worker % 2 == 1 {
+                        repo.clear_cache();
+                    }
+                    let who = format!("worker {worker} round {round}");
+                    let strq = engine.strq_online_batch(qs).unwrap();
+                    assert_strq_bit_identical(&strq, strq_base, &who);
+                    let tpq = engine.tpq_batch(qs, 8).unwrap();
+                    assert_tpq_bit_identical(&tpq, tpq_base, &who);
+                }
+            });
+        }
+    });
+
+    assert_eq!(repo.pool().pinned_frames(), 0, "leaked pins after scope");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn accounting_reconciles_exactly_under_concurrency() {
+    let _g = lock();
+    let (dir, data, gc) = build_store("reconcile");
+    let repo = Repo::open(&dir, 48).unwrap();
+    let engine = DiskQueryEngine::new(&repo, &data, gc);
+    let qs = queries(&data);
+
+    let hits = ppq_obs::counter("ppq_pool_hits");
+    let misses = ppq_obs::counter("ppq_pool_misses");
+    let (hits0, misses0) = (hits.get(), misses.get());
+    let (reads0, bhits0) = (repo.io_stats().reads(), repo.io_stats().buffer_hits());
+
+    // Per-thread sums of per-query attempts, from `last_io` — the same
+    // numbers Table 9 measurement reads.
+    let attempts: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|worker| {
+                let engine = &engine;
+                let qs = &qs;
+                s.spawn(move || {
+                    let mut ws = DiskQueryWorkspace::new();
+                    let mut sum = 0u64;
+                    for (i, (t, p)) in qs.iter().enumerate() {
+                        if (i + worker) % 17 == 0 {
+                            engine.repo().clear_cache();
+                        }
+                        engine.strq_online_with(*t, p, &mut ws).unwrap();
+                        let (reads, bhits) = ws.last_io;
+                        sum += reads + bhits;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    let pool_delta = (hits.get() - hits0) + (misses.get() - misses0);
+    let repo_delta = (repo.io_stats().reads() - reads0) + (repo.io_stats().buffer_hits() - bhits0);
+    assert_eq!(
+        pool_delta, attempts,
+        "pool hits+misses diverged from Σ per-query attempts"
+    );
+    assert_eq!(
+        repo_delta, attempts,
+        "repo cumulative stats diverged from Σ per-query attempts"
+    );
+    assert_eq!(repo.pool().pinned_frames(), 0);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn mid_batch_faults_are_typed_and_leak_no_pins() {
+    let _g = lock();
+    let (dir, data, gc) = build_store("faults");
+    let repo = Repo::open(&dir, 64).unwrap();
+    let engine = DiskQueryEngine::new(&repo, &data, gc);
+    let (t, p) = multi_page_query(&engine, &data);
+    let baseline = engine.strq_online(t, &p).unwrap();
+    assert!(!baseline.exact.is_empty(), "fixture query must hit");
+
+    // Discover the cold query's instrumented-operation space: while a
+    // schedule (or counter) is armed, batched misses run serially
+    // through the instrumented path, so the op sequence is exactly the
+    // page-read sequence, deterministic across runs and thread counts.
+    repo.clear_cache();
+    fault::arm_counting();
+    engine.strq_online(t, &p).unwrap();
+    let ops = fault::disarm().ops;
+    assert!(ops >= 2, "cold query must page in multiple blocks");
+
+    // Land a fault on *every* operation in turn: a hard failure and a
+    // silent bit-flip (which must be caught by the page CRC, never
+    // returned as data).
+    for op in 0..ops {
+        for kind in [fault::FaultKind::Fail, fault::FaultKind::BitFlip { bit: 5 }] {
+            repo.clear_cache();
+            fault::arm(op, kind, fault::FaultMode::OneShot);
+            let result = engine.strq_online(t, &p);
+            let out = fault::disarm();
+            assert!(out.triggered, "op {op} {kind:?}: fault never fired");
+            let err = result.expect_err("faulted query must error");
+            assert_typed(err, &format!("op {op} {kind:?}"));
+            assert_eq!(
+                repo.pool().pinned_frames(),
+                0,
+                "op {op} {kind:?}: failed batch leaked pins"
+            );
+            // With the fault cleared, the very next attempt is
+            // bit-identical — no poisoned frame survived in the pool.
+            let retry = engine.strq_online(t, &p).unwrap();
+            assert_strq_bit_identical(
+                std::slice::from_ref(&retry),
+                std::slice::from_ref(&baseline),
+                &format!("retry after op {op} {kind:?}"),
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn io_budget_violations_are_typed_and_recoverable() {
+    let _g = lock();
+    let (dir, data, gc) = build_store("budget");
+    let repo = Repo::open(&dir, 64).unwrap();
+    let engine = DiskQueryEngine::new(&repo, &data, gc);
+    let (t, p) = multi_page_query(&engine, &data);
+
+    let mut ws = DiskQueryWorkspace::new();
+    repo.clear_cache();
+    let baseline = engine.strq_online_with(t, &p, &mut ws).unwrap();
+    let (cold_reads, _) = ws.last_io;
+    assert!(cold_reads >= 2, "fixture query must need multiple page-ins");
+
+    // A budget below the working set refuses the query, typed, before
+    // the batch touches the device; nothing stays pinned.
+    repo.clear_cache();
+    ws.set_io_budget(cold_reads - 1);
+    let err = engine
+        .strq_online_with(t, &p, &mut ws)
+        .expect_err("over budget");
+    assert_typed(err, "budget refusal");
+    assert_eq!(repo.pool().pinned_frames(), 0, "refused batch leaked pins");
+
+    // Lifting the budget makes the same workspace answer bit-identical.
+    ws.set_io_budget(u64::MAX);
+    let retry = engine.strq_online_with(t, &p, &mut ws).unwrap();
+    assert_strq_bit_identical(
+        std::slice::from_ref(&retry),
+        std::slice::from_ref(&baseline),
+        "retry after budget lift",
+    );
+    // An exact budget is enough: the cold working set fits it.
+    repo.clear_cache();
+    ws.set_io_budget(cold_reads);
+    let exact = engine.strq_online_with(t, &p, &mut ws).unwrap();
+    assert_strq_bit_identical(
+        std::slice::from_ref(&exact),
+        std::slice::from_ref(&baseline),
+        "exact budget",
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn faulty_threads_do_not_disturb_clean_readers() {
+    let _g = lock();
+    let (dir, data, gc) = build_store("mixed");
+    let repo = Repo::open(&dir, 64).unwrap();
+    let engine = DiskQueryEngine::new(&repo, &data, gc);
+    let qs = queries(&data);
+    let strq_base = engine.strq_online_batch(&qs).unwrap();
+
+    std::thread::scope(|s| {
+        // Clean readers: full batches, always bit-identical.
+        for worker in 0..3 {
+            let engine = &engine;
+            let (qs, strq_base) = (&qs, &strq_base);
+            s.spawn(move || {
+                for round in 0..3 {
+                    let strq = engine.strq_online_batch(qs).unwrap();
+                    assert_strq_bit_identical(
+                        &strq,
+                        strq_base,
+                        &format!("clean worker {worker} round {round}"),
+                    );
+                }
+            });
+        }
+        // Faulty readers: the fault schedule is thread-local, so arming
+        // here cannot touch the clean threads. Every error must be
+        // typed, and after disarming the same thread recovers to the
+        // bit-identical answer.
+        for worker in 0..3 {
+            let engine = &engine;
+            let (qs, strq_base) = (&qs, &strq_base);
+            s.spawn(move || {
+                let mut ws = DiskQueryWorkspace::new();
+                fault::arm(
+                    worker as u64,
+                    fault::FaultKind::Fail,
+                    fault::FaultMode::CrashAfter,
+                );
+                let mut errors = 0usize;
+                for (i, (t, p)) in qs.iter().enumerate() {
+                    match engine.strq_online_with(*t, p, &mut ws) {
+                        // Served entirely from frames admitted by the
+                        // clean threads — a hit-only query does no I/O,
+                        // so the schedule cannot fire on it.
+                        Ok(out) => assert_strq_bit_identical(
+                            std::slice::from_ref(&out),
+                            std::slice::from_ref(&strq_base[i]),
+                            &format!("faulty worker {worker} hit-only query {i}"),
+                        ),
+                        Err(e) => {
+                            assert_typed(e, &format!("faulty worker {worker} query {i}"));
+                            errors += 1;
+                        }
+                    }
+                }
+                let out = fault::disarm();
+                assert_eq!(out.triggered, errors > 0, "error count vs fault trigger");
+                // Recovery on this same thread: the full batch again,
+                // clean this time.
+                let strq = engine.strq_online_batch(qs).unwrap();
+                assert_strq_bit_identical(
+                    &strq,
+                    strq_base,
+                    &format!("faulty worker {worker} recovery"),
+                );
+            });
+        }
+    });
+
+    assert_eq!(repo.pool().pinned_frames(), 0, "leaked pins after scope");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn read_modes_and_prefetch_are_bit_identical() {
+    let _g = lock();
+    let (dir, data, gc) = build_store("modes");
+    let repo = Repo::open(&dir, 64).unwrap();
+    let qs = queries(&data);
+
+    let mut engine = DiskQueryEngine::new(&repo, &data, gc);
+    engine.set_read_mode(ReadMode::Sequential);
+    let strq_seq = engine.strq_batch(&qs).unwrap();
+    let tpq_seq = engine.tpq_batch(&qs, 10).unwrap();
+
+    engine.set_read_mode(ReadMode::Batched);
+    repo.clear_cache();
+    let strq_bat = engine.strq_batch(&qs).unwrap();
+    let tpq_bat = engine.tpq_batch(&qs, 10).unwrap();
+    assert_eq!(
+        strq_seq, strq_bat,
+        "batched and sequential STRQ answers diverged"
+    );
+    assert_tpq_bit_identical(&tpq_bat, &tpq_seq, "batched vs sequential TPQ");
+
+    // Next-period prefetch is a residency hint, never an answer change.
+    engine.set_prefetch_next(true);
+    repo.clear_cache();
+    let strq_pf = engine.strq_batch(&qs).unwrap();
+    assert_eq!(strq_seq, strq_pf, "prefetch changed STRQ answers");
+    assert_eq!(repo.pool().pinned_frames(), 0, "prefetch leaked pins");
+    let _ = std::fs::remove_dir_all(dir);
+}

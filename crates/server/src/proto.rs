@@ -211,6 +211,8 @@ pub struct StatsBody {
     pub chain_generations: u32,
     pub last_fold_unix_ms: Option<u64>,
     pub last_compaction_unix_ms: Option<u64>,
+    pub pool_resident_frames: u64,
+    pub pool_pinned_frames: u64,
 }
 
 // --- Encode -----------------------------------------------------------------
@@ -371,6 +373,8 @@ impl Response {
                 e.put_u32(s.chain_generations);
                 put_opt_u64(&mut e, s.last_fold_unix_ms);
                 put_opt_u64(&mut e, s.last_compaction_unix_ms);
+                e.put_u64(s.pool_resident_frames);
+                e.put_u64(s.pool_pinned_frames);
             }
             Response::Published { version } => {
                 header(&mut e, RESP_PUBLISHED);
@@ -481,6 +485,8 @@ impl Response {
                 let chain_generations = try_u32(&mut d)?;
                 let last_fold_unix_ms = read_opt_u64(&mut d)?;
                 let last_compaction_unix_ms = read_opt_u64(&mut d)?;
+                let pool_resident_frames = try_u64(&mut d)?;
+                let pool_pinned_frames = try_u64(&mut d)?;
                 Response::Stats(StatsBody {
                     next_t,
                     published_version,
@@ -493,6 +499,8 @@ impl Response {
                     chain_generations,
                     last_fold_unix_ms,
                     last_compaction_unix_ms,
+                    pool_resident_frames,
+                    pool_pinned_frames,
                 })
             }
             RESP_PUBLISHED => Response::Published {

@@ -461,6 +461,8 @@ fn dispatch(service: &Arc<LiveService>, req: Request, ws: &mut ShardedQueryWorks
                 chain_generations: s.chain_generations,
                 last_fold_unix_ms: s.last_fold_unix_ms,
                 last_compaction_unix_ms: s.last_compaction_unix_ms,
+                pool_resident_frames: s.pool_resident_frames,
+                pool_pinned_frames: s.pool_pinned_frames,
             })
         }
         Request::Publish => {

@@ -77,6 +77,8 @@ fn sample_responses() -> Vec<Response> {
             chain_generations: 2,
             last_fold_unix_ms: Some(1_700_000_000_000),
             last_compaction_unix_ms: None,
+            pool_resident_frames: 128,
+            pool_pinned_frames: 5,
         }),
         Response::Metrics(MetricsSnapshot {
             counters: vec![

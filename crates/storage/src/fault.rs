@@ -191,6 +191,50 @@ pub fn write_all(file: &mut File, buf: &[u8]) -> io::Result<()> {
     }
 }
 
+/// Instrumented positional `write_all` (no cursor, no lock held across
+/// the syscall). Decision semantics match [`write_all`]: `Torn` persists
+/// the first `keep` bytes then errors, `BitFlip` persists a corrupted
+/// buffer and reports success.
+pub fn write_all_at(file: &File, buf: &[u8], offset: u64) -> io::Result<()> {
+    match decide() {
+        Decision::Pass => crate::io::write_all_at_raw(file, buf, offset),
+        Decision::Fail => Err(injected("write")),
+        Decision::Torn(keep) => {
+            let k = keep.min(buf.len());
+            crate::io::write_all_at_raw(file, &buf[..k], offset)?;
+            Err(injected("torn write"))
+        }
+        Decision::Flip(bit) => {
+            if buf.is_empty() {
+                return crate::io::write_all_at_raw(file, buf, offset);
+            }
+            let mut corrupt = buf.to_vec();
+            let b = bit % (corrupt.len() * 8);
+            corrupt[b / 8] ^= 1 << (b % 8);
+            crate::io::write_all_at_raw(file, &corrupt, offset)
+        }
+    }
+}
+
+/// Instrumented positional `read_exact` (no cursor, no lock held across
+/// the syscall). Decision semantics match [`read_exact`]: one
+/// instrumented operation per call, `Fail`/`Torn` error without reading,
+/// `BitFlip` reads then corrupts the returned buffer.
+pub fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    match decide() {
+        Decision::Pass => crate::io::read_exact_at_raw(file, buf, offset),
+        Decision::Fail | Decision::Torn(_) => Err(injected("read")),
+        Decision::Flip(bit) => {
+            crate::io::read_exact_at_raw(file, buf, offset)?;
+            if !buf.is_empty() {
+                let b = bit % (buf.len() * 8);
+                buf[b / 8] ^= 1 << (b % 8);
+            }
+            Ok(())
+        }
+    }
+}
+
 /// Instrumented `read_exact`.
 pub fn read_exact(file: &mut File, buf: &mut [u8]) -> io::Result<()> {
     match decide() {

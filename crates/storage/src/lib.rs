@@ -24,13 +24,15 @@
 pub mod codec;
 pub mod crc32;
 pub mod fault;
+pub mod io;
 pub mod page;
 pub mod page_index;
 pub mod pool;
 pub mod store;
 
 pub use crc32::crc32;
+pub use io::{global_backend, IoBackend, PageRead, SerialBackend, ThreadPoolBackend};
 pub use page::{payload_capacity, Page, PAGE_SIZE, PAGE_TRAILER};
 pub use page_index::PageIndex;
-pub use pool::{Segment, SharedBufferPool};
+pub use pool::{PageRequest, PinnedPages, PoolPolicy, Segment, SharedBufferPool};
 pub use store::{IoStats, PageStore};

@@ -5,16 +5,34 @@ use crate::page::{Page, PAGE_SIZE};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{self, Seek, SeekFrom};
+use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Cumulative I/O counters (what Table 9's "No.I/Os" reports).
-#[derive(Debug, Default)]
+/// Cumulative I/O counters (what Table 9's "No.I/Os" reports), plus an
+/// optional per-query read *budget*: a ceiling on page-in attempts that,
+/// once reached, turns further reads into typed errors instead of
+/// unbounded device traffic. Buffer hits are free — the budget bounds
+/// I/O, not data touched.
+#[derive(Debug)]
 pub struct IoStats {
     pub reads: AtomicU64,
     pub writes: AtomicU64,
     pub buffer_hits: AtomicU64,
+    /// Read-attempt ceiling; `u64::MAX` means unlimited.
+    budget: AtomicU64,
+}
+
+impl Default for IoStats {
+    fn default() -> IoStats {
+        IoStats {
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            buffer_hits: AtomicU64::new(0),
+            budget: AtomicU64::new(u64::MAX),
+        }
+    }
 }
 
 impl IoStats {
@@ -34,10 +52,41 @@ impl IoStats {
         self.reads() + self.writes()
     }
 
+    /// Reset the counters. The budget (a configuration, not a counter)
+    /// survives — a workspace that caps its queries keeps the cap across
+    /// per-query resets.
     pub fn reset(&self) {
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
         self.buffer_hits.store(0, Ordering::Relaxed);
+    }
+
+    /// Cap read attempts at `max_reads` (counted from the last reset).
+    /// `u64::MAX` (the default) disables the cap.
+    pub fn set_budget(&self, max_reads: u64) {
+        self.budget.store(max_reads, Ordering::Relaxed);
+    }
+
+    /// The configured read budget (`u64::MAX` when unlimited).
+    pub fn budget(&self) -> u64 {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Charge `n` read attempts, or fail — *without charging* — when the
+    /// budget would be exceeded. Storage readers call this before every
+    /// page-in (batched readers charge the whole batch up front), so an
+    /// over-budget query stops before touching the device.
+    pub fn try_charge_reads(&self, n: u64) -> io::Result<()> {
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget != u64::MAX && self.reads.load(Ordering::Relaxed).saturating_add(n) > budget {
+            return Err(io::Error::other(format!(
+                "I/O budget exhausted: {} read(s) requested with {}/{budget} used",
+                n,
+                self.reads()
+            )));
+        }
+        self.reads.fetch_add(n, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Add another counter's totals into this one — how per-query stats
@@ -130,8 +179,12 @@ impl Lru {
 }
 
 /// A file of fixed-size pages with I/O counting.
+///
+/// All file access is positional (`read_at`/`write_at`): no lock is held
+/// across any syscall, so concurrent readers and the writer overlap on
+/// the device instead of serializing behind a file mutex.
 pub struct PageStore {
-    file: Mutex<File>,
+    file: Arc<File>,
     cache: Mutex<Lru>,
     stats: IoStats,
     num_pages: AtomicU64,
@@ -163,7 +216,7 @@ impl PageStore {
             .truncate(true)
             .open(path)?;
         Ok(PageStore {
-            file: Mutex::new(file),
+            file: Arc::new(file),
             cache: Mutex::new(Lru::new(pool_pages)),
             stats: IoStats::default(),
             num_pages: AtomicU64::new(0),
@@ -183,11 +236,7 @@ impl PageStore {
         let mut sealed = page.clone();
         sealed.seal_crc();
         let id = self.num_pages.fetch_add(1, Ordering::SeqCst);
-        {
-            let mut f = self.file.lock();
-            f.seek(SeekFrom::Start(id * self.page_size as u64))?;
-            fault::write_all(&mut f, sealed.as_bytes())?;
-        }
+        fault::write_all_at(&self.file, sealed.as_bytes(), id * self.page_size as u64)?;
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
         self.cache.lock().put(id, sealed);
         Ok(id)
@@ -202,11 +251,7 @@ impl PageStore {
         assert_eq!(page.len(), self.page_size, "page size mismatch");
         let mut sealed = page.clone();
         sealed.seal_crc();
-        {
-            let mut f = self.file.lock();
-            f.seek(SeekFrom::Start(id * self.page_size as u64))?;
-            fault::write_all(&mut f, sealed.as_bytes())?;
-        }
+        fault::write_all_at(&self.file, sealed.as_bytes(), id * self.page_size as u64)?;
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
         let mut cache = self.cache.lock();
         cache.invalidate(id);
@@ -226,13 +271,9 @@ impl PageStore {
             self.stats.buffer_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(p);
         }
+        self.stats.try_charge_reads(1)?;
         let mut buf = vec![0u8; self.page_size];
-        {
-            let mut f = self.file.lock();
-            f.seek(SeekFrom::Start(id * self.page_size as u64))?;
-            fault::read_exact(&mut f, &mut buf)?;
-        }
-        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        fault::read_exact_at(&self.file, &mut buf, id * self.page_size as u64)?;
         let page = Page::from_bytes(buf);
         if !page.verify_crc() {
             return Err(io::Error::new(
@@ -253,7 +294,7 @@ impl PageStore {
     /// promise crash safety call this before publishing any reference to
     /// the file.
     pub fn sync(&self) -> io::Result<()> {
-        fault::sync_all(&self.file.lock())
+        fault::sync_all(&self.file)
     }
 
     #[inline]
